@@ -1,0 +1,58 @@
+//! Criterion bench: compositing algorithms.
+//!
+//! Direct-send at several compositor counts (the paper's ablation:
+//! m = n vs limited m) and binary swap / serial gather as baselines,
+//! on identical subimage sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_compositing::binaryswap::composite_binary_swap;
+use pvr_compositing::{composite_direct_send, composite_serial, ImagePartition};
+use pvr_render::image::{PixelRect, SubImage};
+
+/// Deterministic pseudo-random subimages mimicking block footprints.
+fn subimages(n: usize, image: usize) -> Vec<SubImage> {
+    let b = (n as f64).cbrt().round() as usize;
+    let fp = image / b.max(1);
+    (0..n)
+        .map(|i| {
+            let bx = i % b;
+            let by = (i / b) % b;
+            let bz = i / (b * b);
+            let rect = PixelRect::new(bx * fp, by * fp, fp, fp);
+            let mut s = SubImage::transparent(rect, bz as f64);
+            for (k, p) in s.pixels.iter_mut().enumerate() {
+                let v = ((k * 2654435761 + i) % 1000) as f32 / 1000.0;
+                *p = [v * 0.3, v * 0.2, v * 0.5, v * 0.4];
+            }
+            s
+        })
+        .collect()
+}
+
+fn bench_compositing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compositing");
+    let image = 512;
+    let n = 64;
+    let subs = subimages(n, image);
+
+    for m in [1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("direct-send", m), &m, |b, &m| {
+            let part = ImagePartition::new(image, image, m);
+            b.iter(|| composite_direct_send(&subs, part))
+        });
+    }
+    group.bench_function("binary-swap", |b| {
+        b.iter(|| composite_binary_swap(&subs, image, image))
+    });
+    group.bench_function("serial-gather", |b| {
+        b.iter(|| composite_serial(&subs, image, image))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compositing
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: the real end-to-end frame at laptop scale.
+//!
+//! One complete miniature frame (collective read from disk + parallel
+//! render + direct-send composite), the workload the paper's Figure 3
+//! measures at full scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_core::{run_frame, write_dataset, CompositorPolicy, FrameConfig, IoMode};
+
+fn bench_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame");
+    group.sample_size(10);
+    let dir = std::env::temp_dir().join("pvr-bench-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for nprocs in [8usize, 32] {
+        let mut cfg = FrameConfig::small(48, 64, nprocs);
+        cfg.variable = 2;
+        cfg.io = IoMode::Raw;
+        let path = dir.join(format!("frame-{nprocs}.raw"));
+        write_dataset(&path, &cfg).unwrap();
+        group.bench_with_input(BenchmarkId::new("raw-original", nprocs), &cfg, |b, cfg| {
+            b.iter(|| run_frame(cfg, Some(&path)))
+        });
+        let mut improved = cfg;
+        improved.policy = CompositorPolicy::Fixed(nprocs / 4);
+        group.bench_with_input(
+            BenchmarkId::new("raw-limited-compositors", nprocs),
+            &improved,
+            |b, cfg| b.iter(|| run_frame(cfg, Some(&path))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_frame
+}
+criterion_main!(benches);

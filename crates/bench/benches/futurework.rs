@@ -1,0 +1,54 @@
+//! Criterion bench: the future-work visualization algorithms —
+//! particle tracing (serial + distributed) and marching-tetrahedra
+//! isosurface extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_flow::parallel::trace_serial_sampled;
+use pvr_flow::{trace_parallel, TracerOpts};
+use pvr_render::isosurface::extract;
+use pvr_volume::{SupernovaField, Volume};
+
+fn vortex(p: [f32; 3]) -> [f32; 3] {
+    [-(p[1] - 16.0) * 0.1 + 0.2, (p[0] - 16.0) * 0.1, 0.1]
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("particle-tracing");
+    let grid = [32usize, 32, 32];
+    let seeds: Vec<[f32; 3]> = (0..16)
+        .map(|i| {
+            let a = i as f32 / 16.0 * std::f32::consts::TAU;
+            [16.0 + 8.0 * a.cos(), 16.0 + 8.0 * a.sin(), 16.0]
+        })
+        .collect();
+    let opts = TracerOpts { h: 0.5, max_steps: 500, min_speed: 1e-7 };
+
+    group.bench_function("serial-16-seeds", |b| {
+        b.iter(|| trace_serial_sampled(grid, &seeds, &opts, vortex))
+    });
+    for ranks in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("distributed", ranks), &ranks, |b, &r| {
+            b.iter(|| trace_parallel(grid, r, &seeds, &opts, vortex))
+        });
+    }
+    group.finish();
+}
+
+fn bench_isosurface(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isosurface");
+    for n in [32usize, 48] {
+        let f = SupernovaField::new(1530).variable(1);
+        let v = Volume::from_field(&f, [n, n, n]);
+        group.bench_with_input(BenchmarkId::new("marching-tets", n), &n, |b, _| {
+            b.iter(|| extract(&v, 0.45))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tracing, bench_isosurface
+}
+criterion_main!(benches);

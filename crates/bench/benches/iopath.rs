@@ -1,0 +1,71 @@
+//! Criterion bench: the I/O path.
+//!
+//! Two-phase collective planning at paper scale (pure, extent-level)
+//! and real two-phase execution against a small on-disk netCDF file.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_core::{write_dataset, FrameConfig, IoMode};
+use pvr_formats::layout::{FileLayout, NetCdfClassicLayout};
+use pvr_formats::Subvolume;
+use pvr_pfs::twophase::{two_phase_execute, two_phase_plan, CollectiveHints, RankRequest};
+use pvr_volume::BlockDecomposition;
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twophase-plan");
+    // Paper-scale plans: 1120^3 netCDF, one variable, various hints.
+    let l = NetCdfClassicLayout::new([1120; 3], 5);
+    let aggregate = l.extents(0, &Subvolume::whole([1120; 3]));
+    for (name, hints) in [
+        ("untuned-16MiB", CollectiveHints::default()),
+        ("tuned-record", CollectiveHints::tuned(l.record_bytes())),
+    ] {
+        group.bench_with_input(BenchmarkId::new("1120cubed-2k", name), &hints, |b, h| {
+            b.iter(|| two_phase_plan(&aggregate, 64, h))
+        });
+    }
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twophase-execute");
+    group.sample_size(10);
+    let mut cfg = FrameConfig::small(48, 32, 16);
+    cfg.io = IoMode::NetCdfTuned;
+    let dir = std::env::temp_dir().join("pvr-bench-io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.nc");
+    write_dataset(&path, &cfg).unwrap();
+
+    let layout = cfg.io.layout(cfg.grid);
+    let decomp = BlockDecomposition::new(cfg.grid, cfg.nprocs);
+    let requests: Vec<RankRequest> = decomp
+        .blocks()
+        .iter()
+        .map(|blk| {
+            let sub = decomp.with_ghost(blk, 1);
+            let mut runs = Vec::new();
+            layout.placed_runs(2, &sub, &mut |r| runs.push(r));
+            RankRequest { runs, out_elems: sub.num_elements() }
+        })
+        .collect();
+
+    for (name, hints) in [
+        ("untuned", CollectiveHints::default()),
+        ("tuned", cfg.io.hints(cfg.grid)),
+    ] {
+        group.bench_function(format!("48cubed-16ranks-{name}"), |b| {
+            b.iter(|| {
+                let mut f = std::fs::File::open(&path).unwrap();
+                two_phase_execute(&mut f, &requests, 4, &hints).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_planning, bench_execution
+}
+criterion_main!(benches);

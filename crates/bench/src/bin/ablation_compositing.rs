@@ -1,0 +1,65 @@
+//! Ablation — compositing algorithm choice on the simulated BG/P.
+//!
+//! The paper fixes direct-send and tunes `m`; its background section
+//! cites binary swap (Ma et al.), and the authors' follow-on work
+//! (radix-k, SC'09) generalizes both. This ablation prices all of them
+//! on the same machine model at the paper's scales: direct-send with
+//! m = n, the improved limited-m direct-send, binary swap, and radix-k
+//! at several factorizations.
+
+use pvr_bench::{check, CsvOut};
+use pvr_compositing::radixk::{default_radices, radix_k_schedule};
+use pvr_core::{CompositorPolicy, FrameConfig, PerfModel};
+
+fn main() {
+    let model = PerfModel::default();
+    let mut csv = CsvOut::create(
+        "ablation_compositing",
+        "cores,directsend_mn_s,directsend_limited_s,binaryswap_s,radix4_s,radix_default_s",
+    );
+
+    let image_pixels = 1600 * 1600;
+    let mut last = (0.0, 0.0, 0.0);
+    for n in [1024usize, 4096, 16384, 32768] {
+        let mut cfg = FrameConfig::paper_1120(n);
+
+        cfg.policy = CompositorPolicy::Original;
+        let ds_mn = model.simulate_composite(&cfg, &model.schedule_for(&cfg)).seconds;
+        cfg.policy = CompositorPolicy::Improved;
+        let ds_lim = model.simulate_composite(&cfg, &model.schedule_for(&cfg)).seconds;
+
+        let bs_radices = vec![2usize; n.trailing_zeros() as usize];
+        let bs = model
+            .simulate_rounds(&cfg, &radix_k_schedule(n, image_pixels, &bs_radices))
+            .seconds;
+
+        // Rounds of radix 4, with one radix-2 round when log2(n) is odd.
+        let mut r4_radices = vec![4usize; (n.trailing_zeros() / 2) as usize];
+        if n.trailing_zeros() % 2 == 1 {
+            r4_radices.push(2);
+        }
+        let r4 = model
+            .simulate_rounds(&cfg, &radix_k_schedule(n, image_pixels, &r4_radices))
+            .seconds;
+
+        let rd = model
+            .simulate_rounds(&cfg, &radix_k_schedule(n, image_pixels, &default_radices(n)))
+            .seconds;
+
+        csv.row(&format!("{n},{ds_mn:.3},{ds_lim:.3},{bs:.3},{r4:.3},{rd:.3}"));
+        last = (ds_mn, ds_lim, bs);
+        let _ = (r4, rd);
+    }
+
+    let (ds_mn, ds_lim, bs) = last;
+    check(
+        "at 32K, classic direct-send is the worst choice",
+        ds_mn > ds_lim && ds_mn > bs,
+        &format!("m=n {ds_mn:.2} s vs limited {ds_lim:.3} s vs binary swap {bs:.3} s"),
+    );
+    check(
+        "tree-structured compositing is competitive with limited direct-send",
+        bs < 5.0 * ds_lim,
+        &format!("binary swap {bs:.3} s vs limited direct-send {ds_lim:.3} s"),
+    );
+}

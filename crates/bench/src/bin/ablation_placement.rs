@@ -1,0 +1,45 @@
+//! Ablation — compositor placement on the torus.
+//!
+//! The improved scheme has a silent design choice: *which* ranks host
+//! the m compositors. Spreading them across the partition (rank
+//! c*n/m) distributes the incast; packing them into the first m ranks
+//! concentrates the traffic into one torus corner — the hot-spot
+//! pathology Davis et al. measured on Blue Gene (3x slowdown at hot
+//! spots), which the paper cites as background.
+
+use pvr_bench::{check, CsvOut};
+use pvr_core::{CompositorPolicy, FrameConfig, PerfModel, Placement};
+
+fn main() {
+    let model = PerfModel::default();
+    let mut csv = CsvOut::create(
+        "ablation_placement",
+        "cores,compositors,spread_s,packed_s,packed_over_spread",
+    );
+
+    let mut worst_ratio: f64 = 0.0;
+    for n in [2048usize, 8192, 32768] {
+        let mut cfg = FrameConfig::paper_1120(n);
+        cfg.policy = CompositorPolicy::Improved;
+        let sched = model.schedule_for(&cfg);
+        let spread = model.simulate_composite_placed(&cfg, &sched, Placement::Spread);
+        let packed = model.simulate_composite_placed(&cfg, &sched, Placement::Packed);
+        let ratio = packed.seconds / spread.seconds;
+        worst_ratio = worst_ratio.max(ratio);
+        csv.row(&format!(
+            "{n},{},{:.3},{:.3},{ratio:.2}",
+            spread.compositors, spread.seconds, packed.seconds
+        ));
+    }
+
+    check(
+        "packing compositors into a torus corner is never faster",
+        worst_ratio >= 1.0,
+        &format!("worst packed/spread ratio {worst_ratio:.2}"),
+    );
+    check(
+        "hot-spotting costs measurably at scale",
+        worst_ratio > 1.2,
+        &format!("packed is up to {worst_ratio:.2}x slower"),
+    );
+}

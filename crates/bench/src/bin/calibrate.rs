@@ -1,0 +1,74 @@
+//! Calibration — measure the performance-model constants from the real
+//! renderer instead of trusting them.
+//!
+//! The simulated executor uses two rendering constants (DESIGN.md §5):
+//! `sample_coeff` (fraction of image_pixels x grid_depth actually
+//! sampled) and `render_imbalance` (max/mean per-rank work). Both are
+//! geometry properties of the real renderer, so they can be *measured*
+//! at laptop scale and compared with the defaults used at paper scale —
+//! plus the per-core sample rate of this host, for scale reference.
+
+use std::time::Instant;
+
+use pvr_bench::{check, CsvOut};
+use pvr_core::pipeline::{default_view, render_opts, transfer_for};
+use pvr_core::{FrameConfig, PerfModel};
+use pvr_render::raycast::{render_block, BlockDomain};
+use pvr_render::Camera;
+use pvr_volume::{BlockDecomposition, SupernovaField, Volume};
+
+fn main() {
+    let model = PerfModel::default();
+    let mut csv = CsvOut::create(
+        "calibrate",
+        "grid,image,ranks,sample_coeff,imbalance_maxmean,host_samples_per_sec",
+    );
+
+    let mut coeffs = Vec::new();
+    let mut imbalances = Vec::new();
+    for (grid, image, ranks) in [(48usize, 96usize, 8usize), (64, 128, 27), (96, 160, 64)] {
+        let mut cfg = FrameConfig::small(grid, image, ranks);
+        cfg.variable = 2;
+        let field = SupernovaField::new(cfg.seed).variable(cfg.variable);
+        let decomp = BlockDecomposition::new(cfg.grid, ranks);
+        let cam = Camera::orthographic(cfg.grid, default_view(), image, image);
+        let tf = transfer_for(&cfg);
+        let opts = render_opts(&cfg);
+
+        let mut per_rank = Vec::new();
+        let t0 = Instant::now();
+        for b in decomp.blocks() {
+            let stored = decomp.with_ghost(&b, 1);
+            let vol = Volume::from_field_window(&field, cfg.grid, stored.offset, stored.shape);
+            let dom = BlockDomain { grid: cfg.grid, owned: b.sub, stored };
+            let (_, stats) = render_block(&vol, &dom, &cam, &tf, &opts);
+            per_rank.push(stats.samples);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+
+        let total: u64 = per_rank.iter().sum();
+        let coeff = total as f64 / (image * image * grid) as f64;
+        let mean = total as f64 / ranks as f64;
+        let imb = *per_rank.iter().max().unwrap() as f64 / mean;
+        let rate = total as f64 / wall; // includes field sampling; order-of-magnitude host ref
+        csv.row(&format!("{grid},{image},{ranks},{coeff:.3},{imb:.3},{rate:.0}"));
+        coeffs.push(coeff);
+        imbalances.push(imb);
+    }
+
+    let mean_coeff = coeffs.iter().sum::<f64>() / coeffs.len() as f64;
+    let mean_imb = imbalances.iter().sum::<f64>() / imbalances.len() as f64;
+    println!("# model defaults: sample_coeff={}, render_imbalance={}", model.sample_coeff, model.render_imbalance);
+    println!("# measured:       sample_coeff={mean_coeff:.3}, render_imbalance={mean_imb:.3}");
+
+    check(
+        "model sample_coeff within 2x of the measured geometry",
+        mean_coeff > model.sample_coeff / 2.0 && mean_coeff < model.sample_coeff * 2.0,
+        &format!("measured {mean_coeff:.3} vs model {}", model.sample_coeff),
+    );
+    check(
+        "measured imbalance is real but moderate (the paper's 'minor deviations')",
+        mean_imb > 1.0 && mean_imb < 4.0,
+        &format!("max/mean {mean_imb:.2}"),
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 10 — synthetic I/O benchmark: five I/O modes, read time vs
+//! data density, 1120³ elements read by 2K cores.
+//!
+//! "Five I/O modes appear in order from fastest to slowest... We define
+//! the data density as [useful bytes / bytes actually read]. There is a
+//! strong correlation between the time and the data density."
+
+use pvr_bench::{check, CsvOut};
+use pvr_core::{FrameConfig, IoMode, PerfModel};
+
+fn main() {
+    let model = PerfModel::default();
+    let mut csv = CsvOut::create("fig10_density", "mode,read_time_s,data_density,physical_GB");
+
+    let mut rows: Vec<(IoMode, f64, f64)> = Vec::new();
+    for mode in IoMode::ALL {
+        let mut cfg = FrameConfig::paper_1120(2048);
+        cfg.io = mode;
+        cfg.variable = 0;
+        let io = model.simulate_io(&cfg);
+        csv.row(&format!(
+            "{},{:.2},{:.3},{:.2}",
+            mode.name(),
+            io.seconds,
+            io.data_density,
+            io.physical_bytes as f64 / 1e9
+        ));
+        rows.push((mode, io.seconds, io.data_density));
+    }
+
+    // --- Checks. ---
+    let time = |m: IoMode| rows.iter().find(|r| r.0 == m).unwrap().1;
+    let density = |m: IoMode| rows.iter().find(|r| r.0 == m).unwrap().2;
+    check(
+        "raw is fastest; untuned netCDF is slowest",
+        rows.iter().all(|r| time(IoMode::Raw) <= r.1)
+            && rows.iter().all(|r| time(IoMode::NetCdfUntuned) >= r.1),
+        &format!(
+            "raw {:.1} s ... untuned {:.1} s",
+            time(IoMode::Raw),
+            time(IoMode::NetCdfUntuned)
+        ),
+    );
+    // The paper's bar order is raw, netcdf-64, hdf5, tuned, untuned.
+    // We reproduce the ends exactly; in the middle our *tuned* case
+    // comes out better than the paper's (1.1x over-read vs their
+    // logged 2.2x — see fig9/EXPERIMENTS.md), so tuned and hdf5 swap.
+    // The figure's actual claim — time tracks density — is checked
+    // below and holds for all five modes.
+    check(
+        "contiguous modes fastest, untuned netCDF slowest (paper's end points)",
+        time(IoMode::Raw) <= time(IoMode::NetCdf64) * 1.02
+            && time(IoMode::NetCdf64) <= time(IoMode::Hdf5)
+            && time(IoMode::NetCdf64) <= time(IoMode::NetCdfTuned)
+            && time(IoMode::Hdf5) < time(IoMode::NetCdfUntuned)
+            && time(IoMode::NetCdfTuned) < time(IoMode::NetCdfUntuned),
+        &format!(
+            "raw {:.1}, nc64 {:.1}, tuned {:.1}, hdf5 {:.1}, untuned {:.1} s",
+            time(IoMode::Raw),
+            time(IoMode::NetCdf64),
+            time(IoMode::NetCdfTuned),
+            time(IoMode::Hdf5),
+            time(IoMode::NetCdfUntuned)
+        ),
+    );
+    // Rank correlation between (1/density) and time.
+    let mut by_density: Vec<_> = rows.iter().map(|r| (r.2, r.1)).collect();
+    by_density.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let monotone = by_density.windows(2).all(|w| w[0].1 <= w[1].1 * 1.05);
+    check(
+        "strong correlation between read time and data density",
+        monotone,
+        &format!(
+            "densities {:.2?} -> times {:.1?}",
+            by_density.iter().map(|x| x.0).collect::<Vec<_>>(),
+            by_density.iter().map(|x| x.1).collect::<Vec<_>>()
+        ),
+    );
+    let _ = density;
+}

@@ -1,0 +1,92 @@
+//! Figure 3 — total and component frame time vs. core count.
+//!
+//! "Total frame time as well as individual components I/O, rendering,
+//! and compositing times plotted on a log-log scale. Two versions of
+//! compositing time are shown; the total frame time includes the
+//! faster, improved compositing. The file is raw data format, 1120³,
+//! and the image size is 1600²."
+//!
+//! Reproduced shapes: rendering is linear (slope -1); raw I/O falls
+//! then flattens as the storage fabric saturates; original (m = n)
+//! compositing is flat to ~1K cores and blows up beyond; the improved
+//! policy removes the blow-up. The best total frame time lands at 16K
+//! cores, as in the paper (5.9 s there).
+
+use pvr_bench::{check, CsvOut, CORE_SWEEP};
+use pvr_core::{CompositorPolicy, FrameConfig, PerfModel};
+
+fn main() {
+    let model = PerfModel::default();
+    let mut csv = CsvOut::create(
+        "fig3_scaling",
+        "cores,total_s,raw_io_s,render_s,composite_original_s,composite_improved_s",
+    );
+
+    let mut totals = Vec::new();
+    let mut orig = Vec::new();
+    let mut impr = Vec::new();
+    let mut renders = Vec::new();
+    for &n in &CORE_SWEEP {
+        let mut cfg = FrameConfig::paper_1120(n);
+        cfg.policy = CompositorPolicy::Improved;
+        let r = model.simulate(&cfg);
+
+        let mut cfg_o = cfg;
+        cfg_o.policy = CompositorPolicy::Original;
+        let sched_o = model.schedule_for(&cfg_o);
+        let comp_o = model.simulate_composite(&cfg_o, &sched_o);
+
+        csv.row(&format!(
+            "{n},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            r.timing.total(),
+            r.timing.io,
+            r.timing.render,
+            comp_o.seconds,
+            r.timing.composite,
+        ));
+        totals.push((n, r.timing.total()));
+        orig.push((n, comp_o.seconds));
+        impr.push((n, r.timing.composite));
+        renders.push((n, r.timing.render));
+    }
+
+    // --- Qualitative checks against the paper. ---
+    let best = totals.iter().cloned().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    check(
+        "best total frame time at large scale (paper: 5.9 s at 16K)",
+        best.0 >= 8192 && best.1 > 3.0 && best.1 < 10.0,
+        &format!("best {:.2} s at {} cores", best.1, best.0),
+    );
+    let r64 = renders[0].1;
+    let r32k = renders.last().unwrap().1;
+    let slope = (r64 / r32k).log2() / ((32768f64 / 64.0).log2());
+    check(
+        "rendering is embarrassingly parallel (log-log slope ~ -1)",
+        (slope - 1.0).abs() < 0.05,
+        &format!("slope {slope:.3}"),
+    );
+    let o1k = orig.iter().find(|(n, _)| *n == 1024).unwrap().1;
+    let o256 = orig.iter().find(|(n, _)| *n == 256).unwrap().1;
+    let o32k = orig.last().unwrap().1;
+    let i32k = impr.last().unwrap().1;
+    check(
+        "original compositing flat through 1K cores",
+        o1k < 3.0 * o256,
+        &format!("256: {o256:.3} s, 1K: {o1k:.3} s"),
+    );
+    check(
+        "original compositing blows up beyond 1K (paper: ~30x at 32K)",
+        o32k / i32k > 10.0,
+        &format!("32K original {o32k:.2} s vs improved {i32k:.3} s = {:.0}x", o32k / i32k),
+    );
+    let io32k = totals.last().unwrap();
+    check(
+        "compositing exceeds rendering beyond 8K cores with m = n",
+        orig.iter().filter(|(n, _)| *n > 8192).all(|(n, t)| {
+            let render = renders.iter().find(|(rn, _)| rn == n).unwrap().1;
+            *t > render
+        }),
+        &format!("at 32K: composite {o32k:.2} s vs render {r32k:.3} s"),
+    );
+    let _ = io32k;
+}

@@ -1,0 +1,74 @@
+//! Figure 4 — compositing communication bandwidth vs. message size and
+//! processor count.
+//!
+//! "Communication bandwidth plotted against message size and number of
+//! processors. As the number of processors increases and message size
+//! decreases, the bandwidth falls away from the peak theoretical curve.
+//! The drop-off is more severe in the original compositing scheme and
+//! alleviated by limiting the number of compositors."
+//!
+//! X axis: 256 … 32768 processors, equivalently nominal message sizes
+//! 40 KB … 312 B (4 bytes/pixel x 1600² / m).
+
+use pvr_bench::{check, CsvOut};
+use pvr_core::{CompositorPolicy, FrameConfig, PerfModel};
+
+fn main() {
+    let model = PerfModel::default();
+    let mut csv = CsvOut::create(
+        "fig4_bandwidth",
+        "cores,message_bytes,peak_MBs,improved_MBs,original_MBs",
+    );
+
+    let sweep = [256usize, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+    let mut rows = Vec::new();
+    for &n in &sweep {
+        let mut cfg = FrameConfig::paper_1120(n);
+
+        cfg.policy = CompositorPolicy::Original;
+        let sched_o = model.schedule_for(&cfg);
+        let comp_o = model.simulate_composite(&cfg, &sched_o);
+
+        cfg.policy = CompositorPolicy::Improved;
+        let sched_i = model.schedule_for(&cfg);
+        let comp_i = model.simulate_composite(&cfg, &sched_i);
+
+        let msg = comp_o.nominal_message_bytes;
+        let peak = model.peak_aggregate_bandwidth(n, msg);
+        csv.row(&format!(
+            "{n},{msg},{:.1},{:.1},{:.1}",
+            peak / 1e6,
+            comp_i.bandwidth / 1e6,
+            comp_o.bandwidth / 1e6,
+        ));
+        rows.push((n, msg, peak, comp_i.bandwidth, comp_o.bandwidth));
+    }
+
+    // --- Checks. ---
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    check(
+        "x-axis matches the paper (40 KB at 256 procs, 312 B at 32K)",
+        first.1 == 40_000 && last.1 == 312,
+        &format!("{} B at 256, {} B at 32K", first.1, last.1),
+    );
+    check(
+        "bandwidth never exceeds the theoretical peak",
+        rows.iter().all(|r| r.3 <= r.2 && r.4 <= r.2),
+        "improved <= peak and original <= peak everywhere",
+    );
+    check(
+        "original falls away from peak as messages shrink",
+        last.4 / last.2 < first.4 / first.2,
+        &format!(
+            "original/peak: {:.3} at 256 procs vs {:.5} at 32K",
+            first.4 / first.2,
+            last.4 / last.2
+        ),
+    );
+    check(
+        "limiting compositors alleviates the drop-off at 32K",
+        last.3 > 5.0 * last.4,
+        &format!("improved {:.1} MB/s vs original {:.1} MB/s", last.3 / 1e6, last.4 / 1e6),
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 6 — percentage of frame time spent in each stage.
+//!
+//! "Percentage of time spent in I/O, rendering, and compositing. I/O
+//! dominates the overall algorithm's performance." (1120³, 1600², raw
+//! mode, improved compositing — the stacked-bar chart of the paper.)
+
+use pvr_bench::{check, CsvOut, CORE_SWEEP};
+use pvr_core::{simulate_frame, FrameConfig};
+
+fn main() {
+    let mut csv = CsvOut::create("fig6_distribution", "cores,io_pct,render_pct,composite_pct");
+
+    let mut io_pct = Vec::new();
+    for &n in &CORE_SWEEP {
+        let r = simulate_frame(&FrameConfig::paper_1120(n));
+        csv.row(&format!(
+            "{n},{:.1},{:.1},{:.1}",
+            r.timing.io_percent(),
+            r.timing.render_percent(),
+            r.timing.composite_percent()
+        ));
+        io_pct.push((n, r.timing.io_percent()));
+    }
+
+    check(
+        "I/O share grows with core count (render shrinks 1/n, I/O saturates)",
+        io_pct.last().unwrap().1 > io_pct.first().unwrap().1,
+        &format!(
+            "I/O {:.0}% at 64 cores -> {:.0}% at 32K",
+            io_pct.first().unwrap().1,
+            io_pct.last().unwrap().1
+        ),
+    );
+    check(
+        "I/O dominates at scale (>= 70% beyond 4K cores)",
+        io_pct.iter().filter(|(n, _)| *n >= 4096).all(|(_, p)| *p >= 70.0),
+        "rendering is not the bottleneck at scale",
+    );
+}

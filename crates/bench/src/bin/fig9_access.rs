@@ -1,0 +1,129 @@
+//! Figure 9 — file access patterns of a 1120³ single-variable read by
+//! 2K cores.
+//!
+//! "The dark regions signify file blocks that were read in order to
+//! access a single variable." Left: untuned PnetCDF (most of the file
+//! read); center: MPI-IO hints tuned to the record size (~11 GB for
+//! 5 GB of useful data); right: HDF5 / netCDF-64bit (well-collocated).
+//!
+//! This regenerator computes the *actual* access plans at full paper
+//! scale (the planner only needs extents) and renders each as a PGM
+//! image plus an ASCII thumbnail, with the paper's headline statistics.
+
+use pvr_bench::{check, write_artifact, CsvOut};
+use pvr_core::{FrameConfig, IoMode};
+use pvr_formats::Subvolume;
+use pvr_pfs::iolog::{AccessMap, IoStats};
+use pvr_pfs::model::StorageModel;
+use pvr_pfs::sieve::per_extent_plan;
+use pvr_pfs::twophase::two_phase_plan;
+use pvr_volume::BlockDecomposition;
+
+fn main() {
+    let nprocs = 2048;
+    let grid = [1120usize; 3];
+    let io_nodes = nprocs / 4 / 64;
+    let naggr = StorageModel::default_aggregators(nprocs, io_nodes);
+    let mut csv = CsvOut::create(
+        "fig9_access",
+        "mode,file_GB,useful_GB,physical_GB,accesses,mean_access_MB,density,coverage",
+    );
+
+    let mut stats_by_mode = std::collections::HashMap::new();
+    for mode in [IoMode::NetCdfUntuned, IoMode::NetCdfTuned, IoMode::Hdf5, IoMode::NetCdf64] {
+        let mut cfg = FrameConfig::paper_1120(nprocs);
+        cfg.io = mode;
+        cfg.variable = 0; // pressure, as in the paper
+        let layout = mode.layout(grid);
+        let var = cfg.file_variable();
+
+        let (accesses, useful): (Vec<pvr_formats::Extent>, u64) = if layout.collective() {
+            let aggregate = layout.extents(var, &Subvolume::whole(grid));
+            let plan = two_phase_plan(&aggregate, naggr, &mode.hints(grid));
+            (plan.accesses.iter().map(|a| a.extent).collect(), plan.useful_bytes)
+        } else {
+            let decomp = BlockDecomposition::new(grid, nprocs);
+            let per: Vec<Vec<pvr_formats::Extent>> = decomp
+                .blocks()
+                .iter()
+                .map(|b| layout.physical_extents(var, &decomp.with_ghost(b, 1)))
+                .collect();
+            let useful: u64 =
+                decomp.blocks().iter().map(|b| decomp.with_ghost(b, 1).bytes()).sum();
+            (per_extent_plan(&per).accesses, useful)
+        };
+
+        let s = IoStats::from_accesses(&accesses, useful);
+        let mut map = AccessMap::new(160, 40, layout.file_size());
+        map.mark_all(&accesses);
+
+        csv.row(&format!(
+            "{},{:.1},{:.2},{:.2},{},{:.2},{:.3},{:.3}",
+            mode.name(),
+            layout.file_size() as f64 / 1e9,
+            s.useful_bytes as f64 / 1e9,
+            s.physical_bytes as f64 / 1e9,
+            s.accesses,
+            s.mean_access_bytes / 1e6,
+            s.data_density(),
+            map.coverage(),
+        ));
+        write_artifact(&format!("fig9_{}.pgm", mode.name()), &map.to_pgm());
+        println!("--- {} access map ---", mode.name());
+        let thumb = {
+            let mut t = AccessMap::new(72, 6, layout.file_size());
+            t.mark_all(&accesses);
+            t.to_ascii()
+        };
+        print!("{thumb}");
+        stats_by_mode.insert(mode, (s, map.coverage()));
+    }
+
+    // --- Checks against the paper's numbers. ---
+    let (untuned, cov_untuned) = &stats_by_mode[&IoMode::NetCdfUntuned];
+    let (tuned, _) = &stats_by_mode[&IoMode::NetCdfTuned];
+    let (hdf5, _) = &stats_by_mode[&IoMode::Hdf5];
+    check(
+        "untuned read touches most of the 27 GB file",
+        *cov_untuned > 0.6,
+        &format!("coverage {:.0}%, {:.1} GB physically read", cov_untuned * 100.0,
+            untuned.physical_bytes as f64 / 1e9),
+    );
+    check(
+        "untuned accesses are collective-buffer sized (paper: ~3000 of ~15 MB)",
+        untuned.mean_access_bytes > 8e6 && untuned.mean_access_bytes < 20e6,
+        &format!("{} accesses, mean {:.1} MB", untuned.accesses, untuned.mean_access_bytes / 1e6),
+    );
+    // Documented deviation: the paper's logs show 11 GB physical for
+    // 5 GB useful in the tuned case (2.2x). Our two-phase engine's
+    // record-sized windows align with the record grid and eliminate the
+    // gap reads almost entirely (~1.1x) — we reproduce the *gain* of
+    // tuning and its access-size signature, but not the residual 2.2x
+    // overhead, whose mechanism the paper does not identify. See
+    // EXPERIMENTS.md.
+    let tuned_over = tuned.physical_bytes as f64 / tuned.useful_bytes as f64;
+    check(
+        "tuned read drops overhead to ~1.1-2.5x and record-sized accesses (paper: 2.2x, 4.5 MB)",
+        tuned_over >= 1.0
+            && tuned_over < 2.5
+            && tuned.physical_bytes < untuned.physical_bytes / 2
+            && tuned.mean_access_bytes < 8e6,
+        &format!(
+            "{:.1} GB physical for {:.1} GB useful in {} accesses of {:.1} MB",
+            tuned.physical_bytes as f64 / 1e9,
+            tuned.useful_bytes as f64 / 1e9,
+            tuned.accesses,
+            tuned.mean_access_bytes / 1e6
+        ),
+    );
+    let hdf5_over = hdf5.physical_bytes as f64 / hdf5.useful_bytes as f64;
+    check(
+        "HDF5 overhead ~1.5x (paper: 8 GB physical for 5 GB useful)",
+        hdf5_over > 1.2 && hdf5_over < 2.0,
+        &format!(
+            "{:.1} GB physical for {:.1} GB useful",
+            hdf5.physical_bytes as f64 / 1e9,
+            hdf5.useful_bytes as f64 / 1e9
+        ),
+    );
+}

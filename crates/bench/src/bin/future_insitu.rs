@@ -1,0 +1,46 @@
+//! Future-work study — in situ visualization.
+//!
+//! The paper's discussion: "We hope that in situ techniques will enable
+//! scientists to see early results of their computations, as well as
+//! eliminate or reduce expensive storage accesses, because, as our
+//! research shows, I/O dominates large-scale visualization."
+//!
+//! This study quantifies that hope on the machine model: the same frame
+//! priced post hoc (read the time step from storage, then render) vs
+//! in situ (the data is already resident in the simulation's memory;
+//! only render + composite remain).
+
+use pvr_bench::{check, CsvOut, CORE_SWEEP};
+use pvr_core::{simulate_frame, FrameConfig};
+
+fn main() {
+    let mut csv = CsvOut::create(
+        "future_insitu",
+        "cores,posthoc_total_s,insitu_total_s,speedup",
+    );
+
+    let mut speedups = Vec::new();
+    for &n in &CORE_SWEEP {
+        let r = simulate_frame(&FrameConfig::paper_1120(n));
+        let posthoc = r.timing.total();
+        let insitu = r.timing.vis_only();
+        let speedup = posthoc / insitu;
+        csv.row(&format!("{n},{posthoc:.2},{insitu:.3},{speedup:.1}"));
+        speedups.push((n, speedup));
+    }
+
+    check(
+        "in situ pays off more the larger the machine (I/O share grows)",
+        speedups.last().unwrap().1 > speedups.first().unwrap().1,
+        &format!(
+            "speedup {:.1}x at 64 cores -> {:.1}x at 32K",
+            speedups.first().unwrap().1,
+            speedups.last().unwrap().1
+        ),
+    );
+    check(
+        "eliminating I/O removes the dominant cost at scale (>= 5x)",
+        speedups.iter().filter(|(n, _)| *n >= 8192).all(|(_, s)| *s >= 5.0),
+        "frames become visualization-bound",
+    );
+}

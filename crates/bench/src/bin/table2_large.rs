@@ -1,0 +1,59 @@
+//! Table II — volume rendering performance at large sizes.
+//!
+//! Grid | step GB | image | procs | total (s) | %I/O | %composite |
+//! read bandwidth (GB/s), for 2240³/2048² and 4480³/4096² at
+//! 8K/16K/32K cores. Paper values for the bandwidth column:
+//! 0.87/1.02/1.26 and 1.13/1.30/1.63 GB/s; ~96% I/O everywhere.
+
+use pvr_bench::{check, CsvOut, LARGE_SWEEP};
+use pvr_core::{simulate_frame, FrameConfig};
+
+fn main() {
+    let mut csv = CsvOut::create(
+        "table2_large",
+        "grid,step_GB,image,procs,total_s,io_pct,composite_pct,read_GBs",
+    );
+
+    // (config builder, paper read bandwidths for 8K/16K/32K)
+    let cases: [(&str, fn(usize) -> FrameConfig, [f64; 3]); 2] = [
+        ("2240^3", FrameConfig::paper_2240 as fn(usize) -> FrameConfig, [0.87, 1.02, 1.26]),
+        ("4480^3", FrameConfig::paper_4480 as fn(usize) -> FrameConfig, [1.13, 1.30, 1.63]),
+    ];
+
+    let mut all_io_pct = Vec::new();
+    let mut bw_errs = Vec::new();
+    for (name, build, paper_bw) in cases {
+        for (i, &n) in LARGE_SWEEP.iter().enumerate() {
+            let cfg = build(n);
+            let r = simulate_frame(&cfg);
+            let bw = r.io.read_bandwidth / 1e9;
+            csv.row(&format!(
+                "{name},{:.0},{}x{},{n},{:.2},{:.1},{:.1},{:.2}",
+                cfg.variable_bytes() as f64 / 1e9,
+                cfg.image.0,
+                cfg.image.1,
+                r.timing.total(),
+                r.timing.io_percent(),
+                r.timing.composite_percent(),
+                bw,
+            ));
+            all_io_pct.push(r.timing.io_percent());
+            bw_errs.push((bw - paper_bw[i]).abs() / paper_bw[i]);
+        }
+    }
+
+    check(
+        "I/O consumes ~96% of large frames (paper: 95.6-97.4%)",
+        all_io_pct.iter().all(|p| *p > 88.0),
+        &format!(
+            "min {:.1}%, max {:.1}%",
+            all_io_pct.iter().cloned().fold(f64::INFINITY, f64::min),
+            all_io_pct.iter().cloned().fold(0.0, f64::max)
+        ),
+    );
+    check(
+        "read bandwidths match the six paper cells within 25%",
+        bw_errs.iter().all(|e| *e < 0.25),
+        &format!("max relative error {:.0}%", bw_errs.iter().cloned().fold(0.0, f64::max) * 100.0),
+    );
+}

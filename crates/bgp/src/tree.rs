@@ -1,0 +1,115 @@
+//! The BG/P collective (tree) network.
+//!
+//! Separate from the torus, the tree connects all nodes of a partition
+//! for broadcast/reduction traffic and bridges compute nodes to their
+//! pset's I/O node. We model it as a balanced binary tree with the
+//! published 6.8 Gb/s per-link bandwidth and 5 us worst-case latency;
+//! collective times follow the standard pipelined-tree cost model.
+
+use crate::consts;
+
+/// Cost model for the collective network of an `n`-node partition.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeNetwork {
+    nodes: usize,
+    /// Per-link bandwidth in bytes/s.
+    pub link_bw: f64,
+    /// End-to-end worst-case latency in seconds.
+    pub latency: f64,
+}
+
+impl TreeNetwork {
+    pub fn new(nodes: usize) -> Self {
+        TreeNetwork {
+            nodes: nodes.max(1),
+            link_bw: consts::TREE_LINK_BW,
+            latency: consts::TREE_MAX_LATENCY,
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn depth(&self) -> f64 {
+        (self.nodes.max(2) as f64).log2().ceil()
+    }
+
+    /// Time to broadcast `bytes` from one node to all others. The tree
+    /// pipelines, so large payloads cost one traversal plus per-level
+    /// latency.
+    pub fn broadcast(&self, bytes: u64) -> f64 {
+        if self.nodes <= 1 {
+            return 0.0;
+        }
+        self.depth() * (self.latency / self.depth().max(1.0))
+            + bytes as f64 / self.link_bw
+            + consts::MSG_OVERHEAD * 2.0
+    }
+
+    /// Time to reduce `bytes` from all nodes to one (the tree network
+    /// has combine hardware, so reduction streams at link rate).
+    pub fn reduce(&self, bytes: u64) -> f64 {
+        self.broadcast(bytes)
+    }
+
+    /// Allreduce = reduce + broadcast on the hardware tree.
+    pub fn allreduce(&self, bytes: u64) -> f64 {
+        self.reduce(bytes) + self.broadcast(bytes)
+    }
+
+    /// A zero-byte barrier (BG/P has a dedicated interrupt network; we
+    /// charge one tree traversal).
+    pub fn barrier(&self) -> f64 {
+        self.latency
+    }
+
+    /// Time to funnel `bytes` from the compute nodes of one pset up to
+    /// its I/O node (the file-system path). The tree link into the I/O
+    /// node is the bottleneck.
+    pub fn to_io_node(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.link_bw + self.latency
+    }
+
+    /// Bandwidth of the compute-side path into one I/O node.
+    pub fn io_node_bandwidth(&self) -> f64 {
+        self.link_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_scales_with_bytes_not_nodes() {
+        let small = TreeNetwork::new(64);
+        let large = TreeNetwork::new(8192);
+        let b = 1u64 << 20;
+        // Pipelined: node count contributes only latency.
+        assert!((large.broadcast(b) - small.broadcast(b)).abs() < 1e-4);
+        // Payload dominates for megabyte messages.
+        assert!(small.broadcast(b) > (b as f64 / consts::TREE_LINK_BW) * 0.99);
+    }
+
+    #[test]
+    fn allreduce_is_two_traversals() {
+        let t = TreeNetwork::new(1024);
+        let b = 1u64 << 16;
+        assert!((t.allreduce(b) - 2.0 * t.broadcast(b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_node_collectives_are_free() {
+        let t = TreeNetwork::new(1);
+        assert_eq!(t.broadcast(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn io_path_limited_by_tree_link() {
+        let t = TreeNetwork::new(64);
+        let bytes = 850_000_000u64;
+        let dt = t.to_io_node(bytes);
+        assert!((dt - 1.0).abs() < 1e-3, "dt {dt}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Binary-swap compositing (Ma, Painter, Hansen, Krogh) — the classic
+//! tree-structured alternative the paper's background section reviews.
+//!
+//! `n` processes (power of two), `log2 n` rounds. In round `r` each
+//! process pairs with `rank ^ 2^r`, splits its current image region in
+//! half, sends one half and blends the half it receives; after the last
+//! round each process owns a fully composited `1/n` of the image.
+//! Processes are relabeled in visibility order first, so every pairwise
+//! blend combines two *contiguous* depth groups and associativity of
+//! *over* yields the exact serial result.
+
+use pvr_render::image::{over, Image, SubImage};
+
+use crate::serial::visibility_order;
+use crate::WIRE_BYTES_PER_PIXEL;
+
+/// Statistics of one binary-swap execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinarySwapStats {
+    pub rounds: usize,
+    pub messages: usize,
+    pub bytes: u64,
+}
+
+/// A process's working state: a span `[s, e)` of row-major pixels and
+/// the blended colors over that span.
+struct ProcState {
+    span: (usize, usize),
+    buf: Vec<[f32; 4]>,
+}
+
+/// Rasterize one subimage's contribution over a pixel span.
+fn rasterize(sub: &SubImage, span: (usize, usize), width: usize) -> Vec<[f32; 4]> {
+    let mut buf = vec![[0.0f32; 4]; span.1 - span.0];
+    for y in sub.rect.y0..sub.rect.y1() {
+        let row_s = y * width + sub.rect.x0;
+        let row_e = row_s + sub.rect.w;
+        let lo = row_s.max(span.0);
+        let hi = row_e.min(span.1);
+        for idx in lo..hi {
+            buf[idx - span.0] = sub.get(idx - y * width, y);
+        }
+    }
+    buf
+}
+
+/// Composite by binary swap. `subs.len()` must be a power of two.
+pub fn composite_binary_swap(
+    subs: &[SubImage],
+    width: usize,
+    height: usize,
+) -> (Image, BinarySwapStats) {
+    let n = subs.len();
+    assert!(n.is_power_of_two(), "binary swap needs a power-of-two process count, got {n}");
+    let rounds = n.trailing_zeros() as usize;
+    let total = width * height;
+
+    // Relabel in visibility order: v-rank 0 is nearest the viewer.
+    let order = visibility_order(subs);
+
+    let mut procs: Vec<ProcState> = order
+        .iter()
+        .map(|&i| ProcState { span: (0, total), buf: rasterize(&subs[i], (0, total), width) })
+        .collect();
+
+    let mut stats = BinarySwapStats { rounds, messages: 0, bytes: 0 };
+
+    for r in 0..rounds {
+        let bit = 1usize << r;
+        // Snapshot the halves each process sends, then apply receives.
+        let mut outgoing: Vec<(usize, (usize, usize), Vec<[f32; 4]>)> = Vec::with_capacity(n);
+        for (rank, p) in procs.iter().enumerate() {
+            let partner = rank ^ bit;
+            let (s, e) = p.span;
+            let mid = (s + e) / 2;
+            // The lower-ranked member of the pair keeps the low half.
+            let keeps_low = rank & bit == 0;
+            let send_span = if keeps_low { (mid, e) } else { (s, mid) };
+            let buf = p.buf[send_span.0 - s..send_span.1 - s].to_vec();
+            outgoing.push((partner, send_span, buf));
+            stats.messages += 1;
+            stats.bytes += (send_span.1 - send_span.0) as u64 * WIRE_BYTES_PER_PIXEL;
+        }
+        // Shrink to kept half, then blend the received half.
+        for rank in 0..n {
+            let (s, e) = procs[rank].span;
+            let mid = (s + e) / 2;
+            let keeps_low = rank & bit == 0;
+            let kept = if keeps_low { (s, mid) } else { (mid, e) };
+            let buf = if keeps_low {
+                procs[rank].buf.truncate(mid - s);
+                std::mem::take(&mut procs[rank].buf)
+            } else {
+                procs[rank].buf.split_off(mid - s)
+            };
+            procs[rank].span = kept;
+            procs[rank].buf = buf;
+        }
+        for (to, span, data) in outgoing {
+            let p = &mut procs[to];
+            debug_assert_eq!(p.span, span);
+            // The sender whose v-rank is lower is in front.
+            let from = to ^ bit;
+            let front_is_received = from < to;
+            for (k, recv) in data.into_iter().enumerate() {
+                p.buf[k] = if front_is_received { over(recv, p.buf[k]) } else { over(p.buf[k], recv) };
+            }
+        }
+    }
+
+    // Gather: each process owns a disjoint 1/n of the image.
+    let mut img = Image::new(width, height);
+    for p in &procs {
+        for (k, &px) in p.buf.iter().enumerate() {
+            let idx = p.span.0 + k;
+            img.set(idx % width, idx / width, px);
+        }
+    }
+    (img, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite_serial;
+    use pvr_render::image::PixelRect;
+
+    fn random_subs(seed: u64, n: usize, w: usize, h: usize) -> Vec<SubImage> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m.max(1)
+        };
+        (0..n)
+            .map(|_| {
+                let x0 = next(w - 2);
+                let y0 = next(h - 2);
+                let rw = 1 + next(w - x0 - 1);
+                let rh = 1 + next(h - y0 - 1);
+                let mut s =
+                    SubImage::transparent(PixelRect::new(x0, y0, rw, rh), next(1000) as f64);
+                for p in s.pixels.iter_mut() {
+                    *p = [
+                        next(100) as f32 / 200.0,
+                        next(100) as f32 / 200.0,
+                        next(100) as f32 / 200.0,
+                        next(100) as f32 / 160.0,
+                    ];
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let subs = random_subs(n as u64, n, 24, 24);
+            let reference = composite_serial(&subs, 24, 24);
+            let (img, stats) = composite_binary_swap(&subs, 24, 24);
+            let d = img.max_abs_diff(&reference);
+            assert!(d < 1e-5, "n={n}: max diff {d}");
+            assert_eq!(stats.rounds, n.trailing_zeros() as usize);
+            assert_eq!(stats.messages, n * stats.rounds);
+        }
+    }
+
+    #[test]
+    fn bytes_halve_each_round() {
+        // Total bytes = n * sum_r (WH/2^{r+1}) * 4 = 4*WH*(n-1).
+        let n = 8;
+        let subs = random_subs(5, n, 16, 16);
+        let (_, stats) = composite_binary_swap(&subs, 16, 16);
+        let wh = 16 * 16 as u64;
+        assert_eq!(stats.bytes, 4 * wh * (n as u64 - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        let subs = random_subs(1, 3, 8, 8);
+        composite_binary_swap(&subs, 8, 8);
+    }
+
+    #[test]
+    fn single_process_is_identity() {
+        let subs = random_subs(2, 1, 8, 8);
+        let (img, stats) = composite_binary_swap(&subs, 8, 8);
+        assert_eq!(stats.messages, 0);
+        let reference = composite_serial(&subs, 8, 8);
+        assert_eq!(img.max_abs_diff(&reference), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Direct-send compositing with a decoupled compositor count.
+//!
+//! Each of `m` compositors owns one span of the final image and blends,
+//! front to back, the fragments of every renderer whose footprint
+//! overlaps its span (Hsu's direct-send, as in the paper). The paper's
+//! improvement — `m < n` when `n` grows past ~1K — is just a different
+//! [`ImagePartition`]; the algorithm is identical.
+//!
+//! Compositors run in parallel (rayon), mirroring the machine where each
+//! compositor is an independent core.
+
+use rayon::prelude::*;
+
+use pvr_render::image::{over, Image, PixelRect, SubImage};
+
+use crate::region::ImagePartition;
+use crate::serial::visibility_order;
+use crate::WIRE_BYTES_PER_PIXEL;
+
+/// Message-level statistics of one direct-send execution (what actually
+/// got exchanged, cross-checkable against the precomputed
+/// [`crate::Schedule`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectSendStats {
+    /// Total renderer-to-compositor messages.
+    pub messages: usize,
+    /// Total wire bytes (4 bytes/pixel of overlap).
+    pub bytes: u64,
+    /// Messages received per compositor.
+    pub per_compositor: Vec<usize>,
+}
+
+/// Composite `subs` into the final image using `m = partition.m`
+/// compositors.
+pub fn composite_direct_send(subs: &[SubImage], partition: ImagePartition) -> (Image, DirectSendStats) {
+    let order = visibility_order(subs);
+    let width = partition.width;
+    let height = partition.height;
+
+    // Each compositor independently: blend the overlapping fragment of
+    // every subimage, in visibility order, into its tile buffer.
+    let results: Vec<(SubImage, usize, u64)> = (0..partition.m())
+        .into_par_iter()
+        .map(|c| {
+            let tile = partition.tile(c);
+            let mut buf = SubImage::transparent(tile, 0.0);
+            let mut messages = 0usize;
+            let mut bytes = 0u64;
+            for &i in &order {
+                let sub = &subs[i];
+                let Some(ov) = sub.rect.intersect(&tile) else {
+                    continue;
+                };
+                for y in ov.y0..ov.y1() {
+                    for x in ov.x0..ov.x1() {
+                        let idx = (y - tile.y0) * tile.w + (x - tile.x0);
+                        buf.pixels[idx] = over(buf.pixels[idx], sub.get(x, y));
+                    }
+                }
+                messages += 1;
+                bytes += ov.num_pixels() as u64 * WIRE_BYTES_PER_PIXEL;
+            }
+            (buf, messages, bytes)
+        })
+        .collect();
+
+    // Gather compositor tiles into the final image.
+    let mut img = Image::new(width, height);
+    let mut stats = DirectSendStats { messages: 0, bytes: 0, per_compositor: Vec::new() };
+    for (buf, messages, bytes) in results {
+        img.paste(&buf);
+        stats.messages += messages;
+        stats.bytes += bytes;
+        stats.per_compositor.push(messages);
+    }
+    (img, stats)
+}
+
+/// Convenience: footprint rectangles of a set of subimages (inputs to
+/// [`crate::build_schedule`] when real subimages exist).
+pub fn footprints(subs: &[SubImage]) -> Vec<PixelRect> {
+    subs.iter().map(|s| s.rect).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite_serial;
+
+    fn solid(rect: PixelRect, rgba: [f32; 4], depth: f64) -> SubImage {
+        let mut s = SubImage::transparent(rect, depth);
+        s.pixels.fill(rgba);
+        s
+    }
+
+    fn random_subs(seed: u64, n: usize, w: usize, h: usize) -> Vec<SubImage> {
+        // Simple deterministic LCG so tests need no rand dependency here.
+        let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+        let mut next = move |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m.max(1)
+        };
+        (0..n)
+            .map(|i| {
+                let x0 = next(w - 2);
+                let y0 = next(h - 2);
+                let rw = 1 + next(w - x0 - 1);
+                let rh = 1 + next(h - y0 - 1);
+                let mut s = SubImage::transparent(PixelRect::new(x0, y0, rw, rh), next(1000) as f64);
+                for p in s.pixels.iter_mut() {
+                    *p = [
+                        next(100) as f32 / 100.0 * 0.5,
+                        next(100) as f32 / 100.0 * 0.5,
+                        next(100) as f32 / 100.0 * 0.5,
+                        next(100) as f32 / 100.0 * 0.6,
+                    ];
+                }
+                let _ = i;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_for_any_m() {
+        let subs = random_subs(7, 24, 32, 32);
+        let reference = composite_serial(&subs, 32, 32);
+        for m in [1usize, 2, 5, 16, 24, 100] {
+            let (img, stats) = composite_direct_send(&subs, ImagePartition::new(32, 32, m));
+            let d = img.max_abs_diff(&reference);
+            assert!(d < 1e-5, "m={m}: max diff {d}");
+            assert_eq!(stats.per_compositor.len(), m);
+            assert_eq!(stats.per_compositor.iter().sum::<usize>(), stats.messages);
+        }
+    }
+
+    #[test]
+    fn stats_match_schedule_prediction() {
+        let subs = random_subs(11, 16, 64, 64);
+        let part = ImagePartition::new(64, 64, 12);
+        let (_, stats) = composite_direct_send(&subs, part);
+        let sched = crate::build_schedule(&footprints(&subs), part);
+        assert_eq!(stats.messages, sched.num_messages());
+        assert_eq!(stats.bytes, sched.total_bytes());
+        assert_eq!(stats.per_compositor, sched.per_compositor_counts());
+    }
+
+    #[test]
+    fn opaque_front_hides_back_across_span_boundaries() {
+        let front = solid(PixelRect::new(0, 0, 8, 8), [0.0, 0.0, 1.0, 1.0], 0.0);
+        let back = solid(PixelRect::new(0, 0, 8, 8), [1.0, 0.0, 0.0, 1.0], 9.0);
+        let (img, _) = composite_direct_send(&[back, front], ImagePartition::new(8, 8, 7));
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(img.get(x, y), [0.0, 0.0, 1.0, 1.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_compositors_fewer_messages_same_image() {
+        let subs = random_subs(3, 64, 64, 64);
+        let (img_n, stats_n) = composite_direct_send(&subs, ImagePartition::new(64, 64, 64));
+        let (img_m, stats_m) = composite_direct_send(&subs, ImagePartition::new(64, 64, 8));
+        assert!(stats_m.messages < stats_n.messages);
+        assert!(img_n.max_abs_diff(&img_m) < 1e-5);
+    }
+
+    #[test]
+    fn no_subimages_gives_empty_image_and_no_messages() {
+        let (img, stats) = composite_direct_send(&[], ImagePartition::new(16, 16, 4));
+        assert_eq!(stats.messages, 0);
+        assert!(img.pixels().iter().all(|p| *p == [0.0; 4]));
+    }
+}

@@ -1,0 +1,95 @@
+//! Serial (gather-to-root) compositing: the correctness reference.
+//!
+//! Every subimage is shipped to one process, sorted front-to-back, and
+//! blended with *over*. O(n) messages of full footprint size — the
+//! baseline every parallel compositor must match pixel-for-pixel.
+
+use pvr_render::image::{over, Image, SubImage};
+
+/// Composite all subimages into a `width x height` image.
+///
+/// Subimages are blended in depth order (ties broken by input index, a
+/// convention every compositor in this crate shares so results are
+/// bit-comparable).
+pub fn composite_serial(subs: &[SubImage], width: usize, height: usize) -> Image {
+    let mut order: Vec<usize> = (0..subs.len()).collect();
+    order.sort_by(|&a, &b| subs[a].depth.total_cmp(&subs[b].depth).then(a.cmp(&b)));
+
+    let mut img = Image::new(width, height);
+    for &i in &order {
+        let s = &subs[i];
+        for y in s.rect.y0..s.rect.y1().min(height) {
+            for x in s.rect.x0..s.rect.x1().min(width) {
+                let acc = over(img.get(x, y), s.get(x, y));
+                img.set(x, y, acc);
+            }
+        }
+    }
+    img
+}
+
+/// Visibility order of subimages (front first): depth, then index.
+pub fn visibility_order(subs: &[SubImage]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..subs.len()).collect();
+    order.sort_by(|&a, &b| subs[a].depth.total_cmp(&subs[b].depth).then(a.cmp(&b)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvr_render::image::PixelRect;
+
+    fn solid(rect: PixelRect, rgba: [f32; 4], depth: f64) -> SubImage {
+        let mut s = SubImage::transparent(rect, depth);
+        s.pixels.fill(rgba);
+        s
+    }
+
+    #[test]
+    fn nearer_subimage_wins_when_opaque() {
+        let a = solid(PixelRect::new(0, 0, 2, 2), [1.0, 0.0, 0.0, 1.0], 1.0);
+        let b = solid(PixelRect::new(0, 0, 2, 2), [0.0, 1.0, 0.0, 1.0], 2.0);
+        let img = composite_serial(&[b.clone(), a.clone()], 2, 2);
+        assert_eq!(img.get(0, 0), [1.0, 0.0, 0.0, 1.0]);
+        // Input order must not matter.
+        let img2 = composite_serial(&[a, b], 2, 2);
+        assert_eq!(img, img2);
+    }
+
+    #[test]
+    fn semitransparent_blend() {
+        let front = solid(PixelRect::new(0, 0, 1, 1), [0.5, 0.0, 0.0, 0.5], 0.0);
+        let back = solid(PixelRect::new(0, 0, 1, 1), [0.0, 0.8, 0.0, 0.8], 1.0);
+        let img = composite_serial(&[front, back], 1, 1);
+        let p = img.get(0, 0);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!((p[1] - 0.4).abs() < 1e-6);
+        assert!((p[3] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_subimages_paste_independently() {
+        let a = solid(PixelRect::new(0, 0, 1, 1), [1.0, 0.0, 0.0, 1.0], 0.0);
+        let b = solid(PixelRect::new(3, 3, 1, 1), [0.0, 0.0, 1.0, 1.0], 5.0);
+        let img = composite_serial(&[a, b], 4, 4);
+        assert_eq!(img.get(0, 0), [1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(img.get(3, 3), [0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(img.get(1, 1), [0.0; 4]);
+    }
+
+    #[test]
+    fn equal_depth_ties_break_by_index() {
+        let a = solid(PixelRect::new(0, 0, 1, 1), [1.0, 0.0, 0.0, 1.0], 1.0);
+        let b = solid(PixelRect::new(0, 0, 1, 1), [0.0, 1.0, 0.0, 1.0], 1.0);
+        let img = composite_serial(&[a, b], 1, 1);
+        // Index 0 is treated as in front.
+        assert_eq!(img.get(0, 0), [1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_input_gives_transparent_image() {
+        let img = composite_serial(&[], 3, 3);
+        assert!(img.pixels().iter().all(|p| *p == [0.0; 4]));
+    }
+}

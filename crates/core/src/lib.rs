@@ -1,0 +1,29 @@
+//! # pvr-core — the end-to-end parallel volume rendering pipeline
+//!
+//! This crate is the paper's *application*: the three sequential stages
+//! — collective I/O, local ray-casting, direct-send compositing — glued
+//! together, instrumented, and runnable two ways:
+//!
+//! * [`pipeline`] — **real execution** at laptop scale: `n` logical
+//!   ranks (threads) read a real file through the two-phase collective
+//!   engine, render their blocks, and composite. There is also a pure
+//!   message-passing variant on `pvr-mpisim` that exchanges real pixel
+//!   fragments rank-to-rank. Wall-clock timings and images come out.
+//! * [`perfmodel`] — **simulated execution** at paper scale (64 … 32K
+//!   cores, 1120³ … 4480³ grids): the identical schedules (I/O access
+//!   plans, direct-send message lists) are generated and priced on the
+//!   BG/P machine model. This regenerates Figures 3–7 and Table II.
+//!
+//! [`config`] defines frame configurations (grid, image, process count,
+//! I/O mode, compositor policy); [`timing`] defines the per-stage
+//! timing reports both executors share.
+
+pub mod config;
+pub mod perfmodel;
+pub mod pipeline;
+pub mod timing;
+
+pub use config::{CompositorPolicy, FrameConfig, IoMode};
+pub use perfmodel::{simulate_frame, PerfModel, Placement, SimFrameResult};
+pub use pipeline::{run_frame, write_dataset, FrameResult};
+pub use timing::FrameTiming;

@@ -1,0 +1,710 @@
+//! Real end-to-end execution at laptop scale.
+//!
+//! Two executors share every algorithmic component:
+//!
+//! * [`run_frame`] — data-parallel (rayon): ranks are logical; the
+//!   two-phase collective read hits a real file, blocks render in
+//!   parallel, direct-send compositing reduces the subimages.
+//! * [`run_frame_mpi`] — message-passing (`pvr-mpisim`): ranks are
+//!   threads exchanging real byte messages for both the I/O scatter
+//!   phase and the compositing fragments. Produces a bit-identical
+//!   image to [`run_frame`] (asserted by integration tests), because
+//!   both blend the same fragments in the same visibility order.
+
+use std::fs::File;
+use std::path::Path;
+
+use rayon::prelude::*;
+
+use pvr_compositing::{composite_direct_send, directsend::DirectSendStats, ImagePartition};
+use pvr_formats::layout::FileLayout;
+use pvr_formats::rw::write_file;
+use pvr_formats::{Subvolume, ELEM_SIZE};
+use pvr_pfs::sieve::per_extent_plan;
+use pvr_pfs::twophase::{two_phase_execute, RankRequest};
+use pvr_render::image::{over, Image, SubImage};
+use pvr_render::math::Vec3;
+use pvr_render::raycast::{render_block, BlockDomain, RenderOpts, Shading};
+use pvr_render::{Camera, TransferFunction};
+use pvr_volume::{BlockDecomposition, SupernovaField, Volume};
+
+use crate::config::{FrameConfig, IoMode};
+use crate::timing::{FrameTiming, Stopwatch};
+
+/// The default viewing direction for all experiments: a mildly oblique
+/// orthographic view so block footprints genuinely straddle compositor
+/// tiles (an exactly axis-aligned view would make footprints align with
+/// tile boundaries and understate message counts).
+pub fn default_view() -> Vec3 {
+    Vec3::new(0.25, -0.2, -0.95)
+}
+
+/// I/O statistics of one real frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoRunStats {
+    pub useful_bytes: u64,
+    pub physical_bytes: u64,
+    pub accesses: usize,
+    pub exchange_bytes: u64,
+    /// useful / physical — the paper's data density.
+    pub data_density: f64,
+}
+
+/// Everything a real frame produces.
+#[derive(Debug)]
+pub struct FrameResult {
+    pub image: Image,
+    pub timing: FrameTiming,
+    pub io: IoRunStats,
+    /// Total scalar samples taken during rendering.
+    pub render_samples: u64,
+    pub composite: DirectSendStats,
+}
+
+/// Materialize the synthetic supernova dataset at `cfg.grid` resolution
+/// in the on-disk format of `cfg.io`. Returns bytes written.
+pub fn write_dataset(path: &Path, cfg: &FrameConfig) -> std::io::Result<u64> {
+    let layout = cfg.io.layout(cfg.grid);
+    let field = SupernovaField::new(cfg.seed);
+    let [nx, ny, nz] = cfg.grid;
+    // Raw mode stores the render variable extracted offline; the
+    // multivariate formats store all five VH-1 variables.
+    let render_var = cfg.variable;
+    write_file(path, layout.as_ref(), |var, x, y, z| {
+        let v = if cfg.io == IoMode::Raw { render_var } else { var };
+        field.sample_var(
+            v,
+            (x as f32 + 0.5) / nx as f32,
+            (y as f32 + 0.5) / ny as f32,
+            (z as f32 + 0.5) / nz as f32,
+        )
+    })
+}
+
+/// Per-rank read geometry for one frame.
+struct RankGeometry {
+    /// Stored (ghost-extended) region per rank.
+    stored: Vec<Subvolume>,
+    /// Owned region per rank.
+    owned: Vec<Subvolume>,
+}
+
+fn geometry(cfg: &FrameConfig) -> RankGeometry {
+    let decomp = BlockDecomposition::new(cfg.grid, cfg.nprocs);
+    let blocks = decomp.blocks();
+    // Gradient shading probes one cell around each sample, so it needs
+    // a second ghost layer for exact serial equivalence.
+    let ghost = if cfg.shading { 2 } else { 1 };
+    let stored = blocks.iter().map(|b| decomp.with_ghost(b, ghost)).collect();
+    let owned = blocks.iter().map(|b| b.sub).collect();
+    RankGeometry { stored, owned }
+}
+
+fn rank_requests(layout: &dyn FileLayout, var: usize, stored: &[Subvolume]) -> Vec<RankRequest> {
+    stored
+        .iter()
+        .map(|sub| {
+            let mut runs = Vec::new();
+            layout.placed_runs(var, sub, &mut |r| runs.push(r));
+            RankRequest { runs, out_elems: sub.num_elements() }
+        })
+        .collect()
+}
+
+/// Decode a rank's raw bytes (on-disk order per placed runs) into a
+/// volume over its stored region.
+fn decode_volume(bytes: &[u8], sub: &Subvolume, endian: pvr_formats::Endian) -> Volume {
+    let mut data = vec![0.0f32; sub.num_elements()];
+    for (i, c) in bytes.chunks_exact(4).enumerate() {
+        data[i] = endian.decode([c[0], c[1], c[2], c[3]]);
+    }
+    Volume::from_data(sub.shape, data)
+}
+
+/// Aggregator count used by the laptop-scale runs: a quarter of the
+/// ranks, clamped to [1, 64] — mirroring BG/P's few-aggregators-per-pset
+/// defaults at miniature scale.
+pub fn laptop_aggregators(nranks: usize) -> usize {
+    (nranks / 4).clamp(1, 64)
+}
+
+/// Run one frame for real (rayon executor). When `path` is `None`, the
+/// I/O stage synthesizes block data procedurally instead of reading a
+/// file (useful for render/composite-only experiments; I/O stats are
+/// then zero).
+pub fn run_frame(cfg: &FrameConfig, path: Option<&Path>) -> FrameResult {
+    let geo = geometry(cfg);
+    let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
+    let tf = transfer_for(cfg);
+    let opts = render_opts(cfg);
+
+    // --- Stage 1: I/O ---
+    let mut sw = Stopwatch::start();
+    let (volumes, io) = match path {
+        Some(p) => read_stage(cfg, &geo, p),
+        None => (synthesize_stage(cfg, &geo), IoRunStats {
+            useful_bytes: 0,
+            physical_bytes: 0,
+            accesses: 0,
+            exchange_bytes: 0,
+            data_density: 1.0,
+        }),
+    };
+    let t_io = sw.lap();
+
+    // --- Stage 2: rendering (embarrassingly parallel) ---
+    let rendered: Vec<(SubImage, u64)> = volumes
+        .par_iter()
+        .enumerate()
+        .map(|(rank, vol)| {
+            let dom = BlockDomain {
+                grid: cfg.grid,
+                owned: geo.owned[rank],
+                stored: geo.stored[rank],
+            };
+            let (sub, stats) = render_block(vol, &dom, &camera, &tf, &opts);
+            (sub, stats.samples)
+        })
+        .collect();
+    let t_render = sw.lap();
+    let render_samples: u64 = rendered.iter().map(|(_, s)| *s).sum();
+    let subs: Vec<SubImage> = rendered.into_iter().map(|(s, _)| s).collect();
+
+    // --- Stage 3: compositing ---
+    let m = cfg.policy.compositors(cfg.nprocs);
+    let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
+    let (image, composite) = composite_direct_send(&subs, partition);
+    let t_composite = sw.lap();
+
+    FrameResult {
+        image,
+        timing: FrameTiming { io: t_io, render: t_render, composite: t_composite },
+        io,
+        render_samples,
+        composite,
+    }
+}
+
+/// Render options for a config.
+pub fn render_opts(cfg: &FrameConfig) -> RenderOpts {
+    RenderOpts {
+        step: cfg.step,
+        shading: cfg.shading.then(Shading::default),
+        ..Default::default()
+    }
+}
+
+/// The transfer function for a config's variable.
+pub fn transfer_for(cfg: &FrameConfig) -> TransferFunction {
+    match cfg.variable {
+        0 | 1 => TransferFunction::hot_density(),
+        _ => TransferFunction::supernova_velocity(),
+    }
+}
+
+fn synthesize_stage(cfg: &FrameConfig, geo: &RankGeometry) -> Vec<Volume> {
+    let field = SupernovaField::new(cfg.seed).variable(cfg.variable);
+    geo.stored
+        .par_iter()
+        .map(|sub| Volume::from_field_window(&field, cfg.grid, sub.offset, sub.shape))
+        .collect()
+}
+
+fn read_stage(cfg: &FrameConfig, geo: &RankGeometry, path: &Path) -> (Vec<Volume>, IoRunStats) {
+    let layout = cfg.io.layout(cfg.grid);
+    let var = cfg.file_variable();
+    let requests = rank_requests(layout.as_ref(), var, &geo.stored);
+
+    if layout.collective() {
+        let hints = cfg.io.hints(cfg.grid);
+        let naggr = laptop_aggregators(cfg.nprocs);
+        let mut f = File::open(path).expect("dataset file");
+        let res = two_phase_execute(&mut f, &requests, naggr, &hints).expect("collective read");
+        let stats = IoRunStats {
+            useful_bytes: res.plan.useful_bytes,
+            physical_bytes: res.plan.physical_bytes,
+            accesses: res.plan.accesses.len(),
+            exchange_bytes: res.exchange_bytes,
+            data_density: res.plan.data_density(),
+        };
+        let volumes: Vec<Volume> = res
+            .rank_bytes
+            .par_iter()
+            .zip(&geo.stored)
+            .map(|(bytes, sub)| decode_volume(bytes, sub, layout.endian()))
+            .collect();
+        (volumes, stats)
+    } else {
+        // HDF5-style independent chunk reads: every rank fetches the
+        // whole chunks its block overlaps (no coordination).
+        let per_process: Vec<Vec<pvr_formats::Extent>> = geo
+            .stored
+            .iter()
+            .map(|sub| layout.physical_extents(var, sub))
+            .collect();
+        let plan = per_extent_plan(&per_process);
+        let useful: u64 = requests.iter().map(|r| r.useful_bytes()).sum();
+        let volumes: Vec<Volume> = geo
+            .stored
+            .par_iter()
+            .map(|sub| {
+                let mut f = File::open(path).expect("dataset file");
+                let data = pvr_formats::read_subvolume(&mut f, layout.as_ref(), var, sub)
+                    .expect("independent read");
+                Volume::from_data(sub.shape, data)
+            })
+            .collect();
+        let stats = IoRunStats {
+            useful_bytes: useful,
+            physical_bytes: plan.physical_bytes,
+            accesses: plan.accesses.len(),
+            exchange_bytes: 0,
+            data_density: useful as f64 / plan.physical_bytes.max(1) as f64,
+        };
+        (volumes, stats)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message-passing executor
+// ---------------------------------------------------------------------
+
+/// Tags for the message-passing frame.
+mod tags {
+    pub const IO_SCATTER: u32 = 1;
+    pub const FRAGMENT: u32 = 2;
+    pub const TILE: u32 = 3;
+}
+
+/// Serialize a subimage fragment: renderer id, rect, depth, pixels.
+fn encode_fragment(renderer: usize, s: &SubImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40 + s.pixels.len() * 16);
+    out.extend((renderer as u64).to_le_bytes());
+    out.extend((s.rect.x0 as u64).to_le_bytes());
+    out.extend((s.rect.y0 as u64).to_le_bytes());
+    out.extend((s.rect.w as u64).to_le_bytes());
+    out.extend((s.rect.h as u64).to_le_bytes());
+    out.extend(s.depth.to_le_bytes());
+    for p in &s.pixels {
+        for c in p {
+            out.extend(c.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_fragment(data: &[u8]) -> (usize, SubImage) {
+    let u = |i: usize| u64::from_le_bytes(data[i * 8..i * 8 + 8].try_into().unwrap()) as usize;
+    let renderer = u(0);
+    let rect = pvr_render::image::PixelRect::new(u(1), u(2), u(3), u(4));
+    let depth = f64::from_le_bytes(data[40..48].try_into().unwrap());
+    let mut pixels = Vec::with_capacity(rect.num_pixels());
+    let body = &data[48..];
+    for q in body.chunks_exact(16) {
+        pixels.push([
+            f32::from_le_bytes(q[0..4].try_into().unwrap()),
+            f32::from_le_bytes(q[4..8].try_into().unwrap()),
+            f32::from_le_bytes(q[8..12].try_into().unwrap()),
+            f32::from_le_bytes(q[12..16].try_into().unwrap()),
+        ]);
+    }
+    (renderer, SubImage { rect, pixels, depth })
+}
+
+/// Run one frame over real message passing (one thread per rank).
+/// Requires a dataset file. Returns rank 0's result; the image is
+/// identical to [`run_frame`]'s.
+pub fn run_frame_mpi(cfg: &FrameConfig, path: &Path) -> FrameResult {
+    let cfg = *cfg;
+    let path = path.to_path_buf();
+    let n = cfg.nprocs;
+    let m = cfg.policy.compositors(n);
+    // Compositor c is hosted by rank c*n/m (spread over the machine).
+    let compositor_rank = move |c: usize| c * n / m;
+
+    let mut results = pvr_mpisim::World::run(n, move |mut comm| {
+        let rank = comm.rank();
+        let geo = geometry(&cfg);
+        let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
+        let tf = transfer_for(&cfg);
+        let opts = render_opts(&cfg);
+        let layout = cfg.io.layout(cfg.grid);
+        let var = cfg.file_variable();
+        let mut sw = Stopwatch::start();
+
+        // --- Stage 1: I/O. Aggregators read, scatter to owners. ---
+        let requests = rank_requests(layout.as_ref(), var, &geo.stored);
+        let naggr = laptop_aggregators(n);
+        let my_bytes = mpi_collective_read(
+            &mut comm,
+            &cfg,
+            layout.as_ref(),
+            &requests,
+            naggr,
+            &path,
+        );
+        let volume = decode_volume(&my_bytes, &geo.stored[rank], layout.endian());
+        comm.barrier();
+        let t_io = sw.lap();
+
+        // --- Stage 2: render. ---
+        let dom = BlockDomain { grid: cfg.grid, owned: geo.owned[rank], stored: geo.stored[rank] };
+        let (sub, rstats) = render_block(&volume, &dom, &camera, &tf, &opts);
+        comm.barrier();
+        let t_render = sw.lap();
+
+        // --- Stage 3: direct-send compositing over messages. ---
+        let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
+        // Everyone derives the same schedule from the same footprints.
+        let footprints: Vec<pvr_render::image::PixelRect> = (0..n)
+            .map(|r| {
+                pvr_render::raycast::footprint(
+                    &camera,
+                    geo.owned[r].offset,
+                    geo.owned[r].end(),
+                    cfg.image,
+                )
+            })
+            .collect();
+        let schedule = pvr_compositing::build_schedule(&footprints, partition);
+
+        // Send my fragments.
+        let mut sent = 0u64;
+        for msg in schedule.messages.iter().filter(|m| m.renderer == rank) {
+            let tile = partition.tile(msg.compositor);
+            if let Some(frag) = sub.crop(&tile) {
+                let dst = compositor_rank(msg.compositor);
+                sent += frag.wire_bytes();
+                comm.send(dst, tags::FRAGMENT, encode_fragment(rank, &frag));
+            }
+        }
+
+        // Composite the tile I own, if any. With m <= n the map
+        // c -> c*n/m is injective, so a rank owns at most one tile.
+        let my_tile = (0..m).find(|&c| compositor_rank(c) == rank);
+        let mut tiles_out: Vec<(usize, SubImage)> = Vec::new();
+        if let Some(c) = my_tile {
+            let expected = schedule.messages.iter().filter(|mm| mm.compositor == c).count();
+            let tile = partition.tile(c);
+            let mut frags: Vec<(usize, SubImage)> = Vec::with_capacity(expected);
+            while frags.len() < expected {
+                let (_, data) = comm.recv_any(tags::FRAGMENT);
+                let (renderer, frag) = decode_fragment(&data);
+                debug_assert_eq!(frag.rect.intersect(&tile), Some(frag.rect));
+                frags.push((renderer, frag));
+            }
+            frags.sort_by(|a, b| a.1.depth.total_cmp(&b.1.depth).then(a.0.cmp(&b.0)));
+            let mut buf = SubImage::transparent(tile, 0.0);
+            for (_, frag) in &frags {
+                for y in frag.rect.y0..frag.rect.y1() {
+                    for x in frag.rect.x0..frag.rect.x1() {
+                        let idx = (y - tile.y0) * tile.w + (x - tile.x0);
+                        buf.pixels[idx] = over(buf.pixels[idx], frag.get(x, y));
+                    }
+                }
+            }
+            tiles_out.push((c, buf));
+        }
+
+        // Ship finished tiles to rank 0.
+        for (c, buf) in &tiles_out {
+            comm.send(0, tags::TILE, encode_fragment(*c, buf));
+        }
+        let image = if rank == 0 {
+            let mut img = Image::new(cfg.image.0, cfg.image.1);
+            for _ in 0..m {
+                let (_, data) = comm.recv_any(tags::TILE);
+                let (_, tile_img) = decode_fragment(&data);
+                img.paste(&tile_img);
+            }
+            Some(img)
+        } else {
+            None
+        };
+        comm.barrier();
+        let t_composite = sw.lap();
+
+        (
+            image,
+            FrameTiming { io: t_io, render: t_render, composite: t_composite },
+            rstats.samples,
+            sent,
+        )
+    });
+
+    let render_samples: u64 = results.iter().map(|(_, _, s, _)| *s).sum();
+    let sent_bytes: u64 = results.iter().map(|(_, _, _, b)| *b).sum();
+    let (image, timing, _, _) = results.remove(0);
+    FrameResult {
+        image: image.expect("rank 0 holds the image"),
+        timing,
+        io: IoRunStats {
+            useful_bytes: 0,
+            physical_bytes: 0,
+            accesses: 0,
+            exchange_bytes: 0,
+            data_density: 1.0,
+        },
+        render_samples,
+        composite: DirectSendStats {
+            messages: 0,
+            bytes: sent_bytes,
+            per_compositor: Vec::new(),
+        },
+    }
+}
+
+/// A two-phase collective read over real messages: aggregators read
+/// window accesses from the file and scatter each rank's pieces; every
+/// rank returns its own request's bytes.
+fn mpi_collective_read(
+    comm: &mut pvr_mpisim::Comm,
+    _cfg: &FrameConfig,
+    layout: &dyn FileLayout,
+    requests: &[RankRequest],
+    naggr: usize,
+    path: &Path,
+) -> Vec<u8> {
+    use pvr_formats::extent::{coalesce, Extent};
+    let rank = comm.rank();
+    let n = comm.size();
+    let naggr = naggr.clamp(1, n);
+    let aggr_rank = |j: usize| j * n / naggr;
+
+    if layout.collective() {
+        // All ranks derive the identical plan.
+        let mut aggregate: Vec<Extent> = requests
+            .iter()
+            .flat_map(|rq| {
+                rq.runs
+                    .iter()
+                    .map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
+            })
+            .collect();
+        coalesce(&mut aggregate);
+        let hints = _cfg.io.hints(_cfg.grid);
+        let plan = pvr_pfs::two_phase_plan(&aggregate, naggr, &hints);
+
+        // Sorted runs across all ranks for the scatter.
+        let mut sorted_runs: Vec<(u64, usize, usize, usize)> = Vec::new();
+        for (r, rq) in requests.iter().enumerate() {
+            for run in &rq.runs {
+                sorted_runs.push((
+                    run.file_offset,
+                    run.elems * ELEM_SIZE as usize,
+                    r,
+                    run.out_start * ELEM_SIZE as usize,
+                ));
+            }
+        }
+        sorted_runs.sort_unstable_by_key(|t| t.0);
+
+        // Aggregator duty: read my windows, send pieces.
+        let mut piece_counts = vec![0usize; n];
+        for a in &plan.accesses {
+            for t in &sorted_runs {
+                let (off, len, r, _) = *t;
+                if off + (len as u64) <= a.extent.offset {
+                    continue;
+                }
+                if off >= a.extent.end() {
+                    break;
+                }
+                piece_counts[r] += 1;
+            }
+        }
+        let mut file = File::open(path).expect("dataset file");
+        use std::io::{Read, Seek, SeekFrom};
+        let mut buf = Vec::new();
+        for a in plan.accesses.iter().filter(|a| aggr_rank(a.aggregator) == rank) {
+            buf.resize(a.extent.len as usize, 0);
+            file.seek(SeekFrom::Start(a.extent.offset)).unwrap();
+            file.read_exact(&mut buf).unwrap();
+            let start = sorted_runs.partition_point(|t| t.0 + t.1 as u64 <= a.extent.offset);
+            for t in &sorted_runs[start..] {
+                let (off, len, r, out_byte) = *t;
+                if off >= a.extent.end() {
+                    break;
+                }
+                let lo = off.max(a.extent.offset);
+                let hi = (off + len as u64).min(a.extent.end());
+                if lo >= hi {
+                    continue;
+                }
+                // Piece header: destination byte offset within the
+                // rank's buffer.
+                let nb = (hi - lo) as usize;
+                let mut msg = Vec::with_capacity(16 + nb);
+                msg.extend(((out_byte + (lo - off) as usize) as u64).to_le_bytes());
+                msg.extend((nb as u64).to_le_bytes());
+                msg.extend(&buf[(lo - a.extent.offset) as usize..(hi - a.extent.offset) as usize]);
+                comm.send(r, tags::IO_SCATTER, msg);
+            }
+        }
+
+        // Receive my pieces.
+        let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
+        let expected = piece_counts[rank];
+        for _ in 0..expected {
+            let (_, msg) = comm.recv_any(tags::IO_SCATTER);
+            let dst = u64::from_le_bytes(msg[0..8].try_into().unwrap()) as usize;
+            let nb = u64::from_le_bytes(msg[8..16].try_into().unwrap()) as usize;
+            out[dst..dst + nb].copy_from_slice(&msg[16..16 + nb]);
+        }
+        out
+    } else {
+        // Independent path (HDF5-like): read my own runs directly.
+        let mut file = File::open(path).expect("dataset file");
+        use std::io::{Read, Seek, SeekFrom};
+        let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
+        for run in &requests[rank].runs {
+            let nb = run.elems * ELEM_SIZE as usize;
+            file.seek(SeekFrom::Start(run.file_offset)).unwrap();
+            file.read_exact(&mut out[run.out_start * 4..run.out_start * 4 + nb]).unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompositorPolicy;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pvr-core-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    #[test]
+    fn frame_from_file_matches_synthetic_frame() {
+        // Reading the written dataset must give the same image as
+        // sampling the field directly (same bytes -> same volumes).
+        let mut cfg = FrameConfig::small(24, 32, 8);
+        cfg.variable = 2;
+        let p = tmp("match.raw");
+        write_dataset(&p, &cfg).unwrap();
+        let from_file = run_frame(&cfg, Some(&p));
+        let synthetic = run_frame(&cfg, None);
+        let d = from_file.image.max_abs_diff(&synthetic.image);
+        assert!(d < 1e-6, "diff {d}");
+        assert!(from_file.io.useful_bytes > 0);
+        assert!((from_file.io.data_density - 1.0).abs() < 1e-9, "raw density");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn all_io_modes_produce_the_same_image() {
+        let mut base = FrameConfig::small(20, 24, 4);
+        base.variable = 2;
+        let mut reference: Option<Image> = None;
+        for mode in IoMode::ALL {
+            let mut cfg = base;
+            cfg.io = mode;
+            let p = tmp(&format!("mode.{}", mode.name()));
+            write_dataset(&p, &cfg).unwrap();
+            let res = run_frame(&cfg, Some(&p));
+            match &reference {
+                None => reference = Some(res.image),
+                Some(r) => {
+                    // netCDF stores big-endian f32: exact round trip.
+                    let d = res.image.max_abs_diff(r);
+                    assert!(d < 1e-6, "{}: diff {d}", mode.name());
+                }
+            }
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn io_mode_densities_are_ordered_like_figure_10() {
+        let mut cfg = FrameConfig::small(32, 16, 8);
+        cfg.variable = 2;
+        let mut density = std::collections::HashMap::new();
+        for mode in IoMode::ALL {
+            let mut c = cfg;
+            c.io = mode;
+            let p = tmp(&format!("dens.{}", mode.name()));
+            write_dataset(&p, &c).unwrap();
+            let res = run_frame(&c, Some(&p));
+            density.insert(mode, res.io.data_density);
+            std::fs::remove_file(&p).ok();
+        }
+        // raw ~ 1; untuned netCDF worst; tuned strictly better than
+        // untuned; netcdf-64 near raw.
+        assert!(density[&IoMode::Raw] > 0.99);
+        assert!(density[&IoMode::NetCdf64] > 0.9);
+        assert!(density[&IoMode::NetCdfUntuned] < 0.35);
+        assert!(density[&IoMode::NetCdfTuned] > density[&IoMode::NetCdfUntuned]);
+        assert!(density[&IoMode::Hdf5] < 1.0 && density[&IoMode::Hdf5] > 0.3);
+    }
+
+    #[test]
+    fn compositor_policy_does_not_change_the_image() {
+        let mut cfg = FrameConfig::small(24, 40, 16);
+        cfg.variable = 2;
+        let a = run_frame(&cfg, None);
+        cfg.policy = CompositorPolicy::Fixed(3);
+        let b = run_frame(&cfg, None);
+        let d = a.image.max_abs_diff(&b.image);
+        assert!(d < 1e-5, "diff {d}");
+        assert!(b.composite.messages <= a.composite.messages);
+    }
+
+    #[test]
+    fn mpi_frame_matches_rayon_frame() {
+        let mut cfg = FrameConfig::small(20, 24, 8);
+        cfg.variable = 2;
+        cfg.policy = CompositorPolicy::Fixed(4);
+        let p = tmp("mpi.raw");
+        write_dataset(&p, &cfg).unwrap();
+        let rayon_res = run_frame(&cfg, Some(&p));
+        let mpi_res = run_frame_mpi(&cfg, &p);
+        let d = mpi_res.image.max_abs_diff(&rayon_res.image);
+        assert!(d < 1e-6, "diff {d}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn mpi_frame_matches_for_netcdf_collective_path() {
+        let mut cfg = FrameConfig::small(16, 20, 6);
+        cfg.variable = 3;
+        cfg.io = IoMode::NetCdfTuned;
+        let p = tmp("mpi.nc");
+        write_dataset(&p, &cfg).unwrap();
+        let rayon_res = run_frame(&cfg, Some(&p));
+        let mpi_res = run_frame_mpi(&cfg, &p);
+        let d = mpi_res.image.max_abs_diff(&rayon_res.image);
+        assert!(d < 1e-6, "diff {d}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn timing_stages_are_populated() {
+        let cfg = FrameConfig::small(16, 16, 4);
+        let res = run_frame(&cfg, None);
+        assert!(res.timing.io >= 0.0);
+        assert!(res.timing.render > 0.0);
+        assert!(res.timing.composite > 0.0);
+        assert!(res.render_samples > 0);
+    }
+
+    #[test]
+    fn shaded_frame_matches_across_policies() {
+        let mut cfg = FrameConfig::small(20, 24, 8);
+        cfg.variable = 2;
+        cfg.shading = true;
+        let a = run_frame(&cfg, None);
+        let mut c2 = cfg;
+        c2.policy = CompositorPolicy::Fixed(3);
+        let b = run_frame(&c2, None);
+        let d = a.image.max_abs_diff(&b.image);
+        assert!(d < 1e-5, "shaded frames differ across policies: {d}");
+        // Shading changes the image versus the unshaded frame.
+        let mut c3 = cfg;
+        c3.shading = false;
+        let c = run_frame(&c3, None);
+        assert!(a.image.mean_abs_diff(&c.image) > 1e-4);
+    }
+}

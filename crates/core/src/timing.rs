@@ -1,0 +1,112 @@
+//! Per-stage frame timing, shared by the real and simulated executors.
+//!
+//! "We define the time that a frame takes to complete as the time from
+//! the start of reading the time step from disk to the time that the
+//! final image is completed", split into I/O, rendering, and
+//! compositing.
+
+/// Wall-clock (or simulated) seconds per stage of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameTiming {
+    pub io: f64,
+    pub render: f64,
+    pub composite: f64,
+}
+
+impl FrameTiming {
+    pub fn total(&self) -> f64 {
+        self.io + self.render + self.composite
+    }
+
+    /// Visualization-only time — what papers that exclude I/O report
+    /// ("our visualization-only time (rendering + compositing) is
+    /// 0.6 s").
+    pub fn vis_only(&self) -> f64 {
+        self.render + self.composite
+    }
+
+    pub fn io_percent(&self) -> f64 {
+        100.0 * self.io / self.total().max(1e-12)
+    }
+
+    pub fn render_percent(&self) -> f64 {
+        100.0 * self.render / self.total().max(1e-12)
+    }
+
+    pub fn composite_percent(&self) -> f64 {
+        100.0 * self.composite / self.total().max(1e-12)
+    }
+
+    /// A Table-II style row: total, %I/O, %composite.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:9.2}  {:5.1}  {:5.1}",
+            self.total(),
+            self.io_percent(),
+            self.composite_percent()
+        )
+    }
+}
+
+impl std::fmt::Display for FrameTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total {:.3}s = I/O {:.3}s ({:.1}%) + render {:.3}s ({:.1}%) + composite {:.3}s ({:.1}%)",
+            self.total(),
+            self.io,
+            self.io_percent(),
+            self.render,
+            self.render_percent(),
+            self.composite,
+            self.composite_percent()
+        )
+    }
+}
+
+/// A simple wall-clock stopwatch for the real pipeline.
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Seconds since start; resets the watch.
+    pub fn lap(&mut self) -> f64 {
+        let t = self.0.elapsed().as_secs_f64();
+        self.0 = std::time::Instant::now();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let t = FrameTiming { io: 49.3, render: 0.9, composite: 1.1 };
+        let sum = t.io_percent() + t.render_percent() + t.composite_percent();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!((t.total() - 51.3).abs() < 1e-12);
+        assert!((t.vis_only() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let t = FrameTiming { io: 49.35, render: 1.0, composite: 1.0 };
+        let row = t.table_row();
+        assert!(row.contains("51.35"));
+    }
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let t = sw.lap();
+        assert!(t >= 0.009, "lap {t}");
+        let t2 = sw.lap();
+        assert!(t2 < t);
+    }
+}

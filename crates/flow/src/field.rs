@@ -1,0 +1,129 @@
+//! Vector fields over the grid's cell space.
+
+use pvr_volume::Volume;
+
+/// A 3-component vector field over cell coordinates `[0, N]³`.
+pub trait VecField {
+    /// Sample the velocity at a cell-space position.
+    fn sample(&self, p: [f32; 3]) -> [f32; 3];
+}
+
+impl<F: Fn([f32; 3]) -> [f32; 3]> VecField for F {
+    fn sample(&self, p: [f32; 3]) -> [f32; 3] {
+        self(p)
+    }
+}
+
+/// A vector field sampled from three scalar volumes (e.g. the
+/// supernova's velocity-x/y/z variables), each covering the same stored
+/// region of the global grid.
+///
+/// Positions are *global* cell coordinates; `offset` locates the stored
+/// region, exactly like `BlockDomain::stored` in the renderer — so a
+/// block's field and the serial whole-grid field interpolate the same
+/// lattice values.
+pub struct SampledVecField {
+    components: [Volume; 3],
+    offset: [usize; 3],
+}
+
+impl SampledVecField {
+    /// Wrap three component volumes stored at `offset` of the global
+    /// grid. Panics if their dims disagree.
+    pub fn new(vx: Volume, vy: Volume, vz: Volume, offset: [usize; 3]) -> Self {
+        assert_eq!(vx.dims(), vy.dims());
+        assert_eq!(vy.dims(), vz.dims());
+        SampledVecField { components: [vx, vy, vz], offset }
+    }
+
+    /// Whole-grid convenience (offset zero).
+    pub fn whole(vx: Volume, vy: Volume, vz: Volume) -> Self {
+        Self::new(vx, vy, vz, [0, 0, 0])
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.components[0].dims()
+    }
+}
+
+impl VecField for SampledVecField {
+    fn sample(&self, p: [f32; 3]) -> [f32; 3] {
+        // Cell-space position -> voxel-center lattice of the stored
+        // region (identical transform to the renderer's sampling).
+        let local = [
+            p[0] - self.offset[0] as f32 - 0.5,
+            p[1] - self.offset[1] as f32 - 0.5,
+            p[2] - self.offset[2] as f32 - 0.5,
+        ];
+        [
+            self.components[0].sample_trilinear(local),
+            self.components[1].sample_trilinear(local),
+            self.components[2].sample_trilinear(local),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_fields_work() {
+        let f = |p: [f32; 3]| [p[0], 2.0 * p[1], -p[2]];
+        assert_eq!(f.sample([1.0, 2.0, 3.0]), [1.0, 4.0, -3.0]);
+    }
+
+    #[test]
+    fn sampled_field_interpolates_components_independently() {
+        let n = 4;
+        let mut vx = Volume::zeros([n, n, n]);
+        let vy = Volume::zeros([n, n, n]);
+        let mut vz = Volume::zeros([n, n, n]);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    vx.set(x, y, z, x as f32);
+                    vz.set(x, y, z, 7.0);
+                }
+            }
+        }
+        let f = SampledVecField::whole(vx, vy, vz);
+        let v = f.sample([2.0, 2.0, 2.0]); // voxel-center lattice 1.5
+        assert!((v[0] - 1.5).abs() < 1e-6);
+        assert_eq!(v[1], 0.0);
+        assert_eq!(v[2], 7.0);
+    }
+
+    #[test]
+    fn offset_field_matches_whole_field_inside() {
+        // A window of a larger field samples identically where defined.
+        let n = 8;
+        let fill = |v: &mut Volume, off: [usize; 3]| {
+            let d = v.dims();
+            for z in 0..d[2] {
+                for y in 0..d[1] {
+                    for x in 0..d[0] {
+                        let (gx, gy, gz) = (x + off[0], y + off[1], z + off[2]);
+                        v.set(x, y, z, (gx + 10 * gy + 100 * gz) as f32);
+                    }
+                }
+            }
+        };
+        let mut wx = Volume::zeros([n, n, n]);
+        fill(&mut wx, [0, 0, 0]);
+        let whole = SampledVecField::whole(wx.clone(), wx.clone(), wx.clone());
+
+        let off = [2, 1, 3];
+        let mut bx = Volume::zeros([4, 5, 4]);
+        fill(&mut bx, off);
+        let block = SampledVecField::new(bx.clone(), bx.clone(), bx, off);
+
+        for probe in [[3.2f32, 2.7, 4.4], [4.0, 3.0, 5.0], [5.1, 4.9, 5.9]] {
+            let a = whole.sample(probe);
+            let b = block.sample(probe);
+            for c in 0..3 {
+                assert!((a[c] - b[c]).abs() < 1e-4, "{probe:?} comp {c}: {a:?} vs {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # pvr-flow — parallel particle tracing
+//!
+//! The paper's Section VI promises to "implement and test other
+//! visualization algorithms at these scales"; the authors' next major
+//! system was exactly this — parallel particle tracing over
+//! block-decomposed vector fields (Peterka et al., "A Study of Parallel
+//! Particle Tracing for Steady-State and Time-Varying Flow Fields",
+//! IPDPS 2011). This crate implements that algorithm on the same
+//! substrate as the volume renderer:
+//!
+//! * [`field`] — vector fields over cell space: analytic, or three
+//!   sampled component [`pvr_volume::Volume`]s (the supernova's
+//!   velocity components, read through the same I/O machinery).
+//! * [`tracer`] — fourth-order Runge–Kutta streamline integration with
+//!   fixed step, domain exit, and step limits.
+//! * [`parallel`] — distributed tracing: each rank holds one block
+//!   (plus ghost); a particle advances while inside its owner's region
+//!   and is handed off over real `pvr-mpisim` messages when it crosses
+//!   a block face, with rank-0 termination detection. With a two-cell
+//!   ghost layer and steps ≤ 1 cell, distributed trajectories are
+//!   **bit-identical** to the serial tracer's — the same guarantee the
+//!   renderer provides, and the tests assert it.
+
+pub mod field;
+pub mod parallel;
+pub mod tracer;
+
+pub use field::{SampledVecField, VecField};
+pub use parallel::trace_parallel;
+pub use tracer::{trace, Particle, TraceResult, TracerOpts};

@@ -1,0 +1,221 @@
+//! RK4 streamline integration.
+
+use crate::field::VecField;
+
+/// A particle: position plus bookkeeping that survives block handoffs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Trace identifier (stable across handoffs).
+    pub id: u32,
+    /// Current cell-space position.
+    pub pos: [f32; 3],
+    /// RK4 steps taken so far.
+    pub steps: u32,
+}
+
+impl Particle {
+    pub fn new(id: u32, pos: [f32; 3]) -> Self {
+        Particle { id, pos, steps: 0 }
+    }
+}
+
+/// Integration options.
+#[derive(Debug, Clone, Copy)]
+pub struct TracerOpts {
+    /// RK4 step in cells. Must be ≤ 1 for the distributed tracer's
+    /// ghost-layer guarantee.
+    pub h: f32,
+    /// Hard step limit per trace.
+    pub max_steps: u32,
+    /// Velocity magnitude below which a trace terminates (critical
+    /// point).
+    pub min_speed: f32,
+}
+
+impl Default for TracerOpts {
+    fn default() -> Self {
+        TracerOpts { h: 0.5, max_steps: 2000, min_speed: 1e-6 }
+    }
+}
+
+/// Why a trace (or a block-local leg of one) stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Left the global domain.
+    LeftDomain,
+    /// Hit the step limit.
+    MaxSteps,
+    /// Velocity fell below `min_speed`.
+    CriticalPoint,
+    /// Left the *owned* region (distributed tracing only — hand off).
+    LeftBlock,
+}
+
+/// A completed (or suspended) trace leg.
+#[derive(Debug, Clone)]
+pub struct TraceResult {
+    pub particle: Particle,
+    pub reason: StopReason,
+    /// Positions visited (including start; excluding any position
+    /// outside the global domain).
+    pub path: Vec<[f32; 3]>,
+}
+
+#[inline]
+fn add(a: [f32; 3], b: [f32; 3], s: f32) -> [f32; 3] {
+    [a[0] + b[0] * s, a[1] + b[1] * s, a[2] + b[2] * s]
+}
+
+#[inline]
+fn inside(p: [f32; 3], lo: [f32; 3], hi: [f32; 3]) -> bool {
+    p[0] >= lo[0]
+        && p[0] < hi[0]
+        && p[1] >= lo[1]
+        && p[1] < hi[1]
+        && p[2] >= lo[2]
+        && p[2] < hi[2]
+}
+
+/// One classical RK4 step through `field`.
+#[inline]
+pub fn rk4_step(field: &impl VecField, p: [f32; 3], h: f32) -> ([f32; 3], f32) {
+    let k1 = field.sample(p);
+    let k2 = field.sample(add(p, k1, h * 0.5));
+    let k3 = field.sample(add(p, k2, h * 0.5));
+    let k4 = field.sample(add(p, k3, h));
+    let v = [
+        (k1[0] + 2.0 * k2[0] + 2.0 * k3[0] + k4[0]) / 6.0,
+        (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1]) / 6.0,
+        (k1[2] + 2.0 * k2[2] + 2.0 * k3[2] + k4[2]) / 6.0,
+    ];
+    let speed = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    (add(p, v, h), speed)
+}
+
+/// Trace `particle` through `field` while it stays inside
+/// `[owned_lo, owned_hi)`, bounded by the global domain `[0, grid)`.
+/// For serial tracing pass the whole grid as the owned region.
+pub fn trace_leg(
+    field: &impl VecField,
+    mut particle: Particle,
+    owned_lo: [f32; 3],
+    owned_hi: [f32; 3],
+    grid: [usize; 3],
+    opts: &TracerOpts,
+) -> TraceResult {
+    let glo = [0.0f32; 3];
+    let ghi = [grid[0] as f32, grid[1] as f32, grid[2] as f32];
+    let mut path = vec![particle.pos];
+    loop {
+        if particle.steps >= opts.max_steps {
+            return TraceResult { particle, reason: StopReason::MaxSteps, path };
+        }
+        let (next, speed) = rk4_step(field, particle.pos, opts.h);
+        if speed < opts.min_speed {
+            return TraceResult { particle, reason: StopReason::CriticalPoint, path };
+        }
+        particle.steps += 1;
+        if !inside(next, glo, ghi) {
+            return TraceResult { particle, reason: StopReason::LeftDomain, path };
+        }
+        particle.pos = next;
+        path.push(next);
+        if !inside(next, owned_lo, owned_hi) {
+            return TraceResult { particle, reason: StopReason::LeftBlock, path };
+        }
+    }
+}
+
+/// Serial tracing of many seeds through a whole-grid field.
+pub fn trace(
+    field: &impl VecField,
+    seeds: &[[f32; 3]],
+    grid: [usize; 3],
+    opts: &TracerOpts,
+) -> Vec<TraceResult> {
+    let hi = [grid[0] as f32, grid[1] as f32, grid[2] as f32];
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| trace_leg(field, Particle::new(i as u32, s), [0.0; 3], hi, grid, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_field_moves_straight() {
+        let f = |_: [f32; 3]| [1.0f32, 0.0, 0.0];
+        let opts = TracerOpts { h: 0.5, max_steps: 10, min_speed: 1e-9 };
+        let r = trace(&f, &[[1.0, 4.0, 4.0]], [64, 8, 8], &opts);
+        assert_eq!(r[0].reason, StopReason::MaxSteps);
+        let end = *r[0].path.last().unwrap();
+        assert!((end[0] - 6.0).abs() < 1e-5);
+        assert_eq!(end[1], 4.0);
+        assert_eq!(end[2], 4.0);
+        assert_eq!(r[0].particle.steps, 10);
+    }
+
+    #[test]
+    fn trace_leaves_domain() {
+        let f = |_: [f32; 3]| [-2.0f32, 0.0, 0.0];
+        let r = trace(&f, &[[1.0, 2.0, 2.0]], [8, 4, 4], &TracerOpts::default());
+        assert_eq!(r[0].reason, StopReason::LeftDomain);
+        // The path never contains an outside position.
+        for p in &r[0].path {
+            assert!(p[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rotational_field_conserves_radius() {
+        // v = (-y, x, 0) around the center of a 32^3 domain.
+        let c = 16.0f32;
+        let f = move |p: [f32; 3]| [-(p[1] - c), p[0] - c, 0.0];
+        let opts = TracerOpts { h: 0.01, max_steps: 5000, min_speed: 1e-9 };
+        let r = trace(&f, &[[22.0, 16.0, 16.0]], [32, 32, 32], &opts);
+        let r0 = 6.0f32;
+        for p in &r[0].path {
+            let rad = ((p[0] - c).powi(2) + (p[1] - c).powi(2)).sqrt();
+            assert!((rad - r0).abs() < 0.01, "radius drifted to {rad}");
+        }
+        // It actually went around (covers > half the circle).
+        assert!(r[0].particle.steps as f32 * 0.01 * r0 > std::f32::consts::PI * r0);
+    }
+
+    #[test]
+    fn critical_point_stops_the_trace() {
+        let f = |p: [f32; 3]| {
+            let d = 8.0 - p[0];
+            [d * 0.5, 0.0, 0.0] // converges toward x = 8
+        };
+        let opts = TracerOpts { h: 0.5, max_steps: 100_000, min_speed: 1e-4 };
+        let r = trace(&f, &[[2.0, 2.0, 2.0]], [16, 4, 4], &opts);
+        assert_eq!(r[0].reason, StopReason::CriticalPoint);
+        let end = r[0].path.last().unwrap();
+        assert!((end[0] - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rk4_is_fourth_order_on_rotation() {
+        // One full revolution error shrinks ~16x when h halves.
+        let f = |p: [f32; 3]| [-(p[1]), p[0], 0.0];
+        let start = [1.0f32, 0.0, 0.0];
+        // Integrate exactly one revolution with N steps of h = 2*pi/N so
+        // the endpoint error is pure truncation error.
+        let err = |n: usize| {
+            let h = 2.0 * std::f32::consts::PI / n as f32;
+            let mut p = start;
+            for _ in 0..n {
+                p = rk4_step(&f, p, h).0;
+            }
+            ((p[0] - start[0]).powi(2) + (p[1] - start[1]).powi(2)).sqrt()
+        };
+        // Coarse steps so truncation dominates f32 roundoff.
+        let e1 = err(8);
+        let e2 = err(16);
+        assert!(e1 / e2 > 8.0, "convergence order too low: {e1} / {e2}");
+    }
+}

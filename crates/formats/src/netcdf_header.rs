@@ -1,0 +1,268 @@
+//! Real netCDF classic-format headers.
+//!
+//! The files this workspace writes are not just layout-compatible —
+//! they carry genuine CDF-1 ("CDF\x01", 32-bit offsets) or CDF-2
+//! ("CDF\x02", 64-bit offsets) headers per the netCDF classic format
+//! specification: dimension list, empty attribute lists, and a variable
+//! list whose `begin` offsets point exactly where
+//! [`crate::layout::NetCdfClassicLayout`] and
+//! [`crate::layout::NetCdf64Layout`] place the data. `ncdump` can read
+//! the structure of these files.
+//!
+//! The header is padded to the layout's fixed header size (the classic
+//! format permits over-allocated header space; readers honor the
+//! `begin` offsets).
+
+use crate::ELEM_SIZE;
+
+/// Variable names written into headers, in file order (VH-1's five).
+pub const DEFAULT_VAR_NAMES: [&str; 5] =
+    ["pressure", "density", "velocity-x", "velocity-y", "velocity-z"];
+
+const NC_DIMENSION: u32 = 0x0A;
+const NC_VARIABLE: u32 = 0x0B;
+const NC_FLOAT: u32 = 5;
+
+fn pad4(n: usize) -> usize {
+    (4 - n % 4) % 4
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend(v.to_be_bytes());
+}
+
+fn put_name(out: &mut Vec<u8>, name: &str) {
+    put_u32(out, name.len() as u32);
+    out.extend(name.as_bytes());
+    out.extend(std::iter::repeat_n(0u8, pad4(name.len())));
+}
+
+/// Encoding parameters for one header.
+pub struct HeaderSpec<'a> {
+    /// Grid dims `[nx, ny, nz]`.
+    pub grid: [usize; 3],
+    pub var_names: &'a [&'a str],
+    /// Record variables (CDF-1, unlimited z) vs nonrecord (CDF-2).
+    pub record_vars: bool,
+    /// Total header bytes to pad to (the layout's fixed header size).
+    pub header_size: u64,
+    /// `begin` of variable `v`'s data.
+    pub var_begin: &'a dyn Fn(usize) -> u64,
+}
+
+/// Encode the header. Panics if the encoded header exceeds
+/// `header_size` (callers fix the layout's header size accordingly).
+pub fn encode_header(spec: &HeaderSpec<'_>) -> Vec<u8> {
+    let [nx, ny, nz] = spec.grid;
+    let mut out = Vec::with_capacity(spec.header_size as usize);
+
+    // magic
+    out.extend(b"CDF");
+    out.push(if spec.record_vars { 1 } else { 2 });
+    // numrecs: number of records written (nz), or 0 for nonrecord files.
+    put_u32(&mut out, if spec.record_vars { nz as u32 } else { 0 });
+
+    // dim_list: tag, count, then (name, length) — length 0 marks the
+    // unlimited (record) dimension.
+    put_u32(&mut out, NC_DIMENSION);
+    put_u32(&mut out, 3);
+    if spec.record_vars {
+        put_name(&mut out, "z");
+        put_u32(&mut out, 0); // UNLIMITED
+    } else {
+        put_name(&mut out, "z");
+        put_u32(&mut out, nz as u32);
+    }
+    put_name(&mut out, "y");
+    put_u32(&mut out, ny as u32);
+    put_name(&mut out, "x");
+    put_u32(&mut out, nx as u32);
+
+    // gatt_list: ABSENT (tag 0, count 0).
+    put_u32(&mut out, 0);
+    put_u32(&mut out, 0);
+
+    // var_list.
+    put_u32(&mut out, NC_VARIABLE);
+    put_u32(&mut out, spec.var_names.len() as u32);
+    for (v, name) in spec.var_names.iter().enumerate() {
+        put_name(&mut out, name);
+        put_u32(&mut out, 3); // ndims
+        put_u32(&mut out, 0); // dimid z
+        put_u32(&mut out, 1); // dimid y
+        put_u32(&mut out, 2); // dimid x
+        // vatt_list: ABSENT.
+        put_u32(&mut out, 0);
+        put_u32(&mut out, 0);
+        put_u32(&mut out, NC_FLOAT);
+        // vsize: for record variables, the per-record size; else the
+        // whole variable (both padded to 4, which f32 data already is).
+        let vsize = if spec.record_vars {
+            (nx * ny) as u64 * ELEM_SIZE
+        } else {
+            (nx * ny * nz) as u64 * ELEM_SIZE
+        };
+        put_u32(&mut out, vsize.min(u32::MAX as u64) as u32);
+        // begin: 32-bit in CDF-1, 64-bit in CDF-2.
+        let begin = (spec.var_begin)(v);
+        if spec.record_vars {
+            put_u32(&mut out, u32::try_from(begin).expect("CDF-1 begin fits 32 bits"));
+        } else {
+            out.extend(begin.to_be_bytes());
+        }
+    }
+
+    assert!(
+        out.len() as u64 <= spec.header_size,
+        "encoded header ({} B) exceeds the layout's header region ({} B)",
+        out.len(),
+        spec.header_size
+    );
+    out.resize(spec.header_size as usize, 0);
+    out
+}
+
+/// Minimal header *decoder* used by tests and the io_explorer example to
+/// verify round-trips: returns (record_vars, numrecs, dims, var begins).
+pub fn decode_header(bytes: &[u8]) -> Result<DecodedHeader, String> {
+    let mut cur;
+    let take_u32 = |cur: &mut usize| -> Result<u32, String> {
+        if *cur + 4 > bytes.len() {
+            return Err("truncated header".into());
+        }
+        let v = u32::from_be_bytes(bytes[*cur..*cur + 4].try_into().unwrap());
+        *cur += 4;
+        Ok(v)
+    };
+    if bytes.len() < 4 || &bytes[0..3] != b"CDF" {
+        return Err("not a netCDF classic file".into());
+    }
+    let version = bytes[3];
+    if version != 1 && version != 2 {
+        return Err(format!("unsupported CDF version {version}"));
+    }
+    cur = 4;
+    let numrecs = take_u32(&mut cur)?;
+    let tag = take_u32(&mut cur)?;
+    if tag != NC_DIMENSION {
+        return Err("missing dim_list".into());
+    }
+    let ndims = take_u32(&mut cur)? as usize;
+    let mut dims = Vec::new();
+    for _ in 0..ndims {
+        let len = take_u32(&mut cur)? as usize;
+        let name = String::from_utf8_lossy(&bytes[cur..cur + len]).into_owned();
+        cur += len + pad4(len);
+        let dlen = take_u32(&mut cur)?;
+        dims.push((name, dlen));
+    }
+    // gatt_list (ABSENT form).
+    let _ = take_u32(&mut cur)?;
+    let _ = take_u32(&mut cur)?;
+    let tag = take_u32(&mut cur)?;
+    if tag != NC_VARIABLE {
+        return Err("missing var_list".into());
+    }
+    let nvars = take_u32(&mut cur)? as usize;
+    let mut vars = Vec::new();
+    for _ in 0..nvars {
+        let len = take_u32(&mut cur)? as usize;
+        let name = String::from_utf8_lossy(&bytes[cur..cur + len]).into_owned();
+        cur += len + pad4(len);
+        let nd = take_u32(&mut cur)? as usize;
+        for _ in 0..nd {
+            let _ = take_u32(&mut cur)?;
+        }
+        let _ = take_u32(&mut cur)?; // vatt tag
+        let _ = take_u32(&mut cur)?; // vatt count
+        let _ = take_u32(&mut cur)?; // nc_type
+        let _vsize = take_u32(&mut cur)?;
+        let begin = if version == 1 {
+            take_u32(&mut cur)? as u64
+        } else {
+            if cur + 8 > bytes.len() {
+                return Err("truncated begin".into());
+            }
+            let v = u64::from_be_bytes(bytes[cur..cur + 8].try_into().unwrap());
+            cur += 8;
+            v
+        };
+        vars.push((name, begin));
+    }
+    Ok(DecodedHeader { record_vars: version == 1, numrecs, dims, vars })
+}
+
+/// The parts of a decoded header the tests check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedHeader {
+    pub record_vars: bool,
+    pub numrecs: u32,
+    pub dims: Vec<(String, u32)>,
+    pub vars: Vec<(String, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_header_round_trips() {
+        let begin = |v: usize| 512 + v as u64 * 1600;
+        let spec = HeaderSpec {
+            grid: [20, 20, 10],
+            var_names: &DEFAULT_VAR_NAMES,
+            record_vars: true,
+            header_size: 512,
+            var_begin: &begin,
+        };
+        let h = encode_header(&spec);
+        assert_eq!(h.len(), 512);
+        assert_eq!(&h[0..4], b"CDF\x01");
+        let d = decode_header(&h).unwrap();
+        assert!(d.record_vars);
+        assert_eq!(d.numrecs, 10);
+        assert_eq!(d.dims[0], ("z".to_string(), 0)); // UNLIMITED
+        assert_eq!(d.dims[1], ("y".to_string(), 20));
+        assert_eq!(d.vars.len(), 5);
+        assert_eq!(d.vars[0], ("pressure".to_string(), 512));
+        assert_eq!(d.vars[3].1, 512 + 3 * 1600);
+    }
+
+    #[test]
+    fn cdf2_header_uses_64bit_begins() {
+        let begin = |v: usize| 1024 + v as u64 * (5u64 << 32); // > 4 GB strides
+        let spec = HeaderSpec {
+            grid: [8, 8, 8],
+            var_names: &["a", "b"],
+            record_vars: false,
+            header_size: 1024,
+            var_begin: &begin,
+        };
+        let h = encode_header(&spec);
+        assert_eq!(&h[0..4], b"CDF\x02");
+        let d = decode_header(&h).unwrap();
+        assert!(!d.record_vars);
+        assert_eq!(d.vars[1].1, 1024 + (5u64 << 32));
+        assert_eq!(d.dims[0], ("z".to_string(), 8));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode_header(b"GARBAGE!").is_err());
+        assert!(decode_header(b"CDF\x05\0\0\0\0").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "fits 32 bits")]
+    fn cdf1_begin_overflow_panics() {
+        let begin = |_| 5u64 << 32;
+        let spec = HeaderSpec {
+            grid: [4, 4, 4],
+            var_names: &["x"],
+            record_vars: true,
+            header_size: 512,
+            var_begin: &begin,
+        };
+        encode_header(&spec);
+    }
+}

@@ -1,0 +1,333 @@
+//! # pvr-mpisim — a small message-passing runtime
+//!
+//! The paper's renderer is an MPI program. Rust MPI bindings being
+//! immature (and no cluster being available), this crate provides the
+//! message-passing substrate the pipeline runs on: `n` ranks as OS
+//! threads, point-to-point send/recv with tag matching, barriers, and
+//! the handful of collectives the volume renderer needs. The semantics
+//! follow MPI where it matters (non-overtaking delivery per
+//! (source, tag) pair, blocking receives, collective completion).
+//!
+//! Two layers:
+//!
+//! * [`World::run`] — SPMD entry point: spawns one thread per rank and
+//!   hands each a [`Comm`].
+//! * [`Comm`] — the per-rank communicator.
+//!
+//! At paper scale (32K ranks) the pipeline does not thread-execute;
+//! it *simulates* communication through `pvr-bgp`'s flow simulator.
+//! This crate is the laptop-scale execution vehicle that validates the
+//! algorithms the simulator's schedules describe.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A tagged message envelope.
+#[derive(Debug)]
+struct Envelope {
+    src: usize,
+    tag: u32,
+    data: Vec<u8>,
+}
+
+/// Shared state of a rank group.
+struct Shared {
+    senders: Vec<Sender<Envelope>>,
+    barrier: std::sync::Barrier,
+}
+
+/// The per-rank communicator handle.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    shared: Arc<Shared>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet matched, keyed by (src, tag).
+    pending: HashMap<(usize, u32), Vec<Envelope>>,
+}
+
+impl Comm {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Blocking-buffered send (always completes locally; channels are
+    /// unbounded).
+    pub fn send(&self, to: usize, tag: u32, data: Vec<u8>) {
+        assert!(to < self.size, "send to rank {to} of {}", self.size);
+        self.shared.senders[to]
+            .send(Envelope { src: self.rank, tag, data })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive of a message with `tag` from `src`.
+    pub fn recv_from(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        if let Some(q) = self.pending.get_mut(&(src, tag)) {
+            if !q.is_empty() {
+                return q.remove(0).data;
+            }
+        }
+        loop {
+            let env = self.inbox.recv().expect("all senders hung up");
+            if env.src == src && env.tag == tag {
+                return env.data;
+            }
+            self.pending.entry((env.src, env.tag)).or_default().push(env);
+        }
+    }
+
+    /// Blocking receive of a message with `tag` from any source; returns
+    /// `(src, data)`.
+    pub fn recv_any(&mut self, tag: u32) -> (usize, Vec<u8>) {
+        // Check pending first (any source, in arrival order).
+        let key = self
+            .pending
+            .iter()
+            .filter(|((_, t), q)| *t == tag && !q.is_empty())
+            .map(|((s, t), _)| (*s, *t))
+            .min(); // deterministic choice: lowest source first
+        if let Some(k) = key {
+            let env = self.pending.get_mut(&k).unwrap().remove(0);
+            return (env.src, env.data);
+        }
+        loop {
+            let env = self.inbox.recv().expect("all senders hung up");
+            if env.tag == tag {
+                return (env.src, env.data);
+            }
+            self.pending.entry((env.src, env.tag)).or_default().push(env);
+        }
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Gather byte buffers from all ranks to `root`; returns `Some(all)`
+    /// at the root (indexed by rank), `None` elsewhere.
+    pub fn gather(&mut self, root: usize, data: Vec<u8>, tag: u32) -> Option<Vec<Vec<u8>>> {
+        if self.rank == root {
+            let mut all: Vec<Vec<u8>> = vec![Vec::new(); self.size];
+            all[root] = data;
+            for _ in 0..self.size - 1 {
+                let (src, d) = self.recv_any(tag);
+                all[src] = d;
+            }
+            Some(all)
+        } else {
+            self.send(root, tag, data);
+            None
+        }
+    }
+
+    /// Broadcast from `root` (tree-less reference implementation).
+    pub fn bcast(&mut self, root: usize, data: Vec<u8>, tag: u32) -> Vec<u8> {
+        if self.rank == root {
+            for r in 0..self.size {
+                if r != root {
+                    self.send(r, tag, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv_from(root, tag)
+        }
+    }
+
+    /// All-reduce a double with a binary op (gather-to-0 + bcast).
+    pub fn allreduce_f64(&mut self, v: f64, op: impl Fn(f64, f64) -> f64, tag: u32) -> f64 {
+        let gathered = self.gather(0, v.to_le_bytes().to_vec(), tag);
+        if self.rank == 0 {
+            let all = gathered.unwrap();
+            let red = all
+                .into_iter()
+                .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte f64")))
+                .reduce(&op)
+                .unwrap();
+            self.bcast(0, red.to_le_bytes().to_vec(), tag + 1);
+            red
+        } else {
+            let b = self.bcast(0, Vec::new(), tag + 1);
+            f64::from_le_bytes(b.try_into().expect("8-byte f64"))
+        }
+    }
+}
+
+/// The SPMD runner.
+pub struct World;
+
+impl World {
+    /// Run `f` on `n` ranks (threads); returns each rank's result in
+    /// rank order. Panics in any rank propagate.
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        assert!(n >= 1);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared { senders, barrier: std::sync::Barrier::new(n) });
+
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let comm = Comm { rank, size: n, shared, inbox, pending: HashMap::new() };
+                    f(comm)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                out[rank] = Some(h.join().expect("rank panicked"));
+            }
+        });
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results = World::run(8, |mut comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 1, vec![comm.rank() as u8]);
+            let got = comm.recv_from(prev, 1);
+            got[0] as usize
+        });
+        assert_eq!(results, vec![7, 0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let results = World::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, vec![1]);
+                comm.send(1, 20, vec![2]);
+                0
+            } else {
+                // Receive the later-tagged message first.
+                let b = comm.recv_from(0, 20);
+                let a = comm.recv_from(0, 10);
+                (a[0] * 10 + b[0]) as usize
+            }
+        });
+        assert_eq!(results[1], 12);
+    }
+
+    #[test]
+    fn non_overtaking_same_tag() {
+        let results = World::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u8 {
+                    comm.send(1, 5, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| comm.recv_from(0, 5)[0]).collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(results[1], (0..100).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = World::run(5, |mut comm| {
+            let data = vec![comm.rank() as u8; comm.rank() + 1];
+            comm.gather(2, data, 7)
+        });
+        let at_root = results[2].as_ref().unwrap();
+        for (r, d) in at_root.iter().enumerate() {
+            assert_eq!(d.len(), r + 1);
+            assert!(d.iter().all(|&b| b == r as u8));
+        }
+        assert!(results[0].is_none());
+    }
+
+    #[test]
+    fn bcast_delivers_everywhere() {
+        let results = World::run(6, |mut comm| {
+            let payload = if comm.rank() == 3 { b"hello".to_vec() } else { Vec::new() };
+            comm.bcast(3, payload, 9)
+        });
+        for r in results {
+            assert_eq!(r, b"hello");
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let results = World::run(7, |mut comm| {
+            comm.allreduce_f64(comm.rank() as f64 * 1.5, f64::max, 100)
+        });
+        for r in results {
+            assert_eq!(r, 9.0);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static PHASE1: AtomicUsize = AtomicUsize::new(0);
+        let results = World::run(8, |comm| {
+            PHASE1.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all 8 arrivals.
+            PHASE1.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&v| v == 8));
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let results = World::run(1, |mut comm| {
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            let all = comm.gather(0, vec![42], 1).unwrap();
+            all[0][0] as usize
+        });
+        assert_eq!(results, vec![42]);
+    }
+
+    #[test]
+    fn recv_any_drains_lowest_source_first_from_pending() {
+        let results = World::run(3, |mut comm| {
+            if comm.rank() == 2 {
+                // Make sure both messages are pending before receiving.
+                let a = comm.recv_from(0, 1);
+                comm.send(0, 2, vec![]);
+                comm.send(1, 2, vec![]);
+                let (s1, _) = comm.recv_any(3);
+                let (s2, _) = comm.recv_any(3);
+                assert_ne!(s1, s2);
+                a[0] as usize
+            } else {
+                if comm.rank() == 0 {
+                    comm.send(2, 1, vec![9]);
+                }
+                let _ = comm.recv_from(2, 2);
+                comm.send(2, 3, vec![comm.rank() as u8]);
+                0
+            }
+        });
+        assert_eq!(results[2], 9);
+    }
+}

@@ -1,0 +1,190 @@
+//! Access logging and Figure-9-style access-pattern maps.
+//!
+//! The paper visualizes its I/O logs as a grid of file blocks, dark
+//! where the block was physically read and light where it was untouched.
+//! [`AccessMap`] reproduces that: the file is bucketed into cells, each
+//! access marks the cells it covers, and the map renders as ASCII art or
+//! a binary PGM image.
+
+use pvr_formats::extent::Extent;
+
+/// Aggregate statistics over a set of physical accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoStats {
+    pub accesses: usize,
+    pub physical_bytes: u64,
+    pub useful_bytes: u64,
+    pub mean_access_bytes: f64,
+}
+
+impl IoStats {
+    pub fn from_accesses(accesses: &[Extent], useful_bytes: u64) -> Self {
+        let physical: u64 = accesses.iter().map(|e| e.len).sum();
+        IoStats {
+            accesses: accesses.len(),
+            physical_bytes: physical,
+            useful_bytes,
+            mean_access_bytes: if accesses.is_empty() {
+                0.0
+            } else {
+                physical as f64 / accesses.len() as f64
+            },
+        }
+    }
+
+    /// The paper's data density: useful / physical.
+    pub fn data_density(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            1.0
+        } else {
+            self.useful_bytes as f64 / self.physical_bytes as f64
+        }
+    }
+}
+
+/// A 2D map of which file regions were physically read.
+#[derive(Debug, Clone)]
+pub struct AccessMap {
+    width: usize,
+    height: usize,
+    file_size: u64,
+    /// Fraction of each cell's bytes that were read (0.0 – 1.0; reads
+    /// of the same byte by different accesses saturate at 1.0).
+    cells: Vec<f32>,
+}
+
+impl AccessMap {
+    /// Create a `width x height` map of a file of `file_size` bytes.
+    pub fn new(width: usize, height: usize, file_size: u64) -> Self {
+        assert!(width > 0 && height > 0 && file_size > 0);
+        AccessMap { width, height, file_size, cells: vec![0.0; width * height] }
+    }
+
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    fn cell_bytes(&self) -> f64 {
+        self.file_size as f64 / (self.width * self.height) as f64
+    }
+
+    /// Mark an access. Cells are filled proportionally to the bytes of
+    /// the access they contain.
+    pub fn mark(&mut self, e: Extent) {
+        if e.is_empty() {
+            return;
+        }
+        let cb = self.cell_bytes();
+        let first = ((e.offset as f64) / cb).floor() as usize;
+        let last = (((e.end() - 1) as f64) / cb).floor() as usize;
+        let last = last.min(self.cells.len() - 1);
+        for c in first..=last {
+            let c_lo = c as f64 * cb;
+            let c_hi = c_lo + cb;
+            let lo = (e.offset as f64).max(c_lo);
+            let hi = (e.end() as f64).min(c_hi);
+            let frac = ((hi - lo) / cb) as f32;
+            self.cells[c] = (self.cells[c] + frac).min(1.0);
+        }
+    }
+
+    pub fn mark_all(&mut self, accesses: &[Extent]) {
+        for e in accesses {
+            self.mark(*e);
+        }
+    }
+
+    /// Fraction of the file (by cells, weighted by coverage) read.
+    pub fn coverage(&self) -> f64 {
+        self.cells.iter().map(|&c| c as f64).sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// Render as ASCII art rows: '#' for ≥ 2/3 covered cells, '+' for
+    /// partially covered, '.' for untouched — the dark/light blocks of
+    /// Figure 9.
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::with_capacity((self.width + 1) * self.height);
+        for row in 0..self.height {
+            for col in 0..self.width {
+                let c = self.cells[row * self.width + col];
+                s.push(if c >= 0.67 {
+                    '#'
+                } else if c > 0.05 {
+                    '+'
+                } else {
+                    '.'
+                });
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Render as a binary PGM (P5) image, dark = read (as in the paper).
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend(self.cells.iter().map(|&c| (255.0 * (1.0 - c)) as u8));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_density() {
+        let acc = vec![Extent::new(0, 100), Extent::new(200, 300)];
+        let s = IoStats::from_accesses(&acc, 200);
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.physical_bytes, 400);
+        assert!((s.data_density() - 0.5).abs() < 1e-12);
+        assert!((s.mean_access_bytes - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_read_gives_full_coverage() {
+        let mut m = AccessMap::new(8, 4, 1 << 20);
+        m.mark(Extent::new(0, 1 << 20));
+        assert!((m.coverage() - 1.0).abs() < 1e-6);
+        assert!(m.to_ascii().chars().filter(|&c| c == '#').count() == 32);
+    }
+
+    #[test]
+    fn partial_read_covers_proportionally() {
+        let mut m = AccessMap::new(10, 1, 1000);
+        m.mark(Extent::new(0, 250)); // 2.5 cells
+        assert!((m.coverage() - 0.25).abs() < 1e-6);
+        let a = m.to_ascii();
+        assert!(a.starts_with("##+"));
+        assert!(a.contains('.'));
+    }
+
+    #[test]
+    fn overlapping_marks_saturate() {
+        let mut m = AccessMap::new(4, 1, 400);
+        m.mark(Extent::new(0, 100));
+        m.mark(Extent::new(0, 100));
+        assert!((m.coverage() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pgm_is_well_formed() {
+        let mut m = AccessMap::new(16, 8, 4096);
+        m.mark(Extent::new(0, 2048));
+        let pgm = m.to_pgm();
+        assert!(pgm.starts_with(b"P5\n16 8\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n16 8\n255\n".len() + 128);
+        // First half dark (0), second half light (255).
+        let pix = &pgm[b"P5\n16 8\n255\n".len()..];
+        assert_eq!(pix[0], 0);
+        assert_eq!(pix[127], 255);
+    }
+
+    #[test]
+    fn mark_past_eof_is_clamped() {
+        let mut m = AccessMap::new(4, 1, 400);
+        m.mark(Extent::new(350, 500));
+        assert!(m.coverage() > 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Cameras: generate the per-pixel rays of the global image.
+//!
+//! World coordinates are the *cell space* of the global grid: the
+//! volume occupies `[0, N]³` where voxel `(i,j,k)` owns the unit cell
+//! `[i,i+1) x [j,j+1) x [k,k+1)`. Every rank constructs the identical
+//! camera from the frame configuration, so ray geometry is bit-identical
+//! across blocks.
+
+use crate::math::{Ray, Vec3};
+
+/// Projection mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Projection {
+    Orthographic { half_width: f64 },
+    Perspective { fov_y_rad: f64 },
+}
+
+/// A camera producing one ray per pixel of a `width x height` image.
+#[derive(Debug, Clone, Copy)]
+pub struct Camera {
+    eye: Vec3,
+    forward: Vec3,
+    right: Vec3,
+    up: Vec3,
+    width: usize,
+    height: usize,
+    projection: Projection,
+}
+
+impl Camera {
+    /// Orthographic camera looking at the center of a `grid`-sized
+    /// volume from direction `view_dir` (pointing *toward* the volume),
+    /// sized so the whole volume fits in frame.
+    pub fn orthographic(grid: [usize; 3], view_dir: Vec3, width: usize, height: usize) -> Self {
+        let center = Vec3::new(grid[0] as f64, grid[1] as f64, grid[2] as f64) * 0.5;
+        let diag = Vec3::new(grid[0] as f64, grid[1] as f64, grid[2] as f64).length();
+        let forward = view_dir.normalized();
+        let (right, up) = basis(forward);
+        Camera {
+            eye: center - forward * diag, // behind the volume
+            forward,
+            right,
+            up,
+            width,
+            height,
+            projection: Projection::Orthographic { half_width: diag * 0.55 },
+        }
+    }
+
+    /// The paper-style default view: straight down the -z axis (image
+    /// axes align with x/y of the grid) — used by the exactness tests.
+    pub fn axis_aligned(grid: [usize; 3], width: usize, height: usize) -> Self {
+        Self::orthographic(grid, Vec3::new(0.0, 0.0, -1.0), width, height)
+    }
+
+    /// Perspective camera at `eye` looking at the volume center with the
+    /// given vertical field of view (degrees).
+    pub fn perspective(grid: [usize; 3], eye: Vec3, fov_y_deg: f64, width: usize, height: usize) -> Self {
+        let center = Vec3::new(grid[0] as f64, grid[1] as f64, grid[2] as f64) * 0.5;
+        let forward = (center - eye).normalized();
+        let (right, up) = basis(forward);
+        Camera {
+            eye,
+            forward,
+            right,
+            up,
+            width,
+            height,
+            projection: Projection::Perspective { fov_y_rad: fov_y_deg.to_radians() },
+        }
+    }
+
+    pub fn image_size(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// The ray through the center of pixel `(px, py)`; `py` grows
+    /// downward (image convention), world `up` maps to smaller `py`.
+    pub fn ray(&self, px: usize, py: usize) -> Ray {
+        debug_assert!(px < self.width && py < self.height);
+        let u = (px as f64 + 0.5) / self.width as f64 * 2.0 - 1.0;
+        let v = 1.0 - (py as f64 + 0.5) / self.height as f64 * 2.0;
+        match self.projection {
+            Projection::Orthographic { half_width } => {
+                let half_height = half_width * self.height as f64 / self.width as f64;
+                Ray {
+                    origin: self.eye + self.right * (u * half_width) + self.up * (v * half_height),
+                    dir: self.forward,
+                }
+            }
+            Projection::Perspective { fov_y_rad } => {
+                let half_h = (fov_y_rad * 0.5).tan();
+                let half_w = half_h * self.width as f64 / self.height as f64;
+                let dir = (self.forward + self.right * (u * half_w) + self.up * (v * half_h))
+                    .normalized();
+                Ray { origin: self.eye, dir }
+            }
+        }
+    }
+
+    /// Project a world point to continuous pixel coordinates (used for
+    /// block footprints). Returns `(px, py)` which may lie outside the
+    /// image.
+    pub fn project(&self, p: Vec3) -> (f64, f64) {
+        match self.projection {
+            Projection::Orthographic { half_width } => {
+                let half_height = half_width * self.height as f64 / self.width as f64;
+                let d = p - self.eye;
+                let u = d.dot(self.right) / half_width;
+                let v = d.dot(self.up) / half_height;
+                ((u + 1.0) * 0.5 * self.width as f64, (1.0 - v) * 0.5 * self.height as f64)
+            }
+            Projection::Perspective { fov_y_rad } => {
+                let half_h = (fov_y_rad * 0.5).tan();
+                let half_w = half_h * self.width as f64 / self.height as f64;
+                let d = p - self.eye;
+                let z = d.dot(self.forward).max(1e-9);
+                let u = d.dot(self.right) / z / half_w;
+                let v = d.dot(self.up) / z / half_h;
+                ((u + 1.0) * 0.5 * self.width as f64, (1.0 - v) * 0.5 * self.height as f64)
+            }
+        }
+    }
+
+    /// Depth of a world point along the view direction (for sorting
+    /// blocks front-to-back).
+    pub fn depth(&self, p: Vec3) -> f64 {
+        (p - self.eye).dot(self.forward)
+    }
+}
+
+/// Build an orthonormal basis perpendicular to `forward`.
+fn basis(forward: Vec3) -> (Vec3, Vec3) {
+    let world_up = if forward.y.abs() > 0.99 {
+        Vec3::new(0.0, 0.0, 1.0)
+    } else {
+        Vec3::new(0.0, 1.0, 0.0)
+    };
+    let right = forward.cross(world_up).normalized();
+    let up = right.cross(forward).normalized();
+    (right, up)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ortho_rays_are_parallel() {
+        let c = Camera::orthographic([64, 64, 64], Vec3::new(1.0, 0.3, -0.2), 32, 32);
+        let r0 = c.ray(0, 0);
+        let r1 = c.ray(31, 31);
+        assert!((r0.dir - r1.dir).length() < 1e-12);
+        assert!((r0.dir.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axis_aligned_center_pixel_hits_volume_center() {
+        let c = Camera::axis_aligned([64, 64, 64], 33, 33);
+        let r = c.ray(16, 16);
+        // The center pixel's ray passes through (32, 32, *).
+        assert!((r.origin.x - 32.0).abs() < 1e-9, "x {}", r.origin.x);
+        assert!((r.origin.y - 32.0).abs() < 1e-9, "y {}", r.origin.y);
+        assert!((r.dir.z + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_inverts_ray() {
+        let c = Camera::orthographic([40, 60, 50], Vec3::new(-0.4, 0.7, 0.6), 100, 80);
+        for (px, py) in [(0usize, 0usize), (50, 40), (99, 79), (13, 77)] {
+            let r = c.ray(px, py);
+            let p = r.at(37.0);
+            let (qx, qy) = c.project(p);
+            assert!((qx - (px as f64 + 0.5)).abs() < 1e-6, "px {px} -> {qx}");
+            assert!((qy - (py as f64 + 0.5)).abs() < 1e-6, "py {py} -> {qy}");
+        }
+    }
+
+    #[test]
+    fn perspective_rays_diverge() {
+        let c = Camera::perspective([32, 32, 32], Vec3::new(16.0, 16.0, 120.0), 45.0, 64, 64);
+        let r0 = c.ray(0, 32);
+        let r1 = c.ray(63, 32);
+        assert!(r0.dir.dot(r1.dir) < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn depth_increases_along_view() {
+        let c = Camera::axis_aligned([16, 16, 16], 8, 8);
+        let near = c.depth(Vec3::new(8.0, 8.0, 16.0));
+        let far = c.depth(Vec3::new(8.0, 8.0, 0.0));
+        // Looking down -z: smaller z is farther.
+        assert!(far > near);
+    }
+}

@@ -1,0 +1,369 @@
+//! Isosurface extraction by marching tetrahedra.
+//!
+//! The second "other visualization algorithm" of the paper's future-work
+//! list, built on the same block decomposition as the renderer: each
+//! rank extracts triangles from the cells whose minimum lattice corner
+//! it owns, so the per-block meshes partition the serial mesh exactly
+//! (the tests compare triangle multisets).
+//!
+//! Marching tetrahedra rather than marching cubes: the 6-tetrahedron
+//! cube split has no ambiguous cases, so the extracted surface is
+//! watertight by construction — the tests verify every interior edge is
+//! shared by exactly two triangles.
+
+use pvr_formats::Subvolume;
+use pvr_volume::Volume;
+
+/// One triangle in global voxel-center coordinates.
+pub type Triangle = [[f32; 3]; 3];
+
+/// The 6-tetrahedron decomposition of a cube around the 0–7 diagonal
+/// (cube corner bit i: x = bit0, y = bit1, z = bit2).
+const TETS: [[usize; 4]; 6] =
+    [[0, 1, 3, 7], [0, 3, 2, 7], [0, 2, 6, 7], [0, 6, 4, 7], [0, 4, 5, 7], [0, 5, 1, 7]];
+
+#[inline]
+fn corner_offset(c: usize) -> [usize; 3] {
+    [c & 1, (c >> 1) & 1, (c >> 2) & 1]
+}
+
+#[inline]
+fn lerp_vertex(p0: [f32; 3], v0: f32, p1: [f32; 3], v1: f32, iso: f32) -> [f32; 3] {
+    let t = if (v1 - v0).abs() < 1e-30 { 0.5 } else { (iso - v0) / (v1 - v0) };
+    [
+        p0[0] + (p1[0] - p0[0]) * t,
+        p0[1] + (p1[1] - p0[1]) * t,
+        p0[2] + (p1[2] - p0[2]) * t,
+    ]
+}
+
+/// Emit the triangles of one tetrahedron.
+fn march_tet(pts: &[[f32; 3]; 4], vals: &[f32; 4], iso: f32, out: &mut Vec<Triangle>) {
+    let mut mask = 0usize;
+    for (i, &v) in vals.iter().enumerate() {
+        if v > iso {
+            mask |= 1 << i;
+        }
+    }
+    // Complement so at most two corners are "inside".
+    let (mask, _flipped) = if mask.count_ones() > 2 { (mask ^ 0xF, true) } else { (mask, false) };
+    match mask.count_ones() {
+        0 => {}
+        1 => {
+            let a = mask.trailing_zeros() as usize;
+            let others: Vec<usize> = (0..4).filter(|&i| i != a).collect();
+            let v = |b: usize| lerp_vertex(pts[a], vals[a], pts[b], vals[b], iso);
+            out.push([v(others[0]), v(others[1]), v(others[2])]);
+        }
+        2 => {
+            let ins: Vec<usize> = (0..4).filter(|&i| mask & (1 << i) != 0).collect();
+            let outs: Vec<usize> = (0..4).filter(|&i| mask & (1 << i) == 0).collect();
+            let (a, b) = (ins[0], ins[1]);
+            let (c, d) = (outs[0], outs[1]);
+            let v = |x: usize, y: usize| lerp_vertex(pts[x], vals[x], pts[y], vals[y], iso);
+            // Quad ac, ad, bd, bc -> two triangles.
+            let (vac, vad, vbd, vbc) = (v(a, c), v(a, d), v(b, d), v(b, c));
+            out.push([vac, vad, vbd]);
+            out.push([vac, vbd, vbc]);
+        }
+        _ => unreachable!("complemented mask has <= 2 bits"),
+    }
+}
+
+/// Extract the isosurface of the cells whose minimum lattice corner
+/// lies in `owned_lattice` (half-open, in global lattice coordinates).
+///
+/// `volume` holds the block's stored region (`stored`, which must
+/// include one extra lattice layer beyond the owned cells on the high
+/// sides — the renderer's usual ghost). For a serial extraction pass
+/// the whole lattice as owned and the whole volume as stored.
+pub fn extract_block(
+    volume: &Volume,
+    stored: &Subvolume,
+    owned_lattice: &Subvolume,
+    iso: f32,
+) -> Vec<Triangle> {
+    assert_eq!(volume.dims(), stored.shape);
+    let mut out = Vec::new();
+    let e = owned_lattice.end();
+    let se = stored.end();
+    // A cell needs lattice points up to +1 in each axis.
+    for z in owned_lattice.offset[2]..e[2] {
+        if z + 1 >= se[2] {
+            break;
+        }
+        for y in owned_lattice.offset[1]..e[1] {
+            if y + 1 >= se[1] {
+                break;
+            }
+            for x in owned_lattice.offset[0]..e[0] {
+                if x + 1 >= se[0] {
+                    break;
+                }
+                // Gather the cube's 8 corners.
+                let mut pts = [[0.0f32; 3]; 8];
+                let mut vals = [0.0f32; 8];
+                for c in 0..8 {
+                    let o = corner_offset(c);
+                    let (gx, gy, gz) = (x + o[0], y + o[1], z + o[2]);
+                    pts[c] = [gx as f32, gy as f32, gz as f32];
+                    vals[c] = volume.get(
+                        gx - stored.offset[0],
+                        gy - stored.offset[1],
+                        gz - stored.offset[2],
+                    );
+                }
+                // Cheap reject: all same side.
+                let any_in = vals.iter().any(|&v| v > iso);
+                let any_out = vals.iter().any(|&v| v <= iso);
+                if !(any_in && any_out) {
+                    continue;
+                }
+                for tet in &TETS {
+                    let tp = [pts[tet[0]], pts[tet[1]], pts[tet[2]], pts[tet[3]]];
+                    let tv = [vals[tet[0]], vals[tet[1]], vals[tet[2]], vals[tet[3]]];
+                    march_tet(&tp, &tv, iso, &mut out);
+                }
+            }
+        }
+    }
+    // Drop degenerate (zero-area) triangles produced when the surface
+    // passes exactly through lattice points.
+    out.retain(|t| triangle_area(t) > 1e-12);
+    out
+}
+
+/// Serial extraction over a whole volume.
+pub fn extract(volume: &Volume, iso: f32) -> Vec<Triangle> {
+    let whole = Subvolume::whole(volume.dims());
+    extract_block(volume, &whole, &whole, iso)
+}
+
+/// Area of a triangle.
+pub fn triangle_area(t: &Triangle) -> f64 {
+    let u = [
+        (t[1][0] - t[0][0]) as f64,
+        (t[1][1] - t[0][1]) as f64,
+        (t[1][2] - t[0][2]) as f64,
+    ];
+    let v = [
+        (t[2][0] - t[0][0]) as f64,
+        (t[2][1] - t[0][1]) as f64,
+        (t[2][2] - t[0][2]) as f64,
+    ];
+    let c = [
+        u[1] * v[2] - u[2] * v[1],
+        u[2] * v[0] - u[0] * v[2],
+        u[0] * v[1] - u[1] * v[0],
+    ];
+    0.5 * (c[0] * c[0] + c[1] * c[1] + c[2] * c[2]).sqrt()
+}
+
+/// Total area of a mesh.
+pub fn mesh_area(tris: &[Triangle]) -> f64 {
+    tris.iter().map(triangle_area).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvr_volume::BlockDecomposition;
+    use std::collections::HashMap;
+
+    /// A sphere SDF-ish field sampled on the lattice.
+    fn sphere_volume(n: usize, r: f32) -> Volume {
+        let c = (n as f32 - 1.0) / 2.0;
+        let mut v = Volume::zeros([n, n, n]);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let d = ((x as f32 - c).powi(2) + (y as f32 - c).powi(2)
+                        + (z as f32 - c).powi(2))
+                    .sqrt();
+                    v.set(x, y, z, r - d); // > 0 inside
+                }
+            }
+        }
+        v
+    }
+
+    fn quantize(p: [f32; 3]) -> [i64; 3] {
+        [
+            (p[0] as f64 * 1e5).round() as i64,
+            (p[1] as f64 * 1e5).round() as i64,
+            (p[2] as f64 * 1e5).round() as i64,
+        ]
+    }
+
+    #[test]
+    fn sphere_area_matches_analytic() {
+        let r = 10.0f32;
+        let v = sphere_volume(32, r);
+        let tris = extract(&v, 0.0);
+        assert!(tris.len() > 1000, "{} triangles", tris.len());
+        let area = mesh_area(&tris);
+        let analytic = 4.0 * std::f64::consts::PI * (r as f64).powi(2);
+        let err = (area - analytic).abs() / analytic;
+        assert!(err < 0.05, "area {area:.1} vs 4πr² {analytic:.1} ({err:.3})");
+    }
+
+    #[test]
+    fn surface_is_watertight() {
+        // Every edge of a closed surface is shared by exactly two
+        // triangles.
+        let v = sphere_volume(20, 6.0);
+        let tris = extract(&v, 0.0);
+        let mut edges: HashMap<([i64; 3], [i64; 3]), usize> = HashMap::new();
+        for t in &tris {
+            for k in 0..3 {
+                let a = quantize(t[k]);
+                let b = quantize(t[(k + 1) % 3]);
+                let key = if a <= b { (a, b) } else { (b, a) };
+                *edges.entry(key).or_insert(0) += 1;
+            }
+        }
+        let bad = edges.values().filter(|&&c| c != 2).count();
+        assert_eq!(bad, 0, "{bad} of {} edges not shared by exactly 2 triangles", edges.len());
+    }
+
+    #[test]
+    fn vertices_lie_on_the_isosurface_of_linear_fields() {
+        // For a linear field, interpolated crossings are exact.
+        let n = 12;
+        let mut v = Volume::zeros([n, n, n]);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    v.set(x, y, z, x as f32 + 0.5 * y as f32 - 3.7);
+                }
+            }
+        }
+        let iso = 2.3f32;
+        let tris = extract(&v, iso);
+        assert!(!tris.is_empty());
+        for t in &tris {
+            for p in t {
+                let val = p[0] + 0.5 * p[1] - 3.7;
+                assert!((val - iso).abs() < 1e-4, "vertex {p:?} has value {val}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_partition_the_serial_mesh() {
+        let n = 24;
+        let v = sphere_volume(n, 8.0);
+        let serial = extract(&v, 0.0);
+
+        let decomp = BlockDecomposition::new([n, n, n], 8);
+        let mut parallel: Vec<Triangle> = Vec::new();
+        for b in decomp.blocks() {
+            let stored = decomp.with_ghost(&b, 1);
+            // Extract the block's stored data from the full volume.
+            let mut bv = Volume::zeros(stored.shape);
+            let e = stored.end();
+            for z in stored.offset[2]..e[2] {
+                for y in stored.offset[1]..e[1] {
+                    for x in stored.offset[0]..e[0] {
+                        bv.set(
+                            x - stored.offset[0],
+                            y - stored.offset[1],
+                            z - stored.offset[2],
+                            v.get(x, y, z),
+                        );
+                    }
+                }
+            }
+            parallel.extend(extract_block(&bv, &stored, &b.sub, 0.0));
+        }
+
+        assert_eq!(parallel.len(), serial.len(), "triangle counts differ");
+        // Multiset equality via sorted quantized triangles.
+        let key = |t: &Triangle| {
+            let mut vs = [quantize(t[0]), quantize(t[1]), quantize(t[2])];
+            vs.sort_unstable();
+            vs
+        };
+        let mut a: Vec<_> = serial.iter().map(key).collect();
+        let mut b: Vec<_> = parallel.iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "triangle multisets differ");
+    }
+
+    #[test]
+    fn empty_when_iso_outside_range() {
+        let v = sphere_volume(16, 5.0);
+        assert!(extract(&v, 100.0).is_empty());
+        assert!(extract(&v, -100.0).is_empty());
+    }
+
+    #[test]
+    fn random_fields_have_manifold_surfaces() {
+        // Every mesh edge is shared by exactly two triangles, except
+        // edges on the domain boundary (count 1). The random field's
+        // values are quantized to +/-(0.05 + k*0.1) — bounded away from
+        // the isovalue 0 — so no crossing is degenerate and the
+        // property holds exactly. (With values arbitrarily close to the
+        // isovalue, sliver triangles below any fixed area threshold
+        // appear and edge counting needs tolerance-aware geometry — a
+        // known practical caveat of marching methods.)
+        let n = 10;
+        let mut v = Volume::zeros([n, n, n]);
+        let mut state = 0x2545f4914f6cdd1du64;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let raw = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+                    let q = (raw * 5.0).round() / 5.0 + if raw >= 0.0 { 0.05 } else { -0.05 };
+                    v.set(x, y, z, q);
+                }
+            }
+        }
+        let tris = extract(&v, 0.0);
+        assert!(!tris.is_empty());
+        let mut edges: HashMap<([i64; 3], [i64; 3]), usize> = HashMap::new();
+        for t in &tris {
+            for k in 0..3 {
+                let a = quantize(t[k]);
+                let b = quantize(t[(k + 1) % 3]);
+                let key = if a <= b { (a, b) } else { (b, a) };
+                *edges.entry(key).or_insert(0) += 1;
+            }
+        }
+        let hi = ((n - 1) as f64 * 1e5) as i64;
+        for ((a, b), count) in &edges {
+            assert!(*count == 1 || *count == 2, "edge shared {count} times");
+            if *count == 1 {
+                // Both endpoints must lie on a domain boundary face.
+                let on_boundary = |p: &[i64; 3]| p.iter().any(|&c| c == 0 || c == hi);
+                assert!(
+                    on_boundary(a) && on_boundary(b),
+                    "interior edge {a:?}-{b:?} has count 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supernova_shell_has_a_surface() {
+        use pvr_volume::{SupernovaField, Volume};
+        let f = SupernovaField::new(1530).variable(1); // density
+        let v = Volume::from_field(&f, [32, 32, 32]);
+        let tris = extract(&v, 0.45);
+        assert!(tris.len() > 500, "only {} triangles", tris.len());
+        // The shell sits near the shock radius: vertex distances from
+        // the center cluster in a plausible band.
+        let c = 16.0f32;
+        let mut within = 0;
+        for t in &tris {
+            let p = t[0];
+            let r = ((p[0] - c).powi(2) + (p[1] - c).powi(2) + (p[2] - c).powi(2)).sqrt();
+            if (3.0..16.0).contains(&r) {
+                within += 1;
+            }
+        }
+        assert!(within * 10 > tris.len() * 7, "{within}/{} in band", tris.len());
+    }
+}

@@ -1,0 +1,503 @@
+//! The ray caster: front-to-back sampling of one block.
+//!
+//! Sample positions are global (see the crate docs): every rank computes
+//! the same per-pixel ray and the same ladder of sample parameters
+//! `t = t_global_enter + (k + 1/2) Δt`, and claims exactly the samples
+//! whose position lies inside its *owned* half-open cell region. A
+//! "block" covering the whole grid therefore IS the serial renderer —
+//! [`render_serial`] is implemented that way — and compositing the
+//! per-block results in depth order reproduces it.
+
+use pvr_formats::Subvolume;
+use pvr_volume::Volume;
+
+use crate::camera::Camera;
+use crate::image::{PixelRect, SubImage};
+use crate::math::Vec3;
+use crate::transfer::TransferFunction;
+
+/// Where a block's data sits in the global grid.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockDomain {
+    /// Global grid dimensions (cells).
+    pub grid: [usize; 3],
+    /// The half-open cell region this block *owns* (samples in here are
+    /// accumulated by this block and no other).
+    pub owned: Subvolume,
+    /// The region actually stored in the block's volume — `owned`
+    /// extended by the ghost layer, clamped to the grid.
+    pub stored: Subvolume,
+}
+
+impl BlockDomain {
+    /// A domain covering the whole grid (the serial case).
+    pub fn whole(grid: [usize; 3]) -> Self {
+        BlockDomain { grid, owned: Subvolume::whole(grid), stored: Subvolume::whole(grid) }
+    }
+
+    /// Centroid of the owned region in cell space.
+    pub fn centroid(&self) -> Vec3 {
+        let e = self.owned.end();
+        Vec3::new(
+            (self.owned.offset[0] + e[0]) as f64 * 0.5,
+            (self.owned.offset[1] + e[1]) as f64 * 0.5,
+            (self.owned.offset[2] + e[2]) as f64 * 0.5,
+        )
+    }
+}
+
+/// Gradient (Phong-style) shading parameters. The gradient is estimated
+/// by central differences one cell around each sample, so parallel
+/// rendering with shading needs a **two**-cell ghost layer for exact
+/// serial equivalence.
+#[derive(Debug, Clone, Copy)]
+pub struct Shading {
+    /// Direction *toward* the light (normalized at use).
+    pub light: [f32; 3],
+    /// Ambient term in [0, 1].
+    pub ambient: f32,
+    /// Diffuse weight in [0, 1].
+    pub diffuse: f32,
+    /// Gradient magnitude below which a sample is treated as
+    /// homogeneous and left unshaded (avoids noise amplification).
+    pub gradient_floor: f32,
+}
+
+impl Default for Shading {
+    fn default() -> Self {
+        Shading {
+            light: [0.4, 0.5, 0.77],
+            ambient: 0.35,
+            diffuse: 0.65,
+            gradient_floor: 1e-3,
+        }
+    }
+}
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderOpts {
+    /// Ray step in cells.
+    pub step: f64,
+    /// Stop a ray once accumulated opacity reaches
+    /// [`RenderOpts::termination_alpha`]. Exact block/serial equivalence
+    /// requires this off (a block cannot know what is in front of it).
+    pub early_termination: bool,
+    pub termination_alpha: f32,
+    /// Optional gradient shading (requires ghost >= 2 for exact
+    /// parallel/serial equivalence).
+    pub shading: Option<Shading>,
+}
+
+impl Default for RenderOpts {
+    fn default() -> Self {
+        RenderOpts {
+            step: 1.0,
+            early_termination: false,
+            termination_alpha: 0.995,
+            shading: None,
+        }
+    }
+}
+
+/// Screen-space footprint of a cell-space box: the conservative pixel
+/// bounding rectangle of its corner projections.
+pub fn footprint(camera: &Camera, lo: [usize; 3], hi: [usize; 3], image: (usize, usize)) -> PixelRect {
+    let (w, h) = image;
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for i in 0..8 {
+        let p = Vec3::new(
+            (if i & 1 == 0 { lo[0] } else { hi[0] }) as f64,
+            (if i & 2 == 0 { lo[1] } else { hi[1] }) as f64,
+            (if i & 4 == 0 { lo[2] } else { hi[2] }) as f64,
+        );
+        let (px, py) = camera.project(p);
+        min_x = min_x.min(px);
+        min_y = min_y.min(py);
+        max_x = max_x.max(px);
+        max_y = max_y.max(py);
+    }
+    let x0 = (min_x - 1.0).floor().max(0.0) as usize;
+    let y0 = (min_y - 1.0).floor().max(0.0) as usize;
+    let x1 = ((max_x + 1.0).ceil() as usize).min(w);
+    let y1 = ((max_y + 1.0).ceil() as usize).min(h);
+    if x0 >= x1 || y0 >= y1 {
+        PixelRect::new(0, 0, 0, 0)
+    } else {
+        PixelRect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+}
+
+/// Statistics of one block render.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RenderStats {
+    /// Scalar samples taken (the unit of rendering work the performance
+    /// model scales by).
+    pub samples: u64,
+    /// Rays that intersected the block.
+    pub rays: u64,
+}
+
+/// Render one block into its footprint subimage.
+///
+/// `volume` holds the block's stored region (`dom.stored`), usually the
+/// owned region plus a one-cell ghost layer so interpolation near owned
+/// faces sees neighbour data.
+pub fn render_block(
+    volume: &Volume,
+    dom: &BlockDomain,
+    camera: &Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+) -> (SubImage, RenderStats) {
+    assert_eq!(
+        volume.dims(),
+        dom.stored.shape,
+        "volume dims must match the stored region"
+    );
+    let (iw, ih) = camera.image_size();
+    let rect = footprint(camera, dom.owned.offset, dom.owned.end(), (iw, ih));
+    let mut sub = SubImage::transparent(rect, camera.depth(dom.centroid()));
+    let mut stats = RenderStats::default();
+    if rect.is_empty() {
+        return (sub, stats);
+    }
+
+    let dt = opts.step;
+    let grid_hi = Vec3::new(dom.grid[0] as f64, dom.grid[1] as f64, dom.grid[2] as f64);
+    let own_lo = Vec3::new(
+        dom.owned.offset[0] as f64,
+        dom.owned.offset[1] as f64,
+        dom.owned.offset[2] as f64,
+    );
+    let oe = dom.owned.end();
+    let own_hi = Vec3::new(oe[0] as f64, oe[1] as f64, oe[2] as f64);
+    let st_off = dom.stored.offset;
+
+    for py in rect.y0..rect.y1() {
+        for px in rect.x0..rect.x1() {
+            let ray = camera.ray(px, py);
+            // Global entry defines the sample ladder shared by all blocks.
+            let Some((tg0, tg1)) = ray.intersect_box(Vec3::ZERO, grid_hi, 0.0) else {
+                continue;
+            };
+            let Some((tb0, tb1)) = ray.intersect_box(own_lo, own_hi, tg0) else {
+                continue;
+            };
+            stats.rays += 1;
+
+            // Candidate sample indices overlapping the block interval,
+            // padded by one to absorb floating-point edge effects; each
+            // candidate is then tested against the owned region, which
+            // is the authoritative (and globally consistent) criterion.
+            let k_lo = (((tb0 - tg0) / dt - 0.5).floor() as i64 - 1).max(0);
+            let k_hi = ((tb1.min(tg1) - tg0) / dt - 0.5).ceil() as i64 + 1;
+
+            let mut color = [0.0f32; 3];
+            let mut alpha = 0.0f32;
+            for k in k_lo..=k_hi {
+                let t = tg0 + (k as f64 + 0.5) * dt;
+                if t >= tg1 {
+                    break;
+                }
+                let p = ray.at(t);
+                // Half-open ownership test: exactly one block claims
+                // each sample.
+                if p.x < own_lo.x
+                    || p.x >= own_hi.x
+                    || p.y < own_lo.y
+                    || p.y >= own_hi.y
+                    || p.z < own_lo.z
+                    || p.z >= own_hi.z
+                {
+                    continue;
+                }
+                // Cell-space position -> voxel-center lattice of the
+                // stored volume.
+                let local = [
+                    (p.x - st_off[0] as f64 - 0.5) as f32,
+                    (p.y - st_off[1] as f64 - 0.5) as f32,
+                    (p.z - st_off[2] as f64 - 0.5) as f32,
+                ];
+                let v = volume.sample_trilinear(local);
+                stats.samples += 1;
+                let (mut rgb, a) = tf.classify(v, dt as f32);
+                if let Some(sh) = &opts.shading {
+                    // Central-difference gradient in cell units.
+                    let g = [
+                        volume.sample_trilinear([local[0] + 1.0, local[1], local[2]])
+                            - volume.sample_trilinear([local[0] - 1.0, local[1], local[2]]),
+                        volume.sample_trilinear([local[0], local[1] + 1.0, local[2]])
+                            - volume.sample_trilinear([local[0], local[1] - 1.0, local[2]]),
+                        volume.sample_trilinear([local[0], local[1], local[2] + 1.0])
+                            - volume.sample_trilinear([local[0], local[1], local[2] - 1.0]),
+                    ];
+                    let mag = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
+                    if mag > sh.gradient_floor {
+                        let ll = (sh.light[0] * sh.light[0]
+                            + sh.light[1] * sh.light[1]
+                            + sh.light[2] * sh.light[2])
+                            .sqrt()
+                            .max(1e-6);
+                        let ndotl = ((g[0] * sh.light[0] + g[1] * sh.light[1]
+                            + g[2] * sh.light[2])
+                            / (mag * ll))
+                            .abs();
+                        let lum = sh.ambient + sh.diffuse * ndotl;
+                        rgb = [rgb[0] * lum, rgb[1] * lum, rgb[2] * lum];
+                    }
+                }
+                let w = (1.0 - alpha) * a;
+                color[0] += w * rgb[0];
+                color[1] += w * rgb[1];
+                color[2] += w * rgb[2];
+                alpha += w;
+                if opts.early_termination && alpha >= opts.termination_alpha {
+                    break;
+                }
+            }
+            if alpha > 0.0 {
+                let idx = (py - rect.y0) * rect.w + (px - rect.x0);
+                sub.pixels[idx] = [color[0], color[1], color[2], alpha];
+            }
+        }
+    }
+    (sub, stats)
+}
+
+/// Serial reference renderer: the whole grid as one block.
+pub fn render_serial(
+    volume: &Volume,
+    camera: &Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+) -> (crate::image::Image, RenderStats) {
+    let grid = volume.dims();
+    let dom = BlockDomain::whole(grid);
+    let (sub, stats) = render_block(volume, &dom, camera, tf, opts);
+    let (w, h) = camera.image_size();
+    let mut img = crate::image::Image::new(w, h);
+    img.paste(&sub);
+    (img, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::over;
+    use pvr_volume::{BlockDecomposition, SupernovaField};
+
+    fn test_volume(n: usize) -> Volume {
+        let f = SupernovaField::new(1530);
+        Volume::from_field(&f.variable(2), [n, n, n])
+    }
+
+    fn tf() -> TransferFunction {
+        TransferFunction::supernova_velocity()
+    }
+
+    #[test]
+    fn serial_render_produces_nonempty_image() {
+        let v = test_volume(32);
+        let cam = Camera::axis_aligned([32, 32, 32], 48, 48);
+        let (img, stats) = render_serial(&v, &cam, &tf(), &RenderOpts::default());
+        assert!(stats.samples > 10_000, "samples {}", stats.samples);
+        let lit = img.pixels().iter().filter(|p| p[3] > 0.01).count();
+        assert!(lit > 400, "lit pixels {lit}");
+        // Nothing exceeds full opacity.
+        for p in img.pixels() {
+            assert!(p[3] <= 1.0 + 1e-5);
+        }
+    }
+
+    /// The core exactness property: blocks partition the serial sample
+    /// set, so compositing block results per pixel in depth order equals
+    /// the serial image.
+    #[test]
+    fn blocks_reproduce_serial_image() {
+        let n = 24;
+        let field = SupernovaField::new(1530).variable(2);
+        let full = Volume::from_field(&field, [n, n, n]);
+        for view in [
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.37, -0.61, 0.58),
+        ] {
+            let cam = Camera::orthographic([n, n, n], view, 40, 40);
+            let opts = RenderOpts::default();
+            let (serial, serial_stats) = render_serial(&full, &cam, &tf(), &opts);
+
+            let decomp = BlockDecomposition::new([n, n, n], 8);
+            let mut subs = Vec::new();
+            let mut total_samples = 0;
+            for b in decomp.blocks() {
+                let stored = decomp.with_ghost(&b, 1);
+                let vol = Volume::from_field_window(&field, [n, n, n], stored.offset, stored.shape);
+                let dom = BlockDomain { grid: [n, n, n], owned: b.sub, stored };
+                let (sub, st) = render_block(&vol, &dom, &cam, &tf(), &opts);
+                total_samples += st.samples;
+                subs.push(sub);
+            }
+            // Sample partition: parallel total == serial total.
+            assert_eq!(
+                total_samples, serial_stats.samples,
+                "view {view:?}: sample sets differ"
+            );
+
+            // Composite per pixel in depth order.
+            subs.sort_by(|a, b| a.depth.total_cmp(&b.depth));
+            let mut img = crate::image::Image::new(40, 40);
+            for y in 0..40 {
+                for x in 0..40 {
+                    let mut acc = [0.0f32; 4];
+                    for s in &subs {
+                        if s.rect.contains(x, y) {
+                            acc = over(acc, s.get(x, y));
+                        }
+                    }
+                    img.set(x, y, acc);
+                }
+            }
+            let diff = img.max_abs_diff(&serial);
+            assert!(diff < 2e-3, "view {view:?}: max diff {diff}");
+        }
+    }
+
+    #[test]
+    fn footprints_cover_lit_pixels() {
+        let n = 24;
+        let cam = Camera::orthographic([n, n, n], Vec3::new(0.2, 0.3, -0.9), 32, 32);
+        let decomp = BlockDecomposition::new([n, n, n], 4);
+        for b in decomp.blocks() {
+            let fp = footprint(&cam, b.sub.offset, b.sub.end(), (32, 32));
+            assert!(!fp.is_empty());
+            // The whole-grid footprint contains every block footprint.
+            let whole = footprint(&cam, [0, 0, 0], [n, n, n], (32, 32));
+            assert!(whole.intersect(&fp) == Some(fp));
+        }
+    }
+
+    #[test]
+    fn early_termination_saves_samples_with_small_error() {
+        let v = test_volume(32);
+        let cam = Camera::axis_aligned([32, 32, 32], 40, 40);
+        let exact = RenderOpts::default();
+        let et = RenderOpts { early_termination: true, ..Default::default() };
+        let (img0, s0) = render_serial(&v, &cam, &tf(), &exact);
+        let (img1, s1) = render_serial(&v, &cam, &tf(), &et);
+        assert!(s1.samples <= s0.samples);
+        assert!(img0.max_abs_diff(&img1) < 0.01);
+    }
+
+    #[test]
+    fn smaller_steps_converge() {
+        // Halving the step should change the image only slightly
+        // (opacity correction keeps accumulation consistent).
+        let v = test_volume(24);
+        let cam = Camera::axis_aligned([24, 24, 24], 32, 32);
+        let (a, _) = render_serial(&v, &cam, &tf(), &RenderOpts { step: 1.0, ..Default::default() });
+        let (b, _) = render_serial(&v, &cam, &tf(), &RenderOpts { step: 0.5, ..Default::default() });
+        assert!(a.mean_abs_diff(&b) < 0.02, "diff {}", a.mean_abs_diff(&b));
+    }
+
+    #[test]
+    fn transparent_volume_renders_transparent() {
+        let v = Volume::zeros([16, 16, 16]);
+        let tf = TransferFunction::from_points(
+            (0.0, 1.0),
+            &[(0.0, [0.0; 4]), (1.0, [1.0, 1.0, 1.0, 0.9])],
+        );
+        let cam = Camera::axis_aligned([16, 16, 16], 16, 16);
+        let (img, _) = render_serial(&v, &cam, &tf, &RenderOpts::default());
+        for p in img.pixels() {
+            assert_eq!(*p, [0.0; 4]);
+        }
+    }
+
+    #[test]
+    fn perspective_render_is_sane() {
+        let v = test_volume(24);
+        let cam = Camera::perspective(
+            [24, 24, 24],
+            Vec3::new(12.0, 12.0, 90.0),
+            35.0,
+            32,
+            32,
+        );
+        let (img, stats) = render_serial(&v, &cam, &tf(), &RenderOpts::default());
+        assert!(stats.samples > 1000);
+        assert!(img.pixels().iter().any(|p| p[3] > 0.05));
+    }
+
+    #[test]
+    fn shading_darkens_and_stays_bounded() {
+        let v = test_volume(24);
+        let cam = Camera::axis_aligned([24, 24, 24], 32, 32);
+        let flat = RenderOpts::default();
+        let shaded =
+            RenderOpts { shading: Some(crate::raycast::Shading::default()), ..Default::default() };
+        let (img0, _) = render_serial(&v, &cam, &tf(), &flat);
+        let (img1, _) = render_serial(&v, &cam, &tf(), &shaded);
+        // Same opacity everywhere (shading modulates color only).
+        for (a, b) in img0.pixels().iter().zip(img1.pixels()) {
+            assert!((a[3] - b[3]).abs() < 1e-6);
+            for c in 0..3 {
+                assert!(b[c] <= a[c] + 1e-5, "shaded brighter than unshaded");
+            }
+        }
+        // But it does change the picture.
+        assert!(img0.mean_abs_diff(&img1) > 1e-3);
+    }
+
+    #[test]
+    fn shaded_blocks_reproduce_shaded_serial_with_ghost_2() {
+        let n = 24;
+        let field = SupernovaField::new(1530).variable(2);
+        let full = Volume::from_field(&field, [n, n, n]);
+        let cam = Camera::orthographic([n, n, n], Vec3::new(0.3, -0.5, 0.8), 40, 40);
+        let opts =
+            RenderOpts { shading: Some(crate::raycast::Shading::default()), ..Default::default() };
+        let (serial, _) = render_serial(&full, &cam, &tf(), &opts);
+
+        let decomp = BlockDecomposition::new([n, n, n], 8);
+        let mut subs = Vec::new();
+        for b in decomp.blocks() {
+            let stored = decomp.with_ghost(&b, 2); // shading needs 2
+            let vol = Volume::from_field_window(&field, [n, n, n], stored.offset, stored.shape);
+            let dom = BlockDomain { grid: [n, n, n], owned: b.sub, stored };
+            subs.push(render_block(&vol, &dom, &cam, &tf(), &opts).0);
+        }
+        subs.sort_by(|a, b| a.depth.total_cmp(&b.depth));
+        let mut img = crate::image::Image::new(40, 40);
+        for y in 0..40 {
+            for x in 0..40 {
+                let mut acc = [0.0f32; 4];
+                for s in &subs {
+                    if s.rect.contains(x, y) {
+                        acc = over(acc, s.get(x, y));
+                    }
+                }
+                img.set(x, y, acc);
+            }
+        }
+        let diff = img.max_abs_diff(&serial);
+        assert!(diff < 2e-3, "shaded parallel/serial diff {diff}");
+    }
+
+    #[test]
+    fn sample_count_scales_with_resolution() {
+        let f = SupernovaField::new(1).variable(2);
+        let v16 = Volume::from_field(&f, [16, 16, 16]);
+        let v32 = Volume::from_field(&f, [32, 32, 32]);
+        let cam16 = Camera::axis_aligned([16, 16, 16], 32, 32);
+        let cam32 = Camera::axis_aligned([32, 32, 32], 32, 32);
+        let (_, s16) = render_serial(&v16, &cam16, &tf(), &RenderOpts::default());
+        let (_, s32) = render_serial(&v32, &cam32, &tf(), &RenderOpts::default());
+        // Twice the depth -> about twice the samples per lit ray.
+        let ratio = s32.samples as f64 / s16.samples as f64;
+        assert!(ratio > 1.5 && ratio < 3.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,173 @@
+//! RGBA transfer functions: classify scalar samples into color and
+//! opacity.
+//!
+//! Opacity in the table is defined per unit of ray length (one grid
+//! cell); [`TransferFunction::classify`] applies the standard opacity
+//! correction `α' = 1 - (1-α)^Δt` so images are step-size independent
+//! to first order.
+
+/// A lookup-table transfer function over a scalar domain.
+#[derive(Debug, Clone)]
+pub struct TransferFunction {
+    domain: (f32, f32),
+    /// RGBA entries; alpha is opacity per unit length.
+    table: Vec<[f32; 4]>,
+}
+
+impl TransferFunction {
+    /// Build from explicit control points `(value01, rgba)` given at
+    /// positions in `[0,1]` of the domain; the 256-entry table is
+    /// filled by linear interpolation.
+    pub fn from_points(domain: (f32, f32), points: &[(f32, [f32; 4])]) -> Self {
+        assert!(domain.1 > domain.0, "empty transfer domain");
+        assert!(points.len() >= 2, "need at least two control points");
+        let mut pts = points.to_vec();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let n = 256;
+        let mut table = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f32 / (n - 1) as f32;
+            // Find surrounding control points.
+            let hi = pts.partition_point(|p| p.0 < t).min(pts.len() - 1);
+            let lo = hi.saturating_sub(1);
+            let (t0, c0) = pts[lo];
+            let (t1, c1) = pts[hi];
+            let f = if t1 > t0 { ((t - t0) / (t1 - t0)).clamp(0.0, 1.0) } else { 0.0 };
+            table.push([
+                c0[0] + (c1[0] - c0[0]) * f,
+                c0[1] + (c1[1] - c0[1]) * f,
+                c0[2] + (c1[2] - c0[2]) * f,
+                c0[3] + (c1[3] - c0[3]) * f,
+            ]);
+        }
+        TransferFunction { domain, table }
+    }
+
+    /// A gray ramp with linearly increasing opacity — the simplest
+    /// useful function, handy in tests.
+    pub fn grayscale(domain: (f32, f32)) -> Self {
+        Self::from_points(
+            domain,
+            &[(0.0, [0.0, 0.0, 0.0, 0.0]), (1.0, [1.0, 1.0, 1.0, 0.6])],
+        )
+    }
+
+    /// A diverging blue–white–red map for signed velocity fields, with
+    /// opacity concentrated at the extremes — in the spirit of the
+    /// paper's Figure 1 rendering of the X velocity component.
+    pub fn supernova_velocity() -> Self {
+        Self::from_points(
+            (-1.0, 1.0),
+            &[
+                (0.00, [0.05, 0.15, 0.80, 0.60]),
+                (0.30, [0.20, 0.45, 0.90, 0.03]),
+                (0.50, [1.00, 1.00, 1.00, 0.0]),
+                (0.70, [0.95, 0.55, 0.15, 0.03]),
+                (1.00, [0.85, 0.08, 0.05, 0.60]),
+            ],
+        )
+    }
+
+    /// An emissive map for density-like `[0,1]` fields.
+    pub fn hot_density() -> Self {
+        Self::from_points(
+            (0.0, 1.0),
+            &[
+                (0.00, [0.00, 0.00, 0.00, 0.00]),
+                (0.30, [0.25, 0.02, 0.30, 0.02]),
+                (0.60, [0.90, 0.35, 0.05, 0.15]),
+                (0.85, [1.00, 0.80, 0.20, 0.45]),
+                (1.00, [1.00, 1.00, 0.90, 0.70]),
+            ],
+        )
+    }
+
+    /// Raw table lookup (linear interpolation, clamped domain); alpha is
+    /// per unit length.
+    pub fn lookup(&self, value: f32) -> [f32; 4] {
+        let (lo, hi) = self.domain;
+        let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let x = t * (self.table.len() - 1) as f32;
+        let i = (x as usize).min(self.table.len() - 2);
+        let f = x - i as f32;
+        let a = self.table[i];
+        let b = self.table[i + 1];
+        [
+            a[0] + (b[0] - a[0]) * f,
+            a[1] + (b[1] - a[1]) * f,
+            a[2] + (b[2] - a[2]) * f,
+            a[3] + (b[3] - a[3]) * f,
+        ]
+    }
+
+    /// Classify a sample for a ray step of `dt` cells: returns
+    /// `(rgb, alpha_step)` with opacity corrected for step length.
+    #[inline]
+    pub fn classify(&self, value: f32, dt: f32) -> ([f32; 3], f32) {
+        let c = self.lookup(value);
+        let alpha = 1.0 - (1.0 - c[3].clamp(0.0, 0.999_999)).powf(dt);
+        ([c[0], c[1], c[2]], alpha)
+    }
+
+    pub fn domain(&self) -> (f32, f32) {
+        self.domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_interpolates_linearly() {
+        let tf = TransferFunction::grayscale((0.0, 1.0));
+        let mid = tf.lookup(0.5);
+        assert!((mid[0] - 0.5).abs() < 0.01);
+        assert!((mid[3] - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn lookup_clamps_outside_domain() {
+        let tf = TransferFunction::grayscale((0.0, 1.0));
+        assert_eq!(tf.lookup(-5.0), tf.lookup(0.0));
+        assert_eq!(tf.lookup(7.0), tf.lookup(1.0));
+    }
+
+    #[test]
+    fn opacity_correction_is_step_consistent() {
+        // Two half steps accumulate like one full step.
+        let tf = TransferFunction::grayscale((0.0, 1.0));
+        let (_, a_full) = tf.classify(0.8, 1.0);
+        let (_, a_half) = tf.classify(0.8, 0.5);
+        let two_halves = 1.0 - (1.0 - a_half) * (1.0 - a_half);
+        assert!((a_full - two_halves).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classify_zero_alpha_passes_through() {
+        let tf = TransferFunction::from_points(
+            (0.0, 1.0),
+            &[(0.0, [1.0, 0.0, 0.0, 0.0]), (1.0, [1.0, 0.0, 0.0, 0.0])],
+        );
+        let (_, a) = tf.classify(0.5, 1.0);
+        assert_eq!(a, 0.0);
+    }
+
+    #[test]
+    fn supernova_map_is_diverging() {
+        let tf = TransferFunction::supernova_velocity();
+        let neg = tf.lookup(-1.0);
+        let zero = tf.lookup(0.0);
+        let pos = tf.lookup(1.0);
+        assert!(neg[2] > neg[0], "negative end should be blue");
+        assert!(pos[0] > pos[2], "positive end should be red");
+        assert!(zero[3] < 0.05, "zero should be nearly transparent");
+        assert!(neg[3] > 0.3 && pos[3] > 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_panics() {
+        TransferFunction::from_points((0.0, 1.0), &[(0.5, [0.0; 4])]);
+    }
+}

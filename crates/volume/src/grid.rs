@@ -1,0 +1,252 @@
+//! In-memory structured-grid volumes with trilinear sampling.
+
+use rayon::prelude::*;
+
+use crate::field::ScalarField;
+
+/// A dense 3D scalar volume, row-major with x fastest.
+///
+/// Volumes are the unit of data each rank holds after I/O: its block of
+/// the global grid (usually padded by a one-voxel ghost layer so ray
+/// samples near block faces interpolate correctly).
+///
+/// ```
+/// use pvr_volume::{SupernovaField, Volume};
+///
+/// // Sample the synthetic supernova's X velocity at 32^3.
+/// let field = SupernovaField::new(1530).variable(2);
+/// let vol = Volume::from_field(&field, [32, 32, 32]);
+/// assert_eq!(vol.dims(), [32, 32, 32]);
+///
+/// // Trilinear sampling between voxel centers is bounded by the data.
+/// let (lo, hi) = vol.min_max();
+/// let s = vol.sample_trilinear([15.3, 16.7, 15.9]);
+/// assert!(s >= lo && s <= hi);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volume {
+    dims: [usize; 3],
+    data: Vec<f32>,
+}
+
+impl Volume {
+    /// Create a zero-filled volume.
+    pub fn zeros(dims: [usize; 3]) -> Self {
+        Volume { dims, data: vec![0.0; dims[0] * dims[1] * dims[2]] }
+    }
+
+    /// Wrap existing data (length must match `dims`).
+    pub fn from_data(dims: [usize; 3], data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), dims[0] * dims[1] * dims[2]);
+        Volume { dims, data }
+    }
+
+    /// Sample `field` over the unit cube at `dims` resolution
+    /// (voxel centers), in parallel.
+    pub fn from_field(field: &(impl ScalarField + Sync), dims: [usize; 3]) -> Self {
+        let [nx, ny, nz] = dims;
+        let inv = [1.0 / nx as f32, 1.0 / ny as f32, 1.0 / nz as f32];
+        let mut data = vec![0.0f32; nx * ny * nz];
+        data.par_chunks_mut(nx * ny)
+            .enumerate()
+            .for_each(|(z, slab)| {
+                let pz = (z as f32 + 0.5) * inv[2];
+                for y in 0..ny {
+                    let py = (y as f32 + 0.5) * inv[1];
+                    for x in 0..nx {
+                        let px = (x as f32 + 0.5) * inv[0];
+                        slab[y * nx + x] = field.sample(px, py, pz);
+                    }
+                }
+            });
+        Volume { dims, data }
+    }
+
+    /// Sample a *window* of a larger logical grid: voxels
+    /// `offset .. offset+dims` of a `global` grid over the unit cube.
+    /// This is how a rank materializes its block of a procedural field.
+    pub fn from_field_window(
+        field: &(impl ScalarField + Sync),
+        global: [usize; 3],
+        offset: [usize; 3],
+        dims: [usize; 3],
+    ) -> Self {
+        let [nx, ny, _] = dims;
+        let inv = [1.0 / global[0] as f32, 1.0 / global[1] as f32, 1.0 / global[2] as f32];
+        let mut data = vec![0.0f32; dims[0] * dims[1] * dims[2]];
+        data.par_chunks_mut(nx * ny)
+            .enumerate()
+            .for_each(|(z, slab)| {
+                let pz = ((offset[2] + z) as f32 + 0.5) * inv[2];
+                for y in 0..ny {
+                    let py = ((offset[1] + y) as f32 + 0.5) * inv[1];
+                    for x in 0..nx {
+                        let px = ((offset[0] + x) as f32 + 0.5) * inv[0];
+                        slab[y * nx + x] = field.sample(px, py, pz);
+                    }
+                }
+            });
+        Volume { dims, data }
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.dims[0] && y < self.dims[1] && z < self.dims[2]);
+        (z * self.dims[1] + y) * self.dims[0] + x
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> f32 {
+        self.data[self.index(x, y, z)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f32) {
+        let i = self.index(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Trilinear interpolation at a continuous voxel-space position
+    /// (`0.0 ..= dims-1` per axis); coordinates are clamped to the
+    /// volume, so sampling just outside returns the boundary value.
+    pub fn sample_trilinear(&self, p: [f32; 3]) -> f32 {
+        let [nx, ny, nz] = self.dims;
+        let cx = p[0].clamp(0.0, (nx - 1) as f32);
+        let cy = p[1].clamp(0.0, (ny - 1) as f32);
+        let cz = p[2].clamp(0.0, (nz - 1) as f32);
+        let (x0, y0, z0) = (cx as usize, cy as usize, cz as usize);
+        let x1 = (x0 + 1).min(nx - 1);
+        let y1 = (y0 + 1).min(ny - 1);
+        let z1 = (z0 + 1).min(nz - 1);
+        let (fx, fy, fz) = (cx - x0 as f32, cy - y0 as f32, cz - z0 as f32);
+
+        let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+        let c00 = lerp(self.get(x0, y0, z0), self.get(x1, y0, z0), fx);
+        let c10 = lerp(self.get(x0, y1, z0), self.get(x1, y1, z0), fx);
+        let c01 = lerp(self.get(x0, y0, z1), self.get(x1, y0, z1), fx);
+        let c11 = lerp(self.get(x0, y1, z1), self.get(x1, y1, z1), fx);
+        lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz)
+    }
+
+    /// Minimum and maximum voxel values.
+    pub fn min_max(&self) -> (f32, f32) {
+        self.data
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+    }
+
+    /// Trilinear upsampling by an integer factor per axis — the
+    /// preprocessing step the paper used to build its 2240³ and 4480³
+    /// time steps from the 1120³ original ("upsampling preserves the
+    /// structure of the data").
+    pub fn upsample(&self, factor: usize) -> Volume {
+        assert!(factor >= 1);
+        let nd = [self.dims[0] * factor, self.dims[1] * factor, self.dims[2] * factor];
+        let mut out = Volume::zeros(nd);
+        let scale = 1.0 / factor as f32;
+        let nx = nd[0];
+        let ny = nd[1];
+        out.data
+            .par_chunks_mut(nx * ny)
+            .enumerate()
+            .for_each(|(z, slab)| {
+                let pz = z as f32 * scale;
+                for y in 0..ny {
+                    let py = y as f32 * scale;
+                    for x in 0..nx {
+                        slab[y * nx + x] = self.sample_trilinear([x as f32 * scale, py, pz]);
+                    }
+                }
+            });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut v = Volume::zeros([4, 3, 2]);
+        v.set(3, 2, 1, 7.5);
+        assert_eq!(v.get(3, 2, 1), 7.5);
+        assert_eq!(v.data()[v.index(3, 2, 1)], 7.5);
+    }
+
+    #[test]
+    fn trilinear_at_grid_points_is_exact() {
+        let mut v = Volume::zeros([3, 3, 3]);
+        for z in 0..3 {
+            for y in 0..3 {
+                for x in 0..3 {
+                    v.set(x, y, z, (x + 10 * y + 100 * z) as f32);
+                }
+            }
+        }
+        for z in 0..3 {
+            for y in 0..3 {
+                for x in 0..3 {
+                    let s = v.sample_trilinear([x as f32, y as f32, z as f32]);
+                    assert_eq!(s, (x + 10 * y + 100 * z) as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trilinear_is_linear_along_axes() {
+        let mut v = Volume::zeros([2, 2, 2]);
+        v.set(1, 0, 0, 2.0);
+        v.set(1, 1, 0, 2.0);
+        v.set(1, 0, 1, 2.0);
+        v.set(1, 1, 1, 2.0);
+        assert!((v.sample_trilinear([0.25, 0.5, 0.5]) - 0.5).abs() < 1e-6);
+        assert!((v.sample_trilinear([0.75, 0.0, 0.9]) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_outside_clamps() {
+        let mut v = Volume::zeros([2, 2, 2]);
+        v.set(0, 0, 0, 5.0);
+        assert_eq!(v.sample_trilinear([-3.0, -3.0, -3.0]), 5.0);
+    }
+
+    #[test]
+    fn upsample_preserves_linear_ramp() {
+        let mut v = Volume::zeros([4, 4, 4]);
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    v.set(x, y, z, x as f32);
+                }
+            }
+        }
+        let u = v.upsample(2);
+        assert_eq!(u.dims(), [8, 8, 8]);
+        // The x ramp is reproduced at half steps.
+        assert!((u.get(2, 3, 3) - 1.0).abs() < 1e-6);
+        assert!((u.get(3, 3, 3) - 1.5).abs() < 1e-6);
+        let (lo, hi) = u.min_max();
+        let (lo0, hi0) = v.min_max();
+        assert_eq!((lo, hi), (lo0, hi0));
+    }
+
+    #[test]
+    fn min_max() {
+        let v = Volume::from_data([2, 1, 1], vec![-3.5, 9.0]);
+        assert_eq!(v.min_max(), (-3.5, 9.0));
+    }
+}

@@ -1,0 +1,64 @@
+//! Simulate the paper's headline runs on the virtual Blue Gene/P.
+//!
+//! ```text
+//! cargo run --release --example bgp_simulation
+//! ```
+//!
+//! Prices the 1120³/1600² frame across core counts (Figure 3's series)
+//! and prints Table II rows for the upsampled 2240³ and 4480³ steps —
+//! all without rendering a pixel: the schedules are real, the hardware
+//! is modeled.
+
+use parallel_volume_rendering::core::{
+    CompositorPolicy, FrameConfig, PerfModel,
+};
+
+fn main() {
+    let model = PerfModel::default();
+
+    println!("== 1120^3 / 1600^2 raw-mode frame (paper Figure 3) ==");
+    println!("{:>7} {:>9} {:>9} {:>9} {:>11} {:>11}", "cores", "total(s)", "io(s)", "render(s)", "comp-orig", "comp-impr");
+    for n in [64usize, 256, 1024, 4096, 16384, 32768] {
+        let mut cfg = FrameConfig::paper_1120(n);
+        cfg.policy = CompositorPolicy::Improved;
+        let r = model.simulate(&cfg);
+        let mut cfg_o = cfg;
+        cfg_o.policy = CompositorPolicy::Original;
+        let sched = model.schedule_for(&cfg_o);
+        let orig = model.simulate_composite(&cfg_o, &sched);
+        println!(
+            "{n:>7} {:>9.2} {:>9.2} {:>9.3} {:>11.3} {:>11.3}",
+            r.timing.total(),
+            r.timing.io,
+            r.timing.render,
+            orig.seconds,
+            r.timing.composite
+        );
+    }
+
+    println!("\n== Large sizes (paper Table II) ==");
+    println!(
+        "{:>7} {:>6} {:>7} {:>9} {:>6} {:>6} {:>9}",
+        "grid", "GB", "procs", "total(s)", "%io", "%comp", "read GB/s"
+    );
+    for (builder, label) in [
+        (FrameConfig::paper_2240 as fn(usize) -> FrameConfig, "2240^3"),
+        (FrameConfig::paper_4480 as fn(usize) -> FrameConfig, "4480^3"),
+    ] {
+        for n in [8192usize, 16384, 32768] {
+            let cfg = builder(n);
+            let r = model.simulate(&cfg);
+            println!(
+                "{label:>7} {:>6.0} {n:>7} {:>9.2} {:>6.1} {:>6.1} {:>9.2}",
+                cfg.variable_bytes() as f64 / 1e9,
+                r.timing.total(),
+                r.timing.io_percent(),
+                r.timing.composite_percent(),
+                r.io.read_bandwidth / 1e9
+            );
+        }
+    }
+
+    println!("\npaper reference: 2240^3 @ 32K = 35.54 s (95.8% io, 1.26 GB/s);");
+    println!("                 4480^3 @ 32K = 220.79 s (95.6% io, 1.63 GB/s)");
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate every figure/table of the paper plus the extension studies.
+# CSVs and PGMs land under results/ (override with PVR_RESULTS_DIR).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BINS=(table1 fig1_render fig3_scaling fig4_bandwidth fig5_overall table2_large
+      fig6_distribution fig7_io_modes fig8_layout fig9_access fig10_density
+      ablation_compositing ablation_placement ablation_io_hints future_insitu calibrate)
+for b in "${BINS[@]}"; do
+  echo "==================== $b ===================="
+  cargo run --release -q -p pvr-bench --bin "$b"
+  echo
+done

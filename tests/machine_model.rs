@@ -1,0 +1,123 @@
+//! Cross-crate integration: compositing schedules priced on the BG/P
+//! machine model behave like the paper's network — at fast (reduced)
+//! scales suitable for the default test run. The full 32K-core sweeps
+//! live in the `pvr-bench` regenerators.
+
+use parallel_volume_rendering::bgp::consts;
+use parallel_volume_rendering::bgp::flowsim::{peak_bandwidth, FlowSim, FlowSpec, SimParams};
+use parallel_volume_rendering::bgp::machine::{Machine, MachineConfig};
+use parallel_volume_rendering::bgp::Torus;
+use parallel_volume_rendering::core::{CompositorPolicy, FrameConfig, PerfModel};
+
+/// Effective bandwidth falls away from peak as direct-send messages
+/// shrink — the mechanism of Figure 4 — reproduced with a real
+/// all-to-few schedule on an 8x8x8 torus.
+#[test]
+fn small_messages_fall_away_from_peak() {
+    let torus = Torus::near_cubic(512);
+    let sim = FlowSim::new(&torus);
+    let mut ratios = Vec::new();
+    for msg_bytes in [312u64, 2_500, 40_000] {
+        // 512 senders -> 64 receivers, direct-send-like.
+        let specs: Vec<FlowSpec> = (0..512)
+            .flat_map(|s| {
+                (0..4).map(move |k| FlowSpec::new(s, ((s / 8) * 8 + k * 2) % 512, msg_bytes))
+            })
+            .filter(|f| f.src != f.dst)
+            .collect();
+        let r = sim.run(&specs);
+        let per_flow_peak = peak_bandwidth(msg_bytes, sim.params());
+        // Aggregate achieved vs aggregate if every flow ran at its
+        // uncontended peak.
+        let achieved = r.effective_bandwidth();
+        let ideal = per_flow_peak * specs.len() as f64;
+        ratios.push(achieved / ideal);
+    }
+    // Shrinking messages worsens the fraction-of-ideal.
+    assert!(ratios[0] < ratios[2], "ratios {ratios:?}");
+}
+
+/// Hot-spot contention: concentrating receivers degrades bandwidth,
+/// the Davis et al. effect the paper cites.
+#[test]
+fn hot_spots_degrade_bandwidth() {
+    let torus = Torus::near_cubic(512);
+    let sim = FlowSim::new(&torus);
+    let bytes = 100_000u64;
+    // Spread: every node sends to its diagonal partner.
+    let spread: Vec<FlowSpec> =
+        (0..512).map(|s| FlowSpec::new(s, (s + 256) % 512, bytes)).collect();
+    // Hot: everyone sends to 4 nodes.
+    let hot: Vec<FlowSpec> = (0..512)
+        .filter(|&s| s >= 4)
+        .map(|s| FlowSpec::new(s, s % 4, bytes))
+        .collect();
+    let bw_spread = sim.run(&spread).effective_bandwidth();
+    let bw_hot = sim.run(&hot).effective_bandwidth();
+    assert!(
+        bw_hot < bw_spread / 3.0,
+        "hot {bw_hot:.2e} not >3x worse than spread {bw_spread:.2e}"
+    );
+}
+
+/// The improved policy's benefit appears at reduced scale too: at 4K
+/// ranks, m=1K beats m=n in simulated composite time.
+#[test]
+fn compositor_limiting_helps_at_4k() {
+    let model = PerfModel::default();
+    let mut cfg = FrameConfig::paper_1120(4096);
+    cfg.policy = CompositorPolicy::Original;
+    let orig = model.simulate_composite(&cfg, &model.schedule_for(&cfg));
+    cfg.policy = CompositorPolicy::Improved;
+    let impr = model.simulate_composite(&cfg, &model.schedule_for(&cfg));
+    assert!(impr.seconds < orig.seconds, "improved {} !< original {}", impr.seconds, orig.seconds);
+    assert_eq!(impr.compositors, 1024);
+    // Both move the same pixel volume.
+    assert_eq!(impr.total_bytes, orig.total_bytes);
+}
+
+/// Machine geometry invariants the pipeline relies on.
+#[test]
+fn machine_and_torus_are_consistent() {
+    for ranks in [64usize, 1024, 32768] {
+        let m = Machine::new(MachineConfig::vn(ranks));
+        assert_eq!(m.num_ranks(), ranks);
+        assert_eq!(m.num_nodes() * consts::CORES_PER_NODE, ranks.next_power_of_two().max(4));
+        // Every rank maps to a valid node.
+        for r in [0, ranks / 2, ranks - 1] {
+            assert!(m.node_of_rank(r) < m.num_nodes());
+        }
+        // Batch tolerance never breaks conservation.
+        let torus = m.torus();
+        let sim = FlowSim::with_params(
+            torus,
+            SimParams { batch_tolerance: 0.05, ..Default::default() },
+        );
+        let specs: Vec<FlowSpec> = (0..32.min(m.num_nodes()))
+            .map(|i| FlowSpec::new(i, (i * 3 + 1) % m.num_nodes(), 10_000))
+            .filter(|f| f.src != f.dst)
+            .collect();
+        let r = sim.run(&specs);
+        assert!(r.makespan > 0.0);
+        assert_eq!(r.messages, specs.len());
+    }
+}
+
+/// Batched and exact simulation agree within the tolerance bound.
+#[test]
+fn batching_error_is_bounded()  {
+    let torus = Torus::near_cubic(256);
+    let specs: Vec<FlowSpec> = (0..256)
+        .flat_map(|s| (1..4).map(move |k| FlowSpec::new(s, (s + k * 17) % 256, 5_000 + 137 * k as u64)))
+        .filter(|f| f.src != f.dst)
+        .collect();
+    let exact = FlowSim::new(&torus).run(&specs).net_makespan;
+    let batched = FlowSim::with_params(
+        &torus,
+        SimParams { batch_tolerance: 0.05, ..Default::default() },
+    )
+    .run(&specs)
+    .net_makespan;
+    let err = (exact - batched).abs() / exact;
+    assert!(err < 0.15, "batching error {err}");
+}
