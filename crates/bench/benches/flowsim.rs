@@ -35,7 +35,10 @@ fn bench_flowsim(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("incast-batched", nodes), &specs, |b, s| {
             let sim = FlowSim::with_params(
                 &torus,
-                SimParams { batch_tolerance: 0.05, ..Default::default() },
+                SimParams {
+                    batch_tolerance: 0.05,
+                    ..Default::default()
+                },
             );
             b.iter(|| sim.run(s))
         });

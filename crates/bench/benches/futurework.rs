@@ -21,7 +21,11 @@ fn bench_tracing(c: &mut Criterion) {
             [16.0 + 8.0 * a.cos(), 16.0 + 8.0 * a.sin(), 16.0]
         })
         .collect();
-    let opts = TracerOpts { h: 0.5, max_steps: 500, min_speed: 1e-7 };
+    let opts = TracerOpts {
+        h: 0.5,
+        max_steps: 500,
+        min_speed: 1e-7,
+    };
 
     group.bench_function("serial-16-seeds", |b| {
         b.iter(|| trace_serial_sampled(grid, &seeds, &opts, vortex))

@@ -45,7 +45,10 @@ fn bench_execution(c: &mut Criterion) {
             let sub = decomp.with_ghost(blk, 1);
             let mut runs = Vec::new();
             layout.placed_runs(2, &sub, &mut |r| runs.push(r));
-            RankRequest { runs, out_elems: sub.num_elements() }
+            RankRequest {
+                runs,
+                out_elems: sub.num_elements(),
+            }
         })
         .collect();
 

@@ -24,7 +24,10 @@ fn bench_raycast(c: &mut Criterion) {
             b.iter(|| render_serial(&vol, &cam, &tf, &opts))
         });
 
-        let et = RenderOpts { early_termination: true, ..Default::default() };
+        let et = RenderOpts {
+            early_termination: true,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("early-termination", n), &n, |b, _| {
             b.iter(|| render_serial(&vol, &cam, &tf, &et))
         });

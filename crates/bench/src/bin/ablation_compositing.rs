@@ -24,9 +24,13 @@ fn main() {
         let mut cfg = FrameConfig::paper_1120(n);
 
         cfg.policy = CompositorPolicy::Original;
-        let ds_mn = model.simulate_composite(&cfg, &model.schedule_for(&cfg)).seconds;
+        let ds_mn = model
+            .simulate_composite(&cfg, &model.schedule_for(&cfg))
+            .seconds;
         cfg.policy = CompositorPolicy::Improved;
-        let ds_lim = model.simulate_composite(&cfg, &model.schedule_for(&cfg)).seconds;
+        let ds_lim = model
+            .simulate_composite(&cfg, &model.schedule_for(&cfg))
+            .seconds;
 
         let bs_radices = vec![2usize; n.trailing_zeros() as usize];
         let bs = model
@@ -43,10 +47,15 @@ fn main() {
             .seconds;
 
         let rd = model
-            .simulate_rounds(&cfg, &radix_k_schedule(n, image_pixels, &default_radices(n)))
+            .simulate_rounds(
+                &cfg,
+                &radix_k_schedule(n, image_pixels, &default_radices(n)),
+            )
             .seconds;
 
-        csv.row(&format!("{n},{ds_mn:.3},{ds_lim:.3},{bs:.3},{r4:.3},{rd:.3}"));
+        csv.row(&format!(
+            "{n},{ds_mn:.3},{ds_lim:.3},{bs:.3},{r4:.3},{rd:.3}"
+        ));
         last = (ds_mn, ds_lim, bs);
         let _ = (r4, rd);
     }

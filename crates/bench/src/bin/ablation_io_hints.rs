@@ -19,8 +19,9 @@ fn main() {
     let layout = NetCdfClassicLayout::new(grid, 5);
     let record = layout.record_bytes();
     let stride = layout.record_stride();
-    let aggregate =
-        IoMode::NetCdfUntuned.layout(grid).extents(0, &Subvolume::whole(grid));
+    let aggregate = IoMode::NetCdfUntuned
+        .layout(grid)
+        .extents(0, &Subvolume::whole(grid));
     let cfg = FrameConfig::paper_1120(2048);
     let io_nodes = 8;
     let storage = StorageModel::default();
@@ -45,8 +46,14 @@ fn main() {
     let mut default_time = 0.0;
     for (_, cb) in &buffers {
         let naggr = StorageModel::default_aggregators(cfg.nprocs, io_nodes);
-        let plan =
-            two_phase_plan(&aggregate, naggr, &CollectiveHints { cb_buffer_size: *cb, cb_nodes: None });
+        let plan = two_phase_plan(
+            &aggregate,
+            naggr,
+            &CollectiveHints {
+                cb_buffer_size: *cb,
+                cb_nodes: None,
+            },
+        );
         let t = storage.read_time(plan.physical_bytes, plan.accesses.len(), io_nodes, naggr);
         csv.row(&format!(
             "{cb},{naggr},{:.2},{},{:.2},{:.3},{:.2}",
@@ -82,9 +89,7 @@ fn main() {
     check(
         "a record-scale buffer beats the 16 MiB default (the paper's ~2x)",
         best_t < default_time / 1.5,
-        &format!(
-            "best cb={best_cb} B -> {best_t:.1} s vs default 16 MiB -> {default_time:.1} s"
-        ),
+        &format!("best cb={best_cb} B -> {best_t:.1} s vs default 16 MiB -> {default_time:.1} s"),
     );
     check(
         "buffers at/above the record stride swallow the inter-variable gaps",
@@ -93,7 +98,10 @@ fn main() {
             let big = two_phase_plan(
                 &aggregate,
                 naggr,
-                &CollectiveHints { cb_buffer_size: stride, cb_nodes: None },
+                &CollectiveHints {
+                    cb_buffer_size: stride,
+                    cb_nodes: None,
+                },
             );
             big.data_density() < 0.3
         },

@@ -40,7 +40,11 @@ fn main() {
         for b in decomp.blocks() {
             let stored = decomp.with_ghost(&b, 1);
             let vol = Volume::from_field_window(&field, cfg.grid, stored.offset, stored.shape);
-            let dom = BlockDomain { grid: cfg.grid, owned: b.sub, stored };
+            let dom = BlockDomain {
+                grid: cfg.grid,
+                owned: b.sub,
+                stored,
+            };
             let (_, stats) = render_block(&vol, &dom, &cam, &tf, &opts);
             per_rank.push(stats.samples);
         }
@@ -51,14 +55,19 @@ fn main() {
         let mean = total as f64 / ranks as f64;
         let imb = *per_rank.iter().max().unwrap() as f64 / mean;
         let rate = total as f64 / wall; // includes field sampling; order-of-magnitude host ref
-        csv.row(&format!("{grid},{image},{ranks},{coeff:.3},{imb:.3},{rate:.0}"));
+        csv.row(&format!(
+            "{grid},{image},{ranks},{coeff:.3},{imb:.3},{rate:.0}"
+        ));
         coeffs.push(coeff);
         imbalances.push(imb);
     }
 
     let mean_coeff = coeffs.iter().sum::<f64>() / coeffs.len() as f64;
     let mean_imb = imbalances.iter().sum::<f64>() / imbalances.len() as f64;
-    println!("# model defaults: sample_coeff={}, render_imbalance={}", model.sample_coeff, model.render_imbalance);
+    println!(
+        "# model defaults: sample_coeff={}, render_imbalance={}",
+        model.sample_coeff, model.render_imbalance
+    );
     println!("# measured:       sample_coeff={mean_coeff:.3}, render_imbalance={mean_imb:.3}");
 
     check(

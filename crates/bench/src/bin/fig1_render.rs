@@ -20,7 +20,11 @@ fn main() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("step1530.raw");
     let bytes = write_dataset(&path, &cfg).expect("write time step");
-    println!("# wrote {:.1} MB raw time step ({}^3)", bytes as f64 / 1e6, cfg.grid[0]);
+    println!(
+        "# wrote {:.1} MB raw time step ({}^3)",
+        bytes as f64 / 1e6,
+        cfg.grid[0]
+    );
 
     let frame = run_frame(&cfg, Some(&path));
     println!("# frame: {}", frame.timing);

@@ -51,7 +51,11 @@ fn main() {
     }
 
     // --- Qualitative checks against the paper. ---
-    let best = totals.iter().cloned().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    let best = totals
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
     check(
         "best total frame time at large scale (paper: 5.9 s at 16K)",
         best.0 >= 8192 && best.1 > 3.0 && best.1 < 10.0,
@@ -77,7 +81,10 @@ fn main() {
     check(
         "original compositing blows up beyond 1K (paper: ~30x at 32K)",
         o32k / i32k > 10.0,
-        &format!("32K original {o32k:.2} s vs improved {i32k:.3} s = {:.0}x", o32k / i32k),
+        &format!(
+            "32K original {o32k:.2} s vs improved {i32k:.3} s = {:.0}x",
+            o32k / i32k
+        ),
     );
     let io32k = totals.last().unwrap();
     check(

@@ -69,6 +69,10 @@ fn main() {
     check(
         "limiting compositors alleviates the drop-off at 32K",
         last.3 > 5.0 * last.4,
-        &format!("improved {:.1} MB/s vs original {:.1} MB/s", last.3 / 1e6, last.4 / 1e6),
+        &format!(
+            "improved {:.1} MB/s vs original {:.1} MB/s",
+            last.3 / 1e6,
+            last.4 / 1e6
+        ),
     );
 }

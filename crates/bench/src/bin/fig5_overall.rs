@@ -49,8 +49,12 @@ fn main() {
     // --- Checks. ---
     check(
         "larger problems take longer at every core count",
-        t2240.iter().all(|(n, t)| *t > t1120.iter().find(|(m, _)| m == n).unwrap().1)
-            && t4480.iter().all(|(n, t)| *t > t2240.iter().find(|(m, _)| m == n).unwrap().1),
+        t2240
+            .iter()
+            .all(|(n, t)| *t > t1120.iter().find(|(m, _)| m == n).unwrap().1)
+            && t4480
+                .iter()
+                .all(|(n, t)| *t > t2240.iter().find(|(m, _)| m == n).unwrap().1),
         "1120 < 2240 < 4480 ordering holds",
     );
     let t2240_32k = t2240.last().unwrap().1;

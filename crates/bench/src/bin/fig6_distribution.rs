@@ -33,7 +33,10 @@ fn main() {
     );
     check(
         "I/O dominates at scale (>= 70% beyond 4K cores)",
-        io_pct.iter().filter(|(n, _)| *n >= 4096).all(|(_, p)| *p >= 70.0),
+        io_pct
+            .iter()
+            .filter(|(n, _)| *n >= 4096)
+            .all(|(_, p)| *p >= 70.0),
         "rendering is not the bottleneck at scale",
     );
 }

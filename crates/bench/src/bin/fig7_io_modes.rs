@@ -11,7 +11,10 @@ use pvr_core::{FrameConfig, IoMode, PerfModel};
 
 fn main() {
     let model = PerfModel::default();
-    let mut csv = CsvOut::create("fig7_io_modes", "cores,raw_MBs,tuned_pnetcdf_MBs,original_pnetcdf_MBs");
+    let mut csv = CsvOut::create(
+        "fig7_io_modes",
+        "cores,raw_MBs,tuned_pnetcdf_MBs,original_pnetcdf_MBs",
+    );
 
     let bw = |mode: IoMode, n: usize| {
         let mut cfg = FrameConfig::paper_1120(n);
@@ -47,7 +50,10 @@ fn main() {
             tuned_gain.iter().cloned().fold(0.0, f64::max)
         ),
     );
-    let raw_peak = CORE_SWEEP.iter().map(|&n| bw(IoMode::Raw, n)).fold(0.0, f64::max);
+    let raw_peak = CORE_SWEEP
+        .iter()
+        .map(|&n| bw(IoMode::Raw, n))
+        .fold(0.0, f64::max);
     check(
         "raw bandwidth peaks near 1 GB/s (paper's y-axis tops at ~1.1 GB/s)",
         raw_peak > 700.0 && raw_peak < 1600.0,

@@ -16,9 +16,18 @@ fn main() {
     let grid = [1120, 1120, 8];
     let l = NetCdfClassicLayout::new(grid, 5);
 
-    println!("# netCDF classic record-variable layout, {} variables, {} records", 5, grid[2]);
-    println!("# record = one z-slice of one variable = {} bytes", l.record_bytes());
-    println!("# stride between records of the same variable = {} bytes", l.record_stride());
+    println!(
+        "# netCDF classic record-variable layout, {} variables, {} records",
+        5, grid[2]
+    );
+    println!(
+        "# record = one z-slice of one variable = {} bytes",
+        l.record_bytes()
+    );
+    println!(
+        "# stride between records of the same variable = {} bytes",
+        l.record_stride()
+    );
     println!();
 
     let mut csv = CsvOut::create("fig8_layout", "offset_bytes,len_bytes,content");
@@ -51,6 +60,11 @@ fn main() {
     check(
         "one variable occupies exactly 1/5 of the data area, in stride-separated records",
         useful * 5 == data_area && e.len() == grid[2],
-        &format!("{} records of {} bytes every {} bytes", e.len(), e[0].len, l.record_stride()),
+        &format!(
+            "{} records of {} bytes every {} bytes",
+            e.len(),
+            e[0].len,
+            l.record_stride()
+        ),
     );
 }

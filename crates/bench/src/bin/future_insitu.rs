@@ -40,7 +40,10 @@ fn main() {
     );
     check(
         "eliminating I/O removes the dominant cost at scale (>= 5x)",
-        speedups.iter().filter(|(n, _)| *n >= 8192).all(|(_, s)| *s >= 5.0),
+        speedups
+            .iter()
+            .filter(|(n, _)| *n >= 8192)
+            .all(|(_, s)| *s >= 5.0),
         "frames become visualization-bound",
     );
 }

@@ -15,9 +15,10 @@ fn main() {
     );
 
     // (config builder, paper read bandwidths for 8K/16K/32K)
-    let cases: [(&str, fn(usize) -> FrameConfig, [f64; 3]); 2] = [
-        ("2240^3", FrameConfig::paper_2240 as fn(usize) -> FrameConfig, [0.87, 1.02, 1.26]),
-        ("4480^3", FrameConfig::paper_4480 as fn(usize) -> FrameConfig, [1.13, 1.30, 1.63]),
+    type Case = (&'static str, fn(usize) -> FrameConfig, [f64; 3]);
+    let cases: [Case; 2] = [
+        ("2240^3", FrameConfig::paper_2240, [0.87, 1.02, 1.26]),
+        ("4480^3", FrameConfig::paper_4480, [1.13, 1.30, 1.63]),
     ];
 
     let mut all_io_pct = Vec::new();
@@ -54,6 +55,9 @@ fn main() {
     check(
         "read bandwidths match the six paper cells within 25%",
         bw_errs.iter().all(|e| *e < 0.25),
-        &format!("max relative error {:.0}%", bw_errs.iter().cloned().fold(0.0, f64::max) * 100.0),
+        &format!(
+            "max relative error {:.0}%",
+            bw_errs.iter().cloned().fold(0.0, f64::max) * 100.0
+        ),
     );
 }

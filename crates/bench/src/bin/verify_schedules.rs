@@ -1,0 +1,188 @@
+//! Static schedule verification sweep.
+//!
+//! Runs the `pvr-verify` linter over paper-scale configurations:
+//!
+//! * **Direct-send** schedules built from *real* raycast footprints
+//!   (near-cubic block decomposition of a 64³ grid, oblique
+//!   orthographic camera) for n ∈ {2..256} renderers and compositor
+//!   counts m ∈ {1..n} (sampled; exhaustive for small n) — checking
+//!   image-partition exactness, overlap conservation (every
+//!   footprint ∩ tile intersection sent exactly once, exactly sized),
+//!   and the paper's bounded per-compositor fan-in.
+//! * **Radix-k** rounds for the default factorization, pure binary
+//!   swap, and pure direct-send — checking round degree, group/lane
+//!   locality, byte conservation, and final-span partition.
+//! * **Stage tags** used by the pipeline.
+//! * **Mutation kill check**: seeded faults (drop / duplicate /
+//!   reroute / inflate) injected into known-good schedules must all be
+//!   caught — proving the linter is not vacuously green.
+//!
+//! Exits nonzero on any violation (or any uncaught mutation).
+
+use pvr_compositing::radixk::{default_radices, radix_k_schedule};
+use pvr_compositing::{build_schedule, ImagePartition};
+use pvr_render::camera::Camera;
+use pvr_render::image::PixelRect;
+use pvr_verify::lint::{expected_fanin, mutate_rounds, mutate_schedule};
+use pvr_verify::{lint_direct_send, lint_radix_k, lint_tags, m_samples, LintOptions, Mutation};
+use pvr_volume::BlockDecomposition;
+
+const IMAGE: (usize, usize) = (128, 128);
+const GRID: [usize; 3] = [64, 64, 64];
+const N_SWEEP: [usize; 14] = [2, 3, 4, 6, 8, 12, 16, 27, 32, 64, 101, 128, 192, 256];
+
+/// Screen footprints of a near-cubic block decomposition under the
+/// pipeline's slightly-oblique default view — the real geometry the
+/// mpi pipeline derives its schedules from.
+fn real_footprints(n: usize) -> Vec<PixelRect> {
+    // A prime factor larger than a grid axis cannot be placed (e.g.
+    // n = 101 on a 64³ grid); those n get the synthetic lattice.
+    let mut rem = n;
+    for p in 2..=GRID[0] {
+        while rem.is_multiple_of(p) {
+            rem /= p;
+        }
+    }
+    if rem > 1 {
+        return pvr_verify::synthetic_footprints(n, IMAGE.0, IMAGE.1);
+    }
+    let decomp = BlockDecomposition::new(GRID, n);
+    let camera = Camera::orthographic(GRID, pvr_core::pipeline::default_view(), IMAGE.0, IMAGE.1);
+    decomp
+        .blocks()
+        .iter()
+        .map(|b| pvr_render::raycast::footprint(&camera, b.sub.offset, b.sub.end(), IMAGE))
+        .collect()
+}
+
+fn main() {
+    let mut checks = 0usize;
+    let mut failures = 0usize;
+    let mut report = |label: String, ok: bool, detail: String| {
+        checks += 1;
+        if !ok {
+            failures += 1;
+            eprintln!("FAIL {label}: {detail}");
+        }
+    };
+
+    // --- Direct-send sweep: real footprints, sampled m. ---
+    for n in N_SWEEP {
+        let fps = real_footprints(n);
+        for m in m_samples(n) {
+            let part = ImagePartition::new(IMAGE.0, IMAGE.1, m);
+            let schedule = build_schedule(&fps, part);
+            // Real oblique footprints are conservative bounding boxes
+            // (larger than the ideal lattice cell), so give the
+            // fan-in cap headroom over the synthetic bound.
+            let opts = LintOptions {
+                mean_fanin_alpha: 6.0,
+                max_fanin_beta: 12.0,
+                ..LintOptions::default()
+            };
+            let r = lint_direct_send(&fps, &schedule, &opts);
+            report(
+                format!("direct-send n={n} m={m}"),
+                r.ok(),
+                r.violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            );
+        }
+        // Fan-in summary at m = n for the paper's scaling curve.
+        let part = ImagePartition::new(IMAGE.0, IMAGE.1, n.min(IMAGE.0));
+        let schedule = build_schedule(&fps, part);
+        let mean = schedule.messages.len() as f64 / part.m() as f64;
+        println!(
+            "direct-send n={n:>3}: {} msgs, mean fan-in {mean:.2} (expected O(n^1/3) ≈ {:.2})",
+            schedule.messages.len(),
+            expected_fanin(n, part.m()),
+        );
+    }
+
+    // --- Radix-k sweep: default, binary-swap, direct-send factorizations. ---
+    let pixels = IMAGE.0 * IMAGE.1;
+    let opts = LintOptions::default();
+    for n in N_SWEEP {
+        let mut factorizations = vec![("default", default_radices(n)), ("direct", vec![n])];
+        if n.is_power_of_two() {
+            let swap = vec![2usize; n.trailing_zeros() as usize];
+            factorizations.push(("binary-swap", swap));
+        }
+        for (label, radices) in factorizations {
+            if radices.iter().any(|&k| k < 2) {
+                continue;
+            }
+            let rounds = radix_k_schedule(n, pixels, &radices);
+            let r = lint_radix_k(n, pixels, &radices, &rounds, &opts);
+            report(
+                format!("radix-k n={n} {label} {radices:?}"),
+                r.ok(),
+                r.violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            );
+        }
+    }
+
+    // --- Tag discipline. ---
+    let tags = pvr_core::pipeline::tags::ALL;
+    let r = lint_tags(&tags);
+    report("stage tags".into(), r.ok(), format!("{:?}", r.violations));
+
+    // --- Mutation kill check: every injected fault must be caught. ---
+    let n = 27;
+    let fps = real_footprints(n);
+    let part = ImagePartition::new(IMAGE.0, IMAGE.1, 9);
+    let schedule = build_schedule(&fps, part);
+    for (i, mutation) in [
+        Mutation::Drop(3),
+        Mutation::Drop(17),
+        Mutation::Duplicate(5),
+        Mutation::Duplicate(29),
+        Mutation::Inflate(7, 13),
+        Mutation::Reroute(11, 4),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let bad = mutate_schedule(&schedule, mutation);
+        if bad.messages == schedule.messages {
+            continue; // mutation was a no-op (rerouted onto itself)
+        }
+        let caught = !lint_direct_send(&fps, &bad, &LintOptions::default()).ok();
+        report(
+            format!("mutation-kill direct-send #{i} {mutation:?}"),
+            caught,
+            "not caught".into(),
+        );
+    }
+    let radices = default_radices(16);
+    let rounds = radix_k_schedule(16, pixels, &radices);
+    for (i, mutation) in [
+        Mutation::Drop(2),
+        Mutation::Duplicate(9),
+        Mutation::Inflate(5, 11),
+        Mutation::Reroute(3, 7),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let bad = mutate_rounds(&rounds, 16, mutation);
+        let caught = !lint_radix_k(16, pixels, &radices, &bad, &opts).ok();
+        report(
+            format!("mutation-kill radix-k #{i} {mutation:?}"),
+            caught,
+            "not caught".into(),
+        );
+    }
+
+    println!("verify_schedules: {checks} checks, {failures} failures");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

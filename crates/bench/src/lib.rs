@@ -13,8 +13,7 @@ use std::path::PathBuf;
 
 /// The process-count sweep of the paper's Figures 3, 6 and 7
 /// (64 … 32K cores, powers of two).
-pub const CORE_SWEEP: [usize; 10] =
-    [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+pub const CORE_SWEEP: [usize; 10] = [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
 
 /// The large-size sweep of Table II.
 pub const LARGE_SWEEP: [usize; 3] = [8192, 16384, 32768];
@@ -50,7 +49,10 @@ impl CsvOut {
 
 /// Emit a qualitative check line (the regenerators' self-validation).
 pub fn check(name: &str, ok: bool, detail: &str) {
-    println!("# check: {name}: {} ({detail})", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "# check: {name}: {} ({detail})",
+        if ok { "PASS" } else { "FAIL" }
+    );
 }
 
 /// Write a binary artifact (e.g. a PGM access map) under `results/`.
@@ -67,7 +69,10 @@ mod tests {
 
     #[test]
     fn csv_out_writes_file() {
-        std::env::set_var("PVR_RESULTS_DIR", std::env::temp_dir().join("pvr-bench-test"));
+        std::env::set_var(
+            "PVR_RESULTS_DIR",
+            std::env::temp_dir().join("pvr-bench-test"),
+        );
         let mut c = CsvOut::create("unit", "a,b");
         c.row("1,2");
         let content = std::fs::read_to_string(out_dir().join("unit.csv")).unwrap();

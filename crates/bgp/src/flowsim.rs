@@ -41,7 +41,12 @@ pub struct FlowSpec {
 
 impl FlowSpec {
     pub fn new(src: usize, dst: usize, bytes: u64) -> Self {
-        FlowSpec { src, dst, bytes, start: 0.0 }
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            start: 0.0,
+        }
     }
 }
 
@@ -140,7 +145,10 @@ pub struct FlowSim<'a> {
 
 impl<'a> FlowSim<'a> {
     pub fn new(torus: &'a Torus) -> Self {
-        FlowSim { torus, params: SimParams::default() }
+        FlowSim {
+            torus,
+            params: SimParams::default(),
+        }
     }
 
     pub fn with_params(torus: &'a Torus, params: SimParams) -> Self {
@@ -290,7 +298,13 @@ impl<'a> FlowSim<'a> {
             }
 
             // --- Water-fill: recompute max-min fair rates. ---
-            self.water_fill(flows, path_arena, &active, &mut rem_cap, &mut unfrozen_weight);
+            self.water_fill(
+                flows,
+                path_arena,
+                &active,
+                &mut rem_cap,
+                &mut unfrozen_weight,
+            );
 
             // Time to the next event: earliest completion among active
             // flows, or the next flow start.
@@ -317,8 +331,7 @@ impl<'a> FlowSim<'a> {
                 flows[f].remaining -= flows[f].rate * dt;
                 // Retire exact completions, plus (with a nonzero batch
                 // tolerance) flows within `tol * dt` of completing.
-                let retire_slack =
-                    self.params.batch_tolerance * dt * flows[f].rate;
+                let retire_slack = self.params.batch_tolerance * dt * flows[f].rate;
                 if flows[f].remaining <= eps * flows[f].rate.max(1.0) + 1e-6 + retire_slack {
                     let fl = &mut flows[f];
                     fl.done = true;
@@ -359,8 +372,7 @@ impl<'a> FlowSim<'a> {
         let mut touched: Vec<u32> = Vec::new();
         for &f in active {
             let fl = &flows[f];
-            let path =
-                &path_arena[fl.path_start as usize..(fl.path_start + fl.path_len) as usize];
+            let path = &path_arena[fl.path_start as usize..(fl.path_start + fl.path_len) as usize];
             for &l in path {
                 if unfrozen_weight[l as usize] == 0.0 && rem_cap[l as usize] == 0.0 {
                     touched.push(l);
@@ -379,8 +391,7 @@ impl<'a> FlowSim<'a> {
         let mut counts = vec![0u32; touched.len()];
         for &f in active {
             let fl = &flows[f];
-            let path =
-                &path_arena[fl.path_start as usize..(fl.path_start + fl.path_len) as usize];
+            let path = &path_arena[fl.path_start as usize..(fl.path_start + fl.path_len) as usize];
             for &l in path {
                 counts[link_slot[&l] as usize] += 1;
             }
@@ -393,8 +404,7 @@ impl<'a> FlowSim<'a> {
         let mut cursor = offsets.clone();
         for (ai, &f) in active.iter().enumerate() {
             let fl = &flows[f];
-            let path =
-                &path_arena[fl.path_start as usize..(fl.path_start + fl.path_len) as usize];
+            let path = &path_arena[fl.path_start as usize..(fl.path_start + fl.path_len) as usize];
             for &l in path {
                 let s = link_slot[&l] as usize;
                 index[cursor[s] as usize] = ai as u32;
@@ -454,8 +464,8 @@ impl<'a> FlowSim<'a> {
                     let f = active[ai];
                     flows[f].rate = fill * flows[f].weight;
                     let fl = &flows[f];
-                    let path = &path_arena
-                        [fl.path_start as usize..(fl.path_start + fl.path_len) as usize];
+                    let path =
+                        &path_arena[fl.path_start as usize..(fl.path_start + fl.path_len) as usize];
                     for &pl in path {
                         unfrozen_weight[pl as usize] -= fl.weight;
                     }
@@ -485,7 +495,11 @@ mod tests {
         let sim = FlowSim::new(&t);
         let bytes = 425_000_000u64; // exactly 1 second at link rate
         let r = sim.run(&[FlowSpec::new(0, 1, bytes)]);
-        assert!((r.net_makespan - 1.0).abs() < 1e-3, "makespan {}", r.net_makespan);
+        assert!(
+            (r.net_makespan - 1.0).abs() < 1e-3,
+            "makespan {}",
+            r.net_makespan
+        );
         assert_eq!(r.network_bytes, bytes);
     }
 
@@ -501,7 +515,11 @@ mod tests {
         ];
         let r = sim.run(&specs);
         // First link shared: flow to node 1 takes ~0.2 s.
-        assert!((r.completion[0] - 0.2).abs() < 1e-3, "completion {}", r.completion[0]);
+        assert!(
+            (r.completion[0] - 0.2).abs() < 1e-3,
+            "completion {}",
+            r.completion[0]
+        );
     }
 
     #[test]
@@ -528,9 +546,9 @@ mod tests {
         // incoming links; senders on the same ring direction share.
         let bytes = 42_500_000u64;
         let specs = [
-            FlowSpec::new(1, 0, bytes), // arrives -x
-            FlowSpec::new(2, 0, bytes), // arrives -x (same last link)
-            FlowSpec::new(8, 0, bytes), // arrives -y
+            FlowSpec::new(1, 0, bytes),  // arrives -x
+            FlowSpec::new(2, 0, bytes),  // arrives -x (same last link)
+            FlowSpec::new(8, 0, bytes),  // arrives -y
             FlowSpec::new(64, 0, bytes), // arrives -z
         ];
         let r = sim.run(&specs);
@@ -546,8 +564,7 @@ mod tests {
         let t = torus8();
         let sim = FlowSim::new(&t);
         // 64 tiny messages into one node: CPU overhead dominates.
-        let specs: Vec<FlowSpec> =
-            (1..65).map(|s| FlowSpec::new(s % 512, 0, 312)).collect();
+        let specs: Vec<FlowSpec> = (1..65).map(|s| FlowSpec::new(s % 512, 0, 312)).collect();
         let r = sim.run(&specs);
         assert!(r.cpu_makespan >= 64.0 * consts::MSG_OVERHEAD * 0.99);
         let bw = r.effective_bandwidth();
@@ -580,8 +597,18 @@ mod tests {
         let sim = FlowSim::new(&t);
         let bytes = 42_500_000u64; // 0.1 s alone
         let specs = [
-            FlowSpec { src: 0, dst: 1, bytes, start: 0.0 },
-            FlowSpec { src: 0, dst: 1, bytes, start: 0.5 },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                bytes,
+                start: 0.0,
+            },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                bytes,
+                start: 0.5,
+            },
         ];
         let r = sim.run(&specs);
         assert!((r.completion[0] - 0.1).abs() < 1e-3);
@@ -603,7 +630,11 @@ mod tests {
             FlowSpec::new(0, 1, bytes),
         ];
         let r = sim.run(&specs);
-        assert!((r.completion[2] - 0.3).abs() < 2e-2, "got {}", r.completion[2]);
+        assert!(
+            (r.completion[2] - 0.3).abs() < 2e-2,
+            "got {}",
+            r.completion[2]
+        );
     }
 
     #[test]
@@ -625,7 +656,11 @@ mod tests {
             .collect();
         let lower = sim.max_link_time(&specs);
         let r = sim.run(&specs);
-        assert!(r.net_makespan >= lower * 0.999, "{} < {lower}", r.net_makespan);
+        assert!(
+            r.net_makespan >= lower * 0.999,
+            "{} < {lower}",
+            r.net_makespan
+        );
     }
 
     #[test]
@@ -653,20 +688,17 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_specs() -> impl Strategy<Value = Vec<FlowSpec>> {
-        proptest::collection::vec(
-            (0usize..64, 0usize..64, 1u64..1_000_000, 0u64..3),
-            1..40,
-        )
-        .prop_map(|v| {
-            v.into_iter()
-                .map(|(s, d, b, st)| FlowSpec {
-                    src: s,
-                    dst: d,
-                    bytes: b,
-                    start: st as f64 * 1e-3,
-                })
-                .collect()
-        })
+        proptest::collection::vec((0usize..64, 0usize..64, 1u64..1_000_000, 0u64..3), 1..40)
+            .prop_map(|v| {
+                v.into_iter()
+                    .map(|(s, d, b, st)| FlowSpec {
+                        src: s,
+                        dst: d,
+                        bytes: b,
+                        start: st as f64 * 1e-3,
+                    })
+                    .collect()
+            })
     }
 
     proptest! {

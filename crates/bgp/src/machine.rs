@@ -42,7 +42,10 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// The paper's configuration: VN mode, one rank per core.
     pub fn vn(ranks: usize) -> Self {
-        MachineConfig { ranks, mode: RankMode::VirtualNode }
+        MachineConfig {
+            ranks,
+            mode: RankMode::VirtualNode,
+        }
     }
 }
 
@@ -74,7 +77,11 @@ impl Machine {
         assert!(config.ranks >= 1, "need at least one rank");
         let nodes = config.ranks.div_ceil(rpn).next_power_of_two();
         let torus = Torus::near_cubic(nodes);
-        Machine { torus, config, nodes }
+        Machine {
+            torus,
+            config,
+            nodes,
+        }
     }
 
     pub fn torus(&self) -> &Torus {

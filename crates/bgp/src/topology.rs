@@ -95,7 +95,10 @@ impl Torus {
     ///
     /// Panics if `nodes` is not a power of two.
     pub fn near_cubic(nodes: usize) -> Self {
-        assert!(nodes.is_power_of_two(), "partition size must be a power of two");
+        assert!(
+            nodes.is_power_of_two(),
+            "partition size must be a power of two"
+        );
         let log = nodes.trailing_zeros();
         // Split the exponent as evenly as possible across x, y, z.
         let ex = log.div_ceil(3);
@@ -288,12 +291,24 @@ mod tests {
     #[test]
     fn route_is_dimension_ordered() {
         let t = Torus::new(4, 4, 4);
-        let r = t.route(t.node_id(NodeCoord::new(0, 0, 0)), t.node_id(NodeCoord::new(1, 1, 1)));
+        let r = t.route(
+            t.node_id(NodeCoord::new(0, 0, 0)),
+            t.node_id(NodeCoord::new(1, 1, 1)),
+        );
         assert_eq!(r.len(), 3);
         // First link leaves node (0,0,0) in +x, second leaves (1,0,0) in +y.
-        assert_eq!(r[0], t.link_id(t.node_id(NodeCoord::new(0, 0, 0)), Direction::XPlus));
-        assert_eq!(r[1], t.link_id(t.node_id(NodeCoord::new(1, 0, 0)), Direction::YPlus));
-        assert_eq!(r[2], t.link_id(t.node_id(NodeCoord::new(1, 1, 0)), Direction::ZPlus));
+        assert_eq!(
+            r[0],
+            t.link_id(t.node_id(NodeCoord::new(0, 0, 0)), Direction::XPlus)
+        );
+        assert_eq!(
+            r[1],
+            t.link_id(t.node_id(NodeCoord::new(1, 0, 0)), Direction::YPlus)
+        );
+        assert_eq!(
+            r[2],
+            t.link_id(t.node_id(NodeCoord::new(1, 1, 0)), Direction::ZPlus)
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub fn composite_binary_swap(
     height: usize,
 ) -> (Image, BinarySwapStats) {
     let n = subs.len();
-    assert!(n.is_power_of_two(), "binary swap needs a power-of-two process count, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "binary swap needs a power-of-two process count, got {n}"
+    );
     let rounds = n.trailing_zeros() as usize;
     let total = width * height;
 
@@ -60,15 +63,24 @@ pub fn composite_binary_swap(
 
     let mut procs: Vec<ProcState> = order
         .iter()
-        .map(|&i| ProcState { span: (0, total), buf: rasterize(&subs[i], (0, total), width) })
+        .map(|&i| ProcState {
+            span: (0, total),
+            buf: rasterize(&subs[i], (0, total), width),
+        })
         .collect();
 
-    let mut stats = BinarySwapStats { rounds, messages: 0, bytes: 0 };
+    let mut stats = BinarySwapStats {
+        rounds,
+        messages: 0,
+        bytes: 0,
+    };
 
     for r in 0..rounds {
         let bit = 1usize << r;
         // Snapshot the halves each process sends, then apply receives.
-        let mut outgoing: Vec<(usize, (usize, usize), Vec<[f32; 4]>)> = Vec::with_capacity(n);
+        // (destination, sent span, pixel data)
+        type Outgoing = (usize, (usize, usize), Vec<[f32; 4]>);
+        let mut outgoing: Vec<Outgoing> = Vec::with_capacity(n);
         for (rank, p) in procs.iter().enumerate() {
             let partner = rank ^ bit;
             let (s, e) = p.span;
@@ -82,19 +94,19 @@ pub fn composite_binary_swap(
             stats.bytes += (send_span.1 - send_span.0) as u64 * WIRE_BYTES_PER_PIXEL;
         }
         // Shrink to kept half, then blend the received half.
-        for rank in 0..n {
-            let (s, e) = procs[rank].span;
+        for (rank, p) in procs.iter_mut().enumerate() {
+            let (s, e) = p.span;
             let mid = (s + e) / 2;
             let keeps_low = rank & bit == 0;
             let kept = if keeps_low { (s, mid) } else { (mid, e) };
             let buf = if keeps_low {
-                procs[rank].buf.truncate(mid - s);
-                std::mem::take(&mut procs[rank].buf)
+                p.buf.truncate(mid - s);
+                std::mem::take(&mut p.buf)
             } else {
-                procs[rank].buf.split_off(mid - s)
+                p.buf.split_off(mid - s)
             };
-            procs[rank].span = kept;
-            procs[rank].buf = buf;
+            p.span = kept;
+            p.buf = buf;
         }
         for (to, span, data) in outgoing {
             let p = &mut procs[to];
@@ -103,7 +115,11 @@ pub fn composite_binary_swap(
             let from = to ^ bit;
             let front_is_received = from < to;
             for (k, recv) in data.into_iter().enumerate() {
-                p.buf[k] = if front_is_received { over(recv, p.buf[k]) } else { over(p.buf[k], recv) };
+                p.buf[k] = if front_is_received {
+                    over(recv, p.buf[k])
+                } else {
+                    over(p.buf[k], recv)
+                };
             }
         }
     }
@@ -128,7 +144,9 @@ mod tests {
     fn random_subs(seed: u64, n: usize, w: usize, h: usize) -> Vec<SubImage> {
         let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
         let mut next = move |m: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m.max(1)
         };
         (0..n)
@@ -171,7 +189,7 @@ mod tests {
         let n = 8;
         let subs = random_subs(5, n, 16, 16);
         let (_, stats) = composite_binary_swap(&subs, 16, 16);
-        let wh = 16 * 16 as u64;
+        let wh = 16 * 16_u64;
         assert_eq!(stats.bytes, 4 * wh * (n as u64 - 1));
     }
 

@@ -32,7 +32,10 @@ pub struct DirectSendStats {
 
 /// Composite `subs` into the final image using `m = partition.m`
 /// compositors.
-pub fn composite_direct_send(subs: &[SubImage], partition: ImagePartition) -> (Image, DirectSendStats) {
+pub fn composite_direct_send(
+    subs: &[SubImage],
+    partition: ImagePartition,
+) -> (Image, DirectSendStats) {
     let order = visibility_order(subs);
     let width = partition.width;
     let height = partition.height;
@@ -66,7 +69,11 @@ pub fn composite_direct_send(subs: &[SubImage], partition: ImagePartition) -> (I
 
     // Gather compositor tiles into the final image.
     let mut img = Image::new(width, height);
-    let mut stats = DirectSendStats { messages: 0, bytes: 0, per_compositor: Vec::new() };
+    let mut stats = DirectSendStats {
+        messages: 0,
+        bytes: 0,
+        per_compositor: Vec::new(),
+    };
     for (buf, messages, bytes) in results {
         img.paste(&buf);
         stats.messages += messages;
@@ -97,7 +104,9 @@ mod tests {
         // Simple deterministic LCG so tests need no rand dependency here.
         let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
         let mut next = move |m: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m.max(1)
         };
         (0..n)
@@ -106,7 +115,8 @@ mod tests {
                 let y0 = next(h - 2);
                 let rw = 1 + next(w - x0 - 1);
                 let rh = 1 + next(h - y0 - 1);
-                let mut s = SubImage::transparent(PixelRect::new(x0, y0, rw, rh), next(1000) as f64);
+                let mut s =
+                    SubImage::transparent(PixelRect::new(x0, y0, rw, rh), next(1000) as f64);
                 for p in s.pixels.iter_mut() {
                     *p = [
                         next(100) as f32 / 100.0 * 0.5,

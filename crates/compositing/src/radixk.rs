@@ -55,7 +55,7 @@ pub fn default_radices(n: usize) -> Vec<usize> {
     let mut m = n;
     let mut p = 2;
     while p * p <= m {
-        while m % p == 0 {
+        while m.is_multiple_of(p) {
             out.push(p);
             m /= p;
         }
@@ -92,11 +92,10 @@ pub fn radix_k_schedule(
     for &k in radices {
         let g = g_prev * k;
         let mut msgs = Vec::new();
-        for rank in 0..n {
+        for (rank, &(s, e)) in spans.iter().enumerate() {
             let within = rank % g;
             let member = within / g_prev;
             let lane_base = rank - within + (within % g_prev);
-            let (s, e) = spans[rank];
             let len = e - s;
             for j in 0..k {
                 if j == member {
@@ -111,11 +110,11 @@ pub fn radix_k_schedule(
                 });
             }
         }
-        for rank in 0..n {
+        for (rank, span) in spans.iter_mut().enumerate() {
             let member = (rank % g) / g_prev;
-            let (s, e) = spans[rank];
+            let (s, e) = *span;
             let len = e - s;
-            spans[rank] = (s + len * member / k, s + len * (member + 1) / k);
+            *span = (s + len * member / k, s + len * (member + 1) / k);
         }
         rounds.push(msgs);
         g_prev = g;
@@ -167,10 +166,17 @@ pub fn composite_radix_k(
     let order = visibility_order(subs);
     let mut procs: Vec<ProcState> = order
         .iter()
-        .map(|&i| ProcState { span: (0, total), buf: rasterize(&subs[i], (0, total), width) })
+        .map(|&i| ProcState {
+            span: (0, total),
+            buf: rasterize(&subs[i], (0, total), width),
+        })
         .collect();
 
-    let mut stats = RadixKStats { radices: radices.clone(), messages: 0, bytes: 0 };
+    let mut stats = RadixKStats {
+        radices: radices.clone(),
+        messages: 0,
+        bytes: 0,
+    };
 
     // Rounds merge *adjacent* v-rank blocks first (exactly like binary
     // swap's lowest-bit-first pairing): after round i, every process's
@@ -190,11 +196,11 @@ pub fn composite_radix_k(
         }
         let mut deliveries: Vec<Delivery> = Vec::new();
 
-        for rank in 0..n {
+        for (rank, p) in procs.iter().enumerate() {
             let within = rank % g;
             let member = within / g_prev; // 0..k
             let lane_base = rank - within + (within % g_prev);
-            let (s, e) = procs[rank].span;
+            let (s, e) = p.span;
             let len = e - s;
             // Partition my current span into k pieces; piece j goes to
             // the partner with member index j (same lane).
@@ -205,23 +211,28 @@ pub fn composite_radix_k(
                     continue; // my own piece stays
                 }
                 let to = lane_base + j * g_prev;
-                let data = procs[rank].buf[p0 - s..p1 - s].to_vec();
+                let data = p.buf[p0 - s..p1 - s].to_vec();
                 stats.messages += 1;
                 stats.bytes += (p1 - p0) as u64 * WIRE_BYTES_PER_PIXEL;
-                deliveries.push(Delivery { to, from_vrank: rank, piece: (p0, p1), data });
+                deliveries.push(Delivery {
+                    to,
+                    from_vrank: rank,
+                    piece: (p0, p1),
+                    data,
+                });
             }
         }
 
         // Shrink every process to its kept piece.
-        for rank in 0..n {
+        for (rank, p) in procs.iter_mut().enumerate() {
             let member = (rank % g) / g_prev;
-            let (s, e) = procs[rank].span;
+            let (s, e) = p.span;
             let len = e - s;
             let p0 = s + len * member / k;
             let p1 = s + len * (member + 1) / k;
-            let kept: Vec<[f32; 4]> = procs[rank].buf[p0 - s..p1 - s].to_vec();
-            procs[rank].span = (p0, p1);
-            procs[rank].buf = kept;
+            let kept: Vec<[f32; 4]> = p.buf[p0 - s..p1 - s].to_vec();
+            p.span = (p0, p1);
+            p.buf = kept;
         }
 
         // Blend incoming pieces. Within a group, the member with the
@@ -285,7 +296,9 @@ mod tests {
     fn random_subs(seed: u64, n: usize, w: usize, h: usize) -> Vec<SubImage> {
         let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
         let mut next = move |m: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m.max(1)
         };
         (0..n)
@@ -332,7 +345,13 @@ mod tests {
     fn matches_serial_for_explicit_radices() {
         let subs = random_subs(3, 16, 24, 24);
         let reference = composite_serial(&subs, 24, 24);
-        for radices in [vec![16], vec![4, 4], vec![2, 2, 2, 2], vec![8, 2], vec![2, 8]] {
+        for radices in [
+            vec![16],
+            vec![4, 4],
+            vec![2, 2, 2, 2],
+            vec![8, 2],
+            vec![2, 8],
+        ] {
             let (img, _) = composite_radix_k(&subs, 24, 24, Some(&radices));
             let d = img.max_abs_diff(&reference);
             assert!(d < 1e-5, "radices {radices:?}: diff {d}");
@@ -390,8 +409,7 @@ mod tests {
             let (_, stats) = composite_radix_k(&subs, 24, 24, Some(&radices));
             let sched = radix_k_schedule(n, 24 * 24, &radices);
             let sched_msgs: usize = sched.iter().map(|r| r.len()).sum();
-            let sched_bytes: u64 =
-                sched.iter().flat_map(|r| r.iter().map(|m| m.bytes)).sum();
+            let sched_bytes: u64 = sched.iter().flat_map(|r| r.iter().map(|m| m.bytes)).sum();
             assert_eq!(sched_msgs, stats.messages, "radices {radices:?}");
             assert_eq!(sched_bytes, stats.bytes, "radices {radices:?}");
             assert_eq!(sched.len(), radices.len());

@@ -25,7 +25,12 @@ impl ImagePartition {
     pub fn new(width: usize, height: usize, m: usize) -> Self {
         assert!(m >= 1 && m <= width * height, "need 1 <= m <= pixels");
         let (mx, my) = Self::factor(width, height, m);
-        ImagePartition { width, height, mx, my }
+        ImagePartition {
+            width,
+            height,
+            mx,
+            my,
+        }
     }
 
     /// Choose `mx * my == m` with tile aspect closest to square.
@@ -34,7 +39,7 @@ impl ImagePartition {
         let mut best_score = f64::INFINITY;
         let mut d = 1;
         while d * d <= m {
-            if m % d == 0 {
+            if m.is_multiple_of(d) {
                 for (a, b) in [(d, m / d), (m / d, d)] {
                     if a <= width && b <= height {
                         // Tile aspect ratio distance from 1.

@@ -74,10 +74,17 @@ pub fn build_schedule(footprints: &[PixelRect], partition: ImagePartition) -> Sc
     let mut messages = Vec::new();
     for (renderer, fp) in footprints.iter().enumerate() {
         for (compositor, pixels) in partition.overlaps(fp) {
-            messages.push(CompositeMessage { renderer, compositor, pixels });
+            messages.push(CompositeMessage {
+                renderer,
+                compositor,
+                pixels,
+            });
         }
     }
-    Schedule { partition, messages }
+    Schedule {
+        partition,
+        messages,
+    }
 }
 
 #[cfg(test)]

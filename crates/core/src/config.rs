@@ -163,12 +163,20 @@ impl FrameConfig {
 
     /// The upsampled 2240³ step with a 2048² image (Table II, upper).
     pub fn paper_2240(nprocs: usize) -> Self {
-        FrameConfig { grid: [2240; 3], image: (2048, 2048), ..Self::paper_1120(nprocs) }
+        FrameConfig {
+            grid: [2240; 3],
+            image: (2048, 2048),
+            ..Self::paper_1120(nprocs)
+        }
     }
 
     /// The upsampled 4480³ step with a 4096² image (Table II, lower).
     pub fn paper_4480(nprocs: usize) -> Self {
-        FrameConfig { grid: [4480; 3], image: (4096, 4096), ..Self::paper_1120(nprocs) }
+        FrameConfig {
+            grid: [4480; 3],
+            image: (4096, 4096),
+            ..Self::paper_1120(nprocs)
+        }
     }
 
     /// Variable index within the file for the current mode (raw files

@@ -72,7 +72,10 @@ impl Default for PerfModel {
     fn default() -> Self {
         PerfModel {
             storage: StorageModel::default(),
-            net: SimParams { batch_tolerance: 0.03, ..Default::default() },
+            net: SimParams {
+                batch_tolerance: 0.03,
+                ..Default::default()
+            },
             render_rate: 316e3,
             render_imbalance: 1.15,
             sample_coeff: 0.55,
@@ -159,7 +162,12 @@ impl PerfModel {
             let naggr = StorageModel::default_aggregators(cfg.nprocs, io_nodes);
             let hints = cfg.io.hints(cfg.grid);
             let plan = two_phase_plan(&aggregate, naggr, &hints);
-            (plan.useful_bytes, plan.physical_bytes, plan.accesses.len(), naggr)
+            (
+                plan.useful_bytes,
+                plan.physical_bytes,
+                plan.accesses.len(),
+                naggr,
+            )
         } else {
             // Independent chunked reads: every rank is a client.
             let decomp = BlockDecomposition::new(cfg.grid, cfg.nprocs);
@@ -169,7 +177,11 @@ impl PerfModel {
                 .map(|b| layout.physical_extents(var, &decomp.with_ghost(b, 1)))
                 .collect();
             let plan = per_extent_plan(&per_process);
-            let useful: u64 = decomp.blocks().iter().map(|b| decomp.with_ghost(b, 1).bytes()).sum();
+            let useful: u64 = decomp
+                .blocks()
+                .iter()
+                .map(|b| decomp.with_ghost(b, 1).bytes())
+                .sum();
             // 11 tiny metadata reads per process on open (from the
             // paper's HDF5 logs).
             let accesses = plan.accesses.len() + 11 * cfg.nprocs;
@@ -214,18 +226,17 @@ impl PerfModel {
             .map(|b| footprint(&camera, b.sub.offset, b.sub.end(), cfg.image))
             .collect();
         let m = cfg.policy.compositors(cfg.nprocs);
-        build_schedule(&footprints, ImagePartition::new(cfg.image.0, cfg.image.1, m))
+        build_schedule(
+            &footprints,
+            ImagePartition::new(cfg.image.0, cfg.image.1, m),
+        )
     }
 
     /// Price one bulk-synchronous message phase (rank-level messages)
     /// on the machine: fluid network time + endpoint cost (LogGP linear
     /// part and the small-message queue-collapse term; module docs).
     /// Returns `(fluid_s, endpoint_s, total_bytes)`.
-    pub fn price_phase(
-        &self,
-        machine: &Machine,
-        msgs: &[(usize, usize, u64)],
-    ) -> (f64, f64, u64) {
+    pub fn price_phase(&self, machine: &Machine, msgs: &[(usize, usize, u64)]) -> (f64, f64, u64) {
         let nodes = machine.num_nodes();
         let mut specs: Vec<FlowSpec> = Vec::with_capacity(msgs.len());
         let mut node_msgs = vec![0u64; nodes];
@@ -267,8 +278,8 @@ impl PerfModel {
             // sit — matching the measured cliff in the Blue Gene
             // all-to-all studies, where multi-KB messages behave and
             // sub-KB messages fall off by orders of magnitude.
-            let smallness = ((self.queue_knee / avg_bytes.max(1.0)).min(self.queue_cap) - 1.0)
-                .max(0.0);
+            let smallness =
+                ((self.queue_knee / avg_bytes.max(1.0)).min(self.queue_cap) - 1.0).max(0.0);
             let queue = mcount * mcount * self.queue_overhead * smallness;
             endpoint = endpoint.max(linear + queue);
         }
@@ -282,7 +293,9 @@ impl PerfModel {
         let fluid = if msgs.len() > 10_000 {
             FlowSim::with_params(machine.torus(), self.net).max_link_time(&specs)
         } else {
-            FlowSim::with_params(machine.torus(), self.net).run(&specs).net_makespan
+            FlowSim::with_params(machine.torus(), self.net)
+                .run(&specs)
+                .net_makespan
         };
         (fluid, endpoint, total_bytes)
     }
@@ -303,7 +316,11 @@ impl PerfModel {
             .messages
             .iter()
             .map(|msg| {
-                (msg.renderer, placement.compositor_rank(msg.compositor, n, m), msg.wire_bytes())
+                (
+                    msg.renderer,
+                    placement.compositor_rank(msg.compositor, n, m),
+                    msg.wire_bytes(),
+                )
             })
             .collect();
         let (fluid, endpoint, total_bytes) = self.price_phase(&machine, &msgs);
@@ -365,11 +382,19 @@ impl PerfModel {
             compositors: cfg.nprocs,
             messages,
             total_bytes,
-            nominal_message_bytes: if messages > 0 { total_bytes / messages as u64 } else { 0 },
+            nominal_message_bytes: if messages > 0 {
+                total_bytes / messages as u64
+            } else {
+                0
+            },
             fluid_seconds: fluid,
             endpoint_seconds: endpoint,
             seconds,
-            bandwidth: if seconds > 0.0 { total_bytes as f64 / seconds } else { 0.0 },
+            bandwidth: if seconds > 0.0 {
+                total_bytes as f64 / seconds
+            } else {
+                0.0
+            },
         }
     }
 
@@ -380,7 +405,11 @@ impl PerfModel {
         let schedule = self.schedule_for(cfg);
         let composite = self.simulate_composite(cfg, &schedule);
         SimFrameResult {
-            timing: FrameTiming { io: io.seconds, render: render_s, composite: composite.seconds },
+            timing: FrameTiming {
+                io: io.seconds,
+                render: render_s,
+                composite: composite.seconds,
+            },
             io,
             composite,
             render_samples: samples,
@@ -456,9 +485,17 @@ mod tests {
         // Figure 6 / Table II: >= 90% of frame time is I/O at large
         // data and core counts.
         let r = simulate_frame(&FrameConfig::paper_2240(8192));
-        assert!(r.timing.io_percent() > 90.0, "%io {}", r.timing.io_percent());
+        assert!(
+            r.timing.io_percent() > 90.0,
+            "%io {}",
+            r.timing.io_percent()
+        );
         let r = simulate_frame(&FrameConfig::paper_4480(32768));
-        assert!(r.timing.io_percent() > 90.0, "%io {}", r.timing.io_percent());
+        assert!(
+            r.timing.io_percent() > 90.0,
+            "%io {}",
+            r.timing.io_percent()
+        );
     }
 
     #[test]
@@ -476,7 +513,12 @@ mod tests {
             let io = PerfModel::default().simulate_io(&cfg);
             let got = io.read_bandwidth / 1e9;
             let err = (got - paper_gbs).abs() / paper_gbs;
-            assert!(err < 0.25, "{:?} cores {}: {got:.2} vs {paper_gbs} GB/s", cfg.grid, cfg.nprocs);
+            assert!(
+                err < 0.25,
+                "{:?} cores {}: {got:.2} vs {paper_gbs} GB/s",
+                cfg.grid,
+                cfg.nprocs
+            );
         }
     }
 

@@ -71,7 +71,11 @@ pub fn write_dataset(path: &Path, cfg: &FrameConfig) -> std::io::Result<u64> {
     // multivariate formats store all five VH-1 variables.
     let render_var = cfg.variable;
     write_file(path, layout.as_ref(), |var, x, y, z| {
-        let v = if cfg.io == IoMode::Raw { render_var } else { var };
+        let v = if cfg.io == IoMode::Raw {
+            render_var
+        } else {
+            var
+        };
         field.sample_var(
             v,
             (x as f32 + 0.5) / nx as f32,
@@ -106,7 +110,10 @@ fn rank_requests(layout: &dyn FileLayout, var: usize, stored: &[Subvolume]) -> V
         .map(|sub| {
             let mut runs = Vec::new();
             layout.placed_runs(var, sub, &mut |r| runs.push(r));
-            RankRequest { runs, out_elems: sub.num_elements() }
+            RankRequest {
+                runs,
+                out_elems: sub.num_elements(),
+            }
         })
         .collect()
 }
@@ -142,13 +149,16 @@ pub fn run_frame(cfg: &FrameConfig, path: Option<&Path>) -> FrameResult {
     let mut sw = Stopwatch::start();
     let (volumes, io) = match path {
         Some(p) => read_stage(cfg, &geo, p),
-        None => (synthesize_stage(cfg, &geo), IoRunStats {
-            useful_bytes: 0,
-            physical_bytes: 0,
-            accesses: 0,
-            exchange_bytes: 0,
-            data_density: 1.0,
-        }),
+        None => (
+            synthesize_stage(cfg, &geo),
+            IoRunStats {
+                useful_bytes: 0,
+                physical_bytes: 0,
+                accesses: 0,
+                exchange_bytes: 0,
+                data_density: 1.0,
+            },
+        ),
     };
     let t_io = sw.lap();
 
@@ -178,7 +188,11 @@ pub fn run_frame(cfg: &FrameConfig, path: Option<&Path>) -> FrameResult {
 
     FrameResult {
         image,
-        timing: FrameTiming { io: t_io, render: t_render, composite: t_composite },
+        timing: FrameTiming {
+            io: t_io,
+            render: t_render,
+            composite: t_composite,
+        },
         io,
         render_samples,
         composite,
@@ -269,11 +283,21 @@ fn read_stage(cfg: &FrameConfig, geo: &RankGeometry, path: &Path) -> (Vec<Volume
 // Message-passing executor
 // ---------------------------------------------------------------------
 
-/// Tags for the message-passing frame.
-mod tags {
+/// Tags for the message-passing frame. Public so `pvr-verify`'s tag
+/// discipline checks can assert that distinct pipeline stages never
+/// share a tag (wildcard receives on one stage must not be able to
+/// match another stage's traffic).
+pub mod tags {
     pub const IO_SCATTER: u32 = 1;
     pub const FRAGMENT: u32 = 2;
     pub const TILE: u32 = 3;
+
+    /// All stage tags, for exhaustive discipline checks.
+    pub const ALL: [(u32, &str); 3] = [
+        (IO_SCATTER, "io-scatter"),
+        (FRAGMENT, "fragment"),
+        (TILE, "tile"),
+    ];
 }
 
 /// Serialize a subimage fragment: renderer id, rect, depth, pixels.
@@ -308,13 +332,36 @@ fn decode_fragment(data: &[u8]) -> (usize, SubImage) {
             f32::from_le_bytes(q[12..16].try_into().unwrap()),
         ]);
     }
-    (renderer, SubImage { rect, pixels, depth })
+    (
+        renderer,
+        SubImage {
+            rect,
+            pixels,
+            depth,
+        },
+    )
 }
 
 /// Run one frame over real message passing (one thread per rank).
 /// Requires a dataset file. Returns rank 0's result; the image is
 /// identical to [`run_frame`]'s.
 pub fn run_frame_mpi(cfg: &FrameConfig, path: &Path) -> FrameResult {
+    run_frame_mpi_opts(cfg, path, pvr_mpisim::RunOptions::default())
+        .unwrap_or_else(|e| panic!("mpi frame failed: {e}"))
+        .0
+}
+
+/// [`run_frame_mpi`] with explicit runtime options — the entry point the
+/// verification tooling uses to trace a frame's messages, perturb its
+/// wildcard-match order, or replay a recorded order. Returns the frame
+/// and, when `opts.trace` is set, the message trace. The composited
+/// image is bit-identical across match policies because compositors
+/// sort fragments by (depth, renderer) before blending.
+pub fn run_frame_mpi_opts(
+    cfg: &FrameConfig,
+    path: &Path,
+    opts: pvr_mpisim::RunOptions,
+) -> Result<(FrameResult, Option<pvr_mpisim::trace::TraceLog>), pvr_mpisim::RunError> {
     let cfg = *cfg;
     let path = path.to_path_buf();
     let n = cfg.nprocs;
@@ -322,7 +369,7 @@ pub fn run_frame_mpi(cfg: &FrameConfig, path: &Path) -> FrameResult {
     // Compositor c is hosted by rank c*n/m (spread over the machine).
     let compositor_rank = move |c: usize| c * n / m;
 
-    let mut results = pvr_mpisim::World::run(n, move |mut comm| {
+    let out = pvr_mpisim::World::run_opts(n, opts, move |mut comm| {
         let rank = comm.rank();
         let geo = geometry(&cfg);
         let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
@@ -335,20 +382,18 @@ pub fn run_frame_mpi(cfg: &FrameConfig, path: &Path) -> FrameResult {
         // --- Stage 1: I/O. Aggregators read, scatter to owners. ---
         let requests = rank_requests(layout.as_ref(), var, &geo.stored);
         let naggr = laptop_aggregators(n);
-        let my_bytes = mpi_collective_read(
-            &mut comm,
-            &cfg,
-            layout.as_ref(),
-            &requests,
-            naggr,
-            &path,
-        );
+        let my_bytes =
+            mpi_collective_read(&mut comm, &cfg, layout.as_ref(), &requests, naggr, &path);
         let volume = decode_volume(&my_bytes, &geo.stored[rank], layout.endian());
         comm.barrier();
         let t_io = sw.lap();
 
         // --- Stage 2: render. ---
-        let dom = BlockDomain { grid: cfg.grid, owned: geo.owned[rank], stored: geo.stored[rank] };
+        let dom = BlockDomain {
+            grid: cfg.grid,
+            owned: geo.owned[rank],
+            stored: geo.stored[rank],
+        };
         let (sub, rstats) = render_block(&volume, &dom, &camera, &tf, &opts);
         comm.barrier();
         let t_render = sw.lap();
@@ -384,7 +429,11 @@ pub fn run_frame_mpi(cfg: &FrameConfig, path: &Path) -> FrameResult {
         let my_tile = (0..m).find(|&c| compositor_rank(c) == rank);
         let mut tiles_out: Vec<(usize, SubImage)> = Vec::new();
         if let Some(c) = my_tile {
-            let expected = schedule.messages.iter().filter(|mm| mm.compositor == c).count();
+            let expected = schedule
+                .messages
+                .iter()
+                .filter(|mm| mm.compositor == c)
+                .count();
             let tile = partition.tile(c);
             let mut frags: Vec<(usize, SubImage)> = Vec::with_capacity(expected);
             while frags.len() < expected {
@@ -426,32 +475,42 @@ pub fn run_frame_mpi(cfg: &FrameConfig, path: &Path) -> FrameResult {
 
         (
             image,
-            FrameTiming { io: t_io, render: t_render, composite: t_composite },
+            FrameTiming {
+                io: t_io,
+                render: t_render,
+                composite: t_composite,
+            },
             rstats.samples,
             sent,
         )
     });
 
+    let out = out?;
+    let trace = out.trace;
+    let mut results = out.results;
     let render_samples: u64 = results.iter().map(|(_, _, s, _)| *s).sum();
     let sent_bytes: u64 = results.iter().map(|(_, _, _, b)| *b).sum();
     let (image, timing, _, _) = results.remove(0);
-    FrameResult {
-        image: image.expect("rank 0 holds the image"),
-        timing,
-        io: IoRunStats {
-            useful_bytes: 0,
-            physical_bytes: 0,
-            accesses: 0,
-            exchange_bytes: 0,
-            data_density: 1.0,
+    Ok((
+        FrameResult {
+            image: image.expect("rank 0 holds the image"),
+            timing,
+            io: IoRunStats {
+                useful_bytes: 0,
+                physical_bytes: 0,
+                accesses: 0,
+                exchange_bytes: 0,
+                data_density: 1.0,
+            },
+            render_samples,
+            composite: DirectSendStats {
+                messages: 0,
+                bytes: sent_bytes,
+                per_compositor: Vec::new(),
+            },
         },
-        render_samples,
-        composite: DirectSendStats {
-            messages: 0,
-            bytes: sent_bytes,
-            per_compositor: Vec::new(),
-        },
-    }
+        trace,
+    ))
 }
 
 /// A two-phase collective read over real messages: aggregators read
@@ -516,7 +575,11 @@ fn mpi_collective_read(
         let mut file = File::open(path).expect("dataset file");
         use std::io::{Read, Seek, SeekFrom};
         let mut buf = Vec::new();
-        for a in plan.accesses.iter().filter(|a| aggr_rank(a.aggregator) == rank) {
+        for a in plan
+            .accesses
+            .iter()
+            .filter(|a| aggr_rank(a.aggregator) == rank)
+        {
             buf.resize(a.extent.len as usize, 0);
             file.seek(SeekFrom::Start(a.extent.offset)).unwrap();
             file.read_exact(&mut buf).unwrap();
@@ -560,7 +623,8 @@ fn mpi_collective_read(
         for run in &requests[rank].runs {
             let nb = run.elems * ELEM_SIZE as usize;
             file.seek(SeekFrom::Start(run.file_offset)).unwrap();
-            file.read_exact(&mut out[run.out_start * 4..run.out_start * 4 + nb]).unwrap();
+            file.read_exact(&mut out[run.out_start * 4..run.out_start * 4 + nb])
+                .unwrap();
         }
         out
     }
@@ -590,7 +654,10 @@ mod tests {
         let d = from_file.image.max_abs_diff(&synthetic.image);
         assert!(d < 1e-6, "diff {d}");
         assert!(from_file.io.useful_bytes > 0);
-        assert!((from_file.io.data_density - 1.0).abs() < 1e-9, "raw density");
+        assert!(
+            (from_file.io.data_density - 1.0).abs() < 1e-9,
+            "raw density"
+        );
         std::fs::remove_file(&p).ok();
     }
 

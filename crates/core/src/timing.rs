@@ -86,7 +86,11 @@ mod tests {
 
     #[test]
     fn percentages_sum_to_hundred() {
-        let t = FrameTiming { io: 49.3, render: 0.9, composite: 1.1 };
+        let t = FrameTiming {
+            io: 49.3,
+            render: 0.9,
+            composite: 1.1,
+        };
         let sum = t.io_percent() + t.render_percent() + t.composite_percent();
         assert!((sum - 100.0).abs() < 1e-9);
         assert!((t.total() - 51.3).abs() < 1e-12);
@@ -95,7 +99,11 @@ mod tests {
 
     #[test]
     fn table_row_formats() {
-        let t = FrameTiming { io: 49.35, render: 1.0, composite: 1.0 };
+        let t = FrameTiming {
+            io: 49.35,
+            render: 1.0,
+            composite: 1.0,
+        };
         let row = t.table_row();
         assert!(row.contains("51.35"));
     }

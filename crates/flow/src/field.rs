@@ -33,7 +33,10 @@ impl SampledVecField {
     pub fn new(vx: Volume, vy: Volume, vz: Volume, offset: [usize; 3]) -> Self {
         assert_eq!(vx.dims(), vy.dims());
         assert_eq!(vy.dims(), vz.dims());
-        SampledVecField { components: [vx, vy, vz], offset }
+        SampledVecField {
+            components: [vx, vy, vz],
+            offset,
+        }
     }
 
     /// Whole-grid convenience (offset zero).
@@ -122,7 +125,10 @@ mod tests {
             let a = whole.sample(probe);
             let b = block.sample(probe);
             for c in 0..3 {
-                assert!((a[c] - b[c]).abs() < 1e-4, "{probe:?} comp {c}: {a:?} vs {b:?}");
+                assert!(
+                    (a[c] - b[c]).abs() < 1e-4,
+                    "{probe:?} comp {c}: {a:?} vs {b:?}"
+                );
             }
         }
     }

@@ -54,8 +54,8 @@ impl OwnerMap {
             for i in 0..counts[a] {
                 let mut coords = [0usize; 3];
                 coords[a] = i;
-                let id = (coords[2] * decomp.counts()[1] + coords[1]) * decomp.counts()[0]
-                    + coords[0];
+                let id =
+                    (coords[2] * decomp.counts()[1] + coords[1]) * decomp.counts()[0] + coords[0];
                 bounds[a].push(decomp.block(id).sub.offset[a]);
             }
         }
@@ -91,12 +91,22 @@ fn decode_particle(m: &[u8]) -> Particle {
     let id = u32::from_le_bytes(m[1..5].try_into().unwrap());
     let steps = u32::from_le_bytes(m[5..9].try_into().unwrap());
     let f = |i: usize| f32::from_le_bytes(m[9 + i * 4..13 + i * 4].try_into().unwrap());
-    Particle { id, steps, pos: [f(0), f(1), f(2)] }
+    Particle {
+        id,
+        steps,
+        pos: [f(0), f(1), f(2)],
+    }
 }
 
 /// Encode a completed/suspended leg for rank 0: id, start step of this
 /// leg, stop reason, final step count, and the leg's path points.
-fn encode_done(id: u32, start_step: u32, reason: StopReason, steps: u32, path: &[[f32; 3]]) -> Vec<u8> {
+fn encode_done(
+    id: u32,
+    start_step: u32,
+    reason: StopReason,
+    steps: u32,
+    path: &[[f32; 3]],
+) -> Vec<u8> {
     let mut m = vec![MSG_DONE];
     m.extend(id.to_le_bytes());
     m.extend(start_step.to_le_bytes());
@@ -138,11 +148,21 @@ fn decode_done(m: &[u8]) -> DoneLeg {
     let mut path = Vec::with_capacity(npts);
     for i in 0..npts {
         let f = |k: usize| {
-            f32::from_le_bytes(m[18 + i * 12 + k * 4..22 + i * 12 + k * 4].try_into().unwrap())
+            f32::from_le_bytes(
+                m[18 + i * 12 + k * 4..22 + i * 12 + k * 4]
+                    .try_into()
+                    .unwrap(),
+            )
         };
         path.push([f(0), f(1), f(2)]);
     }
-    DoneLeg { id, start_step, reason, steps, path }
+    DoneLeg {
+        id,
+        start_step,
+        reason,
+        steps,
+        path,
+    }
 }
 
 /// Trace `seeds` through the field defined by `field_fn` (an analytic
@@ -193,8 +213,13 @@ pub fn trace_parallel(
                 let start_step = p.steps;
                 let leg = trace_leg(&field, p, own_lo, own_hi, grid, &opts);
                 // Report the leg's path to rank 0.
-                let msg =
-                    encode_done(leg.particle.id, start_step, leg.reason, leg.particle.steps, &leg.path);
+                let msg = encode_done(
+                    leg.particle.id,
+                    start_step,
+                    leg.reason,
+                    leg.particle.steps,
+                    &leg.path,
+                );
                 if rank == 0 {
                     legs.push(decode_done(&msg));
                 } else {
@@ -219,10 +244,25 @@ pub fn trace_parallel(
                 }
             }
 
-            // Rank 0: all traces accounted for? Tell everyone.
+            // Rank 0: all traces accounted for? Tell everyone, then
+            // drain until every rank acks shutdown. Leg reports from
+            // other ranks race with the finish report that completed
+            // the count, so pending `MSG_DONE`s may still sit in the
+            // queue; per-(src, tag) non-overtaking guarantees each
+            // rank's legs are delivered before its ack, so seeing all
+            // acks means all legs have been collected.
             if rank == 0 && done_total == seeds.len() {
                 for r in 1..n {
                     comm.send(r, TAG, vec![MSG_FINISH, 1]);
+                }
+                let mut acks = 0usize;
+                while acks < n - 1 {
+                    let (_, m) = comm.recv_any(TAG);
+                    match m[0] {
+                        MSG_DONE => legs.push(decode_done(&m)),
+                        MSG_FINISH if m[1] == 2 => acks += 1,
+                        other => unreachable!("unexpected message {other} during shutdown"),
+                    }
                 }
                 break;
             }
@@ -242,6 +282,9 @@ pub fn trace_parallel(
                         // A remote rank reports one terminal trace.
                         done_total += 1;
                     } else {
+                        // Shutdown order: ack it so rank 0 knows all
+                        // our leg reports have been delivered.
+                        comm.send(0, TAG, vec![MSG_FINISH, 2]);
                         finished = true;
                     }
                 }
@@ -253,7 +296,8 @@ pub fn trace_parallel(
 
     // Assemble at "rank 0"'s result.
     let legs = results.remove(0);
-    let mut by_id: std::collections::BTreeMap<u32, Vec<DoneLeg>> = std::collections::BTreeMap::new();
+    let mut by_id: std::collections::BTreeMap<u32, Vec<DoneLeg>> =
+        std::collections::BTreeMap::new();
     for l in legs {
         by_id.entry(l.id).or_default().push(l);
     }
@@ -270,7 +314,12 @@ pub fn trace_parallel(
                 reason = l.reason;
                 steps = l.steps;
             }
-            AssembledTrace { id, reason, steps, path }
+            AssembledTrace {
+                id,
+                reason,
+                steps,
+                path,
+            }
         })
         .collect()
 }
@@ -294,7 +343,12 @@ fn sample_block_field(
                 // Voxel centers in cell space.
                 let v = field_fn([x as f32 + 0.5, y as f32 + 0.5, z as f32 + 0.5]);
                 for (c, comp) in comps.iter_mut().enumerate() {
-                    comp.set(x - stored.offset[0], y - stored.offset[1], z - stored.offset[2], v[c]);
+                    comp.set(
+                        x - stored.offset[0],
+                        y - stored.offset[1],
+                        z - stored.offset[2],
+                        v[c],
+                    );
                 }
             }
         }
@@ -325,7 +379,11 @@ mod tests {
         // A tilted vortex plus drift: exercises all block faces,
         // bounded speed (< 2) so h = 0.5 keeps probes inside ghost.
         let (cx, cy) = (12.0, 12.0);
-        [-(p[1] - cy) * 0.12 + 0.3, (p[0] - cx) * 0.12, 0.25 * ((p[0] - cx) * 0.05).sin()]
+        [
+            -(p[1] - cy) * 0.12 + 0.3,
+            (p[0] - cx) * 0.12,
+            0.25 * ((p[0] - cx) * 0.05).sin(),
+        ]
     }
 
     #[test]
@@ -338,7 +396,11 @@ mod tests {
             [7.5, 19.5, 9.1],
             [12.5, 3.2, 20.2],
         ];
-        let opts = TracerOpts { h: 0.5, max_steps: 400, min_speed: 1e-7 };
+        let opts = TracerOpts {
+            h: 0.5,
+            max_steps: 400,
+            min_speed: 1e-7,
+        };
         let serial = trace_serial_sampled(grid, &seeds, &opts, vortex);
         for nprocs in [2usize, 8, 12] {
             let par = trace_parallel(grid, nprocs, &seeds, &opts, vortex);
@@ -359,7 +421,11 @@ mod tests {
         // A fast straight field forces handoffs through every x block.
         let grid = [32usize, 8, 8];
         let f = |_: [f32; 3]| [1.5f32, 0.0, 0.0];
-        let opts = TracerOpts { h: 0.5, max_steps: 200, min_speed: 1e-9 };
+        let opts = TracerOpts {
+            h: 0.5,
+            max_steps: 200,
+            min_speed: 1e-9,
+        };
         let par = trace_parallel(grid, 4, &[[0.5, 4.0, 4.0]], &opts, f);
         assert_eq!(par.len(), 1);
         assert_eq!(par[0].reason, StopReason::LeftDomain);
@@ -418,7 +484,11 @@ mod tests {
                 [12.0 + 9.0 * a.cos(), 12.0 + 9.0 * a.sin(), 12.0]
             })
             .collect();
-        let opts = TracerOpts { h: 0.4, max_steps: 300, min_speed: 1e-5 };
+        let opts = TracerOpts {
+            h: 0.4,
+            max_steps: 300,
+            min_speed: 1e-5,
+        };
         let par = trace_parallel(grid, 8, &seeds, &opts, f);
         let ser = trace_serial_sampled(grid, &seeds, &opts, f);
         assert_eq!(par.len(), 6);

@@ -34,7 +34,11 @@ pub struct TracerOpts {
 
 impl Default for TracerOpts {
     fn default() -> Self {
-        TracerOpts { h: 0.5, max_steps: 2000, min_speed: 1e-6 }
+        TracerOpts {
+            h: 0.5,
+            max_steps: 2000,
+            min_speed: 1e-6,
+        }
     }
 }
 
@@ -68,12 +72,7 @@ fn add(a: [f32; 3], b: [f32; 3], s: f32) -> [f32; 3] {
 
 #[inline]
 fn inside(p: [f32; 3], lo: [f32; 3], hi: [f32; 3]) -> bool {
-    p[0] >= lo[0]
-        && p[0] < hi[0]
-        && p[1] >= lo[1]
-        && p[1] < hi[1]
-        && p[2] >= lo[2]
-        && p[2] < hi[2]
+    p[0] >= lo[0] && p[0] < hi[0] && p[1] >= lo[1] && p[1] < hi[1] && p[2] >= lo[2] && p[2] < hi[2]
 }
 
 /// One classical RK4 step through `field`.
@@ -108,20 +107,36 @@ pub fn trace_leg(
     let mut path = vec![particle.pos];
     loop {
         if particle.steps >= opts.max_steps {
-            return TraceResult { particle, reason: StopReason::MaxSteps, path };
+            return TraceResult {
+                particle,
+                reason: StopReason::MaxSteps,
+                path,
+            };
         }
         let (next, speed) = rk4_step(field, particle.pos, opts.h);
         if speed < opts.min_speed {
-            return TraceResult { particle, reason: StopReason::CriticalPoint, path };
+            return TraceResult {
+                particle,
+                reason: StopReason::CriticalPoint,
+                path,
+            };
         }
         particle.steps += 1;
         if !inside(next, glo, ghi) {
-            return TraceResult { particle, reason: StopReason::LeftDomain, path };
+            return TraceResult {
+                particle,
+                reason: StopReason::LeftDomain,
+                path,
+            };
         }
         particle.pos = next;
         path.push(next);
         if !inside(next, owned_lo, owned_hi) {
-            return TraceResult { particle, reason: StopReason::LeftBlock, path };
+            return TraceResult {
+                particle,
+                reason: StopReason::LeftBlock,
+                path,
+            };
         }
     }
 }
@@ -148,7 +163,11 @@ mod tests {
     #[test]
     fn uniform_field_moves_straight() {
         let f = |_: [f32; 3]| [1.0f32, 0.0, 0.0];
-        let opts = TracerOpts { h: 0.5, max_steps: 10, min_speed: 1e-9 };
+        let opts = TracerOpts {
+            h: 0.5,
+            max_steps: 10,
+            min_speed: 1e-9,
+        };
         let r = trace(&f, &[[1.0, 4.0, 4.0]], [64, 8, 8], &opts);
         assert_eq!(r[0].reason, StopReason::MaxSteps);
         let end = *r[0].path.last().unwrap();
@@ -174,7 +193,11 @@ mod tests {
         // v = (-y, x, 0) around the center of a 32^3 domain.
         let c = 16.0f32;
         let f = move |p: [f32; 3]| [-(p[1] - c), p[0] - c, 0.0];
-        let opts = TracerOpts { h: 0.01, max_steps: 5000, min_speed: 1e-9 };
+        let opts = TracerOpts {
+            h: 0.01,
+            max_steps: 5000,
+            min_speed: 1e-9,
+        };
         let r = trace(&f, &[[22.0, 16.0, 16.0]], [32, 32, 32], &opts);
         let r0 = 6.0f32;
         for p in &r[0].path {
@@ -191,7 +214,11 @@ mod tests {
             let d = 8.0 - p[0];
             [d * 0.5, 0.0, 0.0] // converges toward x = 8
         };
-        let opts = TracerOpts { h: 0.5, max_steps: 100_000, min_speed: 1e-4 };
+        let opts = TracerOpts {
+            h: 0.5,
+            max_steps: 100_000,
+            min_speed: 1e-4,
+        };
         let r = trace(&f, &[[2.0, 2.0, 2.0]], [16, 4, 4], &opts);
         assert_eq!(r[0].reason, StopReason::CriticalPoint);
         let end = r[0].path.last().unwrap();

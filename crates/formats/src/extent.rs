@@ -72,7 +72,10 @@ pub fn union_bytes(extents: &[Extent]) -> u64 {
 /// Intersect a sorted, disjoint extent list with a window, returning the
 /// parts inside the window.
 pub fn clip(extents: &[Extent], window: Extent) -> Vec<Extent> {
-    extents.iter().filter_map(|e| e.intersect(&window)).collect()
+    extents
+        .iter()
+        .filter_map(|e| e.intersect(&window))
+        .collect()
 }
 
 #[cfg(test)]
@@ -96,7 +99,10 @@ mod tests {
             Extent::new(22, 3),
         ];
         coalesce(&mut v);
-        assert_eq!(v, vec![Extent::new(0, 20), Extent::new(22, 3), Extent::new(30, 5)]);
+        assert_eq!(
+            v,
+            vec![Extent::new(0, 20), Extent::new(22, 3), Extent::new(30, 5)]
+        );
     }
 
     #[test]

@@ -155,7 +155,11 @@ impl FileLayout for RawLayout {
         let mut out = 0usize;
         sub.for_each_row(|x0, y, z, len| {
             let elem = (z * ny + y) * nx + x0;
-            f(PlacedRun { file_offset: elem as u64 * ELEM_SIZE, elems: len, out_start: out });
+            f(PlacedRun {
+                file_offset: elem as u64 * ELEM_SIZE,
+                elems: len,
+                out_start: out,
+            });
             out += len;
         });
     }
@@ -189,7 +193,11 @@ impl NetCdfClassicLayout {
     /// and X/Y/Z velocity).
     pub fn new(grid: [usize; 3], num_vars: usize) -> Self {
         assert!(num_vars >= 1);
-        NetCdfClassicLayout { grid, num_vars, header: 512 }
+        NetCdfClassicLayout {
+            grid,
+            num_vars,
+            header: 512,
+        }
     }
 
     /// Bytes of one 2D record (one z-slice of one variable) — the value
@@ -235,7 +243,11 @@ impl FileLayout for NetCdfClassicLayout {
         sub.for_each_row(|x0, y, z, len| {
             let base = self.header + z as u64 * stride + var as u64 * rec;
             let off = base + (y * nx + x0) as u64 * ELEM_SIZE;
-            f(PlacedRun { file_offset: off, elems: len, out_start: out });
+            f(PlacedRun {
+                file_offset: off,
+                elems: len,
+                out_start: out,
+            });
             out += len;
         });
     }
@@ -259,7 +271,11 @@ pub struct NetCdf64Layout {
 impl NetCdf64Layout {
     pub fn new(grid: [usize; 3], num_vars: usize) -> Self {
         assert!(num_vars >= 1);
-        NetCdf64Layout { grid, num_vars, header: 1024 }
+        NetCdf64Layout {
+            grid,
+            num_vars,
+            header: 1024,
+        }
     }
 
     pub fn var_bytes(&self) -> u64 {
@@ -294,7 +310,11 @@ impl FileLayout for NetCdf64Layout {
         let mut out = 0usize;
         sub.for_each_row(|x0, y, z, len| {
             let elem = (z * ny + y) * nx + x0;
-            f(PlacedRun { file_offset: base + elem as u64 * ELEM_SIZE, elems: len, out_start: out });
+            f(PlacedRun {
+                file_offset: base + elem as u64 * ELEM_SIZE,
+                elems: len,
+                out_start: out,
+            });
             out += len;
         });
     }
@@ -335,7 +355,12 @@ impl Hdf5LikeLayout {
     pub fn with_chunk(grid: [usize; 3], num_vars: usize, chunk: [usize; 3]) -> Self {
         assert!(num_vars >= 1);
         assert!(chunk.iter().all(|&c| c > 0));
-        Hdf5LikeLayout { grid, num_vars, chunk, header: 6144 }
+        Hdf5LikeLayout {
+            grid,
+            num_vars,
+            chunk,
+            header: 6144,
+        }
     }
 
     pub fn chunk_dims(&self) -> [usize; 3] {
@@ -397,7 +422,9 @@ impl FileLayout for Hdf5LikeLayout {
     fn metadata_extents(&self) -> Vec<Extent> {
         // 11 small accesses of no more than 600 bytes, per the paper's
         // I/O logs of the HDF5 open path.
-        (0..11).map(|i| Extent::new(i * 560, 560.min(self.header - i * 560))).collect()
+        (0..11)
+            .map(|i| Extent::new(i * 560, 560.min(self.header - i * 560)))
+            .collect()
     }
 
     fn placed_runs(&self, var: usize, sub: &Subvolume, f: &mut dyn FnMut(PlacedRun)) {
@@ -440,7 +467,10 @@ impl FileLayout for Hdf5LikeLayout {
         for iz in z0..=z1 {
             for iy in y0..=y1 {
                 for ix in x0..=x1 {
-                    v.push(Extent::new(self.chunk_offset(var, ix, iy, iz), self.chunk_bytes()));
+                    v.push(Extent::new(
+                        self.chunk_offset(var, ix, iy, iz),
+                        self.chunk_bytes(),
+                    ));
                 }
             }
         }

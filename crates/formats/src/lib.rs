@@ -53,7 +53,10 @@ impl Subvolume {
 
     /// The whole grid as one subvolume.
     pub fn whole(grid: [usize; 3]) -> Self {
-        Subvolume { offset: [0, 0, 0], shape: grid }
+        Subvolume {
+            offset: [0, 0, 0],
+            shape: grid,
+        }
     }
 
     pub fn num_elements(&self) -> usize {

@@ -16,8 +16,13 @@
 use crate::ELEM_SIZE;
 
 /// Variable names written into headers, in file order (VH-1's five).
-pub const DEFAULT_VAR_NAMES: [&str; 5] =
-    ["pressure", "density", "velocity-x", "velocity-y", "velocity-z"];
+pub const DEFAULT_VAR_NAMES: [&str; 5] = [
+    "pressure",
+    "density",
+    "velocity-x",
+    "velocity-y",
+    "velocity-z",
+];
 
 const NC_DIMENSION: u32 = 0x0A;
 const NC_VARIABLE: u32 = 0x0B;
@@ -91,7 +96,7 @@ pub fn encode_header(spec: &HeaderSpec<'_>) -> Vec<u8> {
         put_u32(&mut out, 0); // dimid z
         put_u32(&mut out, 1); // dimid y
         put_u32(&mut out, 2); // dimid x
-        // vatt_list: ABSENT.
+                              // vatt_list: ABSENT.
         put_u32(&mut out, 0);
         put_u32(&mut out, 0);
         put_u32(&mut out, NC_FLOAT);
@@ -106,7 +111,10 @@ pub fn encode_header(spec: &HeaderSpec<'_>) -> Vec<u8> {
         // begin: 32-bit in CDF-1, 64-bit in CDF-2.
         let begin = (spec.var_begin)(v);
         if spec.record_vars {
-            put_u32(&mut out, u32::try_from(begin).expect("CDF-1 begin fits 32 bits"));
+            put_u32(
+                &mut out,
+                u32::try_from(begin).expect("CDF-1 begin fits 32 bits"),
+            );
         } else {
             out.extend(begin.to_be_bytes());
         }
@@ -189,7 +197,12 @@ pub fn decode_header(bytes: &[u8]) -> Result<DecodedHeader, String> {
         };
         vars.push((name, begin));
     }
-    Ok(DecodedHeader { record_vars: version == 1, numrecs, dims, vars })
+    Ok(DecodedHeader {
+        record_vars: version == 1,
+        numrecs,
+        dims,
+        vars,
+    })
 }
 
 /// The parts of a decoded header the tests check.

@@ -272,7 +272,10 @@ mod tests {
 
     #[test]
     fn hdf5_round_trip() {
-        round_trip(&Hdf5LikeLayout::with_chunk([20, 16, 12], 2, [7, 5, 5]), "rt.h5");
+        round_trip(
+            &Hdf5LikeLayout::with_chunk([20, 16, 12], 2, [7, 5, 5]),
+            "rt.h5",
+        );
     }
 
     #[test]
@@ -298,11 +301,14 @@ mod tests {
         let d = decode_header(&bytes[..512]).unwrap();
         assert!(d.record_vars);
         assert_eq!(d.numrecs, 6);
-        assert_eq!(d.dims, vec![
-            ("z".to_string(), 0),
-            ("y".to_string(), 10),
-            ("x".to_string(), 12),
-        ]);
+        assert_eq!(
+            d.dims,
+            vec![
+                ("z".to_string(), 0),
+                ("y".to_string(), 10),
+                ("x".to_string(), 12),
+            ]
+        );
         assert_eq!(d.vars.len(), 5);
         // The header's begin offsets agree with the layout's extents.
         for (v, (_, begin)) in d.vars.iter().enumerate() {

@@ -10,32 +10,284 @@
 //!
 //! Two layers:
 //!
-//! * [`World::run`] — SPMD entry point: spawns one thread per rank and
-//!   hands each a [`Comm`].
+//! * [`World::run`] / [`World::run_opts`] — SPMD entry points: spawn
+//!   one thread per rank and hand each a [`Comm`].
 //! * [`Comm`] — the per-rank communicator.
 //!
 //! At paper scale (32K ranks) the pipeline does not thread-execute;
 //! it *simulates* communication through `pvr-bgp`'s flow simulator.
 //! This crate is the laptop-scale execution vehicle that validates the
 //! algorithms the simulator's schedules describe.
+//!
+//! ## Verification hooks
+//!
+//! Because this runtime exists to *validate* communication schedules,
+//! it is instrumented for the `pvr-verify` tooling:
+//!
+//! * **Vector clocks.** Every rank maintains a vector clock; sends
+//!   carry a snapshot, receives join it. With
+//!   [`RunOptions::trace`] the run yields a [`trace::TraceLog`] whose
+//!   clocks let a post-hoc checker find *message races*: wildcard
+//!   (`recv_any`) matches whose candidate sends were concurrent.
+//! * **Non-overtaking assertions.** Each message carries a per
+//!   (source, destination, tag) sequence number; delivery asserts the
+//!   numbers arrive in order, so an overtaking bug in the runtime (or
+//!   a future transport swap) fails loudly instead of silently
+//!   reordering fragments.
+//! * **Deadlock detection.** Ranks block on condvars inside one global
+//!   lock, so the runtime observes every blocked/done transition. When
+//!   all ranks are blocked or done and no queued message can wake
+//!   anyone, the run is declared deadlocked: the wait-for cycle is
+//!   named in the error report and every blocked rank unwinds, instead
+//!   of the process hanging forever. A watchdog timeout
+//!   ([`RunOptions::timeout`], default 120 s, env
+//!   `PVR_MPISIM_TIMEOUT_SECS`, `0` disables) additionally converts
+//!   stalls into [`RunError::Stalled`]. The watchdog can only free
+//!   ranks blocked in communication; a rank spinning in user compute
+//!   cannot be preempted (the report is still printed to stderr).
+//! * **Match policies.** The wildcard-match order of `recv_any` is
+//!   pluggable ([`MatchPolicy`]): deterministic lowest-source-first
+//!   (default), arrival order, seeded perturbation (to explore
+//!   alternative interleavings), or replay of a recorded order (to
+//!   reproduce or deliberately reorder a previous run).
 
-use std::collections::HashMap;
-use std::sync::Arc;
+pub mod trace;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::panic::resume_unwind;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use trace::{Clock, ReplayLog, TraceEvent, TraceLog};
 
 /// A tagged message envelope.
 #[derive(Debug)]
 struct Envelope {
     src: usize,
     tag: u32,
+    /// Per-(src, dst, tag) sequence number, asserted on delivery.
+    seq: u64,
+    /// Global arrival stamp (order the runtime accepted the send).
+    arrival: u64,
+    /// Sender's vector clock at the send.
+    clock: Clock,
     data: Vec<u8>,
 }
 
-/// Shared state of a rank group.
+/// What a rank is doing, as seen by the deadlock detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Running,
+    RecvFrom {
+        src: usize,
+        tag: u32,
+    },
+    RecvAny {
+        tag: u32,
+    },
+    /// Waiting at the barrier of generation `gen`.
+    Barrier {
+        gen: u64,
+    },
+    Done,
+}
+
+/// Why a world failed instead of completing.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// All ranks were blocked or done with no message able to wake
+    /// anyone; the report names the wait-for cycle.
+    Deadlock { report: String },
+    /// The watchdog timeout expired before the world completed.
+    Stalled { report: String },
+}
+
+impl RunError {
+    pub fn report(&self) -> &str {
+        match self {
+            RunError::Deadlock { report } | RunError::Stalled { report } => report,
+        }
+    }
+
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, RunError::Deadlock { .. })
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { report } => write!(f, "deadlock: {report}"),
+            RunError::Stalled { report } => write!(f, "stalled (watchdog timeout): {report}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// How `recv_any` chooses among multiple pending candidates.
+#[derive(Clone)]
+pub enum MatchPolicy {
+    /// Deterministic: lowest source rank first (the default; what the
+    /// pipeline's correctness is validated against).
+    MinSource,
+    /// The candidate whose message the runtime accepted first.
+    Arrival,
+    /// Seeded pseudo-random choice among the pending candidates —
+    /// explores alternative wildcard interleavings while staying
+    /// reproducible for a given seed.
+    Perturb(u64),
+    /// Force each wildcard receive to match the source a recorded run
+    /// matched (see [`trace::ReplayLog`]). Panics if the log runs out,
+    /// i.e. the execution diverged structurally from the recording.
+    Replay(Arc<ReplayLog>),
+}
+
+impl std::fmt::Debug for MatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchPolicy::MinSource => write!(f, "MinSource"),
+            MatchPolicy::Arrival => write!(f, "Arrival"),
+            MatchPolicy::Perturb(seed) => write!(f, "Perturb({seed})"),
+            MatchPolicy::Replay(log) => {
+                write!(f, "Replay({} recorded wildcard matches)", log.total_len())
+            }
+        }
+    }
+}
+
+/// Knobs for [`World::run_opts`]. [`World::run`] uses the default:
+/// `MinSource` matching, deadlock detection on, watchdog timeout from
+/// `PVR_MPISIM_TIMEOUT_SECS` (default 120 s, `0` disables), no trace.
+#[derive(Clone)]
+pub struct RunOptions {
+    pub match_policy: MatchPolicy,
+    pub deadlock_detection: bool,
+    pub timeout: Option<Duration>,
+    pub trace: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            match_policy: MatchPolicy::MinSource,
+            deadlock_detection: true,
+            timeout: default_timeout(),
+            trace: false,
+        }
+    }
+}
+
+impl RunOptions {
+    pub fn policy(mut self, p: MatchPolicy) -> Self {
+        self.match_policy = p;
+        self
+    }
+
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    pub fn no_deadlock_detection(mut self) -> Self {
+        self.deadlock_detection = false;
+        self
+    }
+
+    pub fn with_timeout(mut self, t: Option<Duration>) -> Self {
+        self.timeout = t;
+        self
+    }
+}
+
+/// The watchdog timeout: `PVR_MPISIM_TIMEOUT_SECS` if set (`0`
+/// disables), else 120 s.
+pub fn default_timeout() -> Option<Duration> {
+    match std::env::var("PVR_MPISIM_TIMEOUT_SECS") {
+        Ok(s) => match s.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(secs) => Some(Duration::from_secs(secs)),
+            Err(_) => Some(Duration::from_secs(120)),
+        },
+        Err(_) => Some(Duration::from_secs(120)),
+    }
+}
+
+/// A successful world: per-rank results plus the trace, if recorded.
+#[derive(Debug)]
+pub struct RunOutput<T> {
+    pub results: Vec<T>,
+    pub trace: Option<TraceLog>,
+}
+
+/// Global state of a rank group, under one mutex so blocked/done
+/// transitions are observable atomically (the deadlock detector relies
+/// on this).
+struct State {
+    /// Accepted-but-undelivered messages, per destination.
+    queues: Vec<VecDeque<Envelope>>,
+    status: Vec<Status>,
+    barrier_gen: u64,
+    barrier_count: usize,
+    /// Elementwise max of the clocks of ranks arrived at the current
+    /// barrier generation.
+    barrier_clock: Clock,
+    /// Merged clock of the last completed barrier generation.
+    release_clock: Clock,
+    poison: Option<RunError>,
+    arrival: u64,
+    done_count: usize,
+    trace_sink: Option<Vec<TraceEvent>>,
+}
+
 struct Shared {
-    senders: Vec<Sender<Envelope>>,
-    barrier: std::sync::Barrier,
+    state: Mutex<State>,
+    /// One condvar per rank: notified on message arrival for that rank,
+    /// barrier release, and poison.
+    rank_cv: Vec<Condvar>,
+    /// Notified when the world completes or is poisoned (wakes the
+    /// watchdog).
+    monitor_cv: Condvar,
+}
+
+impl Shared {
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        // A rank panicking in user code poisons the mutex; the runtime
+        // state is still consistent (we never unwind while mutating it).
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn notify_everyone(&self) {
+        for cv in &self.rank_cv {
+            cv.notify_all();
+        }
+        self.monitor_cv.notify_all();
+    }
+}
+
+/// Unwind payload used when a rank is torn down by poison (deadlock or
+/// watchdog). Not a real panic: the runner translates it into the
+/// poisoning `RunError` and `resume_unwind` skips the panic hook, so
+/// teardown is quiet.
+struct PoisonUnwind;
+
+/// Per-rank mutable bookkeeping, interior-mutable because `send` and
+/// `barrier` take `&self`.
+struct RankLocal {
+    clock: Clock,
+    /// Next sequence number per (destination, tag).
+    send_seq: HashMap<(usize, u32), u64>,
+    /// Next expected sequence number per (source, tag).
+    expect_seq: HashMap<(usize, u32), u64>,
+    /// Wildcard receives completed so far (the replay index).
+    wildcards: u64,
+    trace: Vec<TraceEvent>,
+}
+
+enum Want {
+    From(usize),
+    Any,
 }
 
 /// The per-rank communicator handle.
@@ -43,9 +295,11 @@ pub struct Comm {
     rank: usize,
     size: usize,
     shared: Arc<Shared>,
-    inbox: Receiver<Envelope>,
-    /// Messages received but not yet matched, keyed by (src, tag).
-    pending: HashMap<(usize, u32), Vec<Envelope>>,
+    opts: Arc<RunOptions>,
+    /// Messages delivered but not yet matched, keyed by (src, tag);
+    /// FIFO per key preserves non-overtaking order.
+    pending: HashMap<(usize, u32), VecDeque<Envelope>>,
+    local: RefCell<RankLocal>,
 }
 
 impl Comm {
@@ -57,57 +311,259 @@ impl Comm {
         self.size
     }
 
-    /// Blocking-buffered send (always completes locally; channels are
+    fn poison_unwind(&self) -> ! {
+        resume_unwind(Box::new(PoisonUnwind))
+    }
+
+    /// Blocking-buffered send (always completes locally; queues are
     /// unbounded).
     pub fn send(&self, to: usize, tag: u32, data: Vec<u8>) {
         assert!(to < self.size, "send to rank {to} of {}", self.size);
-        self.shared.senders[to]
-            .send(Envelope { src: self.rank, tag, data })
-            .expect("receiver hung up");
+        let (seq, clock) = {
+            let mut local = self.local.borrow_mut();
+            let me = self.rank;
+            local.clock[me] += 1;
+            let seq_ref = local.send_seq.entry((to, tag)).or_insert(0);
+            let seq = *seq_ref;
+            *seq_ref += 1;
+            let clock = local.clock.clone();
+            if self.opts.trace {
+                local.trace.push(TraceEvent::Send {
+                    from: me,
+                    to,
+                    tag,
+                    seq,
+                    clock: clock.clone(),
+                });
+            }
+            (seq, clock)
+        };
+        let mut st = self.shared.lock_state();
+        if st.poison.is_some() {
+            drop(st);
+            self.poison_unwind();
+        }
+        st.arrival += 1;
+        let arrival = st.arrival;
+        st.queues[to].push_back(Envelope {
+            src: self.rank,
+            tag,
+            seq,
+            arrival,
+            clock,
+            data,
+        });
+        drop(st);
+        self.shared.rank_cv[to].notify_all();
     }
 
     /// Blocking receive of a message with `tag` from `src`.
     pub fn recv_from(&mut self, src: usize, tag: u32) -> Vec<u8> {
-        if let Some(q) = self.pending.get_mut(&(src, tag)) {
-            if !q.is_empty() {
-                return q.remove(0).data;
-            }
-        }
-        loop {
-            let env = self.inbox.recv().expect("all senders hung up");
-            if env.src == src && env.tag == tag {
-                return env.data;
-            }
-            self.pending.entry((env.src, env.tag)).or_default().push(env);
-        }
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let env = self.wait_match(Want::From(src), tag, None);
+        self.deliver(env, None)
     }
 
-    /// Blocking receive of a message with `tag` from any source; returns
-    /// `(src, data)`.
+    /// Blocking receive of a message with `tag` from any source;
+    /// returns `(src, data)`.
+    ///
+    /// When several sources have a matching message pending, the choice
+    /// is governed by the world's [`MatchPolicy`]. The default
+    /// (`MinSource`) picks the lowest source rank — deterministic given
+    /// the same pending set, and what this workspace's protocols are
+    /// validated against. Note this is *not* arrival order; use
+    /// `MatchPolicy::Arrival` for that, `Perturb` to explore other
+    /// interleavings, or `Replay` to pin the order of a recorded run.
     pub fn recv_any(&mut self, tag: u32) -> (usize, Vec<u8>) {
-        // Check pending first (any source, in arrival order).
-        let key = self
-            .pending
-            .iter()
-            .filter(|((_, t), q)| *t == tag && !q.is_empty())
-            .map(|((s, t), _)| (*s, *t))
-            .min(); // deterministic choice: lowest source first
-        if let Some(k) = key {
-            let env = self.pending.get_mut(&k).unwrap().remove(0);
-            return (env.src, env.data);
-        }
+        let widx = self.local.borrow().wildcards;
+        let want = if let MatchPolicy::Replay(log) = &self.opts.match_policy {
+            let src = log.choice(self.rank, widx).unwrap_or_else(|| {
+                panic!(
+                    "replay log exhausted at rank {} wildcard #{widx}: \
+                     execution diverged from the recording",
+                    self.rank
+                )
+            });
+            Want::From(src)
+        } else {
+            Want::Any
+        };
+        let env = self.wait_match(want, tag, Some(widx));
+        self.local.borrow_mut().wildcards = widx + 1;
+        let src = env.src;
+        let data = self.deliver(env, Some(widx));
+        (src, data)
+    }
+
+    /// Block until a message matching `want`/`tag` is available, then
+    /// take it. Registers the blocked status so the deadlock detector
+    /// can see it, and re-checks poison on every wakeup.
+    fn wait_match(&mut self, want: Want, tag: u32, _wildcard: Option<u64>) -> Envelope {
+        let me = self.rank;
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.lock_state();
         loop {
-            let env = self.inbox.recv().expect("all senders hung up");
-            if env.tag == tag {
-                return (env.src, env.data);
+            if st.poison.is_some() {
+                drop(st);
+                self.poison_unwind();
             }
-            self.pending.entry((env.src, env.tag)).or_default().push(env);
+            while let Some(env) = st.queues[me].pop_front() {
+                self.pending
+                    .entry((env.src, env.tag))
+                    .or_default()
+                    .push_back(env);
+            }
+            if let Some(env) = self.try_take(&want, tag) {
+                return env;
+            }
+            st.status[me] = match want {
+                Want::From(src) => Status::RecvFrom { src, tag },
+                Want::Any => Status::RecvAny { tag },
+            };
+            if self.opts.deadlock_detection {
+                if let Some(report) = check_deadlock(&st) {
+                    poison_with(&shared, &mut st, RunError::Deadlock { report });
+                    drop(st);
+                    self.poison_unwind();
+                }
+            }
+            st = shared.rank_cv[me]
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+            st.status[me] = Status::Running;
         }
     }
 
-    /// Synchronize all ranks.
+    /// Take a matching envelope from `pending`, honouring the match
+    /// policy for wildcard receives.
+    fn try_take(&mut self, want: &Want, tag: u32) -> Option<Envelope> {
+        match want {
+            Want::From(src) => {
+                let q = self.pending.get_mut(&(*src, tag))?;
+                q.pop_front()
+            }
+            Want::Any => {
+                let mut candidates: Vec<usize> = self
+                    .pending
+                    .iter()
+                    .filter(|((_, t), q)| *t == tag && !q.is_empty())
+                    .map(|((s, _), _)| *s)
+                    .collect();
+                if candidates.is_empty() {
+                    return None;
+                }
+                candidates.sort_unstable();
+                let src = match &self.opts.match_policy {
+                    MatchPolicy::MinSource => candidates[0],
+                    MatchPolicy::Arrival => *candidates
+                        .iter()
+                        .min_by_key(|s| self.pending[&(**s, tag)].front().unwrap().arrival)
+                        .unwrap(),
+                    MatchPolicy::Perturb(seed) => {
+                        let widx = self.local.borrow().wildcards;
+                        let h = splitmix64(
+                            seed ^ (self.rank as u64).wrapping_mul(0x9e37_79b9)
+                                ^ widx.wrapping_mul(0x85eb_ca6b),
+                        );
+                        candidates[(h % candidates.len() as u64) as usize]
+                    }
+                    // Replay is resolved to Want::From before blocking.
+                    MatchPolicy::Replay(_) => unreachable!("replay resolves to a specific source"),
+                };
+                self.pending.get_mut(&(src, tag)).unwrap().pop_front()
+            }
+        }
+    }
+
+    /// Account a matched envelope: assert non-overtaking order, join
+    /// vector clocks, record the trace event. Returns the payload.
+    fn deliver(&mut self, env: Envelope, wildcard: Option<u64>) -> Vec<u8> {
+        let me = self.rank;
+        let mut local = self.local.borrow_mut();
+        let expect = local.expect_seq.entry((env.src, env.tag)).or_insert(0);
+        assert_eq!(
+            env.seq, *expect,
+            "non-overtaking violated: rank {me} matched seq {} from (src {}, tag {}) \
+             but expected seq {expect}",
+            env.seq, env.src, env.tag
+        );
+        *expect += 1;
+        for (c, s) in local.clock.iter_mut().zip(&env.clock) {
+            *c = (*c).max(*s);
+        }
+        local.clock[me] += 1;
+        if self.opts.trace {
+            let recv_clock = local.clock.clone();
+            local.trace.push(TraceEvent::Recv {
+                rank: me,
+                src: env.src,
+                tag: env.tag,
+                seq: env.seq,
+                wildcard,
+                send_clock: env.clock,
+                recv_clock,
+            });
+        }
+        env.data
+    }
+
+    /// Synchronize all ranks. Also a vector-clock join point: every
+    /// participant leaves with the elementwise max of all clocks.
     pub fn barrier(&self) {
-        self.shared.barrier.wait();
+        let me = self.rank;
+        self.local.borrow_mut().clock[me] += 1;
+        let mut st = self.shared.lock_state();
+        if st.poison.is_some() {
+            drop(st);
+            self.poison_unwind();
+        }
+        let gen = st.barrier_gen;
+        {
+            let local = self.local.borrow();
+            for (b, c) in st.barrier_clock.iter_mut().zip(&local.clock) {
+                *b = (*b).max(*c);
+            }
+        }
+        st.barrier_count += 1;
+        if st.barrier_count == self.size {
+            st.barrier_count = 0;
+            st.barrier_gen += 1;
+            st.release_clock = std::mem::replace(&mut st.barrier_clock, vec![0; self.size]);
+            for cv in &self.shared.rank_cv {
+                cv.notify_all();
+            }
+        } else {
+            st.status[me] = Status::Barrier { gen };
+            if self.opts.deadlock_detection {
+                if let Some(report) = check_deadlock(&st) {
+                    poison_with(&self.shared, &mut st, RunError::Deadlock { report });
+                    drop(st);
+                    self.poison_unwind();
+                }
+            }
+            while st.barrier_gen == gen && st.poison.is_none() {
+                st = self.shared.rank_cv[me]
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            st.status[me] = Status::Running;
+            if st.poison.is_some() {
+                drop(st);
+                self.poison_unwind();
+            }
+        }
+        let release = st.release_clock.clone();
+        drop(st);
+        let mut local = self.local.borrow_mut();
+        for (c, r) in local.clock.iter_mut().zip(&release) {
+            *c = (*c).max(*r);
+        }
+        if self.opts.trace {
+            local.trace.push(TraceEvent::Barrier {
+                rank: me,
+                generation: gen,
+            });
+        }
     }
 
     /// Gather byte buffers from all ranks to `root`; returns `Some(all)`
@@ -160,43 +616,307 @@ impl Comm {
     }
 }
 
+impl Drop for Comm {
+    /// Marks the rank done (also when unwinding from a panic), flushes
+    /// its trace, and re-runs the deadlock check: a rank exiting while
+    /// peers still wait on it is itself a deadlock.
+    fn drop(&mut self) {
+        let me = self.rank;
+        let mut st = self.shared.lock_state();
+        st.status[me] = Status::Done;
+        st.done_count += 1;
+        if st.trace_sink.is_some() {
+            let mut local = self.local.borrow_mut();
+            if let Some(sink) = st.trace_sink.as_mut() {
+                sink.append(&mut local.trace);
+            }
+        }
+        if st.done_count == self.size {
+            self.shared.monitor_cv.notify_all();
+        } else if self.opts.deadlock_detection && st.poison.is_none() {
+            if let Some(report) = check_deadlock(&st) {
+                // Never unwind out of drop; just poison and wake peers.
+                poison_with(&self.shared, &mut st, RunError::Deadlock { report });
+            }
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn poison_with(shared: &Shared, st: &mut State, err: RunError) {
+    eprintln!("pvr-mpisim: {err}");
+    st.poison = Some(err);
+    shared.notify_everyone();
+}
+
+/// Quiescence check, run with the state lock held whenever a rank
+/// blocks or finishes. A deadlock holds iff every rank is blocked or
+/// done, at least one is blocked, no blocked receiver has an
+/// undelivered message, and no barrier waiter's generation has already
+/// been released. Returns the report naming the wait-for cycle (or,
+/// when the graph is acyclic — e.g. waiting on a rank that already
+/// exited — a per-rank wait listing).
+fn check_deadlock(st: &State) -> Option<String> {
+    let n = st.status.len();
+    let mut blocked = 0usize;
+    for r in 0..n {
+        match st.status[r] {
+            Status::Running => return None,
+            Status::RecvFrom { .. } | Status::RecvAny { .. } => {
+                if !st.queues[r].is_empty() {
+                    return None; // an undelivered message will wake r
+                }
+                blocked += 1;
+            }
+            Status::Barrier { gen } => {
+                if gen < st.barrier_gen {
+                    return None; // released, just not woken yet
+                }
+                blocked += 1;
+            }
+            Status::Done => {}
+        }
+    }
+    if blocked == 0 {
+        return None;
+    }
+
+    // Wait-for edges, for the report.
+    let waits_on = |r: usize| -> Vec<usize> {
+        match st.status[r] {
+            Status::RecvFrom { src, .. } => vec![src],
+            Status::RecvAny { .. } => (0..n)
+                .filter(|&x| x != r && st.status[x] != Status::Done)
+                .collect(),
+            Status::Barrier { .. } => (0..n)
+                .filter(|&x| x != r && !matches!(st.status[x], Status::Barrier { .. }))
+                .collect(),
+            Status::Running | Status::Done => Vec::new(),
+        }
+    };
+    let describe = |r: usize| -> String {
+        match st.status[r] {
+            Status::RecvFrom { src, tag } => format!("rank {r} (recv_from src={src} tag={tag})"),
+            Status::RecvAny { tag } => format!("rank {r} (recv_any tag={tag})"),
+            Status::Barrier { .. } => format!("rank {r} (barrier)"),
+            Status::Done => format!("rank {r} (done)"),
+            Status::Running => format!("rank {r} (running)"),
+        }
+    };
+
+    // Find a cycle by following first-choice edges from each blocked
+    // rank; with every rank blocked or done this either hits a cycle or
+    // dead-ends at a Done rank.
+    let mut cycle_text = None;
+    'outer: for start in 0..n {
+        if matches!(st.status[start], Status::Done | Status::Running) {
+            continue;
+        }
+        let mut path = vec![start];
+        let mut seen = vec![false; n];
+        seen[start] = true;
+        let mut cur = start;
+        loop {
+            let nexts = waits_on(cur);
+            let Some(&next) = nexts.first() else {
+                continue 'outer;
+            };
+            if seen[next] {
+                let from = path.iter().position(|&x| x == next).unwrap();
+                let mut text: Vec<String> = path[from..].iter().map(|&r| describe(r)).collect();
+                text.push(format!("rank {next}"));
+                cycle_text = Some(format!("cycle: {}", text.join(" -> ")));
+                break 'outer;
+            }
+            seen[next] = true;
+            path.push(next);
+            cur = next;
+        }
+    }
+
+    let mut lines = vec![format!(
+        "all {n} ranks blocked or done ({blocked} blocked), no message in flight"
+    )];
+    if let Some(c) = cycle_text {
+        lines.push(c);
+    }
+    for r in 0..n {
+        if st.status[r] != Status::Running {
+            let targets = waits_on(r);
+            if targets.is_empty() {
+                lines.push(format!("  {}", describe(r)));
+            } else if targets.len() <= 4 {
+                lines.push(format!(
+                    "  {} waits on {}",
+                    describe(r),
+                    targets
+                        .iter()
+                        .map(|t| format!("rank {t}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            } else {
+                lines.push(format!(
+                    "  {} waits on {} ranks",
+                    describe(r),
+                    targets.len()
+                ));
+            }
+        }
+    }
+    Some(lines.join("\n"))
+}
+
+/// Watchdog: poisons the world with [`RunError::Stalled`] if it is
+/// still unfinished (and not already poisoned) at the deadline.
+fn watchdog(shared: &Shared, n: usize, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    let mut st = shared.lock_state();
+    loop {
+        if st.done_count == n || st.poison.is_some() {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            let blocked: Vec<String> = (0..n)
+                .filter(|&r| st.status[r] != Status::Running)
+                .map(|r| format!("rank {r}: {:?}", st.status[r]))
+                .collect();
+            let report = format!(
+                "world not finished after {timeout:?}; {} of {n} ranks done; {}",
+                st.done_count,
+                if blocked.is_empty() {
+                    "all ranks in user compute".to_string()
+                } else {
+                    blocked.join("; ")
+                }
+            );
+            poison_with(shared, &mut st, RunError::Stalled { report });
+            return;
+        }
+        let (g, _) = shared
+            .monitor_cv
+            .wait_timeout(st, deadline - now)
+            .unwrap_or_else(PoisonError::into_inner);
+        st = g;
+    }
+}
+
 /// The SPMD runner.
 pub struct World;
 
 impl World {
     /// Run `f` on `n` ranks (threads); returns each rank's result in
-    /// rank order. Panics in any rank propagate.
+    /// rank order. Panics in any rank propagate; deadlocks and watchdog
+    /// stalls panic with the diagnostic report (use [`World::run_opts`]
+    /// to get them as `Err` values instead).
     pub fn run<T, F>(n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(Comm) -> T + Send + Sync,
     {
-        assert!(n >= 1);
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
+        match Self::run_opts(n, RunOptions::default(), f) {
+            Ok(out) => out.results,
+            Err(e) => panic!("mpisim world failed: {e}"),
         }
-        let shared = Arc::new(Shared { senders, barrier: std::sync::Barrier::new(n) });
+    }
 
-        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    /// Run `f` on `n` ranks with explicit [`RunOptions`]; returns the
+    /// per-rank results (and the trace, if recording) or the
+    /// [`RunError`] that poisoned the world.
+    pub fn run_opts<T, F>(n: usize, opts: RunOptions, f: F) -> Result<RunOutput<T>, RunError>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        assert!(n >= 1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                status: vec![Status::Running; n],
+                barrier_gen: 0,
+                barrier_count: 0,
+                barrier_clock: vec![0; n],
+                release_clock: vec![0; n],
+                poison: None,
+                arrival: 0,
+                done_count: 0,
+                trace_sink: if opts.trace { Some(Vec::new()) } else { None },
+            }),
+            rank_cv: (0..n).map(|_| Condvar::new()).collect(),
+            monitor_cv: Condvar::new(),
+        });
+        let opts = Arc::new(opts);
+
+        let mut joins: Vec<std::thread::Result<T>> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for (rank, inbox) in receivers.into_iter().enumerate() {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let shared = Arc::clone(&shared);
+                    let opts = Arc::clone(&opts);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let comm = Comm {
+                            rank,
+                            size: n,
+                            shared,
+                            opts,
+                            pending: HashMap::new(),
+                            local: RefCell::new(RankLocal {
+                                clock: vec![0; n],
+                                send_seq: HashMap::new(),
+                                expect_seq: HashMap::new(),
+                                wildcards: 0,
+                                trace: Vec::new(),
+                            }),
+                        };
+                        f(comm)
+                    })
+                })
+                .collect();
+            if let Some(t) = opts.timeout {
                 let shared = Arc::clone(&shared);
-                let f = &f;
-                handles.push(scope.spawn(move || {
-                    let comm = Comm { rank, size: n, shared, inbox, pending: HashMap::new() };
-                    f(comm)
-                }));
+                scope.spawn(move || watchdog(&shared, n, t));
             }
-            for (rank, h) in handles.into_iter().enumerate() {
-                out[rank] = Some(h.join().expect("rank panicked"));
+            for h in handles {
+                joins.push(h.join());
             }
         });
-        out.into_iter().map(|o| o.unwrap()).collect()
+
+        let mut results = Vec::with_capacity(n);
+        let mut real_panic = None;
+        for j in joins {
+            match j {
+                Ok(t) => results.push(Some(t)),
+                Err(payload) => {
+                    if payload.downcast_ref::<PoisonUnwind>().is_none() && real_panic.is_none() {
+                        real_panic = Some(payload);
+                    }
+                    results.push(None);
+                }
+            }
+        }
+        if let Some(p) = real_panic {
+            resume_unwind(p);
+        }
+        let mut st = shared.lock_state();
+        if let Some(err) = st.poison.take() {
+            return Err(err);
+        }
+        let trace = st.trace_sink.take().map(|events| TraceLog { n, events });
+        Ok(RunOutput {
+            results: results
+                .into_iter()
+                .map(|o| o.expect("rank produced no result"))
+                .collect(),
+            trace,
+        })
     }
 }
 
@@ -242,7 +962,9 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..100).map(|_| comm.recv_from(0, 5)[0]).collect::<Vec<u8>>()
+                (0..100)
+                    .map(|_| comm.recv_from(0, 5)[0])
+                    .collect::<Vec<u8>>()
             }
         });
         assert_eq!(results[1], (0..100).collect::<Vec<u8>>());
@@ -265,7 +987,11 @@ mod tests {
     #[test]
     fn bcast_delivers_everywhere() {
         let results = World::run(6, |mut comm| {
-            let payload = if comm.rank() == 3 { b"hello".to_vec() } else { Vec::new() };
+            let payload = if comm.rank() == 3 {
+                b"hello".to_vec()
+            } else {
+                Vec::new()
+            };
             comm.bcast(3, payload, 9)
         });
         for r in results {
@@ -329,5 +1055,307 @@ mod tests {
             }
         });
         assert_eq!(results[2], 9);
+    }
+
+    // ---- verification-layer tests ----
+
+    #[test]
+    fn recv_cycle_is_reported_not_hung() {
+        let err = World::run_opts(2, RunOptions::default(), |mut comm| {
+            // Classic head-to-head: both ranks receive before sending.
+            let peer = 1 - comm.rank();
+            let _ = comm.recv_from(peer, 5);
+            comm.send(peer, 5, vec![1]);
+        })
+        .unwrap_err();
+        assert!(err.is_deadlock());
+        assert!(err.report().contains("cycle"), "report:\n{}", err.report());
+        assert!(err.report().contains("rank 0"));
+        assert!(err.report().contains("rank 1"));
+    }
+
+    #[test]
+    fn three_rank_cycle_named() {
+        let err = World::run_opts(3, RunOptions::default(), |mut comm| {
+            // 0 waits on 1, 1 waits on 2, 2 waits on 0.
+            let from = (comm.rank() + 1) % comm.size();
+            let _ = comm.recv_from(from, 9);
+        })
+        .unwrap_err();
+        assert!(err.is_deadlock());
+        assert!(err.report().contains("cycle"), "report:\n{}", err.report());
+    }
+
+    #[test]
+    fn waiting_on_finished_rank_is_deadlock() {
+        let err = World::run_opts(2, RunOptions::default(), |mut comm| {
+            if comm.rank() == 0 {
+                let _ = comm.recv_from(1, 3);
+            }
+            // Rank 1 exits immediately without sending.
+        })
+        .unwrap_err();
+        assert!(err.is_deadlock());
+        assert!(err.report().contains("done"), "report:\n{}", err.report());
+    }
+
+    #[test]
+    fn barrier_minus_one_rank_is_deadlock() {
+        let err = World::run_opts(4, RunOptions::default(), |comm| {
+            if comm.rank() != 3 {
+                comm.barrier();
+            }
+        })
+        .unwrap_err();
+        assert!(err.is_deadlock());
+        assert!(
+            err.report().contains("barrier"),
+            "report:\n{}",
+            err.report()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mpisim world failed")]
+    fn default_run_panics_with_report_on_deadlock() {
+        World::run(2, |mut comm| {
+            let peer = 1 - comm.rank();
+            let _ = comm.recv_from(peer, 5);
+        });
+    }
+
+    #[test]
+    fn watchdog_reports_stall_without_deadlock_detection() {
+        let opts = RunOptions::default()
+            .no_deadlock_detection()
+            .with_timeout(Some(Duration::from_millis(200)));
+        let err = World::run_opts(2, opts, |mut comm| {
+            let peer = 1 - comm.rank();
+            let _ = comm.recv_from(peer, 5);
+        })
+        .unwrap_err();
+        assert!(matches!(err, RunError::Stalled { .. }));
+        assert!(
+            err.report().contains("not finished"),
+            "report:\n{}",
+            err.report()
+        );
+    }
+
+    #[test]
+    fn user_panic_propagates_and_frees_peers() {
+        let caught = std::panic::catch_unwind(|| {
+            World::run(2, |mut comm| {
+                if comm.rank() == 0 {
+                    panic!("user bug");
+                }
+                let _ = comm.recv_from(0, 1);
+            })
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "user bug");
+    }
+
+    #[test]
+    fn trace_clocks_are_causally_ordered() {
+        let out = World::run_opts(3, RunOptions::default().traced(), |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![1]);
+            } else if comm.rank() == 1 {
+                let _ = comm.recv_from(0, 1);
+                comm.send(2, 1, vec![2]);
+            } else {
+                let _ = comm.recv_from(1, 1);
+            }
+        })
+        .unwrap();
+        let log = out.trace.unwrap();
+        for e in &log.events {
+            if let TraceEvent::Recv {
+                send_clock,
+                recv_clock,
+                ..
+            } = e
+            {
+                assert!(
+                    trace::clock_leq(send_clock, recv_clock),
+                    "send must happen-before its receive"
+                );
+            }
+        }
+        // Transitivity: rank 2's receive is causally after rank 0's send.
+        let send0 = log
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Send { from: 0, clock, .. } => Some(clock.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let recv2 = log
+            .recvs_for(2)
+            .find_map(|e| match e {
+                TraceEvent::Recv { recv_clock, .. } => Some(recv_clock.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(trace::clock_leq(&send0, &recv2));
+    }
+
+    /// All-to-one fan-in where every sender confirms delivery before the
+    /// collector does its wildcard receives, so all candidates are
+    /// pending simultaneously and the match policy fully decides order.
+    fn fan_in_order(opts: RunOptions) -> (Vec<usize>, Option<TraceLog>) {
+        let n = 5;
+        let out = World::run_opts(n, opts, |mut comm| {
+            if comm.rank() == 0 {
+                for r in 1..comm.size() {
+                    let _ = comm.recv_from(r, 2); // "sent" confirmations
+                }
+                (0..comm.size() - 1)
+                    .map(|_| comm.recv_any(1).0)
+                    .collect::<Vec<usize>>()
+            } else {
+                comm.send(0, 1, vec![comm.rank() as u8]);
+                comm.send(0, 2, vec![]);
+                Vec::new()
+            }
+        })
+        .unwrap();
+        (out.results[0].clone(), out.trace)
+    }
+
+    #[test]
+    fn min_source_policy_orders_wildcards_by_rank() {
+        let (order, _) = fan_in_order(RunOptions::default());
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn perturb_policy_explores_other_orders() {
+        let (base, _) = fan_in_order(RunOptions::default());
+        let mut saw_different = false;
+        for seed in 0..16 {
+            let (order, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Perturb(seed)));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                sorted,
+                vec![1, 2, 3, 4],
+                "perturbation must not lose messages"
+            );
+            if order != base {
+                saw_different = true;
+            }
+        }
+        assert!(
+            saw_different,
+            "no perturbation seed changed the wildcard order"
+        );
+    }
+
+    #[test]
+    fn perturb_is_reproducible_per_seed() {
+        let (a, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Perturb(7)));
+        let (b, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Perturb(7)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_wildcard_order() {
+        let (base, trace) = fan_in_order(
+            RunOptions::default()
+                .policy(MatchPolicy::Perturb(3))
+                .traced(),
+        );
+        let replay = Arc::new(ReplayLog::from_trace(&trace.unwrap()));
+        let (replayed, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Replay(replay)));
+        assert_eq!(replayed, base);
+    }
+
+    #[test]
+    fn replay_swapped_forces_injected_order() {
+        let (base, trace) = fan_in_order(RunOptions::default().traced());
+        let log = ReplayLog::from_trace(&trace.unwrap());
+        let swapped = log
+            .swapped(0, 0)
+            .expect("distinct adjacent matches to swap");
+        let (reordered, _) =
+            fan_in_order(RunOptions::default().policy(MatchPolicy::Replay(Arc::new(swapped))));
+        assert_ne!(reordered, base);
+        assert_eq!(reordered[0], base[1]);
+        assert_eq!(reordered[1], base[0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Per-(src, tag) streams are never reordered, for random
+            /// interleavings of tags and message counts.
+            #[test]
+            fn non_overtaking_per_src_tag(
+                sends in proptest::collection::vec((0u32..3, 0u64..250), 1..40),
+            ) {
+                let sends2 = sends.clone();
+                let received = World::run(2, move |mut comm| {
+                    if comm.rank() == 0 {
+                        for (tag, v) in &sends2 {
+                            comm.send(1, *tag, v.to_le_bytes().to_vec());
+                        }
+                        Vec::new()
+                    } else {
+                        // Receive per tag, in tag-major order.
+                        let mut got = Vec::new();
+                        for t in 0u32..3 {
+                            let k = sends2.iter().filter(|(tag, _)| *tag == t).count();
+                            for _ in 0..k {
+                                let b = comm.recv_from(0, t);
+                                got.push((t, u64::from_le_bytes(b.try_into().unwrap())));
+                            }
+                        }
+                        got
+                    }
+                });
+                for t in 0u32..3 {
+                    let sent: Vec<u64> =
+                        sends.iter().filter(|(tag, _)| *tag == t).map(|(_, v)| *v).collect();
+                    let recvd: Vec<u64> = received[1]
+                        .iter()
+                        .filter(|(tag, _)| *tag == t)
+                        .map(|(_, v)| *v)
+                        .collect();
+                    prop_assert_eq!(sent, recvd, "stream for tag {} reordered", t);
+                }
+            }
+
+            /// gather followed by bcast round-trips every rank's payload
+            /// at random world sizes and roots.
+            #[test]
+            fn gather_bcast_roundtrip(
+                spec in (1usize..9).prop_flat_map(|n| (proptest::prelude::Just(n), 0usize..n)),
+            ) {
+                let (n, root) = spec;
+                let results = World::run(n, move |mut comm| {
+                    let payload = vec![comm.rank() as u8; comm.rank() + 1];
+                    let gathered = comm.gather(root, payload, 4);
+                    // Root re-broadcasts the concatenation; everyone
+                    // must agree on it.
+                    let concat = gathered
+                        .map(|all| all.concat())
+                        .unwrap_or_default();
+                    comm.bcast(root, concat, 6)
+                });
+                let expected: Vec<u8> =
+                    (0..n).flat_map(|r| std::iter::repeat_n(r as u8, r + 1)).collect();
+                for r in &results {
+                    prop_assert_eq!(r, &expected);
+                }
+            }
+        }
     }
 }

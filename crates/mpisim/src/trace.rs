@@ -1,0 +1,239 @@
+//! Execution traces for the message-passing runtime.
+//!
+//! When [`RunOptions::trace`](crate::RunOptions) is set, every rank
+//! records a vector-clocked event log: sends, receives (with the clock
+//! the matched message carried, and — for wildcard receives — the
+//! per-rank wildcard index), and barrier crossings. The logs are
+//! flushed into a single [`TraceLog`] when the world finishes.
+//!
+//! Two consumers exist:
+//!
+//! * `pvr-verify`'s race detector, which uses the vector clocks to find
+//!   wildcard receives whose candidate sends were concurrent (a message
+//!   race: a different interleaving could have matched a different
+//!   sender).
+//! * [`ReplayLog`], which extracts the wildcard-match order so a run
+//!   can be replayed deterministically (or deliberately perturbed) via
+//!   [`MatchPolicy::Replay`](crate::MatchPolicy).
+
+/// A vector clock: one logical-time component per rank.
+pub type Clock = Vec<u64>;
+
+/// `a ≤ b` in vector-clock (happens-before) order.
+pub fn clock_leq(a: &Clock, b: &Clock) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// Neither `a ≤ b` nor `b ≤ a`: the events are concurrent.
+pub fn clock_concurrent(a: &Clock, b: &Clock) -> bool {
+    !clock_leq(a, b) && !clock_leq(b, a)
+}
+
+/// One event in a rank's execution.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    Send {
+        from: usize,
+        to: usize,
+        tag: u32,
+        /// Per-(from, to, tag) sequence number (non-overtaking index).
+        seq: u64,
+        /// Sender's vector clock at the send.
+        clock: Clock,
+    },
+    Recv {
+        rank: usize,
+        src: usize,
+        tag: u32,
+        seq: u64,
+        /// `Some(i)` if this was the rank's `i`-th wildcard
+        /// (`recv_any`) match; `None` for `recv_from`.
+        wildcard: Option<u64>,
+        /// Vector clock the matched message carried.
+        send_clock: Clock,
+        /// Receiver's vector clock after the join.
+        recv_clock: Clock,
+    },
+    Barrier {
+        rank: usize,
+        /// Barrier generation the rank crossed.
+        generation: u64,
+    },
+}
+
+/// The merged event log of a finished world.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    /// World size the log was recorded at.
+    pub n: usize,
+    /// All ranks' events. Within one rank the events appear in program
+    /// order; across ranks the order is the (arbitrary) flush order —
+    /// use the vector clocks, not the vector order, for causality.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// The receive events of `rank`, in program order.
+    pub fn recvs_for(&self, rank: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| matches!(e, TraceEvent::Recv { rank: r, .. } if *r == rank))
+    }
+
+    /// Total number of wildcard (`recv_any`) matches in the log.
+    pub fn wildcard_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Recv {
+                        wildcard: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+}
+
+/// The wildcard-match order of a recorded run: for each rank, which
+/// source its `i`-th `recv_any` matched. Replaying under
+/// [`MatchPolicy::Replay`](crate::MatchPolicy) forces the same order;
+/// [`ReplayLog::swapped`] builds a deliberately perturbed order to
+/// probe order-sensitivity.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayLog {
+    choices: Vec<Vec<usize>>,
+}
+
+impl ReplayLog {
+    /// Extract the wildcard-match order from a trace.
+    pub fn from_trace(log: &TraceLog) -> Self {
+        let mut per_rank: Vec<Vec<(u64, usize)>> = vec![Vec::new(); log.n];
+        for e in &log.events {
+            if let TraceEvent::Recv {
+                rank,
+                src,
+                wildcard: Some(i),
+                ..
+            } = e
+            {
+                per_rank[*rank].push((*i, *src));
+            }
+        }
+        let choices = per_rank
+            .into_iter()
+            .map(|mut v| {
+                v.sort_by_key(|(i, _)| *i);
+                v.into_iter().map(|(_, s)| s).collect()
+            })
+            .collect();
+        ReplayLog { choices }
+    }
+
+    /// The source `rank`'s `idx`-th wildcard receive must match, if
+    /// recorded.
+    pub fn choice(&self, rank: usize, idx: u64) -> Option<usize> {
+        self.choices.get(rank)?.get(idx as usize).copied()
+    }
+
+    /// Number of recorded wildcard matches for `rank`.
+    pub fn len_for(&self, rank: usize) -> usize {
+        self.choices.get(rank).map_or(0, Vec::len)
+    }
+
+    /// Total recorded wildcard matches across all ranks.
+    pub fn total_len(&self) -> usize {
+        self.choices.iter().map(Vec::len).sum()
+    }
+
+    /// A copy with `rank`'s wildcard matches `i` and `i + 1` swapped —
+    /// an injected out-of-order match. Returns `None` if the swap is
+    /// out of range or would be a no-op (both entries the same source).
+    pub fn swapped(&self, rank: usize, i: usize) -> Option<ReplayLog> {
+        let seq = self.choices.get(rank)?;
+        if i + 1 >= seq.len() || seq[i] == seq[i + 1] {
+            return None;
+        }
+        let mut out = self.clone();
+        out.choices[rank].swap(i, i + 1);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_order_relations() {
+        let a = vec![1, 2, 0];
+        let b = vec![1, 3, 0];
+        let c = vec![0, 0, 5];
+        assert!(clock_leq(&a, &b));
+        assert!(!clock_leq(&b, &a));
+        assert!(clock_concurrent(&a, &c));
+        assert!(!clock_concurrent(&a, &b));
+        assert!(clock_leq(&a, &a));
+    }
+
+    #[test]
+    fn replay_log_orders_by_wildcard_index() {
+        let log = TraceLog {
+            n: 2,
+            events: vec![
+                TraceEvent::Recv {
+                    rank: 1,
+                    src: 7,
+                    tag: 0,
+                    seq: 0,
+                    wildcard: Some(1),
+                    send_clock: vec![],
+                    recv_clock: vec![],
+                },
+                TraceEvent::Recv {
+                    rank: 1,
+                    src: 3,
+                    tag: 0,
+                    seq: 0,
+                    wildcard: Some(0),
+                    send_clock: vec![],
+                    recv_clock: vec![],
+                },
+                TraceEvent::Recv {
+                    rank: 1,
+                    src: 9,
+                    tag: 0,
+                    seq: 1,
+                    wildcard: None,
+                    send_clock: vec![],
+                    recv_clock: vec![],
+                },
+            ],
+        };
+        let replay = ReplayLog::from_trace(&log);
+        assert_eq!(replay.choice(1, 0), Some(3));
+        assert_eq!(replay.choice(1, 1), Some(7));
+        assert_eq!(replay.choice(1, 2), None);
+        assert_eq!(replay.len_for(0), 0);
+    }
+
+    #[test]
+    fn swapped_perturbs_exactly_one_pair() {
+        let log = ReplayLog {
+            choices: vec![vec![], vec![3, 7, 3]],
+        };
+        let s = log.swapped(1, 0).unwrap();
+        assert_eq!(s.choice(1, 0), Some(7));
+        assert_eq!(s.choice(1, 1), Some(3));
+        assert_eq!(s.choice(1, 2), Some(3));
+        // Swapping equal entries is refused.
+        assert!(ReplayLog {
+            choices: vec![vec![5, 5]]
+        }
+        .swapped(0, 0)
+        .is_none());
+        assert!(log.swapped(1, 2).is_none());
+    }
+}

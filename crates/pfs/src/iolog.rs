@@ -57,7 +57,12 @@ impl AccessMap {
     /// Create a `width x height` map of a file of `file_size` bytes.
     pub fn new(width: usize, height: usize, file_size: u64) -> Self {
         assert!(width > 0 && height > 0 && file_size > 0);
-        AccessMap { width, height, file_size, cells: vec![0.0; width * height] }
+        AccessMap {
+            width,
+            height,
+            file_size,
+            cells: vec![0.0; width * height],
+        }
     }
 
     pub fn dims(&self) -> (usize, usize) {

@@ -78,7 +78,10 @@ impl StorageModel {
             .powf(self.size_exp)
             .clamp(0.25, 4.0);
         let fabric = self.base_bw * io.powf(self.io_scaling_exp) * size_term;
-        fabric.min(io * self.io_node_bw).min(na * self.client_bw).min(self.san_peak)
+        fabric
+            .min(io * self.io_node_bw)
+            .min(na * self.client_bw)
+            .min(self.san_peak)
     }
 
     /// Wall-clock seconds to complete a read phase that physically moves
@@ -147,7 +150,10 @@ mod tests {
             let naggr = StorageModel::default_aggregators(cores, io_nodes);
             let bw = m.aggregate_bandwidth(bytes as u64, io_nodes, naggr) / GB;
             let err = (bw - paper).abs() / paper;
-            assert!(err < 0.20, "{bytes}B @ {cores}: model {bw:.2} vs paper {paper} ({err:.0}%)");
+            assert!(
+                err < 0.20,
+                "{bytes}B @ {cores}: model {bw:.2} vs paper {paper} ({err:.0}%)"
+            );
         }
     }
 
@@ -163,8 +169,11 @@ mod tests {
 
     #[test]
     fn single_io_node_is_tree_limited_for_huge_reads() {
-        let mut m = StorageModel::default();
-        m.base_bw = 10e9; // pretend the fabric is infinitely fast
+        // Pretend the fabric is infinitely fast.
+        let m = StorageModel {
+            base_bw: 10e9,
+            ..Default::default()
+        };
         let bw = m.aggregate_bandwidth(1 << 40, 1, 64);
         assert!(bw <= m.io_node_bw + 1.0);
     }

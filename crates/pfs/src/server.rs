@@ -127,7 +127,12 @@ impl StripedStore {
             .zip(&server_requests)
             .map(|(&b, &r)| b as f64 / self.server_bw + r as f64 * self.request_overhead)
             .fold(0.0f64, f64::max);
-        StoreReport { makespan, server_bytes, server_requests, total_bytes }
+        StoreReport {
+            makespan,
+            server_bytes,
+            server_requests,
+            total_bytes,
+        }
     }
 }
 
@@ -192,8 +197,9 @@ mod tests {
     fn makespan_includes_request_overhead() {
         let s = store(2, 1 << 20);
         // 1000 tiny requests to server 0: overhead dominates.
-        let accesses: Vec<Extent> =
-            (0..1000).map(|i| Extent::new(i * 2 * (1 << 20), 64)).collect();
+        let accesses: Vec<Extent> = (0..1000)
+            .map(|i| Extent::new(i * 2 * (1 << 20), 64))
+            .collect();
         let r = s.service(&accesses);
         assert!(r.makespan >= 1.0, "makespan {}", r.makespan);
     }

@@ -66,7 +66,11 @@ pub fn independent_plan(per_process: &[Vec<Extent>], buffer_size: u64) -> SieveP
         accesses.extend(sieve_plan(exts, buffer_size));
     }
     let physical = accesses.iter().map(|e| e.len).sum();
-    SievePlan { accesses, useful_bytes: useful, physical_bytes: physical }
+    SievePlan {
+        accesses,
+        useful_bytes: useful,
+        physical_bytes: physical,
+    }
 }
 
 /// Unique bytes touched by a sieve plan (for access-map rendering).
@@ -85,7 +89,11 @@ pub fn per_extent_plan(per_process: &[Vec<Extent>]) -> SievePlan {
         accesses.extend(exts.iter().copied());
     }
     let physical: u64 = accesses.iter().map(|e| e.len).sum();
-    SievePlan { accesses, useful_bytes: physical, physical_bytes: physical }
+    SievePlan {
+        accesses,
+        useful_bytes: physical,
+        physical_bytes: physical,
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ pub struct CollectiveHints {
 
 impl Default for CollectiveHints {
     fn default() -> Self {
-        CollectiveHints { cb_buffer_size: 16 << 20, cb_nodes: None }
+        CollectiveHints {
+            cb_buffer_size: 16 << 20,
+            cb_nodes: None,
+        }
     }
 }
 
@@ -40,7 +43,10 @@ impl CollectiveHints {
     /// The paper's tuned configuration: collective buffer matched to the
     /// netCDF record size.
     pub fn tuned(record_bytes: u64) -> Self {
-        CollectiveHints { cb_buffer_size: record_bytes, cb_nodes: None }
+        CollectiveHints {
+            cb_buffer_size: record_bytes,
+            cb_nodes: None,
+        }
     }
 }
 
@@ -163,7 +169,10 @@ pub fn two_phase_plan(
             }
             let flagged = ni < needed.len() && needed[ni].offset < window.end();
             if flagged {
-                accesses.push(Access { aggregator: j, extent: window });
+                accesses.push(Access {
+                    aggregator: j,
+                    extent: window,
+                });
             }
             pos += size;
         }
@@ -225,7 +234,9 @@ pub fn two_phase_execute(
     let mut aggregate: Vec<Extent> = requests
         .iter()
         .flat_map(|rq| {
-            rq.runs.iter().map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
+            rq.runs
+                .iter()
+                .map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
         })
         .collect();
     coalesce(&mut aggregate);
@@ -234,8 +245,10 @@ pub fn two_phase_execute(
 
     // Sort each rank's runs by file offset for the windowed scatter, and
     // prepare output buffers.
-    let mut rank_bytes: Vec<Vec<u8>> =
-        requests.iter().map(|rq| vec![0u8; rq.out_elems * ELEM_SIZE as usize]).collect();
+    let mut rank_bytes: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|rq| vec![0u8; rq.out_elems * ELEM_SIZE as usize])
+        .collect();
     let mut sorted_runs: Vec<(u64, usize, usize, usize)> = Vec::new(); // (off, len_bytes, rank, out_byte)
     for (rank, rq) in requests.iter().enumerate() {
         for r in &rq.runs {
@@ -284,7 +297,11 @@ pub fn two_phase_execute(
         }
     }
 
-    Ok(ExecResult { rank_bytes, plan, exchange_bytes })
+    Ok(ExecResult {
+        rank_bytes,
+        plan,
+        exchange_bytes,
+    })
 }
 
 /// Result of executing a collective write.
@@ -324,7 +341,9 @@ pub fn two_phase_write(
     let mut aggregate: Vec<Extent> = requests
         .iter()
         .flat_map(|rq| {
-            rq.runs.iter().map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
+            rq.runs
+                .iter()
+                .map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
         })
         .collect();
     coalesce(&mut aggregate);
@@ -383,7 +402,11 @@ pub fn two_phase_write(
         file.write_all(&buf)?;
     }
     file.flush()?;
-    Ok(WriteResult { plan, rmw_windows, exchange_bytes })
+    Ok(WriteResult {
+        plan,
+        rmw_windows,
+        exchange_bytes,
+    })
 }
 
 #[cfg(test)]
@@ -419,7 +442,11 @@ mod tests {
         let density = plan.data_density();
         assert!(density < 0.35, "density {density}");
         // Mean access is the full window ("roughly 15 MB" in the paper).
-        assert!(plan.mean_access_bytes() > 10e6, "mean {}", plan.mean_access_bytes());
+        assert!(
+            plan.mean_access_bytes() > 10e6,
+            "mean {}",
+            plan.mean_access_bytes()
+        );
     }
 
     #[test]
@@ -434,7 +461,11 @@ mod tests {
         let density = plan.data_density();
         // ~0.45–1.0 depending on alignment; must beat the untuned case.
         let untuned = two_phase_plan(&agg, 7, &CollectiveHints::default());
-        assert!(density > untuned.data_density(), "tuned {density} untuned {}", untuned.data_density());
+        assert!(
+            density > untuned.data_density(),
+            "tuned {density} untuned {}",
+            untuned.data_density()
+        );
         assert!(plan.physical_bytes <= 3 * plan.useful_bytes);
     }
 
@@ -463,7 +494,14 @@ mod tests {
     fn more_aggregators_never_lose_bytes() {
         let agg: Vec<Extent> = (0..20).map(|i| ext(i * 1000, 300)).collect();
         for naggr in [1, 2, 3, 5, 8, 16] {
-            let plan = two_phase_plan(&agg, naggr, &CollectiveHints { cb_buffer_size: 4096, cb_nodes: None });
+            let plan = two_phase_plan(
+                &agg,
+                naggr,
+                &CollectiveHints {
+                    cb_buffer_size: 4096,
+                    cb_nodes: None,
+                },
+            );
             // Every useful byte is inside some access.
             let acc: Vec<Extent> = plan.accesses.iter().map(|a| a.extent).collect();
             for e in &agg {
@@ -472,7 +510,10 @@ mod tests {
                     .filter_map(|a| a.intersect(e))
                     .map(|x| x.len)
                     .sum();
-                assert!(covered >= e.len, "naggr={naggr}: extent {e:?} covered {covered}");
+                assert!(
+                    covered >= e.len,
+                    "naggr={naggr}: extent {e:?} covered {covered}"
+                );
             }
         }
     }
@@ -494,17 +535,32 @@ mod tests {
             out_start: out,
         };
         let requests = vec![
-            RankRequest { runs: vec![mk(0, 8, 0), mk(1024, 8, 8)], out_elems: 16 },
-            RankRequest { runs: vec![mk(4096, 16, 0)], out_elems: 16 },
-            RankRequest { runs: vec![mk(60000, 4, 0), mk(32000, 4, 4)], out_elems: 8 },
-            RankRequest { runs: vec![mk(100, 25, 0)], out_elems: 25 },
+            RankRequest {
+                runs: vec![mk(0, 8, 0), mk(1024, 8, 8)],
+                out_elems: 16,
+            },
+            RankRequest {
+                runs: vec![mk(4096, 16, 0)],
+                out_elems: 16,
+            },
+            RankRequest {
+                runs: vec![mk(60000, 4, 0), mk(32000, 4, 4)],
+                out_elems: 8,
+            },
+            RankRequest {
+                runs: vec![mk(100, 25, 0)],
+                out_elems: 25,
+            },
         ];
         let mut f = File::open(&path).unwrap();
         let res = two_phase_execute(
             &mut f,
             &requests,
             2,
-            &CollectiveHints { cb_buffer_size: 8192, cb_nodes: None },
+            &CollectiveHints {
+                cb_buffer_size: 8192,
+                cb_nodes: None,
+            },
         )
         .unwrap();
 
@@ -535,23 +591,43 @@ mod tests {
             out_start: out,
         };
         let requests = vec![
-            RankRequest { runs: vec![mk(0, 8, 0), mk(1024, 8, 8)], out_elems: 16 },
-            RankRequest { runs: vec![mk(4096, 16, 0)], out_elems: 16 },
-            RankRequest { runs: vec![mk(60000, 4, 0)], out_elems: 4 },
+            RankRequest {
+                runs: vec![mk(0, 8, 0), mk(1024, 8, 8)],
+                out_elems: 16,
+            },
+            RankRequest {
+                runs: vec![mk(4096, 16, 0)],
+                out_elems: 16,
+            },
+            RankRequest {
+                runs: vec![mk(60000, 4, 0)],
+                out_elems: 4,
+            },
         ];
         let rank_data: Vec<Vec<u8>> = requests
             .iter()
             .enumerate()
-            .map(|(r, rq)| (0..rq.out_elems * 4).map(|i| (r * 50 + i % 40) as u8).collect())
+            .map(|(r, rq)| {
+                (0..rq.out_elems * 4)
+                    .map(|i| (r * 50 + i % 40) as u8)
+                    .collect()
+            })
             .collect();
 
-        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
         let res = two_phase_write(
             &mut f,
             &requests,
             &rank_data,
             2,
-            &CollectiveHints { cb_buffer_size: 8192, cb_nodes: None },
+            &CollectiveHints {
+                cb_buffer_size: 8192,
+                cb_nodes: None,
+            },
         )
         .unwrap();
         drop(f);
@@ -585,22 +661,37 @@ mod tests {
         // Two ranks covering [0, 4096) exactly.
         let requests = vec![
             RankRequest {
-                runs: vec![PlacedRun { file_offset: 0, elems: 512, out_start: 0 }],
+                runs: vec![PlacedRun {
+                    file_offset: 0,
+                    elems: 512,
+                    out_start: 0,
+                }],
                 out_elems: 512,
             },
             RankRequest {
-                runs: vec![PlacedRun { file_offset: 2048, elems: 512, out_start: 0 }],
+                runs: vec![PlacedRun {
+                    file_offset: 2048,
+                    elems: 512,
+                    out_start: 0,
+                }],
                 out_elems: 512,
             },
         ];
         let rank_data = vec![vec![7u8; 2048], vec![9u8; 2048]];
-        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
         let res = two_phase_write(
             &mut f,
             &requests,
             &rank_data,
             2,
-            &CollectiveHints { cb_buffer_size: 1024, cb_nodes: None },
+            &CollectiveHints {
+                cb_buffer_size: 1024,
+                cb_nodes: None,
+            },
         )
         .unwrap();
         assert_eq!(res.rmw_windows, 0);
@@ -620,7 +711,11 @@ mod tests {
 
         // One rank requesting one run that crosses several 1 KiB windows.
         let requests = vec![RankRequest {
-            runs: vec![PlacedRun { file_offset: 500, elems: 2000, out_start: 0 }],
+            runs: vec![PlacedRun {
+                file_offset: 500,
+                elems: 2000,
+                out_start: 0,
+            }],
             out_elems: 2000,
         }];
         let mut f = File::open(&path).unwrap();
@@ -628,7 +723,10 @@ mod tests {
             &mut f,
             &requests,
             3,
-            &CollectiveHints { cb_buffer_size: 1024, cb_nodes: None },
+            &CollectiveHints {
+                cb_buffer_size: 1024,
+                cb_nodes: None,
+            },
         )
         .unwrap();
         assert_eq!(&res.rank_bytes[0][..], &data[500..500 + 8000]);

@@ -43,7 +43,9 @@ impl Camera {
             up,
             width,
             height,
-            projection: Projection::Orthographic { half_width: diag * 0.55 },
+            projection: Projection::Orthographic {
+                half_width: diag * 0.55,
+            },
         }
     }
 
@@ -55,7 +57,13 @@ impl Camera {
 
     /// Perspective camera at `eye` looking at the volume center with the
     /// given vertical field of view (degrees).
-    pub fn perspective(grid: [usize; 3], eye: Vec3, fov_y_deg: f64, width: usize, height: usize) -> Self {
+    pub fn perspective(
+        grid: [usize; 3],
+        eye: Vec3,
+        fov_y_deg: f64,
+        width: usize,
+        height: usize,
+    ) -> Self {
         let center = Vec3::new(grid[0] as f64, grid[1] as f64, grid[2] as f64) * 0.5;
         let forward = (center - eye).normalized();
         let (right, up) = basis(forward);
@@ -66,7 +74,9 @@ impl Camera {
             up,
             width,
             height,
-            projection: Projection::Perspective { fov_y_rad: fov_y_deg.to_radians() },
+            projection: Projection::Perspective {
+                fov_y_rad: fov_y_deg.to_radians(),
+            },
         }
     }
 
@@ -93,7 +103,10 @@ impl Camera {
                 let half_w = half_h * self.width as f64 / self.height as f64;
                 let dir = (self.forward + self.right * (u * half_w) + self.up * (v * half_h))
                     .normalized();
-                Ray { origin: self.eye, dir }
+                Ray {
+                    origin: self.eye,
+                    dir,
+                }
             }
         }
     }
@@ -108,7 +121,10 @@ impl Camera {
                 let d = p - self.eye;
                 let u = d.dot(self.right) / half_width;
                 let v = d.dot(self.up) / half_height;
-                ((u + 1.0) * 0.5 * self.width as f64, (1.0 - v) * 0.5 * self.height as f64)
+                (
+                    (u + 1.0) * 0.5 * self.width as f64,
+                    (1.0 - v) * 0.5 * self.height as f64,
+                )
             }
             Projection::Perspective { fov_y_rad } => {
                 let half_h = (fov_y_rad * 0.5).tan();
@@ -117,7 +133,10 @@ impl Camera {
                 let z = d.dot(self.forward).max(1e-9);
                 let u = d.dot(self.right) / z / half_w;
                 let v = d.dot(self.up) / z / half_h;
-                ((u + 1.0) * 0.5 * self.width as f64, (1.0 - v) * 0.5 * self.height as f64)
+                (
+                    (u + 1.0) * 0.5 * self.width as f64,
+                    (1.0 - v) * 0.5 * self.height as f64,
+                )
             }
         }
     }

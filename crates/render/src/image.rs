@@ -82,7 +82,11 @@ pub struct SubImage {
 
 impl SubImage {
     pub fn transparent(rect: PixelRect, depth: f64) -> Self {
-        SubImage { rect, pixels: vec![[0.0; 4]; rect.num_pixels()], depth }
+        SubImage {
+            rect,
+            pixels: vec![[0.0; 4]; rect.num_pixels()],
+            depth,
+        }
     }
 
     pub fn get(&self, x: usize, y: usize) -> Rgba {
@@ -105,7 +109,11 @@ impl SubImage {
                 pixels.push(self.get(x, y));
             }
         }
-        Some(SubImage { rect, pixels, depth: self.depth })
+        Some(SubImage {
+            rect,
+            pixels,
+            depth: self.depth,
+        })
     }
 }
 
@@ -119,7 +127,11 @@ pub struct Image {
 
 impl Image {
     pub fn new(width: usize, height: usize) -> Self {
-        Image { width, height, pixels: vec![[0.0; 4]; width * height] }
+        Image {
+            width,
+            height,
+            pixels: vec![[0.0; 4]; width * height],
+        }
     }
 
     pub fn size(&self) -> (usize, usize) {

@@ -19,8 +19,14 @@ pub type Triangle = [[f32; 3]; 3];
 
 /// The 6-tetrahedron decomposition of a cube around the 0–7 diagonal
 /// (cube corner bit i: x = bit0, y = bit1, z = bit2).
-const TETS: [[usize; 4]; 6] =
-    [[0, 1, 3, 7], [0, 3, 2, 7], [0, 2, 6, 7], [0, 6, 4, 7], [0, 4, 5, 7], [0, 5, 1, 7]];
+const TETS: [[usize; 4]; 6] = [
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+    [0, 5, 1, 7],
+];
 
 #[inline]
 fn corner_offset(c: usize) -> [usize; 3] {
@@ -29,7 +35,11 @@ fn corner_offset(c: usize) -> [usize; 3] {
 
 #[inline]
 fn lerp_vertex(p0: [f32; 3], v0: f32, p1: [f32; 3], v1: f32, iso: f32) -> [f32; 3] {
-    let t = if (v1 - v0).abs() < 1e-30 { 0.5 } else { (iso - v0) / (v1 - v0) };
+    let t = if (v1 - v0).abs() < 1e-30 {
+        0.5
+    } else {
+        (iso - v0) / (v1 - v0)
+    };
     [
         p0[0] + (p1[0] - p0[0]) * t,
         p0[1] + (p1[1] - p0[1]) * t,
@@ -46,7 +56,11 @@ fn march_tet(pts: &[[f32; 3]; 4], vals: &[f32; 4], iso: f32, out: &mut Vec<Trian
         }
     }
     // Complement so at most two corners are "inside".
-    let (mask, _flipped) = if mask.count_ones() > 2 { (mask ^ 0xF, true) } else { (mask, false) };
+    let (mask, _flipped) = if mask.count_ones() > 2 {
+        (mask ^ 0xF, true)
+    } else {
+        (mask, false)
+    };
     match mask.count_ones() {
         0 => {}
         1 => {
@@ -177,9 +191,9 @@ mod tests {
         for z in 0..n {
             for y in 0..n {
                 for x in 0..n {
-                    let d = ((x as f32 - c).powi(2) + (y as f32 - c).powi(2)
-                        + (z as f32 - c).powi(2))
-                    .sqrt();
+                    let d =
+                        ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2))
+                            .sqrt();
                     v.set(x, y, z, r - d); // > 0 inside
                 }
             }
@@ -204,7 +218,10 @@ mod tests {
         let area = mesh_area(&tris);
         let analytic = 4.0 * std::f64::consts::PI * (r as f64).powi(2);
         let err = (area - analytic).abs() / analytic;
-        assert!(err < 0.05, "area {area:.1} vs 4πr² {analytic:.1} ({err:.3})");
+        assert!(
+            err < 0.05,
+            "area {area:.1} vs 4πr² {analytic:.1} ({err:.3})"
+        );
     }
 
     #[test]
@@ -223,7 +240,12 @@ mod tests {
             }
         }
         let bad = edges.values().filter(|&&c| c != 2).count();
-        assert_eq!(bad, 0, "{bad} of {} edges not shared by exactly 2 triangles", edges.len());
+        assert_eq!(
+            bad,
+            0,
+            "{bad} of {} edges not shared by exactly 2 triangles",
+            edges.len()
+        );
     }
 
     #[test]
@@ -314,7 +336,9 @@ mod tests {
         for z in 0..n {
             for y in 0..n {
                 for x in 0..n {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let raw = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
                     let q = (raw * 5.0).round() / 5.0 + if raw >= 0.0 { 0.05 } else { -0.05 };
                     v.set(x, y, z, q);
@@ -364,6 +388,10 @@ mod tests {
                 within += 1;
             }
         }
-        assert!(within * 10 > tris.len() * 7, "{within}/{} in band", tris.len());
+        assert!(
+            within * 10 > tris.len() * 7,
+            "{within}/{} in band",
+            tris.len()
+        );
     }
 }

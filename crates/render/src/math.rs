@@ -13,7 +13,11 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     pub fn new(x: f64, y: f64, z: f64) -> Self {
         Vec3 { x, y, z }
@@ -152,7 +156,10 @@ mod tests {
 
     #[test]
     fn box_intersection_through_center() {
-        let r = Ray { origin: Vec3::new(-1.0, 0.5, 0.5), dir: Vec3::new(1.0, 0.0, 0.0) };
+        let r = Ray {
+            origin: Vec3::new(-1.0, 0.5, 0.5),
+            dir: Vec3::new(1.0, 0.0, 0.0),
+        };
         let (t0, t1) = r.intersect_box(Vec3::ZERO, Vec3::splat(1.0), 0.0).unwrap();
         assert!((t0 - 1.0).abs() < 1e-12);
         assert!((t1 - 2.0).abs() < 1e-12);
@@ -160,7 +167,10 @@ mod tests {
 
     #[test]
     fn box_miss() {
-        let r = Ray { origin: Vec3::new(-1.0, 2.0, 0.5), dir: Vec3::new(1.0, 0.0, 0.0) };
+        let r = Ray {
+            origin: Vec3::new(-1.0, 2.0, 0.5),
+            dir: Vec3::new(1.0, 0.0, 0.0),
+        };
         assert!(r.intersect_box(Vec3::ZERO, Vec3::splat(1.0), 0.0).is_none());
     }
 
@@ -178,7 +188,10 @@ mod tests {
 
     #[test]
     fn ray_from_inside_box() {
-        let r = Ray { origin: Vec3::splat(0.5), dir: Vec3::new(0.0, 0.0, 1.0) };
+        let r = Ray {
+            origin: Vec3::splat(0.5),
+            dir: Vec3::new(0.0, 0.0, 1.0),
+        };
         let (t0, t1) = r.intersect_box(Vec3::ZERO, Vec3::splat(1.0), 0.0).unwrap();
         assert_eq!(t0, 0.0);
         assert!((t1 - 0.5).abs() < 1e-12);

@@ -32,7 +32,11 @@ pub struct BlockDomain {
 impl BlockDomain {
     /// A domain covering the whole grid (the serial case).
     pub fn whole(grid: [usize; 3]) -> Self {
-        BlockDomain { grid, owned: Subvolume::whole(grid), stored: Subvolume::whole(grid) }
+        BlockDomain {
+            grid,
+            owned: Subvolume::whole(grid),
+            stored: Subvolume::whole(grid),
+        }
     }
 
     /// Centroid of the owned region in cell space.
@@ -102,7 +106,12 @@ impl Default for RenderOpts {
 
 /// Screen-space footprint of a cell-space box: the conservative pixel
 /// bounding rectangle of its corner projections.
-pub fn footprint(camera: &Camera, lo: [usize; 3], hi: [usize; 3], image: (usize, usize)) -> PixelRect {
+pub fn footprint(
+    camera: &Camera,
+    lo: [usize; 3],
+    hi: [usize; 3],
+    image: (usize, usize),
+) -> PixelRect {
     let (w, h) = image;
     let mut min_x = f64::INFINITY;
     let mut min_y = f64::INFINITY;
@@ -242,10 +251,10 @@ pub fn render_block(
                             + sh.light[2] * sh.light[2])
                             .sqrt()
                             .max(1e-6);
-                        let ndotl = ((g[0] * sh.light[0] + g[1] * sh.light[1]
-                            + g[2] * sh.light[2])
-                            / (mag * ll))
-                            .abs();
+                        let ndotl =
+                            ((g[0] * sh.light[0] + g[1] * sh.light[1] + g[2] * sh.light[2])
+                                / (mag * ll))
+                                .abs();
                         let lum = sh.ambient + sh.diffuse * ndotl;
                         rgb = [rgb[0] * lum, rgb[1] * lum, rgb[2] * lum];
                     }
@@ -336,7 +345,11 @@ mod tests {
             for b in decomp.blocks() {
                 let stored = decomp.with_ghost(&b, 1);
                 let vol = Volume::from_field_window(&field, [n, n, n], stored.offset, stored.shape);
-                let dom = BlockDomain { grid: [n, n, n], owned: b.sub, stored };
+                let dom = BlockDomain {
+                    grid: [n, n, n],
+                    owned: b.sub,
+                    stored,
+                };
                 let (sub, st) = render_block(&vol, &dom, &cam, &tf(), &opts);
                 total_samples += st.samples;
                 subs.push(sub);
@@ -385,7 +398,10 @@ mod tests {
         let v = test_volume(32);
         let cam = Camera::axis_aligned([32, 32, 32], 40, 40);
         let exact = RenderOpts::default();
-        let et = RenderOpts { early_termination: true, ..Default::default() };
+        let et = RenderOpts {
+            early_termination: true,
+            ..Default::default()
+        };
         let (img0, s0) = render_serial(&v, &cam, &tf(), &exact);
         let (img1, s1) = render_serial(&v, &cam, &tf(), &et);
         assert!(s1.samples <= s0.samples);
@@ -398,8 +414,24 @@ mod tests {
         // (opacity correction keeps accumulation consistent).
         let v = test_volume(24);
         let cam = Camera::axis_aligned([24, 24, 24], 32, 32);
-        let (a, _) = render_serial(&v, &cam, &tf(), &RenderOpts { step: 1.0, ..Default::default() });
-        let (b, _) = render_serial(&v, &cam, &tf(), &RenderOpts { step: 0.5, ..Default::default() });
+        let (a, _) = render_serial(
+            &v,
+            &cam,
+            &tf(),
+            &RenderOpts {
+                step: 1.0,
+                ..Default::default()
+            },
+        );
+        let (b, _) = render_serial(
+            &v,
+            &cam,
+            &tf(),
+            &RenderOpts {
+                step: 0.5,
+                ..Default::default()
+            },
+        );
         assert!(a.mean_abs_diff(&b) < 0.02, "diff {}", a.mean_abs_diff(&b));
     }
 
@@ -420,13 +452,7 @@ mod tests {
     #[test]
     fn perspective_render_is_sane() {
         let v = test_volume(24);
-        let cam = Camera::perspective(
-            [24, 24, 24],
-            Vec3::new(12.0, 12.0, 90.0),
-            35.0,
-            32,
-            32,
-        );
+        let cam = Camera::perspective([24, 24, 24], Vec3::new(12.0, 12.0, 90.0), 35.0, 32, 32);
         let (img, stats) = render_serial(&v, &cam, &tf(), &RenderOpts::default());
         assert!(stats.samples > 1000);
         assert!(img.pixels().iter().any(|p| p[3] > 0.05));
@@ -437,8 +463,10 @@ mod tests {
         let v = test_volume(24);
         let cam = Camera::axis_aligned([24, 24, 24], 32, 32);
         let flat = RenderOpts::default();
-        let shaded =
-            RenderOpts { shading: Some(crate::raycast::Shading::default()), ..Default::default() };
+        let shaded = RenderOpts {
+            shading: Some(crate::raycast::Shading::default()),
+            ..Default::default()
+        };
         let (img0, _) = render_serial(&v, &cam, &tf(), &flat);
         let (img1, _) = render_serial(&v, &cam, &tf(), &shaded);
         // Same opacity everywhere (shading modulates color only).
@@ -458,8 +486,10 @@ mod tests {
         let field = SupernovaField::new(1530).variable(2);
         let full = Volume::from_field(&field, [n, n, n]);
         let cam = Camera::orthographic([n, n, n], Vec3::new(0.3, -0.5, 0.8), 40, 40);
-        let opts =
-            RenderOpts { shading: Some(crate::raycast::Shading::default()), ..Default::default() };
+        let opts = RenderOpts {
+            shading: Some(crate::raycast::Shading::default()),
+            ..Default::default()
+        };
         let (serial, _) = render_serial(&full, &cam, &tf(), &opts);
 
         let decomp = BlockDecomposition::new([n, n, n], 8);
@@ -467,7 +497,11 @@ mod tests {
         for b in decomp.blocks() {
             let stored = decomp.with_ghost(&b, 2); // shading needs 2
             let vol = Volume::from_field_window(&field, [n, n, n], stored.offset, stored.shape);
-            let dom = BlockDomain { grid: [n, n, n], owned: b.sub, stored };
+            let dom = BlockDomain {
+                grid: [n, n, n],
+                owned: b.sub,
+                stored,
+            };
             subs.push(render_block(&vol, &dom, &cam, &tf(), &opts).0);
         }
         subs.sort_by(|a, b| a.depth.total_cmp(&b.depth));

@@ -32,7 +32,11 @@ impl TransferFunction {
             let lo = hi.saturating_sub(1);
             let (t0, c0) = pts[lo];
             let (t1, c1) = pts[hi];
-            let f = if t1 > t0 { ((t - t0) / (t1 - t0)).clamp(0.0, 1.0) } else { 0.0 };
+            let f = if t1 > t0 {
+                ((t - t0) / (t1 - t0)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             table.push([
                 c0[0] + (c1[0] - c0[0]) * f,
                 c0[1] + (c1[1] - c0[1]) * f,

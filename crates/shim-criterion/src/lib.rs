@@ -1,0 +1,261 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! carries a minimal bench harness with the API surface its benches
+//! use: `Criterion::default().sample_size(n)`, `benchmark_group`,
+//! `bench_function` / `bench_with_input` with `BenchmarkId`,
+//! `Throughput`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros (`harness = false` bench targets).
+//!
+//! It times each benchmark body `sample_size` times and prints a
+//! one-line median/min summary — no statistics, plots, or baselines.
+//! `--quick` (and any other CLI flag) is accepted and ignored.
+
+use std::time::Instant;
+
+/// Measured quantity per iteration, used to annotate summaries.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Runs one benchmark body repeatedly; collects per-iteration times.
+pub struct Bencher {
+    samples: Vec<f64>,
+    rounds: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.rounds {
+            let t0 = Instant::now();
+            let out = f();
+            self.samples.push(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&out);
+        }
+    }
+}
+
+/// Opaque-to-the-optimizer identity, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Per-group override (note: `&mut self` here, unlike the builder
+    /// method on `Criterion`, matching criterion's API).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&self, label: &str, mut body: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            rounds: self.sample_size,
+        };
+        body(&mut bencher);
+        let mut s = bencher.samples;
+        if s.is_empty() {
+            println!("{}/{}: no samples", self.name, label);
+            return;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  {:.3e} elem/s", n as f64 / median),
+            Some(Throughput::Bytes(n)) => format!("  {:.3e} B/s", n as f64 / median),
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: median {:.3} ms  min {:.3} ms  ({} samples){}",
+            self.name,
+            label,
+            median * 1e3,
+            s[0] * 1e3,
+            s.len(),
+            rate
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, in either criterion form:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups; CLI args (e.g. the
+/// `--quick` passed by CI's bench-smoke job) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let _ = std::env::args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(black_box(b)))
+    }
+
+    #[test]
+    fn group_runs_bodies_expected_number_of_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("t");
+        let mut calls = 0usize;
+        group.bench_function("counted", |b| {
+            b.iter(|| {
+                calls += 1;
+                sum_to(10)
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(100));
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("inp", data.len()), &data, |b, d| {
+            b.iter(|| {
+                seen = d.iter().sum();
+                seen
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(
+            BenchmarkId::new("direct-send", 8).to_string(),
+            "direct-send/8"
+        );
+    }
+
+    criterion_group! {
+        name = shim_smoke;
+        config = Criterion::default().sample_size(2);
+        targets = smoke_target
+    }
+
+    fn smoke_target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("sum", |b| b.iter(|| sum_to(1000)));
+        g.finish();
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        shim_smoke();
+    }
+}

@@ -1,0 +1,485 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! carries a small generative-testing engine with the same API surface
+//! its tests use: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, range and tuple strategies, `prop_map` /
+//! `prop_flat_map`, `collection::vec`, and the
+//! `TestRunner` / `Strategy` / `ValueTree` explicit-runner API.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via
+//!   the assertion message; it is not minimized. Failures are
+//!   reproducible because generation is deterministic.
+//! * **Deterministic seeding.** Every test's RNG is seeded from the
+//!   test's module path and name, so runs are stable across machines
+//!   and invocations; there are no regression files (existing
+//!   `proptest-regressions/` directories are simply unused).
+
+/// Deterministic splitmix64 RNG used by all strategies.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn seeded(seed: u64) -> Self {
+        Rng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % n
+    }
+}
+
+/// FNV-1a, used to derive per-test seeds from test names.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+pub mod test_runner {
+    use super::Rng;
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: skip the case without counting it.
+        Reject,
+        /// `prop_assert!`-family failure: fail the whole test.
+        Fail(String),
+    }
+
+    /// Drives strategies; holds the deterministic RNG.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        rng: Rng,
+        cases: u32,
+    }
+
+    impl TestRunner {
+        /// Runner with a fixed seed — matching real proptest's
+        /// `TestRunner::deterministic()`.
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: Rng::seeded(0x5eed_5eed_5eed_5eed),
+                cases: ProptestConfig::default().cases,
+            }
+        }
+
+        /// Runner seeded from a test name (used by the `proptest!`
+        /// macro so every test is independently deterministic).
+        pub fn for_test(name: &str, config: &ProptestConfig) -> Self {
+            TestRunner {
+                rng: Rng::seeded(super::fnv1a(name)),
+                cases: config.cases,
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        pub fn rng(&mut self) -> &mut Rng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRunner;
+    use super::Rng;
+
+    /// A value generator. Unlike real proptest there is no shrink tree:
+    /// `new_tree` generates one value eagerly and wraps it.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Snapshot<Self::Value>, String> {
+            Ok(Snapshot(self.generate(runner.rng())))
+        }
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// The (shrink-free) value tree: a snapshot of one generated value.
+    pub struct Snapshot<T>(pub T);
+
+    pub trait ValueTree {
+        type Value;
+        fn current(&self) -> Self::Value;
+    }
+
+    impl<T: Clone> ValueTree for Snapshot<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut Rng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut Rng) -> Self::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    pub struct JustStrategy<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for JustStrategy<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty strategy range");
+                    let span = (e - s) as u64;
+                    s + rng.below(span.saturating_add(1).max(1)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (S0.0, S1.1)
+        (S0.0, S1.1, S2.2)
+        (S0.0, S1.1, S2.2, S3.3)
+        (S0.0, S1.1, S2.2, S3.3, S4.4)
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::Rng;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element_strategy, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Strategy, ValueTree};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// `Just(x)` — a strategy yielding exactly `x`.
+    #[allow(non_snake_case)]
+    pub fn Just<T: Clone>(value: T) -> crate::strategy::JustStrategy<T> {
+        crate::strategy::JustStrategy(value)
+    }
+}
+
+/// Skip the current case (not counted against `cases`) if `cond` fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// `assert!` that fails the proptest case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the proptest case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), a, b),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// The `proptest!` test-definition macro. Supports the standard layout:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..100, v in collection::vec(0u64..9, 1..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                );
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while passed < runner.cases() {
+                    $(
+                        let $parm = $crate::strategy::ValueTree::current(
+                            &$crate::strategy::Strategy::new_tree(&($strat), &mut runner)
+                                .expect("strategy failed to generate"),
+                        );
+                    )+
+                    let outcome = (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= runner.cases().saturating_mul(64).max(4096),
+                                "proptest {}: too many prop_assume! rejections ({} for {} passing cases)",
+                                stringify!($name), rejected, passed
+                            );
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} failed (case #{}): {}", stringify!($name), passed, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..500 {
+            let v = (3usize..17).new_tree(&mut runner).unwrap().current();
+            assert!((3..17).contains(&v));
+            let w = (5u64..=9).new_tree(&mut runner).unwrap().current();
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut runner = TestRunner::deterministic();
+        let s = collection::vec((0u64..10, 0usize..4), 1..6).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = s.new_tree(&mut runner).unwrap().current();
+            assert!((1..6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn flat_map_respects_dependent_bounds() {
+        let mut runner = TestRunner::deterministic();
+        let s = (1usize..10).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)));
+        for _ in 0..200 {
+            let (n, k) = s.new_tree(&mut runner).unwrap().current();
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let gen = |seed: &str| {
+            let cfg = ProptestConfig::with_cases(1);
+            let mut r = TestRunner::for_test(seed, &cfg);
+            (0u64..1_000_000).new_tree(&mut r).unwrap().current()
+        };
+        assert_eq!(gen("a::b"), gen("a::b"));
+        assert_ne!(gen("a::b"), gen("a::c"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args bind, assume rejects, asserts pass.
+        #[test]
+        fn macro_end_to_end(x in 0usize..50, pair in (0u64..5, 0u64..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50, "x was {x}");
+            prop_assert_eq!(pair.0 + pair.1, pair.1 + pair.0);
+            prop_assert_ne!(x, 13);
+        }
+    }
+
+    proptest! {
+        /// Default config variant (no inner attribute) also parses.
+        #[test]
+        fn macro_default_config(v in collection::vec(0u64..100, 0..8)) {
+            prop_assert!(v.len() < 8);
+        }
+    }
+}

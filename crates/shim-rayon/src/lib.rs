@@ -1,0 +1,245 @@
+//! In-tree stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so the workspace cannot
+//! depend on the real rayon. This shim implements the subset of rayon's
+//! API this workspace actually uses — `par_iter`, `into_par_iter`,
+//! `par_chunks_mut`, plus the `enumerate`/`zip`/`map`/`for_each`/
+//! `collect` combinators — with *real* data parallelism: terminal
+//! operations split the item list into contiguous chunks and run them on
+//! `std::thread::scope` workers, one per available core, preserving item
+//! order in the output.
+//!
+//! Differences from rayon, by design:
+//!
+//! * Combinator chains are materialized eagerly into an item vector
+//!   (items are references, indices or chunk handles — cheap), then the
+//!   single trailing `map`/`for_each` body runs in parallel. That covers
+//!   every call site in this workspace; it is not a general work-stealing
+//!   pool.
+//! * Nested parallelism spawns nested scoped threads instead of reusing
+//!   a global pool. Correct, possibly oversubscribed; fine at the
+//!   problem sizes where nesting occurs here.
+//! * Worker panics are re-raised on the caller via `resume_unwind`, like
+//!   rayon.
+
+use std::panic::resume_unwind;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// A materialized "parallel iterator": an ordered list of items awaiting
+/// a parallel terminal operation.
+pub struct Par<I> {
+    items: Vec<I>,
+}
+
+/// A `Par` with a pending `map` stage; terminal operations apply the map
+/// in parallel.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+/// Run `f` over `items` on scoped worker threads, preserving order.
+fn par_apply<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let nchunks = threads.min(n);
+    // Balanced contiguous chunks, in order.
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(nchunks);
+    let mut it = items.into_iter();
+    for c in 0..nchunks {
+        let take = (n * (c + 1)) / nchunks - (n * c) / nchunks;
+        chunks.push(it.by_ref().take(take).collect());
+    }
+    let mut out: Vec<Vec<O>> = Vec::with_capacity(nchunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().unwrap_or_else(|e| resume_unwind(e)));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+impl<I: Send> Par<I> {
+    pub fn enumerate(self) -> Par<(usize, I)> {
+        Par {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Pair items with another iterable, truncating to the shorter side
+    /// (rayon zips equal-length sides; every call site here complies).
+    pub fn zip<J>(self, other: J) -> Par<(I, J::Item)>
+    where
+        J: IntoIterator,
+        J::Item: Send,
+    {
+        Par {
+            items: self.items.into_iter().zip(other).collect(),
+        }
+    }
+
+    pub fn map<O, F>(self, f: F) -> ParMap<I, F>
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        par_apply(self.items, &f);
+    }
+
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        par_apply(self.items, &self.f).into_iter().collect()
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(O) + Sync,
+    {
+        let f = self.f;
+        par_apply(self.items, &move |i| g(f(i)));
+    }
+}
+
+/// `into_par_iter()` for owned sources (ranges, vectors).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> Par<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> Par<usize> {
+        Par {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> Par<T> {
+        Par { items: self }
+    }
+}
+
+/// `par_iter()` for slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<T> {
+    fn par_iter(&self) -> Par<&T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> Par<&T> {
+        Par {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut()` for mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Par {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_enumerate_map() {
+        let base = [10u64, 20, 30, 40];
+        let v: Vec<u64> = base
+            .par_iter()
+            .enumerate()
+            .map(|(i, x)| i as u64 + x)
+            .collect();
+        assert_eq!(v, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let a = [1, 2, 3];
+        let b = vec!["x", "y", "z"];
+        let v: Vec<(i32, &str)> = a.par_iter().zip(&b).map(|(x, s)| (*x, *s)).collect();
+        assert_eq!(v, vec![(1, "x"), (2, "y"), (3, "z")]);
+    }
+
+    #[test]
+    fn chunks_mut_writes_every_chunk() {
+        let mut data = vec![0u32; 97];
+        data.par_chunks_mut(10).enumerate().for_each(|(c, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = c as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x != 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[96], 10);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0..64)
+                .into_par_iter()
+                .map(|i| if i == 63 { panic!("boom") } else { i })
+                .collect::<Vec<_>>()
+        });
+        assert!(r.is_err());
+    }
+}

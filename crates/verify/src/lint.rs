@@ -1,0 +1,539 @@
+//! Static schedule linter.
+//!
+//! Checks any compositing schedule — direct-send ([`Schedule`]) or
+//! radix-k round lists ([`RoundMessage`]) — against the conservation
+//! and scaling invariants the paper's compositing study relies on,
+//! *without executing* the schedule:
+//!
+//! * **Partition exactness** — the compositor tiles are pairwise
+//!   disjoint and cover the image exactly.
+//! * **Conservation** — every overlap between a renderer's footprint
+//!   and a compositor's tile appears as exactly one message with
+//!   exactly the overlap's pixel count: nothing dropped, nothing
+//!   duplicated, nothing dangling (a message whose footprint∩tile is
+//!   empty), nothing resized.
+//! * **Bounded fan-in** — per-compositor message counts follow the
+//!   paper's `O(n^{1/3})` direct-send scaling, generalized to
+//!   `m ≤ n` compositors.
+//! * **Radix-k round structure** — per-round fan-in/out of `k−1`,
+//!   partners confined to their round group and lane, byte counts
+//!   matching the span arithmetic, and final spans exactly
+//!   partitioning the image.
+//!
+//! The [`Mutation`] type injects schedule corruptions (drop, duplicate,
+//! reroute, resize); the test suite and the `verify_schedules` binary
+//! use it to prove each lint rule actually fires.
+
+use pvr_compositing::radixk::RoundMessage;
+use pvr_compositing::schedule::CompositeMessage;
+use pvr_compositing::{Schedule, WIRE_BYTES_PER_PIXEL};
+use pvr_render::image::PixelRect;
+
+/// Which invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Tiles overlap or do not cover the image.
+    Partition,
+    /// A footprint∩tile overlap has no message (dropped).
+    Missing,
+    /// The same (renderer, compositor) overlap has several messages.
+    Duplicate,
+    /// A message exists for an empty footprint∩tile overlap.
+    Dangling,
+    /// A message's pixel count differs from its overlap's size.
+    PixelCount,
+    /// Per-compositor fan-in exceeds the scaling bound.
+    FanIn,
+    /// Stage tags collide or are reserved.
+    TagDiscipline,
+    /// A radix-k rank sends/receives other than k−1 messages in a round.
+    RoundDegree,
+    /// A radix-k message leaves its round group or lane.
+    GroupLocality,
+    /// A radix-k message's bytes differ from its span piece.
+    ByteCount,
+    /// Final radix-k spans do not partition the image.
+    FinalCoverage,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:?}] {}", self.rule, self.detail)
+    }
+}
+
+/// Result of linting one schedule.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    pub violations: Vec<Violation>,
+    /// Messages examined.
+    pub messages: usize,
+    /// Maximum per-compositor fan-in observed (direct-send only).
+    pub max_fanin: usize,
+}
+
+impl LintReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn push(&mut self, rule: Rule, detail: String) {
+        // Cap per report so a systematically broken schedule doesn't
+        // produce megabytes of findings.
+        if self.violations.len() < 64 {
+            self.violations.push(Violation { rule, detail });
+        }
+    }
+}
+
+/// Linter knobs.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Multiplier on the geometric fan-in expectation for the *mean*
+    /// per-compositor message count.
+    pub mean_fanin_alpha: f64,
+    /// Multiplier for the *maximum* per-compositor message count
+    /// (footprint imbalance makes the max looser than the mean).
+    pub max_fanin_beta: f64,
+    /// Enable the fan-in scaling checks (meaningful for block-lattice
+    /// footprints; arbitrary adversarial footprints can legitimately
+    /// violate the scaling law).
+    pub check_fanin: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            mean_fanin_alpha: 3.0,
+            max_fanin_beta: 8.0,
+            check_fanin: true,
+        }
+    }
+}
+
+/// The paper's direct-send fan-in expectation, generalized to `m ≤ n`:
+/// a renderer footprint of side `~W/n^{1/3}` overlaps
+/// `(√m/n^{1/3} + 1)²` of the `√m`-per-side tiles, and each compositor
+/// hears from `n/m` of those on average. Reduces to `O(n^{1/3})` at
+/// `m = n` ("on average n^{1/3} messages to each of m recipients").
+pub fn expected_fanin(n: usize, m: usize) -> f64 {
+    let nf = n as f64;
+    let mf = m as f64;
+    (nf / mf) * (mf.sqrt() / nf.cbrt() + 1.0).powi(2)
+}
+
+/// Lint a direct-send schedule against the footprints it was built
+/// from. All overlap arithmetic here goes through `PixelRect::intersect`
+/// directly, independent of the `ImagePartition::overlaps` fast path
+/// the schedule builder uses.
+pub fn lint_direct_send(
+    footprints: &[PixelRect],
+    schedule: &Schedule,
+    opts: &LintOptions,
+) -> LintReport {
+    let mut report = LintReport {
+        messages: schedule.messages.len(),
+        ..Default::default()
+    };
+    let part = &schedule.partition;
+    let m = part.m();
+    let n = footprints.len();
+
+    // -- Partition exactness: disjoint tiles summing to the image. --
+    let tiles: Vec<PixelRect> = (0..m).map(|c| part.tile(c)).collect();
+    let total: usize = tiles.iter().map(|t| t.num_pixels()).sum();
+    if total != part.num_pixels() {
+        report.push(
+            Rule::Partition,
+            format!(
+                "tiles cover {total} pixels, image has {}",
+                part.num_pixels()
+            ),
+        );
+    }
+    for a in 0..m {
+        for b in a + 1..m {
+            if let Some(ov) = tiles[a].intersect(&tiles[b]) {
+                report.push(
+                    Rule::Partition,
+                    format!("tiles {a} and {b} overlap in {} pixels", ov.num_pixels()),
+                );
+            }
+        }
+    }
+
+    // -- Conservation: overlap multiset == message multiset. --
+    // counts[(r, c)] = how many messages; expected pixels from geometry.
+    let mut seen = std::collections::HashMap::<(usize, usize), usize>::new();
+    for msg in &schedule.messages {
+        if msg.renderer >= n {
+            report.push(
+                Rule::Dangling,
+                format!("message from unknown renderer {}", msg.renderer),
+            );
+            continue;
+        }
+        if msg.compositor >= m {
+            report.push(
+                Rule::Dangling,
+                format!("message to unknown compositor {}", msg.compositor),
+            );
+            continue;
+        }
+        *seen.entry((msg.renderer, msg.compositor)).or_insert(0) += 1;
+        let overlap = footprints[msg.renderer]
+            .intersect(&tiles[msg.compositor])
+            .map_or(0, |r| r.num_pixels());
+        if overlap == 0 {
+            report.push(
+                Rule::Dangling,
+                format!(
+                    "renderer {} -> compositor {}: footprint does not touch tile",
+                    msg.renderer, msg.compositor
+                ),
+            );
+        } else if overlap != msg.pixels {
+            report.push(
+                Rule::PixelCount,
+                format!(
+                    "renderer {} -> compositor {}: message carries {} pixels, overlap is {overlap}",
+                    msg.renderer, msg.compositor, msg.pixels
+                ),
+            );
+        }
+    }
+    for (&(r, c), &count) in &seen {
+        if count > 1 {
+            report.push(
+                Rule::Duplicate,
+                format!("renderer {r} -> compositor {c}: {count} messages for one overlap"),
+            );
+        }
+    }
+    for (r, fp) in footprints.iter().enumerate() {
+        for (c, tile) in tiles.iter().enumerate() {
+            let nonempty = fp.intersect(tile).is_some_and(|o| o.num_pixels() > 0);
+            if nonempty && !seen.contains_key(&(r, c)) {
+                report.push(
+                    Rule::Missing,
+                    format!("renderer {r} overlaps compositor {c}'s tile but sends no message"),
+                );
+            }
+        }
+    }
+
+    // -- Fan-in scaling. --
+    let counts = schedule.per_compositor_counts();
+    report.max_fanin = counts.iter().copied().max().unwrap_or(0);
+    if opts.check_fanin && n > 0 {
+        let expect = expected_fanin(n, m);
+        let mean = schedule.messages.len() as f64 / m as f64;
+        if mean > opts.mean_fanin_alpha * expect {
+            report.push(
+                Rule::FanIn,
+                format!(
+                    "mean fan-in {mean:.1} exceeds {:.1} x expected {expect:.1} (n={n}, m={m})",
+                    opts.mean_fanin_alpha
+                ),
+            );
+        }
+        let cap = (opts.max_fanin_beta * expect).ceil() as usize;
+        if report.max_fanin > cap.max(n.min(4)) {
+            report.push(
+                Rule::FanIn,
+                format!(
+                    "max fan-in {} exceeds cap {cap} (n={n}, m={m}, expected {expect:.1})",
+                    report.max_fanin
+                ),
+            );
+        }
+    }
+
+    report
+}
+
+/// Lint a radix-k round schedule. Spans are re-derived here with the
+/// standard contiguous-piece arithmetic (`[s + len·j/k, s + len·(j+1)/k)`),
+/// so a schedule generator that drops, duplicates, reroutes, or
+/// resizes a message disagrees with this reconstruction.
+pub fn lint_radix_k(
+    n: usize,
+    image_pixels: usize,
+    radices: &[usize],
+    rounds: &[Vec<RoundMessage>],
+    _opts: &LintOptions,
+) -> LintReport {
+    let mut report = LintReport {
+        messages: rounds.iter().map(Vec::len).sum(),
+        ..Default::default()
+    };
+    if radices.iter().product::<usize>() != n {
+        report.push(
+            Rule::FinalCoverage,
+            format!("radices {radices:?} do not multiply to n={n}"),
+        );
+        return report;
+    }
+    if rounds.len() != radices.len() {
+        report.push(
+            Rule::RoundDegree,
+            format!(
+                "{} rounds scheduled for {} radices",
+                rounds.len(),
+                radices.len()
+            ),
+        );
+        return report;
+    }
+
+    let mut spans: Vec<(usize, usize)> = vec![(0, image_pixels); n];
+    let mut g_prev = 1usize;
+    for (round, (&k, msgs)) in radices.iter().zip(rounds).enumerate() {
+        let g = g_prev * k;
+        // Expected messages this round, from the span arithmetic.
+        let mut expected =
+            std::collections::HashMap::<(usize, usize), u64>::with_capacity(n * (k - 1));
+        for (rank, &(s, e)) in spans.iter().enumerate() {
+            let within = rank % g;
+            let member = within / g_prev;
+            let lane_base = rank - within + (within % g_prev);
+            let len = e - s;
+            for j in 0..k {
+                if j == member {
+                    continue;
+                }
+                let bytes =
+                    ((s + len * (j + 1) / k) - (s + len * j / k)) as u64 * WIRE_BYTES_PER_PIXEL;
+                expected.insert((rank, lane_base + j * g_prev), bytes);
+            }
+        }
+
+        let mut seen = std::collections::HashMap::<(usize, usize), usize>::new();
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        for msg in msgs {
+            if msg.from >= n || msg.to >= n {
+                report.push(
+                    Rule::GroupLocality,
+                    format!(
+                        "round {round}: message {} -> {} outside world",
+                        msg.from, msg.to
+                    ),
+                );
+                continue;
+            }
+            out_deg[msg.from] += 1;
+            in_deg[msg.to] += 1;
+            *seen.entry((msg.from, msg.to)).or_insert(0) += 1;
+            match expected.get(&(msg.from, msg.to)) {
+                None => {
+                    // Same group block and lane?
+                    let grouped =
+                        msg.from / g == msg.to / g && msg.from % g_prev == msg.to % g_prev;
+                    report.push(
+                        if grouped {
+                            Rule::Duplicate
+                        } else {
+                            Rule::GroupLocality
+                        },
+                        format!(
+                            "round {round}: unexpected message {} -> {} ({} bytes)",
+                            msg.from, msg.to, msg.bytes
+                        ),
+                    );
+                }
+                Some(&bytes) if bytes != msg.bytes => {
+                    report.push(
+                        Rule::ByteCount,
+                        format!(
+                            "round {round}: {} -> {} carries {} bytes, span piece is {bytes}",
+                            msg.from, msg.to, msg.bytes
+                        ),
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        for (&(from, to), &count) in &seen {
+            if count > 1 {
+                report.push(
+                    Rule::Duplicate,
+                    format!("round {round}: {count} copies of message {from} -> {to}"),
+                );
+            }
+        }
+        for &(from, to) in expected.keys() {
+            if !seen.contains_key(&(from, to)) {
+                report.push(
+                    Rule::Missing,
+                    format!("round {round}: missing message {from} -> {to}"),
+                );
+            }
+        }
+        for rank in 0..n {
+            if out_deg[rank] != k - 1 || in_deg[rank] != k - 1 {
+                report.push(
+                    Rule::RoundDegree,
+                    format!(
+                        "round {round}: rank {rank} sends {} / receives {} (want {} each)",
+                        out_deg[rank],
+                        in_deg[rank],
+                        k - 1
+                    ),
+                );
+            }
+        }
+
+        // Advance spans to the kept pieces.
+        for (rank, span) in spans.iter_mut().enumerate() {
+            let member = (rank % g) / g_prev;
+            let (s, e) = *span;
+            let len = e - s;
+            *span = (s + len * member / k, s + len * (member + 1) / k);
+        }
+        g_prev = g;
+    }
+
+    // -- Final spans partition [0, image_pixels). --
+    let mut sorted = spans.clone();
+    sorted.sort_unstable();
+    let mut cursor = 0usize;
+    for &(s, e) in &sorted {
+        if s != cursor {
+            report.push(
+                Rule::FinalCoverage,
+                format!("final spans leave a gap/overlap at pixel {cursor} (next span {s}..{e})"),
+            );
+            break;
+        }
+        cursor = e;
+    }
+    if cursor != image_pixels && report.ok() {
+        report.push(
+            Rule::FinalCoverage,
+            format!("final spans end at {cursor}, image has {image_pixels} pixels"),
+        );
+    }
+
+    report
+}
+
+/// Check the pipeline's stage-tag table: tags must be nonzero (zero is
+/// too easy to send by accident) and pairwise distinct, so a wildcard
+/// receive on one stage can never match another stage's traffic.
+pub fn lint_tags(tags: &[(u32, &str)]) -> LintReport {
+    let mut report = LintReport::default();
+    let mut seen = std::collections::HashMap::<u32, &str>::new();
+    for &(tag, name) in tags {
+        if tag == 0 {
+            report.push(
+                Rule::TagDiscipline,
+                format!("stage '{name}' uses reserved tag 0"),
+            );
+        }
+        if let Some(prev) = seen.insert(tag, name) {
+            report.push(
+                Rule::TagDiscipline,
+                format!("stages '{prev}' and '{name}' share tag {tag}"),
+            );
+        }
+    }
+    report
+}
+
+/// A schedule corruption, for proving the linter catches real faults.
+#[derive(Debug, Clone, Copy)]
+pub enum Mutation {
+    /// Delete the `i`-th message.
+    Drop(usize),
+    /// Send the `i`-th message twice.
+    Duplicate(usize),
+    /// Redirect the `i`-th message to compositor/rank `to`.
+    Reroute(usize, usize),
+    /// Add `extra` pixels (direct-send) or bytes (radix-k) to the
+    /// `i`-th message.
+    Inflate(usize, usize),
+}
+
+/// Apply a mutation to a direct-send schedule (indices wrap, so any
+/// seed maps onto a valid message).
+pub fn mutate_schedule(s: &Schedule, m: Mutation) -> Schedule {
+    let mut out = s.clone();
+    if out.messages.is_empty() {
+        return out;
+    }
+    let len = out.messages.len();
+    match m {
+        Mutation::Drop(i) => {
+            out.messages.remove(i % len);
+        }
+        Mutation::Duplicate(i) => {
+            let msg = out.messages[i % len];
+            out.messages.push(msg);
+        }
+        Mutation::Reroute(i, to) => {
+            let c = to % out.partition.m();
+            let idx = i % len;
+            let old = out.messages[idx];
+            out.messages[idx] = CompositeMessage {
+                compositor: c,
+                ..old
+            };
+        }
+        Mutation::Inflate(i, extra) => {
+            out.messages[i % len].pixels += extra.max(1);
+        }
+    }
+    out
+}
+
+/// Apply a mutation to a radix-k round list (flat message index across
+/// rounds, wrapping).
+pub fn mutate_rounds(
+    rounds: &[Vec<RoundMessage>],
+    n: usize,
+    m: Mutation,
+) -> Vec<Vec<RoundMessage>> {
+    let mut out: Vec<Vec<RoundMessage>> = rounds.to_vec();
+    let total: usize = out.iter().map(Vec::len).sum();
+    if total == 0 {
+        return out;
+    }
+    let locate = |flat: usize| -> (usize, usize) {
+        let mut i = flat % total;
+        for (r, msgs) in out.iter().enumerate() {
+            if i < msgs.len() {
+                return (r, i);
+            }
+            i -= msgs.len();
+        }
+        unreachable!()
+    };
+    match m {
+        Mutation::Drop(i) => {
+            let (r, j) = locate(i);
+            out[r].remove(j);
+        }
+        Mutation::Duplicate(i) => {
+            let (r, j) = locate(i);
+            let msg = out[r][j];
+            out[r].push(msg);
+        }
+        Mutation::Reroute(i, to) => {
+            let (r, j) = locate(i);
+            out[r][j].to = to % n;
+        }
+        Mutation::Inflate(i, extra) => {
+            let (r, j) = locate(i);
+            out[r][j].bytes += extra.max(1) as u64;
+        }
+    }
+    out
+}

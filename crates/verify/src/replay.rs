@@ -1,0 +1,179 @@
+//! Deterministic record/replay order-independence checking.
+//!
+//! A message-passing protocol that uses wildcard receives is only
+//! correct if its *result* does not depend on which racing send each
+//! wildcard happened to match. This module turns that property into a
+//! check:
+//!
+//! 1. **Record** a baseline run (default `MinSource` matching) with
+//!    tracing on, keeping its per-rank results and its wildcard-match
+//!    order ([`ReplayLog`]).
+//! 2. **Perturb**: re-run under `Arrival` matching, several seeded
+//!    `Perturb` policies, and — most surgically — `Replay` logs with
+//!    adjacent wildcard matches swapped (an injected out-of-order
+//!    match at exactly one receive).
+//! 3. **Compare**: every variant must produce results equal to the
+//!    baseline (for the renderer: bit-identical composited images,
+//!    since `Image` derives `PartialEq` over raw `f32` pixels).
+//!
+//! A variant that diverges, deadlocks, or panics is reported with the
+//! policy that triggered it. The baseline's wildcard races (from
+//! [`crate::race::wildcard_races`]) come along in the report so a
+//! divergence can be traced to the racy receive that caused it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use pvr_mpisim::trace::{ReplayLog, TraceLog};
+use pvr_mpisim::{Comm, MatchPolicy, RunError, RunOptions, World};
+
+use crate::race::{wildcard_races, RacePair};
+
+/// Which perturbations to try.
+#[derive(Debug, Clone)]
+pub struct OrderProbe {
+    /// Seeds for `MatchPolicy::Perturb` variants.
+    pub perturb_seeds: Vec<u64>,
+    /// Also try `MatchPolicy::Arrival`.
+    pub arrival: bool,
+    /// How many single-swap replay injections to attempt (adjacent
+    /// wildcard matches swapped at one receiver).
+    pub max_swaps: usize,
+}
+
+impl Default for OrderProbe {
+    fn default() -> Self {
+        OrderProbe {
+            perturb_seeds: vec![1, 2, 3, 4],
+            arrival: true,
+            max_swaps: 4,
+        }
+    }
+}
+
+/// One perturbed variant that did not reproduce the baseline.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which policy diverged (human-readable).
+    pub policy: String,
+    /// What happened: result mismatch, deadlock, or panic.
+    pub outcome: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.policy, self.outcome)
+    }
+}
+
+/// Outcome of an order-independence probe.
+#[derive(Debug)]
+pub struct OrderReport<T> {
+    /// Per-rank results of the baseline (`MinSource`) run.
+    pub baseline: Vec<T>,
+    /// The baseline's recorded trace.
+    pub trace: TraceLog,
+    /// Wildcard races present in the baseline — the receives whose
+    /// order the perturbations exercise.
+    pub races: Vec<RacePair>,
+    /// Variants that failed to reproduce the baseline. Empty iff the
+    /// protocol is order-independent over everything probed.
+    pub divergences: Vec<Divergence>,
+    /// Policies probed (for reporting coverage).
+    pub variants_run: usize,
+}
+
+impl<T> OrderReport<T> {
+    pub fn order_independent(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Run `program` on `n` ranks under the baseline policy, then under the
+/// probe's perturbed policies, comparing per-rank results.
+///
+/// The baseline failing (deadlock/stall) is returned as `Err`; a
+/// *perturbed* variant failing is itself a finding and lands in
+/// [`OrderReport::divergences`].
+pub fn probe_order_independence<T, F>(
+    n: usize,
+    program: F,
+    probe: &OrderProbe,
+) -> Result<OrderReport<T>, RunError>
+where
+    T: Send + PartialEq + Clone,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    let base = World::run_opts(n, RunOptions::default().traced(), &program)?;
+    let trace = base.trace.expect("traced run returns a trace");
+    let races = wildcard_races(&trace);
+    let baseline = base.results;
+
+    let mut variants: Vec<(String, MatchPolicy)> = Vec::new();
+    if probe.arrival {
+        variants.push(("arrival order".into(), MatchPolicy::Arrival));
+    }
+    for &seed in &probe.perturb_seeds {
+        variants.push((format!("perturb(seed={seed})"), MatchPolicy::Perturb(seed)));
+    }
+    // Injected out-of-order wildcard matches: swap adjacent *racing*
+    // entries of the recorded log (swapping a causally ordered pair
+    // would force an infeasible order — see
+    // [`crate::race::swappable_wildcards`]).
+    let full_log = ReplayLog::from_trace(&trace);
+    for (rank, i) in crate::race::swappable_wildcards(&trace)
+        .into_iter()
+        .take(probe.max_swaps)
+    {
+        if let Some(swapped) = full_log.swapped(rank, i) {
+            variants.push((
+                format!("replay with rank {rank} wildcards #{i}/#{} swapped", i + 1),
+                MatchPolicy::Replay(Arc::new(swapped)),
+            ));
+        }
+    }
+
+    let mut divergences = Vec::new();
+    let variants_run = variants.len();
+    for (name, policy) in variants {
+        let opts = RunOptions::default().policy(policy);
+        let run = catch_unwind(AssertUnwindSafe(|| World::run_opts(n, opts, &program)));
+        let outcome = match run {
+            Ok(Ok(out)) => {
+                if out.results == baseline {
+                    continue;
+                }
+                let differing: Vec<usize> = out
+                    .results
+                    .iter()
+                    .zip(&baseline)
+                    .enumerate()
+                    .filter(|(_, (a, b))| a != b)
+                    .map(|(r, _)| r)
+                    .collect();
+                format!("result differs from baseline at ranks {differing:?}")
+            }
+            Ok(Err(e)) => format!("run failed: {e}"),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic");
+                format!("panicked: {msg}")
+            }
+        };
+        divergences.push(Divergence {
+            policy: name,
+            outcome,
+        });
+    }
+
+    Ok(OrderReport {
+        baseline,
+        trace,
+        races,
+        divergences,
+        variants_run,
+    })
+}

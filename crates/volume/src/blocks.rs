@@ -46,7 +46,7 @@ impl BlockDecomposition {
         let mut n = remaining;
         let mut p = 2;
         while p * p <= n {
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 factors.push(p);
                 n /= p;
             }
@@ -68,7 +68,10 @@ impl BlockDecomposition {
                     best_extent = extent;
                 }
             }
-            assert!(best != usize::MAX, "cannot decompose grid {grid:?} into {nblocks} blocks");
+            assert!(
+                best != usize::MAX,
+                "cannot decompose grid {grid:?} into {nblocks} blocks"
+            );
             counts[best] *= f;
         }
         remaining = 1; // consumed
@@ -106,7 +109,11 @@ impl BlockDecomposition {
             offset[a] = c * base + c.min(rem);
             shape[a] = base + usize::from(c < rem);
         }
-        Block { id, coords, sub: Subvolume::new(offset, shape) }
+        Block {
+            id,
+            coords,
+            sub: Subvolume::new(offset, shape),
+        }
     }
 
     /// All blocks in id order.
@@ -117,7 +124,9 @@ impl BlockDecomposition {
     /// Block ids assigned to `rank` out of `nranks` (round-robin; with
     /// `nblocks == nranks`, rank *i* owns exactly block *i*).
     pub fn blocks_for_rank(&self, rank: usize, nranks: usize) -> Vec<usize> {
-        (0..self.num_blocks()).filter(|b| b % nranks == rank).collect()
+        (0..self.num_blocks())
+            .filter(|b| b % nranks == rank)
+            .collect()
     }
 
     /// The block's subvolume extended by `ghost` voxels on every side,
@@ -181,7 +190,9 @@ mod tests {
     fn round_robin_assignment_covers_all_blocks() {
         let d = BlockDecomposition::new([64, 64, 64], 12);
         let nranks = 5;
-        let mut all: Vec<usize> = (0..nranks).flat_map(|r| d.blocks_for_rank(r, nranks)).collect();
+        let mut all: Vec<usize> = (0..nranks)
+            .flat_map(|r| d.blocks_for_rank(r, nranks))
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..12).collect::<Vec<_>>());
         // One block per rank when counts match.

@@ -23,7 +23,13 @@ impl<F: Fn(f32, f32, f32) -> f32> ScalarField for F {
 }
 
 /// Names of the five VH-1 variables, in file order.
-pub const VAR_NAMES: [&str; 5] = ["pressure", "density", "velocity-x", "velocity-y", "velocity-z"];
+pub const VAR_NAMES: [&str; 5] = [
+    "pressure",
+    "density",
+    "velocity-x",
+    "velocity-y",
+    "velocity-z",
+];
 
 /// Deterministic lattice value noise with fractal Brownian motion.
 ///
@@ -40,7 +46,12 @@ pub struct FbmNoise {
 
 impl FbmNoise {
     pub fn new(seed: u64) -> Self {
-        FbmNoise { seed, octaves: 4, lacunarity: 2.0, gain: 0.5 }
+        FbmNoise {
+            seed,
+            octaves: 4,
+            lacunarity: 2.0,
+            gain: 0.5,
+        }
     }
 
     pub fn with_octaves(mut self, octaves: u32) -> Self {
@@ -77,7 +88,11 @@ impl FbmNoise {
         let c00 = lerp(self.hash(ix, iy, iz), self.hash(ix + 1, iy, iz), ux);
         let c10 = lerp(self.hash(ix, iy + 1, iz), self.hash(ix + 1, iy + 1, iz), ux);
         let c01 = lerp(self.hash(ix, iy, iz + 1), self.hash(ix + 1, iy, iz + 1), ux);
-        let c11 = lerp(self.hash(ix, iy + 1, iz + 1), self.hash(ix + 1, iy + 1, iz + 1), ux);
+        let c11 = lerp(
+            self.hash(ix, iy + 1, iz + 1),
+            self.hash(ix + 1, iy + 1, iz + 1),
+            ux,
+        );
         lerp(lerp(c00, c10, uy), lerp(c01, c11, uy), uz)
     }
 
@@ -172,13 +187,16 @@ impl SupernovaField {
             // Velocities: infall outside the shock (radial, negative),
             // turbulence inside; the X component is the paper's
             // rendered variable (Figure 1).
-            2 | 3 | 4 => {
+            2..=4 => {
                 let axis = var - 2;
                 // Infall is strongest just outside the shock and fades
                 // with distance, so renderings highlight the shock
                 // region rather than a uniformly colored far field.
-                let radial =
-                    if inside { 0.0 } else { -0.8 * (shock_r / r.max(1e-3)).powf(2.5) };
+                let radial = if inside {
+                    0.0
+                } else {
+                    -0.8 * (shock_r / r.max(1e-3)).powf(2.5)
+                };
                 let v = radial * p[axis] / r.max(1e-3)
                     + if inside { 0.9 * turb } else { 0.1 * turb }
                     + 0.4 * shell * p[axis].signum() * self.noise.fbm(y, z, x, 5.0);

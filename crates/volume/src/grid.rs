@@ -32,7 +32,10 @@ pub struct Volume {
 impl Volume {
     /// Create a zero-filled volume.
     pub fn zeros(dims: [usize; 3]) -> Self {
-        Volume { dims, data: vec![0.0; dims[0] * dims[1] * dims[2]] }
+        Volume {
+            dims,
+            data: vec![0.0; dims[0] * dims[1] * dims[2]],
+        }
     }
 
     /// Wrap existing data (length must match `dims`).
@@ -72,7 +75,11 @@ impl Volume {
         dims: [usize; 3],
     ) -> Self {
         let [nx, ny, _] = dims;
-        let inv = [1.0 / global[0] as f32, 1.0 / global[1] as f32, 1.0 / global[2] as f32];
+        let inv = [
+            1.0 / global[0] as f32,
+            1.0 / global[1] as f32,
+            1.0 / global[2] as f32,
+        ];
         let mut data = vec![0.0f32; dims[0] * dims[1] * dims[2]];
         data.par_chunks_mut(nx * ny)
             .enumerate()
@@ -144,7 +151,9 @@ impl Volume {
     pub fn min_max(&self) -> (f32, f32) {
         self.data
             .iter()
-            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
     }
 
     /// Trilinear upsampling by an integer factor per axis — the
@@ -153,7 +162,11 @@ impl Volume {
     /// structure of the data").
     pub fn upsample(&self, factor: usize) -> Volume {
         assert!(factor >= 1);
-        let nd = [self.dims[0] * factor, self.dims[1] * factor, self.dims[2] * factor];
+        let nd = [
+            self.dims[0] * factor,
+            self.dims[1] * factor,
+            self.dims[2] * factor,
+        ];
         let mut out = Volume::zeros(nd);
         let scale = 1.0 / factor as f32;
         let nx = nd[0];

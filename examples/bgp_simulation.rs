@@ -9,15 +9,16 @@
 //! all without rendering a pixel: the schedules are real, the hardware
 //! is modeled.
 
-use parallel_volume_rendering::core::{
-    CompositorPolicy, FrameConfig, PerfModel,
-};
+use parallel_volume_rendering::core::{CompositorPolicy, FrameConfig, PerfModel};
 
 fn main() {
     let model = PerfModel::default();
 
     println!("== 1120^3 / 1600^2 raw-mode frame (paper Figure 3) ==");
-    println!("{:>7} {:>9} {:>9} {:>9} {:>11} {:>11}", "cores", "total(s)", "io(s)", "render(s)", "comp-orig", "comp-impr");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "cores", "total(s)", "io(s)", "render(s)", "comp-orig", "comp-impr"
+    );
     for n in [64usize, 256, 1024, 4096, 16384, 32768] {
         let mut cfg = FrameConfig::paper_1120(n);
         cfg.policy = CompositorPolicy::Improved;
@@ -42,8 +43,14 @@ fn main() {
         "grid", "GB", "procs", "total(s)", "%io", "%comp", "read GB/s"
     );
     for (builder, label) in [
-        (FrameConfig::paper_2240 as fn(usize) -> FrameConfig, "2240^3"),
-        (FrameConfig::paper_4480 as fn(usize) -> FrameConfig, "4480^3"),
+        (
+            FrameConfig::paper_2240 as fn(usize) -> FrameConfig,
+            "2240^3",
+        ),
+        (
+            FrameConfig::paper_4480 as fn(usize) -> FrameConfig,
+            "4480^3",
+        ),
     ] {
         for n in [8192usize, 16384, 32768] {
             let cfg = builder(n);

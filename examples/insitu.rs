@@ -22,7 +22,10 @@ use parallel_volume_rendering::volume::{BlockDecomposition, ScalarField, Superno
 use rayon::prelude::*;
 
 fn arg(i: usize, default: usize) -> usize {
-    std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -53,7 +56,10 @@ fn main() {
     let opts = RenderOpts::default();
     let partition = ImagePartition::new(320, 320, ranks.min(320 * 320));
 
-    println!("{:>5} {:>10} {:>10} {:>12}", "step", "solve(s)", "render(s)", "total dye");
+    println!(
+        "{:>5} {:>10} {:>10} {:>12}",
+        "step", "solve(s)", "render(s)", "total dye"
+    );
     for step in 0..steps {
         // --- Simulation step: semi-Lagrangian advection (parallel). ---
         let t0 = std::time::Instant::now();
@@ -68,8 +74,11 @@ fn main() {
                         // Trace the characteristic backward one step.
                         let p = [x as f32 + 0.5, y as f32 + 0.5, z as f32 + 0.5];
                         let v = vel(p);
-                        let q =
-                            [p[0] - v[0] * dt - 0.5, p[1] - v[1] * dt - 0.5, p[2] - v[2] * dt - 0.5];
+                        let q = [
+                            p[0] - v[0] * dt - 0.5,
+                            p[1] - v[1] * dt - 0.5,
+                            p[2] - v[2] * dt - 0.5,
+                        ];
                         slab[y * nx + x] = src.sample_trilinear(q);
                     }
                 }
@@ -99,7 +108,11 @@ fn main() {
                         }
                     }
                 }
-                let dom = BlockDomain { grid, owned: b.sub, stored };
+                let dom = BlockDomain {
+                    grid,
+                    owned: b.sub,
+                    stored,
+                };
                 render_block(&bv, &dom, &camera, &tf, &opts).0
             })
             .collect();
@@ -109,7 +122,10 @@ fn main() {
         let total: f64 = dye.data().iter().map(|&v| v as f64).sum();
         println!("{step:>5} {t_solve:>10.3} {t_render:>10.3} {total:>12.1}");
         image
-            .write_ppm(std::path::Path::new(&format!("insitu_{step}.ppm")), [0.0; 3])
+            .write_ppm(
+                std::path::Path::new(&format!("insitu_{step}.ppm")),
+                [0.0; 3],
+            )
             .unwrap();
     }
     println!("\nno bytes touched storage between solver and renderer.");

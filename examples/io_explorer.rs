@@ -16,7 +16,10 @@ use parallel_volume_rendering::pfs::iolog::AccessMap;
 use parallel_volume_rendering::pfs::twophase::two_phase_plan;
 
 fn arg(i: usize, default: usize) -> usize {
-    std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {

@@ -16,7 +16,10 @@ use parallel_volume_rendering::core::{
 };
 
 fn arg(i: usize, default: usize) -> usize {
-    std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -40,7 +43,10 @@ fn main() {
     println!("running message-passing executor ({ranks} rank threads)...");
     let b = run_frame_mpi(&cfg, &path);
     println!("  {}", b.timing);
-    println!("  fragment bytes shipped renderer->compositor: {}", b.composite.bytes);
+    println!(
+        "  fragment bytes shipped renderer->compositor: {}",
+        b.composite.bytes
+    );
 
     let diff = a.image.max_abs_diff(&b.image);
     println!("max image difference: {diff:e}");

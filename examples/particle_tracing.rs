@@ -17,7 +17,10 @@ use parallel_volume_rendering::flow::{trace_parallel, TracerOpts};
 use parallel_volume_rendering::volume::SupernovaField;
 
 fn arg(i: usize, default: usize) -> usize {
-    std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -47,7 +50,11 @@ fn main() {
         })
         .collect();
 
-    let opts = TracerOpts { h: 0.4, max_steps: 1500, min_speed: 1e-5 };
+    let opts = TracerOpts {
+        h: 0.4,
+        max_steps: 1500,
+        min_speed: 1e-5,
+    };
     println!("tracing {nseeds} particles through a {grid}^3 velocity field on {ranks} ranks...");
     let t0 = std::time::Instant::now();
     let traced = trace_parallel(g, ranks, &seeds, &opts, field);

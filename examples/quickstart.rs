@@ -27,6 +27,9 @@ fn main() {
     );
 
     let out = std::path::Path::new("quickstart.ppm");
-    result.image.write_ppm(out, [0.0, 0.0, 0.0]).expect("write image");
+    result
+        .image
+        .write_ppm(out, [0.0, 0.0, 0.0])
+        .expect("write image");
     println!("wrote {}", out.display());
 }

@@ -12,7 +12,10 @@
 use parallel_volume_rendering::core::{run_frame, write_dataset, FrameConfig, IoMode};
 
 fn arg(i: usize, default: usize) -> usize {
-    std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -47,7 +50,10 @@ fn main() {
         );
 
         let out = format!("supernova_{name}.ppm");
-        result.image.write_ppm(std::path::Path::new(&out), [0.0, 0.0, 0.0]).unwrap();
+        result
+            .image
+            .write_ppm(std::path::Path::new(&out), [0.0, 0.0, 0.0])
+            .unwrap();
         println!("[{name}] wrote {out}");
         std::fs::remove_file(&path).ok();
     }

@@ -12,7 +12,10 @@
 use parallel_volume_rendering::core::{run_frame, write_dataset, FrameConfig, IoMode};
 
 fn arg(i: usize, default: usize) -> usize {
-    std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -64,10 +67,16 @@ fn main() {
         );
         total += r.timing.total();
         r.image
-            .write_ppm(std::path::Path::new(&format!("timeseries_{step}.ppm")), [0.0; 3])
+            .write_ppm(
+                std::path::Path::new(&format!("timeseries_{step}.ppm")),
+                [0.0; 3],
+            )
             .unwrap();
         std::fs::remove_file(&path).ok();
     }
-    println!("\n{steps} time steps in {total:.2} s ({:.2} s/frame)", total / steps as f64);
+    println!(
+        "\n{steps} time steps in {total:.2} s ({:.2} s/frame)",
+        total / steps as f64
+    );
     let _ = write_dataset; // referenced for doc discoverability
 }

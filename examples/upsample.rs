@@ -25,10 +25,17 @@ use parallel_volume_rendering::volume::{BlockDecomposition, SupernovaField, Volu
 use rayon::prelude::*;
 
 fn arg(i: usize, default: usize) -> usize {
-    std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
-fn requests(layout: &dyn FileLayout, decomp: &BlockDecomposition, ghost: usize) -> Vec<RankRequest> {
+fn requests(
+    layout: &dyn FileLayout,
+    decomp: &BlockDecomposition,
+    ghost: usize,
+) -> Vec<RankRequest> {
     decomp
         .blocks()
         .iter()
@@ -36,7 +43,10 @@ fn requests(layout: &dyn FileLayout, decomp: &BlockDecomposition, ghost: usize) 
             let sub = decomp.with_ghost(b, ghost);
             let mut runs = Vec::new();
             layout.placed_runs(0, &sub, &mut |r| runs.push(r));
-            RankRequest { runs, out_elems: sub.num_elements() }
+            RankRequest {
+                runs,
+                out_elems: sub.num_elements(),
+            }
         })
         .collect()
 }
@@ -54,7 +64,10 @@ fn main() {
     cfg.io = IoMode::Raw;
     let src_path = dir.join("step.raw");
     write_dataset(&src_path, &cfg).unwrap();
-    println!("source: {n}^3 raw time step ({:.1} MB)", (n * n * n * 4) as f64 / 1e6);
+    println!(
+        "source: {n}^3 raw time step ({:.1} MB)",
+        (n * n * n * 4) as f64 / 1e6
+    );
 
     // --- Collective read: each rank gets its block + 1 ghost. ---
     let t0 = std::time::Instant::now();
@@ -62,8 +75,13 @@ fn main() {
     let decomp = BlockDecomposition::new([n, n, n], ranks);
     let reqs = requests(&src_layout, &decomp, 1);
     let mut f = std::fs::File::open(&src_path).unwrap();
-    let read = two_phase_execute(&mut f, &reqs, (ranks / 4).max(1), &CollectiveHints::default())
-        .unwrap();
+    let read = two_phase_execute(
+        &mut f,
+        &reqs,
+        (ranks / 4).max(1),
+        &CollectiveHints::default(),
+    )
+    .unwrap();
 
     // --- Each rank upsamples its owned region 2x (parallel). ---
     let dst_layout = RawLayout::new([n2, n2, n2]);
@@ -99,7 +117,13 @@ fn main() {
             }
             let mut runs = Vec::new();
             dst_layout.placed_runs(0, &d, &mut |r| runs.push(r));
-            (RankRequest { runs, out_elems: d.num_elements() }, out)
+            (
+                RankRequest {
+                    runs,
+                    out_elems: d.num_elements(),
+                },
+                out,
+            )
         })
         .collect();
 
@@ -109,10 +133,20 @@ fn main() {
         .unwrap()
         .set_len(dst_layout.file_size())
         .unwrap();
-    let mut df = std::fs::OpenOptions::new().read(true).write(true).open(&dst_path).unwrap();
-    let (wreqs, wdata): (Vec<_>, Vec<_>) = rank_payload.into_iter().unzip();
-    let wres = two_phase_write(&mut df, &wreqs, &wdata, (ranks / 4).max(1), &CollectiveHints::default())
+    let mut df = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&dst_path)
         .unwrap();
+    let (wreqs, wdata): (Vec<_>, Vec<_>) = rank_payload.into_iter().unzip();
+    let wres = two_phase_write(
+        &mut df,
+        &wreqs,
+        &wdata,
+        (ranks / 4).max(1),
+        &CollectiveHints::default(),
+    )
+    .unwrap();
     drop(df);
     println!(
         "upsampled to {n2}^3 in {:.2} s: {:.1} MB written in {} window accesses ({} RMW), {:.1} MB exchanged",
@@ -133,7 +167,10 @@ fn main() {
         let got = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
         max_err = max_err.max((got - serial.data()[i]).abs());
     }
-    println!("max |parallel - serial| over {} voxels: {max_err:e}", n2 * n2 * n2);
+    println!(
+        "max |parallel - serial| over {} voxels: {max_err:e}",
+        n2 * n2 * n2
+    );
     assert!(max_err < 1e-4, "parallel upsample diverged");
 
     // --- Render the upsampled step (the paper's Figure 5 workloads). ---
@@ -141,7 +178,10 @@ fn main() {
     cfg2.variable = 2;
     let frame = run_frame(&cfg2, Some(&dst_path));
     println!("rendered the upsampled step: {}", frame.timing);
-    frame.image.write_ppm(std::path::Path::new("upsample.ppm"), [0.0; 3]).unwrap();
+    frame
+        .image
+        .write_ppm(std::path::Path::new("upsample.ppm"), [0.0; 3])
+        .unwrap();
     println!("wrote upsample.ppm");
     std::fs::remove_file(&src_path).ok();
     std::fs::remove_file(&dst_path).ok();

@@ -16,6 +16,7 @@
 //! * [`compositing`] — direct-send / binary-swap / radix-k compositing
 //! * [`core`] — the end-to-end pipeline and performance models
 //! * [`flow`] — parallel particle tracing (the paper's future work)
+//! * [`verify`] — schedule linter, message-race detector, replay checker
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the experiment index mapping every figure and table of
@@ -45,4 +46,5 @@ pub use pvr_formats as formats;
 pub use pvr_mpisim as mpisim;
 pub use pvr_pfs as pfs;
 pub use pvr_render as render;
+pub use pvr_verify as verify;
 pub use pvr_volume as volume;

@@ -30,7 +30,10 @@ fn serial_reference(cfg: &FrameConfig) -> parallel_volume_rendering::render::Ima
         &vol,
         &cam,
         &transfer_for(cfg),
-        &RenderOpts { step: cfg.step, ..Default::default() },
+        &RenderOpts {
+            step: cfg.step,
+            ..Default::default()
+        },
     );
     img
 }
@@ -102,16 +105,24 @@ fn every_compositor_produces_the_same_image() {
 
     let (bs_img, bs_stats) = composite_binary_swap(&subs, cfg.image.0, cfg.image.1);
     let serial_img = composite_serial(&subs, cfg.image.0, cfg.image.1);
-    assert!(bs_img.max_abs_diff(&serial_img) < 1e-5, "binary swap vs serial gather");
-    assert!(bs_img.max_abs_diff(&base.image) < 1e-5, "binary swap vs pipeline");
+    assert!(
+        bs_img.max_abs_diff(&serial_img) < 1e-5,
+        "binary swap vs serial gather"
+    );
+    assert!(
+        bs_img.max_abs_diff(&base.image) < 1e-5,
+        "binary swap vs pipeline"
+    );
     assert_eq!(bs_stats.rounds, 4); // log2(16)
 
-    let (ds_img, _) =
-        parallel_volume_rendering::compositing::composite_direct_send(
-            &subs,
-            ImagePartition::new(cfg.image.0, cfg.image.1, 5),
-        );
-    assert!(ds_img.max_abs_diff(&serial_img) < 1e-5, "direct-send(5) vs serial gather");
+    let (ds_img, _) = parallel_volume_rendering::compositing::composite_direct_send(
+        &subs,
+        ImagePartition::new(cfg.image.0, cfg.image.1, 5),
+    );
+    assert!(
+        ds_img.max_abs_diff(&serial_img) < 1e-5,
+        "direct-send(5) vs serial gather"
+    );
 }
 
 #[test]
@@ -124,7 +135,11 @@ fn message_passing_executor_is_bit_identical() {
     write_dataset(&p, &cfg).unwrap();
     let a = run_frame(&cfg, Some(&p));
     let b = run_frame_mpi(&cfg, &p);
-    assert_eq!(a.image.max_abs_diff(&b.image), 0.0, "executors must agree bit-for-bit");
+    assert_eq!(
+        a.image.max_abs_diff(&b.image),
+        0.0,
+        "executors must agree bit-for-bit"
+    );
     std::fs::remove_file(&p).ok();
 }
 

@@ -3,7 +3,7 @@
 //! statistics reproduce the paper's Figure 9/10 structure at full
 //! 1120³ scale (plans only; no 27 GB file needed).
 
-use parallel_volume_rendering::core::{IoMode, FrameConfig};
+use parallel_volume_rendering::core::{FrameConfig, IoMode};
 use parallel_volume_rendering::formats::layout::FileLayout;
 use parallel_volume_rendering::formats::{Subvolume, ELEM_SIZE};
 use parallel_volume_rendering::pfs::twophase::{
@@ -47,7 +47,10 @@ fn collective_read_correct_for_all_formats() {
                 let sub = decomp.with_ghost(b, 1);
                 let mut runs = Vec::new();
                 layout.placed_runs(var, &sub, &mut |r| runs.push(r));
-                RankRequest { runs, out_elems: sub.num_elements() }
+                RankRequest {
+                    runs,
+                    out_elems: sub.num_elements(),
+                }
             })
             .collect();
         let mut f = std::fs::File::open(&p).unwrap();
@@ -69,7 +72,11 @@ fn collective_read_correct_for_all_formats() {
                             bytes[i * 4 + 2],
                             bytes[i * 4 + 3],
                         ]);
-                        assert_eq!(v, field(var, x, y, z), "{name} rank {rank} at ({x},{y},{z})");
+                        assert_eq!(
+                            v,
+                            field(var, x, y, z),
+                            "{name} rank {rank} at ({x},{y},{z})"
+                        );
                         i += 1;
                     }
                 }
@@ -91,10 +98,17 @@ fn paper_scale_netcdf_plan_structure() {
 
     // Untuned: 16 MiB windows swallow the 25 MB record stride's gaps.
     let untuned = two_phase_plan(&aggregate, 64, &CollectiveHints::default());
-    assert!(untuned.data_density() < 0.35, "untuned density {}", untuned.data_density());
+    assert!(
+        untuned.data_density() < 0.35,
+        "untuned density {}",
+        untuned.data_density()
+    );
     // "~3,000 actual accesses, each roughly 15 MB".
-    assert!(untuned.accesses.len() > 1000 && untuned.accesses.len() < 6000,
-        "{} accesses", untuned.accesses.len());
+    assert!(
+        untuned.accesses.len() > 1000 && untuned.accesses.len() < 6000,
+        "{} accesses",
+        untuned.accesses.len()
+    );
     assert!(untuned.mean_access_bytes() > 10e6 && untuned.mean_access_bytes() < 17e6);
 
     // Tuned to the record size: ~2x overhead (11 GB for 5 GB).

@@ -45,8 +45,9 @@ fn hot_spots_degrade_bandwidth() {
     let sim = FlowSim::new(&torus);
     let bytes = 100_000u64;
     // Spread: every node sends to its diagonal partner.
-    let spread: Vec<FlowSpec> =
-        (0..512).map(|s| FlowSpec::new(s, (s + 256) % 512, bytes)).collect();
+    let spread: Vec<FlowSpec> = (0..512)
+        .map(|s| FlowSpec::new(s, (s + 256) % 512, bytes))
+        .collect();
     // Hot: everyone sends to 4 nodes.
     let hot: Vec<FlowSpec> = (0..512)
         .filter(|&s| s >= 4)
@@ -70,7 +71,12 @@ fn compositor_limiting_helps_at_4k() {
     let orig = model.simulate_composite(&cfg, &model.schedule_for(&cfg));
     cfg.policy = CompositorPolicy::Improved;
     let impr = model.simulate_composite(&cfg, &model.schedule_for(&cfg));
-    assert!(impr.seconds < orig.seconds, "improved {} !< original {}", impr.seconds, orig.seconds);
+    assert!(
+        impr.seconds < orig.seconds,
+        "improved {} !< original {}",
+        impr.seconds,
+        orig.seconds
+    );
     assert_eq!(impr.compositors, 1024);
     // Both move the same pixel volume.
     assert_eq!(impr.total_bytes, orig.total_bytes);
@@ -82,7 +88,10 @@ fn machine_and_torus_are_consistent() {
     for ranks in [64usize, 1024, 32768] {
         let m = Machine::new(MachineConfig::vn(ranks));
         assert_eq!(m.num_ranks(), ranks);
-        assert_eq!(m.num_nodes() * consts::CORES_PER_NODE, ranks.next_power_of_two().max(4));
+        assert_eq!(
+            m.num_nodes() * consts::CORES_PER_NODE,
+            ranks.next_power_of_two().max(4)
+        );
         // Every rank maps to a valid node.
         for r in [0, ranks / 2, ranks - 1] {
             assert!(m.node_of_rank(r) < m.num_nodes());
@@ -91,7 +100,10 @@ fn machine_and_torus_are_consistent() {
         let torus = m.torus();
         let sim = FlowSim::with_params(
             torus,
-            SimParams { batch_tolerance: 0.05, ..Default::default() },
+            SimParams {
+                batch_tolerance: 0.05,
+                ..Default::default()
+            },
         );
         let specs: Vec<FlowSpec> = (0..32.min(m.num_nodes()))
             .map(|i| FlowSpec::new(i, (i * 3 + 1) % m.num_nodes(), 10_000))
@@ -105,16 +117,21 @@ fn machine_and_torus_are_consistent() {
 
 /// Batched and exact simulation agree within the tolerance bound.
 #[test]
-fn batching_error_is_bounded()  {
+fn batching_error_is_bounded() {
     let torus = Torus::near_cubic(256);
     let specs: Vec<FlowSpec> = (0..256)
-        .flat_map(|s| (1..4).map(move |k| FlowSpec::new(s, (s + k * 17) % 256, 5_000 + 137 * k as u64)))
+        .flat_map(|s| {
+            (1..4).map(move |k| FlowSpec::new(s, (s + k * 17) % 256, 5_000 + 137 * k as u64))
+        })
         .filter(|f| f.src != f.dst)
         .collect();
     let exact = FlowSim::new(&torus).run(&specs).net_makespan;
     let batched = FlowSim::with_params(
         &torus,
-        SimParams { batch_tolerance: 0.05, ..Default::default() },
+        SimParams {
+            batch_tolerance: 0.05,
+            ..Default::default()
+        },
     )
     .run(&specs)
     .net_makespan;
