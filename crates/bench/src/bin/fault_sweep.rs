@@ -1,0 +1,282 @@
+//! Fault-injection sweep over the fault-tolerant pipeline.
+//!
+//! Exercises `pvr_core::run_frame_mpi_ft` against seeded
+//! [`FaultPlan`]s on a laptop-scale frame (8 ranks, 16³ grid) and
+//! checks the recovery contract end to end:
+//!
+//! * **Transient faults heal exactly** — dropped message attempts
+//!   within the retry budget, stragglers within the stage deadline, and
+//!   down servers covered by stripe replicas all produce a frame
+//!   bit-identical to the fault-free run with completeness exactly 1.0.
+//! * **Permanent faults degrade, never hang** — a crashed rank or an
+//!   unreplicated down server terminates within its deadlines with
+//!   completeness < 1.0 and the loss attributed to specific tiles.
+//! * **Everything replays** — re-running the same `(seed, FaultPlan)`
+//!   reproduces the image and the completeness map exactly.
+//!
+//! Default mode prints a sweep table (drop depth × stragglers × down
+//! servers). `--ci` runs the assertion suite with fixed seeds and exits
+//! nonzero on any violated invariant — the `fault-sweep` CI job.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use pvr_core::pipeline::{run_frame_mpi, tags, write_dataset};
+use pvr_core::{run_frame_mpi_ft, CompositorPolicy, FrameConfig, FtError, FtFrameResult};
+use pvr_faults::{
+    FaultPlan, LinkAction, LinkFault, Pat, RankAction, RankFault, RecoveryPolicy, ServerAction,
+    ServerFault, Stage,
+};
+
+fn test_cfg() -> FrameConfig {
+    let mut cfg = FrameConfig::small(16, 24, 8);
+    cfg.variable = 2;
+    cfg.policy = CompositorPolicy::Fixed(4);
+    cfg
+}
+
+fn dataset(cfg: &FrameConfig) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pvr-fault-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    let p = d.join("sweep.raw");
+    write_dataset(&p, cfg).unwrap();
+    p
+}
+
+/// A composable transient plan: drop the first `depth` attempts of
+/// every fragment send from rank 1 and every scatter into rank 2, and
+/// make `stragglers` renderers sleep 20 ms.
+fn transient_plan(seed: u64, depth: u32, stragglers: usize) -> FaultPlan {
+    let mut plan = FaultPlan {
+        seed,
+        ..FaultPlan::default()
+    };
+    if depth > 0 {
+        plan.links.push(LinkFault {
+            src: Pat::Is(1),
+            dst: Pat::Any,
+            tag: Some(tags::FRAGMENT),
+            action: LinkAction::DropFirst(depth),
+        });
+        plan.links.push(LinkFault {
+            src: Pat::Any,
+            dst: Pat::Is(2),
+            tag: Some(tags::IO_SCATTER),
+            action: LinkAction::DropFirst(depth),
+        });
+    }
+    for s in 0..stragglers {
+        plan.ranks.push(RankFault {
+            rank: 3 + s,
+            stage: Stage::Render,
+            action: RankAction::StraggleMs(20),
+        });
+    }
+    plan
+}
+
+fn run(
+    cfg: &FrameConfig,
+    path: &Path,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> Result<FtFrameResult, FtError> {
+    run_frame_mpi_ft(cfg, path, plan, policy)
+}
+
+fn sweep(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) {
+    println!("# fault sweep: n=8, 16^3 grid, 24^2 image, 4 compositors");
+    println!(
+        "{:>5} {:>10} {:>12} {:>9} {:>8} {:>9} {:>9}",
+        "drops", "straggler", "servers_down", "time_ms", "compl", "retries", "timeouts"
+    );
+    for depth in [0u32, 1, 2] {
+        for stragglers in [0usize, 1, 2] {
+            for down in [0usize, 1] {
+                let mut plan = transient_plan(11, depth, stragglers);
+                for s in 0..down {
+                    plan.servers.push(ServerFault {
+                        server: s,
+                        action: ServerAction::Down,
+                    });
+                }
+                let t0 = Instant::now();
+                match run(cfg, path, &plan, policy) {
+                    Ok(ft) => {
+                        let rec = ft.frame.timing.recovery;
+                        println!(
+                            "{:>5} {:>10} {:>12} {:>9.1} {:>8.4} {:>9} {:>9}",
+                            depth,
+                            stragglers,
+                            down,
+                            t0.elapsed().as_secs_f64() * 1e3,
+                            ft.completeness.frame_fraction(),
+                            rec.retries + rec.io_retries,
+                            rec.timeouts
+                        );
+                    }
+                    Err(e) => println!("{depth:>5} {stragglers:>10} {down:>12} FAILED: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// One CI check: print PASS/FAIL, return pass.
+fn check(name: &str, ok: bool, detail: String) -> bool {
+    println!("{} {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
+    let mut all = true;
+    let baseline = run_frame_mpi(cfg, path);
+
+    // 1. Transient faults: bit-identical frame, exact completeness 1.0.
+    let plan = transient_plan(5, 2, 1);
+    match run(cfg, path, &plan, policy) {
+        Ok(ft) => {
+            let rec = ft.frame.timing.recovery;
+            all &= check(
+                "transient-bit-identical",
+                baseline.image.pixels() == ft.frame.image.pixels()
+                    && ft.completeness.frame_fraction() == 1.0
+                    && rec.retries > 0
+                    && rec.timeouts == 0,
+                format!(
+                    "completeness {:.4}, {} retries, {} timeouts",
+                    ft.completeness.frame_fraction(),
+                    rec.retries,
+                    rec.timeouts
+                ),
+            );
+        }
+        Err(e) => all &= check("transient-bit-identical", false, e.to_string()),
+    }
+
+    // 2. Replica failover hides an entire down server.
+    let plan = FaultPlan {
+        seed: 3,
+        servers: vec![ServerFault {
+            server: 0,
+            action: ServerAction::Down,
+        }],
+        ..FaultPlan::default()
+    };
+    match run(cfg, path, &plan, policy) {
+        Ok(ft) => {
+            all &= check(
+                "failover-hides-down-server",
+                baseline.image.pixels() == ft.frame.image.pixels()
+                    && ft.completeness.frame_fraction() == 1.0
+                    && ft.frame.io.failover_bytes > 0
+                    && ft.frame.io.unrecovered_bytes == 0,
+                format!(
+                    "completeness {:.4}, {} failover bytes",
+                    ft.completeness.frame_fraction(),
+                    ft.frame.io.failover_bytes
+                ),
+            );
+        }
+        Err(e) => all &= check("failover-hides-down-server", false, e.to_string()),
+    }
+
+    // 3. Permanent loss (failover disabled) terminates with
+    //    completeness < 1.0 — and reproduces exactly on a second run.
+    let mut no_failover = *policy;
+    no_failover.io_failover = false;
+    let first = run(cfg, path, &plan, &no_failover);
+    let second = run(cfg, path, &plan, &no_failover);
+    match (first, second) {
+        (Ok(a), Ok(b)) => {
+            let fa = a.completeness.frame_fraction();
+            all &= check(
+                "permanent-loss-degrades",
+                fa < 1.0 && a.frame.io.unrecovered_bytes > 0,
+                format!(
+                    "completeness {fa:.4}, {} unrecovered bytes",
+                    a.frame.io.unrecovered_bytes
+                ),
+            );
+            all &= check(
+                "permanent-loss-reproduces",
+                a.frame.image.pixels() == b.frame.image.pixels()
+                    && fa == b.completeness.frame_fraction(),
+                format!(
+                    "run1 {fa:.6} vs run2 {:.6}",
+                    b.completeness.frame_fraction()
+                ),
+            );
+        }
+        (a, b) => {
+            let msg = format!(
+                "{:?} / {:?}",
+                a.err().map(|e| e.to_string()),
+                b.err().map(|e| e.to_string())
+            );
+            all &= check("permanent-loss-degrades", false, msg);
+        }
+    }
+
+    // 4. A crashed compositor degrades its tiles and terminates.
+    let plan = FaultPlan {
+        seed: 9,
+        ranks: vec![RankFault {
+            rank: 5,
+            stage: Stage::Composite,
+            action: RankAction::Crash,
+        }],
+        ..FaultPlan::default()
+    };
+    match run(cfg, path, &plan, policy) {
+        Ok(ft) => {
+            let f = ft.completeness.frame_fraction();
+            all &= check(
+                "crash-degrades-not-hangs",
+                f < 1.0 && f > 0.0 && ft.frame.timing.recovery.crashed_ranks == 1,
+                format!(
+                    "completeness {f:.4}, {} crashed",
+                    ft.frame.timing.recovery.crashed_ranks
+                ),
+            );
+        }
+        Err(e) => all &= check("crash-degrades-not-hangs", false, e.to_string()),
+    }
+
+    // 5. Plans replay through their JSON serialization unchanged.
+    let plan = transient_plan(21, 1, 1);
+    let round = FaultPlan::from_json(&plan.to_json());
+    all &= check(
+        "plan-json-roundtrip",
+        round.as_ref() == Ok(&plan),
+        format!("{} bytes of JSON", plan.to_json().len()),
+    );
+
+    all
+}
+
+fn main() {
+    let ci_mode = std::env::args().any(|a| a == "--ci");
+    let cfg = test_cfg();
+    let path = dataset(&cfg);
+    let policy = RecoveryPolicy::fast_test();
+
+    let ok = if ci_mode {
+        let t0 = Instant::now();
+        let ok = ci(&cfg, &path, &policy);
+        println!(
+            "fault-sweep CI suite: {} in {:.1}s",
+            if ok { "all checks passed" } else { "FAILURES" },
+            t0.elapsed().as_secs_f64()
+        );
+        ok
+    } else {
+        sweep(&cfg, &path, &policy);
+        true
+    };
+
+    std::fs::remove_file(&path).ok();
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -83,6 +83,81 @@ pub fn composite_direct_send(
     (img, stats)
 }
 
+/// Deadline-mode direct-send: composite whatever fragments arrived.
+///
+/// `present[i]` is `Some(quality)` when renderer `i`'s fragment made it
+/// before the deadline (`quality` in [0, 1] is the sender's own data
+/// quality — degraded I/O propagates into the completeness accounting),
+/// `None` when it was lost or late. Absent fragments are skipped; the
+/// per-tile [`CompletenessMap`](crate::completeness::CompletenessMap)
+/// reports the fraction of each tile's expected blended footprint that
+/// arrived. With every fragment present the image is bit-identical to
+/// [`composite_direct_send`] and every tile reports 1.0.
+pub fn composite_direct_send_degraded(
+    subs: &[SubImage],
+    partition: ImagePartition,
+    present: &[Option<f64>],
+) -> (Image, DirectSendStats, crate::completeness::CompletenessMap) {
+    use crate::completeness::{CompletenessMap, TileCompleteness};
+    assert_eq!(subs.len(), present.len());
+    let order = visibility_order(subs);
+
+    let results: Vec<(SubImage, usize, u64, TileCompleteness)> = (0..partition.m())
+        .into_par_iter()
+        .map(|c| {
+            let tile = partition.tile(c);
+            let mut buf = SubImage::transparent(tile, 0.0);
+            let mut messages = 0usize;
+            let mut bytes = 0u64;
+            let mut expected = 0.0f64;
+            let mut arrived = 0.0f64;
+            for &i in &order {
+                let sub = &subs[i];
+                let Some(ov) = sub.rect.intersect(&tile) else {
+                    continue;
+                };
+                let area = ov.num_pixels() as f64;
+                expected += area;
+                let Some(quality) = present[i] else {
+                    continue;
+                };
+                arrived += area * quality.clamp(0.0, 1.0);
+                for y in ov.y0..ov.y1() {
+                    for x in ov.x0..ov.x1() {
+                        let idx = (y - tile.y0) * tile.w + (x - tile.x0);
+                        buf.pixels[idx] = over(buf.pixels[idx], sub.get(x, y));
+                    }
+                }
+                messages += 1;
+                bytes += ov.num_pixels() as u64 * WIRE_BYTES_PER_PIXEL;
+            }
+            let tc = TileCompleteness {
+                tile: c,
+                rect: Some(tile),
+                expected,
+                arrived,
+            };
+            (buf, messages, bytes, tc)
+        })
+        .collect();
+
+    let mut img = Image::new(partition.width, partition.height);
+    let mut stats = DirectSendStats {
+        messages: 0,
+        bytes: 0,
+        per_compositor: Vec::new(),
+    };
+    let mut map = CompletenessMap::default();
+    for (buf, messages, bytes, tc) in results {
+        img.paste(&buf);
+        stats.messages += messages;
+        stats.bytes += bytes;
+        stats.per_compositor.push(messages);
+        map.tiles.push(tc);
+    }
+    (img, stats, map)
+}
+
 /// Convenience: footprint rectangles of a set of subimages (inputs to
 /// [`crate::build_schedule`] when real subimages exist).
 pub fn footprints(subs: &[SubImage]) -> Vec<PixelRect> {
@@ -174,6 +249,44 @@ mod tests {
         let (img_m, stats_m) = composite_direct_send(&subs, ImagePartition::new(64, 64, 8));
         assert!(stats_m.messages < stats_n.messages);
         assert!(img_n.max_abs_diff(&img_m) < 1e-5);
+    }
+
+    #[test]
+    fn degraded_with_everything_present_is_bit_identical() {
+        let subs = random_subs(13, 20, 32, 32);
+        let part = ImagePartition::new(32, 32, 6);
+        let (img, stats) = composite_direct_send(&subs, part);
+        let present = vec![Some(1.0); subs.len()];
+        let (img_d, stats_d, map) = composite_direct_send_degraded(&subs, part, &present);
+        assert_eq!(img.pixels(), img_d.pixels(), "must be bit-identical");
+        assert_eq!(stats, stats_d);
+        assert!(map.fully_complete());
+        assert_eq!(map.frame_fraction(), 1.0);
+        assert_eq!(map.tiles.len(), 6);
+    }
+
+    #[test]
+    fn missing_fragment_degrades_only_its_tiles() {
+        let front = solid(PixelRect::new(0, 0, 8, 4), [0.0, 0.0, 1.0, 1.0], 0.0);
+        let back = solid(PixelRect::new(0, 4, 8, 4), [1.0, 0.0, 0.0, 1.0], 9.0);
+        let part = ImagePartition::new(8, 8, 2); // tile 0 = top, tile 1 = bottom
+        let present = vec![Some(1.0), None]; // lose the bottom fragment
+        let (img, _, map) = composite_direct_send_degraded(&[front, back], part, &present);
+        assert_eq!(map.tiles[0].fraction(), 1.0);
+        assert_eq!(map.tiles[1].fraction(), 0.0);
+        assert!(map.frame_fraction() < 1.0);
+        // The surviving fragment still renders; the lost one is blank.
+        assert_eq!(img.get(0, 0), [0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(img.get(0, 7), [0.0; 4]);
+    }
+
+    #[test]
+    fn sender_quality_weights_completeness() {
+        let subs = vec![solid(PixelRect::new(0, 0, 4, 4), [0.5; 4], 1.0)];
+        let (_, _, map) =
+            composite_direct_send_degraded(&subs, ImagePartition::new(4, 4, 1), &[Some(0.25)]);
+        assert!((map.frame_fraction() - 0.25).abs() < 1e-12);
+        assert!(!map.fully_complete());
     }
 
     #[test]

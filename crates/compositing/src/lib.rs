@@ -27,14 +27,16 @@
 //! associative and every algorithm preserves front-to-back order.
 
 pub mod binaryswap;
+pub mod completeness;
 pub mod directsend;
 pub mod radixk;
 pub mod region;
 pub mod schedule;
 pub mod serial;
 
-pub use directsend::composite_direct_send;
-pub use radixk::composite_radix_k;
+pub use completeness::{CompletenessMap, TileCompleteness};
+pub use directsend::{composite_direct_send, composite_direct_send_degraded};
+pub use radixk::{composite_radix_k, composite_radix_k_degraded};
 pub use region::ImagePartition;
 pub use schedule::{build_schedule, CompositeMessage, Schedule};
 pub use serial::composite_serial;

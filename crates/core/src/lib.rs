@@ -19,11 +19,16 @@
 //! timing reports both executors share.
 
 pub mod config;
+pub mod ft;
 pub mod perfmodel;
 pub mod pipeline;
 pub mod timing;
 
 pub use config::{CompositorPolicy, FrameConfig, IoMode};
+pub use ft::{
+    laptop_store, run_frame_mpi_ft, run_frame_mpi_ft_opts, run_frame_mpi_ft_strict, DegradedFrame,
+    FtError, FtFrameResult,
+};
 pub use perfmodel::{simulate_frame, PerfModel, Placement, SimFrameResult};
 pub use pipeline::{run_frame, write_dataset, FrameResult};
 pub use timing::FrameTiming;

@@ -409,6 +409,7 @@ impl PerfModel {
                 io: io.seconds,
                 render: render_s,
                 composite: composite.seconds,
+                ..Default::default()
             },
             io,
             composite,

@@ -48,6 +48,28 @@ pub struct IoRunStats {
     pub exchange_bytes: u64,
     /// useful / physical — the paper's data density.
     pub data_density: f64,
+    /// Storage retries against faulted servers (fault-tolerant path).
+    pub retries: u64,
+    /// Extra bytes read from stripe replicas after primary failures.
+    pub failover_bytes: u64,
+    /// Requested bytes no server could provide (zero-filled in the
+    /// output buffers).
+    pub unrecovered_bytes: u64,
+}
+
+impl Default for IoRunStats {
+    fn default() -> Self {
+        IoRunStats {
+            useful_bytes: 0,
+            physical_bytes: 0,
+            accesses: 0,
+            exchange_bytes: 0,
+            data_density: 1.0,
+            retries: 0,
+            failover_bytes: 0,
+            unrecovered_bytes: 0,
+        }
+    }
 }
 
 /// Everything a real frame produces.
@@ -149,16 +171,7 @@ pub fn run_frame(cfg: &FrameConfig, path: Option<&Path>) -> FrameResult {
     let mut sw = Stopwatch::start();
     let (volumes, io) = match path {
         Some(p) => read_stage(cfg, &geo, p),
-        None => (
-            synthesize_stage(cfg, &geo),
-            IoRunStats {
-                useful_bytes: 0,
-                physical_bytes: 0,
-                accesses: 0,
-                exchange_bytes: 0,
-                data_density: 1.0,
-            },
-        ),
+        None => (synthesize_stage(cfg, &geo), IoRunStats::default()),
     };
     let t_io = sw.lap();
 
@@ -192,6 +205,7 @@ pub fn run_frame(cfg: &FrameConfig, path: Option<&Path>) -> FrameResult {
             io: t_io,
             render: t_render,
             composite: t_composite,
+            ..Default::default()
         },
         io,
         render_samples,
@@ -240,6 +254,7 @@ fn read_stage(cfg: &FrameConfig, geo: &RankGeometry, path: &Path) -> (Vec<Volume
             accesses: res.plan.accesses.len(),
             exchange_bytes: res.exchange_bytes,
             data_density: res.plan.data_density(),
+            ..Default::default()
         };
         let volumes: Vec<Volume> = res
             .rank_bytes
@@ -274,6 +289,7 @@ fn read_stage(cfg: &FrameConfig, geo: &RankGeometry, path: &Path) -> (Vec<Volume
             accesses: plan.accesses.len(),
             exchange_bytes: 0,
             data_density: useful as f64 / plan.physical_bytes.max(1) as f64,
+            ..Default::default()
         };
         (volumes, stats)
     }
@@ -291,17 +307,26 @@ pub mod tags {
     pub const IO_SCATTER: u32 = 1;
     pub const FRAGMENT: u32 = 2;
     pub const TILE: u32 = 3;
+    /// Ack tags of the fault-tolerant executor (`crate::ft`): each data
+    /// stage has a dedicated ack channel so wildcard receives on data
+    /// tags can never match acknowledgement traffic.
+    pub const IO_ACK: u32 = 4;
+    pub const FRAG_ACK: u32 = 5;
+    pub const TILE_ACK: u32 = 6;
 
     /// All stage tags, for exhaustive discipline checks.
-    pub const ALL: [(u32, &str); 3] = [
+    pub const ALL: [(u32, &str); 6] = [
         (IO_SCATTER, "io-scatter"),
         (FRAGMENT, "fragment"),
         (TILE, "tile"),
+        (IO_ACK, "io-ack"),
+        (FRAG_ACK, "fragment-ack"),
+        (TILE_ACK, "tile-ack"),
     ];
 }
 
 /// Serialize a subimage fragment: renderer id, rect, depth, pixels.
-fn encode_fragment(renderer: usize, s: &SubImage) -> Vec<u8> {
+pub(crate) fn encode_fragment(renderer: usize, s: &SubImage) -> Vec<u8> {
     let mut out = Vec::with_capacity(40 + s.pixels.len() * 16);
     out.extend((renderer as u64).to_le_bytes());
     out.extend((s.rect.x0 as u64).to_le_bytes());
@@ -317,7 +342,7 @@ fn encode_fragment(renderer: usize, s: &SubImage) -> Vec<u8> {
     out
 }
 
-fn decode_fragment(data: &[u8]) -> (usize, SubImage) {
+pub(crate) fn decode_fragment(data: &[u8]) -> (usize, SubImage) {
     let u = |i: usize| u64::from_le_bytes(data[i * 8..i * 8 + 8].try_into().unwrap()) as usize;
     let renderer = u(0);
     let rect = pvr_render::image::PixelRect::new(u(1), u(2), u(3), u(4));
@@ -479,6 +504,7 @@ pub fn run_frame_mpi_opts(
                 io: t_io,
                 render: t_render,
                 composite: t_composite,
+                ..Default::default()
             },
             rstats.samples,
             sent,
@@ -495,13 +521,7 @@ pub fn run_frame_mpi_opts(
         FrameResult {
             image: image.expect("rank 0 holds the image"),
             timing,
-            io: IoRunStats {
-                useful_bytes: 0,
-                physical_bytes: 0,
-                accesses: 0,
-                exchange_bytes: 0,
-                data_density: 1.0,
-            },
+            io: IoRunStats::default(),
             render_samples,
             composite: DirectSendStats {
                 messages: 0,

@@ -11,6 +11,9 @@ pub struct FrameTiming {
     pub io: f64,
     pub render: f64,
     pub composite: f64,
+    /// What recovery did during the frame (all zero for fault-free
+    /// runs and for the non-fault-tolerant executors).
+    pub recovery: pvr_faults::RecoveryCounters,
 }
 
 impl FrameTiming {
@@ -90,6 +93,7 @@ mod tests {
             io: 49.3,
             render: 0.9,
             composite: 1.1,
+            ..Default::default()
         };
         let sum = t.io_percent() + t.render_percent() + t.composite_percent();
         assert!((sum - 100.0).abs() < 1e-9);
@@ -103,6 +107,7 @@ mod tests {
             io: 49.35,
             render: 1.0,
             composite: 1.0,
+            ..Default::default()
         };
         let row = t.table_row();
         assert!(row.contains("51.35"));

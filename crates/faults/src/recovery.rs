@@ -1,0 +1,174 @@
+//! Recovery policy knobs and the counters that report what recovery did.
+
+use std::time::Duration;
+
+use crate::link::LinkPolicy;
+
+/// Tunable recovery behaviour for a fault-tolerant frame.
+///
+/// Everything is a deadline or a bounded retry: no unbounded wait exists
+/// anywhere in the recovery path, which is how a run under an arbitrary
+/// [`crate::FaultPlan`] is guaranteed to terminate (with a degraded
+/// frame in the worst case) rather than trip the simulator watchdog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Receive-poll granularity inside deadline loops.
+    pub poll: Duration,
+    /// How long a framed sender waits for an ack before retransmitting.
+    pub ack_timeout: Duration,
+    /// Multiplier applied to `ack_timeout` after each retransmission.
+    pub backoff: f64,
+    /// Retransmissions per message before the sender gives up.
+    pub max_retries: u32,
+    /// Wall-clock budget for each pipeline stage (I/O scatter, fragment
+    /// exchange, tile gather). When it expires the receiver proceeds
+    /// with whatever arrived.
+    pub stage_deadline: Duration,
+    /// Post-stage grace period for draining outstanding acks.
+    pub drain: Duration,
+    /// Storage: read a stripe from its replica when the primary is down.
+    pub io_failover: bool,
+    /// Storage: replica placement offset (stripe `s` also lives on
+    /// server `(primary + offset) % servers`).
+    pub io_replica_offset: usize,
+    /// Storage: retries against a down primary before failing over.
+    pub io_max_retries: u32,
+    /// Storage: base of the exponential retry backoff, seconds (virtual
+    /// time — priced, never slept).
+    pub io_backoff_s: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            poll: Duration::from_millis(2),
+            ack_timeout: Duration::from_millis(25),
+            backoff: 2.0,
+            max_retries: 8,
+            stage_deadline: Duration::from_secs(5),
+            drain: Duration::from_millis(250),
+            io_failover: true,
+            io_replica_offset: 1,
+            io_max_retries: 4,
+            io_backoff_s: 1e-3,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A tighter policy for small test worlds: sub-second stage
+    /// deadlines so permanent-fault tests finish quickly, but retry
+    /// budgets still generous enough that transient faults always
+    /// recover.
+    pub fn fast_test() -> Self {
+        RecoveryPolicy {
+            poll: Duration::from_millis(1),
+            ack_timeout: Duration::from_millis(10),
+            backoff: 1.5,
+            max_retries: 6,
+            stage_deadline: Duration::from_millis(800),
+            drain: Duration::from_millis(60),
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// The link-layer slice of this policy.
+    pub fn link_policy(&self) -> LinkPolicy {
+        LinkPolicy {
+            ack_timeout: self.ack_timeout,
+            backoff: self.backoff,
+            max_retries: self.max_retries,
+            poll: self.poll,
+        }
+    }
+
+    /// The storage-layer slice of this policy.
+    pub fn io_recovery(&self) -> pvr_pfs::IoRecovery {
+        pvr_pfs::IoRecovery {
+            failover: self.io_failover,
+            replica_offset: self.io_replica_offset,
+            max_retries: self.io_max_retries,
+            backoff_s: self.io_backoff_s,
+        }
+    }
+}
+
+/// What recovery actually did during a frame. Additive across ranks and
+/// stages via [`RecoveryCounters::merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryCounters {
+    /// Message retransmissions (link layer).
+    pub retries: u64,
+    /// Messages abandoned after exhausting their retry budget.
+    pub timeouts: u64,
+    /// Frames dropped by the receiver for bad magic/checksum.
+    pub corrupt_dropped: u64,
+    /// Duplicate deliveries suppressed by the receiver.
+    pub duplicate_dropped: u64,
+    /// Storage requests served from a replica.
+    pub io_failovers: u64,
+    /// Storage retries against faulted servers (priced, virtual).
+    pub io_retries: u64,
+    /// Final-image tiles that missed their deadline entirely.
+    pub degraded_tiles: u64,
+    /// Ranks that crashed during the frame.
+    pub crashed_ranks: u64,
+}
+
+impl RecoveryCounters {
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.corrupt_dropped += other.corrupt_dropped;
+        self.duplicate_dropped += other.duplicate_dropped;
+        self.io_failovers += other.io_failovers;
+        self.io_retries += other.io_retries;
+        self.degraded_tiles += other.degraded_tiles;
+        self.crashed_ranks += other.crashed_ranks;
+    }
+
+    /// True when recovery never had to intervene.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryCounters::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = RecoveryCounters {
+            retries: 2,
+            timeouts: 1,
+            ..RecoveryCounters::default()
+        };
+        let b = RecoveryCounters {
+            retries: 3,
+            io_failovers: 4,
+            crashed_ranks: 1,
+            ..RecoveryCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.timeouts, 1);
+        assert_eq!(a.io_failovers, 4);
+        assert_eq!(a.crashed_ranks, 1);
+        assert!(!a.is_clean());
+        assert!(RecoveryCounters::default().is_clean());
+    }
+
+    #[test]
+    fn policy_slices_are_consistent() {
+        let p = RecoveryPolicy::default();
+        let lp = p.link_policy();
+        assert_eq!(lp.ack_timeout, p.ack_timeout);
+        assert_eq!(lp.max_retries, p.max_retries);
+        let io = p.io_recovery();
+        assert!(io.failover);
+        assert_eq!(io.replica_offset, 1);
+        // fast_test keeps retry budgets able to beat small DropFirst counts.
+        assert!(RecoveryPolicy::fast_test().max_retries >= 4);
+    }
+}

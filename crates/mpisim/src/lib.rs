@@ -53,6 +53,52 @@
 
 pub mod trace;
 
+#[cfg(feature = "ft")]
+pub mod fault {
+    //! Fault-injection hook for the transport (feature `ft`, default on).
+    //!
+    //! An injector installed via [`RunOptions::with_injector`]
+    //! (`crate::RunOptions`) is consulted on **every send** before the
+    //! message enters the destination queue. It may pass the message
+    //! through, silently drop it, delay it (the sender stalls before
+    //! enqueueing, modelling link latency), or mutate the payload in
+    //! place. Dropped sends consume no sequence number, so the
+    //! non-overtaking order of the messages that *are* delivered is
+    //! unchanged — a retransmission protocol layered on top (see
+    //! `pvr-faults`) observes exactly the semantics of a lossy link.
+
+    /// What the injector decided for one send.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendFate {
+        /// Deliver unchanged.
+        Deliver,
+        /// Discard silently; the receiver never sees it.
+        Drop,
+        /// Stall the sender this long, then deliver.
+        Delay(std::time::Duration),
+        /// The injector mutated the payload; deliver the mutated bytes.
+        Corrupt,
+    }
+
+    /// Decides the fate of each send. Implementations must be
+    /// deterministic functions of their own state and the arguments if
+    /// run-to-run reproducibility is wanted (the `pvr-faults` planner
+    /// keys decisions off a seed plus the message identity).
+    pub trait FaultInjector: Send + Sync {
+        /// `seq` is the per-(src, dst, tag) sequence number this send
+        /// *would* get if delivered. `data` may be mutated when the
+        /// returned fate is [`SendFate::Corrupt`].
+        fn on_send(
+            &self,
+            src: usize,
+            dst: usize,
+            tag: u32,
+            seq: u64,
+            data: &mut Vec<u8>,
+        ) -> SendFate;
+    }
+}
+
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::panic::resume_unwind;
@@ -82,9 +128,13 @@ enum Status {
     RecvFrom {
         src: usize,
         tag: u32,
+        /// Waiting with a deadline: the rank wakes by itself, so a
+        /// timed wait never contributes to a deadlock.
+        timed: bool,
     },
     RecvAny {
         tag: u32,
+        timed: bool,
     },
     /// Waiting at the barrier of generation `gen`.
     Barrier {
@@ -166,6 +216,9 @@ pub struct RunOptions {
     pub deadlock_detection: bool,
     pub timeout: Option<Duration>,
     pub trace: bool,
+    /// Fault injector consulted on every send (feature `ft`).
+    #[cfg(feature = "ft")]
+    pub injector: Option<Arc<dyn fault::FaultInjector>>,
 }
 
 impl Default for RunOptions {
@@ -175,6 +228,8 @@ impl Default for RunOptions {
             deadlock_detection: true,
             timeout: default_timeout(),
             trace: false,
+            #[cfg(feature = "ft")]
+            injector: None,
         }
     }
 }
@@ -182,6 +237,13 @@ impl Default for RunOptions {
 impl RunOptions {
     pub fn policy(mut self, p: MatchPolicy) -> Self {
         self.match_policy = p;
+        self
+    }
+
+    /// Install a fault injector (feature `ft`).
+    #[cfg(feature = "ft")]
+    pub fn with_injector(mut self, inj: Arc<dyn fault::FaultInjector>) -> Self {
+        self.injector = Some(inj);
         self
     }
 
@@ -290,6 +352,19 @@ enum Want {
     Any,
 }
 
+/// How long a receive may block.
+#[cfg_attr(not(feature = "ft"), allow(dead_code))]
+enum Until {
+    /// Forever: classic blocking receive, visible to the deadlock
+    /// detector.
+    Forever,
+    /// Until the deadline; the wait is invisible to the deadlock
+    /// detector (the rank wakes by itself).
+    At(Instant),
+    /// Non-blocking poll: take a pending match or return immediately.
+    Now,
+}
+
 /// The per-rank communicator handle.
 pub struct Comm {
     rank: usize,
@@ -319,6 +394,42 @@ impl Comm {
     /// unbounded).
     pub fn send(&self, to: usize, tag: u32, data: Vec<u8>) {
         assert!(to < self.size, "send to rank {to} of {}", self.size);
+        #[cfg(feature = "ft")]
+        let data = {
+            let mut data = data;
+            if let Some(inj) = &self.opts.injector {
+                // The would-be seq: read without consuming, so a dropped
+                // send leaves the delivered stream's numbering intact.
+                let would_be_seq = {
+                    let local = self.local.borrow();
+                    local.send_seq.get(&(to, tag)).copied().unwrap_or(0)
+                };
+                let fate = inj.on_send(self.rank, to, tag, would_be_seq, &mut data);
+                let kind = match fate {
+                    fault::SendFate::Deliver => None,
+                    fault::SendFate::Drop => Some(trace::FaultKind::Drop),
+                    fault::SendFate::Delay(_) => Some(trace::FaultKind::Delay),
+                    fault::SendFate::Corrupt => Some(trace::FaultKind::Corrupt),
+                };
+                if let Some(kind) = kind {
+                    if self.opts.trace {
+                        self.local.borrow_mut().trace.push(TraceEvent::Fault {
+                            from: self.rank,
+                            to,
+                            tag,
+                            seq: would_be_seq,
+                            kind,
+                        });
+                    }
+                }
+                match fate {
+                    fault::SendFate::Drop => return,
+                    fault::SendFate::Delay(d) => std::thread::sleep(d),
+                    fault::SendFate::Deliver | fault::SendFate::Corrupt => {}
+                }
+            }
+            data
+        };
         let (seq, clock) = {
             let mut local = self.local.borrow_mut();
             let me = self.rank;
@@ -395,10 +506,60 @@ impl Comm {
         (src, data)
     }
 
+    /// Receive with `tag` from any source, giving up after `timeout`.
+    /// Returns `None` on expiry. The wait is invisible to the deadlock
+    /// detector — the rank wakes itself — so a lost message becomes a
+    /// timeout at the caller instead of a detector report (feature
+    /// `ft`). The wildcard replay index only advances on success.
+    #[cfg(feature = "ft")]
+    pub fn recv_any_timeout(&mut self, tag: u32, timeout: Duration) -> Option<(usize, Vec<u8>)> {
+        let deadline = Instant::now() + timeout;
+        let env = self.wait_match_until(Want::Any, tag, Until::At(deadline))?;
+        let widx = self.local.borrow().wildcards;
+        self.local.borrow_mut().wildcards = widx + 1;
+        let src = env.src;
+        let data = self.deliver(env, Some(widx));
+        Some((src, data))
+    }
+
+    /// Receive with `tag` from `src`, giving up after `timeout` (see
+    /// [`Comm::recv_any_timeout`]; feature `ft`).
+    #[cfg(feature = "ft")]
+    pub fn recv_from_timeout(
+        &mut self,
+        src: usize,
+        tag: u32,
+        timeout: Duration,
+    ) -> Option<Vec<u8>> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let deadline = Instant::now() + timeout;
+        let env = self.wait_match_until(Want::From(src), tag, Until::At(deadline))?;
+        Some(self.deliver(env, None))
+    }
+
+    /// Non-blocking poll: take a pending message with `tag` from any
+    /// source, or return `None` immediately (feature `ft`).
+    #[cfg(feature = "ft")]
+    pub fn try_recv_any(&mut self, tag: u32) -> Option<(usize, Vec<u8>)> {
+        let env = self.wait_match_until(Want::Any, tag, Until::Now)?;
+        let widx = self.local.borrow().wildcards;
+        self.local.borrow_mut().wildcards = widx + 1;
+        let src = env.src;
+        let data = self.deliver(env, Some(widx));
+        Some((src, data))
+    }
+
     /// Block until a message matching `want`/`tag` is available, then
     /// take it. Registers the blocked status so the deadlock detector
     /// can see it, and re-checks poison on every wakeup.
     fn wait_match(&mut self, want: Want, tag: u32, _wildcard: Option<u64>) -> Envelope {
+        self.wait_match_until(want, tag, Until::Forever)
+            .expect("Until::Forever waits until a match")
+    }
+
+    /// The general wait: forever, until a deadline, or a one-shot poll.
+    /// Returns `None` only for the timed/poll variants.
+    fn wait_match_until(&mut self, want: Want, tag: u32, until: Until) -> Option<Envelope> {
         let me = self.rank;
         let shared = Arc::clone(&self.shared);
         let mut st = shared.lock_state();
@@ -414,22 +575,46 @@ impl Comm {
                     .push_back(env);
             }
             if let Some(env) = self.try_take(&want, tag) {
-                return env;
+                return Some(env);
             }
-            st.status[me] = match want {
-                Want::From(src) => Status::RecvFrom { src, tag },
-                Want::Any => Status::RecvAny { tag },
+            let wait_for = match until {
+                Until::Forever => None,
+                Until::Now => return None,
+                Until::At(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    Some(deadline - now)
+                }
             };
-            if self.opts.deadlock_detection {
+            let timed = wait_for.is_some();
+            st.status[me] = match want {
+                Want::From(src) => Status::RecvFrom { src, tag, timed },
+                Want::Any => Status::RecvAny { tag, timed },
+            };
+            // A timed wait wakes by itself, so it must neither trigger
+            // the detector here nor count as quiescent when another
+            // rank's check scans the status table (check_deadlock skips
+            // worlds with any timed waiter).
+            if !timed && self.opts.deadlock_detection {
                 if let Some(report) = check_deadlock(&st) {
                     poison_with(&shared, &mut st, RunError::Deadlock { report });
                     drop(st);
                     self.poison_unwind();
                 }
             }
-            st = shared.rank_cv[me]
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = match wait_for {
+                None => shared.rank_cv[me]
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner),
+                Some(d) => {
+                    shared.rank_cv[me]
+                        .wait_timeout(st, d)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+            };
             st.status[me] = Status::Running;
         }
     }
@@ -467,8 +652,13 @@ impl Comm {
                         );
                         candidates[(h % candidates.len() as u64) as usize]
                     }
-                    // Replay is resolved to Want::From before blocking.
-                    MatchPolicy::Replay(_) => unreachable!("replay resolves to a specific source"),
+                    // Blocking recv_any resolves Replay to Want::From
+                    // before waiting; the timed/poll receives do not
+                    // consult the replay log (a run under recovery makes
+                    // data-dependent receive counts, so a recorded order
+                    // cannot be replayed against them) and fall back to
+                    // the deterministic min-source choice.
+                    MatchPolicy::Replay(_) => candidates[0],
                 };
                 self.pending.get_mut(&(src, tag)).unwrap().pop_front()
             }
@@ -668,7 +858,10 @@ fn check_deadlock(st: &State) -> Option<String> {
     for r in 0..n {
         match st.status[r] {
             Status::Running => return None,
-            Status::RecvFrom { .. } | Status::RecvAny { .. } => {
+            Status::RecvFrom { timed, .. } | Status::RecvAny { timed, .. } => {
+                if timed {
+                    return None; // a timed wait wakes by itself
+                }
                 if !st.queues[r].is_empty() {
                     return None; // an undelivered message will wake r
                 }
@@ -702,8 +895,10 @@ fn check_deadlock(st: &State) -> Option<String> {
     };
     let describe = |r: usize| -> String {
         match st.status[r] {
-            Status::RecvFrom { src, tag } => format!("rank {r} (recv_from src={src} tag={tag})"),
-            Status::RecvAny { tag } => format!("rank {r} (recv_any tag={tag})"),
+            Status::RecvFrom { src, tag, .. } => {
+                format!("rank {r} (recv_from src={src} tag={tag})")
+            }
+            Status::RecvAny { tag, .. } => format!("rank {r} (recv_any tag={tag})"),
             Status::Barrier { .. } => format!("rank {r} (barrier)"),
             Status::Done => format!("rank {r} (done)"),
             Status::Running => format!("rank {r} (running)"),
@@ -1286,6 +1481,170 @@ mod tests {
         assert_ne!(reordered, base);
         assert_eq!(reordered[0], base[1]);
         assert_eq!(reordered[1], base[0]);
+    }
+
+    // ---- fault-tolerance surface (feature `ft`) ----
+
+    #[cfg(feature = "ft")]
+    mod ft_tests {
+        use super::*;
+        use fault::{FaultInjector, SendFate};
+
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Drops the first `k` sends on (src, dst, tag); corrupts when
+        /// `corrupt` is set instead of dropping.
+        struct DropFirst {
+            src: usize,
+            dst: usize,
+            tag: u32,
+            k: u64,
+            corrupt: bool,
+            hits: AtomicU64,
+        }
+
+        impl FaultInjector for DropFirst {
+            fn on_send(
+                &self,
+                src: usize,
+                dst: usize,
+                tag: u32,
+                _seq: u64,
+                data: &mut Vec<u8>,
+            ) -> SendFate {
+                if src == self.src && dst == self.dst && tag == self.tag {
+                    let hit = self.hits.fetch_add(1, Ordering::SeqCst);
+                    if hit < self.k {
+                        if self.corrupt {
+                            if let Some(b) = data.first_mut() {
+                                *b ^= 0xff;
+                            }
+                            return SendFate::Corrupt;
+                        }
+                        return SendFate::Drop;
+                    }
+                }
+                SendFate::Deliver
+            }
+        }
+
+        #[test]
+        fn recv_timeout_expires_on_silence() {
+            let results = World::run_opts(2, RunOptions::default(), |mut comm| {
+                if comm.rank() == 0 {
+                    // Never sends; rank 1's timed wait must expire on its
+                    // own without tripping the deadlock detector.
+                    comm.barrier();
+                    0
+                } else {
+                    let got = comm.recv_any_timeout(4, Duration::from_millis(50));
+                    comm.barrier();
+                    usize::from(got.is_some())
+                }
+            })
+            .unwrap();
+            assert_eq!(results.results[1], 0);
+        }
+
+        #[test]
+        fn timed_wait_is_not_a_deadlock() {
+            // Both ranks block simultaneously: rank 0 forever (on a
+            // message that arrives late), rank 1 timed. The timed wait
+            // must make the detector stand down rather than declare the
+            // world dead.
+            let out = World::run_opts(2, RunOptions::default(), |mut comm| {
+                if comm.rank() == 0 {
+                    let got = comm.recv_from(1, 7);
+                    got[0] as usize
+                } else {
+                    let _ = comm.recv_from_timeout(0, 9, Duration::from_millis(80));
+                    comm.send(0, 7, vec![42]);
+                    0
+                }
+            })
+            .unwrap();
+            assert_eq!(out.results[0], 42);
+        }
+
+        #[test]
+        fn dropped_send_leaves_fault_event_and_no_delivery() {
+            let inj = Arc::new(DropFirst {
+                src: 0,
+                dst: 1,
+                tag: 3,
+                k: 1,
+                corrupt: false,
+                hits: AtomicU64::new(0),
+            });
+            let out = World::run_opts(
+                2,
+                RunOptions::default().traced().with_injector(inj),
+                |mut comm| {
+                    if comm.rank() == 0 {
+                        comm.send(1, 3, vec![1]); // dropped
+                        comm.send(1, 3, vec![2]); // delivered, seq 0
+                        Vec::new()
+                    } else {
+                        vec![comm.recv_from_timeout(0, 3, Duration::from_millis(200))]
+                    }
+                },
+            )
+            .unwrap();
+            // The surviving send is delivered with an intact sequence
+            // stream (no gap from the dropped one).
+            assert_eq!(out.results[1][0].as_deref(), Some(&[2u8][..]));
+            let log = out.trace.unwrap();
+            assert_eq!(log.fault_count(), 1);
+            assert_eq!(log.faulted_links(), vec![(0, 1, 3)]);
+        }
+
+        #[test]
+        fn corrupted_send_delivers_mutated_bytes() {
+            let inj = Arc::new(DropFirst {
+                src: 0,
+                dst: 1,
+                tag: 6,
+                k: 1,
+                corrupt: true,
+                hits: AtomicU64::new(0),
+            });
+            let out = World::run_opts(2, RunOptions::default().with_injector(inj), |mut comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 6, vec![0x0f, 0x22]);
+                    Vec::new()
+                } else {
+                    comm.recv_from(0, 6)
+                }
+            })
+            .unwrap();
+            assert_eq!(out.results[1], vec![0xf0, 0x22]);
+        }
+
+        #[test]
+        fn try_recv_any_polls_without_blocking() {
+            let out = World::run_opts(2, RunOptions::default(), |mut comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 8, vec![5]);
+                    comm.barrier();
+                    0
+                } else {
+                    comm.barrier(); // message is in flight or queued now
+                    let mut got = None;
+                    for _ in 0..100 {
+                        got = comm.try_recv_any(8);
+                        if got.is_some() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let (src, data) = got.expect("queued message polled");
+                    assert_eq!(src, 0);
+                    data[0] as usize
+                }
+            })
+            .unwrap();
+            assert_eq!(out.results[1], 5);
+        }
     }
 
     mod properties {

@@ -29,6 +29,18 @@ pub fn clock_concurrent(a: &Clock, b: &Clock) -> bool {
     !clock_leq(a, b) && !clock_leq(b, a)
 }
 
+/// What a fault injector did to a send (see
+/// [`crate::fault::FaultInjector`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The message was silently discarded.
+    Drop,
+    /// Delivery was delayed (the sender stalled before enqueueing).
+    Delay,
+    /// The payload was mutated before delivery.
+    Corrupt,
+}
+
 /// One event in a rank's execution.
 #[derive(Debug, Clone)]
 pub enum TraceEvent {
@@ -59,6 +71,19 @@ pub enum TraceEvent {
         /// Barrier generation the rank crossed.
         generation: u64,
     },
+    /// An injected fault at a send (recorded by the sender). For a
+    /// dropped send no matching `Send`/`Recv` event exists; for delayed
+    /// or corrupted sends the `Send` event follows as usual. The race
+    /// detector uses these to classify wildcard races on faulted links
+    /// as injected rather than genuine.
+    Fault {
+        from: usize,
+        to: usize,
+        tag: u32,
+        /// The (would-be) per-(from, to, tag) sequence number.
+        seq: u64,
+        kind: FaultKind,
+    },
 }
 
 /// The merged event log of a finished world.
@@ -78,6 +103,29 @@ impl TraceLog {
         self.events
             .iter()
             .filter(move |e| matches!(e, TraceEvent::Recv { rank: r, .. } if *r == rank))
+    }
+
+    /// The distinct (from, to, tag) links that saw an injected fault.
+    pub fn faulted_links(&self) -> Vec<(usize, usize, u32)> {
+        let mut links: Vec<(usize, usize, u32)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Fault { from, to, tag, .. } => Some((*from, *to, *tag)),
+                _ => None,
+            })
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        links
+    }
+
+    /// Total number of injected-fault events in the log.
+    pub fn fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fault { .. }))
+            .count()
     }
 
     /// Total number of wildcard (`recv_any`) matches in the log.

@@ -25,15 +25,18 @@
 //! the desired data divided by the number of bytes actually read by the
 //! underlying I/O machinery.
 
+pub mod fault;
 pub mod iolog;
 pub mod model;
 pub mod server;
 pub mod sieve;
 pub mod twophase;
 
+pub use fault::{window_fault_audit, FaultyStoreReport, IoRecovery, ServerFaults, WindowAudit};
 pub use iolog::{AccessMap, IoStats};
 pub use model::StorageModel;
 pub use server::{StoreReport, StripedStore};
 pub use twophase::{
-    two_phase_execute, two_phase_plan, two_phase_write, CollectiveHints, IoPlan, RankRequest,
+    two_phase_execute, two_phase_execute_ft, two_phase_plan, two_phase_write, CollectiveHints,
+    FtExecResult, IoPlan, RankRequest,
 };

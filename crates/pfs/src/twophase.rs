@@ -304,6 +304,146 @@ pub fn two_phase_execute(
     })
 }
 
+/// Result of a fault-tolerant collective read (see
+/// [`two_phase_execute_ft`]).
+#[derive(Debug)]
+pub struct FtExecResult {
+    /// The plain execution result; bytes a down server could not serve
+    /// read as zero in `rank_bytes`.
+    pub exec: ExecResult,
+    /// Merged recovery accounting over all windows: retries, failovers,
+    /// failover bytes, unrecoverable ranges, virtual backoff delay.
+    pub audit: crate::fault::WindowAudit,
+    /// Per-rank bytes that stayed unrecoverable (overlap of the rank's
+    /// runs with the lost ranges).
+    pub rank_unrecovered: Vec<u64>,
+}
+
+impl FtExecResult {
+    /// Fraction of each rank's useful bytes that were actually served.
+    pub fn rank_quality(&self, requests: &[RankRequest]) -> Vec<f64> {
+        requests
+            .iter()
+            .zip(&self.rank_unrecovered)
+            .map(|(rq, &lost)| {
+                let useful = rq.useful_bytes();
+                if useful == 0 {
+                    1.0
+                } else {
+                    1.0 - lost as f64 / useful as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// [`two_phase_execute`] against a faulted [`StripedStore`]: every
+/// window is audited with [`crate::fault::window_fault_audit`]; pieces
+/// a down primary holds are retried, then read from the stripe replica
+/// (the replica holds the same bytes, so the data still comes from the
+/// local file — failover shows up in the *accounting*), and pieces with
+/// no live replica are zero-filled and reported per rank. The plain
+/// path is `two_phase_execute_ft` with healthy faults: same plan, same
+/// bytes, empty audit.
+pub fn two_phase_execute_ft(
+    file: &mut File,
+    requests: &[RankRequest],
+    num_aggregators: usize,
+    hints: &CollectiveHints,
+    store: &crate::server::StripedStore,
+    faults: &crate::fault::ServerFaults,
+    rec: &crate::fault::IoRecovery,
+) -> std::io::Result<FtExecResult> {
+    use crate::fault::{window_fault_audit, WindowAudit};
+
+    let nranks = requests.len();
+    let naggr = num_aggregators.clamp(1, nranks.max(1));
+
+    let mut aggregate: Vec<Extent> = requests
+        .iter()
+        .flat_map(|rq| {
+            rq.runs
+                .iter()
+                .map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
+        })
+        .collect();
+    coalesce(&mut aggregate);
+    let plan = two_phase_plan(&aggregate, naggr, hints);
+
+    let mut rank_bytes: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|rq| vec![0u8; rq.out_elems * ELEM_SIZE as usize])
+        .collect();
+    let mut sorted_runs: Vec<(u64, usize, usize, usize)> = Vec::new(); // (off, len_bytes, rank, out_byte)
+    for (rank, rq) in requests.iter().enumerate() {
+        for r in &rq.runs {
+            sorted_runs.push((
+                r.file_offset,
+                r.elems * ELEM_SIZE as usize,
+                rank,
+                r.out_start * ELEM_SIZE as usize,
+            ));
+        }
+    }
+    sorted_runs.sort_unstable_by_key(|t| t.0);
+
+    let aggr_rank = |j: usize| j * nranks / naggr;
+
+    let mut audit = WindowAudit::default();
+    let mut rank_unrecovered = vec![0u64; nranks];
+    let mut exchange_bytes = 0u64;
+    let mut buf: Vec<u8> = Vec::new();
+    for a in &plan.accesses {
+        let w = a.extent;
+        let wa = window_fault_audit(store, faults, rec, w);
+        buf.resize(w.len as usize, 0);
+        file.seek(SeekFrom::Start(w.offset))?;
+        file.read_exact(&mut buf)?;
+        // Bytes with no live replica never arrive: zero-fill them.
+        for lost in &wa.unrecoverable {
+            let lo = (lost.offset - w.offset) as usize;
+            let hi = lo + lost.len as usize;
+            buf[lo..hi].fill(0);
+        }
+        let start_idx = sorted_runs.partition_point(|t| t.0 + t.1 as u64 <= w.offset);
+        for t in &sorted_runs[start_idx..] {
+            let (off, len, rank, out_byte) = *t;
+            if off >= w.end() {
+                break;
+            }
+            let lo = off.max(w.offset);
+            let hi = (off + len as u64).min(w.end());
+            if lo >= hi {
+                continue;
+            }
+            let n = (hi - lo) as usize;
+            let src = (lo - w.offset) as usize;
+            let dst = out_byte + (lo - off) as usize;
+            rank_bytes[rank][dst..dst + n].copy_from_slice(&buf[src..src + n]);
+            if rank != aggr_rank(a.aggregator) {
+                exchange_bytes += n as u64;
+            }
+            let piece = Extent::new(lo, hi - lo);
+            for lost in &wa.unrecoverable {
+                if let Some(x) = lost.intersect(&piece) {
+                    rank_unrecovered[rank] += x.len;
+                }
+            }
+        }
+        audit.merge(&wa);
+    }
+
+    Ok(FtExecResult {
+        exec: ExecResult {
+            rank_bytes,
+            plan,
+            exchange_bytes,
+        },
+        audit,
+        rank_unrecovered,
+    })
+}
+
 /// Result of executing a collective write.
 #[derive(Debug)]
 pub struct WriteResult {
@@ -699,6 +839,102 @@ mod tests {
         let file = std::fs::read(&path).unwrap();
         assert!(file[..2048].iter().all(|&b| b == 7));
         assert!(file[2048..].iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn ft_execute_matches_plain_on_healthy_store_and_degrades_cleanly() {
+        use crate::fault::{IoRecovery, ServerFaults};
+        use crate::server::StripedStore;
+
+        let dir = std::env::temp_dir().join(format!("pvr-pfs-ft-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ft.bin");
+        let data: Vec<u8> = (0..65536u32).map(|i| (i % 251).max(1) as u8).collect();
+        std::fs::write(&path, &data).unwrap();
+
+        let mk = |off: u64, elems: usize, out: usize| PlacedRun {
+            file_offset: off,
+            elems,
+            out_start: out,
+        };
+        let requests = vec![
+            RankRequest {
+                runs: vec![mk(0, 1024, 0)],
+                out_elems: 1024,
+            },
+            RankRequest {
+                runs: vec![mk(8192, 1024, 0)],
+                out_elems: 1024,
+            },
+        ];
+        let hints = CollectiveHints {
+            cb_buffer_size: 4096,
+            cb_nodes: None,
+        };
+        let store = StripedStore {
+            servers: 4,
+            stripe_unit: 1024,
+            server_bw: 100e6,
+            request_overhead: 1e-3,
+        };
+
+        // Healthy: byte-for-byte the plain path, empty audit.
+        let mut f = File::open(&path).unwrap();
+        let plain = two_phase_execute(&mut f, &requests, 2, &hints).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let healthy = two_phase_execute_ft(
+            &mut f,
+            &requests,
+            2,
+            &hints,
+            &store,
+            &ServerFaults::none(4),
+            &IoRecovery::default(),
+        )
+        .unwrap();
+        assert_eq!(healthy.exec.rank_bytes, plain.rank_bytes);
+        assert_eq!(healthy.audit.retries, 0);
+        assert_eq!(healthy.rank_unrecovered, vec![0, 0]);
+
+        // Server 0 down, failover on: replica serves the same bytes.
+        let mut faults = ServerFaults::none(4);
+        faults.set_down(0);
+        let mut f = File::open(&path).unwrap();
+        let failed_over = two_phase_execute_ft(
+            &mut f,
+            &requests,
+            2,
+            &hints,
+            &store,
+            &faults,
+            &IoRecovery::default(),
+        )
+        .unwrap();
+        assert_eq!(failed_over.exec.rank_bytes, plain.rank_bytes);
+        assert!(failed_over.audit.failover_bytes > 0);
+        assert!(failed_over.audit.retries > 0);
+        assert_eq!(failed_over.rank_unrecovered, vec![0, 0]);
+
+        // Server 0 down, no recovery: its stripes read as zero and the
+        // loss is attributed to the requesting ranks.
+        let mut f = File::open(&path).unwrap();
+        let lost = two_phase_execute_ft(
+            &mut f,
+            &requests,
+            2,
+            &hints,
+            &store,
+            &faults,
+            &IoRecovery::none(),
+        )
+        .unwrap();
+        assert!(lost.audit.unrecovered_bytes() > 0);
+        let q = lost.rank_quality(&requests);
+        assert!(q.iter().any(|&x| x < 1.0));
+        // Rank 0's first stripe (offsets [0, 1024)) lives on server 0.
+        assert!(lost.exec.rank_bytes[0][..1024].iter().all(|&b| b == 0));
+        assert_eq!(lost.rank_unrecovered[0] % 1024, 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -33,9 +33,13 @@ pub mod race;
 pub mod replay;
 
 pub use lint::{
-    lint_direct_send, lint_radix_k, lint_tags, LintOptions, LintReport, Mutation, Rule, Violation,
+    lint_direct_send, lint_direct_send_with_faults, lint_radix_k, lint_tags, LintOptions,
+    LintReport, Mutation, Rule, Violation,
 };
-pub use race::{check_non_overtaking, swappable_wildcards, wildcard_races, RacePair};
+pub use race::{
+    check_non_overtaking, classify_races, swappable_wildcards, wildcard_races, ClassifiedRaces,
+    RacePair,
+};
 pub use replay::{probe_order_independence, OrderProbe, OrderReport};
 
 use pvr_render::image::PixelRect;
@@ -193,6 +197,43 @@ mod tests {
         }
     }
 
+    /// A hole the fault plan explains is excused (tallied in
+    /// `injected_missing`), while an unexplained hole still fires
+    /// `Rule::Missing`.
+    #[test]
+    fn fault_aware_lint_excuses_only_injected_holes() {
+        let n = 27;
+        let fps = synthetic_footprints(n, IMAGE.0, IMAGE.1);
+        let part = ImagePartition::new(IMAGE.0, IMAGE.1, 9);
+        let schedule = build_schedule(&fps, part);
+        let dropped = (
+            schedule.messages[5].renderer,
+            schedule.messages[5].compositor,
+        );
+        let bad = lint::mutate_schedule(&schedule, Mutation::Drop(5));
+
+        // Unexcused, the hole is a Missing violation.
+        let plain = lint_direct_send(&fps, &bad, &LintOptions::default());
+        assert!(plain.violations.iter().any(|v| v.rule == Rule::Missing));
+        assert_eq!(plain.injected_missing, 0);
+
+        // Excused by the fault plan, the report is clean and the hole
+        // is accounted as injected.
+        let excused = lint_direct_send_with_faults(&fps, &bad, &LintOptions::default(), &[dropped]);
+        assert!(excused.ok(), "{:?}", excused.violations);
+        assert_eq!(excused.injected_missing, 1);
+
+        // Excusing an *intact* link changes nothing: the message is
+        // present, so there is no hole to excuse.
+        let other = (
+            schedule.messages[6].renderer,
+            schedule.messages[6].compositor,
+        );
+        let wrong = lint_direct_send_with_faults(&fps, &bad, &LintOptions::default(), &[other]);
+        assert!(wrong.violations.iter().any(|v| v.rule == Rule::Missing));
+        assert_eq!(wrong.injected_missing, 0);
+    }
+
     #[test]
     fn radix_k_sweep_is_clean() {
         let pixels = IMAGE.0 * IMAGE.1;
@@ -313,6 +354,120 @@ mod tests {
                 "causally chained sends must not race: {races:?}"
             );
             assert!(check_non_overtaking(&log).is_empty());
+        }
+
+        /// One-shot injector: drops the first send on one (src, dst,
+        /// tag) link, delivers everything else. Implemented inline so
+        /// pvr-verify stays independent of pvr-faults (the verifier
+        /// must audit *any* injector, not just the planned one).
+        struct DropFirstOn {
+            src: usize,
+            dst: usize,
+            tag: u32,
+            hits: std::sync::atomic::AtomicU32,
+        }
+
+        impl pvr_mpisim::fault::FaultInjector for DropFirstOn {
+            fn on_send(
+                &self,
+                src: usize,
+                dst: usize,
+                tag: u32,
+                _seq: u64,
+                _data: &mut Vec<u8>,
+            ) -> pvr_mpisim::fault::SendFate {
+                use std::sync::atomic::Ordering;
+                if (src, dst, tag) == (self.src, self.dst, self.tag)
+                    && self.hits.fetch_add(1, Ordering::Relaxed) == 0
+                {
+                    pvr_mpisim::fault::SendFate::Drop
+                } else {
+                    pvr_mpisim::fault::SendFate::Deliver
+                }
+            }
+        }
+
+        /// Regression: wildcard races caused by an injected drop (the
+        /// "retransmission" racing the surrounding fan-in) must land in
+        /// `ClassifiedRaces::injected`, not be reported as genuine
+        /// protocol races.
+        #[test]
+        fn injected_drops_classify_as_injected_not_genuine() {
+            let inj = std::sync::Arc::new(DropFirstOn {
+                src: 1,
+                dst: 0,
+                tag: 7,
+                hits: std::sync::atomic::AtomicU32::new(0),
+            });
+            let out = World::run_opts(
+                5,
+                RunOptions::default().traced().with_injector(inj),
+                |mut comm| {
+                    if comm.rank() == 0 {
+                        // 4 senders x 2 sends, minus the one dropped.
+                        for _ in 0..7 {
+                            let _ = comm.recv_any(7);
+                        }
+                    } else {
+                        // Send twice so the faulted link still delivers
+                        // a message that races the healthy traffic.
+                        comm.send(0, 7, vec![comm.rank() as u8, 0]);
+                        comm.send(0, 7, vec![comm.rank() as u8, 1]);
+                    }
+                },
+            )
+            .unwrap();
+            let log = out.trace.unwrap();
+            assert_eq!(
+                log.faulted_links(),
+                vec![(1, 0, 7)],
+                "the drop must be recorded as a fault event on its link"
+            );
+            let classified = classify_races(&log);
+            assert!(
+                !classified.injected.is_empty(),
+                "sends on the dropped link race the fan-in and must be flagged injected"
+            );
+            assert!(
+                classified
+                    .injected
+                    .iter()
+                    .all(|r| r.first.0 == 1 || r.second.0 == 1),
+                "only races touching the faulted link may be excused: {:?}",
+                classified.injected
+            );
+            assert!(
+                !classified.genuine.is_empty(),
+                "healthy senders still race each other"
+            );
+            assert!(
+                classified
+                    .genuine
+                    .iter()
+                    .all(|r| r.first.0 != 1 && r.second.0 != 1),
+                "no race on the faulted link may be reported genuine: {:?}",
+                classified.genuine
+            );
+        }
+
+        /// With no injector, every race is genuine and none injected.
+        #[test]
+        fn clean_runs_classify_all_races_as_genuine() {
+            let out = World::run_opts(4, RunOptions::default().traced(), |mut comm| {
+                if comm.rank() == 0 {
+                    for _ in 0..3 {
+                        let _ = comm.recv_any(9);
+                    }
+                } else {
+                    comm.send(0, 9, vec![comm.rank() as u8]);
+                }
+            })
+            .unwrap();
+            let log = out.trace.unwrap();
+            assert!(log.faulted_links().is_empty());
+            let classified = classify_races(&log);
+            assert!(classified.injected.is_empty());
+            assert_eq!(classified.genuine.len(), wildcard_races(&log).len());
         }
 
         #[test]

@@ -77,6 +77,12 @@ pub struct LintReport {
     pub messages: usize,
     /// Maximum per-compositor fan-in observed (direct-send only).
     pub max_fanin: usize,
+    /// `Missing`-rule hits that were excused because the fault injector
+    /// dropped that link (see [`lint_direct_send_with_faults`]). These
+    /// are accounted separately instead of as violations: a planted
+    /// drop *should* leave a hole, and flagging it would make every
+    /// faulted run fail the lint spuriously.
+    pub injected_missing: usize,
 }
 
 impl LintReport {
@@ -137,6 +143,21 @@ pub fn lint_direct_send(
     footprints: &[PixelRect],
     schedule: &Schedule,
     opts: &LintOptions,
+) -> LintReport {
+    lint_direct_send_with_faults(footprints, schedule, opts, &[])
+}
+
+/// [`lint_direct_send`] for schedules executed under fault injection:
+/// `(renderer, compositor)` pairs in `injected` are links the fault
+/// plan dropped, so an absent message there is the *expected* outcome,
+/// not a schedule bug. Such holes are tallied in
+/// [`LintReport::injected_missing`] rather than pushed as
+/// [`Rule::Missing`] violations. Every other rule applies unchanged.
+pub fn lint_direct_send_with_faults(
+    footprints: &[PixelRect],
+    schedule: &Schedule,
+    opts: &LintOptions,
+    injected: &[(usize, usize)],
 ) -> LintReport {
     let mut report = LintReport {
         messages: schedule.messages.len(),
@@ -221,10 +242,14 @@ pub fn lint_direct_send(
         for (c, tile) in tiles.iter().enumerate() {
             let nonempty = fp.intersect(tile).is_some_and(|o| o.num_pixels() > 0);
             if nonempty && !seen.contains_key(&(r, c)) {
-                report.push(
-                    Rule::Missing,
-                    format!("renderer {r} overlaps compositor {c}'s tile but sends no message"),
-                );
+                if injected.contains(&(r, c)) {
+                    report.injected_missing += 1;
+                } else {
+                    report.push(
+                        Rule::Missing,
+                        format!("renderer {r} overlaps compositor {c}'s tile but sends no message"),
+                    );
+                }
             }
         }
     }

@@ -85,6 +85,46 @@ pub fn wildcard_races(log: &TraceLog) -> Vec<RacePair> {
     races
 }
 
+/// [`wildcard_races`] partitioned by provenance: races on links the
+/// fault injector touched versus races with no injected explanation.
+#[derive(Debug, Default)]
+pub struct ClassifiedRaces {
+    /// Races between sends on healthy links — scheduler accidents the
+    /// protocol must tolerate (the genuine findings).
+    pub genuine: Vec<RacePair>,
+    /// Races where at least one send crossed a link with injected
+    /// faults: the nondeterminism was *planted* by a `FaultPlan`
+    /// (retransmissions racing originals, delayed frames arriving out
+    /// of band), so it indicts the fault plan, not the protocol.
+    pub injected: Vec<RacePair>,
+}
+
+/// Partition the trace's wildcard races into genuine scheduler races
+/// and fault-injection artifacts.
+///
+/// A race is classified as injected when either of its sends traveled
+/// a `(source, receiver, tag)` link that recorded a
+/// [`TraceEvent::Fault`] — under a fault plan, a retransmitted or
+/// delayed message legitimately races the surrounding traffic, and
+/// flagging it as a protocol bug would make every faulted run fail the
+/// race audit spuriously.
+pub fn classify_races(log: &TraceLog) -> ClassifiedRaces {
+    let faulted = log.faulted_links();
+    let is_faulted =
+        |src: usize, dst: usize, tag: u32| faulted.binary_search(&(src, dst, tag)).is_ok();
+    let mut out = ClassifiedRaces::default();
+    for race in wildcard_races(log) {
+        if is_faulted(race.first.0, race.receiver, race.tag)
+            || is_faulted(race.second.0, race.receiver, race.tag)
+        {
+            out.injected.push(race);
+        } else {
+            out.genuine.push(race);
+        }
+    }
+    out
+}
+
 /// Adjacent wildcard matches that can be *feasibly* swapped in a
 /// replay: consecutive wildcard indices at one receiver, same tag,
 /// different sources, concurrent send clocks. Swapping a causally

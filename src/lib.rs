@@ -15,6 +15,7 @@
 //! * [`render`] — ray-casting volume renderer
 //! * [`compositing`] — direct-send / binary-swap / radix-k compositing
 //! * [`core`] — the end-to-end pipeline and performance models
+//! * [`faults`] — seeded fault plans, reliable-link layer, recovery policy
 //! * [`flow`] — parallel particle tracing (the paper's future work)
 //! * [`verify`] — schedule linter, message-race detector, replay checker
 //!
@@ -41,6 +42,7 @@
 pub use pvr_bgp as bgp;
 pub use pvr_compositing as compositing;
 pub use pvr_core as core;
+pub use pvr_faults as faults;
 pub use pvr_flow as flow;
 pub use pvr_formats as formats;
 pub use pvr_mpisim as mpisim;

@@ -1,0 +1,170 @@
+//! Recovery invariants for the fault-tolerant pipeline.
+//!
+//! The contract under test (see `DESIGN.md` §"Fault model & recovery"):
+//!
+//! * **Transient faults heal exactly**: any fault the recovery budget
+//!   covers (dropped attempts < retry limit, stragglers < stage
+//!   deadline, down servers with live replicas) yields a frame
+//!   bit-identical to the fault-free run, completeness exactly 1.0.
+//! * **Permanent faults degrade, never hang**: unrecoverable loss
+//!   terminates within its deadlines with completeness < 1.0, and
+//!   strict mode surfaces it as a typed [`FtError::Degraded`].
+//! * **No plan can hang the world**: random seeded `FaultPlan`s on
+//!   n ≤ 16 always complete or return a typed error — never a
+//!   deadlock report, never a watchdog stall (`FtError::Runtime`).
+
+use parallel_volume_rendering::core::pipeline::{run_frame_mpi, tags, write_dataset};
+use parallel_volume_rendering::core::{
+    run_frame_mpi_ft, run_frame_mpi_ft_strict, CompositorPolicy, FrameConfig, FtError,
+};
+use parallel_volume_rendering::faults::{
+    FaultPlan, LinkAction, LinkFault, Pat, RankAction, RankFault, RecoveryPolicy, ServerAction,
+    ServerFault, Stage,
+};
+use proptest::prelude::*;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("pvr-faultrec-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d.join(name)
+}
+
+fn test_cfg(nprocs: usize) -> FrameConfig {
+    let mut cfg = FrameConfig::small(16, 24, nprocs);
+    cfg.variable = 2;
+    cfg.policy = CompositorPolicy::Fixed(nprocs.div_ceil(2).min(4));
+    cfg
+}
+
+/// Transient drops + a straggler recover to the exact fault-free frame.
+#[test]
+fn transient_faults_heal_bit_identically() {
+    let cfg = test_cfg(8);
+    let p = tmp("transient.raw");
+    write_dataset(&p, &cfg).unwrap();
+    let plain = run_frame_mpi(&cfg, &p);
+    let plan = FaultPlan {
+        seed: 17,
+        links: vec![
+            LinkFault {
+                src: Pat::Is(1),
+                dst: Pat::Any,
+                tag: Some(tags::FRAGMENT),
+                action: LinkAction::DropFirst(2),
+            },
+            LinkFault {
+                src: Pat::Any,
+                dst: Pat::Is(2),
+                tag: Some(tags::TILE),
+                action: LinkAction::CorruptFirst(1),
+            },
+        ],
+        ranks: vec![RankFault {
+            rank: 4,
+            stage: Stage::Io,
+            action: RankAction::StraggleMs(25),
+        }],
+        ..FaultPlan::default()
+    };
+    let ft = run_frame_mpi_ft(&cfg, &p, &plan, &RecoveryPolicy::fast_test()).unwrap();
+    assert_eq!(plain.image.pixels(), ft.frame.image.pixels());
+    assert!(ft.completeness.fully_complete());
+    assert!(ft.frame.timing.recovery.retries > 0);
+    assert_eq!(ft.frame.timing.recovery.timeouts, 0);
+    std::fs::remove_file(&p).ok();
+}
+
+/// A permanently-down server without replica failover loses data:
+/// the run still terminates, reports completeness < 1.0, and strict
+/// mode converts it into a typed degraded-frame error.
+#[test]
+fn permanent_server_loss_degrades_and_is_typed() {
+    let cfg = test_cfg(8);
+    let p = tmp("permanent.raw");
+    write_dataset(&p, &cfg).unwrap();
+    let plan = FaultPlan {
+        seed: 23,
+        servers: vec![ServerFault {
+            server: 0,
+            action: ServerAction::Down,
+        }],
+        ..FaultPlan::default()
+    };
+    let mut policy = RecoveryPolicy::fast_test();
+    policy.io_failover = false;
+
+    let ft = run_frame_mpi_ft(&cfg, &p, &plan, &policy).unwrap();
+    assert!(!ft.completeness.fully_complete());
+    assert!(ft.completeness.frame_fraction() < 1.0);
+    assert!(ft.frame.io.unrecovered_bytes > 0);
+
+    match run_frame_mpi_ft_strict(&cfg, &p, &plan, &policy) {
+        Err(FtError::Degraded(d)) => {
+            assert!(d.completeness.frame_fraction() < 1.0);
+            assert_eq!(
+                d.completeness.frame_fraction(),
+                ft.completeness.frame_fraction(),
+                "degradation must replay exactly from (seed, plan)"
+            );
+        }
+        other => panic!("expected FtError::Degraded, got {other:?}"),
+    }
+    // With failover restored the same plan is fully recoverable.
+    let healed = run_frame_mpi_ft(&cfg, &p, &plan, &RecoveryPolicy::fast_test()).unwrap();
+    assert!(healed.completeness.fully_complete());
+    assert!(healed.frame.io.failover_bytes > 0);
+    std::fs::remove_file(&p).ok();
+}
+
+/// Fault plans survive their own JSON round trip, so a sweep written
+/// to disk replays the exact same faults.
+#[test]
+fn fault_plans_round_trip_through_json() {
+    for seed in [0u64, 7, 99, 12345] {
+        let plan = FaultPlan::sample(seed, 12, 8);
+        let json = plan.to_json();
+        assert_eq!(FaultPlan::from_json(&json).as_ref(), Ok(&plan), "{json}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// No random seeded plan may hang the world: every run returns a
+    /// frame (possibly degraded) or a typed error — never a deadlock
+    /// report or watchdog stall, and completeness is always a valid
+    /// fraction consistent with whether ranks crashed.
+    #[test]
+    fn random_plans_never_deadlock(seed in 0u64..1_000_000, nprocs in 2usize..=16) {
+        let cfg = test_cfg(nprocs);
+        let p = tmp(&format!("prop-{seed}-{nprocs}.raw"));
+        write_dataset(&p, &cfg).unwrap();
+        let plan = FaultPlan::sample(seed, nprocs, 8);
+        let res = run_frame_mpi_ft(&cfg, &p, &plan, &RecoveryPolicy::fast_test());
+        std::fs::remove_file(&p).ok();
+        match res {
+            Ok(ft) => {
+                let f = ft.completeness.frame_fraction();
+                prop_assert!((0.0..=1.0).contains(&f), "completeness {f} out of range");
+                let permanent_link_loss = plan
+                    .links
+                    .iter()
+                    .any(|l| matches!(l.action, LinkAction::DropAll));
+                if ft.frame.timing.recovery.crashed_ranks == 0
+                    && !permanent_link_loss
+                    && plan.server_faults(8).down.iter().all(|d| !d)
+                {
+                    prop_assert!(
+                        ft.completeness.fully_complete(),
+                        "no crash and no down server, yet completeness {f} (plan {})",
+                        plan.to_json()
+                    );
+                }
+            }
+            Err(FtError::Degraded(_)) => {} // typed degradation is a valid outcome
+            Err(FtError::Runtime(e)) => {
+                prop_assert!(false, "plan {} deadlocked/stalled: {e}", plan.to_json());
+            }
+        }
+    }
+}
