@@ -128,14 +128,36 @@ fn check(name: &str, ok: bool, detail: String) -> bool {
     ok
 }
 
+/// Record one scenario's recovery outcome into the CI metrics registry.
+fn record(reg: &pvr_obs::Registry, case: &str, ft: &FtFrameResult) {
+    let label = format!("case={case}");
+    let rec = ft.frame.timing.recovery;
+    reg.gauge_set(
+        "completeness_milli",
+        &label,
+        (ft.completeness.frame_fraction() * 1000.0).round() as i64,
+    );
+    reg.gauge_set("retries", &label, (rec.retries + rec.io_retries) as i64);
+    reg.gauge_set("timeouts", &label, rec.timeouts as i64);
+    reg.gauge_set("crashed_ranks", &label, rec.crashed_ranks as i64);
+    reg.gauge_set("failover_bytes", &label, ft.frame.io.failover_bytes as i64);
+    reg.gauge_set(
+        "unrecovered_bytes",
+        &label,
+        ft.frame.io.unrecovered_bytes as i64,
+    );
+}
+
 fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
     let mut all = true;
+    let reg = pvr_obs::Registry::new();
     let baseline = run_frame_mpi(cfg, path);
 
     // 1. Transient faults: bit-identical frame, exact completeness 1.0.
     let plan = transient_plan(5, 2, 1);
     match run(cfg, path, &plan, policy) {
         Ok(ft) => {
+            record(&reg, "transient", &ft);
             let rec = ft.frame.timing.recovery;
             all &= check(
                 "transient-bit-identical",
@@ -165,6 +187,7 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
     };
     match run(cfg, path, &plan, policy) {
         Ok(ft) => {
+            record(&reg, "failover", &ft);
             all &= check(
                 "failover-hides-down-server",
                 baseline.image.pixels() == ft.frame.image.pixels()
@@ -189,6 +212,7 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
     let second = run(cfg, path, &plan, &no_failover);
     match (first, second) {
         (Ok(a), Ok(b)) => {
+            record(&reg, "permanent", &a);
             let fa = a.completeness.frame_fraction();
             all &= check(
                 "permanent-loss-degrades",
@@ -230,6 +254,7 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
     };
     match run(cfg, path, &plan, policy) {
         Ok(ft) => {
+            record(&reg, "crash", &ft);
             let f = ft.completeness.frame_fraction();
             all &= check(
                 "crash-degrades-not-hangs",
@@ -251,6 +276,13 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
         round.as_ref() == Ok(&plan),
         format!("{} bytes of JSON", plan.to_json().len()),
     );
+
+    // Metrics snapshot of every scenario, teed to results/ for the CI
+    // artifact upload.
+    let snap = reg.snapshot();
+    println!("# metrics snapshot");
+    print!("{}", snap.to_text());
+    pvr_bench::emit_csv("fault_sweep_metrics", &snap.to_csv());
 
     all
 }

@@ -11,21 +11,28 @@
 //! compositing is flat to ~1K cores and blows up beyond; the improved
 //! policy removes the blow-up. The best total frame time lands at 16K
 //! cores, as in the paper (5.9 s there).
+//!
+//! Series are recorded into a `pvr_obs::Registry` as milliseconds and
+//! pivoted into the CSV table by the shared exporter; the checks read
+//! the same snapshot the table is rendered from.
 
-use pvr_bench::{check, CsvOut, CORE_SWEEP};
+use pvr_bench::{check, emit_csv, CORE_SWEEP};
 use pvr_core::{CompositorPolicy, FrameConfig, PerfModel};
+use pvr_obs::csvout::pivot_csv;
+use pvr_obs::{Registry, Snapshot};
+
+fn ms(seconds: f64) -> i64 {
+    (seconds * 1000.0).round() as i64
+}
+
+fn col(snap: &Snapshot, name: &str, n: usize) -> f64 {
+    snap.get(name, &format!("cores={n}")).unwrap() as f64 / 1000.0
+}
 
 fn main() {
     let model = PerfModel::default();
-    let mut csv = CsvOut::create(
-        "fig3_scaling",
-        "cores,total_s,raw_io_s,render_s,composite_original_s,composite_improved_s",
-    );
+    let reg = Registry::new();
 
-    let mut totals = Vec::new();
-    let mut orig = Vec::new();
-    let mut impr = Vec::new();
-    let mut renders = Vec::new();
     for &n in &CORE_SWEEP {
         let mut cfg = FrameConfig::paper_1120(n);
         cfg.policy = CompositorPolicy::Improved;
@@ -36,24 +43,34 @@ fn main() {
         let sched_o = model.schedule_for(&cfg_o);
         let comp_o = model.simulate_composite(&cfg_o, &sched_o);
 
-        csv.row(&format!(
-            "{n},{:.3},{:.3},{:.3},{:.3},{:.3}",
-            r.timing.total(),
-            r.timing.io,
-            r.timing.render,
-            comp_o.seconds,
-            r.timing.composite,
-        ));
-        totals.push((n, r.timing.total()));
-        orig.push((n, comp_o.seconds));
-        impr.push((n, r.timing.composite));
-        renders.push((n, r.timing.render));
+        let label = format!("cores={n}");
+        reg.gauge_set("total_s", &label, ms(r.timing.total()));
+        reg.gauge_set("raw_io_s", &label, ms(r.timing.io));
+        reg.gauge_set("render_s", &label, ms(r.timing.render));
+        reg.gauge_set("composite_original_s", &label, ms(comp_o.seconds));
+        reg.gauge_set("composite_improved_s", &label, ms(r.timing.composite));
     }
 
-    // --- Qualitative checks against the paper. ---
-    let best = totals
+    let snap = reg.snapshot();
+    emit_csv(
+        "fig3_scaling",
+        &pivot_csv(
+            &snap,
+            "cores",
+            &[
+                ("total_s", 3),
+                ("raw_io_s", 3),
+                ("render_s", 3),
+                ("composite_original_s", 3),
+                ("composite_improved_s", 3),
+            ],
+        ),
+    );
+
+    // --- Qualitative checks against the paper, read off the snapshot. ---
+    let best = CORE_SWEEP
         .iter()
-        .cloned()
+        .map(|&n| (n, col(&snap, "total_s", n)))
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap();
     check(
@@ -61,18 +78,18 @@ fn main() {
         best.0 >= 8192 && best.1 > 3.0 && best.1 < 10.0,
         &format!("best {:.2} s at {} cores", best.1, best.0),
     );
-    let r64 = renders[0].1;
-    let r32k = renders.last().unwrap().1;
+    let r64 = col(&snap, "render_s", 64);
+    let r32k = col(&snap, "render_s", 32768);
     let slope = (r64 / r32k).log2() / ((32768f64 / 64.0).log2());
     check(
         "rendering is embarrassingly parallel (log-log slope ~ -1)",
         (slope - 1.0).abs() < 0.05,
         &format!("slope {slope:.3}"),
     );
-    let o1k = orig.iter().find(|(n, _)| *n == 1024).unwrap().1;
-    let o256 = orig.iter().find(|(n, _)| *n == 256).unwrap().1;
-    let o32k = orig.last().unwrap().1;
-    let i32k = impr.last().unwrap().1;
+    let o1k = col(&snap, "composite_original_s", 1024);
+    let o256 = col(&snap, "composite_original_s", 256);
+    let o32k = col(&snap, "composite_original_s", 32768);
+    let i32k = col(&snap, "composite_improved_s", 32768);
     check(
         "original compositing flat through 1K cores",
         o1k < 3.0 * o256,
@@ -86,14 +103,12 @@ fn main() {
             o32k / i32k
         ),
     );
-    let io32k = totals.last().unwrap();
     check(
         "compositing exceeds rendering beyond 8K cores with m = n",
-        orig.iter().filter(|(n, _)| *n > 8192).all(|(n, t)| {
-            let render = renders.iter().find(|(rn, _)| rn == n).unwrap().1;
-            *t > render
-        }),
+        CORE_SWEEP
+            .iter()
+            .filter(|&&n| n > 8192)
+            .all(|&n| col(&snap, "composite_original_s", n) > col(&snap, "render_s", n)),
         &format!("at 32K: composite {o32k:.2} s vs render {r32k:.3} s"),
     );
-    let _ = io32k;
 }

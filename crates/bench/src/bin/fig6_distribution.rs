@@ -3,40 +3,67 @@
 //! "Percentage of time spent in I/O, rendering, and compositing. I/O
 //! dominates the overall algorithm's performance." (1120³, 1600², raw
 //! mode, improved compositing — the stacked-bar chart of the paper.)
+//!
+//! Series are recorded into a `pvr_obs::Registry` as tenths of a
+//! percent and pivoted into the CSV table by the shared exporter, so
+//! the emitted bytes are a deterministic function of the snapshot.
 
-use pvr_bench::{check, CsvOut, CORE_SWEEP};
+use pvr_bench::{check, emit_csv, CORE_SWEEP};
 use pvr_core::{simulate_frame, FrameConfig};
+use pvr_obs::csvout::pivot_csv;
+use pvr_obs::Registry;
 
 fn main() {
-    let mut csv = CsvOut::create("fig6_distribution", "cores,io_pct,render_pct,composite_pct");
-
-    let mut io_pct = Vec::new();
+    let reg = Registry::new();
     for &n in &CORE_SWEEP {
         let r = simulate_frame(&FrameConfig::paper_1120(n));
-        csv.row(&format!(
-            "{n},{:.1},{:.1},{:.1}",
-            r.timing.io_percent(),
-            r.timing.render_percent(),
-            r.timing.composite_percent()
-        ));
-        io_pct.push((n, r.timing.io_percent()));
+        let label = format!("cores={n}");
+        // Tenths of a percent: the decimal point is placed at render
+        // time by the scale-1 column spec.
+        reg.gauge_set(
+            "io_pct",
+            &label,
+            (r.timing.io_percent() * 10.0).round() as i64,
+        );
+        reg.gauge_set(
+            "render_pct",
+            &label,
+            (r.timing.render_percent() * 10.0).round() as i64,
+        );
+        reg.gauge_set(
+            "composite_pct",
+            &label,
+            (r.timing.composite_percent() * 10.0).round() as i64,
+        );
     }
 
+    let snap = reg.snapshot();
+    emit_csv(
+        "fig6_distribution",
+        &pivot_csv(
+            &snap,
+            "cores",
+            &[("io_pct", 1), ("render_pct", 1), ("composite_pct", 1)],
+        ),
+    );
+
+    let io_first = snap.get("io_pct", "cores=64").unwrap();
+    let io_last = snap.get("io_pct", "cores=32768").unwrap();
     check(
         "I/O share grows with core count (render shrinks 1/n, I/O saturates)",
-        io_pct.last().unwrap().1 > io_pct.first().unwrap().1,
+        io_last > io_first,
         &format!(
             "I/O {:.0}% at 64 cores -> {:.0}% at 32K",
-            io_pct.first().unwrap().1,
-            io_pct.last().unwrap().1
+            io_first as f64 / 10.0,
+            io_last as f64 / 10.0
         ),
     );
     check(
         "I/O dominates at scale (>= 70% beyond 4K cores)",
-        io_pct
+        CORE_SWEEP
             .iter()
-            .filter(|(n, _)| *n >= 4096)
-            .all(|(_, p)| *p >= 70.0),
+            .filter(|&&n| n >= 4096)
+            .all(|n| snap.get("io_pct", &format!("cores={n}")).unwrap() >= 700),
         "rendering is not the bottleneck at scale",
     );
 }

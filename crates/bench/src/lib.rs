@@ -47,6 +47,15 @@ impl CsvOut {
     }
 }
 
+/// Tee a complete, pre-rendered CSV table (e.g. from
+/// `pvr_obs::csvout::pivot_csv`) to stdout and `results/<name>.csv`.
+pub fn emit_csv(name: &str, table: &str) -> PathBuf {
+    let path = out_dir().join(format!("{name}.csv"));
+    print!("{table}");
+    std::fs::write(&path, table).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
 /// Emit a qualitative check line (the regenerators' self-validation).
 pub fn check(name: &str, ok: bool, detail: &str) {
     println!(

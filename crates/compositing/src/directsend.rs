@@ -36,6 +36,19 @@ pub fn composite_direct_send(
     subs: &[SubImage],
     partition: ImagePartition,
 ) -> (Image, DirectSendStats) {
+    composite_direct_send_traced(subs, partition, &pvr_obs::Tracer::disabled())
+}
+
+/// [`composite_direct_send`] with span tracing: each compositor's blend
+/// becomes a `composite.tile` span on its own track (args: messages
+/// blended and wire bytes), making per-compositor load imbalance
+/// visible on the timeline. A disabled tracer makes this identical to
+/// the plain call.
+pub fn composite_direct_send_traced(
+    subs: &[SubImage],
+    partition: ImagePartition,
+    tracer: &pvr_obs::Tracer,
+) -> (Image, DirectSendStats) {
     let order = visibility_order(subs);
     let width = partition.width;
     let height = partition.height;
@@ -45,6 +58,8 @@ pub fn composite_direct_send(
     let results: Vec<(SubImage, usize, u64)> = (0..partition.m())
         .into_par_iter()
         .map(|c| {
+            let track = c as pvr_obs::span::TrackId;
+            tracer.begin(track, "composite.tile");
             let tile = partition.tile(c);
             let mut buf = SubImage::transparent(tile, 0.0);
             let mut messages = 0usize;
@@ -63,6 +78,11 @@ pub fn composite_direct_send(
                 messages += 1;
                 bytes += ov.num_pixels() as u64 * WIRE_BYTES_PER_PIXEL;
             }
+            tracer.end_args(
+                track,
+                "composite.tile",
+                pvr_obs::Args::two("messages", messages as u64, "bytes", bytes),
+            );
             (buf, messages, bytes)
         })
         .collect();

@@ -35,7 +35,9 @@ pub mod schedule;
 pub mod serial;
 
 pub use completeness::{CompletenessMap, TileCompleteness};
-pub use directsend::{composite_direct_send, composite_direct_send_degraded};
+pub use directsend::{
+    composite_direct_send, composite_direct_send_degraded, composite_direct_send_traced,
+};
 pub use radixk::{composite_radix_k, composite_radix_k_degraded};
 pub use region::ImagePartition;
 pub use schedule::{build_schedule, CompositeMessage, Schedule};

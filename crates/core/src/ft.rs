@@ -357,9 +357,14 @@ fn rank_frame(
     let mut counters = RecoveryCounters::default();
     let mut sw = Stopwatch::start();
     let mut timing = FrameTiming::default();
+    comm.span_begin("frame");
 
     // --- Stage 1: I/O (deadline-bounded scatter over framed links) ---
+    comm.span_begin("io");
     if apply_straggle(plan.rank_fault(rank, Stage::Io)) {
+        comm.mark_instant("rank.crash", 0);
+        comm.span_end("io");
+        comm.span_end("frame");
         timing.io = sw.lap();
         return RankOut::crashed(timing);
     }
@@ -398,9 +403,14 @@ fn rank_frame(
         pvr_volume::Volume::from_data(sub.shape, data)
     };
     timing.io = sw.lap();
+    comm.span_end("io");
 
     // --- Stage 2: render ---
+    comm.span_begin("render");
     if apply_straggle(plan.rank_fault(rank, Stage::Render)) {
+        comm.mark_instant("rank.crash", 1);
+        comm.span_end("render");
+        comm.span_end("frame");
         let mut out = RankOut::crashed(timing);
         out.counters.merge(&counters);
         out.io_failover_bytes = io.failover_bytes;
@@ -413,10 +423,16 @@ fn rank_frame(
         stored: stored[rank],
     };
     let (sub, rstats) = render_block(&volume, &dom, &camera, &tf, &ropts);
+    comm.mark_instant("render.samples", rstats.samples);
     timing.render = sw.lap();
+    comm.span_end("render");
 
     // --- Stage 3: compositing (deadline mode) ---
+    comm.span_begin("composite");
     if apply_straggle(plan.rank_fault(rank, Stage::Composite)) {
+        comm.mark_instant("rank.crash", 2);
+        comm.span_end("composite");
+        comm.span_end("frame");
         let mut out = RankOut::crashed(timing);
         out.counters.merge(&counters);
         out.io_failover_bytes = io.failover_bytes;
@@ -559,6 +575,9 @@ fn rank_frame(
             })
             .collect();
         counters.merge(&tile_in.counters);
+        if counters.degraded_tiles > 0 {
+            comm.mark_instant("composite.degraded_tiles", counters.degraded_tiles);
+        }
         image = Some(img);
         completeness = Some(CompletenessMap { tiles });
     }
@@ -572,6 +591,8 @@ fn rank_frame(
     counters.merge(&frag_in.counters);
     counters.merge(&tile_out.counters);
     timing.composite = sw.lap();
+    comm.span_end("composite");
+    comm.span_end("frame");
 
     RankOut {
         image,

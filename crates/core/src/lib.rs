@@ -30,5 +30,8 @@ pub use ft::{
     FtError, FtFrameResult,
 };
 pub use perfmodel::{simulate_frame, PerfModel, Placement, SimFrameResult};
-pub use pipeline::{run_frame, write_dataset, FrameResult};
+pub use pipeline::{
+    run_frame, run_frame_mpi, run_frame_mpi_opts, run_frame_mpi_profiled, run_frame_traced,
+    write_dataset, FrameResult, ProfiledFrame,
+};
 pub use timing::FrameTiming;

@@ -16,15 +16,16 @@ use std::path::Path;
 
 use rayon::prelude::*;
 
-use pvr_compositing::{composite_direct_send, directsend::DirectSendStats, ImagePartition};
+use pvr_compositing::{composite_direct_send_traced, directsend::DirectSendStats, ImagePartition};
 use pvr_formats::layout::FileLayout;
 use pvr_formats::rw::write_file;
 use pvr_formats::{Subvolume, ELEM_SIZE};
+use pvr_obs::{Args, Tracer};
 use pvr_pfs::sieve::per_extent_plan;
-use pvr_pfs::twophase::{two_phase_execute, RankRequest};
+use pvr_pfs::twophase::{two_phase_execute_traced, RankRequest};
 use pvr_render::image::{over, Image, SubImage};
 use pvr_render::math::Vec3;
-use pvr_render::raycast::{render_block, BlockDomain, RenderOpts, Shading};
+use pvr_render::raycast::{render_block, render_block_traced, BlockDomain, RenderOpts, Shading};
 use pvr_render::{Camera, TransferFunction};
 use pvr_volume::{BlockDecomposition, SupernovaField, Volume};
 
@@ -162,20 +163,41 @@ pub fn laptop_aggregators(nranks: usize) -> usize {
 /// file (useful for render/composite-only experiments; I/O stats are
 /// then zero).
 pub fn run_frame(cfg: &FrameConfig, path: Option<&Path>) -> FrameResult {
+    run_frame_traced(cfg, path, &Tracer::disabled())
+}
+
+/// [`run_frame`] with wall-clock span tracing. Track `r` is logical
+/// rank `r`; the driver's stage structure (`frame` > `io` / `render` /
+/// `composite`) lands on track 0, per-window `io.window` spans on the
+/// aggregator tracks, per-block `render.block` spans on each renderer's
+/// track, and per-tile `composite.tile` spans on each compositor's
+/// track. Collect the result with [`Tracer::finish`] and export with
+/// [`pvr_obs::perfetto::to_json`]. A disabled tracer makes this
+/// identical to [`run_frame`].
+pub fn run_frame_traced(cfg: &FrameConfig, path: Option<&Path>, tracer: &Tracer) -> FrameResult {
     let geo = geometry(cfg);
     let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
     let tf = transfer_for(cfg);
     let opts = render_opts(cfg);
+    if tracer.enabled() {
+        for r in 0..cfg.nprocs {
+            tracer.name_track(r as u32, &format!("rank {r}"));
+        }
+    }
+    tracer.begin_args(0, "frame", Args::one("ranks", cfg.nprocs as u64));
 
     // --- Stage 1: I/O ---
     let mut sw = Stopwatch::start();
+    tracer.begin(0, "io");
     let (volumes, io) = match path {
-        Some(p) => read_stage(cfg, &geo, p),
+        Some(p) => read_stage(cfg, &geo, p, tracer),
         None => (synthesize_stage(cfg, &geo), IoRunStats::default()),
     };
+    tracer.end_args(0, "io", Args::one("useful_bytes", io.useful_bytes));
     let t_io = sw.lap();
 
     // --- Stage 2: rendering (embarrassingly parallel) ---
+    tracer.begin(0, "render");
     let rendered: Vec<(SubImage, u64)> = volumes
         .par_iter()
         .enumerate()
@@ -185,19 +207,28 @@ pub fn run_frame(cfg: &FrameConfig, path: Option<&Path>) -> FrameResult {
                 owned: geo.owned[rank],
                 stored: geo.stored[rank],
             };
-            let (sub, stats) = render_block(vol, &dom, &camera, &tf, &opts);
+            let (sub, stats) =
+                render_block_traced(vol, &dom, &camera, &tf, &opts, tracer, rank as u32);
             (sub, stats.samples)
         })
         .collect();
+    tracer.end(0, "render");
     let t_render = sw.lap();
     let render_samples: u64 = rendered.iter().map(|(_, s)| *s).sum();
     let subs: Vec<SubImage> = rendered.into_iter().map(|(s, _)| s).collect();
 
     // --- Stage 3: compositing ---
+    tracer.begin(0, "composite");
     let m = cfg.policy.compositors(cfg.nprocs);
     let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
-    let (image, composite) = composite_direct_send(&subs, partition);
+    let (image, composite) = composite_direct_send_traced(&subs, partition, tracer);
+    tracer.end_args(
+        0,
+        "composite",
+        Args::one("messages", composite.messages as u64),
+    );
     let t_composite = sw.lap();
+    tracer.end(0, "frame");
 
     FrameResult {
         image,
@@ -238,7 +269,12 @@ fn synthesize_stage(cfg: &FrameConfig, geo: &RankGeometry) -> Vec<Volume> {
         .collect()
 }
 
-fn read_stage(cfg: &FrameConfig, geo: &RankGeometry, path: &Path) -> (Vec<Volume>, IoRunStats) {
+fn read_stage(
+    cfg: &FrameConfig,
+    geo: &RankGeometry,
+    path: &Path,
+    tracer: &Tracer,
+) -> (Vec<Volume>, IoRunStats) {
     let layout = cfg.io.layout(cfg.grid);
     let var = cfg.file_variable();
     let requests = rank_requests(layout.as_ref(), var, &geo.stored);
@@ -247,7 +283,8 @@ fn read_stage(cfg: &FrameConfig, geo: &RankGeometry, path: &Path) -> (Vec<Volume
         let hints = cfg.io.hints(cfg.grid);
         let naggr = laptop_aggregators(cfg.nprocs);
         let mut f = File::open(path).expect("dataset file");
-        let res = two_phase_execute(&mut f, &requests, naggr, &hints).expect("collective read");
+        let res = two_phase_execute_traced(&mut f, &requests, naggr, &hints, tracer)
+            .expect("collective read");
         let stats = IoRunStats {
             useful_bytes: res.plan.useful_bytes,
             physical_bytes: res.plan.physical_bytes,
@@ -403,27 +440,37 @@ pub fn run_frame_mpi_opts(
         let layout = cfg.io.layout(cfg.grid);
         let var = cfg.file_variable();
         let mut sw = Stopwatch::start();
+        comm.span_begin("frame");
 
         // --- Stage 1: I/O. Aggregators read, scatter to owners. ---
+        comm.span_begin("io");
         let requests = rank_requests(layout.as_ref(), var, &geo.stored);
         let naggr = laptop_aggregators(n);
         let my_bytes =
             mpi_collective_read(&mut comm, &cfg, layout.as_ref(), &requests, naggr, &path);
         let volume = decode_volume(&my_bytes, &geo.stored[rank], layout.endian());
+        // Close the stage before the barrier: the span then measures
+        // this rank's own progress, so the cross-rank imbalance factor
+        // is visible; barrier wait time accrues to the parent span.
+        comm.span_end("io");
         comm.barrier();
         let t_io = sw.lap();
 
         // --- Stage 2: render. ---
+        comm.span_begin("render");
         let dom = BlockDomain {
             grid: cfg.grid,
             owned: geo.owned[rank],
             stored: geo.stored[rank],
         };
         let (sub, rstats) = render_block(&volume, &dom, &camera, &tf, &opts);
+        comm.mark_instant("render.samples", rstats.samples);
+        comm.span_end("render");
         comm.barrier();
         let t_render = sw.lap();
 
         // --- Stage 3: direct-send compositing over messages. ---
+        comm.span_begin("composite");
         let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
         // Everyone derives the same schedule from the same footprints.
         let footprints: Vec<pvr_render::image::PixelRect> = (0..n)
@@ -495,7 +542,9 @@ pub fn run_frame_mpi_opts(
         } else {
             None
         };
+        comm.span_end("composite");
         comm.barrier();
+        comm.span_end("frame");
         let t_composite = sw.lap();
 
         (
@@ -531,6 +580,46 @@ pub fn run_frame_mpi_opts(
         },
         trace,
     ))
+}
+
+/// One fully profiled message-passing frame: the rendered frame, the
+/// message trace it ran under, and the span/metric profile derived from
+/// that trace.
+pub struct ProfiledFrame {
+    pub frame: FrameResult,
+    pub trace: pvr_mpisim::trace::TraceLog,
+    pub profile: pvr_obs::Profile,
+}
+
+/// Run one traced frame twice: pass 1 records the actual wildcard match
+/// order, pass 2 replays its canonicalized form. The second trace is
+/// therefore a deterministic function of the configuration alone —
+/// thread scheduling perturbs pass 1 but the canonical replay log maps
+/// every schedule in the same equivalence class to one representative,
+/// so exporters downstream are byte-for-byte reproducible.
+pub fn run_frame_mpi_profiled(
+    cfg: &FrameConfig,
+    path: &Path,
+) -> Result<ProfiledFrame, pvr_mpisim::RunError> {
+    use std::sync::Arc;
+    let (_, t1) = run_frame_mpi_opts(cfg, path, pvr_mpisim::RunOptions::default().traced())?;
+    let replay = Arc::new(pvr_mpisim::trace::ReplayLog::canonical(
+        &t1.expect("traced run yields a trace"),
+    ));
+    let (frame, trace) = run_frame_mpi_opts(
+        cfg,
+        path,
+        pvr_mpisim::RunOptions::default()
+            .traced()
+            .policy(pvr_mpisim::MatchPolicy::Replay(replay)),
+    )?;
+    let trace = trace.expect("traced run yields a trace");
+    let profile = pvr_obs::profile_from_trace(&trace);
+    Ok(ProfiledFrame {
+        frame,
+        trace,
+        profile,
+    })
 }
 
 /// A two-phase collective read over real messages: aggregators read
@@ -600,6 +689,7 @@ fn mpi_collective_read(
             .iter()
             .filter(|a| aggr_rank(a.aggregator) == rank)
         {
+            comm.span_begin_v("io.window", a.extent.len);
             buf.resize(a.extent.len as usize, 0);
             file.seek(SeekFrom::Start(a.extent.offset)).unwrap();
             file.read_exact(&mut buf).unwrap();
@@ -623,6 +713,7 @@ fn mpi_collective_read(
                 msg.extend(&buf[(lo - a.extent.offset) as usize..(hi - a.extent.offset) as usize]);
                 comm.send(r, tags::IO_SCATTER, msg);
             }
+            comm.span_end("io.window");
         }
 
         // Receive my pieces.

@@ -115,11 +115,15 @@ mod tests {
 
     #[test]
     fn stopwatch_measures_time() {
+        // Only monotonicity properties: a lap covering a 10 ms sleep is
+        // at least that long, and every lap is non-negative. (Comparing
+        // two laps against each other is scheduler-dependent and was a
+        // source of flakes on loaded machines.)
         let mut sw = Stopwatch::start();
         std::thread::sleep(std::time::Duration::from_millis(10));
         let t = sw.lap();
         assert!(t >= 0.009, "lap {t}");
         let t2 = sw.lap();
-        assert!(t2 < t);
+        assert!(t2 >= 0.0, "lap {t2}");
     }
 }

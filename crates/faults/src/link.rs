@@ -180,6 +180,7 @@ impl OutBox {
             }
             if self.outstanding[i].attempt >= self.policy.max_retries {
                 self.counters.timeouts += 1;
+                comm.mark_instant("link.timeout", self.outstanding[i].msg_id);
                 self.outstanding.swap_remove(i);
                 continue;
             }
@@ -188,6 +189,7 @@ impl OutBox {
             p.wait = Duration::from_secs_f64(p.wait.as_secs_f64() * self.policy.backoff.max(1.0));
             p.next_retry = now + p.wait;
             self.counters.retries += 1;
+            comm.mark_instant("link.retransmit", p.msg_id);
             comm.send(
                 p.to,
                 p.tag,
@@ -210,6 +212,9 @@ impl OutBox {
             let now = Instant::now();
             if now >= deadline {
                 self.counters.timeouts += self.outstanding.len() as u64;
+                for p in &self.outstanding {
+                    comm.mark_instant("link.timeout", p.msg_id);
+                }
                 self.outstanding.clear();
                 return;
             }
@@ -255,6 +260,7 @@ impl InBox {
     ) -> Option<Vec<u8>> {
         let Some((kind, msg_id, attempt, body)) = decode_frame(frame) else {
             self.counters.corrupt_dropped += 1;
+            comm.mark_instant("link.corrupt", src as u64);
             return None;
         };
         if kind != KIND_DATA {

@@ -105,7 +105,7 @@ use std::panic::resume_unwind;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use trace::{Clock, ReplayLog, TraceEvent, TraceLog};
+use trace::{Clock, MarkKind, ReplayLog, TraceEvent, TraceLog};
 
 /// A tagged message envelope.
 #[derive(Debug)]
@@ -444,6 +444,7 @@ impl Comm {
                     to,
                     tag,
                     seq,
+                    bytes: data.len() as u64,
                     clock: clock.clone(),
                 });
             }
@@ -689,6 +690,7 @@ impl Comm {
                 src: env.src,
                 tag: env.tag,
                 seq: env.seq,
+                bytes: env.data.len() as u64,
                 wildcard,
                 send_clock: env.clock,
                 recv_clock,
@@ -803,6 +805,61 @@ impl Comm {
             let b = self.bcast(0, Vec::new(), tag + 1);
             f64::from_le_bytes(b.try_into().expect("8-byte f64"))
         }
+    }
+
+    // ---- span marks (observability) ----
+    //
+    // The layers above annotate the trace with what the communication
+    // was *for*: pipeline stages, per-access I/O windows, compositing
+    // rounds, link-layer retransmits. Marks only exist in traced runs;
+    // with tracing off every method below returns immediately without
+    // touching the heap, so instrumented code costs nothing in
+    // production runs (asserted by `pvr-obs`' no-op tests).
+
+    /// Record a span mark. Bumps the rank's clock component so the mark
+    /// gets a unique, strictly increasing logical timestamp.
+    fn mark(&self, label: &'static str, kind: MarkKind, value: u64) {
+        if !self.opts.trace {
+            return;
+        }
+        let me = self.rank;
+        let mut local = self.local.borrow_mut();
+        local.clock[me] += 1;
+        let clock = local.clock.clone();
+        local.trace.push(TraceEvent::Mark {
+            rank: me,
+            label,
+            kind,
+            value,
+            clock,
+        });
+    }
+
+    /// Open a span named `label` on this rank's timeline (traced runs
+    /// only; free otherwise).
+    pub fn span_begin(&self, label: &'static str) {
+        self.mark(label, MarkKind::Begin, 0);
+    }
+
+    /// Open a span carrying an attribute value (bytes, block id, …).
+    pub fn span_begin_v(&self, label: &'static str, value: u64) {
+        self.mark(label, MarkKind::Begin, value);
+    }
+
+    /// Close the innermost open span named `label`.
+    pub fn span_end(&self, label: &'static str) {
+        self.mark(label, MarkKind::End, 0);
+    }
+
+    /// Record a zero-duration marker (fault, retransmit, recovery
+    /// step).
+    pub fn mark_instant(&self, label: &'static str, value: u64) {
+        self.mark(label, MarkKind::Instant, value);
+    }
+
+    /// Whether this world is recording a trace (spans included).
+    pub fn tracing(&self) -> bool {
+        self.opts.trace
     }
 }
 
@@ -1104,7 +1161,7 @@ impl World {
         if let Some(err) = st.poison.take() {
             return Err(err);
         }
-        let trace = st.trace_sink.take().map(|events| TraceLog { n, events });
+        let trace = st.trace_sink.take().map(|events| TraceLog::new(n, events));
         Ok(RunOutput {
             results: results
                 .into_iter()

@@ -1,0 +1,137 @@
+//! Plain-text per-rank Gantt chart for terminals.
+//!
+//! One row per track; top-level spans are drawn as labelled bars on a
+//! shared time axis, instants as `!` marks. Nested spans are collapsed
+//! into their top-level parent (the terminal has one line per rank),
+//! which matches how the paper's per-stage figures flatten the frame.
+
+use crate::span::{EventKind, Profile};
+
+/// Render `profile` as an ASCII Gantt chart `width` columns wide
+/// (excluding the row labels). Spans get a one-letter glyph derived
+/// from their name, with a legend underneath.
+pub fn render(profile: &Profile, width: usize) -> String {
+    let width = width.max(10);
+    let end = profile.end_ts().max(1);
+    let col = |ts: u64| ((ts as u128 * (width as u128 - 1)) / end as u128) as usize;
+
+    // Stable glyph assignment in order of first appearance.
+    let mut legend: Vec<&'static str> = Vec::new();
+    for e in &profile.events {
+        if e.kind == EventKind::Begin && !legend.contains(&e.name) {
+            legend.push(e.name);
+        }
+    }
+    let glyph = |name: &str| -> char {
+        match legend.iter().position(|n| *n == name) {
+            Some(i) => (b'a' + (i % 26) as u8) as char,
+            None => '?',
+        }
+    };
+
+    let label_w = profile
+        .tracks
+        .iter()
+        .map(|(_, n)| n.len())
+        .max()
+        .unwrap_or(0)
+        .max(5);
+
+    let mut out = String::new();
+    for &(track, _) in &profile.tracks {
+        let mut row = vec![' '; width];
+        let mut depth = 0usize;
+        let mut open = 0u64;
+        let mut open_name = "";
+        let mut instants: Vec<usize> = Vec::new();
+        for e in profile.events_for(track) {
+            match e.kind {
+                EventKind::Begin => {
+                    if depth == 0 {
+                        open = e.ts;
+                        open_name = e.name;
+                    }
+                    depth += 1;
+                }
+                EventKind::End => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        let (a, b) = (col(open), col(e.ts));
+                        let g = glyph(open_name);
+                        for cell in row.iter_mut().take(b.max(a + 1)).skip(a) {
+                            *cell = g;
+                        }
+                    }
+                }
+                EventKind::Instant => instants.push(col(e.ts)),
+            }
+        }
+        for c in instants {
+            row[c.min(width - 1)] = '!';
+        }
+        let name = profile.track_name(track);
+        out.push_str(&format!(
+            "{name:>label_w$} |{}|\n",
+            row.into_iter().collect::<String>()
+        ));
+    }
+    out.push_str(&format!(
+        "{:>label_w$} 0{:>pad$}\n",
+        "ts",
+        end,
+        pad = width.saturating_sub(1)
+    ));
+    if !legend.is_empty() {
+        let items: Vec<String> = legend.iter().map(|n| format!("{}={n}", glyph(n))).collect();
+        out.push_str(&format!(
+            "{:>label_w$} {}  !=instant\n",
+            "key",
+            items.join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Args, Profile, SpanEvent};
+
+    fn ev(track: u32, name: &'static str, kind: EventKind, ts: u64) -> SpanEvent {
+        SpanEvent {
+            track,
+            name,
+            kind,
+            ts,
+            args: Args::none(),
+        }
+    }
+
+    #[test]
+    fn renders_bars_and_instants() {
+        let p = Profile::from_parts(
+            vec![(0, "rank 0".into()), (1, "rank 1".into())],
+            vec![
+                ev(0, "io", EventKind::Begin, 0),
+                ev(0, "io", EventKind::End, 50),
+                ev(0, "render", EventKind::Begin, 50),
+                ev(0, "render", EventKind::End, 100),
+                ev(1, "fault", EventKind::Instant, 25),
+            ],
+        );
+        let g = render(&p, 40);
+        assert!(g.contains("rank 0"));
+        assert!(g.contains('a')); // io bar
+        assert!(g.contains('b')); // render bar
+        assert!(g.contains('!')); // instant
+        assert!(g.contains("a=io"));
+        assert!(g.contains("b=render"));
+    }
+
+    #[test]
+    fn empty_profile_renders_axis_only() {
+        let p = Profile::default();
+        let g = render(&p, 20);
+        assert!(g.contains("ts"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms with deterministic snapshot ordering.
+//!
+//! Metrics are keyed by `(name, label)` where both are plain strings —
+//! `label` typically encodes the rank or link (`"rank=3"`,
+//! `"link=0->5"`); the empty label is the unlabelled series. Snapshots
+//! iterate in `BTreeMap` order, so two runs that record the same values
+//! serialize identically — that is what lets CI golden-test them.
+//!
+//! Everything is `u64`/`i64` integer arithmetic: no floats are stored,
+//! so snapshots are bit-stable across platforms. Derived ratios are
+//! computed (and rounded) only at presentation time.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Key of one series: metric name plus an optional label.
+pub type Key = (String, String);
+
+/// A fixed-bucket histogram: counts of samples `< bound` per bound,
+/// plus an overflow bucket, a total count, and a sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Ascending upper bounds (exclusive) of the buckets.
+    pub bounds: Vec<u64>,
+    /// `counts[i]` = samples with `bounds[i-1] <= x < bounds[i]`;
+    /// `counts[bounds.len()]` is the overflow bucket.
+    pub counts: Vec<u64>,
+    pub total: u64,
+    pub sum: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b <= value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Mean sample value, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.total).unwrap_or(0)
+    }
+}
+
+/// Powers-of-two bucket bounds from `lo` to `hi` inclusive — the
+/// conventional shape for message/access size distributions.
+pub fn pow2_bounds(lo: u64, hi: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut b = lo.max(1);
+    while b <= hi {
+        out.push(b);
+        b = b.saturating_mul(2);
+        if b == out[out.len() - 1] {
+            break;
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(Histogram),
+}
+
+/// One entry of a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    pub name: String,
+    pub label: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Counter value, gauge value (as i64 cast), or histogram total.
+    pub value: i64,
+    /// Histogram sum (0 for scalars).
+    pub sum: u64,
+    /// Histogram `bound:count` cells, ascending; empty for scalars.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A deterministic, ordered snapshot of a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub rows: Vec<MetricRow>,
+}
+
+impl Snapshot {
+    /// Render as CSV (`name,label,kind,value,sum,buckets`), one row per
+    /// series, ordered — the format `fault_sweep --ci` and the golden
+    /// tests consume.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,label,kind,value,sum,buckets\n");
+        for r in &self.rows {
+            let buckets = r
+                .buckets
+                .iter()
+                .map(|(b, c)| format!("{b}:{c}"))
+                .collect::<Vec<_>>()
+                .join(";");
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.name, r.label, r.kind, r.value, r.sum, buckets
+            ));
+        }
+        out
+    }
+
+    /// Render as aligned plain text for terminals.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len() + r.label.len() + 2)
+            .max()
+            .unwrap_or(0);
+        for r in &self.rows {
+            let series = if r.label.is_empty() {
+                r.name.clone()
+            } else {
+                format!("{}{{{}}}", r.name, r.label)
+            };
+            match r.kind {
+                "histogram" => {
+                    out.push_str(&format!(
+                        "{series:<width$}  n={} sum={} mean={}\n",
+                        r.value,
+                        r.sum,
+                        if r.value > 0 {
+                            r.sum / r.value as u64
+                        } else {
+                            0
+                        }
+                    ));
+                }
+                _ => out.push_str(&format!("{series:<width$}  {}\n", r.value)),
+            }
+        }
+        out
+    }
+
+    /// Look up a scalar row's value by `(name, label)`.
+    pub fn get(&self, name: &str, label: &str) -> Option<i64> {
+        self.rows
+            .iter()
+            .find(|r| r.name == name && r.label == label)
+            .map(|r| r.value)
+    }
+}
+
+/// The registry. Interior-mutable and `Sync`: one registry can be
+/// shared by reference across rayon workers or rank threads.
+#[derive(Debug, Default)]
+pub struct Registry {
+    series: Mutex<BTreeMap<Key, Value>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<Key, Value>) -> R) -> R {
+        let mut map = self
+            .series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut map)
+    }
+
+    /// Add `delta` to the counter `(name, label)` (created at 0).
+    pub fn counter_add(&self, name: &str, label: &str, delta: u64) {
+        self.with(|m| {
+            let e = m
+                .entry((name.to_string(), label.to_string()))
+                .or_insert(Value::Counter(0));
+            match e {
+                Value::Counter(c) => *c += delta,
+                _ => panic!("metric {name}{{{label}}} is not a counter"),
+            }
+        });
+    }
+
+    /// Set the gauge `(name, label)`.
+    pub fn gauge_set(&self, name: &str, label: &str, value: i64) {
+        self.with(|m| {
+            let e = m
+                .entry((name.to_string(), label.to_string()))
+                .or_insert(Value::Gauge(0));
+            match e {
+                Value::Gauge(g) => *g = value,
+                _ => panic!("metric {name}{{{label}}} is not a gauge"),
+            }
+        });
+    }
+
+    /// Record `value` into the histogram `(name, label)`; the histogram
+    /// is created with `bounds` on first use (later calls keep the
+    /// original bounds).
+    pub fn histogram_observe(&self, name: &str, label: &str, bounds: &[u64], value: u64) {
+        self.with(|m| {
+            let e = m
+                .entry((name.to_string(), label.to_string()))
+                .or_insert_with(|| Value::Histogram(Histogram::new(bounds)));
+            match e {
+                Value::Histogram(h) => h.observe(value),
+                _ => panic!("metric {name}{{{label}}} is not a histogram"),
+            }
+        });
+    }
+
+    /// Current value of a counter (None if absent or not a counter).
+    pub fn counter_value(&self, name: &str, label: &str) -> Option<u64> {
+        self.with(|m| match m.get(&(name.to_string(), label.to_string())) {
+            Some(Value::Counter(c)) => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// A deterministic snapshot: rows in `(name, label)` order.
+    pub fn snapshot(&self) -> Snapshot {
+        self.with(|m| {
+            let rows = m
+                .iter()
+                .map(|((name, label), v)| match v {
+                    Value::Counter(c) => MetricRow {
+                        name: name.clone(),
+                        label: label.clone(),
+                        kind: "counter",
+                        value: *c as i64,
+                        sum: 0,
+                        buckets: Vec::new(),
+                    },
+                    Value::Gauge(g) => MetricRow {
+                        name: name.clone(),
+                        label: label.clone(),
+                        kind: "gauge",
+                        value: *g,
+                        sum: 0,
+                        buckets: Vec::new(),
+                    },
+                    Value::Histogram(h) => MetricRow {
+                        name: name.clone(),
+                        label: label.clone(),
+                        kind: "histogram",
+                        value: h.total as i64,
+                        sum: h.sum,
+                        buckets: h
+                            .bounds
+                            .iter()
+                            .copied()
+                            .chain(std::iter::once(u64::MAX))
+                            .zip(h.counts.iter().copied())
+                            .collect(),
+                    },
+                })
+                .collect();
+            Snapshot { rows }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        r.counter_add("msgs", "rank=1", 2);
+        r.counter_add("msgs", "rank=1", 3);
+        r.gauge_set("depth", "", -4);
+        assert_eq!(r.counter_value("msgs", "rank=1"), Some(5));
+        let s = r.snapshot();
+        assert_eq!(s.get("msgs", "rank=1"), Some(5));
+        assert_eq!(s.get("depth", ""), Some(-4));
+        assert_eq!(s.get("absent", ""), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let r = Registry::new();
+        let bounds = [4, 16, 64];
+        for v in [1, 3, 4, 20, 100] {
+            r.histogram_observe("sizes", "", &bounds, v);
+        }
+        let s = r.snapshot();
+        let row = &s.rows[0];
+        assert_eq!(row.kind, "histogram");
+        assert_eq!(row.value, 5);
+        assert_eq!(row.sum, 128);
+        // buckets: <4 → 2, <16 → 1, <64 → 1, overflow → 1
+        let counts: Vec<u64> = row.buckets.iter().map(|(_, c)| *c).collect();
+        assert_eq!(counts, vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let a = Registry::new();
+        a.counter_add("b", "", 1);
+        a.counter_add("a", "x", 1);
+        a.counter_add("a", "", 1);
+        let b = Registry::new();
+        b.counter_add("a", "", 1);
+        b.counter_add("b", "", 1);
+        b.counter_add("a", "x", 1);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot().to_csv(), b.snapshot().to_csv());
+        let keys: Vec<(String, String)> = a
+            .snapshot()
+            .rows
+            .iter()
+            .map(|r| (r.name.clone(), r.label.clone()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a".into(), "".into()),
+                ("a".into(), "x".into()),
+                ("b".into(), "".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn pow2_bounds_span_range() {
+        assert_eq!(pow2_bounds(1, 16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(pow2_bounds(8, 64), vec![8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let r = Registry::new();
+        r.counter_add("retx", "link=0->1", 7);
+        let csv = r.snapshot().to_csv();
+        assert!(csv.starts_with("name,label,kind,value,sum,buckets\n"));
+        assert!(csv.contains("retx,link=0->1,counter,7,0,\n"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! Emits the [JSON Array Format] Perfetto's legacy importer accepts:
+//! a `traceEvents` array of `B`/`E` duration events, `i` instant
+//! events, and `M` metadata events naming one thread lane per track
+//! (rank). Open the file directly in <https://ui.perfetto.dev>.
+//!
+//! The serializer is hand-rolled (the workspace builds offline with no
+//! serde) and fully deterministic: events are emitted in `Profile`
+//! order, args in their fixed declaration order, all values are
+//! integers, and no floats or hash maps are involved — so one profile
+//! always yields one byte sequence, which the golden-file tests rely
+//! on.
+//!
+//! [`validate`] is the matching structural checker used by CI's
+//! `profile-smoke` job: it re-parses the exported string with a tiny
+//! scanner and verifies the schema (required keys per phase type) and
+//! that B/E events are well-nested per track.
+
+use crate::span::{EventKind, Profile, TrackId};
+
+/// Process id used for all tracks (single simulated job).
+const PID: u32 = 1;
+
+fn push_args(out: &mut String, args: &crate::span::Args) {
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    for (k, v) in args.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+    out.push('}');
+}
+
+/// Serialize a profile to `trace_event` JSON. Timestamps are emitted
+/// as-is in the `ts` field (Perfetto interprets them as microseconds).
+pub fn to_json(profile: &Profile) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+        out.push('\n');
+    };
+    for (tid, name) in &profile.tracks {
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+    for e in &profile.events {
+        let mut s = match e.kind {
+            EventKind::Begin => format!(
+                "{{\"ph\":\"B\",\"pid\":{PID},\"tid\":{},\"ts\":{},\"name\":\"{}\"",
+                e.track, e.ts, e.name
+            ),
+            EventKind::End => format!(
+                "{{\"ph\":\"E\",\"pid\":{PID},\"tid\":{},\"ts\":{},\"name\":\"{}\"",
+                e.track, e.ts, e.name
+            ),
+            EventKind::Instant => format!(
+                "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":{},\"ts\":{},\"s\":\"t\",\"name\":\"{}\"",
+                e.track, e.ts, e.name
+            ),
+        };
+        push_args(&mut s, &e.args);
+        s.push('}');
+        emit(s, &mut first);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// A structural defect [`validate`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One parsed event (the fields the validator cares about).
+#[derive(Debug, Clone)]
+struct RawEvent {
+    ph: char,
+    tid: TrackId,
+    ts: Option<u64>,
+    name: String,
+}
+
+/// Extract the string value of `"key":"..."` from one event object.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')? + start;
+    Some(obj[start..end].to_string())
+}
+
+/// Extract the integer value of `"key":123` from one event object.
+fn int_field(obj: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let digits: String = obj[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    if digits.is_empty() {
+        None
+    } else {
+        digits.parse().ok()
+    }
+}
+
+fn parse_events(json: &str) -> Result<Vec<RawEvent>, SchemaError> {
+    let body_start = json
+        .find("\"traceEvents\":[")
+        .ok_or_else(|| SchemaError("missing traceEvents array".into()))?
+        + "\"traceEvents\":[".len();
+    let body_end = json
+        .rfind(']')
+        .ok_or_else(|| SchemaError("unterminated traceEvents array".into()))?;
+    let body = &json[body_start..body_end];
+    let mut events = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| SchemaError("unbalanced braces".into()))?;
+                if depth == 0 {
+                    let obj = &body[obj_start.unwrap()..=i];
+                    let ph = str_field(obj, "ph")
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| SchemaError(format!("event without ph: {obj}")))?;
+                    let tid = int_field(obj, "tid")
+                        .ok_or_else(|| SchemaError(format!("event without tid: {obj}")))?
+                        as TrackId;
+                    let name = str_field(obj, "name")
+                        .ok_or_else(|| SchemaError(format!("event without name: {obj}")))?;
+                    events.push(RawEvent {
+                        ph,
+                        tid,
+                        ts: int_field(obj, "ts"),
+                        name,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(SchemaError("unbalanced braces".into()));
+    }
+    Ok(events)
+}
+
+/// Schema-validate an exported trace: every event has the keys its
+/// phase requires, timestamps per track are non-decreasing, and B/E
+/// events are well-nested per track (every E closes the innermost open
+/// B with the same name; nothing stays open). Returns the number of
+/// events on success.
+pub fn validate(json: &str) -> Result<usize, SchemaError> {
+    let events = parse_events(json)?;
+    let mut stacks: std::collections::BTreeMap<TrackId, Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<TrackId, u64> = Default::default();
+    for e in &events {
+        match e.ph {
+            'M' => continue,
+            'B' | 'E' | 'i' => {
+                let ts =
+                    e.ts.ok_or_else(|| SchemaError(format!("{} event without ts", e.ph)))?;
+                let last = last_ts.entry(e.tid).or_insert(0);
+                if ts < *last {
+                    return Err(SchemaError(format!(
+                        "track {}: ts went backwards ({} after {})",
+                        e.tid, ts, last
+                    )));
+                }
+                *last = ts;
+                match e.ph {
+                    'B' => stacks.entry(e.tid).or_default().push(e.name.clone()),
+                    'E' => {
+                        let stack = stacks.entry(e.tid).or_default();
+                        match stack.pop() {
+                            Some(open) if open == e.name => {}
+                            Some(open) => {
+                                return Err(SchemaError(format!(
+                                    "track {}: E \"{}\" closes open span \"{}\"",
+                                    e.tid, e.name, open
+                                )))
+                            }
+                            None => {
+                                return Err(SchemaError(format!(
+                                    "track {}: E \"{}\" with no open span",
+                                    e.tid, e.name
+                                )))
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            other => return Err(SchemaError(format!("unknown phase type {other:?}"))),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(SchemaError(format!(
+                "track {tid}: span \"{open}\" never closed"
+            )));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Args, SpanEvent};
+
+    fn ev(track: TrackId, name: &'static str, kind: EventKind, ts: u64) -> SpanEvent {
+        SpanEvent {
+            track,
+            name,
+            kind,
+            ts,
+            args: Args::none(),
+        }
+    }
+
+    #[test]
+    fn export_and_validate_round_trip() {
+        let p = Profile::from_parts(
+            vec![(0, "rank 0".into()), (1, "rank 1".into())],
+            vec![
+                ev(0, "frame", EventKind::Begin, 0),
+                ev(0, "io", EventKind::Begin, 1),
+                ev(1, "frame", EventKind::Begin, 0),
+                ev(0, "io", EventKind::End, 5),
+                ev(1, "fault", EventKind::Instant, 3),
+                ev(0, "frame", EventKind::End, 9),
+                ev(1, "frame", EventKind::End, 9),
+            ],
+        );
+        let json = to_json(&p);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        // 2 metadata + 7 span events
+        assert_eq!(validate(&json).unwrap(), 9);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let p = Profile::from_parts(
+            vec![(0, "r".into())],
+            vec![
+                ev(0, "a", EventKind::Begin, 0),
+                ev(0, "a", EventKind::End, 2),
+            ],
+        );
+        assert_eq!(to_json(&p), to_json(&p.clone()));
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced() {
+        let p = Profile::from_parts(vec![(0, "r".into())], vec![ev(0, "a", EventKind::Begin, 0)]);
+        assert!(validate(&to_json(&p)).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_mismatched_close() {
+        let p = Profile::from_parts(
+            vec![(0, "r".into())],
+            vec![
+                ev(0, "a", EventKind::Begin, 0),
+                ev(0, "b", EventKind::End, 1),
+            ],
+        );
+        let err = validate(&to_json(&p)).unwrap_err();
+        assert!(err.0.contains("closes open span"));
+    }
+
+    #[test]
+    fn args_are_serialized_in_order() {
+        let p = Profile::from_parts(
+            vec![(0, "r".into())],
+            vec![SpanEvent {
+                track: 0,
+                name: "x",
+                kind: EventKind::Instant,
+                ts: 4,
+                args: Args::two("bytes", 128, "tag", 2),
+            }],
+        );
+        let json = to_json(&p);
+        assert!(json.contains("\"args\":{\"bytes\":128,\"tag\":2}"));
+        validate(&json).unwrap();
+    }
+}

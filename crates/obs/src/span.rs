@@ -1,0 +1,486 @@
+//! The span tracer: cheap begin/end spans on per-rank tracks.
+//!
+//! A [`Tracer`] is a cloneable handle that is either **disabled** (the
+//! default; every call returns immediately without touching the heap —
+//! asserted by the allocation-counting test in `tests/noop_alloc.rs`)
+//! or **enabled**, in which case events are appended to a shared
+//! buffer and drained into a [`Profile`] with [`Tracer::finish`].
+//!
+//! Two time bases exist:
+//!
+//! * [`Tracer::wall`] — timestamps are microseconds since the tracer
+//!   was created (the real pipeline: rayon executor, link layer, I/O).
+//! * [`Tracer::manual`] — the caller supplies timestamps via the
+//!   `*_at` methods (simulated time from `bgp::flowsim`, logical time
+//!   from `mpisim` traces). Wall-clock convenience methods panic on a
+//!   manual tracer so a mixed-clock profile cannot be built by
+//!   accident.
+//!
+//! Event names and argument keys are `&'static str` and arguments are
+//! a fixed-size array, so recording a span costs one `Vec` push and no
+//! further allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Track identifier: by convention the rank (or node) the event
+/// happened on. One Perfetto thread lane per track.
+pub type TrackId = u32;
+
+/// What kind of event a [`SpanEvent`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Opens a span on its track (Perfetto `ph: "B"`).
+    Begin,
+    /// Closes the innermost open span on its track (`ph: "E"`).
+    End,
+    /// A zero-duration marker (`ph: "i"`), e.g. a fault or retransmit.
+    Instant,
+}
+
+/// Up to three numeric arguments, inline (no heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Args(pub [Option<(&'static str, u64)>; 3]);
+
+impl Args {
+    pub fn none() -> Args {
+        Args::default()
+    }
+
+    pub fn one(k: &'static str, v: u64) -> Args {
+        Args([Some((k, v)), None, None])
+    }
+
+    pub fn two(k1: &'static str, v1: u64, k2: &'static str, v2: u64) -> Args {
+        Args([Some((k1, v1)), Some((k2, v2)), None])
+    }
+
+    pub fn three(
+        k1: &'static str,
+        v1: u64,
+        k2: &'static str,
+        v2: u64,
+        k3: &'static str,
+        v3: u64,
+    ) -> Args {
+        Args([Some((k1, v1)), Some((k2, v2)), Some((k3, v3))])
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.0.iter().flatten().copied()
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    pub track: TrackId,
+    pub name: &'static str,
+    pub kind: EventKind,
+    /// Timestamp in microseconds (wall) or abstract ticks (manual).
+    pub ts: u64,
+    pub args: Args,
+}
+
+/// A finished, ordered event log: what the exporters and analysis
+/// passes consume.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// `(track id, display name)`, sorted by id.
+    pub tracks: Vec<(TrackId, String)>,
+    /// Events sorted by `(ts, track)`; per-track program order is
+    /// preserved for equal timestamps.
+    pub events: Vec<SpanEvent>,
+}
+
+impl Profile {
+    /// Build a profile from raw parts: sorts events by `(ts, track)`
+    /// (stable, so per-track order survives ties) and tracks by id.
+    pub fn from_parts(mut tracks: Vec<(TrackId, String)>, mut events: Vec<SpanEvent>) -> Profile {
+        tracks.sort_by_key(|a| a.0);
+        tracks.dedup_by(|a, b| a.0 == b.0);
+        events.sort_by(|a, b| a.ts.cmp(&b.ts).then(a.track.cmp(&b.track)));
+        Profile { tracks, events }
+    }
+
+    /// Display name of a track (falls back to `track <id>`).
+    pub fn track_name(&self, id: TrackId) -> String {
+        self.tracks
+            .iter()
+            .find(|(t, _)| *t == id)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("track {id}"))
+    }
+
+    /// Events of one track, in order.
+    pub fn events_for(&self, track: TrackId) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter().filter(move |e| e.track == track)
+    }
+
+    /// Per-track total duration of spans named `name` (outermost
+    /// nesting level of that name only; well-nested input assumed).
+    /// Returns `(track, duration)` sorted by track.
+    pub fn span_durations(&self, name: &str) -> Vec<(TrackId, u64)> {
+        let mut out: Vec<(TrackId, u64)> = Vec::new();
+        for &(track, _) in &self.tracks {
+            let mut depth = 0usize;
+            let mut open_ts = 0u64;
+            let mut total = 0u64;
+            for e in self.events_for(track) {
+                if e.name != name {
+                    continue;
+                }
+                match e.kind {
+                    EventKind::Begin => {
+                        if depth == 0 {
+                            open_ts = e.ts;
+                        }
+                        depth += 1;
+                    }
+                    EventKind::End => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            total += e.ts - open_ts;
+                        }
+                    }
+                    EventKind::Instant => {}
+                }
+            }
+            out.push((track, total));
+        }
+        out
+    }
+
+    /// The largest timestamp in the profile (0 when empty).
+    pub fn end_ts(&self) -> u64 {
+        self.events.iter().map(|e| e.ts).max().unwrap_or(0)
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    /// Manual tracers refuse the wall-clock convenience methods.
+    manual: bool,
+    state: Mutex<TracerState>,
+    recorded: AtomicU64,
+}
+
+#[derive(Default)]
+struct TracerState {
+    events: Vec<SpanEvent>,
+    tracks: Vec<(TrackId, String)>,
+}
+
+/// The tracer handle. Cloning shares the underlying buffer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Tracer(disabled)"),
+            Some(i) => write!(f, "Tracer({} events)", i.recorded.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: every recording method returns immediately and
+    /// allocates nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A wall-clock tracer; timestamps are µs since this call.
+    pub fn wall() -> Tracer {
+        Tracer::with_inner(false)
+    }
+
+    /// A manual-clock tracer; only the `*_at` methods may be used.
+    pub fn manual() -> Tracer {
+        Tracer::with_inner(true)
+    }
+
+    fn with_inner(manual: bool) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                manual,
+                state: Mutex::new(TracerState::default()),
+                recorded: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Events recorded so far (0 for a disabled tracer — the counter
+    /// the no-op tests assert against).
+    pub fn events_recorded(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.recorded.load(Ordering::Relaxed))
+    }
+
+    fn now_us(inner: &Inner) -> u64 {
+        assert!(
+            !inner.manual,
+            "wall-clock span method on a manual tracer; use the *_at variants"
+        );
+        inner.epoch.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, ev: SpanEvent) {
+        if let Some(inner) = &self.inner {
+            inner.recorded.fetch_add(1, Ordering::Relaxed);
+            inner
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .events
+                .push(ev);
+        }
+    }
+
+    /// Name a track (e.g. `rank 3`); idempotent, last name wins.
+    pub fn name_track(&self, track: TrackId, name: &str) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(t) = st.tracks.iter_mut().find(|(id, _)| *id == track) {
+                t.1 = name.to_string();
+            } else {
+                st.tracks.push((track, name.to_string()));
+            }
+        }
+    }
+
+    // ---- wall-clock recording ----
+
+    pub fn begin(&self, track: TrackId, name: &'static str) {
+        self.begin_args(track, name, Args::none());
+    }
+
+    pub fn begin_args(&self, track: TrackId, name: &'static str, args: Args) {
+        if let Some(inner) = &self.inner {
+            let ts = Tracer::now_us(inner);
+            self.push(SpanEvent {
+                track,
+                name,
+                kind: EventKind::Begin,
+                ts,
+                args,
+            });
+        }
+    }
+
+    pub fn end(&self, track: TrackId, name: &'static str) {
+        self.end_args(track, name, Args::none());
+    }
+
+    pub fn end_args(&self, track: TrackId, name: &'static str, args: Args) {
+        if let Some(inner) = &self.inner {
+            let ts = Tracer::now_us(inner);
+            self.push(SpanEvent {
+                track,
+                name,
+                kind: EventKind::End,
+                ts,
+                args,
+            });
+        }
+    }
+
+    pub fn instant(&self, track: TrackId, name: &'static str, args: Args) {
+        if let Some(inner) = &self.inner {
+            let ts = Tracer::now_us(inner);
+            self.push(SpanEvent {
+                track,
+                name,
+                kind: EventKind::Instant,
+                ts,
+                args,
+            });
+        }
+    }
+
+    /// RAII wall-clock span: ends when the guard drops.
+    pub fn span(&self, track: TrackId, name: &'static str) -> SpanGuard<'_> {
+        self.span_args(track, name, Args::none())
+    }
+
+    pub fn span_args(&self, track: TrackId, name: &'static str, args: Args) -> SpanGuard<'_> {
+        self.begin_args(track, name, args);
+        SpanGuard {
+            tracer: self,
+            track,
+            name,
+        }
+    }
+
+    // ---- manual-clock recording ----
+
+    pub fn begin_at(&self, track: TrackId, name: &'static str, ts: u64, args: Args) {
+        self.push(SpanEvent {
+            track,
+            name,
+            kind: EventKind::Begin,
+            ts,
+            args,
+        });
+    }
+
+    pub fn end_at(&self, track: TrackId, name: &'static str, ts: u64, args: Args) {
+        self.push(SpanEvent {
+            track,
+            name,
+            kind: EventKind::End,
+            ts,
+            args,
+        });
+    }
+
+    pub fn instant_at(&self, track: TrackId, name: &'static str, ts: u64, args: Args) {
+        self.push(SpanEvent {
+            track,
+            name,
+            kind: EventKind::Instant,
+            ts,
+            args,
+        });
+    }
+
+    /// Drain everything recorded so far into an ordered [`Profile`].
+    pub fn finish(&self) -> Profile {
+        match &self.inner {
+            None => Profile::default(),
+            Some(inner) => {
+                let mut st = inner
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                Profile::from_parts(
+                    std::mem::take(&mut st.tracks),
+                    std::mem::take(&mut st.events),
+                )
+            }
+        }
+    }
+}
+
+/// Ends its span on drop (wall clock).
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    track: TrackId,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.end(self.track, self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.begin(0, "x");
+        t.end(0, "x");
+        t.instant(0, "y", Args::one("v", 3));
+        {
+            let _g = t.span(1, "z");
+        }
+        assert_eq!(t.events_recorded(), 0);
+        assert!(t.finish().events.is_empty());
+    }
+
+    #[test]
+    fn wall_spans_nest_and_order() {
+        let t = Tracer::wall();
+        t.name_track(0, "rank 0");
+        t.begin(0, "outer");
+        t.begin(0, "inner");
+        t.end(0, "inner");
+        t.end(0, "outer");
+        let p = t.finish();
+        assert_eq!(p.events.len(), 4);
+        assert_eq!(p.tracks, vec![(0, "rank 0".to_string())]);
+        // Monotone non-decreasing timestamps, B/E order preserved.
+        for w in p.events.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+        assert_eq!(p.events[0].kind, EventKind::Begin);
+        assert_eq!(p.events[3].kind, EventKind::End);
+    }
+
+    #[test]
+    fn manual_spans_use_given_timestamps() {
+        let t = Tracer::manual();
+        t.begin_at(2, "io", 10, Args::none());
+        t.end_at(2, "io", 25, Args::one("bytes", 99));
+        t.instant_at(2, "fault", 12, Args::none());
+        let p = t.finish();
+        assert_eq!(p.events[0].ts, 10);
+        assert_eq!(p.events[1].ts, 12);
+        assert_eq!(p.events[2].ts, 25);
+        assert_eq!(p.span_durations("io"), vec![]); // no tracks registered
+        let p2 = Profile::from_parts(vec![(2, "r2".into())], p.events.clone());
+        assert_eq!(p2.span_durations("io"), vec![(2, 15)]);
+        assert_eq!(p2.end_ts(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "manual tracer")]
+    fn wall_methods_panic_on_manual_tracer() {
+        let t = Tracer::manual();
+        t.begin(0, "x");
+    }
+
+    #[test]
+    fn span_durations_handle_reentrant_names() {
+        let events = vec![
+            SpanEvent {
+                track: 0,
+                name: "s",
+                kind: EventKind::Begin,
+                ts: 0,
+                args: Args::none(),
+            },
+            SpanEvent {
+                track: 0,
+                name: "s",
+                kind: EventKind::Begin,
+                ts: 5,
+                args: Args::none(),
+            },
+            SpanEvent {
+                track: 0,
+                name: "s",
+                kind: EventKind::End,
+                ts: 7,
+                args: Args::none(),
+            },
+            SpanEvent {
+                track: 0,
+                name: "s",
+                kind: EventKind::End,
+                ts: 10,
+                args: Args::none(),
+            },
+        ];
+        let p = Profile::from_parts(vec![(0, "t".into())], events);
+        // Outermost span only: 10, not 12.
+        assert_eq!(p.span_durations("s"), vec![(0, 10)]);
+    }
+}

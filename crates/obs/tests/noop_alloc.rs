@@ -1,0 +1,71 @@
+//! The disabled tracer must cost nothing: zero heap allocations per
+//! recorded event, both for the standalone `Tracer` and for the
+//! `Comm` span marks with tracing off.
+//!
+//! This file holds exactly one test: the counting allocator is global
+//! to the test binary, so a concurrently running sibling test would
+//! pollute the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn disabled_tracing_allocates_nothing_per_event() {
+    // Standalone no-op tracer.
+    let t = pvr_obs::Tracer::disabled();
+    let before = allocs();
+    for i in 0..1000u64 {
+        t.begin(0, "stage");
+        t.instant(0, "marker", pvr_obs::Args::one("v", i));
+        {
+            let _guard = t.span(1, "guarded");
+        }
+        t.end(0, "stage");
+    }
+    let after = allocs();
+    assert_eq!(after - before, 0, "disabled Tracer must not touch the heap");
+    assert_eq!(t.events_recorded(), 0);
+
+    // Comm span marks in an untraced world (RunOptions::trace = false).
+    // Single rank, no watchdog thread, so nothing else allocates while
+    // the window is open.
+    let opts = pvr_mpisim::RunOptions::default().with_timeout(None);
+    let counts = pvr_mpisim::World::run_opts(1, opts, |comm| {
+        let before = allocs();
+        for i in 0..1000u64 {
+            comm.span_begin("frame");
+            comm.span_begin_v("io", i);
+            comm.mark_instant("retransmit", i);
+            comm.span_end("io");
+            comm.span_end("frame");
+        }
+        allocs() - before
+    })
+    .unwrap();
+    assert_eq!(
+        counts.results[0], 0,
+        "untraced Comm span marks must not touch the heap"
+    );
+}

@@ -1,0 +1,102 @@
+//! Property tests for the Perfetto exporter: random span trees stay
+//! well-nested per track through JSON export, and the export is
+//! byte-for-byte deterministic.
+
+use proptest::prelude::*;
+
+use pvr_obs::perfetto::{to_json, validate};
+use pvr_obs::span::{Args, EventKind, Profile, SpanEvent};
+
+const NAMES: [&str; 5] = ["io", "render", "composite", "blend", "recv"];
+
+/// Build a well-nested random profile from a stream of
+/// `(track, op, dt, name)` tuples: op 0 opens a span, 1 closes the
+/// innermost open span (no-op when none), 2 emits an instant. Any
+/// spans left open are closed at the end, deepest first.
+fn build_profile(ops: &[(u32, u32, u64, usize)]) -> Profile {
+    let n_tracks = 3u32;
+    let mut stacks: Vec<Vec<&'static str>> = vec![Vec::new(); n_tracks as usize];
+    let mut ts = vec![0u64; n_tracks as usize];
+    let mut events = Vec::new();
+    for &(track, op, dt, name) in ops {
+        let track = track % n_tracks;
+        let t = &mut ts[track as usize];
+        *t += dt;
+        let stack = &mut stacks[track as usize];
+        match op % 3 {
+            0 => {
+                let name = NAMES[name % NAMES.len()];
+                stack.push(name);
+                events.push(SpanEvent {
+                    track,
+                    name,
+                    kind: EventKind::Begin,
+                    ts: *t,
+                    args: Args::one("depth", stack.len() as u64),
+                });
+            }
+            1 => {
+                if let Some(name) = stack.pop() {
+                    events.push(SpanEvent {
+                        track,
+                        name,
+                        kind: EventKind::End,
+                        ts: *t,
+                        args: Args::none(),
+                    });
+                }
+            }
+            _ => events.push(SpanEvent {
+                track,
+                name: "mark",
+                kind: EventKind::Instant,
+                ts: *t,
+                args: Args::none(),
+            }),
+        }
+    }
+    for (track, stack) in stacks.iter_mut().enumerate() {
+        while let Some(name) = stack.pop() {
+            ts[track] += 1;
+            events.push(SpanEvent {
+                track: track as u32,
+                name,
+                kind: EventKind::End,
+                ts: ts[track],
+                args: Args::none(),
+            });
+        }
+    }
+    let tracks = (0..n_tracks).map(|t| (t, format!("rank {t}"))).collect();
+    Profile::from_parts(tracks, events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exported random span trees pass schema validation: every E
+    /// closes the matching innermost B, timestamps never go backwards
+    /// per track, and nothing stays open.
+    #[test]
+    fn random_span_trees_stay_well_nested(
+        ops in proptest::collection::vec((0u32..3, 0u32..3, 0u64..9, 0usize..5), 0..80),
+    ) {
+        let profile = build_profile(&ops);
+        let json = to_json(&profile);
+        let n_events = validate(&json);
+        prop_assert!(n_events.is_ok(), "schema rejected: {:?}", n_events);
+        // Metadata (3 tracks) + every span event survives the export.
+        prop_assert_eq!(n_events.unwrap(), 3 + profile.events.len());
+    }
+
+    /// The export is a pure function of the profile: same profile,
+    /// same bytes.
+    #[test]
+    fn export_is_deterministic(
+        ops in proptest::collection::vec((0u32..3, 0u32..3, 0u64..9, 0usize..5), 0..40),
+    ) {
+        let a = to_json(&build_profile(&ops));
+        let b = to_json(&build_profile(&ops));
+        prop_assert_eq!(a, b);
+    }
+}

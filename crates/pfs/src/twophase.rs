@@ -227,6 +227,28 @@ pub fn two_phase_execute(
     num_aggregators: usize,
     hints: &CollectiveHints,
 ) -> std::io::Result<ExecResult> {
+    two_phase_execute_traced(
+        file,
+        requests,
+        num_aggregators,
+        hints,
+        &pvr_obs::Tracer::disabled(),
+    )
+}
+
+/// [`two_phase_execute`] with span tracing: each physical window access
+/// becomes an `io.window` span on the track of the aggregator rank that
+/// issues it (args: file offset and bytes read), so the per-access
+/// signature of the collective read — the paper's Figure 9 — shows up
+/// directly on the timeline. A disabled tracer makes this identical to
+/// the plain call.
+pub fn two_phase_execute_traced(
+    file: &mut File,
+    requests: &[RankRequest],
+    num_aggregators: usize,
+    hints: &CollectiveHints,
+    tracer: &pvr_obs::Tracer,
+) -> std::io::Result<ExecResult> {
     let nranks = requests.len();
     let naggr = num_aggregators.clamp(1, nranks.max(1));
 
@@ -272,6 +294,12 @@ pub fn two_phase_execute(
     // search per window instead of a single cursor.
     for a in &plan.accesses {
         let w = a.extent;
+        let track = aggr_rank(a.aggregator) as pvr_obs::span::TrackId;
+        let _span = tracer.span_args(
+            track,
+            "io.window",
+            pvr_obs::Args::two("offset", w.offset, "bytes", w.len),
+        );
         buf.resize(w.len as usize, 0);
         file.seek(SeekFrom::Start(w.offset))?;
         file.read_exact(&mut buf)?;
@@ -934,6 +962,61 @@ mod tests {
         // Rank 0's first stripe (offsets [0, 1024)) lives on server 0.
         assert!(lost.exec.rank_bytes[0][..1024].iter().all(|&b| b == 0));
         assert_eq!(lost.rank_unrecovered[0] % 1024, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn traced_execute_emits_one_window_span_per_access() {
+        let dir = std::env::temp_dir().join(format!("pvr-pfs-tr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traced.bin");
+        std::fs::write(&path, vec![3u8; 65536]).unwrap();
+        let requests = vec![
+            RankRequest {
+                runs: vec![PlacedRun {
+                    file_offset: 0,
+                    elems: 1024,
+                    out_start: 0,
+                }],
+                out_elems: 1024,
+            },
+            RankRequest {
+                runs: vec![PlacedRun {
+                    file_offset: 16384,
+                    elems: 1024,
+                    out_start: 0,
+                }],
+                out_elems: 1024,
+            },
+        ];
+        let tracer = pvr_obs::Tracer::wall();
+        let mut f = File::open(&path).unwrap();
+        let res = two_phase_execute_traced(
+            &mut f,
+            &requests,
+            2,
+            &CollectiveHints {
+                cb_buffer_size: 4096,
+                cb_nodes: None,
+            },
+            &tracer,
+        )
+        .unwrap();
+        let profile = tracer.finish();
+        let begins = profile
+            .events
+            .iter()
+            .filter(|e| e.name == "io.window" && e.kind == pvr_obs::span::EventKind::Begin)
+            .count();
+        assert_eq!(begins, res.plan.accesses.len());
+        // Every span carries the window's byte count.
+        let total: u64 = profile
+            .events
+            .iter()
+            .filter(|e| e.name == "io.window" && e.kind == pvr_obs::span::EventKind::Begin)
+            .map(|e| e.args.iter().find(|(k, _)| *k == "bytes").unwrap().1)
+            .sum();
+        assert_eq!(total, res.plan.physical_bytes);
         std::fs::remove_file(&path).ok();
     }
 

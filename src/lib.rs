@@ -18,6 +18,7 @@
 //! * [`faults`] — seeded fault plans, reliable-link layer, recovery policy
 //! * [`flow`] — parallel particle tracing (the paper's future work)
 //! * [`verify`] — schedule linter, message-race detector, replay checker
+//! * [`obs`] — span tracing, metrics registry, Perfetto/Gantt/CSV export
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the experiment index mapping every figure and table of
@@ -46,6 +47,7 @@ pub use pvr_faults as faults;
 pub use pvr_flow as flow;
 pub use pvr_formats as formats;
 pub use pvr_mpisim as mpisim;
+pub use pvr_obs as obs;
 pub use pvr_pfs as pfs;
 pub use pvr_render as render;
 pub use pvr_verify as verify;
