@@ -23,7 +23,7 @@ fn main() {
         .layout(grid)
         .extents(0, &Subvolume::whole(grid));
     let cfg = FrameConfig::paper_1120(2048);
-    let io_nodes = 8;
+    let io_nodes = pvr_core::bgp_io_nodes(cfg.nprocs);
     let storage = StorageModel::default();
 
     let mut csv = CsvOut::create(

@@ -22,7 +22,7 @@ use pvr_volume::BlockDecomposition;
 fn main() {
     let nprocs = 2048;
     let grid = [1120usize; 3];
-    let io_nodes = nprocs / 4 / 64;
+    let io_nodes = pvr_core::bgp_io_nodes(nprocs);
     let naggr = StorageModel::default_aggregators(nprocs, io_nodes);
     let mut csv = CsvOut::create(
         "fig9_access",

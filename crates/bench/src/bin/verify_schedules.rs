@@ -134,6 +134,17 @@ fn main() {
     let r = lint_tags(&tags);
     report("stage tags".into(), r.ok(), format!("{:?}", r.violations));
 
+    // The animation's epoch scheme must keep every frame's tags
+    // disjoint from every other frame's — lint the full multi-frame
+    // table the way the single-frame table is linted.
+    let anim_tags = pvr_core::FrameTags::table(8);
+    let r = lint_tags(&anim_tags);
+    report(
+        "animation tag epochs (8 frames)".into(),
+        r.ok(),
+        format!("{:?}", r.violations),
+    );
+
     // --- Mutation kill check: every injected fault must be caught. ---
     let n = 27;
     let fps = real_footprints(n);

@@ -103,6 +103,27 @@ pub fn composite_direct_send_traced(
     (img, stats)
 }
 
+/// Blend received fragments into a compositor's tile buffer in the
+/// canonical `(depth, renderer)` order. Both message-passing link modes
+/// (plain and fault-tolerant) blend through this one function, so a
+/// frame's pixels cannot depend on message arrival order — the property
+/// the bit-identity and recovery tests pin.
+///
+/// Every fragment must already be cropped to `tile`.
+pub fn blend_fragments(tile: PixelRect, mut frags: Vec<(usize, SubImage)>) -> SubImage {
+    frags.sort_by(|a, b| a.1.depth.total_cmp(&b.1.depth).then(a.0.cmp(&b.0)));
+    let mut buf = SubImage::transparent(tile, 0.0);
+    for (_, frag) in &frags {
+        for y in frag.rect.y0..frag.rect.y1() {
+            for x in frag.rect.x0..frag.rect.x1() {
+                let idx = (y - tile.y0) * tile.w + (x - tile.x0);
+                buf.pixels[idx] = over(buf.pixels[idx], frag.get(x, y));
+            }
+        }
+    }
+    buf
+}
+
 /// Deadline-mode direct-send: composite whatever fragments arrived.
 ///
 /// `present[i]` is `Some(quality)` when renderer `i`'s fragment made it

@@ -36,7 +36,8 @@ pub mod serial;
 
 pub use completeness::{CompletenessMap, TileCompleteness};
 pub use directsend::{
-    composite_direct_send, composite_direct_send_degraded, composite_direct_send_traced,
+    blend_fragments, composite_direct_send, composite_direct_send_degraded,
+    composite_direct_send_traced,
 };
 pub use radixk::{composite_radix_k, composite_radix_k_degraded};
 pub use region::ImagePartition;

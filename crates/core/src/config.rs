@@ -193,6 +193,16 @@ impl FrameConfig {
     pub fn variable_bytes(&self) -> u64 {
         self.grid.iter().product::<usize>() as u64 * pvr_formats::ELEM_SIZE
     }
+
+    /// Compositor count for this frame (policy applied to `nprocs`).
+    pub fn compositors(&self) -> usize {
+        self.policy.compositors(self.nprocs)
+    }
+
+    /// Collective-read aggregator count for this frame at laptop scale.
+    pub fn aggregators(&self) -> usize {
+        crate::roles::laptop_aggregators(self.nprocs)
+    }
 }
 
 #[cfg(test)]

@@ -1,12 +1,14 @@
 //! Fault-tolerant end-to-end execution.
 //!
-//! [`run_frame_mpi_ft`] is [`crate::pipeline::run_frame_mpi`] rebuilt
-//! for a hostile machine: every receive has a deadline, every data
-//! message travels through the `pvr-faults` link layer (checksummed
-//! frames, positive acks, bounded exponential-backoff retransmission,
-//! duplicate suppression), storage reads retry and fail over to stripe
-//! replicas, and the compositing stage produces a per-tile
-//! [`CompletenessMap`] instead of silently hanging on missing input.
+//! [`run_frame_mpi_ft`] is the same stage-graph frame as
+//! [`crate::pipeline::run_frame_mpi`] — one driver,
+//! [`crate::scheduler::drive_frame`] — configured for a hostile
+//! machine: every receive has a deadline, every data message travels
+//! through the `pvr-faults` link layer (checksummed frames, positive
+//! acks, bounded exponential-backoff retransmission, duplicate
+//! suppression), storage reads retry and fail over to stripe replicas,
+//! and the compositing stage produces a per-tile [`CompletenessMap`]
+//! instead of silently hanging on missing input.
 //!
 //! The contract, verified by the integration tests and the
 //! `fault_sweep` benchmark:
@@ -28,30 +30,17 @@
 //!   `(seed, FaultPlan)`; a run with the same plan and policy produces
 //!   the same image and the same completeness map.
 
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
-use std::time::Instant;
 
-use pvr_compositing::completeness::{CompletenessMap, TileCompleteness};
-use pvr_compositing::ImagePartition;
-use pvr_faults::{
-    FaultPlan, InBox, OutBox, PlanInjector, RankAction, RecoveryCounters, RecoveryPolicy, Stage,
-};
-use pvr_formats::extent::{coalesce, Extent};
-use pvr_formats::ELEM_SIZE;
-use pvr_pfs::{window_fault_audit, IoRecovery, ServerFaults, StripedStore};
-use pvr_render::image::{over, Image, SubImage};
-use pvr_render::raycast::{render_block, BlockDomain};
-use pvr_render::Camera;
-
-use pvr_compositing::directsend::DirectSendStats;
+use pvr_compositing::completeness::CompletenessMap;
+use pvr_faults::{FaultPlan, RecoveryCounters, RecoveryPolicy};
+use pvr_pfs::StripedStore;
+use pvr_render::image::Image;
 
 use crate::config::FrameConfig;
-use crate::pipeline::{
-    default_view, laptop_aggregators, render_opts, tags, transfer_for, FrameResult, IoRunStats,
-};
-use crate::timing::{FrameTiming, Stopwatch};
+use crate::pipeline::FrameResult;
+use crate::scheduler::{drive_frame, Driver, ExecChoice, FramePlan, LinkMode};
+use crate::timing::FrameTiming;
 
 /// A striped-store description matched to laptop-scale test files: 8
 /// servers with 64 KiB stripes, so even a few-megabyte dataset spreads
@@ -115,36 +104,6 @@ impl std::fmt::Display for FtError {
 
 impl std::error::Error for FtError {}
 
-/// What each rank hands back to the driver.
-struct RankOut {
-    image: Option<Image>,
-    completeness: Option<CompletenessMap>,
-    timing: FrameTiming,
-    samples: u64,
-    sent_bytes: u64,
-    counters: RecoveryCounters,
-    io_failover_bytes: u64,
-    io_unrecovered_bytes: u64,
-}
-
-impl RankOut {
-    fn crashed(timing: FrameTiming) -> Self {
-        RankOut {
-            image: None,
-            completeness: None,
-            timing,
-            samples: 0,
-            sent_bytes: 0,
-            counters: RecoveryCounters {
-                crashed_ranks: 1,
-                ..RecoveryCounters::default()
-            },
-            io_failover_bytes: 0,
-            io_unrecovered_bytes: 0,
-        }
-    }
-}
-
 /// Run one fault-tolerant frame with default store and runtime options.
 pub fn run_frame_mpi_ft(
     cfg: &FrameConfig,
@@ -198,637 +157,34 @@ pub fn run_frame_mpi_ft_opts(
     store: &StripedStore,
     opts: pvr_mpisim::RunOptions,
 ) -> Result<(FtFrameResult, Option<pvr_mpisim::trace::TraceLog>), FtError> {
-    let cfg = *cfg;
-    let path = path.to_path_buf();
-    let plan = plan.clone();
-    let policy = *policy;
-    let store = *store;
-    let n = cfg.nprocs;
-    let m = cfg.policy.compositors(n);
-    let compositor_rank = move |c: usize| c * n / m;
-    let faults = plan.server_faults(store.servers);
-    let rec = policy.io_recovery();
-
-    let opts = opts.with_injector(PlanInjector::arc(plan.clone()));
-    let out = pvr_mpisim::World::run_opts(n, opts, move |mut comm| {
-        rank_frame(
-            &mut comm,
-            &cfg,
-            &path,
-            &plan,
-            &policy,
-            &store,
-            &faults,
-            &rec,
-            m,
-            &compositor_rank,
-        )
-    })
-    .map_err(FtError::Runtime)?;
-
-    let trace = out.trace;
-    let mut results = out.results;
-    let render_samples: u64 = results.iter().map(|r| r.samples).sum();
-    let sent_bytes: u64 = results.iter().map(|r| r.sent_bytes).sum();
-    let mut recovery = RecoveryCounters::default();
-    let mut failover_bytes = 0u64;
-    let mut unrecovered_bytes = 0u64;
-    for r in &results {
-        recovery.merge(&r.counters);
-        failover_bytes += r.io_failover_bytes;
-        unrecovered_bytes += r.io_unrecovered_bytes;
-    }
-    let root = results.remove(0);
-    let mut timing = root.timing;
-    timing.recovery = recovery;
-
-    // A crashed rank 0 cannot deliver an image: the frame degrades to
-    // an empty image with zero completeness on every populated tile.
-    let (image, completeness) = match (root.image, root.completeness) {
-        (Some(img), Some(map)) => (img, map),
-        _ => {
-            let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
-            let expected = expected_tile_areas(&cfg, n, m);
-            let tiles = (0..m)
-                .map(|c| TileCompleteness {
-                    tile: c,
-                    rect: Some(partition.tile(c)),
-                    expected: expected[c],
-                    arrived: 0.0,
-                })
-                .collect();
-            (
-                Image::new(cfg.image.0, cfg.image.1),
-                CompletenessMap { tiles },
-            )
-        }
-    };
-
+    let out = drive_frame(
+        cfg,
+        Some(path),
+        Driver {
+            plan: FramePlan::standard(),
+            exec: ExecChoice::Mpi {
+                opts,
+                links: LinkMode::reliable(plan.clone(), *policy, *store),
+            },
+        },
+    )?;
     Ok((
         FtFrameResult {
-            frame: FrameResult {
-                image,
-                timing,
-                io: IoRunStats {
-                    retries: recovery.io_retries,
-                    failover_bytes,
-                    unrecovered_bytes,
-                    ..IoRunStats::default()
-                },
-                render_samples,
-                composite: DirectSendStats {
-                    messages: 0,
-                    bytes: sent_bytes,
-                    per_compositor: Vec::new(),
-                },
-            },
-            completeness,
+            frame: out.frame,
+            completeness: out
+                .completeness
+                .expect("reliable frames carry completeness"),
         },
-        trace,
+        out.trace,
     ))
-}
-
-/// Expected blended area per tile, derivable by any rank (and the
-/// driver) from the configuration alone — fault-independent.
-fn expected_tile_areas(cfg: &FrameConfig, n: usize, m: usize) -> Vec<f64> {
-    let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
-    let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
-    let decomp = pvr_volume::BlockDecomposition::new(cfg.grid, n);
-    let blocks = decomp.blocks();
-    let footprints: Vec<pvr_render::image::PixelRect> = (0..n)
-        .map(|r| {
-            pvr_render::raycast::footprint(
-                &camera,
-                blocks[r].sub.offset,
-                blocks[r].sub.end(),
-                cfg.image,
-            )
-        })
-        .collect();
-    let schedule = pvr_compositing::build_schedule(&footprints, partition);
-    let mut areas = vec![0.0f64; m];
-    for msg in &schedule.messages {
-        areas[msg.compositor] += msg.pixels as f64;
-    }
-    areas
-}
-
-fn apply_straggle(action: Option<RankAction>) -> bool {
-    match action {
-        Some(RankAction::Crash) => true,
-        Some(RankAction::StraggleMs(ms)) => {
-            std::thread::sleep(std::time::Duration::from_millis(ms));
-            false
-        }
-        None => false,
-    }
-}
-
-/// One rank's fault-tolerant frame. No barriers, no untimed receives.
-#[allow(clippy::too_many_arguments)]
-fn rank_frame(
-    comm: &mut pvr_mpisim::Comm,
-    cfg: &FrameConfig,
-    path: &Path,
-    plan: &FaultPlan,
-    policy: &RecoveryPolicy,
-    store: &StripedStore,
-    faults: &ServerFaults,
-    rec: &IoRecovery,
-    m: usize,
-    compositor_rank: &(dyn Fn(usize) -> usize + Sync),
-) -> RankOut {
-    let rank = comm.rank();
-    let n = comm.size();
-    let geo_decomp = pvr_volume::BlockDecomposition::new(cfg.grid, n);
-    let blocks = geo_decomp.blocks();
-    let ghost = if cfg.shading { 2 } else { 1 };
-    let stored: Vec<pvr_formats::Subvolume> = blocks
-        .iter()
-        .map(|b| geo_decomp.with_ghost(b, ghost))
-        .collect();
-    let owned: Vec<pvr_formats::Subvolume> = blocks.iter().map(|b| b.sub).collect();
-    let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
-    let tf = transfer_for(cfg);
-    let ropts = render_opts(cfg);
-    let layout = cfg.io.layout(cfg.grid);
-    let var = cfg.file_variable();
-    let lp = policy.link_policy();
-    let mut counters = RecoveryCounters::default();
-    let mut sw = Stopwatch::start();
-    let mut timing = FrameTiming::default();
-    comm.span_begin("frame");
-
-    // --- Stage 1: I/O (deadline-bounded scatter over framed links) ---
-    comm.span_begin("io");
-    if apply_straggle(plan.rank_fault(rank, Stage::Io)) {
-        comm.mark_instant("rank.crash", 0);
-        comm.span_end("io");
-        comm.span_end("frame");
-        timing.io = sw.lap();
-        return RankOut::crashed(timing);
-    }
-    let requests: Vec<pvr_pfs::twophase::RankRequest> = stored
-        .iter()
-        .map(|sub| {
-            let mut runs = Vec::new();
-            layout.placed_runs(var, sub, &mut |r| runs.push(r));
-            pvr_pfs::twophase::RankRequest {
-                runs,
-                out_elems: sub.num_elements(),
-            }
-        })
-        .collect();
-    let naggr = laptop_aggregators(n).clamp(1, n);
-    let io = ft_collective_read(
-        comm,
-        cfg,
-        layout.as_ref(),
-        &requests,
-        naggr,
-        path,
-        policy,
-        store,
-        faults,
-        rec,
-        &mut counters,
-        &lp,
-    );
-    let volume = {
-        let sub = &stored[rank];
-        let mut data = vec![0.0f32; sub.num_elements()];
-        for (i, c) in io.bytes.chunks_exact(4).enumerate() {
-            data[i] = layout.endian().decode([c[0], c[1], c[2], c[3]]);
-        }
-        pvr_volume::Volume::from_data(sub.shape, data)
-    };
-    timing.io = sw.lap();
-    comm.span_end("io");
-
-    // --- Stage 2: render ---
-    comm.span_begin("render");
-    if apply_straggle(plan.rank_fault(rank, Stage::Render)) {
-        comm.mark_instant("rank.crash", 1);
-        comm.span_end("render");
-        comm.span_end("frame");
-        let mut out = RankOut::crashed(timing);
-        out.counters.merge(&counters);
-        out.io_failover_bytes = io.failover_bytes;
-        out.io_unrecovered_bytes = io.unrecovered_bytes;
-        return out;
-    }
-    let dom = BlockDomain {
-        grid: cfg.grid,
-        owned: owned[rank],
-        stored: stored[rank],
-    };
-    let (sub, rstats) = render_block(&volume, &dom, &camera, &tf, &ropts);
-    comm.mark_instant("render.samples", rstats.samples);
-    timing.render = sw.lap();
-    comm.span_end("render");
-
-    // --- Stage 3: compositing (deadline mode) ---
-    comm.span_begin("composite");
-    if apply_straggle(plan.rank_fault(rank, Stage::Composite)) {
-        comm.mark_instant("rank.crash", 2);
-        comm.span_end("composite");
-        comm.span_end("frame");
-        let mut out = RankOut::crashed(timing);
-        out.counters.merge(&counters);
-        out.io_failover_bytes = io.failover_bytes;
-        out.io_unrecovered_bytes = io.unrecovered_bytes;
-        out.samples = rstats.samples;
-        return out;
-    }
-    let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
-    let footprints: Vec<pvr_render::image::PixelRect> = (0..n)
-        .map(|r| {
-            pvr_render::raycast::footprint(&camera, owned[r].offset, owned[r].end(), cfg.image)
-        })
-        .collect();
-    let schedule = pvr_compositing::build_schedule(&footprints, partition);
-
-    // Send my fragments through the reliable link, quality attached.
-    let mut frag_out = OutBox::new(rank, tags::FRAG_ACK, lp);
-    let mut frag_in = InBox::new();
-    let mut sent = 0u64;
-    for msg in schedule.messages.iter().filter(|mm| mm.renderer == rank) {
-        let tile = partition.tile(msg.compositor);
-        if let Some(frag) = sub.crop(&tile) {
-            let dst = compositor_rank(msg.compositor);
-            sent += frag.wire_bytes();
-            let mut body = Vec::with_capacity(8 + 48 + frag.pixels.len() * 16);
-            body.extend(io.quality.to_le_bytes());
-            body.extend(crate::pipeline::encode_fragment(rank, &frag));
-            frag_out.send(comm, dst, tags::FRAGMENT, body);
-        }
-    }
-
-    // Composite the tile I own (c -> c*n/m is injective for m <= n).
-    let my_tile = (0..m).find(|&c| compositor_rank(c) == rank);
-    let mut tile_out = OutBox::new(rank, tags::TILE_ACK, lp);
-    let mut tile_payload: Option<(usize, f64, f64, SubImage)> = None;
-    if let Some(c) = my_tile {
-        let expected_msgs: Vec<(usize, usize)> = schedule
-            .messages
-            .iter()
-            .filter(|mm| mm.compositor == c)
-            .map(|mm| (mm.renderer, mm.pixels))
-            .collect();
-        let expected_area: f64 = expected_msgs.iter().map(|(_, px)| *px as f64).sum();
-        let tile = partition.tile(c);
-        let mut frags: Vec<(usize, f64, SubImage)> = Vec::with_capacity(expected_msgs.len());
-        let deadline = Instant::now() + policy.stage_deadline;
-        while frags.len() < expected_msgs.len() && Instant::now() < deadline {
-            frag_out.poll(comm);
-            if let Some((src, frame)) = comm.recv_any_timeout(tags::FRAGMENT, policy.poll) {
-                if let Some(body) = frag_in.accept(comm, src, tags::FRAG_ACK, &frame) {
-                    let quality = f64::from_le_bytes(body[0..8].try_into().unwrap());
-                    let (renderer, frag) = crate::pipeline::decode_fragment(&body[8..]);
-                    frags.push((renderer, quality, frag));
-                }
-            }
-        }
-        let arrived_area: f64 = frags
-            .iter()
-            .map(|(r, q, _)| {
-                let px = expected_msgs
-                    .iter()
-                    .find(|(er, _)| er == r)
-                    .map(|(_, px)| *px as f64)
-                    .unwrap_or(0.0);
-                px * q.clamp(0.0, 1.0)
-            })
-            .sum();
-        // Canonical blend order keeps recovered runs bit-identical.
-        frags.sort_by(|a, b| a.2.depth.total_cmp(&b.2.depth).then(a.0.cmp(&b.0)));
-        let mut buf = SubImage::transparent(tile, 0.0);
-        for (_, _, frag) in &frags {
-            for y in frag.rect.y0..frag.rect.y1() {
-                for x in frag.rect.x0..frag.rect.x1() {
-                    let idx = (y - tile.y0) * tile.w + (x - tile.x0);
-                    buf.pixels[idx] = over(buf.pixels[idx], frag.get(x, y));
-                }
-            }
-        }
-        tile_payload = Some((c, expected_area, arrived_area, buf));
-    }
-
-    // Ship my finished tile to rank 0 over the reliable link.
-    if let Some((c, expected_area, arrived_area, buf)) = &tile_payload {
-        let mut body = Vec::with_capacity(24 + 48 + buf.pixels.len() * 16);
-        body.extend((*c as u64).to_le_bytes());
-        body.extend(expected_area.to_le_bytes());
-        body.extend(arrived_area.to_le_bytes());
-        body.extend(crate::pipeline::encode_fragment(*c, buf));
-        tile_out.send(comm, 0, tags::TILE, body);
-    }
-
-    // Rank 0 gathers tiles until the deadline; absentees become
-    // zero-completeness entries.
-    let mut image = None;
-    let mut completeness = None;
-    if rank == 0 {
-        let expected_areas = {
-            let mut areas = vec![0.0f64; m];
-            for msg in &schedule.messages {
-                areas[msg.compositor] += msg.pixels as f64;
-            }
-            areas
-        };
-        let mut tile_in = InBox::new();
-        let mut img = Image::new(cfg.image.0, cfg.image.1);
-        let mut got: Vec<Option<(f64, f64)>> = vec![None; m];
-        let mut received = 0usize;
-        let deadline = Instant::now() + policy.stage_deadline;
-        while received < m && Instant::now() < deadline {
-            frag_out.poll(comm);
-            tile_out.poll(comm);
-            if let Some((src, frame)) = comm.recv_any_timeout(tags::TILE, policy.poll) {
-                if let Some(body) = tile_in.accept(comm, src, tags::TILE_ACK, &frame) {
-                    let c = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
-                    let expected = f64::from_le_bytes(body[8..16].try_into().unwrap());
-                    let arrived = f64::from_le_bytes(body[16..24].try_into().unwrap());
-                    let (_, tile_img) = crate::pipeline::decode_fragment(&body[24..]);
-                    img.paste(&tile_img);
-                    if got[c].is_none() {
-                        got[c] = Some((expected, arrived));
-                        received += 1;
-                    }
-                }
-            }
-        }
-        let tiles = (0..m)
-            .map(|c| {
-                let (expected, arrived) = got[c].unwrap_or_else(|| {
-                    if expected_areas[c] > 0.0 {
-                        counters.degraded_tiles += 1;
-                    }
-                    (expected_areas[c], 0.0)
-                });
-                TileCompleteness {
-                    tile: c,
-                    rect: Some(partition.tile(c)),
-                    expected,
-                    arrived,
-                }
-            })
-            .collect();
-        counters.merge(&tile_in.counters);
-        if counters.degraded_tiles > 0 {
-            comm.mark_instant("composite.degraded_tiles", counters.degraded_tiles);
-        }
-        image = Some(img);
-        completeness = Some(CompletenessMap { tiles });
-    }
-
-    // Grace period: finish delivering whatever is still in flight, then
-    // account the casualties.
-    let drain_deadline = Instant::now() + policy.drain;
-    frag_out.drain(comm, drain_deadline);
-    tile_out.drain(comm, drain_deadline);
-    counters.merge(&frag_out.counters);
-    counters.merge(&frag_in.counters);
-    counters.merge(&tile_out.counters);
-    timing.composite = sw.lap();
-    comm.span_end("composite");
-    comm.span_end("frame");
-
-    RankOut {
-        image,
-        completeness,
-        timing,
-        samples: rstats.samples,
-        sent_bytes: sent,
-        counters,
-        io_failover_bytes: io.failover_bytes,
-        io_unrecovered_bytes: io.unrecovered_bytes,
-    }
-}
-
-/// What the I/O stage hands the rest of the rank's frame.
-struct FtIoResult {
-    bytes: Vec<u8>,
-    /// Fraction of this rank's requested bytes that arrived intact.
-    quality: f64,
-    failover_bytes: u64,
-    unrecovered_bytes: u64,
-}
-
-/// Deadline-bounded two-phase collective read over framed links, with
-/// storage faults audited per window. Every rank derives the identical
-/// plan and per-rank piece counts, so the expected message set is
-/// fault-independent; what actually arrives before the deadline
-/// determines the rank's data quality.
-#[allow(clippy::too_many_arguments)]
-fn ft_collective_read(
-    comm: &mut pvr_mpisim::Comm,
-    cfg: &FrameConfig,
-    layout: &dyn pvr_formats::layout::FileLayout,
-    requests: &[pvr_pfs::twophase::RankRequest],
-    naggr: usize,
-    path: &Path,
-    policy: &RecoveryPolicy,
-    store: &StripedStore,
-    faults: &ServerFaults,
-    rec: &IoRecovery,
-    counters: &mut RecoveryCounters,
-    lp: &pvr_faults::LinkPolicy,
-) -> FtIoResult {
-    let rank = comm.rank();
-    let n = comm.size();
-
-    if !layout.collective() {
-        // Independent path: local reads, storage faults still apply.
-        let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
-        let mut unrecovered = 0u64;
-        let mut failover_bytes = 0u64;
-        let mut useful = 0u64;
-        let mut file = File::open(path).expect("dataset file");
-        for run in &requests[rank].runs {
-            let nb = run.elems * ELEM_SIZE as usize;
-            useful += nb as u64;
-            let audit =
-                window_fault_audit(store, faults, rec, Extent::new(run.file_offset, nb as u64));
-            counters.io_retries += audit.retries;
-            counters.io_failovers += audit.failovers;
-            failover_bytes += audit.failover_bytes;
-            file.seek(SeekFrom::Start(run.file_offset)).unwrap();
-            let dst = &mut out[run.out_start * 4..run.out_start * 4 + nb];
-            file.read_exact(dst).unwrap();
-            for lost in &audit.unrecoverable {
-                let lo = lost.offset.max(run.file_offset) - run.file_offset;
-                let hi = lost.end().min(run.file_offset + nb as u64) - run.file_offset;
-                if lo < hi {
-                    dst[lo as usize..hi as usize].fill(0);
-                    unrecovered += hi - lo;
-                }
-            }
-        }
-        let quality = if useful == 0 {
-            1.0
-        } else {
-            1.0 - unrecovered as f64 / useful as f64
-        };
-        return FtIoResult {
-            bytes: out,
-            quality,
-            failover_bytes,
-            unrecovered_bytes: unrecovered,
-        };
-    }
-
-    let aggr_rank = |j: usize| j * n / naggr;
-
-    // Identical plan on every rank.
-    let mut aggregate: Vec<Extent> = requests
-        .iter()
-        .flat_map(|rq| {
-            rq.runs
-                .iter()
-                .map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
-        })
-        .collect();
-    coalesce(&mut aggregate);
-    let hints = cfg.io.hints(cfg.grid);
-    let plan = pvr_pfs::two_phase_plan(&aggregate, naggr, &hints);
-
-    let mut sorted_runs: Vec<(u64, usize, usize, usize)> = Vec::new();
-    for (r, rq) in requests.iter().enumerate() {
-        for run in &rq.runs {
-            sorted_runs.push((
-                run.file_offset,
-                run.elems * ELEM_SIZE as usize,
-                r,
-                run.out_start * ELEM_SIZE as usize,
-            ));
-        }
-    }
-    sorted_runs.sort_unstable_by_key(|t| t.0);
-
-    // Fault-independent expectations: pieces and bytes per rank.
-    let mut piece_counts = vec![0usize; n];
-    let mut piece_bytes = vec![0u64; n];
-    for a in &plan.accesses {
-        let start = sorted_runs.partition_point(|t| t.0 + t.1 as u64 <= a.extent.offset);
-        for t in &sorted_runs[start..] {
-            let (off, len, r, _) = *t;
-            if off >= a.extent.end() {
-                break;
-            }
-            let lo = off.max(a.extent.offset);
-            let hi = (off + len as u64).min(a.extent.end());
-            if lo < hi {
-                piece_counts[r] += 1;
-                piece_bytes[r] += hi - lo;
-            }
-        }
-    }
-
-    // Aggregator duty: window reads audited against the fault state,
-    // unrecoverable ranges zero-filled and reported as holes.
-    let mut io_out = OutBox::new(rank, tags::IO_ACK, *lp);
-    let mut failover_bytes = 0u64;
-    let my_accesses: Vec<_> = plan
-        .accesses
-        .iter()
-        .filter(|a| aggr_rank(a.aggregator) == rank)
-        .collect();
-    if !my_accesses.is_empty() {
-        let mut file = File::open(path).expect("dataset file");
-        let mut buf = Vec::new();
-        for a in my_accesses {
-            let audit = window_fault_audit(store, faults, rec, a.extent);
-            counters.io_retries += audit.retries;
-            counters.io_failovers += audit.failovers;
-            failover_bytes += audit.failover_bytes;
-            buf.resize(a.extent.len as usize, 0);
-            file.seek(SeekFrom::Start(a.extent.offset)).unwrap();
-            file.read_exact(&mut buf).unwrap();
-            for lost in &audit.unrecoverable {
-                let lo = (lost.offset.max(a.extent.offset) - a.extent.offset) as usize;
-                let hi = (lost.end().min(a.extent.end()) - a.extent.offset) as usize;
-                if lo < hi {
-                    buf[lo..hi].fill(0);
-                }
-            }
-            let start = sorted_runs.partition_point(|t| t.0 + t.1 as u64 <= a.extent.offset);
-            for t in &sorted_runs[start..] {
-                let (off, len, r, out_byte) = *t;
-                if off >= a.extent.end() {
-                    break;
-                }
-                let lo = off.max(a.extent.offset);
-                let hi = (off + len as u64).min(a.extent.end());
-                if lo >= hi {
-                    continue;
-                }
-                let nb = (hi - lo) as usize;
-                let hole: u64 = audit
-                    .unrecoverable
-                    .iter()
-                    .map(|e| {
-                        let l = e.offset.max(lo);
-                        let h = e.end().min(hi);
-                        h.saturating_sub(l)
-                    })
-                    .sum();
-                let mut msg = Vec::with_capacity(24 + nb);
-                msg.extend(((out_byte + (lo - off) as usize) as u64).to_le_bytes());
-                msg.extend((nb as u64).to_le_bytes());
-                msg.extend(hole.to_le_bytes());
-                msg.extend(&buf[(lo - a.extent.offset) as usize..(hi - a.extent.offset) as usize]);
-                io_out.send(comm, r, tags::IO_SCATTER, msg);
-            }
-        }
-    }
-
-    // Receive my pieces until complete or the stage deadline.
-    let mut io_in = InBox::new();
-    let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
-    let mut arrived = 0u64;
-    let mut holes = 0u64;
-    let mut got = 0usize;
-    let deadline = Instant::now() + policy.stage_deadline;
-    while got < piece_counts[rank] && Instant::now() < deadline {
-        io_out.poll(comm);
-        if let Some((src, frame)) = comm.recv_any_timeout(tags::IO_SCATTER, policy.poll) {
-            if let Some(body) = io_in.accept(comm, src, tags::IO_ACK, &frame) {
-                let dst = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
-                let nb = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
-                let hole = u64::from_le_bytes(body[16..24].try_into().unwrap());
-                out[dst..dst + nb].copy_from_slice(&body[24..24 + nb]);
-                arrived += nb as u64;
-                holes += hole;
-                got += 1;
-            }
-        }
-    }
-    io_out.drain(comm, Instant::now() + policy.drain);
-    counters.merge(&io_out.counters);
-    counters.merge(&io_in.counters);
-
-    let expected = piece_bytes[rank];
-    let missing = expected.saturating_sub(arrived);
-    let quality = if expected == 0 {
-        1.0
-    } else {
-        1.0 - (missing + holes) as f64 / expected as f64
-    };
-    FtIoResult {
-        bytes: out,
-        quality,
-        failover_bytes,
-        unrecovered_bytes: missing + holes,
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::CompositorPolicy;
-    use crate::pipeline::{run_frame_mpi, write_dataset};
-    use pvr_faults::{LinkAction, LinkFault, Pat, RankFault};
+    use crate::pipeline::{run_frame_mpi, tags, write_dataset};
+    use pvr_faults::{LinkAction, LinkFault, Pat, RankAction, RankFault, Stage};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("pvr-ft-{}", std::process::id()));

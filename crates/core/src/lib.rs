@@ -18,12 +18,18 @@
 //! I/O mode, compositor policy); [`timing`] defines the per-stage
 //! timing reports both executors share.
 
+pub mod anim;
 pub mod config;
 pub mod ft;
 pub mod perfmodel;
 pub mod pipeline;
+pub mod roles;
+pub mod scheduler;
 pub mod timing;
 
+pub use anim::{
+    run_animation, write_animation, AnimExecutor, AnimFaults, AnimFrame, AnimOptions, AnimResult,
+};
 pub use config::{CompositorPolicy, FrameConfig, IoMode};
 pub use ft::{
     laptop_store, run_frame_mpi_ft, run_frame_mpi_ft_opts, run_frame_mpi_ft_strict, DegradedFrame,
@@ -33,5 +39,10 @@ pub use perfmodel::{simulate_frame, PerfModel, Placement, SimFrameResult};
 pub use pipeline::{
     run_frame, run_frame_mpi, run_frame_mpi_opts, run_frame_mpi_profiled, run_frame_traced,
     write_dataset, FrameResult, ProfiledFrame,
+};
+pub use roles::{bgp_io_nodes, compositor_rank, laptop_aggregators};
+pub use scheduler::{
+    drive_frame, Driver, ExecChoice, FramePlan, FrameTags, LinkMode, PlanError, StageId,
+    EPOCH_STRIDE,
 };
 pub use timing::FrameTiming;

@@ -102,7 +102,7 @@ pub enum Placement {
 impl Placement {
     pub fn compositor_rank(self, c: usize, n: usize, m: usize) -> usize {
         match self {
-            Placement::Spread => c * n / m,
+            Placement::Spread => crate::roles::compositor_rank(c, n, m),
             Placement::Packed => c,
         }
     }

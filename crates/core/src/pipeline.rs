@@ -10,27 +10,37 @@
 //!   phase and the compositing fragments. Produces a bit-identical
 //!   image to [`run_frame`] (asserted by integration tests), because
 //!   both blend the same fragments in the same visibility order.
+//!
+//! Both entry points (and the fault-tolerant ones in [`crate::ft`]) are
+//! thin configurations of the one stage-graph driver in
+//! [`crate::scheduler`]; this module keeps the shared building blocks
+//! (geometry, dataset synthesis, fragment wire format, tags) and the
+//! legacy API surface.
 
 use std::fs::File;
+use std::io::{Read as _, Seek, SeekFrom};
 use std::path::Path;
+use std::time::Instant;
 
 use rayon::prelude::*;
 
-use pvr_compositing::{composite_direct_send_traced, directsend::DirectSendStats, ImagePartition};
+use pvr_compositing::directsend::DirectSendStats;
 use pvr_formats::layout::FileLayout;
 use pvr_formats::rw::write_file;
 use pvr_formats::{Subvolume, ELEM_SIZE};
-use pvr_obs::{Args, Tracer};
+use pvr_obs::Tracer;
 use pvr_pfs::sieve::per_extent_plan;
 use pvr_pfs::twophase::{two_phase_execute_traced, RankRequest};
-use pvr_render::image::{over, Image, SubImage};
+use pvr_pfs::IoThrottle;
+use pvr_render::image::{Image, SubImage};
 use pvr_render::math::Vec3;
-use pvr_render::raycast::{render_block, render_block_traced, BlockDomain, RenderOpts, Shading};
-use pvr_render::{Camera, TransferFunction};
+use pvr_render::raycast::{RenderOpts, Shading};
+use pvr_render::TransferFunction;
 use pvr_volume::{BlockDecomposition, SupernovaField, Volume};
 
 use crate::config::{FrameConfig, IoMode};
-use crate::timing::{FrameTiming, Stopwatch};
+use crate::scheduler::{drive_frame, Driver, ExecChoice, FramePlan, LinkMode};
+use crate::timing::FrameTiming;
 
 /// The default viewing direction for all experiments: a mildly oblique
 /// orthographic view so block footprints genuinely straddle compositor
@@ -109,14 +119,14 @@ pub fn write_dataset(path: &Path, cfg: &FrameConfig) -> std::io::Result<u64> {
 }
 
 /// Per-rank read geometry for one frame.
-struct RankGeometry {
+pub(crate) struct RankGeometry {
     /// Stored (ghost-extended) region per rank.
-    stored: Vec<Subvolume>,
+    pub(crate) stored: Vec<Subvolume>,
     /// Owned region per rank.
-    owned: Vec<Subvolume>,
+    pub(crate) owned: Vec<Subvolume>,
 }
 
-fn geometry(cfg: &FrameConfig) -> RankGeometry {
+pub(crate) fn geometry(cfg: &FrameConfig) -> RankGeometry {
     let decomp = BlockDecomposition::new(cfg.grid, cfg.nprocs);
     let blocks = decomp.blocks();
     // Gradient shading probes one cell around each sample, so it needs
@@ -127,7 +137,11 @@ fn geometry(cfg: &FrameConfig) -> RankGeometry {
     RankGeometry { stored, owned }
 }
 
-fn rank_requests(layout: &dyn FileLayout, var: usize, stored: &[Subvolume]) -> Vec<RankRequest> {
+pub(crate) fn rank_requests(
+    layout: &dyn FileLayout,
+    var: usize,
+    stored: &[Subvolume],
+) -> Vec<RankRequest> {
     stored
         .iter()
         .map(|sub| {
@@ -143,7 +157,7 @@ fn rank_requests(layout: &dyn FileLayout, var: usize, stored: &[Subvolume]) -> V
 
 /// Decode a rank's raw bytes (on-disk order per placed runs) into a
 /// volume over its stored region.
-fn decode_volume(bytes: &[u8], sub: &Subvolume, endian: pvr_formats::Endian) -> Volume {
+pub(crate) fn decode_volume(bytes: &[u8], sub: &Subvolume, endian: pvr_formats::Endian) -> Volume {
     let mut data = vec![0.0f32; sub.num_elements()];
     for (i, c) in bytes.chunks_exact(4).enumerate() {
         data[i] = endian.decode([c[0], c[1], c[2], c[3]]);
@@ -151,12 +165,9 @@ fn decode_volume(bytes: &[u8], sub: &Subvolume, endian: pvr_formats::Endian) -> 
     Volume::from_data(sub.shape, data)
 }
 
-/// Aggregator count used by the laptop-scale runs: a quarter of the
-/// ranks, clamped to [1, 64] — mirroring BG/P's few-aggregators-per-pset
-/// defaults at miniature scale.
-pub fn laptop_aggregators(nranks: usize) -> usize {
-    (nranks / 4).clamp(1, 64)
-}
+/// Aggregator count used by the laptop-scale runs (re-exported from
+/// [`crate::roles`], the single home of role-placement formulas).
+pub use crate::roles::laptop_aggregators;
 
 /// Run one frame for real (rayon executor). When `path` is `None`, the
 /// I/O stage synthesizes block data procedurally instead of reading a
@@ -175,73 +186,16 @@ pub fn run_frame(cfg: &FrameConfig, path: Option<&Path>) -> FrameResult {
 /// [`pvr_obs::perfetto::to_json`]. A disabled tracer makes this
 /// identical to [`run_frame`].
 pub fn run_frame_traced(cfg: &FrameConfig, path: Option<&Path>, tracer: &Tracer) -> FrameResult {
-    let geo = geometry(cfg);
-    let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
-    let tf = transfer_for(cfg);
-    let opts = render_opts(cfg);
-    if tracer.enabled() {
-        for r in 0..cfg.nprocs {
-            tracer.name_track(r as u32, &format!("rank {r}"));
-        }
-    }
-    tracer.begin_args(0, "frame", Args::one("ranks", cfg.nprocs as u64));
-
-    // --- Stage 1: I/O ---
-    let mut sw = Stopwatch::start();
-    tracer.begin(0, "io");
-    let (volumes, io) = match path {
-        Some(p) => read_stage(cfg, &geo, p, tracer),
-        None => (synthesize_stage(cfg, &geo), IoRunStats::default()),
-    };
-    tracer.end_args(0, "io", Args::one("useful_bytes", io.useful_bytes));
-    let t_io = sw.lap();
-
-    // --- Stage 2: rendering (embarrassingly parallel) ---
-    tracer.begin(0, "render");
-    let rendered: Vec<(SubImage, u64)> = volumes
-        .par_iter()
-        .enumerate()
-        .map(|(rank, vol)| {
-            let dom = BlockDomain {
-                grid: cfg.grid,
-                owned: geo.owned[rank],
-                stored: geo.stored[rank],
-            };
-            let (sub, stats) =
-                render_block_traced(vol, &dom, &camera, &tf, &opts, tracer, rank as u32);
-            (sub, stats.samples)
-        })
-        .collect();
-    tracer.end(0, "render");
-    let t_render = sw.lap();
-    let render_samples: u64 = rendered.iter().map(|(_, s)| *s).sum();
-    let subs: Vec<SubImage> = rendered.into_iter().map(|(s, _)| s).collect();
-
-    // --- Stage 3: compositing ---
-    tracer.begin(0, "composite");
-    let m = cfg.policy.compositors(cfg.nprocs);
-    let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
-    let (image, composite) = composite_direct_send_traced(&subs, partition, tracer);
-    tracer.end_args(
-        0,
-        "composite",
-        Args::one("messages", composite.messages as u64),
-    );
-    let t_composite = sw.lap();
-    tracer.end(0, "frame");
-
-    FrameResult {
-        image,
-        timing: FrameTiming {
-            io: t_io,
-            render: t_render,
-            composite: t_composite,
-            ..Default::default()
+    drive_frame(
+        cfg,
+        path,
+        Driver {
+            plan: FramePlan::standard(),
+            exec: ExecChoice::Rayon { tracer },
         },
-        io,
-        render_samples,
-        composite,
-    }
+    )
+    .expect("rayon frames cannot fail")
+    .frame
 }
 
 /// Render options for a config.
@@ -261,7 +215,7 @@ pub fn transfer_for(cfg: &FrameConfig) -> TransferFunction {
     }
 }
 
-fn synthesize_stage(cfg: &FrameConfig, geo: &RankGeometry) -> Vec<Volume> {
+pub(crate) fn synthesize_stage(cfg: &FrameConfig, geo: &RankGeometry) -> Vec<Volume> {
     let field = SupernovaField::new(cfg.seed).variable(cfg.variable);
     geo.stored
         .par_iter()
@@ -269,7 +223,7 @@ fn synthesize_stage(cfg: &FrameConfig, geo: &RankGeometry) -> Vec<Volume> {
         .collect()
 }
 
-fn read_stage(
+pub(crate) fn read_stage(
     cfg: &FrameConfig,
     geo: &RankGeometry,
     path: &Path,
@@ -329,6 +283,74 @@ fn read_stage(
             ..Default::default()
         };
         (volumes, stats)
+    }
+}
+
+/// Read one frame's per-rank byte buffers (on-disk order per placed
+/// runs) without decoding them into volumes — the form a prefetch
+/// thread hands to a later frame. An optional [`IoThrottle`] floors the
+/// read at a bandwidth, making I/O genuinely expensive for pipelining
+/// experiments.
+pub(crate) fn read_frame_bytes(
+    cfg: &FrameConfig,
+    path: &Path,
+    throttle: Option<IoThrottle>,
+) -> std::io::Result<(Vec<Vec<u8>>, IoRunStats)> {
+    let layout = cfg.io.layout(cfg.grid);
+    let var = cfg.file_variable();
+    let geo = geometry(cfg);
+    let requests = rank_requests(layout.as_ref(), var, &geo.stored);
+    let t0 = Instant::now();
+
+    if layout.collective() {
+        let hints = cfg.io.hints(cfg.grid);
+        let naggr = laptop_aggregators(cfg.nprocs);
+        let mut f = File::open(path)?;
+        let disabled = Tracer::disabled();
+        let res = two_phase_execute_traced(&mut f, &requests, naggr, &hints, &disabled)?;
+        let stats = IoRunStats {
+            useful_bytes: res.plan.useful_bytes,
+            physical_bytes: res.plan.physical_bytes,
+            accesses: res.plan.accesses.len(),
+            exchange_bytes: res.exchange_bytes,
+            data_density: res.plan.data_density(),
+            ..Default::default()
+        };
+        if let Some(t) = throttle {
+            t.pad(stats.physical_bytes, t0);
+        }
+        Ok((res.rank_bytes, stats))
+    } else {
+        let per_process: Vec<Vec<pvr_formats::Extent>> = geo
+            .stored
+            .iter()
+            .map(|sub| layout.physical_extents(var, sub))
+            .collect();
+        let plan = per_extent_plan(&per_process);
+        let useful: u64 = requests.iter().map(|r| r.useful_bytes()).sum();
+        let mut f = File::open(path)?;
+        let mut bytes = Vec::with_capacity(requests.len());
+        for rq in &requests {
+            let mut out = vec![0u8; rq.out_elems * ELEM_SIZE as usize];
+            for run in &rq.runs {
+                let nb = run.elems * ELEM_SIZE as usize;
+                f.seek(SeekFrom::Start(run.file_offset))?;
+                f.read_exact(&mut out[run.out_start * 4..run.out_start * 4 + nb])?;
+            }
+            bytes.push(out);
+        }
+        let stats = IoRunStats {
+            useful_bytes: useful,
+            physical_bytes: plan.physical_bytes,
+            accesses: plan.accesses.len(),
+            exchange_bytes: 0,
+            data_density: useful as f64 / plan.physical_bytes.max(1) as f64,
+            ..Default::default()
+        };
+        if let Some(t) = throttle {
+            t.pad(useful, t0);
+        }
+        Ok((bytes, stats))
     }
 }
 
@@ -424,162 +446,21 @@ pub fn run_frame_mpi_opts(
     path: &Path,
     opts: pvr_mpisim::RunOptions,
 ) -> Result<(FrameResult, Option<pvr_mpisim::trace::TraceLog>), pvr_mpisim::RunError> {
-    let cfg = *cfg;
-    let path = path.to_path_buf();
-    let n = cfg.nprocs;
-    let m = cfg.policy.compositors(n);
-    // Compositor c is hosted by rank c*n/m (spread over the machine).
-    let compositor_rank = move |c: usize| c * n / m;
-
-    let out = pvr_mpisim::World::run_opts(n, opts, move |mut comm| {
-        let rank = comm.rank();
-        let geo = geometry(&cfg);
-        let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
-        let tf = transfer_for(&cfg);
-        let opts = render_opts(&cfg);
-        let layout = cfg.io.layout(cfg.grid);
-        let var = cfg.file_variable();
-        let mut sw = Stopwatch::start();
-        comm.span_begin("frame");
-
-        // --- Stage 1: I/O. Aggregators read, scatter to owners. ---
-        comm.span_begin("io");
-        let requests = rank_requests(layout.as_ref(), var, &geo.stored);
-        let naggr = laptop_aggregators(n);
-        let my_bytes =
-            mpi_collective_read(&mut comm, &cfg, layout.as_ref(), &requests, naggr, &path);
-        let volume = decode_volume(&my_bytes, &geo.stored[rank], layout.endian());
-        // Close the stage before the barrier: the span then measures
-        // this rank's own progress, so the cross-rank imbalance factor
-        // is visible; barrier wait time accrues to the parent span.
-        comm.span_end("io");
-        comm.barrier();
-        let t_io = sw.lap();
-
-        // --- Stage 2: render. ---
-        comm.span_begin("render");
-        let dom = BlockDomain {
-            grid: cfg.grid,
-            owned: geo.owned[rank],
-            stored: geo.stored[rank],
-        };
-        let (sub, rstats) = render_block(&volume, &dom, &camera, &tf, &opts);
-        comm.mark_instant("render.samples", rstats.samples);
-        comm.span_end("render");
-        comm.barrier();
-        let t_render = sw.lap();
-
-        // --- Stage 3: direct-send compositing over messages. ---
-        comm.span_begin("composite");
-        let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
-        // Everyone derives the same schedule from the same footprints.
-        let footprints: Vec<pvr_render::image::PixelRect> = (0..n)
-            .map(|r| {
-                pvr_render::raycast::footprint(
-                    &camera,
-                    geo.owned[r].offset,
-                    geo.owned[r].end(),
-                    cfg.image,
-                )
-            })
-            .collect();
-        let schedule = pvr_compositing::build_schedule(&footprints, partition);
-
-        // Send my fragments.
-        let mut sent = 0u64;
-        for msg in schedule.messages.iter().filter(|m| m.renderer == rank) {
-            let tile = partition.tile(msg.compositor);
-            if let Some(frag) = sub.crop(&tile) {
-                let dst = compositor_rank(msg.compositor);
-                sent += frag.wire_bytes();
-                comm.send(dst, tags::FRAGMENT, encode_fragment(rank, &frag));
-            }
-        }
-
-        // Composite the tile I own, if any. With m <= n the map
-        // c -> c*n/m is injective, so a rank owns at most one tile.
-        let my_tile = (0..m).find(|&c| compositor_rank(c) == rank);
-        let mut tiles_out: Vec<(usize, SubImage)> = Vec::new();
-        if let Some(c) = my_tile {
-            let expected = schedule
-                .messages
-                .iter()
-                .filter(|mm| mm.compositor == c)
-                .count();
-            let tile = partition.tile(c);
-            let mut frags: Vec<(usize, SubImage)> = Vec::with_capacity(expected);
-            while frags.len() < expected {
-                let (_, data) = comm.recv_any(tags::FRAGMENT);
-                let (renderer, frag) = decode_fragment(&data);
-                debug_assert_eq!(frag.rect.intersect(&tile), Some(frag.rect));
-                frags.push((renderer, frag));
-            }
-            frags.sort_by(|a, b| a.1.depth.total_cmp(&b.1.depth).then(a.0.cmp(&b.0)));
-            let mut buf = SubImage::transparent(tile, 0.0);
-            for (_, frag) in &frags {
-                for y in frag.rect.y0..frag.rect.y1() {
-                    for x in frag.rect.x0..frag.rect.x1() {
-                        let idx = (y - tile.y0) * tile.w + (x - tile.x0);
-                        buf.pixels[idx] = over(buf.pixels[idx], frag.get(x, y));
-                    }
-                }
-            }
-            tiles_out.push((c, buf));
-        }
-
-        // Ship finished tiles to rank 0.
-        for (c, buf) in &tiles_out {
-            comm.send(0, tags::TILE, encode_fragment(*c, buf));
-        }
-        let image = if rank == 0 {
-            let mut img = Image::new(cfg.image.0, cfg.image.1);
-            for _ in 0..m {
-                let (_, data) = comm.recv_any(tags::TILE);
-                let (_, tile_img) = decode_fragment(&data);
-                img.paste(&tile_img);
-            }
-            Some(img)
-        } else {
-            None
-        };
-        comm.span_end("composite");
-        comm.barrier();
-        comm.span_end("frame");
-        let t_composite = sw.lap();
-
-        (
-            image,
-            FrameTiming {
-                io: t_io,
-                render: t_render,
-                composite: t_composite,
-                ..Default::default()
-            },
-            rstats.samples,
-            sent,
-        )
-    });
-
-    let out = out?;
-    let trace = out.trace;
-    let mut results = out.results;
-    let render_samples: u64 = results.iter().map(|(_, _, s, _)| *s).sum();
-    let sent_bytes: u64 = results.iter().map(|(_, _, _, b)| *b).sum();
-    let (image, timing, _, _) = results.remove(0);
-    Ok((
-        FrameResult {
-            image: image.expect("rank 0 holds the image"),
-            timing,
-            io: IoRunStats::default(),
-            render_samples,
-            composite: DirectSendStats {
-                messages: 0,
-                bytes: sent_bytes,
-                per_compositor: Vec::new(),
+    match drive_frame(
+        cfg,
+        Some(path),
+        Driver {
+            plan: FramePlan::standard(),
+            exec: ExecChoice::Mpi {
+                opts,
+                links: LinkMode::Direct,
             },
         },
-        trace,
-    ))
+    ) {
+        Ok(out) => Ok((out.frame, out.trace)),
+        Err(crate::ft::FtError::Runtime(e)) => Err(e),
+        Err(crate::ft::FtError::Degraded(_)) => unreachable!("plain frames never degrade"),
+    }
 }
 
 /// One fully profiled message-passing frame: the rendered frame, the
@@ -620,125 +501,6 @@ pub fn run_frame_mpi_profiled(
         trace,
         profile,
     })
-}
-
-/// A two-phase collective read over real messages: aggregators read
-/// window accesses from the file and scatter each rank's pieces; every
-/// rank returns its own request's bytes.
-fn mpi_collective_read(
-    comm: &mut pvr_mpisim::Comm,
-    _cfg: &FrameConfig,
-    layout: &dyn FileLayout,
-    requests: &[RankRequest],
-    naggr: usize,
-    path: &Path,
-) -> Vec<u8> {
-    use pvr_formats::extent::{coalesce, Extent};
-    let rank = comm.rank();
-    let n = comm.size();
-    let naggr = naggr.clamp(1, n);
-    let aggr_rank = |j: usize| j * n / naggr;
-
-    if layout.collective() {
-        // All ranks derive the identical plan.
-        let mut aggregate: Vec<Extent> = requests
-            .iter()
-            .flat_map(|rq| {
-                rq.runs
-                    .iter()
-                    .map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
-            })
-            .collect();
-        coalesce(&mut aggregate);
-        let hints = _cfg.io.hints(_cfg.grid);
-        let plan = pvr_pfs::two_phase_plan(&aggregate, naggr, &hints);
-
-        // Sorted runs across all ranks for the scatter.
-        let mut sorted_runs: Vec<(u64, usize, usize, usize)> = Vec::new();
-        for (r, rq) in requests.iter().enumerate() {
-            for run in &rq.runs {
-                sorted_runs.push((
-                    run.file_offset,
-                    run.elems * ELEM_SIZE as usize,
-                    r,
-                    run.out_start * ELEM_SIZE as usize,
-                ));
-            }
-        }
-        sorted_runs.sort_unstable_by_key(|t| t.0);
-
-        // Aggregator duty: read my windows, send pieces.
-        let mut piece_counts = vec![0usize; n];
-        for a in &plan.accesses {
-            for t in &sorted_runs {
-                let (off, len, r, _) = *t;
-                if off + (len as u64) <= a.extent.offset {
-                    continue;
-                }
-                if off >= a.extent.end() {
-                    break;
-                }
-                piece_counts[r] += 1;
-            }
-        }
-        let mut file = File::open(path).expect("dataset file");
-        use std::io::{Read, Seek, SeekFrom};
-        let mut buf = Vec::new();
-        for a in plan
-            .accesses
-            .iter()
-            .filter(|a| aggr_rank(a.aggregator) == rank)
-        {
-            comm.span_begin_v("io.window", a.extent.len);
-            buf.resize(a.extent.len as usize, 0);
-            file.seek(SeekFrom::Start(a.extent.offset)).unwrap();
-            file.read_exact(&mut buf).unwrap();
-            let start = sorted_runs.partition_point(|t| t.0 + t.1 as u64 <= a.extent.offset);
-            for t in &sorted_runs[start..] {
-                let (off, len, r, out_byte) = *t;
-                if off >= a.extent.end() {
-                    break;
-                }
-                let lo = off.max(a.extent.offset);
-                let hi = (off + len as u64).min(a.extent.end());
-                if lo >= hi {
-                    continue;
-                }
-                // Piece header: destination byte offset within the
-                // rank's buffer.
-                let nb = (hi - lo) as usize;
-                let mut msg = Vec::with_capacity(16 + nb);
-                msg.extend(((out_byte + (lo - off) as usize) as u64).to_le_bytes());
-                msg.extend((nb as u64).to_le_bytes());
-                msg.extend(&buf[(lo - a.extent.offset) as usize..(hi - a.extent.offset) as usize]);
-                comm.send(r, tags::IO_SCATTER, msg);
-            }
-            comm.span_end("io.window");
-        }
-
-        // Receive my pieces.
-        let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
-        let expected = piece_counts[rank];
-        for _ in 0..expected {
-            let (_, msg) = comm.recv_any(tags::IO_SCATTER);
-            let dst = u64::from_le_bytes(msg[0..8].try_into().unwrap()) as usize;
-            let nb = u64::from_le_bytes(msg[8..16].try_into().unwrap()) as usize;
-            out[dst..dst + nb].copy_from_slice(&msg[16..16 + nb]);
-        }
-        out
-    } else {
-        // Independent path (HDF5-like): read my own runs directly.
-        let mut file = File::open(path).expect("dataset file");
-        use std::io::{Read, Seek, SeekFrom};
-        let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
-        for run in &requests[rank].runs {
-            let nb = run.elems * ELEM_SIZE as usize;
-            file.seek(SeekFrom::Start(run.file_offset)).unwrap();
-            file.read_exact(&mut out[run.out_start * 4..run.out_start * 4 + nb])
-                .unwrap();
-        }
-        out
-    }
 }
 
 #[cfg(test)]

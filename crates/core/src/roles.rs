@@ -1,0 +1,57 @@
+//! Rank-role arithmetic shared by every executor, model, and bench.
+//!
+//! On the real machine these assignments come from the job layout: MPI-IO
+//! picks aggregators per pset, direct-send spreads `m` compositors over
+//! the `n` renderers, and each group of 64 compute nodes shares one I/O
+//! node. The repo used to recompute each of these in several places
+//! (pipeline, ft, perfmodel, and a couple of bench binaries); this module
+//! is now the single source of truth.
+
+/// Aggregator count for laptop-scale collective reads: one per four
+/// ranks, within `[1, 64]` (mirroring one aggregator per compute node
+/// with a Blue Gene/P-style cap per pset).
+pub fn laptop_aggregators(nranks: usize) -> usize {
+    (nranks / 4).clamp(1, 64)
+}
+
+/// Rank hosting compositor `c` when `m` compositors are spread evenly
+/// over `n` renderers: `c * n / m` (the paper's direct-send placement).
+pub fn compositor_rank(c: usize, n: usize, m: usize) -> usize {
+    c * n / m.max(1)
+}
+
+/// Blue Gene/P I/O-node count for an `nprocs`-rank VN-mode job: four
+/// ranks per node, 64 compute nodes per I/O node, at least one.
+pub fn bgp_io_nodes(nprocs: usize) -> usize {
+    (nprocs / 4).div_ceil(64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregator_counts_are_clamped() {
+        assert_eq!(laptop_aggregators(1), 1);
+        assert_eq!(laptop_aggregators(8), 2);
+        assert_eq!(laptop_aggregators(64), 16);
+        assert_eq!(laptop_aggregators(1024), 64);
+    }
+
+    #[test]
+    fn compositors_spread_evenly() {
+        let n = 8;
+        let m = 4;
+        let ranks: Vec<usize> = (0..m).map(|c| compositor_rank(c, n, m)).collect();
+        assert_eq!(ranks, vec![0, 2, 4, 6]);
+        // m == n is the identity placement.
+        assert!((0..n).all(|c| compositor_rank(c, n, n) == c));
+    }
+
+    #[test]
+    fn io_nodes_match_the_machine_model() {
+        assert_eq!(bgp_io_nodes(8), 1); // tiny jobs still get one
+        assert_eq!(bgp_io_nodes(16384), 64);
+        assert_eq!(bgp_io_nodes(32768), 128);
+    }
+}

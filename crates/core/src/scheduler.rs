@@ -1,0 +1,1617 @@
+//! The frame scheduler: one driver for every way a frame runs.
+//!
+//! The pipeline is a small DAG of stages — read → render → composite →
+//! gather — with explicit data handoffs ([`FramePlan`]). What used to be
+//! six hand-rolled copies of that sequence (`run_frame`,
+//! `run_frame_traced`, `run_frame_mpi`, `run_frame_mpi_opts`,
+//! `run_frame_mpi_profiled`, `run_frame_mpi_ft`) is now one driver,
+//! [`drive_frame`], configured along independent axes:
+//!
+//! * **Executor** ([`ExecChoice`]): data-parallel rayon
+//!   ([`RayonExec`]) or per-rank message passing ([`RankExec`] inside a
+//!   `pvr-mpisim` world).
+//! * **Link mode** ([`LinkMode`]): plain blocking messages, or the
+//!   fault-tolerant protocol (framed acked links, deadline receives,
+//!   per-tile completeness) driven by a `FaultPlan`.
+//! * **Tracing/profiling**: an [`pvr_obs::Tracer`] for the rayon
+//!   executor, `RunOptions::traced()` + replay for the simulator —
+//!   orthogonal to everything else.
+//! * **Tag epoch** ([`FrameTags`]): which time step's message tags the
+//!   frame uses, so the animation driver can keep several frames'
+//!   traffic disjoint in one world. Frame 0 equals the legacy
+//!   [`crate::pipeline::tags`] constants, which keeps the golden traces
+//!   stable.
+//!
+//! The legacy entry points survive as thin wrappers; the integration
+//! tests (bit-identity across executors, byte-golden profiles, fault
+//! recovery) pin that the collapse changed nothing observable.
+
+use std::fs::File;
+use std::io::{Read as _, Seek, SeekFrom};
+use std::ops::ControlFlow;
+use std::path::Path;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use pvr_compositing::completeness::{CompletenessMap, TileCompleteness};
+use pvr_compositing::directsend::DirectSendStats;
+use pvr_compositing::{blend_fragments, build_schedule, ImagePartition, Schedule};
+use pvr_faults::{
+    FaultPlan, InBox, OutBox, PlanInjector, RankAction, RecoveryCounters, RecoveryPolicy, Stage,
+};
+use pvr_formats::extent::Extent;
+use pvr_formats::ELEM_SIZE;
+use pvr_obs::Tracer;
+use pvr_pfs::{
+    window_fault_audit, IoRecovery, IoThrottle, ScatterPlan, ServerFaults, StripedStore,
+};
+use pvr_render::image::{Image, SubImage};
+use pvr_render::raycast::{render_block, BlockDomain};
+use pvr_render::Camera;
+
+use crate::config::FrameConfig;
+use crate::ft::FtError;
+use crate::pipeline::{
+    decode_fragment, decode_volume, default_view, encode_fragment, geometry, rank_requests,
+    read_frame_bytes, read_stage, render_opts, synthesize_stage, tags, transfer_for, FrameResult,
+    IoRunStats,
+};
+use crate::roles::laptop_aggregators;
+use crate::timing::{FrameTiming, Stopwatch};
+
+// ---------------------------------------------------------------------
+// Stage DAG
+// ---------------------------------------------------------------------
+
+/// One stage of the frame pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Collective (or independent) read of the time step's subvolumes.
+    Read,
+    /// Local ray-casting of each rank's block.
+    Render,
+    /// Direct-send fragment exchange and per-tile blending.
+    Composite,
+    /// Tile gather to rank 0 into the final image.
+    Gather,
+}
+
+impl StageId {
+    pub const ALL: [StageId; 4] = [
+        StageId::Read,
+        StageId::Render,
+        StageId::Composite,
+        StageId::Gather,
+    ];
+
+    /// Stages whose output this stage consumes.
+    pub fn deps(self) -> &'static [StageId] {
+        match self {
+            StageId::Read => &[],
+            StageId::Render => &[StageId::Read],
+            StageId::Composite => &[StageId::Render],
+            StageId::Gather => &[StageId::Composite],
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Read => "read",
+            StageId::Render => "render",
+            StageId::Composite => "composite",
+            StageId::Gather => "gather",
+        }
+    }
+
+    /// The `FaultPlan` stage a rank fault at this point belongs to.
+    /// Gather rides on the composite deadline machinery and has no
+    /// fault index of its own — plans written against the old
+    /// three-stage executor keep their meaning.
+    pub fn fault_stage(self) -> Option<Stage> {
+        match self {
+            StageId::Read => Some(Stage::Io),
+            StageId::Render => Some(Stage::Render),
+            StageId::Composite => Some(Stage::Composite),
+            StageId::Gather => None,
+        }
+    }
+}
+
+/// A validation failure of a [`FramePlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    Duplicate(StageId),
+    Missing(StageId),
+    /// `stage` is scheduled before a stage whose output it needs.
+    DependencyOrder {
+        stage: StageId,
+        needs: StageId,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Duplicate(s) => write!(f, "stage {} appears twice", s.name()),
+            PlanError::Missing(s) => write!(f, "stage {} is missing", s.name()),
+            PlanError::DependencyOrder { stage, needs } => write!(
+                f,
+                "stage {} runs before its input stage {}",
+                stage.name(),
+                needs.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A topological order over the stage DAG: each stage appears exactly
+/// once, after every stage it consumes data from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramePlan {
+    order: Vec<StageId>,
+}
+
+impl FramePlan {
+    /// The full pipeline in its canonical order.
+    pub fn standard() -> FramePlan {
+        FramePlan {
+            order: StageId::ALL.to_vec(),
+        }
+    }
+
+    /// Build a plan from an explicit stage order, verifying it is a
+    /// topological order of the DAG covering every stage.
+    pub fn new(order: Vec<StageId>) -> Result<FramePlan, PlanError> {
+        let mut seen: Vec<StageId> = Vec::with_capacity(order.len());
+        for &s in &order {
+            if seen.contains(&s) {
+                return Err(PlanError::Duplicate(s));
+            }
+            for &d in s.deps() {
+                if !seen.contains(&d) {
+                    return Err(PlanError::DependencyOrder { stage: s, needs: d });
+                }
+            }
+            seen.push(s);
+        }
+        for s in StageId::ALL {
+            if !seen.contains(&s) {
+                return Err(PlanError::Missing(s));
+            }
+        }
+        Ok(FramePlan { order })
+    }
+
+    pub fn stages(&self) -> &[StageId] {
+        &self.order
+    }
+}
+
+/// One frame's worth of stage execution on some executor. The scheduler
+/// owns the sequencing; the executor owns the stage bodies and the data
+/// handoffs between them.
+pub trait StageExec: Sized {
+    type Out;
+
+    /// Called once before the first stage.
+    fn begin(&mut self) {}
+
+    /// Run one stage. `Break` aborts the remaining stages (a crashed
+    /// rank); [`StageExec::finish`] still runs.
+    fn stage(&mut self, stage: StageId) -> ControlFlow<()>;
+
+    /// Consume the executor and produce the frame's output.
+    fn finish(self) -> Self::Out;
+}
+
+/// Drive an executor through a plan.
+pub fn execute<E: StageExec>(plan: &FramePlan, exec: E) -> E::Out {
+    execute_with(plan, exec, |_, _| {})
+}
+
+/// [`execute`] with a hook after each completed stage — the animation
+/// driver uses it to launch the next frame's I/O prefetch as soon as
+/// the current frame's read hands off, without owning the stage loop.
+pub fn execute_with<E: StageExec>(
+    plan: &FramePlan,
+    mut exec: E,
+    mut after: impl FnMut(&mut E, StageId),
+) -> E::Out {
+    exec.begin();
+    for &s in plan.stages() {
+        match exec.stage(s) {
+            ControlFlow::Continue(()) => after(&mut exec, s),
+            ControlFlow::Break(()) => break,
+        }
+    }
+    exec.finish()
+}
+
+// ---------------------------------------------------------------------
+// Tag epochs
+// ---------------------------------------------------------------------
+
+/// Tags advance by this stride per time step; the six stage tags of one
+/// frame live in one epoch and can never collide with another frame's.
+pub const EPOCH_STRIDE: u32 = 16;
+
+/// The message tags of one time step's frame. Frame 0 is exactly the
+/// legacy [`crate::pipeline::tags`] constants, so single-frame runs —
+/// including the byte-golden profiled trace — are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTags {
+    pub io_scatter: u32,
+    pub fragment: u32,
+    pub tile: u32,
+    pub io_ack: u32,
+    pub frag_ack: u32,
+    pub tile_ack: u32,
+}
+
+impl FrameTags {
+    pub fn for_frame(frame: usize) -> FrameTags {
+        let base = EPOCH_STRIDE * frame as u32;
+        FrameTags {
+            io_scatter: tags::IO_SCATTER + base,
+            fragment: tags::FRAGMENT + base,
+            tile: tags::TILE + base,
+            io_ack: tags::IO_ACK + base,
+            frag_ack: tags::FRAG_ACK + base,
+            tile_ack: tags::TILE_ACK + base,
+        }
+    }
+
+    /// The frame-0 stage tag an epoch tag descends from.
+    pub fn base_of(tag: u32) -> u32 {
+        ((tag - 1) % EPOCH_STRIDE) + 1
+    }
+
+    /// Which time step an epoch tag belongs to.
+    pub fn frame_of(tag: u32) -> usize {
+        ((tag - 1) / EPOCH_STRIDE) as usize
+    }
+
+    /// The full tag table of an animation's first `frames` time steps,
+    /// for tag-discipline lint over the multi-frame tag space.
+    pub fn table(frames: usize) -> Vec<(u32, String)> {
+        let mut out = Vec::with_capacity(frames * tags::ALL.len());
+        for t in 0..frames {
+            let base = EPOCH_STRIDE * t as u32;
+            for (tag, name) in tags::ALL {
+                out.push((tag + base, format!("frame{t}/{name}")));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Link modes
+// ---------------------------------------------------------------------
+
+/// Everything the fault-tolerant link mode needs, with the derived
+/// fault state precomputed once.
+#[derive(Debug, Clone)]
+pub struct ReliableCfg {
+    pub plan: FaultPlan,
+    pub policy: RecoveryPolicy,
+    pub store: StripedStore,
+    faults: ServerFaults,
+    rec: IoRecovery,
+}
+
+/// How the message-passing executor moves data: plain blocking sends
+/// and receives with barriers between stages (the paper's
+/// bulk-synchronous frame), or the fault-tolerant protocol — framed
+/// acked links, deadline receives, no barriers, per-tile completeness.
+#[derive(Debug, Clone)]
+pub enum LinkMode {
+    Direct,
+    Reliable(Box<ReliableCfg>),
+}
+
+impl LinkMode {
+    pub fn reliable(plan: FaultPlan, policy: RecoveryPolicy, store: StripedStore) -> LinkMode {
+        let faults = plan.server_faults(store.servers);
+        let rec = policy.io_recovery();
+        LinkMode::Reliable(Box::new(ReliableCfg {
+            plan,
+            policy,
+            store,
+            faults,
+            rec,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rayon executor
+// ---------------------------------------------------------------------
+
+/// Where a rayon frame's volume data comes from.
+pub enum FrameInput<'a> {
+    /// Sample the synthetic field procedurally (no I/O).
+    Synthetic,
+    /// Read the dataset file in the Read stage.
+    File(&'a Path),
+    /// Bytes already fetched by a prefetch thread: per-rank on-disk-order
+    /// buffers, the realized I/O stats, and how long the background read
+    /// took (charged to the frame's `io` stage time even though it was
+    /// hidden under earlier frames).
+    Prefetched {
+        bytes: Vec<Vec<u8>>,
+        io: IoRunStats,
+        io_secs: f64,
+    },
+}
+
+/// The data-parallel executor: logical ranks, shared address space,
+/// rayon inside each stage. One instance runs one frame.
+pub struct RayonExec<'a> {
+    cfg: &'a FrameConfig,
+    tracer: &'a Tracer,
+    input: Option<FrameInput<'a>>,
+    throttle: Option<IoThrottle>,
+    geo: crate::pipeline::RankGeometry,
+    camera: Camera,
+    t0: Instant,
+    sw: Stopwatch,
+    timing: FrameTiming,
+    io: IoRunStats,
+    volumes: Vec<pvr_volume::Volume>,
+    subs: Vec<SubImage>,
+    render_samples: u64,
+    image: Option<Image>,
+    composite: Option<DirectSendStats>,
+}
+
+impl<'a> RayonExec<'a> {
+    pub fn new(
+        cfg: &'a FrameConfig,
+        input: FrameInput<'a>,
+        tracer: &'a Tracer,
+        throttle: Option<IoThrottle>,
+    ) -> RayonExec<'a> {
+        RayonExec {
+            cfg,
+            tracer,
+            input: Some(input),
+            throttle,
+            geo: geometry(cfg),
+            camera: Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1),
+            t0: Instant::now(),
+            sw: Stopwatch::start(),
+            timing: FrameTiming::default(),
+            io: IoRunStats::default(),
+            volumes: Vec::new(),
+            subs: Vec::new(),
+            render_samples: 0,
+            image: None,
+            composite: None,
+        }
+    }
+}
+
+impl StageExec for RayonExec<'_> {
+    type Out = FrameResult;
+
+    fn begin(&mut self) {
+        let cfg = self.cfg;
+        if self.tracer.enabled() {
+            for r in 0..cfg.nprocs {
+                self.tracer.name_track(r as u32, &format!("rank {r}"));
+            }
+        }
+        self.tracer
+            .begin_args(0, "frame", pvr_obs::Args::one("ranks", cfg.nprocs as u64));
+        self.t0 = Instant::now();
+        self.sw = Stopwatch::start();
+    }
+
+    fn stage(&mut self, stage: StageId) -> ControlFlow<()> {
+        let cfg = self.cfg;
+        match stage {
+            StageId::Read => {
+                self.timing.starts[0] = self.t0.elapsed().as_secs_f64();
+                self.tracer.begin(0, "io");
+                let mut io_secs = None;
+                (self.volumes, self.io) = match self.input.take().expect("input consumed once") {
+                    FrameInput::Synthetic => {
+                        (synthesize_stage(cfg, &self.geo), IoRunStats::default())
+                    }
+                    FrameInput::File(p) => match self.throttle {
+                        None => read_stage(cfg, &self.geo, p, self.tracer),
+                        Some(t) => {
+                            // Throttled reads bypass the per-window span
+                            // machinery: the bandwidth floor applies to
+                            // the stage as a whole.
+                            let (bytes, io) =
+                                read_frame_bytes(cfg, p, Some(t)).expect("dataset file");
+                            (decode_rank_bytes(cfg, &self.geo, &bytes), io)
+                        }
+                    },
+                    FrameInput::Prefetched {
+                        bytes,
+                        io,
+                        io_secs: s,
+                    } => {
+                        io_secs = Some(s);
+                        (decode_rank_bytes(cfg, &self.geo, &bytes), io)
+                    }
+                };
+                self.tracer.end_args(
+                    0,
+                    "io",
+                    pvr_obs::Args::one("useful_bytes", self.io.useful_bytes),
+                );
+                let lap = self.sw.lap();
+                // A prefetched frame charges the background read's real
+                // duration, not the (near-zero) in-frame decode wait.
+                self.timing.io = io_secs.map_or(lap, |s| s + lap);
+            }
+            StageId::Render => {
+                self.timing.starts[1] = self.t0.elapsed().as_secs_f64();
+                self.tracer.begin(0, "render");
+                let tf = transfer_for(cfg);
+                let opts = render_opts(cfg);
+                let geo = &self.geo;
+                let camera = &self.camera;
+                let tracer = self.tracer;
+                let rendered: Vec<(SubImage, u64)> = self
+                    .volumes
+                    .par_iter()
+                    .enumerate()
+                    .map(|(rank, vol)| {
+                        let dom = BlockDomain {
+                            grid: cfg.grid,
+                            owned: geo.owned[rank],
+                            stored: geo.stored[rank],
+                        };
+                        let (sub, stats) = pvr_render::raycast::render_block_traced(
+                            vol,
+                            &dom,
+                            camera,
+                            &tf,
+                            &opts,
+                            tracer,
+                            rank as u32,
+                        );
+                        (sub, stats.samples)
+                    })
+                    .collect();
+                self.tracer.end(0, "render");
+                self.timing.render = self.sw.lap();
+                self.render_samples = rendered.iter().map(|(_, s)| *s).sum();
+                self.subs = rendered.into_iter().map(|(s, _)| s).collect();
+                self.volumes.clear();
+            }
+            StageId::Composite => {
+                self.timing.starts[2] = self.t0.elapsed().as_secs_f64();
+                self.tracer.begin(0, "composite");
+                let m = cfg.compositors();
+                let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
+                let (image, composite) = pvr_compositing::composite_direct_send_traced(
+                    &self.subs,
+                    partition,
+                    self.tracer,
+                );
+                self.tracer.end_args(
+                    0,
+                    "composite",
+                    pvr_obs::Args::one("messages", composite.messages as u64),
+                );
+                self.timing.composite = self.sw.lap();
+                self.image = Some(image);
+                self.composite = Some(composite);
+            }
+            // Direct-send already pastes tiles into the final image; the
+            // shared-address-space gather is that paste.
+            StageId::Gather => {}
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn finish(self) -> FrameResult {
+        self.tracer.end(0, "frame");
+        let mut timing = self.timing;
+        timing.wall = self.t0.elapsed().as_secs_f64();
+        FrameResult {
+            image: self.image.expect("composite stage ran"),
+            timing,
+            io: self.io,
+            render_samples: self.render_samples,
+            composite: self.composite.expect("composite stage ran"),
+        }
+    }
+}
+
+/// Decode per-rank on-disk-order byte buffers into volumes.
+fn decode_rank_bytes(
+    cfg: &FrameConfig,
+    geo: &crate::pipeline::RankGeometry,
+    bytes: &[Vec<u8>],
+) -> Vec<pvr_volume::Volume> {
+    let layout = cfg.io.layout(cfg.grid);
+    bytes
+        .par_iter()
+        .zip(&geo.stored)
+        .map(|(b, sub)| decode_volume(b, sub, layout.endian()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Message-passing executor (one rank's frame)
+// ---------------------------------------------------------------------
+
+/// Window bytes a prefetch thread fetched for this rank's aggregator
+/// duty: one buffer per window access this rank hosts, in plan order.
+#[derive(Debug)]
+pub struct PrefetchedWindows {
+    pub bufs: Vec<Vec<u8>>,
+    /// Wall seconds the background read took (including any throttle
+    /// padding) — charged to the frame's `io` stage time.
+    pub io_secs: f64,
+}
+
+/// What each rank hands back to the driver.
+#[derive(Debug)]
+pub struct RankOut {
+    pub image: Option<Image>,
+    pub completeness: Option<CompletenessMap>,
+    pub timing: FrameTiming,
+    pub samples: u64,
+    pub sent_bytes: u64,
+    pub counters: RecoveryCounters,
+    pub io_failover_bytes: u64,
+    pub io_unrecovered_bytes: u64,
+}
+
+impl RankOut {
+    pub(crate) fn crashed(timing: FrameTiming) -> Self {
+        RankOut {
+            image: None,
+            completeness: None,
+            timing,
+            samples: 0,
+            sent_bytes: 0,
+            counters: RecoveryCounters {
+                crashed_ranks: 1,
+                ..RecoveryCounters::default()
+            },
+            io_failover_bytes: 0,
+            io_unrecovered_bytes: 0,
+        }
+    }
+}
+
+/// What the I/O stage hands the rest of the rank's frame.
+struct RankIo {
+    bytes: Vec<u8>,
+    /// Fraction of this rank's requested bytes that arrived intact.
+    quality: f64,
+    failover_bytes: u64,
+    unrecovered_bytes: u64,
+    /// Background-read seconds of a prefetched frame (0 when live).
+    prefetch_secs: f64,
+}
+
+/// One rank's frame on the message-passing executor: the unified body
+/// behind both the plain and the fault-tolerant entry points. Link mode
+/// selects the protocol per stage; the stage sequence itself lives only
+/// in [`execute`].
+pub struct RankExec<'a> {
+    comm: &'a mut pvr_mpisim::Comm,
+    cfg: &'a FrameConfig,
+    path: &'a Path,
+    links: &'a LinkMode,
+    tags: FrameTags,
+    /// Barrier between stages (the paper's bulk-synchronous frame).
+    /// Direct mode only; the reliable protocol never blocks on a
+    /// barrier a crashed rank might miss.
+    barriers: bool,
+    throttle: Option<IoThrottle>,
+    windows: Option<PrefetchedWindows>,
+    m: usize,
+    // --- per-frame state, built up stage by stage ---
+    sw: Stopwatch,
+    t0: Instant,
+    timing: FrameTiming,
+    counters: RecoveryCounters,
+    crashed: bool,
+    stored: Vec<pvr_formats::Subvolume>,
+    owned: Vec<pvr_formats::Subvolume>,
+    camera: Camera,
+    window_extents: Vec<Extent>,
+    volume: Option<pvr_volume::Volume>,
+    io: Option<RankIo>,
+    sub: Option<SubImage>,
+    samples: u64,
+    sent: u64,
+    schedule: Option<Schedule>,
+    partition: Option<ImagePartition>,
+    frag_out: Option<OutBox>,
+    frag_in: Option<InBox>,
+    /// Direct mode: finished tiles awaiting the gather.
+    tiles_direct: Vec<(usize, SubImage)>,
+    /// Reliable mode: `(tile, expected_area, arrived_area, pixels)`.
+    tile_reliable: Option<(usize, f64, f64, SubImage)>,
+    image: Option<Image>,
+    completeness: Option<CompletenessMap>,
+}
+
+impl<'a> RankExec<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        comm: &'a mut pvr_mpisim::Comm,
+        cfg: &'a FrameConfig,
+        path: &'a Path,
+        links: &'a LinkMode,
+        tags: FrameTags,
+        barriers: bool,
+        throttle: Option<IoThrottle>,
+        windows: Option<PrefetchedWindows>,
+    ) -> RankExec<'a> {
+        let geo = geometry(cfg);
+        RankExec {
+            comm,
+            cfg,
+            path,
+            links,
+            tags,
+            barriers,
+            throttle,
+            windows,
+            m: cfg.compositors(),
+            sw: Stopwatch::start(),
+            t0: Instant::now(),
+            timing: FrameTiming::default(),
+            counters: RecoveryCounters::default(),
+            crashed: false,
+            stored: geo.stored,
+            owned: geo.owned,
+            camera: Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1),
+            window_extents: Vec::new(),
+            volume: None,
+            io: None,
+            sub: None,
+            samples: 0,
+            sent: 0,
+            schedule: None,
+            partition: None,
+            frag_out: None,
+            frag_in: None,
+            tiles_direct: Vec::new(),
+            tile_reliable: None,
+            image: None,
+            completeness: None,
+        }
+    }
+
+    /// File extents of the window accesses this rank hosts as an
+    /// aggregator — what a prefetch thread should read for the next
+    /// frame (the scatter geometry is frame-invariant). Populated by
+    /// the Read stage; empty for non-aggregators and independent I/O.
+    pub fn my_window_extents(&self) -> &[Extent] {
+        &self.window_extents
+    }
+
+    /// The compositor→rank placement both executors share.
+    fn compositor_rank(&self, c: usize) -> usize {
+        crate::roles::compositor_rank(c, self.comm.size(), self.m)
+    }
+
+    /// Fault-plan crash/straggle check at a stage boundary (reliable
+    /// links only). Returns true when this rank crashes here; the span
+    /// bookkeeping of the abandoned frame is already done.
+    fn crash_check(&mut self, stage: StageId, span: &'static str, mark: u64) -> bool {
+        let LinkMode::Reliable(rc) = self.links else {
+            return false;
+        };
+        let Some(fs) = stage.fault_stage() else {
+            return false;
+        };
+        let action = rc.plan.rank_fault(self.comm.rank(), fs);
+        match action {
+            Some(RankAction::Crash) => {
+                self.comm.mark_instant("rank.crash", mark);
+                self.comm.span_end(span);
+                self.comm.span_end("frame");
+                if stage == StageId::Read {
+                    self.timing.io = self.sw.lap();
+                }
+                self.crashed = true;
+                true
+            }
+            Some(RankAction::StraggleMs(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                false
+            }
+            None => false,
+        }
+    }
+
+    // --- Read stage ------------------------------------------------
+
+    fn stage_read(&mut self) -> ControlFlow<()> {
+        self.timing.starts[0] = self.t0.elapsed().as_secs_f64();
+        self.comm.span_begin("io");
+        if self.crash_check(StageId::Read, "io", 0) {
+            return ControlFlow::Break(());
+        }
+        let layout = self.cfg.io.layout(self.cfg.grid);
+        let var = self.cfg.file_variable();
+        let requests = rank_requests(layout.as_ref(), var, &self.stored);
+        let io = if layout.collective() {
+            let naggr = laptop_aggregators(self.comm.size());
+            let sp = ScatterPlan::build(&requests, naggr, &self.cfg.io.hints(self.cfg.grid));
+            self.window_extents = sp
+                .accesses_of(self.comm.rank(), self.comm.size())
+                .map(|a| a.extent)
+                .collect();
+            match self.links {
+                LinkMode::Direct => self.scatter_direct(&sp, &requests),
+                LinkMode::Reliable(_) => self.scatter_reliable(&sp, &requests),
+            }
+        } else {
+            self.read_independent(&requests)
+        };
+        let rank = self.comm.rank();
+        self.volume = Some(decode_volume(
+            &io.bytes,
+            &self.stored[rank],
+            layout.endian(),
+        ));
+        match self.links {
+            LinkMode::Direct => {
+                // Close the stage before the barrier: the span then
+                // measures this rank's own progress; barrier wait time
+                // accrues to the parent span.
+                self.comm.span_end("io");
+                if self.barriers {
+                    self.comm.barrier();
+                }
+                self.timing.io = self.sw.lap() + io.prefetch_secs;
+            }
+            LinkMode::Reliable(_) => {
+                self.timing.io = self.sw.lap() + io.prefetch_secs;
+                self.comm.span_end("io");
+            }
+        }
+        self.io = Some(io);
+        ControlFlow::Continue(())
+    }
+
+    /// One window's bytes: the prefetched buffer when the animation
+    /// driver fetched it ahead of time, a live (optionally throttled)
+    /// file read otherwise.
+    fn window_bytes(
+        &mut self,
+        idx: usize,
+        w: Extent,
+        file: &mut Option<File>,
+        live_bytes: &mut u64,
+    ) -> Vec<u8> {
+        if let Some(pw) = &mut self.windows {
+            if let Some(buf) = pw.bufs.get_mut(idx) {
+                return std::mem::take(buf);
+            }
+        }
+        let f = file.get_or_insert_with(|| File::open(self.path).expect("dataset file"));
+        let mut buf = vec![0u8; w.len as usize];
+        f.seek(SeekFrom::Start(w.offset)).unwrap();
+        f.read_exact(&mut buf).unwrap();
+        *live_bytes += w.len;
+        buf
+    }
+
+    /// Plain two-phase scatter: blocking sends, counted receives. The
+    /// per-rank operation order reproduces the original executor
+    /// exactly — the byte-golden logical profile depends on it.
+    fn scatter_direct(&mut self, sp: &ScatterPlan, requests: &[pvr_pfs::RankRequest]) -> RankIo {
+        let rank = self.comm.rank();
+        let t_read = Instant::now();
+        let mut live_bytes = 0u64;
+        let mut file: Option<File> = None;
+        let my = self.window_extents.clone();
+        for (i, w) in my.iter().enumerate() {
+            self.comm.span_begin_v("io.window", w.len);
+            let buf = self.window_bytes(i, *w, &mut file, &mut live_bytes);
+            for p in sp.pieces_in(*w) {
+                let mut msg = Vec::with_capacity(16 + p.len());
+                msg.extend((p.out_byte as u64).to_le_bytes());
+                msg.extend((p.len() as u64).to_le_bytes());
+                msg.extend(&buf[p.src_lo..p.src_hi]);
+                self.comm.send(p.rank, self.tags.io_scatter, msg);
+            }
+            self.comm.span_end("io.window");
+        }
+        if let Some(t) = self.throttle {
+            t.pad(live_bytes, t_read);
+        }
+
+        let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
+        for _ in 0..sp.piece_counts[rank] {
+            let (_, msg) = self.comm.recv_any(self.tags.io_scatter);
+            let dst = u64::from_le_bytes(msg[0..8].try_into().unwrap()) as usize;
+            let nb = u64::from_le_bytes(msg[8..16].try_into().unwrap()) as usize;
+            out[dst..dst + nb].copy_from_slice(&msg[16..16 + nb]);
+        }
+        RankIo {
+            bytes: out,
+            quality: 1.0,
+            failover_bytes: 0,
+            unrecovered_bytes: 0,
+            prefetch_secs: self.windows.as_ref().map_or(0.0, |w| w.io_secs),
+        }
+    }
+
+    /// Fault-tolerant two-phase scatter: framed acked sends, deadline
+    /// receives, storage faults audited per window, holes zero-filled
+    /// and reported in each piece's header.
+    fn scatter_reliable(&mut self, sp: &ScatterPlan, requests: &[pvr_pfs::RankRequest]) -> RankIo {
+        let LinkMode::Reliable(rc) = self.links else {
+            unreachable!("reliable scatter needs reliable links")
+        };
+        let rank = self.comm.rank();
+        let lp = rc.policy.link_policy();
+        let mut io_out = OutBox::new(rank, self.tags.io_ack, lp);
+        let mut failover_bytes = 0u64;
+        let t_read = Instant::now();
+        let mut live_bytes = 0u64;
+        let mut file: Option<File> = None;
+        let my = self.window_extents.clone();
+        for (i, w) in my.iter().enumerate() {
+            let audit = window_fault_audit(&rc.store, &rc.faults, &rc.rec, *w);
+            self.counters.io_retries += audit.retries;
+            self.counters.io_failovers += audit.failovers;
+            failover_bytes += audit.failover_bytes;
+            let mut buf = self.window_bytes(i, *w, &mut file, &mut live_bytes);
+            for lost in &audit.unrecoverable {
+                let lo = (lost.offset.max(w.offset) - w.offset) as usize;
+                let hi = (lost.end().min(w.end()) - w.offset) as usize;
+                if lo < hi {
+                    buf[lo..hi].fill(0);
+                }
+            }
+            for p in sp.pieces_in(*w) {
+                let hole: u64 = audit
+                    .unrecoverable
+                    .iter()
+                    .map(|e| {
+                        let l = e.offset.max(p.file_lo);
+                        let h = e.end().min(p.file_hi);
+                        h.saturating_sub(l)
+                    })
+                    .sum();
+                let mut msg = Vec::with_capacity(24 + p.len());
+                msg.extend((p.out_byte as u64).to_le_bytes());
+                msg.extend((p.len() as u64).to_le_bytes());
+                msg.extend(hole.to_le_bytes());
+                msg.extend(&buf[p.src_lo..p.src_hi]);
+                io_out.send(self.comm, p.rank, self.tags.io_scatter, msg);
+            }
+        }
+        if let Some(t) = self.throttle {
+            t.pad(live_bytes, t_read);
+        }
+
+        // Receive my pieces until complete or the stage deadline.
+        let mut io_in = InBox::new();
+        let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
+        let mut arrived = 0u64;
+        let mut holes = 0u64;
+        let mut got = 0usize;
+        let deadline = Instant::now() + rc.policy.stage_deadline;
+        while got < sp.piece_counts[rank] && Instant::now() < deadline {
+            io_out.poll(self.comm);
+            if let Some((src, frame)) = self
+                .comm
+                .recv_any_timeout(self.tags.io_scatter, rc.policy.poll)
+            {
+                if let Some(body) = io_in.accept(self.comm, src, self.tags.io_ack, &frame) {
+                    let dst = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
+                    let nb = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+                    let hole = u64::from_le_bytes(body[16..24].try_into().unwrap());
+                    out[dst..dst + nb].copy_from_slice(&body[24..24 + nb]);
+                    arrived += nb as u64;
+                    holes += hole;
+                    got += 1;
+                }
+            }
+        }
+        io_out.drain(self.comm, Instant::now() + rc.policy.drain);
+        self.counters.merge(&io_out.counters);
+        self.counters.merge(&io_in.counters);
+
+        let expected = sp.piece_bytes[rank];
+        let missing = expected.saturating_sub(arrived);
+        let quality = if expected == 0 {
+            1.0
+        } else {
+            1.0 - (missing + holes) as f64 / expected as f64
+        };
+        RankIo {
+            bytes: out,
+            quality,
+            failover_bytes,
+            unrecovered_bytes: missing + holes,
+            prefetch_secs: self.windows.as_ref().map_or(0.0, |w| w.io_secs),
+        }
+    }
+
+    /// Independent (HDF5-like) path: every rank reads its own runs
+    /// directly; reliable links additionally audit storage faults and
+    /// zero-fill unrecoverable ranges.
+    fn read_independent(&mut self, requests: &[pvr_pfs::RankRequest]) -> RankIo {
+        let rank = self.comm.rank();
+        let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
+        let mut unrecovered = 0u64;
+        let mut failover_bytes = 0u64;
+        let mut useful = 0u64;
+        let t_read = Instant::now();
+        let mut file = File::open(self.path).expect("dataset file");
+        for run in &requests[rank].runs {
+            let nb = run.elems * ELEM_SIZE as usize;
+            useful += nb as u64;
+            let audit = if let LinkMode::Reliable(rc) = self.links {
+                let a = window_fault_audit(
+                    &rc.store,
+                    &rc.faults,
+                    &rc.rec,
+                    Extent::new(run.file_offset, nb as u64),
+                );
+                self.counters.io_retries += a.retries;
+                self.counters.io_failovers += a.failovers;
+                failover_bytes += a.failover_bytes;
+                Some(a)
+            } else {
+                None
+            };
+            file.seek(SeekFrom::Start(run.file_offset)).unwrap();
+            let dst = &mut out[run.out_start * 4..run.out_start * 4 + nb];
+            file.read_exact(dst).unwrap();
+            if let Some(audit) = audit {
+                for lost in &audit.unrecoverable {
+                    let lo = lost.offset.max(run.file_offset) - run.file_offset;
+                    let hi = lost.end().min(run.file_offset + nb as u64) - run.file_offset;
+                    if lo < hi {
+                        dst[lo as usize..hi as usize].fill(0);
+                        unrecovered += hi - lo;
+                    }
+                }
+            }
+        }
+        if let Some(t) = self.throttle {
+            t.pad(useful, t_read);
+        }
+        let quality = if useful == 0 {
+            1.0
+        } else {
+            1.0 - unrecovered as f64 / useful as f64
+        };
+        RankIo {
+            bytes: out,
+            quality,
+            failover_bytes,
+            unrecovered_bytes: unrecovered,
+            prefetch_secs: 0.0,
+        }
+    }
+
+    // --- Render stage ----------------------------------------------
+
+    fn stage_render(&mut self) -> ControlFlow<()> {
+        self.timing.starts[1] = self.t0.elapsed().as_secs_f64();
+        self.comm.span_begin("render");
+        if self.crash_check(StageId::Render, "render", 1) {
+            return ControlFlow::Break(());
+        }
+        let rank = self.comm.rank();
+        let dom = BlockDomain {
+            grid: self.cfg.grid,
+            owned: self.owned[rank],
+            stored: self.stored[rank],
+        };
+        let tf = transfer_for(self.cfg);
+        let ropts = render_opts(self.cfg);
+        let volume = self.volume.take().expect("read stage ran");
+        let (sub, rstats) = render_block(&volume, &dom, &self.camera, &tf, &ropts);
+        self.comm.mark_instant("render.samples", rstats.samples);
+        self.samples = rstats.samples;
+        self.sub = Some(sub);
+        match self.links {
+            LinkMode::Direct => {
+                self.comm.span_end("render");
+                if self.barriers {
+                    self.comm.barrier();
+                }
+                self.timing.render = self.sw.lap();
+            }
+            LinkMode::Reliable(_) => {
+                self.timing.render = self.sw.lap();
+                self.comm.span_end("render");
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    // --- Composite stage -------------------------------------------
+
+    fn stage_composite(&mut self) -> ControlFlow<()> {
+        self.timing.starts[2] = self.t0.elapsed().as_secs_f64();
+        self.comm.span_begin("composite");
+        if self.crash_check(StageId::Composite, "composite", 2) {
+            return ControlFlow::Break(());
+        }
+        let rank = self.comm.rank();
+        let n = self.comm.size();
+        let cfg = self.cfg;
+        let partition = ImagePartition::new(cfg.image.0, cfg.image.1, self.m);
+        // Everyone derives the same schedule from the same footprints.
+        let footprints: Vec<pvr_render::image::PixelRect> = (0..n)
+            .map(|r| {
+                pvr_render::raycast::footprint(
+                    &self.camera,
+                    self.owned[r].offset,
+                    self.owned[r].end(),
+                    cfg.image,
+                )
+            })
+            .collect();
+        let schedule = build_schedule(&footprints, partition);
+        let sub = self.sub.take().expect("render stage ran");
+        let quality = self.io.as_ref().map_or(1.0, |io| io.quality);
+
+        match self.links {
+            LinkMode::Direct => {
+                // Send my fragments.
+                for msg in schedule.messages.iter().filter(|m| m.renderer == rank) {
+                    let tile = partition.tile(msg.compositor);
+                    if let Some(frag) = sub.crop(&tile) {
+                        let dst = self.compositor_rank(msg.compositor);
+                        self.sent += frag.wire_bytes();
+                        self.comm
+                            .send(dst, self.tags.fragment, encode_fragment(rank, &frag));
+                    }
+                }
+                // Composite the tile I own, if any. With m <= n the map
+                // c -> c*n/m is injective, so a rank owns at most one tile.
+                let my_tile = (0..self.m).find(|&c| self.compositor_rank(c) == rank);
+                if let Some(c) = my_tile {
+                    let expected = schedule
+                        .messages
+                        .iter()
+                        .filter(|mm| mm.compositor == c)
+                        .count();
+                    let tile = partition.tile(c);
+                    let mut frags: Vec<(usize, SubImage)> = Vec::with_capacity(expected);
+                    while frags.len() < expected {
+                        let (_, data) = self.comm.recv_any(self.tags.fragment);
+                        let (renderer, frag) = decode_fragment(&data);
+                        debug_assert_eq!(frag.rect.intersect(&tile), Some(frag.rect));
+                        frags.push((renderer, frag));
+                    }
+                    let buf = blend_fragments(tile, frags);
+                    self.tiles_direct.push((c, buf));
+                }
+            }
+            LinkMode::Reliable(rc) => {
+                let lp = rc.policy.link_policy();
+                let mut frag_out = OutBox::new(rank, self.tags.frag_ack, lp);
+                let mut frag_in = InBox::new();
+                // Send my fragments through the reliable link, quality
+                // attached.
+                for msg in schedule.messages.iter().filter(|mm| mm.renderer == rank) {
+                    let tile = partition.tile(msg.compositor);
+                    if let Some(frag) = sub.crop(&tile) {
+                        let dst = self.compositor_rank(msg.compositor);
+                        self.sent += frag.wire_bytes();
+                        let mut body = Vec::with_capacity(8 + 48 + frag.pixels.len() * 16);
+                        body.extend(quality.to_le_bytes());
+                        body.extend(encode_fragment(rank, &frag));
+                        frag_out.send(self.comm, dst, self.tags.fragment, body);
+                    }
+                }
+                let my_tile = (0..self.m).find(|&c| self.compositor_rank(c) == rank);
+                if let Some(c) = my_tile {
+                    let expected_msgs: Vec<(usize, usize)> = schedule
+                        .messages
+                        .iter()
+                        .filter(|mm| mm.compositor == c)
+                        .map(|mm| (mm.renderer, mm.pixels))
+                        .collect();
+                    let expected_area: f64 = expected_msgs.iter().map(|(_, px)| *px as f64).sum();
+                    let tile = partition.tile(c);
+                    let mut frags: Vec<(usize, f64, SubImage)> =
+                        Vec::with_capacity(expected_msgs.len());
+                    let deadline = Instant::now() + rc.policy.stage_deadline;
+                    while frags.len() < expected_msgs.len() && Instant::now() < deadline {
+                        frag_out.poll(self.comm);
+                        if let Some((src, frame)) = self
+                            .comm
+                            .recv_any_timeout(self.tags.fragment, rc.policy.poll)
+                        {
+                            if let Some(body) =
+                                frag_in.accept(self.comm, src, self.tags.frag_ack, &frame)
+                            {
+                                let q = f64::from_le_bytes(body[0..8].try_into().unwrap());
+                                let (renderer, frag) = decode_fragment(&body[8..]);
+                                frags.push((renderer, q, frag));
+                            }
+                        }
+                    }
+                    let arrived_area: f64 = frags
+                        .iter()
+                        .map(|(r, q, _)| {
+                            let px = expected_msgs
+                                .iter()
+                                .find(|(er, _)| er == r)
+                                .map(|(_, px)| *px as f64)
+                                .unwrap_or(0.0);
+                            px * q.clamp(0.0, 1.0)
+                        })
+                        .sum();
+                    // Canonical blend order keeps recovered runs
+                    // bit-identical.
+                    let buf =
+                        blend_fragments(tile, frags.into_iter().map(|(r, _, f)| (r, f)).collect());
+                    self.tile_reliable = Some((c, expected_area, arrived_area, buf));
+                }
+                self.frag_out = Some(frag_out);
+                self.frag_in = Some(frag_in);
+            }
+        }
+        self.schedule = Some(schedule);
+        self.partition = Some(partition);
+        ControlFlow::Continue(())
+    }
+
+    // --- Gather stage ----------------------------------------------
+
+    fn stage_gather(&mut self) -> ControlFlow<()> {
+        let rank = self.comm.rank();
+        let cfg = self.cfg;
+        let partition = self.partition.expect("composite stage ran");
+        match self.links {
+            LinkMode::Direct => {
+                // Ship finished tiles to rank 0.
+                for (c, buf) in &self.tiles_direct {
+                    self.comm.send(0, self.tags.tile, encode_fragment(*c, buf));
+                }
+                if rank == 0 {
+                    let mut img = Image::new(cfg.image.0, cfg.image.1);
+                    for _ in 0..self.m {
+                        let (_, data) = self.comm.recv_any(self.tags.tile);
+                        let (_, tile_img) = decode_fragment(&data);
+                        img.paste(&tile_img);
+                    }
+                    self.image = Some(img);
+                }
+                self.comm.span_end("composite");
+                if self.barriers {
+                    self.comm.barrier();
+                }
+            }
+            LinkMode::Reliable(rc) => {
+                let lp = rc.policy.link_policy();
+                let mut tile_out = OutBox::new(rank, self.tags.tile_ack, lp);
+                let mut frag_out = self.frag_out.take().expect("composite stage ran");
+                // Ship my finished tile to rank 0 over the reliable link.
+                if let Some((c, expected_area, arrived_area, buf)) = &self.tile_reliable {
+                    let mut body = Vec::with_capacity(24 + 48 + buf.pixels.len() * 16);
+                    body.extend((*c as u64).to_le_bytes());
+                    body.extend(expected_area.to_le_bytes());
+                    body.extend(arrived_area.to_le_bytes());
+                    body.extend(encode_fragment(*c, buf));
+                    tile_out.send(self.comm, 0, self.tags.tile, body);
+                }
+
+                // Rank 0 gathers tiles until the deadline; absentees
+                // become zero-completeness entries.
+                if rank == 0 {
+                    let schedule = self.schedule.as_ref().expect("composite stage ran");
+                    let expected_areas = {
+                        let mut areas = vec![0.0f64; self.m];
+                        for msg in &schedule.messages {
+                            areas[msg.compositor] += msg.pixels as f64;
+                        }
+                        areas
+                    };
+                    let mut tile_in = InBox::new();
+                    let mut img = Image::new(cfg.image.0, cfg.image.1);
+                    let mut got: Vec<Option<(f64, f64)>> = vec![None; self.m];
+                    let mut received = 0usize;
+                    let deadline = Instant::now() + rc.policy.stage_deadline;
+                    while received < self.m && Instant::now() < deadline {
+                        frag_out.poll(self.comm);
+                        tile_out.poll(self.comm);
+                        if let Some((src, frame)) =
+                            self.comm.recv_any_timeout(self.tags.tile, rc.policy.poll)
+                        {
+                            if let Some(body) =
+                                tile_in.accept(self.comm, src, self.tags.tile_ack, &frame)
+                            {
+                                let c = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
+                                let expected = f64::from_le_bytes(body[8..16].try_into().unwrap());
+                                let arrived = f64::from_le_bytes(body[16..24].try_into().unwrap());
+                                let (_, tile_img) = decode_fragment(&body[24..]);
+                                img.paste(&tile_img);
+                                if got[c].is_none() {
+                                    got[c] = Some((expected, arrived));
+                                    received += 1;
+                                }
+                            }
+                        }
+                    }
+                    let tiles = (0..self.m)
+                        .map(|c| {
+                            let (expected, arrived) = got[c].unwrap_or_else(|| {
+                                if expected_areas[c] > 0.0 {
+                                    self.counters.degraded_tiles += 1;
+                                }
+                                (expected_areas[c], 0.0)
+                            });
+                            TileCompleteness {
+                                tile: c,
+                                rect: Some(partition.tile(c)),
+                                expected,
+                                arrived,
+                            }
+                        })
+                        .collect();
+                    self.counters.merge(&tile_in.counters);
+                    if self.counters.degraded_tiles > 0 {
+                        self.comm
+                            .mark_instant("composite.degraded_tiles", self.counters.degraded_tiles);
+                    }
+                    self.image = Some(img);
+                    self.completeness = Some(CompletenessMap { tiles });
+                }
+
+                // Grace period: finish delivering whatever is still in
+                // flight, then account the casualties.
+                let drain_deadline = Instant::now() + rc.policy.drain;
+                frag_out.drain(self.comm, drain_deadline);
+                tile_out.drain(self.comm, drain_deadline);
+                self.counters.merge(&frag_out.counters);
+                if let Some(frag_in) = &self.frag_in {
+                    self.counters.merge(&frag_in.counters);
+                }
+                self.counters.merge(&tile_out.counters);
+                self.timing.composite = self.sw.lap();
+                self.comm.span_end("composite");
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+impl StageExec for RankExec<'_> {
+    type Out = RankOut;
+
+    fn begin(&mut self) {
+        self.sw = Stopwatch::start();
+        self.t0 = Instant::now();
+        self.comm.span_begin("frame");
+    }
+
+    fn stage(&mut self, stage: StageId) -> ControlFlow<()> {
+        match stage {
+            StageId::Read => self.stage_read(),
+            StageId::Render => self.stage_render(),
+            StageId::Composite => self.stage_composite(),
+            StageId::Gather => self.stage_gather(),
+        }
+    }
+
+    fn finish(mut self) -> RankOut {
+        if self.crashed {
+            let mut out = RankOut::crashed(self.timing);
+            out.counters.merge(&self.counters);
+            out.samples = self.samples;
+            if let Some(io) = &self.io {
+                out.io_failover_bytes = io.failover_bytes;
+                out.io_unrecovered_bytes = io.unrecovered_bytes;
+            }
+            return out;
+        }
+        if matches!(self.links, LinkMode::Direct) {
+            self.comm.span_end("frame");
+            self.timing.composite = self.sw.lap();
+        } else {
+            self.comm.span_end("frame");
+        }
+        self.timing.wall = self.t0.elapsed().as_secs_f64();
+        RankOut {
+            image: self.image,
+            completeness: self.completeness,
+            timing: self.timing,
+            samples: self.samples,
+            sent_bytes: self.sent,
+            counters: self.counters,
+            io_failover_bytes: self.io.as_ref().map_or(0, |io| io.failover_bytes),
+            io_unrecovered_bytes: self.io.as_ref().map_or(0, |io| io.unrecovered_bytes),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The one driver
+// ---------------------------------------------------------------------
+
+/// Executor choice for [`drive_frame`].
+pub enum ExecChoice<'a> {
+    /// Data-parallel in one address space, optionally span-traced.
+    Rayon { tracer: &'a Tracer },
+    /// Message passing: one thread per rank, with the link mode
+    /// selecting plain or fault-tolerant transport.
+    Mpi {
+        opts: pvr_mpisim::RunOptions,
+        links: LinkMode,
+    },
+}
+
+/// One frame, fully configured.
+pub struct Driver<'a> {
+    pub plan: FramePlan,
+    pub exec: ExecChoice<'a>,
+}
+
+/// Everything [`drive_frame`] produces.
+pub struct DriveOutput {
+    pub frame: FrameResult,
+    /// Per-tile completeness (reliable links only).
+    pub completeness: Option<CompletenessMap>,
+    /// The message trace (message-passing executor with `opts.trace`).
+    pub trace: Option<pvr_mpisim::trace::TraceLog>,
+}
+
+/// Expected blended area per tile, derivable by any rank (and the
+/// driver) from the configuration alone — fault-independent.
+pub(crate) fn expected_tile_areas(cfg: &FrameConfig, n: usize, m: usize) -> Vec<f64> {
+    let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
+    let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
+    let decomp = pvr_volume::BlockDecomposition::new(cfg.grid, n);
+    let blocks = decomp.blocks();
+    let footprints: Vec<pvr_render::image::PixelRect> = (0..n)
+        .map(|r| {
+            pvr_render::raycast::footprint(
+                &camera,
+                blocks[r].sub.offset,
+                blocks[r].sub.end(),
+                cfg.image,
+            )
+        })
+        .collect();
+    let schedule = build_schedule(&footprints, partition);
+    let mut areas = vec![0.0f64; m];
+    for msg in &schedule.messages {
+        areas[msg.compositor] += msg.pixels as f64;
+    }
+    areas
+}
+
+/// Assemble one frame's driver-side result from the per-rank outputs.
+/// `reliable` selects the fault-tolerant accounting (merged recovery
+/// counters, completeness, rank-0-crash degradation).
+pub(crate) fn assemble_frame(
+    cfg: &FrameConfig,
+    mut results: Vec<RankOut>,
+    reliable: bool,
+) -> (FrameResult, Option<CompletenessMap>) {
+    let m = cfg.compositors();
+    let n = cfg.nprocs;
+    let render_samples: u64 = results.iter().map(|r| r.samples).sum();
+    let sent_bytes: u64 = results.iter().map(|r| r.sent_bytes).sum();
+    let mut recovery = RecoveryCounters::default();
+    let mut failover_bytes = 0u64;
+    let mut unrecovered_bytes = 0u64;
+    for r in &results {
+        recovery.merge(&r.counters);
+        failover_bytes += r.io_failover_bytes;
+        unrecovered_bytes += r.io_unrecovered_bytes;
+    }
+    let root = results.remove(0);
+    let mut timing = root.timing;
+    timing.recovery = recovery;
+
+    let (image, completeness) = if reliable {
+        // A crashed rank 0 cannot deliver an image: the frame degrades
+        // to an empty image with zero completeness on every populated
+        // tile.
+        match (root.image, root.completeness) {
+            (Some(img), Some(map)) => (img, Some(map)),
+            _ => {
+                let partition = ImagePartition::new(cfg.image.0, cfg.image.1, m);
+                let expected = expected_tile_areas(cfg, n, m);
+                let tiles = (0..m)
+                    .map(|c| TileCompleteness {
+                        tile: c,
+                        rect: Some(partition.tile(c)),
+                        expected: expected[c],
+                        arrived: 0.0,
+                    })
+                    .collect();
+                (
+                    Image::new(cfg.image.0, cfg.image.1),
+                    Some(CompletenessMap { tiles }),
+                )
+            }
+        }
+    } else {
+        (root.image.expect("rank 0 holds the image"), None)
+    };
+
+    let io = if reliable {
+        IoRunStats {
+            retries: recovery.io_retries,
+            failover_bytes,
+            unrecovered_bytes,
+            ..IoRunStats::default()
+        }
+    } else {
+        IoRunStats::default()
+    };
+
+    (
+        FrameResult {
+            image,
+            timing,
+            io,
+            render_samples,
+            composite: DirectSendStats {
+                messages: 0,
+                bytes: sent_bytes,
+                per_compositor: Vec::new(),
+            },
+        },
+        completeness,
+    )
+}
+
+/// Run one frame: the single implementation behind every legacy entry
+/// point. `path` is required by the message-passing executor; the rayon
+/// executor synthesizes block data procedurally when it is `None`.
+pub fn drive_frame(
+    cfg: &FrameConfig,
+    path: Option<&Path>,
+    driver: Driver<'_>,
+) -> Result<DriveOutput, FtError> {
+    match driver.exec {
+        ExecChoice::Rayon { tracer } => {
+            let input = match path {
+                Some(p) => FrameInput::File(p),
+                None => FrameInput::Synthetic,
+            };
+            let frame = execute(&driver.plan, RayonExec::new(cfg, input, tracer, None));
+            Ok(DriveOutput {
+                frame,
+                completeness: None,
+                trace: None,
+            })
+        }
+        ExecChoice::Mpi { opts, links } => {
+            let path = path
+                .expect("message-passing executor needs a dataset file")
+                .to_path_buf();
+            let cfg = *cfg;
+            let n = cfg.nprocs;
+            let reliable = matches!(links, LinkMode::Reliable(_));
+            let opts = if let LinkMode::Reliable(rc) = &links {
+                opts.with_injector(PlanInjector::arc(rc.plan.clone()))
+            } else {
+                opts
+            };
+            let plan = driver.plan;
+            let out = pvr_mpisim::World::run_opts(n, opts, move |mut comm| {
+                let exec = RankExec::new(
+                    &mut comm,
+                    &cfg,
+                    &path,
+                    &links,
+                    FrameTags::for_frame(0),
+                    !reliable,
+                    None,
+                    None,
+                );
+                execute(&plan, exec)
+            })
+            .map_err(FtError::Runtime)?;
+            let (frame, completeness) = assemble_frame(&cfg, out.results, reliable);
+            Ok(DriveOutput {
+                frame,
+                completeness,
+                trace: out.trace,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_plan_is_valid_and_orders_stages() {
+        let p = FramePlan::standard();
+        assert_eq!(
+            p.stages(),
+            &[
+                StageId::Read,
+                StageId::Render,
+                StageId::Composite,
+                StageId::Gather
+            ]
+        );
+        assert_eq!(FramePlan::new(p.stages().to_vec()), Ok(p));
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_orders() {
+        assert_eq!(
+            FramePlan::new(vec![
+                StageId::Render,
+                StageId::Read,
+                StageId::Composite,
+                StageId::Gather
+            ]),
+            Err(PlanError::DependencyOrder {
+                stage: StageId::Render,
+                needs: StageId::Read
+            })
+        );
+        assert_eq!(
+            FramePlan::new(vec![StageId::Read, StageId::Read]),
+            Err(PlanError::Duplicate(StageId::Read))
+        );
+        assert_eq!(
+            FramePlan::new(vec![StageId::Read, StageId::Render, StageId::Composite]),
+            Err(PlanError::Missing(StageId::Gather))
+        );
+    }
+
+    #[test]
+    fn frame_zero_tags_equal_the_legacy_constants() {
+        let t = FrameTags::for_frame(0);
+        assert_eq!(t.io_scatter, tags::IO_SCATTER);
+        assert_eq!(t.fragment, tags::FRAGMENT);
+        assert_eq!(t.tile, tags::TILE);
+        assert_eq!(t.io_ack, tags::IO_ACK);
+        assert_eq!(t.frag_ack, tags::FRAG_ACK);
+        assert_eq!(t.tile_ack, tags::TILE_ACK);
+    }
+
+    #[test]
+    fn tag_epochs_are_disjoint_and_invertible() {
+        let mut seen = std::collections::HashSet::new();
+        for frame in 0..32 {
+            let t = FrameTags::for_frame(frame);
+            for tag in [
+                t.io_scatter,
+                t.fragment,
+                t.tile,
+                t.io_ack,
+                t.frag_ack,
+                t.tile_ack,
+            ] {
+                assert!(seen.insert(tag), "tag {tag} collides across frames");
+                assert_eq!(FrameTags::frame_of(tag), frame);
+            }
+            assert_eq!(FrameTags::base_of(t.fragment), tags::FRAGMENT);
+        }
+        let table = FrameTags::table(4);
+        assert_eq!(table.len(), 24);
+        assert!(table.iter().any(|(_, n)| n == "frame3/tile"));
+    }
+
+    #[test]
+    fn fault_stage_mapping_preserves_plan_indices() {
+        assert_eq!(StageId::Read.fault_stage(), Some(Stage::Io));
+        assert_eq!(StageId::Render.fault_stage(), Some(Stage::Render));
+        assert_eq!(StageId::Composite.fault_stage(), Some(Stage::Composite));
+        assert_eq!(StageId::Gather.fault_stage(), None);
+    }
+}

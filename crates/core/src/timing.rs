@@ -6,11 +6,28 @@
 //! compositing.
 
 /// Wall-clock (or simulated) seconds per stage of one frame.
+///
+/// For a sequential frame the stage durations tile the frame, so
+/// [`FrameTiming::total`] *is* the frame time. Pipelined animation
+/// overlaps one frame's I/O with another frame's rendering, so the
+/// per-stage sum can exceed the frame's true critical path; the
+/// overlap-aware fields (`starts`, `wall`) record when each stage began
+/// and how long the frame really occupied the clock, and
+/// [`FrameTiming::elapsed`]/[`FrameTiming::hidden`] report the honest
+/// wall time and how much stage work was hidden under other frames.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FrameTiming {
     pub io: f64,
     pub render: f64,
     pub composite: f64,
+    /// Start of each stage (io, render, composite), seconds relative to
+    /// the start of the frame's own critical path. All zero for the
+    /// sequential entry points, where stage order implies the starts.
+    pub starts: [f64; 3],
+    /// True wall-clock span of the frame (first stage start to last
+    /// stage end). Zero means "not recorded" — the sequential paths,
+    /// where it would equal [`FrameTiming::total`].
+    pub wall: f64,
     /// What recovery did during the frame (all zero for fault-free
     /// runs and for the non-fault-tolerant executors).
     pub recovery: pvr_faults::RecoveryCounters,
@@ -19,6 +36,23 @@ pub struct FrameTiming {
 impl FrameTiming {
     pub fn total(&self) -> f64 {
         self.io + self.render + self.composite
+    }
+
+    /// Honest frame duration: the recorded wall span when one exists
+    /// (pipelined runs), else the sequential stage sum.
+    pub fn elapsed(&self) -> f64 {
+        if self.wall > 0.0 {
+            self.wall
+        } else {
+            self.total()
+        }
+    }
+
+    /// Stage time hidden under other frames' work: how much the stage
+    /// sum exceeds the frame's true wall span. Zero for sequential
+    /// frames by construction.
+    pub fn hidden(&self) -> f64 {
+        (self.total() - self.elapsed()).max(0.0)
     }
 
     /// Visualization-only time — what papers that exclude I/O report
@@ -111,6 +145,33 @@ mod tests {
         };
         let row = t.table_row();
         assert!(row.contains("51.35"));
+    }
+
+    #[test]
+    fn overlap_aware_timing_reports_hidden_stage_time() {
+        // Sequential frame: no wall recorded, elapsed == total, nothing
+        // hidden.
+        let seq = FrameTiming {
+            io: 2.0,
+            render: 0.5,
+            composite: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(seq.elapsed(), 3.0);
+        assert_eq!(seq.hidden(), 0.0);
+
+        // Pipelined frame: 2 s of I/O overlapped with the previous
+        // frame, so the frame only occupied 1.2 s of wall clock.
+        let pipe = FrameTiming {
+            wall: 1.2,
+            starts: [0.0, 0.2, 0.7],
+            ..seq
+        };
+        assert_eq!(pipe.elapsed(), 1.2);
+        assert!((pipe.hidden() - 1.8).abs() < 1e-12);
+        // The per-stage accessors are unchanged.
+        assert_eq!(pipe.total(), 3.0);
+        assert_eq!(pipe.vis_only(), 1.0);
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub mod metrics;
 pub mod perfetto;
 pub mod span;
 
-pub use analysis::{critical_path, imbalance, link_matrix, profile_from_trace};
+pub use analysis::{
+    critical_path, imbalance, link_matrix, profile_from_trace, span_overlap, Overlap,
+};
 pub use metrics::{Registry, Snapshot};
 pub use span::{Args, Profile, Tracer};

@@ -28,6 +28,7 @@
 pub mod fault;
 pub mod iolog;
 pub mod model;
+pub mod prefetch;
 pub mod server;
 pub mod sieve;
 pub mod twophase;
@@ -35,8 +36,9 @@ pub mod twophase;
 pub use fault::{window_fault_audit, FaultyStoreReport, IoRecovery, ServerFaults, WindowAudit};
 pub use iolog::{AccessMap, IoStats};
 pub use model::StorageModel;
+pub use prefetch::{read_extents, IoThrottle, Prefetch};
 pub use server::{StoreReport, StripedStore};
 pub use twophase::{
     two_phase_execute, two_phase_execute_ft, two_phase_plan, two_phase_write, CollectiveHints,
-    FtExecResult, IoPlan, RankRequest,
+    FtExecResult, IoPlan, Piece, RankRequest, ScatterPlan,
 };

@@ -205,6 +205,156 @@ impl RankRequest {
     }
 }
 
+/// One window∩run overlap of the exchange phase: the bytes aggregator
+/// `j` hands to `rank` out of one window read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Piece {
+    /// Destination rank.
+    pub rank: usize,
+    /// Byte offset inside the destination rank's output buffer.
+    pub out_byte: usize,
+    /// Byte range inside the window's buffer.
+    pub src_lo: usize,
+    pub src_hi: usize,
+    /// Absolute file byte range of the piece.
+    pub file_lo: u64,
+    pub file_hi: u64,
+}
+
+impl Piece {
+    pub fn len(&self) -> usize {
+        self.src_hi - self.src_lo
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.src_hi == self.src_lo
+    }
+}
+
+/// The shared scatter geometry of a collective read, derived
+/// identically by every participant from the request list alone: the
+/// window access plan, all ranks' placed runs sorted by file offset,
+/// and the fault-independent per-rank piece expectations of the
+/// exchange phase.
+///
+/// Every real executor — the in-process scatter below, the
+/// message-passing scatter in `pvr-core`'s frame scheduler (plain and
+/// fault-tolerant link modes), and the per-rank prefetch of the
+/// animation driver — builds on this one computation, so their expected
+/// message sets can never drift apart.
+#[derive(Debug, Clone)]
+pub struct ScatterPlan {
+    pub plan: IoPlan,
+    /// `(file_offset, len_bytes, rank, out_byte)` of every placed run,
+    /// sorted by file offset.
+    pub runs: Vec<(u64, usize, usize, usize)>,
+    /// Exchange-phase pieces each rank will receive.
+    pub piece_counts: Vec<usize>,
+    /// Bytes of those pieces, per rank.
+    pub piece_bytes: Vec<u64>,
+}
+
+impl ScatterPlan {
+    /// Plan the scatter of a collective read: aggregate and coalesce
+    /// the extents, lay the window accesses, and precompute each
+    /// rank's expected piece count and bytes.
+    pub fn build(
+        requests: &[RankRequest],
+        num_aggregators: usize,
+        hints: &CollectiveHints,
+    ) -> ScatterPlan {
+        let nranks = requests.len();
+        let naggr = num_aggregators.clamp(1, nranks.max(1));
+
+        let mut aggregate: Vec<Extent> = requests
+            .iter()
+            .flat_map(|rq| {
+                rq.runs
+                    .iter()
+                    .map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
+            })
+            .collect();
+        coalesce(&mut aggregate);
+        let plan = two_phase_plan(&aggregate, naggr, hints);
+
+        let mut runs: Vec<(u64, usize, usize, usize)> = Vec::new();
+        for (rank, rq) in requests.iter().enumerate() {
+            for r in &rq.runs {
+                runs.push((
+                    r.file_offset,
+                    r.elems * ELEM_SIZE as usize,
+                    rank,
+                    r.out_start * ELEM_SIZE as usize,
+                ));
+            }
+        }
+        runs.sort_unstable_by_key(|t| t.0);
+
+        let mut piece_counts = vec![0usize; nranks];
+        let mut piece_bytes = vec![0u64; nranks];
+        let sp = ScatterPlan {
+            plan,
+            runs,
+            piece_counts: Vec::new(),
+            piece_bytes: Vec::new(),
+        };
+        for a in &sp.plan.accesses {
+            for p in sp.pieces_in(a.extent) {
+                piece_counts[p.rank] += 1;
+                piece_bytes[p.rank] += p.len() as u64;
+            }
+        }
+        ScatterPlan {
+            piece_counts,
+            piece_bytes,
+            ..sp
+        }
+    }
+
+    /// Which of `nranks` ranks hosts aggregator `j` (evenly spread, the
+    /// BG/P placement both executors use).
+    pub fn aggregator_rank(&self, j: usize, nranks: usize) -> usize {
+        j * nranks / self.plan.num_aggregators
+    }
+
+    /// The window accesses hosted by `rank` (of `nranks`), in plan
+    /// order.
+    pub fn accesses_of(&self, rank: usize, nranks: usize) -> impl Iterator<Item = &Access> {
+        self.plan
+            .accesses
+            .iter()
+            .filter(move |a| self.aggregator_rank(a.aggregator, nranks) == rank)
+    }
+
+    /// The exchange pieces of one window, in ascending-run order — the
+    /// fan-out every scatter implementation walks. Runs can span
+    /// adjacent windows, so each piece is the (nonempty) window∩run
+    /// overlap.
+    pub fn pieces_in(&self, w: Extent) -> impl Iterator<Item = Piece> + '_ {
+        let start = self
+            .runs
+            .partition_point(move |t| t.0 + t.1 as u64 <= w.offset);
+        self.runs[start..]
+            .iter()
+            .take_while(move |t| t.0 < w.end())
+            .filter_map(move |&(off, len, rank, out_byte)| {
+                let lo = off.max(w.offset);
+                let hi = (off + len as u64).min(w.end());
+                if lo >= hi {
+                    return None;
+                }
+                Some(Piece {
+                    rank,
+                    out_byte: out_byte + (lo - off) as usize,
+                    src_lo: (lo - w.offset) as usize,
+                    src_hi: (hi - w.offset) as usize,
+                    file_lo: lo,
+                    file_hi: hi,
+                })
+            })
+    }
+}
+
 /// Result of executing a collective read for real.
 #[derive(Debug)]
 pub struct ExecResult {
@@ -250,53 +400,20 @@ pub fn two_phase_execute_traced(
     tracer: &pvr_obs::Tracer,
 ) -> std::io::Result<ExecResult> {
     let nranks = requests.len();
-    let naggr = num_aggregators.clamp(1, nranks.max(1));
+    let sp = ScatterPlan::build(requests, num_aggregators, hints);
 
-    // Aggregate extent list.
-    let mut aggregate: Vec<Extent> = requests
-        .iter()
-        .flat_map(|rq| {
-            rq.runs
-                .iter()
-                .map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
-        })
-        .collect();
-    coalesce(&mut aggregate);
-
-    let plan = two_phase_plan(&aggregate, naggr, hints);
-
-    // Sort each rank's runs by file offset for the windowed scatter, and
-    // prepare output buffers.
     let mut rank_bytes: Vec<Vec<u8>> = requests
         .iter()
         .map(|rq| vec![0u8; rq.out_elems * ELEM_SIZE as usize])
         .collect();
-    let mut sorted_runs: Vec<(u64, usize, usize, usize)> = Vec::new(); // (off, len_bytes, rank, out_byte)
-    for (rank, rq) in requests.iter().enumerate() {
-        for r in &rq.runs {
-            sorted_runs.push((
-                r.file_offset,
-                r.elems * ELEM_SIZE as usize,
-                rank,
-                r.out_start * ELEM_SIZE as usize,
-            ));
-        }
-    }
-    sorted_runs.sort_unstable_by_key(|t| t.0);
-
-    // Which rank does aggregator j correspond to?
-    let aggr_rank = |j: usize| j * nranks / naggr;
 
     let mut exchange_bytes = 0u64;
     let mut buf: Vec<u8> = Vec::new();
-    // Runs are sorted and accesses are produced in ascending-offset order
-    // per aggregator; a run can span adjacent windows, so use binary
-    // search per window instead of a single cursor.
-    for a in &plan.accesses {
+    for a in &sp.plan.accesses {
         let w = a.extent;
-        let track = aggr_rank(a.aggregator) as pvr_obs::span::TrackId;
+        let host = sp.aggregator_rank(a.aggregator, nranks);
         let _span = tracer.span_args(
-            track,
+            host as pvr_obs::span::TrackId,
             "io.window",
             pvr_obs::Args::two("offset", w.offset, "bytes", w.len),
         );
@@ -304,30 +421,18 @@ pub fn two_phase_execute_traced(
         file.seek(SeekFrom::Start(w.offset))?;
         file.read_exact(&mut buf)?;
         // Scatter the window to every run overlapping it.
-        let start_idx = sorted_runs.partition_point(|t| t.0 + t.1 as u64 <= w.offset);
-        for t in &sorted_runs[start_idx..] {
-            let (off, len, rank, out_byte) = *t;
-            if off >= w.end() {
-                break;
-            }
-            let lo = off.max(w.offset);
-            let hi = (off + len as u64).min(w.end());
-            if lo >= hi {
-                continue;
-            }
-            let n = (hi - lo) as usize;
-            let src = (lo - w.offset) as usize;
-            let dst = out_byte + (lo - off) as usize;
-            rank_bytes[rank][dst..dst + n].copy_from_slice(&buf[src..src + n]);
-            if rank != aggr_rank(a.aggregator) {
-                exchange_bytes += n as u64;
+        for p in sp.pieces_in(w) {
+            rank_bytes[p.rank][p.out_byte..p.out_byte + p.len()]
+                .copy_from_slice(&buf[p.src_lo..p.src_hi]);
+            if p.rank != host {
+                exchange_bytes += p.len() as u64;
             }
         }
     }
 
     Ok(ExecResult {
         rank_bytes,
-        plan,
+        plan: sp.plan,
         exchange_bytes,
     })
 }
@@ -385,44 +490,20 @@ pub fn two_phase_execute_ft(
     use crate::fault::{window_fault_audit, WindowAudit};
 
     let nranks = requests.len();
-    let naggr = num_aggregators.clamp(1, nranks.max(1));
-
-    let mut aggregate: Vec<Extent> = requests
-        .iter()
-        .flat_map(|rq| {
-            rq.runs
-                .iter()
-                .map(|r| Extent::new(r.file_offset, r.elems as u64 * ELEM_SIZE))
-        })
-        .collect();
-    coalesce(&mut aggregate);
-    let plan = two_phase_plan(&aggregate, naggr, hints);
+    let sp = ScatterPlan::build(requests, num_aggregators, hints);
 
     let mut rank_bytes: Vec<Vec<u8>> = requests
         .iter()
         .map(|rq| vec![0u8; rq.out_elems * ELEM_SIZE as usize])
         .collect();
-    let mut sorted_runs: Vec<(u64, usize, usize, usize)> = Vec::new(); // (off, len_bytes, rank, out_byte)
-    for (rank, rq) in requests.iter().enumerate() {
-        for r in &rq.runs {
-            sorted_runs.push((
-                r.file_offset,
-                r.elems * ELEM_SIZE as usize,
-                rank,
-                r.out_start * ELEM_SIZE as usize,
-            ));
-        }
-    }
-    sorted_runs.sort_unstable_by_key(|t| t.0);
-
-    let aggr_rank = |j: usize| j * nranks / naggr;
 
     let mut audit = WindowAudit::default();
     let mut rank_unrecovered = vec![0u64; nranks];
     let mut exchange_bytes = 0u64;
     let mut buf: Vec<u8> = Vec::new();
-    for a in &plan.accesses {
+    for a in &sp.plan.accesses {
         let w = a.extent;
+        let host = sp.aggregator_rank(a.aggregator, nranks);
         let wa = window_fault_audit(store, faults, rec, w);
         buf.resize(w.len as usize, 0);
         file.seek(SeekFrom::Start(w.offset))?;
@@ -433,28 +514,16 @@ pub fn two_phase_execute_ft(
             let hi = lo + lost.len as usize;
             buf[lo..hi].fill(0);
         }
-        let start_idx = sorted_runs.partition_point(|t| t.0 + t.1 as u64 <= w.offset);
-        for t in &sorted_runs[start_idx..] {
-            let (off, len, rank, out_byte) = *t;
-            if off >= w.end() {
-                break;
+        for p in sp.pieces_in(w) {
+            rank_bytes[p.rank][p.out_byte..p.out_byte + p.len()]
+                .copy_from_slice(&buf[p.src_lo..p.src_hi]);
+            if p.rank != host {
+                exchange_bytes += p.len() as u64;
             }
-            let lo = off.max(w.offset);
-            let hi = (off + len as u64).min(w.end());
-            if lo >= hi {
-                continue;
-            }
-            let n = (hi - lo) as usize;
-            let src = (lo - w.offset) as usize;
-            let dst = out_byte + (lo - off) as usize;
-            rank_bytes[rank][dst..dst + n].copy_from_slice(&buf[src..src + n]);
-            if rank != aggr_rank(a.aggregator) {
-                exchange_bytes += n as u64;
-            }
-            let piece = Extent::new(lo, hi - lo);
+            let piece = Extent::new(p.file_lo, p.file_hi - p.file_lo);
             for lost in &wa.unrecoverable {
                 if let Some(x) = lost.intersect(&piece) {
-                    rank_unrecovered[rank] += x.len;
+                    rank_unrecovered[p.rank] += x.len;
                 }
             }
         }
@@ -464,7 +533,7 @@ pub fn two_phase_execute_ft(
     Ok(FtExecResult {
         exec: ExecResult {
             rank_bytes,
-            plan,
+            plan: sp.plan,
             exchange_bytes,
         },
         audit,

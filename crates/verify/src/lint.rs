@@ -450,13 +450,16 @@ pub fn lint_radix_k(
     report
 }
 
-/// Check the pipeline's stage-tag table: tags must be nonzero (zero is
-/// too easy to send by accident) and pairwise distinct, so a wildcard
-/// receive on one stage can never match another stage's traffic.
-pub fn lint_tags(tags: &[(u32, &str)]) -> LintReport {
+/// Check a stage-tag table: tags must be nonzero (zero is too easy to
+/// send by accident) and pairwise distinct, so a wildcard receive on
+/// one stage can never match another stage's traffic. Generic over the
+/// name type so it accepts both the static single-frame table and the
+/// owned multi-frame epoch table (`FrameTags::table`).
+pub fn lint_tags<S: AsRef<str>>(tags: &[(u32, S)]) -> LintReport {
     let mut report = LintReport::default();
     let mut seen = std::collections::HashMap::<u32, &str>::new();
-    for &(tag, name) in tags {
+    for (tag, name) in tags {
+        let (tag, name) = (*tag, name.as_ref());
         if tag == 0 {
             report.push(
                 Rule::TagDiscipline,

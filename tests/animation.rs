@@ -1,0 +1,176 @@
+//! Time-step pipelining invariants (see `DESIGN.md` §11).
+//!
+//! The contract under test:
+//!
+//! * **Pipelining changes wall clock, never pixels**: on both
+//!   executors, a pipelined `run_animation` produces frames
+//!   bit-identical to running each file through the single-frame entry
+//!   points independently — prefetched bytes are the same bytes, tag
+//!   epochs keep adjacent frames' traffic disjoint.
+//! * **Faults stay inside their frame**: a rank crash while the next
+//!   frame is already prefetched degrades only the crashing frame; the
+//!   neighbours stay complete and bit-identical to their fault-free
+//!   runs.
+//! * **The multi-frame tag table passes the tag-discipline lint** for
+//!   any animation length.
+
+use parallel_volume_rendering::core::pipeline::{run_frame, run_frame_mpi, tags};
+use parallel_volume_rendering::core::scheduler::{FrameTags, EPOCH_STRIDE};
+use parallel_volume_rendering::core::{
+    laptop_store, run_animation, write_animation, AnimFaults, AnimOptions, CompositorPolicy,
+    FrameConfig,
+};
+use parallel_volume_rendering::faults::{FaultPlan, RankAction, RankFault, RecoveryPolicy, Stage};
+use parallel_volume_rendering::render::image::Image;
+use proptest::prelude::*;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("pvr-anim-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn test_cfg(nprocs: usize, seed: u64) -> FrameConfig {
+    let mut cfg = FrameConfig::small(16, 24, nprocs);
+    cfg.seed = seed;
+    cfg.variable = 2;
+    cfg.policy = CompositorPolicy::Fixed(nprocs.div_ceil(2).min(4));
+    cfg
+}
+
+/// The per-step config `write_animation` derived frame `t`'s file from.
+fn step_cfg(cfg: &FrameConfig, t: usize) -> FrameConfig {
+    let mut step = *cfg;
+    step.seed = cfg.seed.wrapping_add(t as u64);
+    step
+}
+
+fn assert_same_image(a: &Image, b: &Image, what: &str) {
+    assert_eq!(a.pixels(), b.pixels(), "{what}: images differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Rayon executor: pipelined animation frames are bit-identical to
+    /// independent single-frame runs of the same files.
+    #[test]
+    fn rayon_animation_matches_independent_frames(seed in 0u64..10_000, nprocs in 4usize..=8) {
+        let cfg = test_cfg(nprocs, seed);
+        let dir = tmp_dir(&format!("rayon-{seed}-{nprocs}"));
+        let paths = write_animation(&dir, &cfg, 3).unwrap();
+        let anim = run_animation(&cfg, &paths, &AnimOptions::rayon()).unwrap();
+        for (t, (frame, path)) in anim.frames.iter().zip(&paths).enumerate() {
+            let solo = run_frame(&step_cfg(&cfg, t), Some(path));
+            assert_same_image(&frame.result.image, &solo.image, &format!("rayon frame {t}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Message-passing executor: the pipelined multi-frame world (one
+    /// world, tag epochs, window prefetch) is bit-identical to
+    /// independent single-frame worlds, and to its own sequential mode.
+    #[test]
+    fn mpi_animation_matches_independent_frames(seed in 0u64..10_000, nprocs in 4usize..=8) {
+        let cfg = test_cfg(nprocs, seed);
+        let dir = tmp_dir(&format!("mpi-{seed}-{nprocs}"));
+        let paths = write_animation(&dir, &cfg, 3).unwrap();
+        let pipe = run_animation(&cfg, &paths, &AnimOptions::mpi()).unwrap();
+        let seq = run_animation(&cfg, &paths, &AnimOptions::mpi().sequential()).unwrap();
+        for (t, (frame, path)) in pipe.frames.iter().zip(&paths).enumerate() {
+            let solo = run_frame_mpi(&step_cfg(&cfg, t), path);
+            assert_same_image(&frame.result.image, &solo.image, &format!("mpi frame {t}"));
+            assert_same_image(
+                &frame.result.image,
+                &seq.frames[t].result.image,
+                &format!("mpi seq-vs-pipe frame {t}"),
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A rank crash in the middle frame — announced *after* that rank has
+/// already prefetched the following frame's windows — degrades only
+/// the crashing frame. The neighbours stay fully complete and
+/// bit-identical to their fault-free runs.
+#[test]
+fn crash_during_prefetched_frame_degrades_only_that_frame() {
+    let cfg = test_cfg(8, 4011);
+    let dir = tmp_dir("crash");
+    let paths = write_animation(&dir, &cfg, 4).unwrap();
+    // Frame 1 crashes rank 2 at the render stage: by then the Read
+    // stage has completed and frame 2's prefetch is in flight.
+    let crash = FaultPlan {
+        seed: 1,
+        ranks: vec![RankFault {
+            rank: 2,
+            stage: Stage::Render,
+            action: RankAction::Crash,
+        }],
+        ..FaultPlan::default()
+    };
+    let faults = AnimFaults {
+        plans: vec![
+            FaultPlan::none(),
+            crash,
+            FaultPlan::none(),
+            FaultPlan::none(),
+        ],
+        policy: RecoveryPolicy::fast_test(),
+        store: laptop_store(),
+    };
+    let anim = run_animation(&cfg, &paths, &AnimOptions::mpi().with_faults(faults)).unwrap();
+    assert_eq!(anim.frames.len(), 4);
+
+    let maps: Vec<_> = anim
+        .frames
+        .iter()
+        .map(|f| {
+            f.completeness
+                .as_ref()
+                .expect("ft animation frames carry completeness")
+        })
+        .collect();
+    assert!(
+        maps[1].frame_fraction() < 1.0,
+        "crashed frame must degrade, got {}",
+        maps[1].frame_fraction()
+    );
+    assert_eq!(anim.frames[1].result.timing.recovery.crashed_ranks, 1);
+    for t in [0usize, 2, 3] {
+        assert!(
+            maps[t].fully_complete(),
+            "frame {t} must stay complete, got {}",
+            maps[t].frame_fraction()
+        );
+        let solo = run_frame_mpi(&step_cfg(&cfg, t), &paths[t]);
+        assert_same_image(
+            &anim.frames[t].result.image,
+            &solo.image,
+            &format!("healthy frame {t} around the crash"),
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The epoch tag table of any animation passes the same tag-discipline
+/// lint as the single-frame table, and frame 0 is exactly the legacy
+/// tag set.
+#[test]
+fn animation_tag_epochs_pass_the_lint() {
+    for frames in [1usize, 2, 6, 32] {
+        let table = FrameTags::table(frames);
+        assert_eq!(table.len(), frames * tags::ALL.len());
+        let report = parallel_volume_rendering::verify::lint_tags(&table);
+        assert!(report.ok(), "{frames} frames: {:?}", report.violations);
+    }
+    // Frame 0 == legacy constants; epochs never collide.
+    let f0 = FrameTags::for_frame(0);
+    assert_eq!(f0.fragment, tags::FRAGMENT);
+    assert_eq!(f0.tile, tags::TILE);
+    let f1 = FrameTags::for_frame(1);
+    assert_eq!(f1.fragment, tags::FRAGMENT + EPOCH_STRIDE);
+    assert_eq!(FrameTags::base_of(f1.tile), tags::TILE);
+    assert_eq!(FrameTags::frame_of(f1.tile), 1);
+}
