@@ -8,7 +8,7 @@
 //! (blue/red) velocity structure with a turbulent interior, over a
 //! transparent background.
 
-use pvr_bench::{check, write_artifact};
+use pvr_bench::{check, write_artifact, CsvOut};
 use pvr_core::{run_frame, write_dataset, FrameConfig, IoMode};
 
 fn main() {
@@ -28,6 +28,25 @@ fn main() {
 
     let frame = run_frame(&cfg, Some(&path));
     println!("# frame: {}", frame.timing);
+
+    // Fast-path counters: how much sampling work the macrocell/LUT
+    // skip culled, and what the sparse subimage exchange actually
+    // shipped vs. what the same exchange would have cost dense.
+    let skip_frac = frame.render_skipped as f64 / frame.render_samples.max(1) as f64;
+    let comp = &frame.composite;
+    let mut csv = CsvOut::create(
+        "fig1_render",
+        "samples,skipped,skip_fraction,composite_bytes,composite_dense_bytes,sparse_messages,messages",
+    );
+    csv.row(&format!(
+        "{},{},{skip_frac:.4},{},{},{},{}",
+        frame.render_samples,
+        frame.render_skipped,
+        comp.bytes,
+        comp.dense_bytes,
+        comp.sparse_messages,
+        comp.messages,
+    ));
 
     // Encode to PPM in memory for the artifact.
     let tmp = dir.join("fig1.ppm");
@@ -81,5 +100,15 @@ fn main() {
         "the lobes are spatially separated (velocity-x changes sign across x)",
         left_red > 3 * right_red || right_red > 3 * left_red,
         &format!("red pixels: {left_red} left vs {right_red} right"),
+    );
+    check(
+        "the macrocell fast path skipped provably transparent samples",
+        frame.render_skipped > 0,
+        &format!("{:.1}% of samples skipped", 100.0 * skip_frac),
+    );
+    check(
+        "the sparse exchange shipped fewer bytes than dense",
+        comp.bytes < comp.dense_bytes,
+        &format!("{} sparse vs {} dense bytes", comp.bytes, comp.dense_bytes),
     );
 }

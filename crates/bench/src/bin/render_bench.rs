@@ -1,0 +1,199 @@
+//! `render_bench` — the fast-path microbenchmark.
+//!
+//! Renders one 128³ supernova block (the paper's per-process block size
+//! at 1120³ / 8³ processes is comparable) with the naive kernel and with
+//! the macrocell/LUT fast path, asserts the images are **bit-identical**,
+//! and reports samples/sec for both, the fraction of samples the fast
+//! path proved zero-opacity and skipped, and — from a small end-to-end
+//! frame — the direct-send payload bytes under the sparse subimage
+//! encoding vs. what the same exchange would cost dense.
+//!
+//! Writes `results/BENCH_render.json` and a `render_bench.csv` summary.
+//! `--ci` runs a single timed iteration and exits nonzero if any of the
+//! correctness gates fail (bit-identity, skip fraction > 0, sparse
+//! payload < dense payload); throughput is reported but not gated, so a
+//! noisy CI machine cannot flake the job.
+
+use std::time::Instant;
+
+use pvr_bench::{check, write_artifact, CsvOut};
+use pvr_core::{run_frame, FrameConfig};
+use pvr_obs::Registry;
+use pvr_render::raycast::RenderOpts;
+use pvr_render::{render_block_with_grid, BlockDomain, Camera, TransferFunction, Vec3};
+use pvr_volume::{MacrocellGrid, SupernovaField, Volume};
+
+const BLOCK: usize = 128;
+
+fn block_volume() -> Volume {
+    // X velocity of the synthetic supernova — the variable and transfer
+    // function of the paper's Figure 1.
+    let f = SupernovaField::new(1530).variable(2);
+    Volume::from_field(&f, [BLOCK; 3])
+}
+
+fn bench_kernel(
+    volume: &Volume,
+    grid: Option<&MacrocellGrid>,
+    cam: &Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    iters: usize,
+) -> (f64, pvr_render::raycast::RenderStats, pvr_render::Image) {
+    // The macrocell summary is built once per block and reused across
+    // frames and views, so the fast kernel is timed in its steady state
+    // with the grid prebuilt (the naive kernel has nothing to build).
+    let dom = BlockDomain::whole(volume.dims());
+    let (w, h) = cam.image_size();
+    let render = || {
+        let (sub, stats) = render_block_with_grid(volume, grid, &dom, cam, tf, opts);
+        let mut img = pvr_render::Image::new(w, h);
+        img.paste(&sub);
+        (img, stats)
+    };
+    // One warm-up render, then the timed best-of-`iters`.
+    let (image, stats) = render();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let (img, _) = render();
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(img);
+    }
+    (best, stats, image)
+}
+
+fn main() {
+    let ci = std::env::args().any(|a| a == "--ci");
+    let iters = if ci { 1 } else { 3 };
+
+    // --- Kernel: one 128^3 block, naive vs fast path. ----------------
+    let volume = block_volume();
+    let cam = Camera::orthographic([BLOCK; 3], Vec3::new(0.3, -0.2, 0.93), 256, 256);
+    let tf = TransferFunction::supernova_velocity();
+    let naive_opts = RenderOpts {
+        fast_path: false,
+        ..Default::default()
+    };
+    let fast_opts = RenderOpts {
+        fast_path: true,
+        ..Default::default()
+    };
+
+    println!("# render_bench: {BLOCK}^3 supernova block, 256^2 rays, best of {iters}");
+    let grid = MacrocellGrid::build(&volume);
+    let (naive_secs, naive_stats, naive_img) =
+        bench_kernel(&volume, None, &cam, &tf, &naive_opts, iters);
+    let (fast_secs, fast_stats, fast_img) =
+        bench_kernel(&volume, Some(&grid), &cam, &tf, &fast_opts, iters);
+
+    let bit_identical_kernel = naive_img
+        .pixels()
+        .iter()
+        .zip(fast_img.pixels())
+        .all(|(a, b)| (0..4).all(|c| a[c].to_bits() == b[c].to_bits()));
+    let samples = naive_stats.samples;
+    let skip_fraction = fast_stats.skipped_samples as f64 / fast_stats.samples as f64;
+    let naive_rate = samples as f64 / naive_secs;
+    let fast_rate = samples as f64 / fast_secs;
+    let speedup = (naive_rate > 0.0).then(|| fast_rate / naive_rate);
+
+    // --- End to end: a small frame, honest sparse exchange bytes. ----
+    let mut cfg = FrameConfig::small(64, 192, 8);
+    cfg.variable = 2;
+    let frame_fast = run_frame(&cfg, None);
+    cfg.fast_path = false;
+    let frame_naive = run_frame(&cfg, None);
+    let bit_identical_frame = frame_naive
+        .image
+        .pixels()
+        .iter()
+        .zip(frame_fast.image.pixels())
+        .all(|(a, b)| (0..4).all(|c| a[c].to_bits() == b[c].to_bits()));
+    let comp = &frame_fast.composite;
+
+    // --- Metrics through the observability registry. ------------------
+    let reg = Registry::new();
+    reg.counter_add("render.samples", "block", fast_stats.samples);
+    reg.counter_add("render.skip", "block", fast_stats.skipped_samples);
+    reg.counter_add("render.skip", "frame", frame_fast.render_skipped);
+    reg.counter_add("composite.sparse_bytes", "frame", comp.bytes);
+    reg.counter_add("composite.dense_bytes", "frame", comp.dense_bytes);
+    print!("{}", reg.snapshot().to_text());
+
+    let mut csv = CsvOut::create(
+        "render_bench",
+        "kernel,secs,samples,skipped,samples_per_sec",
+    );
+    csv.row(&format!(
+        "naive,{naive_secs:.6},{samples},{},{naive_rate:.0}",
+        naive_stats.skipped_samples
+    ));
+    csv.row(&format!(
+        "fast,{fast_secs:.6},{samples},{},{fast_rate:.0}",
+        fast_stats.skipped_samples
+    ));
+
+    let json = format!(
+        "{{\n  \"block\": {BLOCK},\n  \"rays\": [256, 256],\n  \"iters\": {iters},\n  \
+         \"naive_secs\": {naive_secs:.6},\n  \"fast_secs\": {fast_secs:.6},\n  \
+         \"samples\": {samples},\n  \"skipped_samples\": {},\n  \
+         \"skip_fraction\": {skip_fraction:.4},\n  \
+         \"naive_samples_per_sec\": {naive_rate:.0},\n  \
+         \"fast_samples_per_sec\": {fast_rate:.0},\n  \"speedup\": {:.3},\n  \
+         \"bit_identical_kernel\": {bit_identical_kernel},\n  \
+         \"bit_identical_frame\": {bit_identical_frame},\n  \
+         \"frame\": {{\n    \"render_samples\": {},\n    \"render_skipped\": {},\n    \
+         \"composite_bytes\": {},\n    \"composite_dense_bytes\": {},\n    \
+         \"sparse_messages\": {},\n    \"messages\": {}\n  }}\n}}\n",
+        fast_stats.skipped_samples,
+        speedup.unwrap_or(0.0),
+        frame_fast.render_samples,
+        frame_fast.render_skipped,
+        comp.bytes,
+        comp.dense_bytes,
+        comp.sparse_messages,
+        comp.messages,
+    );
+    write_artifact("BENCH_render.json", json.as_bytes());
+
+    // --- Gates. -------------------------------------------------------
+    check(
+        "fast path is bit-identical to the naive kernel",
+        bit_identical_kernel,
+        "256^2 pixels compared bitwise",
+    );
+    check(
+        "fast path is bit-identical end to end (run_frame on vs off)",
+        bit_identical_frame,
+        "192^2 pixels compared bitwise",
+    );
+    check(
+        "macrocell/LUT classification skips work",
+        skip_fraction > 0.0,
+        &format!("{:.1}% of samples skipped", 100.0 * skip_fraction),
+    );
+    check(
+        "sparse exchange ships fewer bytes than dense",
+        comp.bytes < comp.dense_bytes,
+        &format!(
+            "{} sparse vs {} dense ({} of {} messages sparse)",
+            comp.bytes, comp.dense_bytes, comp.sparse_messages, comp.messages
+        ),
+    );
+    check(
+        "fast path reaches 2x samples/sec",
+        speedup.unwrap_or(0.0) >= 2.0,
+        &format!("{:.2}x", speedup.unwrap_or(0.0)),
+    );
+
+    // Correctness gates are hard failures everywhere; throughput is
+    // machine-dependent and only reported.
+    let ok = bit_identical_kernel
+        && bit_identical_frame
+        && skip_fraction > 0.0
+        && comp.bytes < comp.dense_bytes;
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -15,19 +15,57 @@ use pvr_render::image::{over, Image, PixelRect, SubImage};
 
 use crate::region::ImagePartition;
 use crate::serial::visibility_order;
-use crate::WIRE_BYTES_PER_PIXEL;
+use crate::{WIRE_BYTES_PER_PIXEL, WIRE_BYTES_PER_ROW, WIRE_BYTES_PER_SPAN};
 
 /// Message-level statistics of one direct-send execution (what actually
 /// got exchanged, cross-checkable against the precomputed
 /// [`crate::Schedule`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DirectSendStats {
     /// Total renderer-to-compositor messages.
     pub messages: usize,
-    /// Total wire bytes (4 bytes/pixel of overlap).
+    /// Honest wire bytes: each piece ships in whichever of the dense
+    /// (4 bytes/pixel of overlap) or sparse (run-length spans of
+    /// non-transparent pixels, see [`crate::sparse`]) encoding is
+    /// smaller.
     pub bytes: u64,
+    /// What dense shipping would have cost — the old accounting, and
+    /// exactly what [`crate::Schedule::total_bytes`] predicts from
+    /// footprints alone (the schedule cannot see pixel occupancy).
+    pub dense_bytes: u64,
+    /// Of [`DirectSendStats::messages`], how many chose the sparse
+    /// encoding.
+    pub sparse_messages: usize,
     /// Messages received per compositor.
     pub per_compositor: Vec<usize>,
+}
+
+/// Blend the `ov` piece of `sub` into a compositor tile buffer, using
+/// the sparse row spans both to skip the (bitwise no-op) transparent
+/// pixels and to price the piece's wire cost in the same pass.
+///
+/// Returns `(dense_bytes, sparse_bytes)` for the piece.
+fn blend_piece(buf: &mut SubImage, tile: &PixelRect, sub: &SubImage, ov: &PixelRect) -> (u64, u64) {
+    let dense = ov.num_pixels() as u64 * WIRE_BYTES_PER_PIXEL;
+    let mut sparse = ov.h as u64 * WIRE_BYTES_PER_ROW;
+    for y in ov.y0..ov.y1() {
+        let mut open = false;
+        for x in ov.x0..ov.x1() {
+            let p = sub.get(x, y);
+            if p == [0.0; 4] {
+                open = false;
+                continue;
+            }
+            if !open {
+                sparse += WIRE_BYTES_PER_SPAN;
+                open = true;
+            }
+            sparse += WIRE_BYTES_PER_PIXEL;
+            let idx = (y - tile.y0) * tile.w + (x - tile.x0);
+            buf.pixels[idx] = over(buf.pixels[idx], p);
+        }
+    }
+    (dense, sparse)
 }
 
 /// Composite `subs` into the final image using `m = partition.m`
@@ -55,50 +93,48 @@ pub fn composite_direct_send_traced(
 
     // Each compositor independently: blend the overlapping fragment of
     // every subimage, in visibility order, into its tile buffer.
-    let results: Vec<(SubImage, usize, u64)> = (0..partition.m())
+    let results: Vec<(SubImage, DirectSendStats)> = (0..partition.m())
         .into_par_iter()
         .map(|c| {
             let track = c as pvr_obs::span::TrackId;
             tracer.begin(track, "composite.tile");
             let tile = partition.tile(c);
             let mut buf = SubImage::transparent(tile, 0.0);
-            let mut messages = 0usize;
-            let mut bytes = 0u64;
+            let mut st = DirectSendStats::default();
             for &i in &order {
                 let sub = &subs[i];
                 let Some(ov) = sub.rect.intersect(&tile) else {
                     continue;
                 };
-                for y in ov.y0..ov.y1() {
-                    for x in ov.x0..ov.x1() {
-                        let idx = (y - tile.y0) * tile.w + (x - tile.x0);
-                        buf.pixels[idx] = over(buf.pixels[idx], sub.get(x, y));
-                    }
+                let (dense, sparse) = blend_piece(&mut buf, &tile, sub, &ov);
+                st.messages += 1;
+                st.dense_bytes += dense;
+                if sparse < dense {
+                    st.sparse_messages += 1;
+                    st.bytes += sparse;
+                } else {
+                    st.bytes += dense;
                 }
-                messages += 1;
-                bytes += ov.num_pixels() as u64 * WIRE_BYTES_PER_PIXEL;
             }
             tracer.end_args(
                 track,
                 "composite.tile",
-                pvr_obs::Args::two("messages", messages as u64, "bytes", bytes),
+                pvr_obs::Args::two("messages", st.messages as u64, "bytes", st.bytes),
             );
-            (buf, messages, bytes)
+            (buf, st)
         })
         .collect();
 
     // Gather compositor tiles into the final image.
     let mut img = Image::new(width, height);
-    let mut stats = DirectSendStats {
-        messages: 0,
-        bytes: 0,
-        per_compositor: Vec::new(),
-    };
-    for (buf, messages, bytes) in results {
+    let mut stats = DirectSendStats::default();
+    for (buf, st) in results {
         img.paste(&buf);
-        stats.messages += messages;
-        stats.bytes += bytes;
-        stats.per_compositor.push(messages);
+        stats.messages += st.messages;
+        stats.bytes += st.bytes;
+        stats.dense_bytes += st.dense_bytes;
+        stats.sparse_messages += st.sparse_messages;
+        stats.per_compositor.push(st.messages);
     }
     (img, stats)
 }
@@ -116,8 +152,14 @@ pub fn blend_fragments(tile: PixelRect, mut frags: Vec<(usize, SubImage)>) -> Su
     for (_, frag) in &frags {
         for y in frag.rect.y0..frag.rect.y1() {
             for x in frag.rect.x0..frag.rect.x1() {
+                let p = frag.get(x, y);
+                // Blending an exactly transparent pixel is a bitwise
+                // no-op; skip it.
+                if p == [0.0; 4] {
+                    continue;
+                }
                 let idx = (y - tile.y0) * tile.w + (x - tile.x0);
-                buf.pixels[idx] = over(buf.pixels[idx], frag.get(x, y));
+                buf.pixels[idx] = over(buf.pixels[idx], p);
             }
         }
     }
@@ -143,13 +185,12 @@ pub fn composite_direct_send_degraded(
     assert_eq!(subs.len(), present.len());
     let order = visibility_order(subs);
 
-    let results: Vec<(SubImage, usize, u64, TileCompleteness)> = (0..partition.m())
+    let results: Vec<(SubImage, DirectSendStats, TileCompleteness)> = (0..partition.m())
         .into_par_iter()
         .map(|c| {
             let tile = partition.tile(c);
             let mut buf = SubImage::transparent(tile, 0.0);
-            let mut messages = 0usize;
-            let mut bytes = 0u64;
+            let mut st = DirectSendStats::default();
             let mut expected = 0.0f64;
             let mut arrived = 0.0f64;
             for &i in &order {
@@ -163,14 +204,15 @@ pub fn composite_direct_send_degraded(
                     continue;
                 };
                 arrived += area * quality.clamp(0.0, 1.0);
-                for y in ov.y0..ov.y1() {
-                    for x in ov.x0..ov.x1() {
-                        let idx = (y - tile.y0) * tile.w + (x - tile.x0);
-                        buf.pixels[idx] = over(buf.pixels[idx], sub.get(x, y));
-                    }
+                let (dense, sparse) = blend_piece(&mut buf, &tile, sub, &ov);
+                st.messages += 1;
+                st.dense_bytes += dense;
+                if sparse < dense {
+                    st.sparse_messages += 1;
+                    st.bytes += sparse;
+                } else {
+                    st.bytes += dense;
                 }
-                messages += 1;
-                bytes += ov.num_pixels() as u64 * WIRE_BYTES_PER_PIXEL;
             }
             let tc = TileCompleteness {
                 tile: c,
@@ -178,22 +220,20 @@ pub fn composite_direct_send_degraded(
                 expected,
                 arrived,
             };
-            (buf, messages, bytes, tc)
+            (buf, st, tc)
         })
         .collect();
 
     let mut img = Image::new(partition.width, partition.height);
-    let mut stats = DirectSendStats {
-        messages: 0,
-        bytes: 0,
-        per_compositor: Vec::new(),
-    };
+    let mut stats = DirectSendStats::default();
     let mut map = CompletenessMap::default();
-    for (buf, messages, bytes, tc) in results {
+    for (buf, st, tc) in results {
         img.paste(&buf);
-        stats.messages += messages;
-        stats.bytes += bytes;
-        stats.per_compositor.push(messages);
+        stats.messages += st.messages;
+        stats.bytes += st.bytes;
+        stats.dense_bytes += st.dense_bytes;
+        stats.sparse_messages += st.sparse_messages;
+        stats.per_compositor.push(st.messages);
         map.tiles.push(tc);
     }
     (img, stats, map)
@@ -267,8 +307,29 @@ mod tests {
         let (_, stats) = composite_direct_send(&subs, part);
         let sched = crate::build_schedule(&footprints(&subs), part);
         assert_eq!(stats.messages, sched.num_messages());
-        assert_eq!(stats.bytes, sched.total_bytes());
+        // The schedule prices footprints dense (it cannot see pixel
+        // occupancy); honest bytes pick the cheaper encoding per piece.
+        assert_eq!(stats.dense_bytes, sched.total_bytes());
+        assert!(stats.bytes <= stats.dense_bytes);
         assert_eq!(stats.per_compositor, sched.per_compositor_counts());
+    }
+
+    #[test]
+    fn sparse_footprints_ship_fewer_honest_bytes() {
+        // A footprint with one lit pixel per row: dense pricing charges
+        // the whole rectangle, honest pricing only headers + payload.
+        let mut sub = SubImage::transparent(PixelRect::new(0, 0, 32, 32), 0.0);
+        for y in 0..32 {
+            sub.pixels[y * 32 + (y % 32)] = [0.1, 0.2, 0.3, 0.9];
+        }
+        let part = ImagePartition::new(32, 32, 4);
+        let (img, stats) = composite_direct_send(std::slice::from_ref(&sub), part);
+        assert_eq!(stats.dense_bytes, 32 * 32 * 4);
+        assert!(stats.bytes < stats.dense_bytes, "{:?}", stats);
+        assert_eq!(stats.sparse_messages, stats.messages);
+        // And the image is still exact.
+        let reference = composite_serial(std::slice::from_ref(&sub), 32, 32);
+        assert_eq!(img.pixels(), reference.pixels());
     }
 
     #[test]

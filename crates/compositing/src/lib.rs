@@ -33,6 +33,7 @@ pub mod radixk;
 pub mod region;
 pub mod schedule;
 pub mod serial;
+pub mod sparse;
 
 pub use completeness::{CompletenessMap, TileCompleteness};
 pub use directsend::{
@@ -43,10 +44,17 @@ pub use radixk::{composite_radix_k, composite_radix_k_degraded};
 pub use region::ImagePartition;
 pub use schedule::{build_schedule, CompositeMessage, Schedule};
 pub use serial::composite_serial;
+pub use sparse::{piece_wire_bytes, SparseSubImage};
 
 /// Bytes per pixel on the compositing wire (RGBA8, as in the paper:
 /// a 1600² image over 256 compositors is 40 KB per region message).
 pub const WIRE_BYTES_PER_PIXEL: u64 = 4;
+
+/// Sparse encoding: per-row span-count header (one word).
+pub const WIRE_BYTES_PER_ROW: u64 = 4;
+
+/// Sparse encoding: per-span header (start offset + length).
+pub const WIRE_BYTES_PER_SPAN: u64 = 8;
 
 /// The paper's compositor-count policy: direct-send with `m = n` up to
 /// 1K renderers, 1K compositors for 1K < n ≤ 4K, 2K compositors beyond

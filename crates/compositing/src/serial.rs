@@ -20,7 +20,13 @@ pub fn composite_serial(subs: &[SubImage], width: usize, height: usize) -> Image
         let s = &subs[i];
         for y in s.rect.y0..s.rect.y1().min(height) {
             for x in s.rect.x0..s.rect.x1().min(width) {
-                let acc = over(img.get(x, y), s.get(x, y));
+                let p = s.get(x, y);
+                // Exactly transparent pixels are a bitwise no-op under
+                // *over* (sparse-exchange invariant); skip them.
+                if p == [0.0; 4] {
+                    continue;
+                }
+                let acc = over(img.get(x, y), p);
                 img.set(x, y, acc);
             }
         }

@@ -128,6 +128,11 @@ pub struct FrameConfig {
     /// Gradient (Phong) shading; needs a 2-cell ghost layer, which the
     /// pipeline provisions automatically.
     pub shading: bool,
+    /// Render/composite fast path: macrocell empty-space skipping plus
+    /// sparse subimage exchange. Bit-identical to the naive path (the
+    /// property tests pin it), so it defaults on; turn off to measure
+    /// the naive baseline.
+    pub fast_path: bool,
 }
 
 impl FrameConfig {
@@ -143,6 +148,7 @@ impl FrameConfig {
             step: 1.0,
             seed: 1530,
             shading: false,
+            fast_path: true,
         }
     }
 
@@ -158,6 +164,7 @@ impl FrameConfig {
             step: 1.0,
             seed: 1530,
             shading: false,
+            fast_path: true,
         }
     }
 

@@ -91,6 +91,10 @@ pub struct FrameResult {
     pub io: IoRunStats,
     /// Total scalar samples taken during rendering.
     pub render_samples: u64,
+    /// Samples proven zero-opacity by the macrocell/LUT fast path and
+    /// skipped without evaluation (a subset of `render_samples`; 0 when
+    /// `fast_path` is off).
+    pub render_skipped: u64,
     pub composite: DirectSendStats,
 }
 
@@ -203,6 +207,7 @@ pub fn render_opts(cfg: &FrameConfig) -> RenderOpts {
     RenderOpts {
         step: cfg.step,
         shading: cfg.shading.then(Shading::default),
+        fast_path: cfg.fast_path,
         ..Default::default()
     }
 }
@@ -385,17 +390,49 @@ pub mod tags {
 }
 
 /// Serialize a subimage fragment: renderer id, rect, depth, pixels.
+/// Fragment wire format tags: dense rows vs run-length sparse spans.
+const FRAG_DENSE: u64 = 0;
+const FRAG_SPARSE: u64 = 1;
+
+/// Encode a fragment for the message-passing exchange, choosing dense
+/// or sparse (run-length spans of non-transparent pixels, see
+/// [`pvr_compositing::sparse`]) per fragment by actual encoded size.
+/// The sparse body round-trips bit-identically: elided pixels decode to
+/// `[0.0; 4]`, which is what they were.
 pub(crate) fn encode_fragment(renderer: usize, s: &SubImage) -> Vec<u8> {
-    let mut out = Vec::with_capacity(40 + s.pixels.len() * 16);
+    let sparse = pvr_compositing::SparseSubImage::encode(s);
+    let dense_body = s.pixels.len() * 16;
+    // Real encoded body sizes: per row a span count, per span a start
+    // offset + length, per kept pixel four f32s.
+    let sparse_body = s.rect.h * 8 + sparse.num_spans() * 16 + sparse.payload_pixels() * 16;
+
+    let mut out = Vec::with_capacity(56 + dense_body.min(sparse_body));
     out.extend((renderer as u64).to_le_bytes());
     out.extend((s.rect.x0 as u64).to_le_bytes());
     out.extend((s.rect.y0 as u64).to_le_bytes());
     out.extend((s.rect.w as u64).to_le_bytes());
     out.extend((s.rect.h as u64).to_le_bytes());
     out.extend(s.depth.to_le_bytes());
-    for p in &s.pixels {
-        for c in p {
-            out.extend(c.to_le_bytes());
+    if sparse_body < dense_body {
+        out.extend(FRAG_SPARSE.to_le_bytes());
+        for row in &sparse.rows {
+            out.extend((row.len() as u64).to_le_bytes());
+            for span in row {
+                out.extend((span.x0 as u64).to_le_bytes());
+                out.extend((span.pixels.len() as u64).to_le_bytes());
+                for p in &span.pixels {
+                    for c in p {
+                        out.extend(c.to_le_bytes());
+                    }
+                }
+            }
+        }
+    } else {
+        out.extend(FRAG_DENSE.to_le_bytes());
+        for p in &s.pixels {
+            for c in p {
+                out.extend(c.to_le_bytes());
+            }
         }
     }
     out
@@ -406,16 +443,40 @@ pub(crate) fn decode_fragment(data: &[u8]) -> (usize, SubImage) {
     let renderer = u(0);
     let rect = pvr_render::image::PixelRect::new(u(1), u(2), u(3), u(4));
     let depth = f64::from_le_bytes(data[40..48].try_into().unwrap());
-    let mut pixels = Vec::with_capacity(rect.num_pixels());
-    let body = &data[48..];
-    for q in body.chunks_exact(16) {
-        pixels.push([
+    let tag = u(6) as u64;
+    let body = &data[56..];
+    let pix = |q: &[u8]| -> [f32; 4] {
+        [
             f32::from_le_bytes(q[0..4].try_into().unwrap()),
             f32::from_le_bytes(q[4..8].try_into().unwrap()),
             f32::from_le_bytes(q[8..12].try_into().unwrap()),
             f32::from_le_bytes(q[12..16].try_into().unwrap()),
-        ]);
-    }
+        ]
+    };
+    let pixels = match tag {
+        FRAG_DENSE => body.chunks_exact(16).map(pix).collect(),
+        FRAG_SPARSE => {
+            let mut pixels = vec![[0.0f32; 4]; rect.num_pixels()];
+            let mut off = 0usize;
+            let word =
+                |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().unwrap()) as usize;
+            for y in 0..rect.h {
+                let nspans = word(off);
+                off += 8;
+                for _ in 0..nspans {
+                    let x0 = word(off);
+                    let len = word(off + 8);
+                    off += 16;
+                    for k in 0..len {
+                        pixels[y * rect.w + x0 + k] = pix(&body[off..off + 16]);
+                        off += 16;
+                    }
+                }
+            }
+            pixels
+        }
+        t => panic!("unknown fragment format tag {t}"),
+    };
     (
         renderer,
         SubImage {

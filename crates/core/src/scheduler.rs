@@ -364,6 +364,7 @@ pub struct RayonExec<'a> {
     volumes: Vec<pvr_volume::Volume>,
     subs: Vec<SubImage>,
     render_samples: u64,
+    render_skipped: u64,
     image: Option<Image>,
     composite: Option<DirectSendStats>,
 }
@@ -389,6 +390,7 @@ impl<'a> RayonExec<'a> {
             volumes: Vec::new(),
             subs: Vec::new(),
             render_samples: 0,
+            render_skipped: 0,
             image: None,
             composite: None,
         }
@@ -460,7 +462,7 @@ impl StageExec for RayonExec<'_> {
                 let geo = &self.geo;
                 let camera = &self.camera;
                 let tracer = self.tracer;
-                let rendered: Vec<(SubImage, u64)> = self
+                let rendered: Vec<(SubImage, u64, u64)> = self
                     .volumes
                     .par_iter()
                     .enumerate()
@@ -479,13 +481,14 @@ impl StageExec for RayonExec<'_> {
                             tracer,
                             rank as u32,
                         );
-                        (sub, stats.samples)
+                        (sub, stats.samples, stats.skipped_samples)
                     })
                     .collect();
                 self.tracer.end(0, "render");
                 self.timing.render = self.sw.lap();
-                self.render_samples = rendered.iter().map(|(_, s)| *s).sum();
-                self.subs = rendered.into_iter().map(|(s, _)| s).collect();
+                self.render_samples = rendered.iter().map(|(_, s, _)| *s).sum();
+                self.render_skipped = rendered.iter().map(|(_, _, k)| *k).sum();
+                self.subs = rendered.into_iter().map(|(s, _, _)| s).collect();
                 self.volumes.clear();
             }
             StageId::Composite => {
@@ -523,6 +526,7 @@ impl StageExec for RayonExec<'_> {
             timing,
             io: self.io,
             render_samples: self.render_samples,
+            render_skipped: self.render_skipped,
             composite: self.composite.expect("composite stage ran"),
         }
     }
@@ -563,7 +567,15 @@ pub struct RankOut {
     pub completeness: Option<CompletenessMap>,
     pub timing: FrameTiming,
     pub samples: u64,
+    pub skipped: u64,
+    /// Honest wire bytes this rank sent (per fragment, the cheaper of
+    /// the dense and sparse encodings).
     pub sent_bytes: u64,
+    /// What the same fragments would have cost shipped dense — the
+    /// schedule's prediction.
+    pub sent_dense_bytes: u64,
+    /// Fragments that went out sparse-encoded.
+    pub sparse_messages: usize,
     pub counters: RecoveryCounters,
     pub io_failover_bytes: u64,
     pub io_unrecovered_bytes: u64,
@@ -576,7 +588,10 @@ impl RankOut {
             completeness: None,
             timing,
             samples: 0,
+            skipped: 0,
             sent_bytes: 0,
+            sent_dense_bytes: 0,
+            sparse_messages: 0,
             counters: RecoveryCounters {
                 crashed_ranks: 1,
                 ..RecoveryCounters::default()
@@ -629,7 +644,10 @@ pub struct RankExec<'a> {
     io: Option<RankIo>,
     sub: Option<SubImage>,
     samples: u64,
+    skipped: u64,
     sent: u64,
+    sent_dense: u64,
+    sparse_msgs: usize,
     schedule: Option<Schedule>,
     partition: Option<ImagePartition>,
     frag_out: Option<OutBox>,
@@ -678,7 +696,10 @@ impl<'a> RankExec<'a> {
             io: None,
             sub: None,
             samples: 0,
+            skipped: 0,
             sent: 0,
+            sent_dense: 0,
+            sparse_msgs: 0,
             schedule: None,
             partition: None,
             frag_out: None,
@@ -1021,6 +1042,7 @@ impl<'a> RankExec<'a> {
         let (sub, rstats) = render_block(&volume, &dom, &self.camera, &tf, &ropts);
         self.comm.mark_instant("render.samples", rstats.samples);
         self.samples = rstats.samples;
+        self.skipped = rstats.skipped_samples;
         self.sub = Some(sub);
         match self.links {
             LinkMode::Direct => {
@@ -1039,6 +1061,21 @@ impl<'a> RankExec<'a> {
     }
 
     // --- Composite stage -------------------------------------------
+
+    /// Account one outgoing fragment under the paper's wire pricing:
+    /// the cheaper of the dense and sparse encodings (mirroring what
+    /// `encode_fragment` actually ships), plus the dense cost the
+    /// schedule predicts.
+    fn account_fragment(&mut self, frag: &SubImage) {
+        let (dense, sparse) = pvr_compositing::piece_wire_bytes(frag, &frag.rect);
+        self.sent_dense += dense;
+        if sparse < dense {
+            self.sparse_msgs += 1;
+            self.sent += sparse;
+        } else {
+            self.sent += dense;
+        }
+    }
 
     fn stage_composite(&mut self) -> ControlFlow<()> {
         self.timing.starts[2] = self.t0.elapsed().as_secs_f64();
@@ -1072,7 +1109,7 @@ impl<'a> RankExec<'a> {
                     let tile = partition.tile(msg.compositor);
                     if let Some(frag) = sub.crop(&tile) {
                         let dst = self.compositor_rank(msg.compositor);
-                        self.sent += frag.wire_bytes();
+                        self.account_fragment(&frag);
                         self.comm
                             .send(dst, self.tags.fragment, encode_fragment(rank, &frag));
                     }
@@ -1108,7 +1145,7 @@ impl<'a> RankExec<'a> {
                     let tile = partition.tile(msg.compositor);
                     if let Some(frag) = sub.crop(&tile) {
                         let dst = self.compositor_rank(msg.compositor);
-                        self.sent += frag.wire_bytes();
+                        self.account_fragment(&frag);
                         let mut body = Vec::with_capacity(8 + 48 + frag.pixels.len() * 16);
                         body.extend(quality.to_le_bytes());
                         body.extend(encode_fragment(rank, &frag));
@@ -1312,6 +1349,7 @@ impl StageExec for RankExec<'_> {
             let mut out = RankOut::crashed(self.timing);
             out.counters.merge(&self.counters);
             out.samples = self.samples;
+            out.skipped = self.skipped;
             if let Some(io) = &self.io {
                 out.io_failover_bytes = io.failover_bytes;
                 out.io_unrecovered_bytes = io.unrecovered_bytes;
@@ -1330,7 +1368,10 @@ impl StageExec for RankExec<'_> {
             completeness: self.completeness,
             timing: self.timing,
             samples: self.samples,
+            skipped: self.skipped,
             sent_bytes: self.sent,
+            sent_dense_bytes: self.sent_dense,
+            sparse_messages: self.sparse_msgs,
             counters: self.counters,
             io_failover_bytes: self.io.as_ref().map_or(0, |io| io.failover_bytes),
             io_unrecovered_bytes: self.io.as_ref().map_or(0, |io| io.unrecovered_bytes),
@@ -1405,7 +1446,10 @@ pub(crate) fn assemble_frame(
     let m = cfg.compositors();
     let n = cfg.nprocs;
     let render_samples: u64 = results.iter().map(|r| r.samples).sum();
+    let render_skipped: u64 = results.iter().map(|r| r.skipped).sum();
     let sent_bytes: u64 = results.iter().map(|r| r.sent_bytes).sum();
+    let sent_dense_bytes: u64 = results.iter().map(|r| r.sent_dense_bytes).sum();
+    let sparse_messages: usize = results.iter().map(|r| r.sparse_messages).sum();
     let mut recovery = RecoveryCounters::default();
     let mut failover_bytes = 0u64;
     let mut unrecovered_bytes = 0u64;
@@ -1462,9 +1506,12 @@ pub(crate) fn assemble_frame(
             timing,
             io,
             render_samples,
+            render_skipped,
             composite: DirectSendStats {
                 messages: 0,
                 bytes: sent_bytes,
+                dense_bytes: sent_dense_bytes,
+                sparse_messages,
                 per_compositor: Vec::new(),
             },
         },

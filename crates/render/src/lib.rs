@@ -33,5 +33,5 @@ pub mod transfer;
 pub use camera::Camera;
 pub use image::{Image, PixelRect, SubImage};
 pub use math::Vec3;
-pub use raycast::{render_block, render_serial, BlockDomain, RenderOpts};
+pub use raycast::{render_block, render_block_with_grid, render_serial, BlockDomain, RenderOpts};
 pub use transfer::TransferFunction;

