@@ -274,6 +274,32 @@ impl FrameTags {
         ((tag - 1) / EPOCH_STRIDE) as usize
     }
 
+    /// Human name of any epoch tag (`"frame2/fragment"`), or `None`
+    /// for tags outside the stage-tag discipline. The model checker's
+    /// choice points carry raw `u32` tags; this is how its reports
+    /// translate them back into pipeline stages.
+    pub fn name_of(tag: u32) -> Option<String> {
+        if tag == 0 {
+            return None;
+        }
+        let base = FrameTags::base_of(tag);
+        let name = tags::ALL.iter().find(|(t, _)| *t == base)?.1;
+        Some(format!("frame{}/{}", FrameTags::frame_of(tag), name))
+    }
+
+    /// The tags of this frame that wildcard receives match on — the
+    /// data stages, where receive order is scheduler-dependent and
+    /// model checking has something to decide. Ack tags are excluded:
+    /// acks are received per-source (`recv_from`) or drained after the
+    /// stage completes, so they open no choice points.
+    pub fn wildcard_streams(&self) -> [(u32, &'static str); 3] {
+        [
+            (self.io_scatter, "io-scatter"),
+            (self.fragment, "fragment"),
+            (self.tile, "tile"),
+        ]
+    }
+
     /// The full tag table of an animation's first `frames` time steps,
     /// for tag-discipline lint over the multi-frame tag space.
     pub fn table(frames: usize) -> Vec<(u32, String)> {
@@ -1652,6 +1678,27 @@ mod tests {
         let table = FrameTags::table(4);
         assert_eq!(table.len(), 24);
         assert!(table.iter().any(|(_, n)| n == "frame3/tile"));
+    }
+
+    #[test]
+    fn epoch_tags_name_back_to_pipeline_stages() {
+        let t = FrameTags::for_frame(2);
+        assert_eq!(FrameTags::name_of(t.fragment).unwrap(), "frame2/fragment");
+        assert_eq!(FrameTags::name_of(t.tile_ack).unwrap(), "frame2/tile-ack");
+        assert_eq!(
+            FrameTags::name_of(tags::IO_SCATTER).unwrap(),
+            "frame0/io-scatter"
+        );
+        assert_eq!(FrameTags::name_of(0), None);
+        // 7..=16 are unassigned slots of epoch 0.
+        assert_eq!(FrameTags::name_of(7), None);
+
+        let streams = t.wildcard_streams();
+        assert_eq!(streams.len(), 3);
+        assert!(streams.iter().all(|(tag, _)| {
+            let b = FrameTags::base_of(*tag);
+            b == tags::IO_SCATTER || b == tags::FRAGMENT || b == tags::TILE
+        }));
     }
 
     #[test]

@@ -126,7 +126,7 @@ fn encode_done(
     m
 }
 
-struct DoneLeg {
+pub(crate) struct DoneLeg {
     id: u32,
     start_step: u32,
     reason: StopReason,
@@ -165,6 +165,172 @@ fn decode_done(m: &[u8]) -> DoneLeg {
     }
 }
 
+/// How the tracer's master-counted termination shuts the world down.
+///
+/// The acked protocol is the production one. The unacked variant is the
+/// bug this protocol originally shipped with, kept compilable under
+/// `cfg(test)` as a model-checking fixture: `verify_mc`'s seeded-mutant
+/// check proves the DPOR explorer finds the schedule that loses a leg
+/// report, with a replayable counterexample. It must never be
+/// constructible in production builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShutdownMode {
+    /// Rank 0 broadcasts FINISH, then drains until every worker acks;
+    /// per-(src, tag) non-overtaking guarantees each worker's leg
+    /// reports are delivered before its ack.
+    Acked,
+    /// Rank 0 exits as soon as its termination count completes and
+    /// workers never ack — intermediate leg reports from handoff
+    /// chains can still be in flight and are silently lost on
+    /// schedules where a third rank's finish report overtakes them.
+    #[cfg(test)]
+    UnackedMutant,
+}
+
+impl ShutdownMode {
+    fn acked(self) -> bool {
+        match self {
+            ShutdownMode::Acked => true,
+            #[cfg(test)]
+            ShutdownMode::UnackedMutant => false,
+        }
+    }
+}
+
+/// One rank of the distributed tracer: integrate local particles, ship
+/// block-crossers to their new owner, report every leg to rank 0, and
+/// take part in master-counted termination. Returns the legs this rank
+/// collected (non-empty on rank 0 only).
+///
+/// Extracted from [`trace_parallel`] so the model checker can run the
+/// *real* protocol body — including its `#[cfg(test)]` mutant — under
+/// `pvr-mc`'s guided schedules.
+pub(crate) fn tracer_rank(
+    mut comm: pvr_mpisim::Comm,
+    grid: [usize; 3],
+    seeds: &[[f32; 3]],
+    opts: &TracerOpts,
+    field_fn: impl Fn([f32; 3]) -> [f32; 3],
+    mode: ShutdownMode,
+) -> Vec<DoneLeg> {
+    let rank = comm.rank();
+    let n = comm.size();
+    let decomp = BlockDecomposition::new(grid, n);
+    let owner_map = OwnerMap::new(&decomp);
+    let block = decomp.block(rank);
+    let stored = decomp.with_ghost(&block, TRACER_GHOST);
+    let field = sample_block_field(grid, &stored, field_fn);
+    let own_lo = [
+        block.sub.offset[0] as f32,
+        block.sub.offset[1] as f32,
+        block.sub.offset[2] as f32,
+    ];
+    let oe = block.sub.end();
+    let own_hi = [oe[0] as f32, oe[1] as f32, oe[2] as f32];
+
+    // Seed my particles.
+    let mut queue: Vec<Particle> = seeds
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| owner_map.owner_of(**s) == rank)
+        .map(|(i, s)| Particle::new(i as u32, *s))
+        .collect();
+
+    let mut done_total = 0usize; // rank 0 only
+    let mut legs: Vec<DoneLeg> = Vec::new(); // rank 0 only
+    let mut finished = false;
+
+    while !finished {
+        // Drain local work.
+        while let Some(p) = queue.pop() {
+            let start_step = p.steps;
+            let leg = trace_leg(&field, p, own_lo, own_hi, grid, opts);
+            // Report the leg's path to rank 0.
+            let msg = encode_done(
+                leg.particle.id,
+                start_step,
+                leg.reason,
+                leg.particle.steps,
+                &leg.path,
+            );
+            if rank == 0 {
+                legs.push(decode_done(&msg));
+            } else {
+                comm.send(0, TAG, msg);
+            }
+            match leg.reason {
+                StopReason::LeftBlock => {
+                    // The ownership test and the leg's inside test
+                    // use identical comparisons, so the new owner is
+                    // always a different rank.
+                    let to = owner_map.owner_of(leg.particle.pos);
+                    assert_ne!(to, rank, "handoff to self at {:?}", leg.particle.pos);
+                    comm.send(to, TAG, encode_particle(&leg.particle));
+                }
+                _ => {
+                    if rank == 0 {
+                        done_total += 1;
+                    } else {
+                        comm.send(0, TAG, vec![MSG_FINISH, 0]);
+                    }
+                }
+            }
+        }
+
+        // Rank 0: all traces accounted for? Tell everyone, then
+        // drain until every rank acks shutdown. Leg reports from
+        // other ranks race with the finish report that completed
+        // the count, so pending `MSG_DONE`s may still sit in the
+        // queue; per-(src, tag) non-overtaking guarantees each
+        // rank's legs are delivered before its ack, so seeing all
+        // acks means all legs have been collected.
+        if rank == 0 && done_total == seeds.len() {
+            for r in 1..n {
+                comm.send(r, TAG, vec![MSG_FINISH, 1]);
+            }
+            if mode.acked() {
+                let mut acks = 0usize;
+                while acks < n - 1 {
+                    let (_, m) = comm.recv_any(TAG);
+                    match m[0] {
+                        MSG_DONE => legs.push(decode_done(&m)),
+                        MSG_FINISH if m[1] == 2 => acks += 1,
+                        other => unreachable!("unexpected message {other} during shutdown"),
+                    }
+                }
+            }
+            break;
+        }
+        if n == 1 {
+            // Single rank with an empty queue and unfinished traces
+            // cannot happen; guard against a hang regardless.
+            break;
+        }
+
+        // Wait for work or control traffic.
+        let (_, m) = comm.recv_any(TAG);
+        match m[0] {
+            MSG_PARTICLE => queue.push(decode_particle(&m)),
+            MSG_DONE => legs.push(decode_done(&m)),
+            MSG_FINISH => {
+                if rank == 0 {
+                    // A remote rank reports one terminal trace.
+                    done_total += 1;
+                } else {
+                    // Shutdown order: ack it so rank 0 knows all
+                    // our leg reports have been delivered.
+                    if mode.acked() {
+                        comm.send(0, TAG, vec![MSG_FINISH, 2]);
+                    }
+                    finished = true;
+                }
+            }
+            other => unreachable!("unknown message type {other}"),
+        }
+    }
+    legs
+}
+
 /// Trace `seeds` through the field defined by `field_fn` (an analytic
 /// ground-truth velocity over cell space), distributed over `nprocs`
 /// rank threads with block handoffs. Returns assembled traces sorted by
@@ -179,119 +345,8 @@ pub fn trace_parallel(
     let seeds = seeds.to_vec();
     let opts = *opts;
 
-    let mut results = pvr_mpisim::World::run(nprocs, move |mut comm| {
-        let rank = comm.rank();
-        let n = comm.size();
-        let decomp = BlockDecomposition::new(grid, n);
-        let owner_map = OwnerMap::new(&decomp);
-        let block = decomp.block(rank);
-        let stored = decomp.with_ghost(&block, TRACER_GHOST);
-        let field = sample_block_field(grid, &stored, field_fn);
-        let own_lo = [
-            block.sub.offset[0] as f32,
-            block.sub.offset[1] as f32,
-            block.sub.offset[2] as f32,
-        ];
-        let oe = block.sub.end();
-        let own_hi = [oe[0] as f32, oe[1] as f32, oe[2] as f32];
-
-        // Seed my particles.
-        let mut queue: Vec<Particle> = seeds
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| owner_map.owner_of(**s) == rank)
-            .map(|(i, s)| Particle::new(i as u32, *s))
-            .collect();
-
-        let mut done_total = 0usize; // rank 0 only
-        let mut legs: Vec<DoneLeg> = Vec::new(); // rank 0 only
-        let mut finished = false;
-
-        while !finished {
-            // Drain local work.
-            while let Some(p) = queue.pop() {
-                let start_step = p.steps;
-                let leg = trace_leg(&field, p, own_lo, own_hi, grid, &opts);
-                // Report the leg's path to rank 0.
-                let msg = encode_done(
-                    leg.particle.id,
-                    start_step,
-                    leg.reason,
-                    leg.particle.steps,
-                    &leg.path,
-                );
-                if rank == 0 {
-                    legs.push(decode_done(&msg));
-                } else {
-                    comm.send(0, TAG, msg);
-                }
-                match leg.reason {
-                    StopReason::LeftBlock => {
-                        // The ownership test and the leg's inside test
-                        // use identical comparisons, so the new owner is
-                        // always a different rank.
-                        let to = owner_map.owner_of(leg.particle.pos);
-                        assert_ne!(to, rank, "handoff to self at {:?}", leg.particle.pos);
-                        comm.send(to, TAG, encode_particle(&leg.particle));
-                    }
-                    _ => {
-                        if rank == 0 {
-                            done_total += 1;
-                        } else {
-                            comm.send(0, TAG, vec![MSG_FINISH, 0]);
-                        }
-                    }
-                }
-            }
-
-            // Rank 0: all traces accounted for? Tell everyone, then
-            // drain until every rank acks shutdown. Leg reports from
-            // other ranks race with the finish report that completed
-            // the count, so pending `MSG_DONE`s may still sit in the
-            // queue; per-(src, tag) non-overtaking guarantees each
-            // rank's legs are delivered before its ack, so seeing all
-            // acks means all legs have been collected.
-            if rank == 0 && done_total == seeds.len() {
-                for r in 1..n {
-                    comm.send(r, TAG, vec![MSG_FINISH, 1]);
-                }
-                let mut acks = 0usize;
-                while acks < n - 1 {
-                    let (_, m) = comm.recv_any(TAG);
-                    match m[0] {
-                        MSG_DONE => legs.push(decode_done(&m)),
-                        MSG_FINISH if m[1] == 2 => acks += 1,
-                        other => unreachable!("unexpected message {other} during shutdown"),
-                    }
-                }
-                break;
-            }
-            if n == 1 {
-                // Single rank with an empty queue and unfinished traces
-                // cannot happen; guard against a hang regardless.
-                break;
-            }
-
-            // Wait for work or control traffic.
-            let (_, m) = comm.recv_any(TAG);
-            match m[0] {
-                MSG_PARTICLE => queue.push(decode_particle(&m)),
-                MSG_DONE => legs.push(decode_done(&m)),
-                MSG_FINISH => {
-                    if rank == 0 {
-                        // A remote rank reports one terminal trace.
-                        done_total += 1;
-                    } else {
-                        // Shutdown order: ack it so rank 0 knows all
-                        // our leg reports have been delivered.
-                        comm.send(0, TAG, vec![MSG_FINISH, 2]);
-                        finished = true;
-                    }
-                }
-                other => unreachable!("unknown message type {other}"),
-            }
-        }
-        legs
+    let mut results = pvr_mpisim::World::run(nprocs, move |comm| {
+        tracer_rank(comm, grid, &seeds, &opts, field_fn, ShutdownMode::Acked)
     });
 
     // Assemble at "rank 0"'s result.
@@ -461,6 +516,87 @@ mod tests {
         let par = trace_parallel(grid, 1, &[[8.0, 8.0, 8.0]], &opts, vortex);
         let ser = trace_serial_sampled(grid, &[[8.0, 8.0, 8.0]], &opts, vortex);
         assert_eq!(par[0].path, ser[0].path);
+    }
+
+    /// The tracer's rank body as a model-checkable program: sorted
+    /// encoded legs, so per-rank results are comparable bit-for-bit
+    /// regardless of collection order.
+    fn mc_program(mode: ShutdownMode) -> impl Fn(pvr_mpisim::Comm) -> Vec<Vec<u8>> + Send + Sync {
+        // One seed in the middle block of three, swept straight
+        // through the last block and out of the domain: rank 1 ships
+        // the particle to rank 2 and reports an intermediate leg whose
+        // MSG_DONE races rank 2's terminal finish report at rank 0.
+        let grid = [24usize, 8, 8];
+        let seeds = vec![[9.0f32, 4.0, 4.0]];
+        let opts = TracerOpts {
+            h: 0.5,
+            max_steps: 200,
+            min_speed: 1e-9,
+        };
+        let field = |_: [f32; 3]| [2.0f32, 0.0, 0.0];
+        move |comm| {
+            let legs = tracer_rank(comm, grid, &seeds, &opts, field, mode);
+            let mut enc: Vec<Vec<u8>> = legs
+                .iter()
+                .map(|l| encode_done(l.id, l.start_step, l.reason, l.steps, &l.path))
+                .collect();
+            enc.sort();
+            enc
+        }
+    }
+
+    #[test]
+    fn mc_verifies_acked_shutdown_exhaustively() {
+        // The production protocol survives *every* wildcard-match
+        // interleaving of the handoff scenario: same legs at rank 0,
+        // no deadlock, no message lost.
+        let report = pvr_mc::explore(3, mc_program(ShutdownMode::Acked), &Default::default());
+        assert!(report.verified(), "violations: {:?}", report.violations);
+        assert!(
+            report.stats.traces > 1,
+            "the scenario must actually race (got {} trace)",
+            report.stats.traces
+        );
+    }
+
+    #[test]
+    fn mc_catches_unacked_shutdown_mutant_with_replayable_counterexample() {
+        // Reintroduce the original unacked-shutdown bug: rank 0 exits
+        // as soon as its count completes. Sampled probes usually see
+        // the benign order; exhaustive DPOR must find the schedule
+        // where rank 2's finish report overtakes rank 1's leg report
+        // — and hand back a schedule that reproduces it.
+        use pvr_mc::Schedule;
+        use pvr_mpisim::{MatchPolicy, RunOptions, World};
+        use std::sync::Arc;
+
+        let report = pvr_mc::explore(
+            3,
+            mc_program(ShutdownMode::UnackedMutant),
+            &Default::default(),
+        );
+        assert!(
+            !report.violations.is_empty(),
+            "the mutant must be caught (explored {} traces)",
+            report.stats.traces
+        );
+        let baseline = report.baseline.as_ref().expect("baseline run succeeds");
+        let v = &report.violations[0];
+
+        // Persist → parse → replay: the counterexample survives the
+        // JSON round-trip and deterministically reproduces the lost
+        // leg under a guided run.
+        let schedule = Schedule::from_json(&v.schedule.to_json()).unwrap();
+        let replayed = World::run_opts(
+            3,
+            RunOptions::default().policy(MatchPolicy::Guided(Arc::new(schedule.to_guided()))),
+            mc_program(ShutdownMode::UnackedMutant),
+        )
+        .expect("counterexample replays without deadlock");
+        assert_ne!(
+            &replayed.results, baseline,
+            "replaying the counterexample must reproduce the divergence"
+        );
     }
 
     #[test]

@@ -192,7 +192,66 @@ pub enum MatchPolicy {
     /// matched (see [`trace::ReplayLog`]). Panics if the log runs out,
     /// i.e. the execution diverged structurally from the recording.
     Replay(Arc<ReplayLog>),
+    /// Force a *prefix* of each rank's wildcard receives to match the
+    /// scheduled sources, then fall back to deterministic `MinSource`
+    /// for the rest. This generalizes `Replay`: a replay log pins every
+    /// wildcard of a complete recorded run, while a guided schedule
+    /// pins only the choices a model checker wants to flip and lets the
+    /// continuation run deterministically. The DPOR explorer
+    /// (`pvr-mc`) enumerates interleavings by re-running a program
+    /// under systematically varied guided prefixes.
+    Guided(Arc<GuidedSchedule>),
 }
+
+/// A partial wildcard-match schedule for [`MatchPolicy::Guided`]:
+/// `prefix[rank]` lists the sources rank `rank`'s first
+/// `prefix[rank].len()` wildcard receives must match, in wildcard-index
+/// order. Wildcards past the prefix (and ranks past `prefix.len()`)
+/// use the deterministic `MinSource` choice, so a guided run is a pure
+/// function of its schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GuidedSchedule {
+    pub prefix: Vec<Vec<usize>>,
+}
+
+impl GuidedSchedule {
+    pub fn new(prefix: Vec<Vec<usize>>) -> Self {
+        GuidedSchedule { prefix }
+    }
+
+    /// Forced source for `rank`'s `idx`-th wildcard, if scheduled.
+    pub fn forced(&self, rank: usize, idx: u64) -> Option<usize> {
+        self.prefix.get(rank)?.get(idx as usize).copied()
+    }
+
+    /// Total forced choices across all ranks.
+    pub fn total_len(&self) -> usize {
+        self.prefix.iter().map(Vec::len).sum()
+    }
+}
+
+/// One resolved wildcard match, reported to the
+/// [`RunOptions::on_choice`] callback: which rank's which wildcard
+/// receive, the tag, the sources with a matching message pending at
+/// match time (`candidates`, ascending, always containing `chosen`),
+/// and whether a `Replay`/`Guided` policy forced the choice. The DPOR
+/// explorer uses this stream for its branching statistics; anything
+/// heavier (happens-before, backtrack sets) is derived from the trace.
+#[derive(Debug, Clone)]
+pub struct ChoicePoint {
+    pub rank: usize,
+    /// The rank-local wildcard ordinal (same numbering as
+    /// [`trace::ReplayLog`]).
+    pub index: u64,
+    pub tag: u32,
+    pub candidates: Vec<usize>,
+    pub chosen: usize,
+    pub forced: bool,
+}
+
+/// Callback invoked on every resolved wildcard receive (see
+/// [`ChoicePoint`]). Runs on the receiving rank's thread.
+pub type ChoiceHook = Arc<dyn Fn(&ChoicePoint) + Send + Sync>;
 
 impl std::fmt::Debug for MatchPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -202,6 +261,9 @@ impl std::fmt::Debug for MatchPolicy {
             MatchPolicy::Perturb(seed) => write!(f, "Perturb({seed})"),
             MatchPolicy::Replay(log) => {
                 write!(f, "Replay({} recorded wildcard matches)", log.total_len())
+            }
+            MatchPolicy::Guided(sched) => {
+                write!(f, "Guided({} forced wildcard matches)", sched.total_len())
             }
         }
     }
@@ -216,6 +278,9 @@ pub struct RunOptions {
     pub deadlock_detection: bool,
     pub timeout: Option<Duration>,
     pub trace: bool,
+    /// Invoked on every resolved wildcard receive (any policy); see
+    /// [`ChoicePoint`].
+    pub on_choice: Option<ChoiceHook>,
     /// Fault injector consulted on every send (feature `ft`).
     #[cfg(feature = "ft")]
     pub injector: Option<Arc<dyn fault::FaultInjector>>,
@@ -228,6 +293,7 @@ impl Default for RunOptions {
             deadlock_detection: true,
             timeout: default_timeout(),
             trace: false,
+            on_choice: None,
             #[cfg(feature = "ft")]
             injector: None,
         }
@@ -249,6 +315,12 @@ impl RunOptions {
 
     pub fn traced(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Install a wildcard choice-point callback (see [`ChoicePoint`]).
+    pub fn on_choice(mut self, hook: ChoiceHook) -> Self {
+        self.on_choice = Some(hook);
         self
     }
 
@@ -488,23 +560,63 @@ impl Comm {
     /// interleavings, or `Replay` to pin the order of a recorded run.
     pub fn recv_any(&mut self, tag: u32) -> (usize, Vec<u8>) {
         let widx = self.local.borrow().wildcards;
-        let want = if let MatchPolicy::Replay(log) = &self.opts.match_policy {
-            let src = log.choice(self.rank, widx).unwrap_or_else(|| {
-                panic!(
-                    "replay log exhausted at rank {} wildcard #{widx}: \
-                     execution diverged from the recording",
-                    self.rank
-                )
-            });
-            Want::From(src)
-        } else {
-            Want::Any
+        let (want, forced) = match &self.opts.match_policy {
+            MatchPolicy::Replay(log) => {
+                let src = log.choice(self.rank, widx).unwrap_or_else(|| {
+                    panic!(
+                        "replay log exhausted at rank {} wildcard #{widx}: \
+                         execution diverged from the recording",
+                        self.rank
+                    )
+                });
+                (Want::From(src), true)
+            }
+            // A guided schedule pins only a prefix; past it the policy
+            // degrades to the deterministic MinSource choice (handled
+            // in `try_take`), so the run is a pure function of the
+            // schedule.
+            MatchPolicy::Guided(sched) => match sched.forced(self.rank, widx) {
+                Some(src) => (Want::From(src), true),
+                None => (Want::Any, false),
+            },
+            _ => (Want::Any, false),
         };
         let env = self.wait_match(want, tag, Some(widx));
+        // Contract: the wildcard index advances only once a match is
+        // in hand (see `recv_any_timeout`), and exactly once per
+        // wildcard receive, so replay logs and guided schedules index
+        // the same receives on every run.
         self.local.borrow_mut().wildcards = widx + 1;
+        self.report_choice(widx, tag, &env, forced);
         let src = env.src;
         let data = self.deliver(env, Some(widx));
         (src, data)
+    }
+
+    /// Invoke the choice-point hook for a resolved wildcard match.
+    /// `env` has already been taken from `pending`, so the candidate
+    /// set is the still-pending matching sources plus the chosen one.
+    fn report_choice(&self, widx: u64, tag: u32, env: &Envelope, forced: bool) {
+        let Some(hook) = &self.opts.on_choice else {
+            return;
+        };
+        let mut candidates: Vec<usize> = self
+            .pending
+            .iter()
+            .filter(|((_, t), q)| *t == tag && !q.is_empty())
+            .map(|((s, _), _)| *s)
+            .collect();
+        candidates.push(env.src);
+        candidates.sort_unstable();
+        candidates.dedup();
+        hook(&ChoicePoint {
+            rank: self.rank,
+            index: widx,
+            tag,
+            candidates,
+            chosen: env.src,
+            forced,
+        });
     }
 
     /// Receive with `tag` from any source, giving up after `timeout`.
@@ -515,9 +627,19 @@ impl Comm {
     #[cfg(feature = "ft")]
     pub fn recv_any_timeout(&mut self, tag: u32, timeout: Duration) -> Option<(usize, Vec<u8>)> {
         let deadline = Instant::now() + timeout;
+        // Contract (audited against `Replay`): the wildcard index is
+        // read and advanced only *after* `wait_match_until` has
+        // produced an envelope — the `?` above it returns first on
+        // expiry — so a timed-out receive consumes no wildcard
+        // ordinal. A replay log recorded from a run where this receive
+        // matched therefore stays aligned: the next successful
+        // wildcard (timed or not) gets the ordinal the recording gave
+        // it, rather than one shifted past the end of the log (the
+        // "replay log exhausted at rank R wildcard #N" panic).
         let env = self.wait_match_until(Want::Any, tag, Until::At(deadline))?;
         let widx = self.local.borrow().wildcards;
         self.local.borrow_mut().wildcards = widx + 1;
+        self.report_choice(widx, tag, &env, false);
         let src = env.src;
         let data = self.deliver(env, Some(widx));
         Some((src, data))
@@ -542,9 +664,12 @@ impl Comm {
     /// source, or return `None` immediately (feature `ft`).
     #[cfg(feature = "ft")]
     pub fn try_recv_any(&mut self, tag: u32) -> Option<(usize, Vec<u8>)> {
+        // Same index contract as `recv_any_timeout`: an empty poll
+        // consumes no wildcard ordinal.
         let env = self.wait_match_until(Want::Any, tag, Until::Now)?;
         let widx = self.local.borrow().wildcards;
         self.local.borrow_mut().wildcards = widx + 1;
+        self.report_choice(widx, tag, &env, false);
         let src = env.src;
         let data = self.deliver(env, Some(widx));
         Some((src, data))
@@ -654,12 +779,15 @@ impl Comm {
                         candidates[(h % candidates.len() as u64) as usize]
                     }
                     // Blocking recv_any resolves Replay to Want::From
-                    // before waiting; the timed/poll receives do not
+                    // before waiting (and Guided likewise, inside its
+                    // forced prefix); the timed/poll receives do not
                     // consult the replay log (a run under recovery makes
                     // data-dependent receive counts, so a recorded order
                     // cannot be replayed against them) and fall back to
-                    // the deterministic min-source choice.
-                    MatchPolicy::Replay(_) => candidates[0],
+                    // the deterministic min-source choice. A Guided
+                    // wildcard past its forced prefix lands here too:
+                    // min-source keeps the continuation deterministic.
+                    MatchPolicy::Replay(_) | MatchPolicy::Guided(_) => candidates[0],
                 };
                 self.pending.get_mut(&(src, tag)).unwrap().pop_front()
             }
@@ -1540,6 +1668,127 @@ mod tests {
         assert_eq!(reordered[1], base[0]);
     }
 
+    #[test]
+    fn guided_prefix_forces_then_falls_back_to_min_source() {
+        let sched = Arc::new(GuidedSchedule::new(vec![vec![3, 1]]));
+        let (order, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Guided(sched)));
+        // First two wildcards forced to 3 then 1; the rest min-source.
+        assert_eq!(order, vec![3, 1, 2, 4]);
+    }
+
+    #[test]
+    fn guided_empty_schedule_is_min_source() {
+        let (base, _) = fan_in_order(RunOptions::default());
+        let sched = Arc::new(GuidedSchedule::default());
+        let (order, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Guided(sched)));
+        assert_eq!(order, base);
+    }
+
+    #[test]
+    fn guided_run_matches_replay_of_full_schedule() {
+        // A guided schedule covering every wildcard behaves exactly
+        // like Replay of the same choices — Guided generalizes Replay.
+        let choices = vec![vec![4, 2, 3, 1]];
+        let guided = Arc::new(GuidedSchedule::new(choices.clone()));
+        let (g, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Guided(guided)));
+        let replay = Arc::new(ReplayLog::from_choices(choices.clone()));
+        let (r, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Replay(replay)));
+        assert_eq!(g, r);
+        assert_eq!(g, choices[0]);
+    }
+
+    #[test]
+    fn choice_hook_sees_every_wildcard_with_candidates() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<ChoicePoint>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let sched = Arc::new(GuidedSchedule::new(vec![vec![4]]));
+        let opts = RunOptions::default()
+            .policy(MatchPolicy::Guided(sched))
+            .on_choice(Arc::new(move |cp: &ChoicePoint| {
+                sink.lock().unwrap().push(cp.clone());
+            }));
+        let (order, _) = fan_in_order(opts);
+        assert_eq!(order, vec![4, 1, 2, 3]);
+        let mut cps = seen.lock().unwrap().clone();
+        cps.sort_by_key(|cp| cp.index);
+        assert_eq!(cps.len(), 4, "one choice point per wildcard receive");
+        assert!(cps.iter().all(|cp| cp.rank == 0 && cp.tag == 1));
+        assert_eq!(cps[0].chosen, 4);
+        assert!(cps[0].forced, "scheduled prefix choices report forced");
+        // The confirmation handshake guarantees all four sends were
+        // pending when the first wildcard matched.
+        assert_eq!(cps[0].candidates, vec![1, 2, 3, 4]);
+        assert!(cps[1..].iter().all(|cp| !cp.forced));
+        assert_eq!(cps[3].candidates, vec![cps[3].chosen]);
+    }
+
+    #[test]
+    fn replay_exhaustion_names_rank_and_wildcard_ordinal() {
+        // Regression: structural divergence from a recording must be
+        // reported as "rank R wildcard #N", not as a hang or an
+        // unrelated panic.
+        let log = Arc::new(ReplayLog::from_choices(vec![vec![1]]));
+        let caught = std::panic::catch_unwind(|| {
+            World::run_opts(
+                2,
+                RunOptions::default().policy(MatchPolicy::Replay(log)),
+                |mut comm| {
+                    if comm.rank() == 0 {
+                        let _ = comm.recv_any(1);
+                        let _ = comm.recv_any(1); // one more than recorded
+                    } else {
+                        comm.send(0, 1, vec![0]);
+                        comm.send(0, 1, vec![1]);
+                    }
+                },
+            )
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("replay log exhausted at rank 0 wildcard #1"),
+            "panic message must name rank and wildcard ordinal, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn nested_recv_from_cycle_names_full_cycle_at_n3() {
+        // Rank 0 waits on rank 1 but is *outside* the cycle; the
+        // report must name the actual 1 -> 2 -> 1 wait-for cycle in
+        // full, with each member's receive description — not merely
+        // say "cycle".
+        let err = World::run_opts(3, RunOptions::default(), |mut comm| match comm.rank() {
+            0 => {
+                let _ = comm.recv_from(1, 9);
+            }
+            1 => {
+                // A successful nested exchange first, so the cycle
+                // forms after real traffic.
+                comm.send(2, 8, vec![1]);
+                let _ = comm.recv_from(2, 9);
+            }
+            _ => {
+                let _ = comm.recv_from(1, 8);
+                let _ = comm.recv_from(1, 9);
+            }
+        })
+        .unwrap_err();
+        assert!(err.is_deadlock());
+        let report = err.report();
+        assert!(
+            report.contains(
+                "cycle: rank 1 (recv_from src=2 tag=9) -> rank 2 (recv_from src=1 tag=9) -> rank 1"
+            ),
+            "full wait-for cycle must be named, got:\n{report}"
+        );
+        // The non-cycle waiter is still listed with its edge.
+        assert!(report.contains("rank 0 (recv_from src=1 tag=9) waits on rank 1"));
+    }
+
     // ---- fault-tolerance surface (feature `ft`) ----
 
     #[cfg(feature = "ft")]
@@ -1601,6 +1850,40 @@ mod tests {
             })
             .unwrap();
             assert_eq!(results.results[1], 0);
+        }
+
+        #[test]
+        fn expired_timed_receive_consumes_no_wildcard_ordinal() {
+            // Regression for the index-only-advances-on-success
+            // contract: an expired recv_any_timeout must not advance
+            // the wildcard index, or every later wildcard would be
+            // shifted one past its recorded ordinal and replay would
+            // die with "replay log exhausted".
+            let program = |mut comm: Comm| {
+                if comm.rank() == 0 {
+                    let miss = comm.recv_any_timeout(9, Duration::from_millis(30));
+                    assert!(miss.is_none(), "nobody sends tag 9");
+                    comm.recv_any(1).0
+                } else {
+                    comm.send(0, 1, vec![7]);
+                    0
+                }
+            };
+            let out = World::run_opts(2, RunOptions::default().traced(), program).unwrap();
+            let trace = out.trace.unwrap();
+            let log = ReplayLog::from_trace(&trace);
+            // The successful wildcard got ordinal 0, so the log has
+            // exactly one entry for rank 0...
+            assert_eq!(log.per_rank()[0], vec![1]);
+            // ...and replaying the recording through the same program
+            // (expiry and all) stays aligned instead of exhausting.
+            let replayed = World::run_opts(
+                2,
+                RunOptions::default().policy(MatchPolicy::Replay(Arc::new(log))),
+                program,
+            )
+            .unwrap();
+            assert_eq!(replayed.results[0], 1);
         }
 
         #[test]

@@ -290,6 +290,20 @@ pub struct ReplayLog {
 }
 
 impl ReplayLog {
+    /// Build a log directly from per-rank choice vectors
+    /// (`choices[rank][i]` = source the `i`-th wildcard of `rank` must
+    /// match). This is how a serialized counterexample schedule (e.g.
+    /// `pvr-mc`'s JSON) is turned back into a replayable policy.
+    pub fn from_choices(choices: Vec<Vec<usize>>) -> Self {
+        ReplayLog { choices }
+    }
+
+    /// The raw per-rank choice vectors, in wildcard-index order — the
+    /// inverse of [`ReplayLog::from_choices`].
+    pub fn per_rank(&self) -> &[Vec<usize>] {
+        &self.choices
+    }
+
     /// Extract the wildcard-match order from a trace.
     pub fn from_trace(log: &TraceLog) -> Self {
         ReplayLog {

@@ -5,6 +5,15 @@
 //! This file holds exactly one test: the counting allocator is global
 //! to the test binary, so a concurrently running sibling test would
 //! pollute the measurement window.
+//!
+//! The miri CI job runs this binary too (the counting allocator is one
+//! of the repo's two unsafe sites); the mpisim half of the test is
+//! compiled out under miri — it spawns scoped OS threads and waits on
+//! condvars, which miri executes orders of magnitude too slowly for
+//! CI, and the allocator contract under test is identical in the
+//! single-threaded half.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,12 +24,24 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // GlobalAlloc's contract requires a non-zero-sized layout.
+        debug_assert!(layout.size() > 0, "alloc called with zero-size layout");
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: forwarded verbatim to the system allocator with the
+        // caller's layout; our own precondition is exactly
+        // GlobalAlloc's (non-zero size, valid alignment,
+        // debug-asserted above), so the delegation adds no new
+        // requirements.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        debug_assert!(!ptr.is_null(), "dealloc called with null pointer");
+        // SAFETY: `ptr` was returned by `self.alloc`, which delegates
+        // to `System`, and the caller passes the same layout it was
+        // allocated with (GlobalAlloc's contract) — exactly what
+        // `System.dealloc` requires.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 
@@ -50,22 +71,26 @@ fn disabled_tracing_allocates_nothing_per_event() {
 
     // Comm span marks in an untraced world (RunOptions::trace = false).
     // Single rank, no watchdog thread, so nothing else allocates while
-    // the window is open.
-    let opts = pvr_mpisim::RunOptions::default().with_timeout(None);
-    let counts = pvr_mpisim::World::run_opts(1, opts, |comm| {
-        let before = allocs();
-        for i in 0..1000u64 {
-            comm.span_begin("frame");
-            comm.span_begin_v("io", i);
-            comm.mark_instant("retransmit", i);
-            comm.span_end("io");
-            comm.span_end("frame");
-        }
-        allocs() - before
-    })
-    .unwrap();
-    assert_eq!(
-        counts.results[0], 0,
-        "untraced Comm span marks must not touch the heap"
-    );
+    // the window is open. Compiled out under miri: the world spawns
+    // scoped threads, far too slow for the interpreter.
+    #[cfg(not(miri))]
+    {
+        let opts = pvr_mpisim::RunOptions::default().with_timeout(None);
+        let counts = pvr_mpisim::World::run_opts(1, opts, |comm| {
+            let before = allocs();
+            for i in 0..1000u64 {
+                comm.span_begin("frame");
+                comm.span_begin_v("io", i);
+                comm.mark_instant("retransmit", i);
+                comm.span_end("io");
+                comm.span_end("frame");
+            }
+            allocs() - before
+        })
+        .unwrap();
+        assert_eq!(
+            counts.results[0], 0,
+            "untraced Comm span marks must not touch the heap"
+        );
+    }
 }

@@ -23,15 +23,22 @@
 //!   a baseline run's wildcard-match order, re-run under arrival-order,
 //!   seeded-perturbation, and swapped-replay policies, and require
 //!   identical results (for frames: bit-identical images).
+//! * [`exhaustive`] — **exhaustive model checking** at small n:
+//!   [`explore_exhaustive`] drives `pvr-mc`'s DPOR explorer over
+//!   *every* inequivalent wildcard-match interleaving, superseding the
+//!   sampled [`race`]/[`replay`] probes wherever enumeration is
+//!   feasible (the `verify_mc` sweep covers n ≤ 8).
 //!
 //! The `verify_schedules` binary (in `pvr-bench`) sweeps the linter
 //! over paper-scale (n, m) configurations with real raycast footprints;
 //! the unit tests here sweep synthetic lattices.
 
+pub mod exhaustive;
 pub mod lint;
 pub mod race;
 pub mod replay;
 
+pub use exhaustive::{explore_exhaustive, ExhaustiveReport};
 pub use lint::{
     lint_direct_send, lint_direct_send_with_faults, lint_radix_k, lint_tags, LintOptions,
     LintReport, Mutation, Rule, Violation,

@@ -108,6 +108,13 @@ pub struct ClassifiedRaces {
 /// delayed message legitimately races the surrounding traffic, and
 /// flagging it as a protocol bug would make every faulted run fail the
 /// race audit spuriously.
+///
+/// This is a *sampled* check: it reports the races of one observed
+/// trace and says nothing about the orders never drawn. At small rank
+/// counts prefer [`crate::explore_exhaustive`], which enumerates every
+/// inequivalent match order and supersedes this verdict; keep
+/// `classify_races` for paper-scale worlds where enumeration is
+/// infeasible.
 pub fn classify_races(log: &TraceLog) -> ClassifiedRaces {
     let faulted = log.faulted_links();
     let is_faulted =

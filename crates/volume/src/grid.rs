@@ -189,10 +189,24 @@ impl Volume {
     fn sample_trilinear_interior(&self, p: [f32; 3]) -> f32 {
         let (x0, y0, z0) = (p[0] as usize, p[1] as usize, p[2] as usize);
         let (fx, fy, fz) = (p[0] - x0 as f32, p[1] - y0 as f32, p[2] - z0 as f32);
+        debug_assert!(
+            x0 + 1 < self.dims[0] && y0 + 1 < self.dims[1] && z0 + 1 < self.dims[2],
+            "interior precondition violated: p = {p:?}, dims = {:?}",
+            self.dims
+        );
         let base = z0 * self.slab_stride + y0 * self.row_stride + x0;
-        debug_assert!(base + self.slab_stride + self.row_stride + 1 < self.data.len() + 1);
-        // SAFETY: the interior precondition bounds every corner:
-        // x0+1 <= nx-1, y0+1 <= ny-1, z0+1 <= nz-1.
+        // The largest offset fetched below is the (x0+1, y0+1, z0+1)
+        // corner; assert it strictly in bounds, not just <= len.
+        debug_assert!(base + self.slab_stride + self.row_stride + 1 < self.data.len());
+        // SAFETY: the caller guarantees 0 <= p[axis] < dims[axis]-1, so
+        // x0+1 <= nx-1, y0+1 <= ny-1, z0+1 <= nz-1 (debug-asserted
+        // above). The eight corners fetched are base + {0,1} +
+        // {0,row_stride} + {0,slab_stride}; the largest is
+        // (z0+1)*slab + (y0+1)*row + (x0+1) <= (nz-1)*slab +
+        // (ny-1)*row + (nx-1) = data.len()-1, with row_stride = nx and
+        // slab_stride = nx*ny as set in `Volume::zeros`. `data` is a
+        // plain owned Vec<f32> borrowed shared here — no aliasing or
+        // validity concerns beyond the bounds.
         let at = |off: usize| unsafe { *self.data.get_unchecked(base + off) };
         let (sy, sz) = (self.row_stride, self.slab_stride);
         let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;

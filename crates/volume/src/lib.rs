@@ -19,6 +19,12 @@
 //! The five-variable field drives both the renderer (through sampled
 //! [`grid::Volume`]s) and the I/O study (through `pvr-formats` writers).
 
+// The one unsafe block in this crate (the interior trilinear fetch in
+// `grid`) must spell out its own safety argument even inside an
+// already-unsafe context; the miri CI job runs the grid tests to check
+// the argument holds under the strictest aliasing/bounds model.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod blocks;
 pub mod field;
 pub mod grid;
