@@ -128,6 +128,64 @@ fn check(name: &str, ok: bool, detail: String) -> bool {
     ok
 }
 
+/// Per-scenario outcome feeding `results/BENCH_faults.json`.
+struct Outcome {
+    case: &'static str,
+    /// Did the frame end fully complete (healed or never hurt)?
+    healed: bool,
+    /// Was a full heal expected (i.e. does `healed == false` mean a
+    /// deliberate degradation scenario rather than a failure)?
+    heal_expected: bool,
+    recovery_bytes: u64,
+    wall_ms: f64,
+}
+
+/// Serialize the outcomes as the `BENCH_faults.json` CI artifact:
+/// healed-frame fraction over heal-expected scenarios, total recovery
+/// traffic, and the p95 frame wall across every fault run.
+fn bench_faults_json(outcomes: &[Outcome]) -> String {
+    let expected: Vec<&Outcome> = outcomes.iter().filter(|o| o.heal_expected).collect();
+    let healed = expected.iter().filter(|o| o.healed).count();
+    let fraction = if expected.is_empty() {
+        1.0
+    } else {
+        healed as f64 / expected.len() as f64
+    };
+    let bytes: u64 = outcomes.iter().map(|o| o.recovery_bytes).sum();
+    let mut walls: Vec<f64> = outcomes.iter().map(|o| o.wall_ms).collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p95 = if walls.is_empty() {
+        0.0
+    } else {
+        walls[((walls.len() as f64 * 0.95).ceil() as usize - 1).min(walls.len() - 1)]
+    };
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"frames\": {},\n", outcomes.len()));
+    s.push_str(&format!(
+        "  \"heal_expected_frames\": {},\n",
+        expected.len()
+    ));
+    s.push_str(&format!("  \"healed_frames\": {healed},\n"));
+    s.push_str(&format!("  \"healed_fraction\": {fraction:.4},\n"));
+    s.push_str(&format!("  \"recovery_bytes_total\": {bytes},\n"));
+    s.push_str(&format!("  \"p95_frame_wall_ms\": {p95:.2},\n"));
+    s.push_str("  \"cases\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"healed\": {}, \"heal_expected\": {}, \
+             \"recovery_bytes\": {}, \"wall_ms\": {:.2}}}{}\n",
+            o.case,
+            o.healed,
+            o.heal_expected,
+            o.recovery_bytes,
+            o.wall_ms,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// Record one scenario's recovery outcome into the CI metrics registry.
 fn record(reg: &pvr_obs::Registry, case: &str, ft: &FtFrameResult) {
     let label = format!("case={case}");
@@ -148,16 +206,45 @@ fn record(reg: &pvr_obs::Registry, case: &str, ft: &FtFrameResult) {
     );
 }
 
+/// Run one plan under a wall-clock timer.
+fn timed(
+    cfg: &FrameConfig,
+    path: &Path,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> (Result<FtFrameResult, FtError>, f64) {
+    let t0 = Instant::now();
+    let out = run(cfg, path, plan, policy);
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn outcome_of(
+    case: &'static str,
+    heal_expected: bool,
+    ft: &FtFrameResult,
+    wall_ms: f64,
+) -> Outcome {
+    Outcome {
+        case,
+        healed: ft.completeness.fully_complete(),
+        heal_expected,
+        recovery_bytes: ft.frame.timing.recovery.recovery_bytes + ft.frame.io.failover_bytes,
+        wall_ms,
+    }
+}
+
 fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
     let mut all = true;
     let reg = pvr_obs::Registry::new();
+    let mut outcomes: Vec<Outcome> = Vec::new();
     let baseline = run_frame_mpi(cfg, path);
 
     // 1. Transient faults: bit-identical frame, exact completeness 1.0.
     let plan = transient_plan(5, 2, 1);
-    match run(cfg, path, &plan, policy) {
-        Ok(ft) => {
+    match timed(cfg, path, &plan, policy) {
+        (Ok(ft), wall) => {
             record(&reg, "transient", &ft);
+            outcomes.push(outcome_of("transient", true, &ft, wall));
             let rec = ft.frame.timing.recovery;
             all &= check(
                 "transient-bit-identical",
@@ -173,7 +260,7 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
                 ),
             );
         }
-        Err(e) => all &= check("transient-bit-identical", false, e.to_string()),
+        (Err(e), _) => all &= check("transient-bit-identical", false, e.to_string()),
     }
 
     // 2. Replica failover hides an entire down server.
@@ -185,9 +272,10 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
         }],
         ..FaultPlan::default()
     };
-    match run(cfg, path, &plan, policy) {
-        Ok(ft) => {
+    match timed(cfg, path, &plan, policy) {
+        (Ok(ft), wall) => {
             record(&reg, "failover", &ft);
+            outcomes.push(outcome_of("failover", true, &ft, wall));
             all &= check(
                 "failover-hides-down-server",
                 baseline.image.pixels() == ft.frame.image.pixels()
@@ -201,18 +289,19 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
                 ),
             );
         }
-        Err(e) => all &= check("failover-hides-down-server", false, e.to_string()),
+        (Err(e), _) => all &= check("failover-hides-down-server", false, e.to_string()),
     }
 
     // 3. Permanent loss (failover disabled) terminates with
     //    completeness < 1.0 — and reproduces exactly on a second run.
     let mut no_failover = *policy;
     no_failover.io_failover = false;
-    let first = run(cfg, path, &plan, &no_failover);
+    let (first, wall1) = timed(cfg, path, &plan, &no_failover);
     let second = run(cfg, path, &plan, &no_failover);
     match (first, second) {
         (Ok(a), Ok(b)) => {
             record(&reg, "permanent", &a);
+            outcomes.push(outcome_of("permanent-loss", false, &a, wall1));
             let fa = a.completeness.frame_fraction();
             all &= check(
                 "permanent-loss-degrades",
@@ -242,7 +331,8 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
         }
     }
 
-    // 4. A crashed compositor degrades its tiles and terminates.
+    // 4. A crashed renderer heals: survivors adopt the orphan block and
+    //    the frame comes out bit-identical to the fault-free run.
     let plan = FaultPlan {
         seed: 9,
         ranks: vec![RankFault {
@@ -252,20 +342,60 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
         }],
         ..FaultPlan::default()
     };
-    match run(cfg, path, &plan, policy) {
-        Ok(ft) => {
+    match timed(cfg, path, &plan, policy) {
+        (Ok(ft), wall) => {
             record(&reg, "crash", &ft);
-            let f = ft.completeness.frame_fraction();
+            outcomes.push(outcome_of("crash-heal", true, &ft, wall));
+            let rec = ft.frame.timing.recovery;
             all &= check(
-                "crash-degrades-not-hangs",
-                f < 1.0 && f > 0.0 && ft.frame.timing.recovery.crashed_ranks == 1,
+                "crash-heals-bit-identically",
+                baseline.image.pixels() == ft.frame.image.pixels()
+                    && ft.completeness.fully_complete()
+                    && rec.crashed_ranks == 1
+                    && rec.adopted_blocks >= 1
+                    && rec.recovery_bytes > 0,
                 format!(
-                    "completeness {f:.4}, {} crashed",
-                    ft.frame.timing.recovery.crashed_ranks
+                    "completeness {:.4}, {} adopted blocks, {} recovery bytes",
+                    ft.completeness.frame_fraction(),
+                    rec.adopted_blocks,
+                    rec.recovery_bytes
                 ),
             );
         }
-        Err(e) => all &= check("crash-degrades-not-hangs", false, e.to_string()),
+        (Err(e), _) => all &= check("crash-heals-bit-identically", false, e.to_string()),
+    }
+
+    // 4b. A straggler is hedged: the frame is bit-identical and does
+    //     not wait out the straggle.
+    let plan = FaultPlan {
+        seed: 4,
+        ranks: vec![RankFault {
+            rank: 3,
+            stage: Stage::Composite,
+            action: RankAction::StraggleMs(1200),
+        }],
+        ..FaultPlan::default()
+    };
+    match timed(cfg, path, &plan, policy) {
+        (Ok(ft), wall) => {
+            record(&reg, "straggler", &ft);
+            outcomes.push(outcome_of("straggler-hedge", true, &ft, wall));
+            let rec = ft.frame.timing.recovery;
+            all &= check(
+                "straggler-hedged",
+                baseline.image.pixels() == ft.frame.image.pixels()
+                    && ft.completeness.fully_complete()
+                    && rec.hedged_renders >= 1
+                    && ft.frame.timing.wall < 1.2,
+                format!(
+                    "completeness {:.4}, {} hedges, wall {:.3}s",
+                    ft.completeness.frame_fraction(),
+                    rec.hedged_renders,
+                    ft.frame.timing.wall
+                ),
+            );
+        }
+        (Err(e), _) => all &= check("straggler-hedged", false, e.to_string()),
     }
 
     // 5. Plans replay through their JSON serialization unchanged.
@@ -283,6 +413,20 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
     println!("# metrics snapshot");
     print!("{}", snap.to_text());
     pvr_bench::emit_csv("fault_sweep_metrics", &snap.to_csv());
+
+    // Recovery summary: every heal-expected scenario must actually
+    // have healed — the zero-unhealed-transient gate.
+    let json = bench_faults_json(&outcomes);
+    pvr_bench::write_artifact("BENCH_faults.json", json.as_bytes());
+    let unhealed = outcomes
+        .iter()
+        .filter(|o| o.heal_expected && !o.healed)
+        .count();
+    all &= check(
+        "zero-unhealed-expected",
+        unhealed == 0,
+        format!("{unhealed} heal-expected scenario(s) left unhealed"),
+    );
 
     all
 }

@@ -53,6 +53,12 @@ use pvr_obs::Registry;
 const DATA_TAG: u32 = 60;
 const ACK_TAG: u32 = 61;
 
+/// Adoption-handshake model tags: the adoption request rides its own
+/// channel; fresh and late fragments share one wildcard channel so the
+/// explorer races them against each other (the late-arrival epoch).
+const ADOPT_TAG: u32 = 70;
+const FRAG_TAG: u32 = 71;
+
 /// Full radix-k exploration is attempted only below this predicted
 /// class count; above it the model drops to rank-0 projection.
 const RADIX_FULL_CAP: f64 = 4096.0;
@@ -198,6 +204,76 @@ fn ft_ack(n: usize, plan: Arc<FaultPlan>) -> impl Fn(Comm) -> Vec<u8> + Send + S
     }
 }
 
+/// Orphan-block adoption + late-arrival compositing under a crash:
+/// renderers 1..n ship fragments to compositor 0; the plan's crashed
+/// rank never sends. Rank 0 *hedges* — it requests adoption of the
+/// orphan from the lowest live renderer before any fragment arrives —
+/// and the adopter re-renders deterministically and ships the late
+/// fragment **twice** (the retransmit path). Late copies share the
+/// fresh fragments' wildcard channel, so the explorer interleaves
+/// fresh, late, and duplicate arrivals every inequivalent way; rank 0's
+/// first-wins dedup must blend every renderer exactly once
+/// (conservation) and every trace must assemble the same bytes
+/// (bit-identity), with no interleaving able to stall a receive
+/// (deadlock-freedom — the checker's own gates).
+fn adoption(n: usize, plan: Arc<FaultPlan>) -> impl Fn(Comm) -> Vec<u8> + Send + Sync {
+    move |mut comm: Comm| {
+        let r = comm.rank();
+        let crashed = *plan
+            .crashed_by(Stage::Composite, n)
+            .first()
+            .expect("the adoption model needs a crash plan");
+        let adopter = (1..n).find(|q| *q != crashed).expect("a live renderer");
+        let frag = |id: usize, late: u8| vec![id as u8, 0xC0 | id as u8, late];
+        if r != 0 {
+            if r == crashed {
+                return Vec::new(); // died before shipping its fragment
+            }
+            comm.send(0, FRAG_TAG, frag(r, 0));
+            if r == adopter {
+                let req = comm.recv_from(0, ADOPT_TAG);
+                let orphan = req[0] as usize;
+                assert_eq!(orphan, crashed, "adoption request names the orphan");
+                // Deterministic re-render, shipped twice: the second
+                // copy models the ack-timeout retransmit racing the
+                // first through the late-arrival epoch.
+                comm.send(0, FRAG_TAG, frag(orphan, 1));
+                comm.send(0, FRAG_TAG, frag(orphan, 1));
+            }
+            return Vec::new();
+        }
+        // Compositor: hedge immediately (suspicion fired before any
+        // arrival), then drain the one wildcard channel: n-2 fresh
+        // fragments + 2 late copies of the orphan.
+        comm.send(adopter, ADOPT_TAG, vec![crashed as u8]);
+        let mut got: Vec<Option<Vec<u8>>> = vec![None; n];
+        let mut dups = 0usize;
+        for _ in 0..n {
+            let (_, body) = comm.recv_any(FRAG_TAG);
+            let id = body[0] as usize;
+            if got[id].is_none() {
+                got[id] = Some(body); // first wins: fresh or late alike
+            } else {
+                dups += 1;
+            }
+        }
+        assert_eq!(dups, 1, "exactly one late duplicate is discarded");
+        // Conservation + bit-identity: every renderer blended exactly
+        // once, in renderer order, and the adopted content is
+        // indistinguishable from what the crashed rank would have sent
+        // (the kind byte is not blended).
+        let mut out = Vec::new();
+        for (id, slot) in got.iter().enumerate().skip(1) {
+            let body = slot
+                .as_ref()
+                .unwrap_or_else(|| panic!("renderer {id} never blended"));
+            out.push(id as u8);
+            out.extend_from_slice(&body[..2]);
+        }
+        out
+    }
+}
+
 // ---------------------------------------------------------------------
 // Sweep
 // ---------------------------------------------------------------------
@@ -289,8 +365,17 @@ fn main() {
             run_config(
                 format!("model=ft-ack,n={n},m=-"),
                 n,
-                Box::new(ft_ack(n, plan)),
+                Box::new(ft_ack(n, Arc::clone(&plan))),
             );
+            // The adoption handshake needs a live renderer besides the
+            // crashed one: n >= 3.
+            if n >= 3 {
+                run_config(
+                    format!("model=adoption,n={n},m=-"),
+                    n,
+                    Box::new(adoption(n, plan)),
+                );
+            }
         }
     }
 

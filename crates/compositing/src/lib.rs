@@ -15,6 +15,8 @@
 //!   footprints alone (no pixel data), used both to drive the real
 //!   exchange and to feed the network simulator at paper scale.
 //! * [`directsend`] — the real direct-send compositor (any `m ≤ n`).
+//! * [`late`] — late-arrival tile assembly: first-wins dedup and
+//!   re-open/re-blend semantics for fragments adopted after a fault.
 //! * [`binaryswap`] — the classic binary-swap compositor (power-of-two
 //!   `n`), the standard alternative the paper cites (Ma et al.).
 //! * [`radixk`] — radix-k compositing, the authors' follow-on algorithm
@@ -29,6 +31,7 @@
 pub mod binaryswap;
 pub mod completeness;
 pub mod directsend;
+pub mod late;
 pub mod radixk;
 pub mod region;
 pub mod schedule;
@@ -40,6 +43,7 @@ pub use directsend::{
     blend_fragments, composite_direct_send, composite_direct_send_degraded,
     composite_direct_send_traced,
 };
+pub use late::{InsertOutcome, TileAssembly};
 pub use radixk::{composite_radix_k, composite_radix_k_degraded};
 pub use region::ImagePartition;
 pub use schedule::{build_schedule, CompositeMessage, Schedule};

@@ -457,6 +457,58 @@ mod tests {
     }
 
     #[test]
+    fn mpi_animation_heals_a_mid_run_crash_bit_identically() {
+        use crate::config::CompositorPolicy;
+        use crate::ft::laptop_store;
+        use pvr_faults::{RankAction, RankFault, Stage};
+
+        let mut cfg = FrameConfig::small(16, 24, 8);
+        cfg.variable = 2;
+        cfg.policy = CompositorPolicy::Fixed(4);
+        let dir = tmp_dir("heal");
+        let paths = write_animation(&dir, &cfg, 3).unwrap();
+        let plain = run_animation(&cfg, &paths, &AnimOptions::mpi()).unwrap();
+
+        // Rank 5 dies permanently during frame 1's composite stage; the
+        // orchestrator adopts its block and the animation carries on.
+        let crash = FaultPlan {
+            seed: 9,
+            ranks: vec![RankFault {
+                rank: 5,
+                stage: Stage::Composite,
+                action: RankAction::Crash,
+            }],
+            ..FaultPlan::default()
+        };
+        let faults = AnimFaults {
+            plans: vec![FaultPlan::none(), crash, FaultPlan::none()],
+            policy: RecoveryPolicy::fast_test(),
+            store: laptop_store(),
+        };
+        let healed = run_animation(&cfg, &paths, &AnimOptions::mpi().with_faults(faults)).unwrap();
+
+        assert_eq!(healed.frames.len(), 3);
+        for (t, (s, h)) in plain.frames.iter().zip(&healed.frames).enumerate() {
+            assert_eq!(
+                s.result.image.pixels(),
+                h.result.image.pixels(),
+                "frame {t} must heal without a pixel trace"
+            );
+            let c = h
+                .completeness
+                .as_ref()
+                .expect("ft runs report completeness");
+            assert!(c.fully_complete(), "frame {t} completeness");
+        }
+        let rec = healed.frames[1].result.timing.recovery;
+        assert_eq!(rec.crashed_ranks, 1);
+        assert!(rec.adopted_blocks >= 1, "frame 1 healed via adoption");
+        assert_eq!(healed.frames[0].result.timing.recovery.crashed_ranks, 0);
+        assert_eq!(healed.frames[2].result.timing.recovery.crashed_ranks, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn io_hidden_fraction_is_zero_without_io() {
         let r = AnimResult {
             frames: Vec::new(),

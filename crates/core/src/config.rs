@@ -133,6 +133,15 @@ pub struct FrameConfig {
     /// property tests pin it), so it defaults on; turn off to measure
     /// the naive baseline.
     pub fast_path: bool,
+    /// Override the fault-tolerant executor's per-stage receive
+    /// deadline (milliseconds). `None` derives it from the calibrated
+    /// perf model with the [`pvr_faults::RecoveryPolicy`] value as a
+    /// floor — see `core::recovery::effective_policy`.
+    pub stage_deadline_ms: Option<u64>,
+    /// Override the per-frame recovery budget of the degradation
+    /// ladder (estimated milliseconds). `None` defers to the policy
+    /// (unbounded by default).
+    pub frame_budget_ms: Option<u64>,
 }
 
 impl FrameConfig {
@@ -149,6 +158,8 @@ impl FrameConfig {
             seed: 1530,
             shading: false,
             fast_path: true,
+            stage_deadline_ms: None,
+            frame_budget_ms: None,
         }
     }
 
@@ -165,6 +176,8 @@ impl FrameConfig {
             seed: 1530,
             shading: false,
             fast_path: true,
+            stage_deadline_ms: None,
+            frame_budget_ms: None,
         }
     }
 

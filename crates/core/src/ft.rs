@@ -31,16 +31,28 @@
 //!   the same image and the same completeness map.
 
 use std::path::Path;
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
 
 use pvr_compositing::completeness::CompletenessMap;
-use pvr_faults::{FaultPlan, RecoveryCounters, RecoveryPolicy};
+use pvr_compositing::{composite_direct_send_degraded, ImagePartition};
+use pvr_faults::{FaultPlan, RankAction, RecoveryCounters, RecoveryPolicy, Stage};
 use pvr_pfs::StripedStore;
-use pvr_render::image::Image;
+use pvr_render::image::{Image, SubImage};
+use pvr_render::raycast::{render_block, BlockDomain};
+use pvr_render::Camera;
 
 use crate::config::FrameConfig;
-use crate::pipeline::FrameResult;
+use crate::perfmodel::PerfModel;
+use crate::pipeline::{
+    decode_volume, default_view, geometry, read_frame_bytes, render_opts, transfer_for, FrameResult,
+};
+use crate::recovery::{
+    adopter_of, block_cost, effective_policy, render_loads, HealDecision, RecoveryBudget,
+};
 use crate::scheduler::{drive_frame, Driver, ExecChoice, FramePlan, LinkMode};
-use crate::timing::FrameTiming;
+use crate::timing::{FrameTiming, Stopwatch};
 
 /// A striped-store description matched to laptop-scale test files: 8
 /// servers with 64 KiB stripes, so even a few-megabyte dataset spreads
@@ -157,6 +169,10 @@ pub fn run_frame_mpi_ft_opts(
     store: &StripedStore,
     opts: pvr_mpisim::RunOptions,
 ) -> Result<(FtFrameResult, Option<pvr_mpisim::trace::TraceLog>), FtError> {
+    // Receive deadlines, the suspicion threshold, and the frame budget
+    // are derived from the calibrated perf model (config overrides
+    // win); the caller's policy acts as a floor.
+    let policy = effective_policy(cfg, policy);
     let out = drive_frame(
         cfg,
         Some(path),
@@ -164,7 +180,7 @@ pub fn run_frame_mpi_ft_opts(
             plan: FramePlan::standard(),
             exec: ExecChoice::Mpi {
                 opts,
-                links: LinkMode::reliable(plan.clone(), *policy, *store),
+                links: LinkMode::reliable(plan.clone(), policy, *store),
             },
         },
     )?;
@@ -177,6 +193,155 @@ pub fn run_frame_mpi_ft_opts(
         },
         out.trace,
     ))
+}
+
+/// Fault-tolerant frame on the data-parallel executor: the shared
+/// address space has no links to drop, so the plan's rank faults are
+/// what matters — a crashed rank loses its rendered block before
+/// compositing. The same recovery orchestrator heals it: the
+/// deterministic seeded load-aware assignment ([`adopter_of`]) picks a
+/// surviving adopter, the degradation ladder ([`RecoveryBudget`])
+/// charges the re-render's modeled cost and picks the rung (full heal →
+/// bit-identical pixels; coarse heal → approximate pixels with the
+/// error bound recorded in [`FrameTiming::error_bound`]; skip → the
+/// hole shows up in the completeness map). Stragglers past the derived
+/// suspicion window fire a hedged duplicate whose loss to first-wins
+/// dedup is a no-op — counted, never blended. Everything replays from
+/// `(seed, plan, config)`.
+pub fn run_frame_rayon_ft(
+    cfg: &FrameConfig,
+    path: &Path,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> Result<FtFrameResult, FtError> {
+    let policy = effective_policy(cfg, policy);
+    let t0 = Instant::now();
+    let mut sw = Stopwatch::start();
+    let mut timing = FrameTiming::default();
+    let mut counters = RecoveryCounters::default();
+    let n = cfg.nprocs;
+    let geo = geometry(cfg);
+    let layout = cfg.io.layout(cfg.grid);
+    let endian = layout.endian();
+    let (bytes, io) = read_frame_bytes(cfg, path, None).expect("dataset file");
+    timing.io = sw.lap();
+
+    // A crash at any stage loses the rank's block before compositing.
+    const STAGES: [Stage; 3] = [Stage::Io, Stage::Render, Stage::Composite];
+    let lost: Vec<usize> = (0..n)
+        .filter(|&r| {
+            STAGES
+                .iter()
+                .any(|&s| matches!(plan.rank_fault(r, s), Some(RankAction::Crash)))
+        })
+        .collect();
+    counters.crashed_ranks = lost.len() as u64;
+
+    // Orphan adoption: assign each lost block to a survivor and let the
+    // ladder pick the rung. Greedy-balanced: each adoption bumps the
+    // adopter's load before the next assignment.
+    let model = PerfModel::default();
+    let mut loads = render_loads(cfg, &model, &geo.owned);
+    let mut budget = RecoveryBudget::for_frame(cfg, &policy);
+    let survivors: Vec<usize> = (0..n).filter(|r| !lost.contains(r)).collect();
+    let mut decision: Vec<Option<HealDecision>> = vec![None; n];
+    let mut error_bound = 0.0f64;
+    let image_px = cfg.image.0 as f64 * cfg.image.1 as f64;
+    let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
+    for &orphan in &lost {
+        let Some(adopter) = adopter_of(orphan, &lost, &survivors, plan.seed, &loads) else {
+            decision[orphan] = Some(HealDecision::Skip);
+            continue;
+        };
+        let est = block_cost(cfg, &model, &geo.owned[orphan]);
+        let d = budget.charge(est, policy.coarse_step_factor);
+        if d != HealDecision::Skip {
+            counters.adopted_blocks += 1;
+            counters.recovery_bytes += bytes[orphan].len() as u64;
+            loads[adopter] += est;
+        }
+        if d == HealDecision::Coarse {
+            counters.approx_blocks += 1;
+            let fp = pvr_render::raycast::footprint(
+                &camera,
+                geo.owned[orphan].offset,
+                geo.owned[orphan].end(),
+                cfg.image,
+            );
+            error_bound += fp.num_pixels() as f64 / image_px;
+        }
+        decision[orphan] = Some(d);
+    }
+    // Straggler hedging: a straggle past the suspicion window fires a
+    // speculative duplicate render; first-wins dedup discards whichever
+    // copy loses the race, so the hedge is counted and invisible.
+    for r in 0..n {
+        for s in STAGES {
+            if let Some(RankAction::StraggleMs(ms)) = plan.rank_fault(r, s) {
+                if Duration::from_millis(ms) >= policy.suspicion {
+                    counters.hedged_renders += 1;
+                }
+            }
+        }
+    }
+
+    // Render survivors and heals, each at the rung the ledger chose.
+    let decision = &decision;
+    let rendered: Vec<(SubImage, u64, u64, Option<f64>)> = (0..n)
+        .into_par_iter()
+        .map(|r| {
+            let dom = BlockDomain {
+                grid: cfg.grid,
+                owned: geo.owned[r],
+                stored: geo.stored[r],
+            };
+            match decision[r] {
+                Some(HealDecision::Skip) => {
+                    let fp = pvr_render::raycast::footprint(
+                        &camera,
+                        geo.owned[r].offset,
+                        geo.owned[r].end(),
+                        cfg.image,
+                    );
+                    (SubImage::transparent(fp, 0.0), 0, 0, None)
+                }
+                d => {
+                    let tf = transfer_for(cfg);
+                    let mut ropts = render_opts(cfg);
+                    if d == Some(HealDecision::Coarse) {
+                        ropts.step *= policy.coarse_step_factor;
+                    }
+                    let vol = decode_volume(&bytes[r], &geo.stored[r], endian);
+                    let (sub, st) = render_block(&vol, &dom, &camera, &tf, &ropts);
+                    (sub, st.samples, st.skipped_samples, Some(1.0))
+                }
+            }
+        })
+        .collect();
+    timing.render = sw.lap();
+
+    let render_samples: u64 = rendered.iter().map(|(_, s, _, _)| *s).sum();
+    let render_skipped: u64 = rendered.iter().map(|(_, _, k, _)| *k).sum();
+    let present: Vec<Option<f64>> = rendered.iter().map(|(_, _, _, q)| *q).collect();
+    let subs: Vec<SubImage> = rendered.into_iter().map(|(s, _, _, _)| s).collect();
+
+    let partition = ImagePartition::new(cfg.image.0, cfg.image.1, cfg.compositors());
+    let (image, stats, completeness) = composite_direct_send_degraded(&subs, partition, &present);
+    timing.composite = sw.lap();
+    timing.recovery = counters;
+    timing.error_bound = error_bound.min(1.0);
+    timing.wall = t0.elapsed().as_secs_f64();
+    Ok(FtFrameResult {
+        frame: FrameResult {
+            image,
+            timing,
+            io,
+            render_samples,
+            render_skipped,
+            composite: stats,
+        },
+        completeness,
+    })
 }
 
 #[cfg(test)]
@@ -263,33 +428,169 @@ mod tests {
         std::fs::remove_file(&p).ok();
     }
 
+    fn crash_plan(rank: usize, stage: Stage, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ranks: vec![RankFault {
+                rank,
+                stage,
+                action: RankAction::Crash,
+            }],
+            ..FaultPlan::default()
+        }
+    }
+
     #[test]
-    fn crashed_renderer_degrades_its_tiles_and_terminates() {
+    fn crashed_renderer_heals_bit_identically_via_adoption() {
         let cfg = test_cfg();
         let p = tmp("crash.raw");
         write_dataset(&p, &cfg).unwrap();
+        let plain = run_frame_mpi(&cfg, &p);
+        let plan = crash_plan(5, Stage::Composite, 9);
+        let ft = run_frame_mpi_ft(&cfg, &p, &plan, &RecoveryPolicy::fast_test()).unwrap();
+        assert_eq!(
+            plain.image.pixels(),
+            ft.frame.image.pixels(),
+            "a single crashed renderer must heal without a pixel trace"
+        );
+        assert!(ft.completeness.fully_complete());
+        let rec = ft.frame.timing.recovery;
+        assert_eq!(rec.crashed_ranks, 1);
+        assert!(rec.adopted_blocks >= 1, "a survivor adopted the block");
+        assert!(
+            rec.late_fragments >= 1,
+            "the heal travelled as late fragments"
+        );
+        assert!(rec.recovery_bytes > 0);
+        assert_eq!(rec.degraded_tiles, 0);
+        assert_eq!(ft.frame.timing.error_bound, 0.0, "full heal has no error");
+        // Strict mode accepts the healed frame.
+        run_frame_mpi_ft_strict(&cfg, &p, &plan, &RecoveryPolicy::fast_test())
+            .expect("healed frame passes strict mode");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn crashed_compositor_tile_is_rebuilt_by_rank0() {
+        let cfg = test_cfg();
+        let p = tmp("crash-comp.raw");
+        write_dataset(&p, &cfg).unwrap();
+        let plain = run_frame_mpi(&cfg, &p);
+        // Rank 6 owns a tile under Fixed(4) on 8 ranks (c*8/4 = 0,2,4,6).
+        let plan = crash_plan(6, Stage::Composite, 11);
+        let ft = run_frame_mpi_ft(&cfg, &p, &plan, &RecoveryPolicy::fast_test()).unwrap();
+        assert_eq!(
+            plain.image.pixels(),
+            ft.frame.image.pixels(),
+            "a dead compositor's tile is rebuilt at the root, bit-identically"
+        );
+        assert!(ft.completeness.fully_complete());
+        let rec = ft.frame.timing.recovery;
+        assert_eq!(rec.crashed_ranks, 1);
+        assert!(rec.adopted_tiles >= 1, "rank 0 rebuilt the orphan tile");
+        assert!(rec.adopted_blocks >= 1);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn straggler_is_hedged_and_the_frame_does_not_wait_for_it() {
+        let cfg = test_cfg();
+        let p = tmp("straggle.raw");
+        write_dataset(&p, &cfg).unwrap();
+        let plain = run_frame_mpi(&cfg, &p);
         let plan = FaultPlan {
-            seed: 9,
+            seed: 4,
             ranks: vec![RankFault {
-                rank: 5,
+                rank: 3,
                 stage: Stage::Composite,
-                action: RankAction::Crash,
+                action: RankAction::StraggleMs(1200),
             }],
             ..FaultPlan::default()
         };
         let ft = run_frame_mpi_ft(&cfg, &p, &plan, &RecoveryPolicy::fast_test()).unwrap();
+        assert_eq!(
+            plain.image.pixels(),
+            ft.frame.image.pixels(),
+            "hedged duplicate renders are deterministic: the race cannot show"
+        );
+        assert!(ft.completeness.fully_complete());
+        let rec = ft.frame.timing.recovery;
+        assert!(rec.hedged_renders >= 1, "suspicion fired a hedge");
+        assert!(
+            ft.frame.timing.wall < 1.2,
+            "the frame must not wait out the {}s straggle (wall {}s)",
+            1.2,
+            ft.frame.timing.wall
+        );
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn degradation_ladder_steps_coarse_then_skip_on_a_shrinking_budget() {
+        let cfg = test_cfg();
+        let p = tmp("ladder.raw");
+        write_dataset(&p, &cfg).unwrap();
+        let plan = crash_plan(5, Stage::Composite, 9);
+        let model = crate::perfmodel::PerfModel::default();
+        let owned: Vec<_> = crate::pipeline::geometry(&cfg).owned;
+        let est = crate::recovery::block_cost(&cfg, &model, &owned[5]);
+        assert!(est > 0.0);
+
+        // Budget in (est/4, est): only the coarse rung fits. The frame
+        // stays complete but reports an explicit error bound.
+        let mut policy = RecoveryPolicy::fast_test();
+        policy.frame_budget = Some(est * 0.5);
+        let ft = run_frame_mpi_ft(&cfg, &p, &plan, &policy).unwrap();
+        assert!(ft.completeness.fully_complete());
+        let rec = ft.frame.timing.recovery;
+        assert!(rec.approx_blocks >= 1, "coarse rung taken");
+        assert!(
+            ft.frame.timing.error_bound > 0.0,
+            "coarse heal reports its error bound"
+        );
+
+        // Budget below est/4: the ladder refuses; the hole is explicit
+        // in the completeness map and the frame still terminates.
+        let mut policy = RecoveryPolicy::fast_test();
+        policy.frame_budget = Some(est * 0.1);
+        let ft = run_frame_mpi_ft(&cfg, &p, &plan, &policy).unwrap();
         assert!(!ft.completeness.fully_complete());
-        assert!(ft.completeness.frame_fraction() < 1.0);
-        assert!(ft.completeness.frame_fraction() > 0.0);
+        assert_eq!(ft.frame.timing.recovery.approx_blocks, 0);
+        assert_eq!(ft.frame.timing.error_bound, 0.0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rayon_ft_heals_crashes_and_walks_the_same_ladder() {
+        let cfg = test_cfg();
+        let p = tmp("rayon-ft.raw");
+        write_dataset(&p, &cfg).unwrap();
+        let plain = run_frame_mpi(&cfg, &p);
+        let plan = crash_plan(5, Stage::Render, 13);
+
+        // Unbounded budget: full heal, bit-identical.
+        let ft = run_frame_rayon_ft(&cfg, &p, &plan, &RecoveryPolicy::fast_test()).unwrap();
+        assert_eq!(plain.image.pixels(), ft.frame.image.pixels());
+        assert!(ft.completeness.fully_complete());
         assert_eq!(ft.frame.timing.recovery.crashed_ranks, 1);
-        // Strict mode surfaces the same run as a typed error.
-        match run_frame_mpi_ft_strict(&cfg, &p, &plan, &RecoveryPolicy::fast_test()) {
-            Err(FtError::Degraded(d)) => {
-                assert!(d.completeness.frame_fraction() < 1.0);
-                assert_eq!(d.counters.crashed_ranks, 1);
-            }
-            other => panic!("expected Degraded, got {other:?}"),
-        }
+        assert_eq!(ft.frame.timing.recovery.adopted_blocks, 1);
+
+        // Coarse budget: complete with an error bound.
+        let model = crate::perfmodel::PerfModel::default();
+        let owned: Vec<_> = crate::pipeline::geometry(&cfg).owned;
+        let est = crate::recovery::block_cost(&cfg, &model, &owned[5]);
+        let mut policy = RecoveryPolicy::fast_test();
+        policy.frame_budget = Some(est * 0.5);
+        let ft = run_frame_rayon_ft(&cfg, &p, &plan, &policy).unwrap();
+        assert!(ft.completeness.fully_complete());
+        assert_eq!(ft.frame.timing.recovery.approx_blocks, 1);
+        assert!(ft.frame.timing.error_bound > 0.0);
+
+        // No budget: the block is skipped and completeness says so.
+        policy.frame_budget = Some(0.0);
+        let ft = run_frame_rayon_ft(&cfg, &p, &plan, &policy).unwrap();
+        assert!(!ft.completeness.fully_complete());
+        assert_eq!(ft.frame.timing.recovery.adopted_blocks, 0);
         std::fs::remove_file(&p).ok();
     }
 

@@ -23,6 +23,7 @@ pub mod config;
 pub mod ft;
 pub mod perfmodel;
 pub mod pipeline;
+pub mod recovery;
 pub mod roles;
 pub mod scheduler;
 pub mod timing;
@@ -32,13 +33,17 @@ pub use anim::{
 };
 pub use config::{CompositorPolicy, FrameConfig, IoMode};
 pub use ft::{
-    laptop_store, run_frame_mpi_ft, run_frame_mpi_ft_opts, run_frame_mpi_ft_strict, DegradedFrame,
-    FtError, FtFrameResult,
+    laptop_store, run_frame_mpi_ft, run_frame_mpi_ft_opts, run_frame_mpi_ft_strict,
+    run_frame_rayon_ft, DegradedFrame, FtError, FtFrameResult,
 };
 pub use perfmodel::{simulate_frame, PerfModel, Placement, SimFrameResult};
 pub use pipeline::{
     run_frame, run_frame_mpi, run_frame_mpi_opts, run_frame_mpi_profiled, run_frame_traced,
     write_dataset, FrameResult, ProfiledFrame,
+};
+pub use recovery::{
+    adopter_of, block_cost, effective_policy, frame_block_costs, render_loads, HealDecision,
+    RecoveryBudget,
 };
 pub use roles::{bgp_io_nodes, compositor_rank, laptop_aggregators};
 pub use scheduler::{

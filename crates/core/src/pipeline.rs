@@ -377,15 +377,28 @@ pub mod tags {
     pub const IO_ACK: u32 = 4;
     pub const FRAG_ACK: u32 = 5;
     pub const TILE_ACK: u32 = 6;
+    /// Recovery-orchestrator tags (`crate::scheduler`): an adoption
+    /// request asking a survivor to re-render a dead rank's block, the
+    /// late fragment it ships back, the shared ack channel for both,
+    /// and the frame-complete broadcast that releases lingering
+    /// adopters.
+    pub const ADOPT: u32 = 7;
+    pub const LATE: u32 = 8;
+    pub const REC_ACK: u32 = 9;
+    pub const DONE: u32 = 10;
 
     /// All stage tags, for exhaustive discipline checks.
-    pub const ALL: [(u32, &str); 6] = [
+    pub const ALL: [(u32, &str); 10] = [
         (IO_SCATTER, "io-scatter"),
         (FRAGMENT, "fragment"),
         (TILE, "tile"),
         (IO_ACK, "io-ack"),
         (FRAG_ACK, "fragment-ack"),
         (TILE_ACK, "tile-ack"),
+        (ADOPT, "adopt"),
+        (LATE, "late"),
+        (REC_ACK, "recovery-ack"),
+        (DONE, "done"),
     ];
 }
 

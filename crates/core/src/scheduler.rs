@@ -26,6 +26,7 @@
 //! tests (bit-identity across executors, byte-golden profiles, fault
 //! recovery) pin that the collapse changed nothing observable.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::{Read as _, Seek, SeekFrom};
 use std::ops::ControlFlow;
@@ -36,7 +37,9 @@ use rayon::prelude::*;
 
 use pvr_compositing::completeness::{CompletenessMap, TileCompleteness};
 use pvr_compositing::directsend::DirectSendStats;
-use pvr_compositing::{blend_fragments, build_schedule, ImagePartition, Schedule};
+use pvr_compositing::{
+    blend_fragments, build_schedule, ImagePartition, InsertOutcome, Schedule, TileAssembly,
+};
 use pvr_faults::{
     FaultPlan, InBox, OutBox, PlanInjector, RankAction, RecoveryCounters, RecoveryPolicy, Stage,
 };
@@ -52,11 +55,13 @@ use pvr_render::Camera;
 
 use crate::config::FrameConfig;
 use crate::ft::FtError;
+use crate::perfmodel::PerfModel;
 use crate::pipeline::{
     decode_fragment, decode_volume, default_view, encode_fragment, geometry, rank_requests,
     read_frame_bytes, read_stage, render_opts, synthesize_stage, tags, transfer_for, FrameResult,
     IoRunStats,
 };
+use crate::recovery::{adopter_of, block_cost, render_loads, HealDecision, RecoveryBudget};
 use crate::roles::laptop_aggregators;
 use crate::timing::{FrameTiming, Stopwatch};
 
@@ -249,6 +254,13 @@ pub struct FrameTags {
     pub io_ack: u32,
     pub frag_ack: u32,
     pub tile_ack: u32,
+    /// Recovery orchestrator: adoption requests, the late fragments
+    /// they produce, their shared ack channel, and the frame-complete
+    /// broadcast.
+    pub adopt: u32,
+    pub late: u32,
+    pub rec_ack: u32,
+    pub done: u32,
 }
 
 impl FrameTags {
@@ -261,6 +273,10 @@ impl FrameTags {
             io_ack: tags::IO_ACK + base,
             frag_ack: tags::FRAG_ACK + base,
             tile_ack: tags::TILE_ACK + base,
+            adopt: tags::ADOPT + base,
+            late: tags::LATE + base,
+            rec_ack: tags::REC_ACK + base,
+            done: tags::DONE + base,
         }
     }
 
@@ -628,6 +644,13 @@ impl RankOut {
     }
 }
 
+/// One adopted orphan block: the survivor's re-render (`None` when the
+/// budget only allowed a skip) and the I/O quality of the re-read.
+struct AdoptedBlock {
+    sub: Option<SubImage>,
+    quality: f64,
+}
+
 /// What the I/O stage hands the rest of the rank's frame.
 struct RankIo {
     bytes: Vec<u8>,
@@ -682,6 +705,18 @@ pub struct RankExec<'a> {
     tiles_direct: Vec<(usize, SubImage)>,
     /// Reliable mode: `(tile, expected_area, arrived_area, pixels)`.
     tile_reliable: Option<(usize, f64, f64, SubImage)>,
+    /// Reliable mode: recovery control channel — adoption requests,
+    /// the late fragments they produce, the frame-complete broadcast —
+    /// all acked on one shared tag.
+    rec_out: Option<OutBox>,
+    rec_in: Option<InBox>,
+    /// Degradation-ladder ledger for this rank's heals.
+    budget: RecoveryBudget,
+    /// Orphan blocks this rank adopted this frame, keyed by the dead
+    /// renderer: one re-render serves every tile that needs a piece.
+    adopted: HashMap<usize, AdoptedBlock>,
+    /// Image fraction this rank re-rendered at the coarse rung.
+    error_bound: f64,
     image: Option<Image>,
     completeness: Option<CompletenessMap>,
 }
@@ -699,6 +734,10 @@ impl<'a> RankExec<'a> {
         windows: Option<PrefetchedWindows>,
     ) -> RankExec<'a> {
         let geo = geometry(cfg);
+        let budget = match links {
+            LinkMode::Reliable(rc) => RecoveryBudget::for_frame(cfg, &rc.policy),
+            LinkMode::Direct => RecoveryBudget::new(None),
+        };
         RankExec {
             comm,
             cfg,
@@ -732,6 +771,11 @@ impl<'a> RankExec<'a> {
             frag_in: None,
             tiles_direct: Vec::new(),
             tile_reliable: None,
+            rec_out: None,
+            rec_in: None,
+            budget,
+            adopted: HashMap::new(),
+            error_bound: 0.0,
             image: None,
             completeness: None,
         }
@@ -952,6 +996,7 @@ impl<'a> RankExec<'a> {
         let mut holes = 0u64;
         let mut got = 0usize;
         let deadline = Instant::now() + rc.policy.stage_deadline;
+        let suspect_at = Instant::now() + rc.policy.suspicion;
         while got < sp.piece_counts[rank] && Instant::now() < deadline {
             io_out.poll(self.comm);
             if let Some((src, frame)) = self
@@ -967,6 +1012,23 @@ impl<'a> RankExec<'a> {
                     holes += hole;
                     got += 1;
                 }
+            }
+            // A silent aggregator (crashed mid-scatter) starves this
+            // rank's pieces forever. Past the suspicion window, bypass
+            // the two-phase exchange entirely: re-read everything this
+            // rank needs straight from the file through the same
+            // storage-failover audit the aggregators use — bit-identical
+            // bytes, a full stage deadline earlier.
+            if got < sp.piece_counts[rank] && Instant::now() >= suspect_at {
+                let (bytes, useful, unrec, fo) = self.read_runs_audited(&requests[rank]);
+                out = bytes;
+                arrived = useful;
+                holes = unrec;
+                failover_bytes += fo;
+                self.counters.selfheal_bytes += useful;
+                self.counters.recovery_bytes += useful;
+                self.comm.mark_instant("recover.io_selfheal", useful);
+                break;
             }
         }
         io_out.drain(self.comm, Instant::now() + rc.policy.drain);
@@ -989,18 +1051,19 @@ impl<'a> RankExec<'a> {
         }
     }
 
-    /// Independent (HDF5-like) path: every rank reads its own runs
-    /// directly; reliable links additionally audit storage faults and
-    /// zero-fill unrecoverable ranges.
-    fn read_independent(&mut self, requests: &[pvr_pfs::RankRequest]) -> RankIo {
-        let rank = self.comm.rank();
-        let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
+    /// Read one rank's runs straight from the file; reliable links
+    /// additionally audit storage faults and zero-fill unrecoverable
+    /// ranges. Returns the subvolume byte buffer plus `(useful,
+    /// unrecovered, failover)` byte counts. Shared between independent
+    /// I/O, the scatter self-heal, and orphan-block adoption — all
+    /// three produce bit-identical bytes to a fault-free scatter.
+    fn read_runs_audited(&mut self, req: &pvr_pfs::RankRequest) -> (Vec<u8>, u64, u64, u64) {
+        let mut out = vec![0u8; req.out_elems * ELEM_SIZE as usize];
         let mut unrecovered = 0u64;
         let mut failover_bytes = 0u64;
         let mut useful = 0u64;
-        let t_read = Instant::now();
         let mut file = File::open(self.path).expect("dataset file");
-        for run in &requests[rank].runs {
+        for run in &req.runs {
             let nb = run.elems * ELEM_SIZE as usize;
             useful += nb as u64;
             let audit = if let LinkMode::Reliable(rc) = self.links {
@@ -1031,6 +1094,15 @@ impl<'a> RankExec<'a> {
                 }
             }
         }
+        (out, useful, unrecovered, failover_bytes)
+    }
+
+    /// Independent (HDF5-like) path: every rank reads its own runs
+    /// directly.
+    fn read_independent(&mut self, requests: &[pvr_pfs::RankRequest]) -> RankIo {
+        let rank = self.comm.rank();
+        let t_read = Instant::now();
+        let (out, useful, unrecovered, failover_bytes) = self.read_runs_audited(&requests[rank]);
         if let Some(t) = self.throttle {
             t.pad(useful, t_read);
         }
@@ -1084,6 +1156,195 @@ impl<'a> RankExec<'a> {
             }
         }
         ControlFlow::Continue(())
+    }
+
+    // --- Recovery orchestration ------------------------------------
+
+    /// Adopt `orphan`'s block: charge the degradation ladder, re-read
+    /// the dead rank's subvolume through the storage failover path, and
+    /// re-render it at the rung the budget allows. Cached — one render
+    /// serves every tile that needs a piece of the block.
+    fn adopt_block(&mut self, orphan: usize) -> (Option<SubImage>, f64) {
+        if let Some(ab) = self.adopted.get(&orphan) {
+            return (ab.sub.clone(), ab.quality);
+        }
+        let LinkMode::Reliable(rc) = self.links else {
+            unreachable!("adoption needs reliable links")
+        };
+        let policy = rc.policy;
+        let cfg = self.cfg;
+        let model = PerfModel::default();
+        let est = block_cost(cfg, &model, &self.owned[orphan]);
+        let ab = match self.budget.charge(est, policy.coarse_step_factor) {
+            HealDecision::Skip => AdoptedBlock {
+                sub: None,
+                quality: 0.0,
+            },
+            rung => {
+                let layout = cfg.io.layout(cfg.grid);
+                let requests = rank_requests(layout.as_ref(), cfg.file_variable(), &self.stored);
+                let (bytes, useful, unrecovered, _) = self.read_runs_audited(&requests[orphan]);
+                self.counters.recovery_bytes += useful;
+                let vol = decode_volume(&bytes, &self.stored[orphan], layout.endian());
+                let dom = BlockDomain {
+                    grid: cfg.grid,
+                    owned: self.owned[orphan],
+                    stored: self.stored[orphan],
+                };
+                let tf = transfer_for(cfg);
+                let mut ropts = render_opts(cfg);
+                if rung == HealDecision::Coarse {
+                    ropts.step *= policy.coarse_step_factor;
+                    self.counters.approx_blocks += 1;
+                    let fp = pvr_render::raycast::footprint(
+                        &self.camera,
+                        self.owned[orphan].offset,
+                        self.owned[orphan].end(),
+                        cfg.image,
+                    );
+                    self.error_bound +=
+                        fp.num_pixels() as f64 / (cfg.image.0 as f64 * cfg.image.1 as f64);
+                }
+                let (sub, _) = render_block(&vol, &dom, &self.camera, &tf, &ropts);
+                self.counters.adopted_blocks += 1;
+                self.comm
+                    .mark_instant("recover.adopted_block", orphan as u64);
+                let quality = if useful == 0 {
+                    1.0
+                } else {
+                    1.0 - unrecovered as f64 / useful as f64
+                };
+                AdoptedBlock {
+                    sub: Some(sub),
+                    quality,
+                }
+            }
+        };
+        let out = (ab.sub.clone(), ab.quality);
+        self.adopted.insert(orphan, ab);
+        out
+    }
+
+    /// Ranks guaranteed to be polling the recovery channel: the
+    /// compositor ranks (they serve adoption while waiting for their
+    /// own fragments and linger until the frame-complete broadcast)
+    /// plus rank 0 (it serves through the gather).
+    fn adopter_candidates(&self) -> Vec<usize> {
+        let mut c: Vec<usize> = (0..self.m).map(|i| self.compositor_rank(i)).collect();
+        if !c.contains(&0) {
+            c.push(0);
+        }
+        c
+    }
+
+    /// Serve one adoption request `[orphan, tile]`: reply with a late
+    /// fragment of the adopted re-render cropped to the requested tile,
+    /// or an explicit refusal when the ladder is out of budget.
+    fn serve_adopt(&mut self, src: usize, body: &[u8], partition: ImagePartition) {
+        let orphan = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
+        let c = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+        let (sub, quality) = self.adopt_block(orphan);
+        let frag = sub.and_then(|s| s.crop(&partition.tile(c)));
+        let mut reply = Vec::new();
+        reply.extend((orphan as u64).to_le_bytes());
+        reply.extend((c as u64).to_le_bytes());
+        match frag {
+            Some(f) => {
+                reply.extend(0u64.to_le_bytes());
+                reply.extend(quality.to_le_bytes());
+                reply.extend(encode_fragment(orphan, &f));
+            }
+            None => reply.extend(1u64.to_le_bytes()),
+        }
+        let rec_out = self.rec_out.as_mut().expect("recovery channel open");
+        rec_out.send(self.comm, src, self.tags.late, reply);
+    }
+
+    /// Absorb one late-arrival reply into my open tile.
+    fn accept_late(&mut self, body: &[u8], asm: &mut TileAssembly) {
+        let orphan = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
+        let c = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+        if c != asm.tile() {
+            return;
+        }
+        if u64::from_le_bytes(body[16..24].try_into().unwrap()) != 0 {
+            asm.refuse(orphan);
+            return;
+        }
+        let quality = f64::from_le_bytes(body[24..32].try_into().unwrap());
+        let (renderer, frag) = decode_fragment(&body[32..]);
+        if asm.insert(renderer, quality, frag) == InsertOutcome::Fresh {
+            self.counters.late_fragments += 1;
+            self.comm
+                .mark_instant("recover.late_fragment", renderer as u64);
+        }
+    }
+
+    /// Drain the recovery channel: serve adoption requests addressed to
+    /// me, absorb late replies into my open tile. Stray replies after
+    /// the tile sealed are still acked (so the sender stops
+    /// retransmitting) and dropped.
+    fn pump_recovery(&mut self, partition: ImagePartition, mut asm: Option<&mut TileAssembly>) {
+        while let Some((src, frame)) = self.comm.try_recv_any(self.tags.adopt) {
+            let rec_in = self.rec_in.as_mut().expect("recovery channel open");
+            if let Some(body) = rec_in.accept(self.comm, src, self.tags.rec_ack, &frame) {
+                self.serve_adopt(src, &body, partition);
+            }
+        }
+        while let Some((src, frame)) = self.comm.try_recv_any(self.tags.late) {
+            let rec_in = self.rec_in.as_mut().expect("recovery channel open");
+            if let Some(body) = rec_in.accept(self.comm, src, self.tags.rec_ack, &frame) {
+                if let Some(asm) = asm.as_deref_mut() {
+                    self.accept_late(&body, asm);
+                }
+            }
+        }
+    }
+
+    /// A renderer is suspected dead: pick its deterministic adopter
+    /// (every requester computes the same seeded load-aware assignment)
+    /// and ask for its fragment of my tile. Self-assignments render
+    /// locally. A merely-straggling original that arrives later loses
+    /// the race harmlessly: first-wins dedup keeps one copy and the
+    /// re-render is deterministic, so either copy is the same pixels.
+    fn request_adoption(
+        &mut self,
+        orphan: usize,
+        tile: usize,
+        partition: ImagePartition,
+        asm: &mut TileAssembly,
+    ) {
+        let LinkMode::Reliable(rc) = self.links else {
+            return;
+        };
+        let seed = rc.plan.seed;
+        let model = PerfModel::default();
+        let loads = render_loads(self.cfg, &model, &self.owned);
+        let suspects = asm.missing();
+        let candidates = self.adopter_candidates();
+        let Some(a) = adopter_of(orphan, &suspects, &candidates, seed, &loads) else {
+            return;
+        };
+        self.counters.hedged_renders += 1;
+        self.comm
+            .mark_instant("recover.adopt_request", orphan as u64);
+        if a == self.comm.rank() {
+            let (sub, quality) = self.adopt_block(orphan);
+            match sub.and_then(|s| s.crop(&partition.tile(tile))) {
+                Some(f) => {
+                    if asm.insert(orphan, quality, f) == InsertOutcome::Fresh {
+                        self.counters.late_fragments += 1;
+                    }
+                }
+                None => asm.refuse(orphan),
+            }
+        } else {
+            let mut body = Vec::with_capacity(16);
+            body.extend((orphan as u64).to_le_bytes());
+            body.extend((tile as u64).to_le_bytes());
+            let rec_out = self.rec_out.as_mut().expect("recovery channel open");
+            rec_out.send(self.comm, a, self.tags.adopt, body);
+        }
     }
 
     // --- Composite stage -------------------------------------------
@@ -1162,9 +1423,12 @@ impl<'a> RankExec<'a> {
                 }
             }
             LinkMode::Reliable(rc) => {
-                let lp = rc.policy.link_policy();
+                let policy = rc.policy;
+                let lp = policy.link_policy();
                 let mut frag_out = OutBox::new(rank, self.tags.frag_ack, lp);
                 let mut frag_in = InBox::new();
+                self.rec_out = Some(OutBox::new(rank, self.tags.rec_ack, lp));
+                self.rec_in = Some(InBox::new());
                 // Send my fragments through the reliable link, quality
                 // attached.
                 for msg in schedule.messages.iter().filter(|mm| mm.renderer == rank) {
@@ -1180,47 +1444,53 @@ impl<'a> RankExec<'a> {
                 }
                 let my_tile = (0..self.m).find(|&c| self.compositor_rank(c) == rank);
                 if let Some(c) = my_tile {
-                    let expected_msgs: Vec<(usize, usize)> = schedule
+                    let expected: Vec<(usize, f64)> = schedule
                         .messages
                         .iter()
                         .filter(|mm| mm.compositor == c)
-                        .map(|mm| (mm.renderer, mm.pixels))
+                        .map(|mm| (mm.renderer, mm.pixels as f64))
                         .collect();
-                    let expected_area: f64 = expected_msgs.iter().map(|(_, px)| *px as f64).sum();
                     let tile = partition.tile(c);
-                    let mut frags: Vec<(usize, f64, SubImage)> =
-                        Vec::with_capacity(expected_msgs.len());
-                    let deadline = Instant::now() + rc.policy.stage_deadline;
-                    while frags.len() < expected_msgs.len() && Instant::now() < deadline {
+                    let mut asm = TileAssembly::new(c, tile, expected);
+                    let deadline = Instant::now() + policy.stage_deadline;
+                    let suspect_at = Instant::now() + policy.suspicion;
+                    let mut requested: Vec<usize> = Vec::new();
+                    while !asm.settled() && Instant::now() < deadline {
                         frag_out.poll(self.comm);
-                        if let Some((src, frame)) = self
-                            .comm
-                            .recv_any_timeout(self.tags.fragment, rc.policy.poll)
+                        if let Some(ro) = self.rec_out.as_mut() {
+                            ro.poll(self.comm);
+                        }
+                        if let Some((src, frame)) =
+                            self.comm.recv_any_timeout(self.tags.fragment, policy.poll)
                         {
                             if let Some(body) =
                                 frag_in.accept(self.comm, src, self.tags.frag_ack, &frame)
                             {
                                 let q = f64::from_le_bytes(body[0..8].try_into().unwrap());
                                 let (renderer, frag) = decode_fragment(&body[8..]);
-                                frags.push((renderer, q, frag));
+                                asm.insert(renderer, q, frag);
+                            }
+                        }
+                        self.pump_recovery(partition, Some(&mut asm));
+                        // Past the suspicion window every renderer still
+                        // missing gets one adoption request — a hedge if
+                        // it is merely straggling (first-wins dedup makes
+                        // the race harmless), a heal if it is dead.
+                        if Instant::now() >= suspect_at {
+                            for r in asm.missing() {
+                                if !requested.contains(&r) {
+                                    requested.push(r);
+                                    self.request_adoption(r, c, partition, &mut asm);
+                                }
                             }
                         }
                     }
-                    let arrived_area: f64 = frags
-                        .iter()
-                        .map(|(r, q, _)| {
-                            let px = expected_msgs
-                                .iter()
-                                .find(|(er, _)| er == r)
-                                .map(|(_, px)| *px as f64)
-                                .unwrap_or(0.0);
-                            px * q.clamp(0.0, 1.0)
-                        })
-                        .sum();
+                    let expected_area = asm.expected_area();
+                    let arrived_area = asm.arrived_area();
                     // Canonical blend order keeps recovered runs
-                    // bit-identical.
-                    let buf =
-                        blend_fragments(tile, frags.into_iter().map(|(r, _, f)| (r, f)).collect());
+                    // bit-identical: a late-adopted fragment re-blends
+                    // exactly as the original would have.
+                    let buf = asm.seal().clone();
                     self.tile_reliable = Some((c, expected_area, arrived_area, buf));
                 }
                 self.frag_out = Some(frag_out);
@@ -1259,7 +1529,8 @@ impl<'a> RankExec<'a> {
                 }
             }
             LinkMode::Reliable(rc) => {
-                let lp = rc.policy.link_policy();
+                let policy = rc.policy;
+                let lp = policy.link_policy();
                 let mut tile_out = OutBox::new(rank, self.tags.tile_ack, lp);
                 let mut frag_out = self.frag_out.take().expect("composite stage ran");
                 // Ship my finished tile to rank 0 over the reliable link.
@@ -1272,27 +1543,42 @@ impl<'a> RankExec<'a> {
                     tile_out.send(self.comm, 0, self.tags.tile, body);
                 }
 
-                // Rank 0 gathers tiles until the deadline; absentees
-                // become zero-completeness entries.
+                // Rank 0 gathers tiles until the deadline, serving
+                // adoption on the side; a tile whose compositor died is
+                // rebuilt locally from adopted re-renders rather than
+                // written off.
                 if rank == 0 {
-                    let schedule = self.schedule.as_ref().expect("composite stage ran");
-                    let expected_areas = {
-                        let mut areas = vec![0.0f64; self.m];
+                    let tile_sources: Vec<Vec<(usize, f64)>> = {
+                        let schedule = self.schedule.as_ref().expect("composite stage ran");
+                        let mut v = vec![Vec::new(); self.m];
                         for msg in &schedule.messages {
-                            areas[msg.compositor] += msg.pixels as f64;
+                            v[msg.compositor].push((msg.renderer, msg.pixels as f64));
                         }
-                        areas
+                        v
                     };
+                    let expected_areas: Vec<f64> = tile_sources
+                        .iter()
+                        .map(|s| s.iter().map(|(_, px)| *px).sum())
+                        .collect();
                     let mut tile_in = InBox::new();
                     let mut img = Image::new(cfg.image.0, cfg.image.1);
                     let mut got: Vec<Option<(f64, f64)>> = vec![None; self.m];
                     let mut received = 0usize;
-                    let deadline = Instant::now() + rc.policy.stage_deadline;
+                    let deadline = Instant::now() + policy.stage_deadline;
+                    // The local rebuild waits two suspicion windows: a
+                    // missing tile's compositor may itself be mid-
+                    // adoption, which needs one suspicion round plus a
+                    // re-render to finish.
+                    let rebuild_at = Instant::now() + policy.suspicion * 2;
+                    let mut rebuilt = false;
                     while received < self.m && Instant::now() < deadline {
                         frag_out.poll(self.comm);
                         tile_out.poll(self.comm);
+                        if let Some(ro) = self.rec_out.as_mut() {
+                            ro.poll(self.comm);
+                        }
                         if let Some((src, frame)) =
-                            self.comm.recv_any_timeout(self.tags.tile, rc.policy.poll)
+                            self.comm.recv_any_timeout(self.tags.tile, policy.poll)
                         {
                             if let Some(body) =
                                 tile_in.accept(self.comm, src, self.tags.tile_ack, &frame)
@@ -1301,11 +1587,40 @@ impl<'a> RankExec<'a> {
                                 let expected = f64::from_le_bytes(body[8..16].try_into().unwrap());
                                 let arrived = f64::from_le_bytes(body[16..24].try_into().unwrap());
                                 let (_, tile_img) = decode_fragment(&body[24..]);
-                                img.paste(&tile_img);
+                                // First-wins: a locally rebuilt tile is
+                                // already pasted and bit-identical to the
+                                // real one; a late real tile is dropped.
                                 if got[c].is_none() {
+                                    img.paste(&tile_img);
                                     got[c] = Some((expected, arrived));
                                     received += 1;
                                 }
+                            }
+                        }
+                        self.pump_recovery(partition, None);
+                        if !rebuilt && Instant::now() >= rebuild_at && received < self.m {
+                            rebuilt = true;
+                            for c in 0..self.m {
+                                if got[c].is_some() || expected_areas[c] == 0.0 {
+                                    continue;
+                                }
+                                let tile = partition.tile(c);
+                                let mut asm = TileAssembly::new(c, tile, tile_sources[c].clone());
+                                for (r, _) in &tile_sources[c] {
+                                    let (sub, quality) = self.adopt_block(*r);
+                                    match sub.and_then(|s| s.crop(&tile)) {
+                                        Some(f) => {
+                                            asm.insert(*r, quality, f);
+                                        }
+                                        None => asm.refuse(*r),
+                                    }
+                                }
+                                let (ea, aa) = (asm.expected_area(), asm.arrived_area());
+                                img.paste(asm.seal());
+                                got[c] = Some((ea, aa));
+                                received += 1;
+                                self.counters.adopted_tiles += 1;
+                                self.comm.mark_instant("recover.tile_rebuilt", c as u64);
                             }
                         }
                     }
@@ -1332,11 +1647,48 @@ impl<'a> RankExec<'a> {
                     }
                     self.image = Some(img);
                     self.completeness = Some(CompletenessMap { tiles });
+                    // Frame complete: release the lingering compositors.
+                    let helpers: Vec<usize> = self
+                        .adopter_candidates()
+                        .into_iter()
+                        .filter(|r| *r != 0)
+                        .collect();
+                    for h in helpers {
+                        let rec_out = self.rec_out.as_mut().expect("recovery channel open");
+                        rec_out.send(self.comm, h, self.tags.done, Vec::new());
+                    }
+                } else if self.tile_reliable.is_some() {
+                    // Lingering compositor: my tile is shipped, but
+                    // another compositor may still need me to adopt an
+                    // orphan. Keep serving the recovery channel until
+                    // rank 0 declares the frame complete (or the stage
+                    // deadline passes — rank 0 may itself be dead).
+                    let deadline = Instant::now() + policy.stage_deadline;
+                    let mut done = false;
+                    while !done && Instant::now() < deadline {
+                        frag_out.poll(self.comm);
+                        tile_out.poll(self.comm);
+                        if let Some(ro) = self.rec_out.as_mut() {
+                            ro.poll(self.comm);
+                        }
+                        if let Some((src, frame)) =
+                            self.comm.recv_any_timeout(self.tags.done, policy.poll)
+                        {
+                            let rec_in = self.rec_in.as_mut().expect("recovery channel open");
+                            if rec_in
+                                .accept(self.comm, src, self.tags.rec_ack, &frame)
+                                .is_some()
+                            {
+                                done = true;
+                            }
+                        }
+                        self.pump_recovery(partition, None);
+                    }
                 }
 
                 // Grace period: finish delivering whatever is still in
                 // flight, then account the casualties.
-                let drain_deadline = Instant::now() + rc.policy.drain;
+                let drain_deadline = Instant::now() + policy.drain;
                 frag_out.drain(self.comm, drain_deadline);
                 tile_out.drain(self.comm, drain_deadline);
                 self.counters.merge(&frag_out.counters);
@@ -1344,6 +1696,13 @@ impl<'a> RankExec<'a> {
                     self.counters.merge(&frag_in.counters);
                 }
                 self.counters.merge(&tile_out.counters);
+                if let Some(mut ro) = self.rec_out.take() {
+                    ro.drain(self.comm, drain_deadline);
+                    self.counters.merge(&ro.counters);
+                }
+                if let Some(ri) = self.rec_in.take() {
+                    self.counters.merge(&ri.counters);
+                }
                 self.timing.composite = self.sw.lap();
                 self.comm.span_end("composite");
             }
@@ -1388,6 +1747,7 @@ impl StageExec for RankExec<'_> {
         } else {
             self.comm.span_end("frame");
         }
+        self.timing.error_bound = self.error_bound;
         self.timing.wall = self.t0.elapsed().as_secs_f64();
         RankOut {
             image: self.image,
@@ -1479,14 +1839,19 @@ pub(crate) fn assemble_frame(
     let mut recovery = RecoveryCounters::default();
     let mut failover_bytes = 0u64;
     let mut unrecovered_bytes = 0u64;
+    let mut error_bound = 0.0f64;
     for r in &results {
         recovery.merge(&r.counters);
         failover_bytes += r.io_failover_bytes;
         unrecovered_bytes += r.io_unrecovered_bytes;
+        error_bound += r.timing.error_bound;
     }
     let root = results.remove(0);
     let mut timing = root.timing;
     timing.recovery = recovery;
+    // Coarse-rung heals may double-count overlapping footprints; the
+    // bound stays a bound when clamped to the whole image.
+    timing.error_bound = error_bound.min(1.0);
 
     let (image, completeness) = if reliable {
         // A crashed rank 0 cannot deliver an image: the frame degrades
@@ -1669,6 +2034,10 @@ mod tests {
                 t.io_ack,
                 t.frag_ack,
                 t.tile_ack,
+                t.adopt,
+                t.late,
+                t.rec_ack,
+                t.done,
             ] {
                 assert!(seen.insert(tag), "tag {tag} collides across frames");
                 assert_eq!(FrameTags::frame_of(tag), frame);
@@ -1676,7 +2045,7 @@ mod tests {
             assert_eq!(FrameTags::base_of(t.fragment), tags::FRAGMENT);
         }
         let table = FrameTags::table(4);
-        assert_eq!(table.len(), 24);
+        assert_eq!(table.len(), 40);
         assert!(table.iter().any(|(_, n)| n == "frame3/tile"));
     }
 
@@ -1690,8 +2059,10 @@ mod tests {
             "frame0/io-scatter"
         );
         assert_eq!(FrameTags::name_of(0), None);
-        // 7..=16 are unassigned slots of epoch 0.
-        assert_eq!(FrameTags::name_of(7), None);
+        assert_eq!(FrameTags::name_of(t.adopt).unwrap(), "frame2/adopt");
+        assert_eq!(FrameTags::name_of(t.done).unwrap(), "frame2/done");
+        // 11..=16 are unassigned slots of epoch 0.
+        assert_eq!(FrameTags::name_of(11), None);
 
         let streams = t.wildcard_streams();
         assert_eq!(streams.len(), 3);

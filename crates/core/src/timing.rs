@@ -31,6 +31,12 @@ pub struct FrameTiming {
     /// What recovery did during the frame (all zero for fault-free
     /// runs and for the non-fault-tolerant executors).
     pub recovery: pvr_faults::RecoveryCounters,
+    /// Explicit bound on the image error introduced by coarse-rung
+    /// heals of the degradation ladder: the fraction of image pixels
+    /// whose blocks were re-rendered approximately instead of
+    /// bit-identically. Zero for full heals and degrade-only frames
+    /// (missing content is reported via completeness, not here).
+    pub error_bound: f64,
 }
 
 impl FrameTiming {

@@ -36,6 +36,22 @@ pub struct RecoveryPolicy {
     /// Storage: base of the exponential retry backoff, seconds (virtual
     /// time — priced, never slept).
     pub io_backoff_s: f64,
+    /// How long a receiver waits on a missing peer before treating it
+    /// as failed and starting recovery (orphan-block adoption, scatter
+    /// self-heal, tile rebuild). Must sit well below `stage_deadline`
+    /// so adoption has time to finish, and above the largest straggle
+    /// recovery should wait out rather than hedge against.
+    pub suspicion: Duration,
+    /// Per-frame recovery budget, estimated (virtual) seconds. Every
+    /// recovery render charges its modeled cost against this ledger;
+    /// `None` means unbounded (always heal at full quality). Virtual
+    /// metering keeps the degradation ladder deterministic and
+    /// replayable — the same plan and budget always pick the same rung.
+    pub frame_budget: Option<f64>,
+    /// Step multiplier of the coarse-heal rung: a coarse re-render
+    /// costs `1/coarse_step_factor` of the full render and carries an
+    /// explicit error bound instead of bit-identity.
+    pub coarse_step_factor: f64,
 }
 
 impl Default for RecoveryPolicy {
@@ -51,6 +67,9 @@ impl Default for RecoveryPolicy {
             io_replica_offset: 1,
             io_max_retries: 4,
             io_backoff_s: 1e-3,
+            suspicion: Duration::from_secs(1),
+            frame_budget: None,
+            coarse_step_factor: 4.0,
         }
     }
 }
@@ -68,6 +87,7 @@ impl RecoveryPolicy {
             max_retries: 6,
             stage_deadline: Duration::from_millis(800),
             drain: Duration::from_millis(60),
+            suspicion: Duration::from_millis(120),
             ..RecoveryPolicy::default()
         }
     }
@@ -113,6 +133,24 @@ pub struct RecoveryCounters {
     pub degraded_tiles: u64,
     /// Ranks that crashed during the frame.
     pub crashed_ranks: u64,
+    /// Orphaned blocks re-read and re-rendered by a surviving rank.
+    pub adopted_blocks: u64,
+    /// Final-image tiles rebuilt at the root after their compositor
+    /// died.
+    pub adopted_tiles: u64,
+    /// Speculative duplicate renders requested against suspected
+    /// stragglers (first-wins dedup discards the loser).
+    pub hedged_renders: u64,
+    /// Late fragments accepted into an already-open tile.
+    pub late_fragments: u64,
+    /// Bytes a rank re-read from storage to heal its own lost scatter
+    /// pieces.
+    pub selfheal_bytes: u64,
+    /// Bytes adopters re-read from storage on behalf of dead ranks.
+    pub recovery_bytes: u64,
+    /// Blocks healed at the coarse (approximate) rung of the
+    /// degradation ladder.
+    pub approx_blocks: u64,
 }
 
 impl RecoveryCounters {
@@ -125,6 +163,13 @@ impl RecoveryCounters {
         self.io_retries += other.io_retries;
         self.degraded_tiles += other.degraded_tiles;
         self.crashed_ranks += other.crashed_ranks;
+        self.adopted_blocks += other.adopted_blocks;
+        self.adopted_tiles += other.adopted_tiles;
+        self.hedged_renders += other.hedged_renders;
+        self.late_fragments += other.late_fragments;
+        self.selfheal_bytes += other.selfheal_bytes;
+        self.recovery_bytes += other.recovery_bytes;
+        self.approx_blocks += other.approx_blocks;
     }
 
     /// True when recovery never had to intervene.
@@ -148,6 +193,9 @@ mod tests {
             retries: 3,
             io_failovers: 4,
             crashed_ranks: 1,
+            adopted_blocks: 2,
+            hedged_renders: 1,
+            selfheal_bytes: 64,
             ..RecoveryCounters::default()
         };
         a.merge(&b);
@@ -155,6 +203,9 @@ mod tests {
         assert_eq!(a.timeouts, 1);
         assert_eq!(a.io_failovers, 4);
         assert_eq!(a.crashed_ranks, 1);
+        assert_eq!(a.adopted_blocks, 2);
+        assert_eq!(a.hedged_renders, 1);
+        assert_eq!(a.selfheal_bytes, 64);
         assert!(!a.is_clean());
         assert!(RecoveryCounters::default().is_clean());
     }
@@ -170,5 +221,12 @@ mod tests {
         assert_eq!(io.replica_offset, 1);
         // fast_test keeps retry budgets able to beat small DropFirst counts.
         assert!(RecoveryPolicy::fast_test().max_retries >= 4);
+        // Suspicion must leave the recovery path room before the stage
+        // deadline expires, on both policies.
+        for p in [RecoveryPolicy::default(), RecoveryPolicy::fast_test()] {
+            assert!(p.suspicion * 2 < p.stage_deadline);
+            assert!(p.coarse_step_factor > 1.0);
+            assert!(p.frame_budget.is_none());
+        }
     }
 }
