@@ -22,11 +22,15 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use pvr_core::pipeline::{run_frame_mpi, tags, write_dataset};
-use pvr_core::{run_frame_mpi_ft, CompositorPolicy, FrameConfig, FtError, FtFrameResult};
+use pvr_core::{
+    laptop_store, run_frame_mpi_ft_obs, CompositorPolicy, FrameConfig, FtError, FtFrameResult,
+};
 use pvr_faults::{
     FaultPlan, LinkAction, LinkFault, Pat, RankAction, RankFault, RecoveryPolicy, ServerAction,
     ServerFault, Stage,
 };
+use pvr_obs::bench::Trajectory;
+use pvr_obs::FlightRecorder;
 
 fn test_cfg() -> FrameConfig {
     let mut cfg = FrameConfig::small(16, 24, 8);
@@ -80,8 +84,18 @@ fn run(
     path: &Path,
     plan: &FaultPlan,
     policy: &RecoveryPolicy,
+    flight: &FlightRecorder,
 ) -> Result<FtFrameResult, FtError> {
-    run_frame_mpi_ft(cfg, path, plan, policy)
+    run_frame_mpi_ft_obs(
+        cfg,
+        path,
+        plan,
+        policy,
+        &laptop_store(),
+        pvr_mpisim::RunOptions::default(),
+        flight,
+    )
+    .map(|(ft, _)| ft)
 }
 
 fn sweep(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) {
@@ -101,7 +115,7 @@ fn sweep(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) {
                     });
                 }
                 let t0 = Instant::now();
-                match run(cfg, path, &plan, policy) {
+                match run(cfg, path, &plan, policy, &FlightRecorder::disabled()) {
                     Ok(ft) => {
                         let rec = ft.frame.timing.recovery;
                         println!(
@@ -140,10 +154,11 @@ struct Outcome {
     wall_ms: f64,
 }
 
-/// Serialize the outcomes as the `BENCH_faults.json` CI artifact:
-/// healed-frame fraction over heal-expected scenarios, total recovery
-/// traffic, and the p95 frame wall across every fault run.
-fn bench_faults_json(outcomes: &[Outcome]) -> String {
+/// Build the `BENCH_faults.json` trajectory: healed-frame fraction
+/// over heal-expected scenarios and total recovery traffic are exact
+/// gates (the schedules are seeded and deterministic); the p95 frame
+/// wall is info-only (laptop CI machines are not benchmarking rigs).
+fn bench_faults_trajectory(outcomes: &[Outcome]) -> Trajectory {
     let expected: Vec<&Outcome> = outcomes.iter().filter(|o| o.heal_expected).collect();
     let healed = expected.iter().filter(|o| o.healed).count();
     let fraction = if expected.is_empty() {
@@ -159,31 +174,38 @@ fn bench_faults_json(outcomes: &[Outcome]) -> String {
     } else {
         walls[((walls.len() as f64 * 0.95).ceil() as usize - 1).min(walls.len() - 1)]
     };
-    let mut s = String::from("{\n");
-    s.push_str(&format!("  \"frames\": {},\n", outcomes.len()));
-    s.push_str(&format!(
-        "  \"heal_expected_frames\": {},\n",
-        expected.len()
-    ));
-    s.push_str(&format!("  \"healed_frames\": {healed},\n"));
-    s.push_str(&format!("  \"healed_fraction\": {fraction:.4},\n"));
-    s.push_str(&format!("  \"recovery_bytes_total\": {bytes},\n"));
-    s.push_str(&format!("  \"p95_frame_wall_ms\": {p95:.2},\n"));
-    s.push_str("  \"cases\": [\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"case\": \"{}\", \"healed\": {}, \"heal_expected\": {}, \
-             \"recovery_bytes\": {}, \"wall_ms\": {:.2}}}{}\n",
-            o.case,
-            o.healed,
-            o.heal_expected,
-            o.recovery_bytes,
-            o.wall_ms,
-            if i + 1 < outcomes.len() { "," } else { "" }
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    s
+    let mut t = Trajectory::new("faults");
+    t.exact("frames", outcomes.len() as f64)
+        .exact("heal_expected_frames", expected.len() as f64)
+        .exact("healed_frames", healed as f64)
+        .exact("healed_fraction", fraction)
+        // Recovery traffic is seeded but the hedging path is timer
+        // driven, so the byte total gets a band rather than exactness.
+        .rel("recovery_bytes_total", bytes as f64, 0.5)
+        .info("p95_frame_wall_ms", p95)
+        .table(
+            "cases",
+            &[
+                "case",
+                "healed",
+                "heal_expected",
+                "recovery_bytes",
+                "wall_ms",
+            ],
+            outcomes
+                .iter()
+                .map(|o| {
+                    vec![
+                        o.case.to_string(),
+                        (o.healed as u8).to_string(),
+                        (o.heal_expected as u8).to_string(),
+                        o.recovery_bytes.to_string(),
+                        format!("{:.2}", o.wall_ms),
+                    ]
+                })
+                .collect(),
+        );
+    t
 }
 
 /// Record one scenario's recovery outcome into the CI metrics registry.
@@ -206,15 +228,16 @@ fn record(reg: &pvr_obs::Registry, case: &str, ft: &FtFrameResult) {
     );
 }
 
-/// Run one plan under a wall-clock timer.
+/// Run one plan under a wall-clock timer, recording into `flight`.
 fn timed(
     cfg: &FrameConfig,
     path: &Path,
     plan: &FaultPlan,
     policy: &RecoveryPolicy,
+    flight: &FlightRecorder,
 ) -> (Result<FtFrameResult, FtError>, f64) {
     let t0 = Instant::now();
-    let out = run(cfg, path, plan, policy);
+    let out = run(cfg, path, plan, policy, flight);
     (out, t0.elapsed().as_secs_f64() * 1e3)
 }
 
@@ -237,11 +260,16 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
     let mut all = true;
     let reg = pvr_obs::Registry::new();
     let mut outcomes: Vec<Outcome> = Vec::new();
+    // One always-on ring across the whole suite: the anomalous
+    // scenarios (crash, straggler violation) dump it, and the dumps
+    // land under results/ as replayable Perfetto artifacts for the CI
+    // upload.
+    let flight = FlightRecorder::wall(512);
     let baseline = run_frame_mpi(cfg, path);
 
     // 1. Transient faults: bit-identical frame, exact completeness 1.0.
     let plan = transient_plan(5, 2, 1);
-    match timed(cfg, path, &plan, policy) {
+    match timed(cfg, path, &plan, policy, &flight) {
         (Ok(ft), wall) => {
             record(&reg, "transient", &ft);
             outcomes.push(outcome_of("transient", true, &ft, wall));
@@ -272,7 +300,7 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
         }],
         ..FaultPlan::default()
     };
-    match timed(cfg, path, &plan, policy) {
+    match timed(cfg, path, &plan, policy, &flight) {
         (Ok(ft), wall) => {
             record(&reg, "failover", &ft);
             outcomes.push(outcome_of("failover", true, &ft, wall));
@@ -296,8 +324,8 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
     //    completeness < 1.0 — and reproduces exactly on a second run.
     let mut no_failover = *policy;
     no_failover.io_failover = false;
-    let (first, wall1) = timed(cfg, path, &plan, &no_failover);
-    let second = run(cfg, path, &plan, &no_failover);
+    let (first, wall1) = timed(cfg, path, &plan, &no_failover, &flight);
+    let second = run(cfg, path, &plan, &no_failover, &flight);
     match (first, second) {
         (Ok(a), Ok(b)) => {
             record(&reg, "permanent", &a);
@@ -342,7 +370,7 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
         }],
         ..FaultPlan::default()
     };
-    match timed(cfg, path, &plan, policy) {
+    match timed(cfg, path, &plan, policy, &flight) {
         (Ok(ft), wall) => {
             record(&reg, "crash", &ft);
             outcomes.push(outcome_of("crash-heal", true, &ft, wall));
@@ -376,7 +404,7 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
         }],
         ..FaultPlan::default()
     };
-    match timed(cfg, path, &plan, policy) {
+    match timed(cfg, path, &plan, policy, &flight) {
         (Ok(ft), wall) => {
             record(&reg, "straggler", &ft);
             outcomes.push(outcome_of("straggler-hedge", true, &ft, wall));
@@ -414,10 +442,24 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
     print!("{}", snap.to_text());
     pvr_bench::emit_csv("fault_sweep_metrics", &snap.to_csv());
 
+    // Every anomaly the suite provoked, as a replayable trace (open in
+    // ui.perfetto.dev or any trace-event viewer).
+    let dumps = flight.take_dumps();
+    for (i, d) in dumps.iter().enumerate() {
+        pvr_bench::write_artifact(
+            &format!("flight_dump_{}_{i}.json", d.reason),
+            d.json.as_bytes(),
+        );
+    }
+    all &= check(
+        "anomalous-scenarios-dumped-the-flight-ring",
+        !dumps.is_empty(),
+        format!("{} anomaly dump(s)", dumps.len()),
+    );
+
     // Recovery summary: every heal-expected scenario must actually
     // have healed — the zero-unhealed-transient gate.
-    let json = bench_faults_json(&outcomes);
-    pvr_bench::write_artifact("BENCH_faults.json", json.as_bytes());
+    pvr_bench::write_trajectory(&bench_faults_trajectory(&outcomes));
     let unhealed = outcomes
         .iter()
         .filter(|o| o.heal_expected && !o.healed)

@@ -1,0 +1,192 @@
+//! `perf_gate` — the perf-trajectory regression gate.
+//!
+//! Compares every `BENCH_*.json` trajectory in a fresh results
+//! directory against the committed baseline under each metric's own
+//! gate class ([`Gate::Exact`] / [`Gate::Rel`] / [`Gate::Info`] — see
+//! `pvr_obs::bench`), and exits nonzero on any gated drift. The gate
+//! also proves its own teeth on every run: a synthetically regressed
+//! copy of each baseline ([`Trajectory::regressed`]) must *fail* the
+//! comparison, so a schema change that silently ungates everything is
+//! itself a gate failure.
+//!
+//! ```text
+//! perf_gate                       # committed results/ vs itself + self-test
+//! perf_gate --fresh /tmp/run      # committed results/ vs a fresh run
+//! perf_gate --baseline DIR --fresh DIR
+//! ```
+//!
+//! With no `--fresh`, the baseline is compared against itself — this
+//! is the CI parse-and-self-test mode: it proves the committed
+//! artifacts parse under the current schema, pass their own gates, and
+//! that every gate class can still fail.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use pvr_obs::bench::{compare, Gate, GateCheck, Trajectory};
+
+fn usage() -> ! {
+    eprintln!("usage: perf_gate [--baseline DIR] [--fresh DIR]");
+    exit(2);
+}
+
+fn load_dir(dir: &Path) -> Vec<(String, Trajectory)> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {}: {e}", dir.display());
+            exit(2);
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = match std::fs::read_to_string(entry.path()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf_gate: read {name}: {e}");
+                exit(2);
+            }
+        };
+        match Trajectory::from_json(&text) {
+            Ok(t) => out.push((name, t)),
+            Err(e) => {
+                eprintln!(
+                    "perf_gate: {name} does not parse as {}: {e}",
+                    pvr_obs::bench::SCHEMA
+                );
+                exit(1);
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn gate_str(g: Gate) -> String {
+    match g {
+        Gate::Exact => "exact".to_string(),
+        Gate::Rel(t) => format!("rel:{t}"),
+        Gate::Info => "info".to_string(),
+    }
+}
+
+/// Print one trajectory's checks; return the number of failures.
+fn report(bench: &str, checks: &[GateCheck]) -> usize {
+    let mut failures = 0usize;
+    for c in checks {
+        let ok = c.pass;
+        if !ok {
+            failures += 1;
+        }
+        // Passing info rows are elided to keep the log scannable;
+        // every gated metric and every failure prints.
+        if !ok || !matches!(c.gate, Gate::Info) {
+            println!(
+                "{} {bench}/{} [{}]: baseline {} fresh {} ({})",
+                if ok { "PASS" } else { "FAIL" },
+                c.key,
+                gate_str(c.gate),
+                c.baseline,
+                c.fresh,
+                c.note
+            );
+        }
+    }
+    failures
+}
+
+fn main() {
+    let mut baseline_dir = PathBuf::from("results");
+    let mut fresh_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline_dir = args.next().map(PathBuf::from).unwrap_or_else(|| usage())
+            }
+            "--fresh" => {
+                fresh_dir = Some(args.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
+            _ => usage(),
+        }
+    }
+
+    let baselines = load_dir(&baseline_dir);
+    if baselines.is_empty() {
+        eprintln!(
+            "perf_gate: no BENCH_*.json trajectories under {}",
+            baseline_dir.display()
+        );
+        exit(1);
+    }
+    let mut failures = 0usize;
+    let mut gated_metrics = 0usize;
+
+    match &fresh_dir {
+        Some(fd) => {
+            // Real mode: committed baseline vs a fresh run.
+            let fresh = load_dir(fd);
+            for (name, base) in &baselines {
+                match fresh.iter().find(|(n, _)| n == name) {
+                    None => {
+                        println!("FAIL {name}: missing from fresh dir {}", fd.display());
+                        failures += 1;
+                    }
+                    Some((_, f)) => {
+                        let checks = compare(base, f);
+                        gated_metrics += checks
+                            .iter()
+                            .filter(|c| !matches!(c.gate, Gate::Info))
+                            .count();
+                        failures += report(&base.bench, &checks);
+                    }
+                }
+            }
+        }
+        None => {
+            // CI parse-and-self-test mode: each committed trajectory
+            // must pass against itself...
+            for (name, base) in &baselines {
+                let checks = compare(base, base);
+                gated_metrics += checks
+                    .iter()
+                    .filter(|c| !matches!(c.gate, Gate::Info))
+                    .count();
+                let f = report(&base.bench, &checks);
+                if f > 0 {
+                    println!("FAIL {name}: baseline does not pass its own gates");
+                }
+                failures += f;
+            }
+        }
+    }
+
+    // ...and the gate must demonstrably have teeth: a regressed copy
+    // of every baseline fails at least one gated metric. This runs in
+    // both modes — a trajectory with nothing but info metrics cannot
+    // regress, which is itself a regression of the gate.
+    for (name, base) in &baselines {
+        let bad = base.regressed();
+        let refused = compare(base, &bad).iter().filter(|c| !c.pass).count();
+        let ok = refused > 0;
+        println!(
+            "{} {name}: self-test — regressed copy fails {refused} gate(s)",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    println!(
+        "perf_gate: {} trajectories, {gated_metrics} gated metrics, {failures} failure(s)",
+        baselines.len()
+    );
+    if failures > 0 {
+        exit(1);
+    }
+}

@@ -32,6 +32,7 @@ use pvr_faults::{
     FaultPlan, LinkAction, LinkFault, Pat, RankAction, RankFault, RecoveryPolicy, ServerAction,
     ServerFault, Stage,
 };
+use pvr_obs::bench::Trajectory;
 use pvr_render::image::Image;
 
 fn test_cfg() -> FrameConfig {
@@ -285,7 +286,11 @@ fn ladder_accounting(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) ->
     ok
 }
 
-fn recovery_json(cells: &[MatrixCell]) -> String {
+/// The `BENCH_recovery.json` trajectory over the crash matrix: cell
+/// and heal counts are exact (every cell must heal, deterministically),
+/// recovery traffic rides a band (adoption is suspicion-timer driven),
+/// and the p95 frame wall is info-only.
+fn recovery_trajectory(cells: &[MatrixCell]) -> Trajectory {
     let healed = cells.iter().filter(|c| c.healed).count();
     let bytes: u64 = cells.iter().map(|c| c.recovery_bytes).sum();
     let mut walls: Vec<f64> = cells.iter().map(|c| c.wall_ms).collect();
@@ -295,35 +300,44 @@ fn recovery_json(cells: &[MatrixCell]) -> String {
     } else {
         walls[((walls.len() as f64 * 0.95).ceil() as usize - 1).min(walls.len() - 1)]
     };
-    let mut s = String::from("{\n");
-    s.push_str(&format!("  \"crash_cells\": {},\n", cells.len()));
-    s.push_str(&format!("  \"healed_cells\": {healed},\n"));
-    s.push_str(&format!(
-        "  \"healed_fraction\": {:.4},\n",
-        if cells.is_empty() {
-            1.0
-        } else {
-            healed as f64 / cells.len() as f64
-        }
-    ));
-    s.push_str(&format!("  \"recovery_bytes_total\": {bytes},\n"));
-    s.push_str(&format!("  \"p95_frame_wall_ms\": {p95:.2},\n"));
-    s.push_str("  \"cells\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"rank\": {}, \"stage\": \"{}\", \"healed\": {}, \"adopted_blocks\": {}, \
-             \"recovery_bytes\": {}, \"wall_ms\": {:.2}}}{}\n",
-            c.rank,
-            c.stage,
-            c.healed,
-            c.adopted_blocks,
-            c.recovery_bytes,
-            c.wall_ms,
-            if i + 1 < cells.len() { "," } else { "" }
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    s
+    let mut t = Trajectory::new("recovery");
+    t.exact("crash_cells", cells.len() as f64)
+        .exact("healed_cells", healed as f64)
+        .exact(
+            "healed_fraction",
+            if cells.is_empty() {
+                1.0
+            } else {
+                healed as f64 / cells.len() as f64
+            },
+        )
+        .rel("recovery_bytes_total", bytes as f64, 0.5)
+        .info("p95_frame_wall_ms", p95)
+        .table(
+            "cells",
+            &[
+                "rank",
+                "stage",
+                "healed",
+                "adopted_blocks",
+                "recovery_bytes",
+                "wall_ms",
+            ],
+            cells
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.rank.to_string(),
+                        c.stage.to_string(),
+                        (c.healed as u8).to_string(),
+                        c.adopted_blocks.to_string(),
+                        c.recovery_bytes.to_string(),
+                        format!("{:.2}", c.wall_ms),
+                    ]
+                })
+                .collect(),
+        );
+    t
 }
 
 fn main() {
@@ -347,8 +361,7 @@ fn main() {
     all &= straggle_bounded(&cfg, &path, &policy, &baseline.image);
     all &= ladder_accounting(&cfg, &path, &policy);
 
-    let json = recovery_json(&cells);
-    pvr_bench::write_artifact("BENCH_recovery.json", json.as_bytes());
+    pvr_bench::write_trajectory(&recovery_trajectory(&cells));
     println!(
         "recovery-sweep: {} in {:.1}s",
         if all { "all gates passed" } else { "FAILURES" },

@@ -16,8 +16,9 @@
 
 use std::time::Instant;
 
-use pvr_bench::{check, write_artifact, CsvOut};
+use pvr_bench::{check, write_trajectory, CsvOut};
 use pvr_core::{run_frame, FrameConfig};
+use pvr_obs::bench::Trajectory;
 use pvr_obs::Registry;
 use pvr_render::raycast::RenderOpts;
 use pvr_render::{render_block_with_grid, BlockDomain, Camera, TransferFunction, Vec3};
@@ -134,28 +135,47 @@ fn main() {
         fast_stats.skipped_samples
     ));
 
-    let json = format!(
-        "{{\n  \"block\": {BLOCK},\n  \"rays\": [256, 256],\n  \"iters\": {iters},\n  \
-         \"naive_secs\": {naive_secs:.6},\n  \"fast_secs\": {fast_secs:.6},\n  \
-         \"samples\": {samples},\n  \"skipped_samples\": {},\n  \
-         \"skip_fraction\": {skip_fraction:.4},\n  \
-         \"naive_samples_per_sec\": {naive_rate:.0},\n  \
-         \"fast_samples_per_sec\": {fast_rate:.0},\n  \"speedup\": {:.3},\n  \
-         \"bit_identical_kernel\": {bit_identical_kernel},\n  \
-         \"bit_identical_frame\": {bit_identical_frame},\n  \
-         \"frame\": {{\n    \"render_samples\": {},\n    \"render_skipped\": {},\n    \
-         \"composite_bytes\": {},\n    \"composite_dense_bytes\": {},\n    \
-         \"sparse_messages\": {},\n    \"messages\": {}\n  }}\n}}\n",
-        fast_stats.skipped_samples,
-        speedup.unwrap_or(0.0),
-        frame_fast.render_samples,
-        frame_fast.render_skipped,
-        comp.bytes,
-        comp.dense_bytes,
-        comp.sparse_messages,
-        comp.messages,
-    );
-    write_artifact("BENCH_render.json", json.as_bytes());
+    // The trajectory artifact: every deterministic count is an exact
+    // gate, kernel throughput rides a wide relative band (the same
+    // machine run-to-run, not cross-machine), wall-clock is info-only.
+    let mut traj = Trajectory::new("render");
+    traj.exact("block", BLOCK as f64)
+        .exact("samples", samples as f64)
+        .exact("skipped_samples", fast_stats.skipped_samples as f64)
+        .exact("bit_identical_kernel", bit_identical_kernel as u8 as f64)
+        .exact("bit_identical_frame", bit_identical_frame as u8 as f64)
+        .exact("frame_render_samples", frame_fast.render_samples as f64)
+        .exact("frame_render_skipped", frame_fast.render_skipped as f64)
+        .exact("frame_composite_bytes", comp.bytes as f64)
+        .exact("frame_composite_dense_bytes", comp.dense_bytes as f64)
+        .exact("frame_sparse_messages", comp.sparse_messages as f64)
+        .exact("frame_messages", comp.messages as f64)
+        .rel("skip_fraction", skip_fraction, 0.01)
+        .info("iters", iters as f64)
+        .info("naive_secs", naive_secs)
+        .info("fast_secs", fast_secs)
+        .info("naive_samples_per_sec", naive_rate)
+        .info("fast_samples_per_sec", fast_rate)
+        .info("speedup", speedup.unwrap_or(0.0))
+        .table(
+            "kernels",
+            &["kernel", "secs", "samples", "skipped"],
+            vec![
+                vec![
+                    "naive".into(),
+                    format!("{naive_secs:.6}"),
+                    samples.to_string(),
+                    naive_stats.skipped_samples.to_string(),
+                ],
+                vec![
+                    "fast".into(),
+                    format!("{fast_secs:.6}"),
+                    samples.to_string(),
+                    fast_stats.skipped_samples.to_string(),
+                ],
+            ],
+        );
+    write_trajectory(&traj);
 
     // --- Gates. -------------------------------------------------------
     check(

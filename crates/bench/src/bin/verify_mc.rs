@@ -39,13 +39,14 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pvr_bench::{check, emit_csv, write_artifact, CsvOut};
+use pvr_bench::{check, emit_csv, write_artifact, write_trajectory, CsvOut};
 use pvr_compositing::radixk::default_radices;
 use pvr_core::FrameTags;
 use pvr_faults::link::{decode_frame, encode_frame, KIND_ACK, KIND_DATA};
 use pvr_faults::plan::{FaultPlan, RankAction, RankFault, Stage};
 use pvr_mc::{explore, McOptions, McReport};
 use pvr_mpisim::Comm;
+use pvr_obs::bench::Trajectory;
 use pvr_obs::Registry;
 
 /// Ack/retransmit model tags (outside the frame-tag epochs; the link
@@ -454,15 +455,46 @@ fn main() {
     // --- Artifacts. ---
     let snap = registry.snapshot();
     emit_csv("verify_mc_metrics", &snap.to_csv());
-    let json = format!(
-        "{{\n  \"max_n\": {max_n},\n  \"configs\": {},\n  \"traces\": {classes},\n  \"runs\": {explored},\n  \"n6_runs\": {n6_runs},\n  \"n6_naive_orderings\": {n6_naive:.6e},\n  \"n6_pruned_fraction\": {pruned:.6},\n  \"violations\": {},\n  \"wall_secs\": {:.3},\n  \"budget_secs\": {:.0},\n  \"ok\": {}\n}}\n",
-        results.len(),
-        results.iter().map(|c| c.report.violations.len()).sum::<usize>(),
-        t0.elapsed().as_secs_f64(),
-        budget.as_secs_f64(),
-        failures == 0,
-    );
-    write_artifact("BENCH_mc.json", json.as_bytes());
+    // Trajectory: config and violation counts are exact; trace-class
+    // and run counts get bands (the classes DPOR enumerates depend on
+    // the wildcard match orders actually observed, which drift a few
+    // percent run to run); wall-clock is info-only.
+    let mut traj = Trajectory::new("mc");
+    traj.exact("max_n", max_n as f64)
+        .exact("configs", results.len() as f64)
+        .rel("traces", classes as f64, 0.1)
+        .exact(
+            "violations",
+            results
+                .iter()
+                .map(|c| c.report.violations.len())
+                .sum::<usize>() as f64,
+        )
+        .exact("ok", (failures == 0) as u8 as f64)
+        .rel("runs", explored as f64, 0.25)
+        .rel("n6_runs", n6_runs as f64, 0.25)
+        .exact("n6_naive_orderings", n6_naive)
+        .rel("n6_pruned_fraction", pruned, 0.1)
+        .info("wall_secs", t0.elapsed().as_secs_f64())
+        .info("budget_secs", budget.as_secs_f64())
+        .table(
+            "configs",
+            &["label", "n", "traces", "runs", "complete", "violations"],
+            results
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.label.clone(),
+                        c.n.to_string(),
+                        c.report.stats.traces.to_string(),
+                        c.report.stats.runs.to_string(),
+                        (c.report.stats.complete as u8).to_string(),
+                        c.report.violations.len().to_string(),
+                    ]
+                })
+                .collect(),
+        );
+    write_trajectory(&traj);
 
     println!(
         "verify_mc: {} configs, {classes} traces, {explored} runs, {failures} failures in {:.1}s",

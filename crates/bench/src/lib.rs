@@ -72,6 +72,14 @@ pub fn write_artifact(name: &str, bytes: &[u8]) -> PathBuf {
     path
 }
 
+/// Write a benchmark trajectory as `results/BENCH_<bench>.json` — the
+/// one artifact shape `perf_gate` knows how to compare. The file name
+/// is derived from [`Trajectory::bench`], so a bin cannot write its
+/// trajectory under a name the gate will not find.
+pub fn write_trajectory(t: &pvr_obs::bench::Trajectory) -> PathBuf {
+    write_artifact(&format!("BENCH_{}.json", t.bench), t.to_json().as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +94,23 @@ mod tests {
         c.row("1,2");
         let content = std::fs::read_to_string(out_dir().join("unit.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn trajectories_round_trip_through_the_artifact_file() {
+        std::env::set_var(
+            "PVR_RESULTS_DIR",
+            std::env::temp_dir().join("pvr-bench-test"),
+        );
+        use pvr_obs::bench::Trajectory;
+        let mut t = Trajectory::new("unit_rt");
+        t.exact("count", 42.0)
+            .rel("rate", 1.5e6, 0.3)
+            .info("wall_secs", 0.25)
+            .table("cases", &["case", "ok"], vec![vec!["a".into(), "1".into()]]);
+        let path = write_trajectory(&t);
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit_rt.json");
+        let back = Trajectory::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(t, back);
     }
 }

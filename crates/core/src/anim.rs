@@ -88,6 +88,10 @@ pub struct AnimOptions {
     /// Wall-clock span tracer (rayon executor only): frame spans per
     /// rank track, prefetch reads on their own track.
     pub tracer: Tracer,
+    /// Always-on flight recorder: each frame's SLO verdict, incidents,
+    /// and anomaly dumps are mirrored onto it (both executors). The
+    /// default disabled recorder costs nothing.
+    pub flight: pvr_obs::FlightRecorder,
 }
 
 impl AnimOptions {
@@ -99,6 +103,7 @@ impl AnimOptions {
             throttle: None,
             faults: None,
             tracer: Tracer::disabled(),
+            flight: pvr_obs::FlightRecorder::disabled(),
         }
     }
 
@@ -131,6 +136,12 @@ impl AnimOptions {
     /// Trace the rayon executor's spans.
     pub fn traced(mut self, tracer: &Tracer) -> AnimOptions {
         self.tracer = tracer.clone();
+        self
+    }
+
+    /// Mirror per-frame verdicts and anomaly dumps onto `flight`.
+    pub fn with_flight(mut self, flight: &pvr_obs::FlightRecorder) -> AnimOptions {
+        self.flight = flight.clone();
         self
     }
 }
@@ -236,11 +247,22 @@ fn run_rayon(cfg: &FrameConfig, paths: &[PathBuf], opts: &AnimOptions) -> AnimRe
     let mut frames = Vec::with_capacity(paths.len());
     let t0 = Instant::now();
 
+    // RayonExec::finish annotates the SLO verdict; the animation loop
+    // only mirrors it onto the flight recorder, one frame per tick.
+    let record = |result: &FrameResult| {
+        opts.flight.begin_frame();
+        if let Some(slo) = &result.timing.slo {
+            crate::slo::record_frame_flight(&opts.flight, slo, &[], &result.timing.recovery);
+        }
+    };
+
     if !opts.pipelined {
         for p in paths {
             let exec = RayonExec::new(cfg, FrameInput::File(p), tracer, opts.throttle);
+            let result = execute(&plan, exec);
+            record(&result);
             frames.push(AnimFrame {
-                result: execute(&plan, exec),
+                result,
                 completeness: None,
             });
         }
@@ -284,8 +306,10 @@ fn run_rayon(cfg: &FrameConfig, paths: &[PathBuf], opts: &AnimOptions) -> AnimRe
         }
         let input = FrameInput::Prefetched { bytes, io, io_secs };
         let exec = RayonExec::new(cfg, input, tracer, None);
+        let result = execute(&plan, exec);
+        record(&result);
         frames.push(AnimFrame {
-            result: execute(&plan, exec),
+            result,
             completeness: None,
         });
     }
@@ -339,6 +363,17 @@ fn run_mpi(
         })),
         None => run_opts,
     };
+    // Per-frame located incidents from the injected plans, extracted
+    // before the link modes move into the world closure.
+    let frame_incidents: Vec<Vec<crate::slo::Incident>> = links
+        .iter()
+        .map(|l| match l {
+            LinkMode::Reliable(rc) => {
+                crate::slo::incidents_from_plan(cfg.nprocs, &rc.plan, rc.policy.suspicion)
+            }
+            LinkMode::Direct => Vec::new(),
+        })
+        .collect();
 
     let cfg = *cfg;
     let paths = paths.to_vec();
@@ -402,12 +437,17 @@ fn run_mpi(
     // frame exactly as the single-frame driver would.
     let mut per_rank: Vec<_> = out.results.into_iter().map(Vec::into_iter).collect();
     let mut frames = Vec::with_capacity(nf);
-    for _ in 0..nf {
+    for plan_incidents in frame_incidents.iter().take(nf) {
         let col: Vec<RankOut> = per_rank
             .iter_mut()
             .map(|it| it.next().expect("every rank runs every frame"))
             .collect();
-        let (result, completeness) = assemble_frame(&cfg, col, reliable);
+        let (result, completeness, incidents) =
+            assemble_frame(&cfg, col, reliable, plan_incidents);
+        opts.flight.begin_frame();
+        if let Some(slo) = &result.timing.slo {
+            crate::slo::record_frame_flight(&opts.flight, slo, &incidents, &result.timing.recovery);
+        }
         frames.push(AnimFrame {
             result,
             completeness: if reliable { completeness } else { None },

@@ -38,6 +38,7 @@ use rayon::prelude::*;
 use pvr_compositing::completeness::CompletenessMap;
 use pvr_compositing::{composite_direct_send_degraded, ImagePartition};
 use pvr_faults::{FaultPlan, RankAction, RecoveryCounters, RecoveryPolicy, Stage};
+use pvr_obs::FlightRecorder;
 use pvr_pfs::StripedStore;
 use pvr_render::image::{Image, SubImage};
 use pvr_render::raycast::{render_block, BlockDomain};
@@ -169,6 +170,30 @@ pub fn run_frame_mpi_ft_opts(
     store: &StripedStore,
     opts: pvr_mpisim::RunOptions,
 ) -> Result<(FtFrameResult, Option<pvr_mpisim::trace::TraceLog>), FtError> {
+    run_frame_mpi_ft_obs(
+        cfg,
+        path,
+        plan,
+        policy,
+        store,
+        opts,
+        &FlightRecorder::disabled(),
+    )
+}
+
+/// [`run_frame_mpi_ft_opts`] with an attached flight recorder: the
+/// frame's SLO verdict, located incidents, and — on a violation,
+/// crash, or degradation-ladder activation — the anomaly dump land on
+/// `flight` for the caller to drain.
+pub fn run_frame_mpi_ft_obs(
+    cfg: &FrameConfig,
+    path: &Path,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    store: &StripedStore,
+    opts: pvr_mpisim::RunOptions,
+    flight: &FlightRecorder,
+) -> Result<(FtFrameResult, Option<pvr_mpisim::trace::TraceLog>), FtError> {
     // Receive deadlines, the suspicion threshold, and the frame budget
     // are derived from the calibrated perf model (config overrides
     // win); the caller's policy acts as a floor.
@@ -182,6 +207,7 @@ pub fn run_frame_mpi_ft_opts(
                 opts,
                 links: LinkMode::reliable(plan.clone(), policy, *store),
             },
+            flight: flight.clone(),
         },
     )?;
     Ok((
@@ -214,7 +240,28 @@ pub fn run_frame_rayon_ft(
     plan: &FaultPlan,
     policy: &RecoveryPolicy,
 ) -> Result<FtFrameResult, FtError> {
+    run_frame_rayon_ft_obs(cfg, path, plan, policy, &FlightRecorder::disabled())
+}
+
+/// [`run_frame_rayon_ft`] with an attached flight recorder. Every
+/// flight arg on this path is deterministic for a fixed `(seed, plan,
+/// config)` — planned ranks, stages, and counter values, never wall
+/// seconds — so a manual-clock recorder yields byte-identical anomaly
+/// dumps, which is what the golden-file test pins.
+pub fn run_frame_rayon_ft_obs(
+    cfg: &FrameConfig,
+    path: &Path,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    flight: &FlightRecorder,
+) -> Result<FtFrameResult, FtError> {
     let policy = effective_policy(cfg, policy);
+    flight.begin_frame();
+    flight.instant(
+        0,
+        "frame.begin",
+        pvr_obs::Args::two("ranks", cfg.nprocs as u64, "seed", plan.seed),
+    );
     let t0 = Instant::now();
     let mut sw = Stopwatch::start();
     let mut timing = FrameTiming::default();
@@ -236,6 +283,9 @@ pub fn run_frame_rayon_ft(
         })
         .collect();
     counters.crashed_ranks = lost.len() as u64;
+    // Located SLO incidents: planned crashes and suspicious straggles
+    // up front, ladder activations as the rungs are chosen below.
+    let mut incidents = crate::slo::incidents_from_plan(n, plan, policy.suspicion);
 
     // Orphan adoption: assign each lost block to a survivor and let the
     // ladder pick the rung. Greedy-balanced: each adoption bumps the
@@ -251,10 +301,22 @@ pub fn run_frame_rayon_ft(
     for &orphan in &lost {
         let Some(adopter) = adopter_of(orphan, &lost, &survivors, plan.seed, &loads) else {
             decision[orphan] = Some(HealDecision::Skip);
+            incidents.push(crate::slo::Incident {
+                rank: orphan,
+                stage: 1,
+                kind: crate::slo::IncidentKind::DegradedLadder,
+            });
             continue;
         };
         let est = block_cost(cfg, &model, &geo.owned[orphan]);
         let d = budget.charge(est, policy.coarse_step_factor);
+        if d != HealDecision::Full {
+            incidents.push(crate::slo::Incident {
+                rank: orphan,
+                stage: 1,
+                kind: crate::slo::IncidentKind::DegradedLadder,
+            });
+        }
         if d != HealDecision::Skip {
             counters.adopted_blocks += 1;
             counters.recovery_bytes += bytes[orphan].len() as u64;
@@ -331,6 +393,20 @@ pub fn run_frame_rayon_ft(
     timing.recovery = counters;
     timing.error_bound = error_bound.min(1.0);
     timing.wall = t0.elapsed().as_secs_f64();
+    // There is no per-rank stage decomposition in the shared address
+    // space: the located incidents carry the attribution (a hedged
+    // straggler never shows in the wall clock, but still violates).
+    timing.slo = Some(crate::slo::annotate(
+        cfg,
+        &crate::slo::FrameSample {
+            stage_secs: [timing.io, timing.render, timing.composite],
+            per_rank: &[],
+            incidents: &incidents,
+        },
+    ));
+    if let Some(slo) = &timing.slo {
+        crate::slo::record_frame_flight(flight, slo, &incidents, &counters);
+    }
     Ok(FtFrameResult {
         frame: FrameResult {
             image,

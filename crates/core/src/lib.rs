@@ -26,6 +26,7 @@ pub mod pipeline;
 pub mod recovery;
 pub mod roles;
 pub mod scheduler;
+pub mod slo;
 pub mod timing;
 
 pub use anim::{
@@ -33,8 +34,9 @@ pub use anim::{
 };
 pub use config::{CompositorPolicy, FrameConfig, IoMode};
 pub use ft::{
-    laptop_store, run_frame_mpi_ft, run_frame_mpi_ft_opts, run_frame_mpi_ft_strict,
-    run_frame_rayon_ft, DegradedFrame, FtError, FtFrameResult,
+    laptop_store, run_frame_mpi_ft, run_frame_mpi_ft_obs, run_frame_mpi_ft_opts,
+    run_frame_mpi_ft_strict, run_frame_rayon_ft, run_frame_rayon_ft_obs, DegradedFrame, FtError,
+    FtFrameResult,
 };
 pub use perfmodel::{simulate_frame, PerfModel, Placement, SimFrameResult};
 pub use pipeline::{
@@ -50,4 +52,5 @@ pub use scheduler::{
     drive_frame, Driver, ExecChoice, FramePlan, FrameTags, LinkMode, PlanError, StageId,
     EPOCH_STRIDE,
 };
+pub use slo::{stage_budgets, FrameSample, FrameSlo, SloPolicy, Verdict};
 pub use timing::FrameTiming;

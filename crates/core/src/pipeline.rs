@@ -196,6 +196,7 @@ pub fn run_frame_traced(cfg: &FrameConfig, path: Option<&Path>, tracer: &Tracer)
         Driver {
             plan: FramePlan::standard(),
             exec: ExecChoice::Rayon { tracer },
+            flight: pvr_obs::FlightRecorder::disabled(),
         },
     )
     .expect("rayon frames cannot fail")
@@ -529,6 +530,7 @@ pub fn run_frame_mpi_opts(
                 opts,
                 links: LinkMode::Direct,
             },
+            flight: pvr_obs::FlightRecorder::disabled(),
         },
     ) {
         Ok(out) => Ok((out.frame, out.trace)),

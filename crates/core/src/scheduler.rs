@@ -563,6 +563,16 @@ impl StageExec for RayonExec<'_> {
         self.tracer.end(0, "frame");
         let mut timing = self.timing;
         timing.wall = self.t0.elapsed().as_secs_f64();
+        // The shared address space has no per-rank stage decomposition
+        // and no fault plan: the frame-level stage times alone gate.
+        timing.slo = Some(crate::slo::annotate(
+            self.cfg,
+            &crate::slo::FrameSample {
+                stage_secs: [timing.io, timing.render, timing.composite],
+                per_rank: &[],
+                incidents: &[],
+            },
+        ));
         FrameResult {
             image: self.image.expect("composite stage ran"),
             timing,
@@ -1785,6 +1795,11 @@ pub enum ExecChoice<'a> {
 pub struct Driver<'a> {
     pub plan: FramePlan,
     pub exec: ExecChoice<'a>,
+    /// Always-on flight recorder the frame's verdict, incidents, and
+    /// anomaly dumps are mirrored onto. The disabled recorder costs
+    /// nothing; callers that want dumps pass an enabled one and drain
+    /// it with [`pvr_obs::FlightRecorder::take_dumps`].
+    pub flight: pvr_obs::FlightRecorder,
 }
 
 /// Everything [`drive_frame`] produces.
@@ -1823,14 +1838,35 @@ pub(crate) fn expected_tile_areas(cfg: &FrameConfig, n: usize, m: usize) -> Vec<
 
 /// Assemble one frame's driver-side result from the per-rank outputs.
 /// `reliable` selects the fault-tolerant accounting (merged recovery
-/// counters, completeness, rank-0-crash degradation).
+/// counters, completeness, rank-0-crash degradation). `plan_incidents`
+/// are the caller's located fault-plan observations (crashes,
+/// suspicious straggles); per-rank counter incidents (ladder
+/// activations, I/O failovers) are derived here, and the frame's SLO
+/// verdict is evaluated against the perfmodel budgets and recorded in
+/// the returned timing.
 pub(crate) fn assemble_frame(
     cfg: &FrameConfig,
     mut results: Vec<RankOut>,
     reliable: bool,
-) -> (FrameResult, Option<CompletenessMap>) {
+    plan_incidents: &[crate::slo::Incident],
+) -> (
+    FrameResult,
+    Option<CompletenessMap>,
+    Vec<crate::slo::Incident>,
+) {
     let m = cfg.compositors();
     let n = cfg.nprocs;
+    // Per-rank stage times and located incidents, before rank 0's
+    // output is consumed: the SLO gate judges the slowest rank of each
+    // stage, not just the root's stopwatch.
+    let per_rank: Vec<[f64; 3]> = results
+        .iter()
+        .map(|r| [r.timing.io, r.timing.render, r.timing.composite])
+        .collect();
+    let mut incidents = plan_incidents.to_vec();
+    for (rank, r) in results.iter().enumerate() {
+        crate::slo::counter_incidents(rank, &r.counters, &mut incidents);
+    }
     let render_samples: u64 = results.iter().map(|r| r.samples).sum();
     let render_skipped: u64 = results.iter().map(|r| r.skipped).sum();
     let sent_bytes: u64 = results.iter().map(|r| r.sent_bytes).sum();
@@ -1852,6 +1888,14 @@ pub(crate) fn assemble_frame(
     // Coarse-rung heals may double-count overlapping footprints; the
     // bound stays a bound when clamped to the whole image.
     timing.error_bound = error_bound.min(1.0);
+    timing.slo = Some(crate::slo::annotate(
+        cfg,
+        &crate::slo::FrameSample {
+            stage_secs: [timing.io, timing.render, timing.composite],
+            per_rank: &per_rank,
+            incidents: &incidents,
+        },
+    ));
 
     let (image, completeness) = if reliable {
         // A crashed rank 0 cannot deliver an image: the frame degrades
@@ -1907,6 +1951,7 @@ pub(crate) fn assemble_frame(
             },
         },
         completeness,
+        incidents,
     )
 }
 
@@ -1918,6 +1963,8 @@ pub fn drive_frame(
     path: Option<&Path>,
     driver: Driver<'_>,
 ) -> Result<DriveOutput, FtError> {
+    let flight = driver.flight;
+    flight.begin_frame();
     match driver.exec {
         ExecChoice::Rayon { tracer } => {
             let input = match path {
@@ -1925,6 +1972,9 @@ pub fn drive_frame(
                 None => FrameInput::Synthetic,
             };
             let frame = execute(&driver.plan, RayonExec::new(cfg, input, tracer, None));
+            if let Some(slo) = &frame.timing.slo {
+                crate::slo::record_frame_flight(&flight, slo, &[], &frame.timing.recovery);
+            }
             Ok(DriveOutput {
                 frame,
                 completeness: None,
@@ -1938,6 +1988,15 @@ pub fn drive_frame(
             let cfg = *cfg;
             let n = cfg.nprocs;
             let reliable = matches!(links, LinkMode::Reliable(_));
+            // Located incidents from the injected plan: a crash or
+            // suspicious straggle attributes to its injection site
+            // even when hedging kept the frame fast.
+            let plan_incidents = match &links {
+                LinkMode::Reliable(rc) => {
+                    crate::slo::incidents_from_plan(n, &rc.plan, rc.policy.suspicion)
+                }
+                LinkMode::Direct => Vec::new(),
+            };
             let opts = if let LinkMode::Reliable(rc) = &links {
                 opts.with_injector(PlanInjector::arc(rc.plan.clone()))
             } else {
@@ -1958,7 +2017,14 @@ pub fn drive_frame(
                 execute(&plan, exec)
             })
             .map_err(FtError::Runtime)?;
-            let (frame, completeness) = assemble_frame(&cfg, out.results, reliable);
+            let (mut frame, completeness, incidents) =
+                assemble_frame(&cfg, out.results, reliable, &plan_incidents);
+            if let (Some(slo), Some(trace)) = (&mut frame.timing.slo, &out.trace) {
+                crate::slo::refine_summary_with_trace(slo, trace);
+            }
+            if let Some(slo) = &frame.timing.slo {
+                crate::slo::record_frame_flight(&flight, slo, &incidents, &frame.timing.recovery);
+            }
             Ok(DriveOutput {
                 frame,
                 completeness,

@@ -37,6 +37,11 @@ pub struct FrameTiming {
     /// bit-identically. Zero for full heals and degrade-only frames
     /// (missing content is reported via completeness, not here).
     pub error_bound: f64,
+    /// The frame's SLO verdict against perfmodel-derived stage budgets
+    /// ([`crate::slo`]), with attribution of the blown budget. `None`
+    /// for paths that never evaluated (the simulated executor, crashed
+    /// per-rank timings before driver assembly).
+    pub slo: Option<pvr_obs::slo::FrameSlo>,
 }
 
 impl FrameTiming {

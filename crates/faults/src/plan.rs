@@ -68,6 +68,29 @@ pub enum Stage {
     Composite,
 }
 
+impl Stage {
+    /// Every stage in plan order.
+    pub const ALL: [Stage; 3] = [Stage::Io, Stage::Render, Stage::Composite];
+
+    /// Plan-order index (0 = I/O, 1 = render, 2 = composite) — the
+    /// convention shared with the SLO and observability layers.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Io => 0,
+            Stage::Render => 1,
+            Stage::Composite => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Io => "io",
+            Stage::Render => "render",
+            Stage::Composite => "composite",
+        }
+    }
+}
+
 /// What a faulted rank does at its stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RankAction {

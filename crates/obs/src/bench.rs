@@ -1,0 +1,642 @@
+//! The unified benchmark-trajectory schema: one writer/parser for every
+//! `BENCH_*.json` artifact, with per-metric gate classes so a CI gate
+//! can compare a fresh run against committed results.
+//!
+//! Each bench bin builds a [`Trajectory`]: a flat list of named
+//! [`Metric`]s — each declaring its own [`Gate`] (how a regression
+//! checker may compare it) — plus free-form [`Table`]s for the per-case
+//! detail rows that used to live in ad-hoc nested JSON. The writer is
+//! deterministic (fixed field order, stable float formatting), so a
+//! committed artifact diffs cleanly; the parser is a minimal
+//! recursive-descent JSON reader (this workspace builds offline — no
+//! serde anywhere).
+//!
+//! Gate classes encode the measurement's nature at the point where it
+//! is produced, not in the checker:
+//!
+//! * [`Gate::Exact`] — deterministic counts and booleans (schedule
+//!   sizes, healed fractions, bit-identity flags). Any drift fails.
+//! * [`Gate::Rel`] — throughput-like values with an explicit relative
+//!   tolerance band.
+//! * [`Gate::Info`] — wall-clock readings recorded for trend analysis
+//!   only; never gated (laptop CI machines are not benchmarking rigs).
+
+pub const SCHEMA: &str = "pvr-trajectory/v1";
+
+/// How a regression checker may compare a metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Must match exactly.
+    Exact,
+    /// Relative tolerance: passes when
+    /// `|fresh - base| <= tol * max(|base|, |fresh|)`.
+    Rel(f64),
+    /// Informational; never gated.
+    Info,
+}
+
+impl Gate {
+    fn render(self) -> String {
+        match self {
+            Gate::Exact => "exact".to_string(),
+            Gate::Rel(t) => format!("rel:{}", fmt_f64(t)),
+            Gate::Info => "info".to_string(),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Gate, String> {
+        match s {
+            "exact" => Ok(Gate::Exact),
+            "info" => Ok(Gate::Info),
+            _ => match s.strip_prefix("rel:") {
+                Some(t) => t
+                    .parse::<f64>()
+                    .map(Gate::Rel)
+                    .map_err(|e| format!("bad gate tolerance {t:?}: {e}")),
+                None => Err(format!("unknown gate {s:?}")),
+            },
+        }
+    }
+}
+
+/// One gated number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    pub key: String,
+    pub value: f64,
+    pub gate: Gate,
+}
+
+/// Free-form per-case detail (cells are strings; nothing in a table is
+/// gated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    pub name: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+/// One bench run's artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Which bench produced this (e.g. `"render"`, `"faults"`).
+    pub bench: String,
+    pub metrics: Vec<Metric>,
+    pub tables: Vec<Table>,
+}
+
+impl Trajectory {
+    pub fn new(bench: &str) -> Trajectory {
+        Trajectory {
+            bench: bench.to_string(),
+            metrics: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, key: &str, value: f64, gate: Gate) -> &mut Self {
+        debug_assert!(
+            !self.metrics.iter().any(|m| m.key == key),
+            "duplicate metric key {key}"
+        );
+        self.metrics.push(Metric {
+            key: key.to_string(),
+            value,
+            gate,
+        });
+        self
+    }
+
+    /// Add an exactly-gated metric (counts, flags).
+    pub fn exact(&mut self, key: &str, value: f64) -> &mut Self {
+        self.push(key, value, Gate::Exact)
+    }
+
+    /// Add a metric gated within a relative tolerance band.
+    pub fn rel(&mut self, key: &str, value: f64, tol: f64) -> &mut Self {
+        self.push(key, value, Gate::Rel(tol))
+    }
+
+    /// Add an ungated informational metric (wall-clock readings).
+    pub fn info(&mut self, key: &str, value: f64) -> &mut Self {
+        self.push(key, value, Gate::Info)
+    }
+
+    /// Add a detail table.
+    pub fn table(&mut self, name: &str, header: &[&str], rows: Vec<Vec<String>>) -> &mut Self {
+        self.tables.push(Table {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows,
+        });
+        self
+    }
+
+    /// Look up a metric value.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|m| m.key == key).map(|m| m.value)
+    }
+
+    /// A synthetic regressed copy: every gated metric is pushed outside
+    /// its own band (exact values shifted, relative values scaled past
+    /// twice their tolerance); informational metrics are untouched.
+    /// `perf_gate --self-test` uses this to prove the gate can fail.
+    pub fn regressed(&self) -> Trajectory {
+        let mut out = self.clone();
+        for m in &mut out.metrics {
+            match m.gate {
+                Gate::Exact => m.value += 1.0,
+                Gate::Rel(t) => m.value = m.value * (1.0 + 2.0 * t) + 2.0 * t + 1e-9,
+                Gate::Info => {}
+            }
+        }
+        out
+    }
+
+    /// Serialize deterministically (fixed field order, shortest-round-
+    /// trip float formatting).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{}\",\n", esc(SCHEMA)));
+        s.push_str(&format!("  \"bench\": \"{}\",\n", esc(&self.bench)));
+        s.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"key\": \"{}\", \"value\": {}, \"gate\": \"{}\"}}{}\n",
+                esc(&m.key),
+                fmt_f64(m.value),
+                esc(&m.gate.render()),
+                if i + 1 < self.metrics.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"tables\": [\n");
+        for (ti, t) in self.tables.iter().enumerate() {
+            let header = t
+                .header
+                .iter()
+                .map(|h| format!("\"{}\"", esc(h)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"header\": [{}], \"rows\": [\n",
+                esc(&t.name),
+                header
+            ));
+            for (ri, row) in t.rows.iter().enumerate() {
+                let cells = row
+                    .iter()
+                    .map(|c| format!("\"{}\"", esc(c)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                s.push_str(&format!(
+                    "      [{}]{}\n",
+                    cells,
+                    if ri + 1 < t.rows.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "    ]}}{}\n",
+                if ti + 1 < self.tables.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a trajectory back from its JSON form.
+    pub fn from_json(text: &str) -> Result<Trajectory, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_obj("trajectory")?;
+        let schema = get(obj, "schema")?.as_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let bench = get(obj, "bench")?.as_str("bench")?.to_string();
+        let mut metrics = Vec::new();
+        for m in get(obj, "metrics")?.as_arr("metrics")? {
+            let mo = m.as_obj("metric")?;
+            metrics.push(Metric {
+                key: get(mo, "key")?.as_str("key")?.to_string(),
+                value: get(mo, "value")?.as_num("value")?,
+                gate: Gate::parse(get(mo, "gate")?.as_str("gate")?)?,
+            });
+        }
+        let mut tables = Vec::new();
+        for t in get(obj, "tables")?.as_arr("tables")? {
+            let to = t.as_obj("table")?;
+            let header = get(to, "header")?
+                .as_arr("header")?
+                .iter()
+                .map(|h| h.as_str("header cell").map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?;
+            let rows = get(to, "rows")?
+                .as_arr("rows")?
+                .iter()
+                .map(|row| {
+                    row.as_arr("row")?
+                        .iter()
+                        .map(|c| c.as_str("cell").map(str::to_string))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            tables.push(Table {
+                name: get(to, "name")?.as_str("name")?.to_string(),
+                header,
+                rows,
+            });
+        }
+        Ok(Trajectory {
+            bench,
+            metrics,
+            tables,
+        })
+    }
+}
+
+/// One metric's comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    pub key: String,
+    pub gate: Gate,
+    pub baseline: f64,
+    pub fresh: f64,
+    pub pass: bool,
+    pub note: String,
+}
+
+/// Compare a fresh trajectory against a committed baseline under each
+/// metric's own gate. A gated baseline metric missing from the fresh
+/// run fails (schema drift is a regression too); fresh-only metrics
+/// are reported but pass (additive evolution is fine).
+pub fn compare(baseline: &Trajectory, fresh: &Trajectory) -> Vec<GateCheck> {
+    let mut out = Vec::new();
+    for b in &baseline.metrics {
+        let check = match fresh.get(&b.key) {
+            None => GateCheck {
+                key: b.key.clone(),
+                gate: b.gate,
+                baseline: b.value,
+                fresh: f64::NAN,
+                pass: matches!(b.gate, Gate::Info),
+                note: "missing in fresh run".to_string(),
+            },
+            Some(f) => {
+                let (pass, note) = match b.gate {
+                    Gate::Info => (true, "info".to_string()),
+                    Gate::Exact => (f == b.value, "exact".to_string()),
+                    Gate::Rel(t) => {
+                        let scale = b.value.abs().max(f.abs());
+                        let ok = (f - b.value).abs() <= t * scale;
+                        (ok, format!("tol {}", fmt_f64(t)))
+                    }
+                };
+                GateCheck {
+                    key: b.key.clone(),
+                    gate: b.gate,
+                    baseline: b.value,
+                    fresh: f,
+                    pass,
+                    note,
+                }
+            }
+        };
+        out.push(check);
+    }
+    for f in &fresh.metrics {
+        if baseline.get(&f.key).is_none() {
+            out.push(GateCheck {
+                key: f.key.clone(),
+                gate: f.gate,
+                baseline: f64::NAN,
+                fresh: f.value,
+                pass: true,
+                note: "new metric".to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Shortest deterministic float rendering: integers print without a
+/// fractional part (and round-trip exactly), everything else uses
+/// Rust's shortest-round-trip `{}` formatting.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (subset: objects, arrays, strings, numbers,
+// true/false/null) — enough to round-trip the trajectory schema.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing data at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected string")),
+        }
+    }
+
+    fn as_num(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(format!("{what}: expected number")),
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+    if *i < b.len() && b[*i] == c {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, i))
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *i += 1;
+            let mut obj = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(obj));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = parse_string(b, i)?;
+                skip_ws(b, i);
+                expect(b, i, b':')?;
+                let val = parse_value(b, i)?;
+                obj.push((key, val));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(obj));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, i).map(Json::Str),
+        Some(b't') => lit(b, i, "true", Json::Bool(true)),
+        Some(b'f') => lit(b, i, "false", Json::Bool(false)),
+        Some(b'n') => lit(b, i, "null", Json::Null),
+        Some(_) => {
+            let start = *i;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                *i += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {s:?} at byte {start}: {e}"))
+        }
+    }
+}
+
+fn lit(b: &[u8], i: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    expect(b, i, b'"')?;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*i) {
+        *i += 1;
+        match c {
+            b'"' => return String::from_utf8(out).map_err(|e| e.to_string()),
+            b'\\' => {
+                let e = *b.get(*i).ok_or("unterminated escape")?;
+                *i += 1;
+                match e {
+                    b'"' | b'\\' | b'/' => out.push(e),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*i..*i + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *i += 4;
+                        let ch = char::from_u32(code).ok_or("bad \\u code point")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(format!("unknown escape \\{}", e as char)),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trajectory {
+        let mut t = Trajectory::new("render");
+        t.exact("bit_identical", 1.0)
+            .exact("samples", 1234567.0)
+            .rel("speedup", 2.447, 0.25)
+            .info("wall_secs", 0.913)
+            .table(
+                "cases",
+                &["case", "healed", "wall_ms"],
+                vec![
+                    vec!["transient".into(), "1".into(), "12.3".into()],
+                    vec!["crash-heal".into(), "1".into(), "88.0".into()],
+                ],
+            );
+        t
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let t = sample();
+        let json = t.to_json();
+        let back = Trajectory::from_json(&json).unwrap();
+        assert_eq!(t, back);
+        // Deterministic: re-serializing the parse is byte-identical.
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn identical_runs_pass_every_gate() {
+        let t = sample();
+        let checks = compare(&t, &t.clone());
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+        assert_eq!(checks.len(), t.metrics.len());
+    }
+
+    #[test]
+    fn regressed_copy_fails_its_gates() {
+        let t = sample();
+        let bad = t.regressed();
+        let checks = compare(&t, &bad);
+        let failed: Vec<_> = checks.iter().filter(|c| !c.pass).map(|c| &c.key).collect();
+        // Every gated metric fails; the info metric survives.
+        assert_eq!(failed.len(), 3, "{checks:?}");
+        assert!(checks.iter().any(|c| c.key == "wall_secs" && c.pass));
+    }
+
+    #[test]
+    fn tolerance_band_is_symmetric_and_bounded() {
+        let mut base = Trajectory::new("b");
+        base.rel("rate", 100.0, 0.1);
+        let mut ok = Trajectory::new("b");
+        ok.rel("rate", 109.0, 0.1);
+        assert!(compare(&base, &ok).iter().all(|c| c.pass));
+        let mut bad = Trajectory::new("b");
+        bad.rel("rate", 125.0, 0.1);
+        assert!(!compare(&base, &bad)[0].pass);
+        // Zero baselines compare cleanly.
+        let mut z = Trajectory::new("b");
+        z.rel("zero", 0.0, 0.1);
+        assert!(compare(&z, &z.clone()).iter().all(|c| c.pass));
+    }
+
+    #[test]
+    fn missing_gated_metric_fails_missing_info_passes() {
+        let t = sample();
+        let mut stripped = t.clone();
+        stripped
+            .metrics
+            .retain(|m| m.key != "speedup" && m.key != "wall_secs");
+        let checks = compare(&t, &stripped);
+        let by_key = |k: &str| checks.iter().find(|c| c.key == k).unwrap();
+        assert!(!by_key("speedup").pass);
+        assert!(by_key("wall_secs").pass);
+        // A fresh-only metric is reported and passes.
+        let mut extra = t.clone();
+        extra.info("new_reading", 1.0);
+        let checks = compare(&t, &extra);
+        assert!(checks.iter().any(|c| c.key == "new_reading" && c.pass));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Trajectory::from_json("").is_err());
+        assert!(Trajectory::from_json("{\"schema\": \"other/v9\"}").is_err());
+        assert!(Trajectory::from_json("{\"schema\": \"pvr-trajectory/v1\"}").is_err());
+        assert!(Json::parse("{\"a\": [1, 2,]}").is_err());
+        assert!(Json::parse("{\"a\": 1} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn float_formatting_is_exact_for_integers() {
+        assert_eq!(fmt_f64(31.0), "31");
+        assert_eq!(fmt_f64(0.6478), "0.6478");
+        assert_eq!(fmt_f64(-2.0), "-2");
+        let json = Json::parse("{\"v\": 4.92e8, \"b\": true, \"n\": null}").unwrap();
+        let obj = json.as_obj("x").unwrap();
+        assert_eq!(get(obj, "v").unwrap().as_num("v").unwrap(), 4.92e8);
+        assert_eq!(get(obj, "b").unwrap(), &Json::Bool(true));
+    }
+}

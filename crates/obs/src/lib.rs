@@ -23,6 +23,15 @@
 //!   [`analysis::imbalance`] (the paper's Fig. 6 max/mean statistic),
 //!   and [`analysis::link_matrix`] (per-link message volume — the C1
 //!   compositing flood made visible).
+//! * [`slo::evaluate`] — per-frame SLO verdicts (`Ok`/`AtRisk`/
+//!   `Violated`) against perfmodel-derived stage budgets, with
+//!   attribution of the blown budget to a (stage, rank).
+//! * [`flight::FlightRecorder`] — the always-on bounded ring of recent
+//!   events, dumped to a replayable JSON artifact on anomaly; same
+//!   zero-alloc-when-disabled discipline as the tracer.
+//! * [`bench::Trajectory`] — the unified `BENCH_*.json` schema every
+//!   bench bin writes and the `perf_gate` bin compares under
+//!   per-metric tolerance gates.
 //!
 //! Inside `mpisim` worlds, spans ride the existing vector-clocked
 //! trace (`Comm::span_begin` / `span_end` / `mark_instant`);
@@ -30,16 +39,27 @@
 //! [`span::Profile`] with deterministic logical timestamps. In the
 //! real (rayon) pipeline, a wall-clock [`span::Tracer`] is threaded
 //! through instead.
+//!
+//! **Naming.** Every metric, span, flight event, and comm mark uses
+//! lower-case `<subsystem>.<event>` (`render.skip`, `rank.crash`,
+//! `frame.slo`, …) — subsystem first so text dumps sort into related
+//! runs, no units in the name. DESIGN.md §15.3 is the normative list.
 
 pub mod analysis;
+pub mod bench;
 pub mod csvout;
+pub mod flight;
 pub mod gantt;
 pub mod metrics;
 pub mod perfetto;
+pub mod slo;
 pub mod span;
 
 pub use analysis::{
     critical_path, imbalance, link_matrix, profile_from_trace, span_overlap, Overlap,
 };
+pub use bench::{GateCheck, Trajectory};
+pub use flight::{FlightDump, FlightRecorder};
 pub use metrics::{Registry, Snapshot};
+pub use slo::{FrameSlo, SloReport, Verdict};
 pub use span::{Args, Profile, Tracer};

@@ -52,6 +52,41 @@ impl Histogram {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.total).unwrap_or(0)
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the
+    /// bound of the first bucket at which the cumulative count reaches
+    /// `ceil(q * total)`. Samples in the overflow bucket have no upper
+    /// bound, so a quantile landing there reports `u64::MAX`. 0 when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median upper-bound estimate ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper-bound estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper-bound estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Powers-of-two bucket bounds from `lo` to `hi` inclusive — the
@@ -87,6 +122,11 @@ pub struct MetricRow {
     pub value: i64,
     /// Histogram sum (0 for scalars).
     pub sum: u64,
+    /// Histogram quantile upper-bound estimates ([`Histogram::p50`]
+    /// etc.; 0 for scalars).
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
     /// Histogram `bound:count` cells, ascending; empty for scalars.
     pub buckets: Vec<(u64, u64)>,
 }
@@ -98,11 +138,12 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Render as CSV (`name,label,kind,value,sum,buckets`), one row per
-    /// series, ordered — the format `fault_sweep --ci` and the golden
-    /// tests consume.
+    /// Render as CSV (`name,label,kind,value,sum,p50,p95,p99,buckets`),
+    /// one row per series, ordered — the format `fault_sweep --ci` and
+    /// the golden tests consume. The quantile cells are populated for
+    /// histograms only (empty for scalars).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("name,label,kind,value,sum,buckets\n");
+        let mut out = String::from("name,label,kind,value,sum,p50,p95,p99,buckets\n");
         for r in &self.rows {
             let buckets = r
                 .buckets
@@ -110,9 +151,24 @@ impl Snapshot {
                 .map(|(b, c)| format!("{b}:{c}"))
                 .collect::<Vec<_>>()
                 .join(";");
+            let q = |v: u64| {
+                if r.kind == "histogram" {
+                    v.to_string()
+                } else {
+                    String::new()
+                }
+            };
             out.push_str(&format!(
-                "{},{},{},{},{},{}\n",
-                r.name, r.label, r.kind, r.value, r.sum, buckets
+                "{},{},{},{},{},{},{},{},{}\n",
+                r.name,
+                r.label,
+                r.kind,
+                r.value,
+                r.sum,
+                q(r.p50),
+                q(r.p95),
+                q(r.p99),
+                buckets
             ));
         }
         out
@@ -136,14 +192,17 @@ impl Snapshot {
             match r.kind {
                 "histogram" => {
                     out.push_str(&format!(
-                        "{series:<width$}  n={} sum={} mean={}\n",
+                        "{series:<width$}  n={} sum={} mean={} p50={} p95={} p99={}\n",
                         r.value,
                         r.sum,
                         if r.value > 0 {
                             r.sum / r.value as u64
                         } else {
                             0
-                        }
+                        },
+                        r.p50,
+                        r.p95,
+                        r.p99
                     ));
                 }
                 _ => out.push_str(&format!("{series:<width$}  {}\n", r.value)),
@@ -242,6 +301,9 @@ impl Registry {
                         kind: "counter",
                         value: *c as i64,
                         sum: 0,
+                        p50: 0,
+                        p95: 0,
+                        p99: 0,
                         buckets: Vec::new(),
                     },
                     Value::Gauge(g) => MetricRow {
@@ -250,6 +312,9 @@ impl Registry {
                         kind: "gauge",
                         value: *g,
                         sum: 0,
+                        p50: 0,
+                        p95: 0,
+                        p99: 0,
                         buckets: Vec::new(),
                     },
                     Value::Histogram(h) => MetricRow {
@@ -258,6 +323,9 @@ impl Registry {
                         kind: "histogram",
                         value: h.total as i64,
                         sum: h.sum,
+                        p50: h.p50(),
+                        p95: h.p95(),
+                        p99: h.p99(),
                         buckets: h
                             .bounds
                             .iter()
@@ -308,6 +376,32 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantiles() {
+        let r = Registry::new();
+        let bounds = [4, 16, 64];
+        for v in [1, 3, 4, 20, 100] {
+            r.histogram_observe("sizes", "", &bounds, v);
+        }
+        // Cumulative: <4 → 2, <16 → 3, <64 → 4, overflow → 5.
+        let row = &r.snapshot().rows[0];
+        assert_eq!(row.p50, 16); // rank ceil(2.5)=3 lands in <16
+        assert_eq!(row.p95, u64::MAX); // rank 5 lands in overflow
+        assert_eq!(row.p99, u64::MAX);
+
+        let h = Histogram {
+            bounds: vec![10, 100],
+            counts: vec![90, 9, 0],
+            total: 99,
+            sum: 0,
+        };
+        assert_eq!(h.p50(), 10);
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.quantile(0.0), 10); // rank clamps to 1
+        assert_eq!(Histogram::new(&[1, 2]).p99(), 0); // empty
+    }
+
+    #[test]
     fn snapshot_order_is_deterministic() {
         let a = Registry::new();
         a.counter_add("b", "", 1);
@@ -346,7 +440,10 @@ mod tests {
         let r = Registry::new();
         r.counter_add("retx", "link=0->1", 7);
         let csv = r.snapshot().to_csv();
-        assert!(csv.starts_with("name,label,kind,value,sum,buckets\n"));
-        assert!(csv.contains("retx,link=0->1,counter,7,0,\n"));
+        assert!(csv.starts_with("name,label,kind,value,sum,p50,p95,p99,buckets\n"));
+        assert!(csv.contains("retx,link=0->1,counter,7,0,,,,\n"));
+        r.histogram_observe("lat", "", &[8, 32], 5);
+        let csv = r.snapshot().to_csv();
+        assert!(csv.contains("lat,,histogram,1,5,8,8,8,8:1;32:0;18446744073709551615:0\n"));
     }
 }

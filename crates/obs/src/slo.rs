@@ -1,0 +1,427 @@
+//! Per-frame SLO evaluation: measured per-stage times against budgets,
+//! with attribution of the blown budget to a (stage, rank).
+//!
+//! The paper's end-to-end story is that knowing *which* stage and
+//! *which* process eats the frame is what makes a 32K-core run
+//! debuggable (Figs. 3, 5, 6). This module turns that analysis from a
+//! post-hoc replay into a per-frame verdict:
+//!
+//! * The caller (the executors in `pvr-core`) derives per-stage
+//!   **budgets** from the performance model — the same prediction that
+//!   already sizes recovery deadlines — and hands over the measured
+//!   per-stage seconds plus whatever the recovery layer observed
+//!   ([`Incident`]s: crashes, stragglers past suspicion, ladder
+//!   activations).
+//! * [`evaluate`] is a pure function of those inputs: a deterministic
+//!   [`Verdict`] per stage and for the frame, plus an [`Attribution`]
+//!   naming the stage/rank that blew its budget. Incidents outrank raw
+//!   time (a crashed rank is the cause even when a hedge kept the
+//!   frame fast); otherwise the slowest rank of the worst stage is
+//!   named.
+//! * When a message trace exists, [`refine_with_critical_path`] reuses
+//!   the happens-before critical-path analysis
+//!   ([`crate::analysis::critical_path`]) to name the rank holding the
+//!   most critical ticks.
+//!
+//! The compact [`FrameSlo`] summary is `Copy` so per-frame timing
+//! structs can embed it without giving up their derives.
+
+use crate::analysis::CriticalPath;
+
+/// Stage names in plan order — the one place the index ↔ name mapping
+/// lives (index 0 = I/O, 1 = render, 2 = composite).
+pub const STAGE_NAMES: [&str; 3] = ["io", "render", "composite"];
+
+/// The per-frame (and per-stage) SLO verdict, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// All stages within their at-risk thresholds.
+    Ok,
+    /// Some stage within budget but past the at-risk fraction, or a
+    /// survivable recovery event (I/O failover) occurred.
+    AtRisk,
+    /// Some stage past its budget, or a crash/straggler/degradation
+    /// made the frame late or incomplete.
+    Violated,
+}
+
+impl Verdict {
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::AtRisk => "at-risk",
+            Verdict::Violated => "violated",
+        }
+    }
+}
+
+/// What the recovery layer observed during the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A rank crashed (detected by deadline or injected plan).
+    Crash,
+    /// A rank straggled past the suspicion window (hedged or waited).
+    Straggler,
+    /// The recovery budget forced a coarse/skip rung.
+    DegradedLadder,
+    /// A storage server failed over to a replica (survivable).
+    IoFailover,
+}
+
+impl IncidentKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            IncidentKind::Crash => "crash",
+            IncidentKind::Straggler => "straggler",
+            IncidentKind::DegradedLadder => "degraded-ladder",
+            IncidentKind::IoFailover => "io-failover",
+        }
+    }
+
+    /// The stage verdict this incident forces on its own.
+    fn verdict(self) -> Verdict {
+        match self {
+            IncidentKind::Crash | IncidentKind::Straggler | IncidentKind::DegradedLadder => {
+                Verdict::Violated
+            }
+            IncidentKind::IoFailover => Verdict::AtRisk,
+        }
+    }
+}
+
+/// One recovery observation, located at (stage, rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Incident {
+    pub rank: usize,
+    /// Index into [`STAGE_NAMES`].
+    pub stage: usize,
+    pub kind: IncidentKind,
+}
+
+/// Why a frame was attributed where it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    OverBudget,
+    Crash,
+    Straggler,
+    DegradedLadder,
+    IoFailover,
+}
+
+impl Cause {
+    pub fn name(self) -> &'static str {
+        match self {
+            Cause::OverBudget => "over-budget",
+            Cause::Crash => "crash",
+            Cause::Straggler => "straggler",
+            Cause::DegradedLadder => "degraded-ladder",
+            Cause::IoFailover => "io-failover",
+        }
+    }
+
+    fn of(kind: IncidentKind) -> Cause {
+        match kind {
+            IncidentKind::Crash => Cause::Crash,
+            IncidentKind::Straggler => Cause::Straggler,
+            IncidentKind::DegradedLadder => Cause::DegradedLadder,
+            IncidentKind::IoFailover => Cause::IoFailover,
+        }
+    }
+}
+
+/// Which (stage, rank) blew the frame's budget, and why.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attribution {
+    /// Index into [`STAGE_NAMES`].
+    pub stage: usize,
+    /// The responsible rank, when one can be named (from an incident,
+    /// the slowest per-rank measurement, or the critical path).
+    pub rank: Option<usize>,
+    pub cause: Cause,
+}
+
+/// One stage's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSlo {
+    pub budget: f64,
+    /// Max of the frame-level and per-rank measurements for the stage.
+    pub measured: f64,
+    pub verdict: Verdict,
+}
+
+/// The full evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    pub verdict: Verdict,
+    pub stages: [StageSlo; 3],
+    /// Present whenever the frame verdict is not [`Verdict::Ok`].
+    pub attribution: Option<Attribution>,
+    /// Rank holding the most critical-path ticks (trace-refined runs
+    /// only; see [`refine_with_critical_path`]).
+    pub critical_rank: Option<usize>,
+}
+
+impl SloReport {
+    /// The compact `Copy` summary for embedding in timing structs.
+    pub fn summary(&self) -> FrameSlo {
+        let (stage, rank, cause) = match self.attribution {
+            Some(a) => (Some(a.stage), a.rank, Some(a.cause)),
+            None => (None, None, None),
+        };
+        let (budget, measured) = match stage {
+            Some(s) => (self.stages[s].budget, self.stages[s].measured),
+            None => (0.0, 0.0),
+        };
+        FrameSlo {
+            verdict: self.verdict,
+            stage,
+            rank,
+            cause,
+            budget,
+            measured,
+        }
+    }
+}
+
+/// Compact per-frame SLO summary: the annotation executors attach to
+/// their timing reports. All fields are `Copy` + `PartialEq` so the
+/// containing structs keep their derives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSlo {
+    pub verdict: Verdict,
+    /// Attributed stage (index into [`STAGE_NAMES`]); `None` when Ok.
+    pub stage: Option<usize>,
+    pub rank: Option<usize>,
+    pub cause: Option<Cause>,
+    /// Budget/measured seconds of the attributed stage (0 when Ok).
+    pub budget: f64,
+    pub measured: f64,
+}
+
+impl FrameSlo {
+    pub fn stage_name(&self) -> Option<&'static str> {
+        self.stage.map(|s| STAGE_NAMES[s])
+    }
+}
+
+/// Everything [`evaluate`] consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct SloInput<'a> {
+    /// Per-stage budgets in seconds, plan order.
+    pub budgets: [f64; 3],
+    /// Fraction of a budget past which a stage is [`Verdict::AtRisk`]
+    /// (e.g. 0.8).
+    pub at_risk_frac: f64,
+    /// Frame-level stage seconds (the root rank's stopwatch).
+    pub stage_secs: [f64; 3],
+    /// Per-rank per-stage seconds; empty when the executor cannot
+    /// provide them (the frame-level times still gate).
+    pub per_rank: &'a [[f64; 3]],
+    /// Recovery observations for the frame.
+    pub incidents: &'a [Incident],
+}
+
+/// Evaluate one frame. Deterministic: a pure function of its input.
+pub fn evaluate(input: &SloInput) -> SloReport {
+    let mut stages = [StageSlo {
+        budget: 0.0,
+        measured: 0.0,
+        verdict: Verdict::Ok,
+    }; 3];
+
+    for s in 0..3 {
+        let per_rank_max = input.per_rank.iter().map(|r| r[s]).fold(0.0f64, f64::max);
+        let measured = input.stage_secs[s].max(per_rank_max);
+        let budget = input.budgets[s];
+        let mut verdict = if measured > budget {
+            Verdict::Violated
+        } else if measured > budget * input.at_risk_frac {
+            Verdict::AtRisk
+        } else {
+            Verdict::Ok
+        };
+        for inc in input.incidents.iter().filter(|i| i.stage == s) {
+            verdict = verdict.max(inc.kind.verdict());
+        }
+        stages[s] = StageSlo {
+            budget,
+            measured,
+            verdict,
+        };
+    }
+
+    let verdict = stages
+        .iter()
+        .map(|s| s.verdict)
+        .max()
+        .unwrap_or(Verdict::Ok);
+    let attribution = (verdict != Verdict::Ok).then(|| attribute(input, &stages, verdict));
+
+    SloReport {
+        verdict,
+        stages,
+        attribution,
+        critical_rank: None,
+    }
+}
+
+/// Pick the (stage, rank, cause) for a non-Ok frame. Candidates are the
+/// stages at the frame's severity; incidents outrank raw time (severity
+/// order crash > straggler > ladder > failover), the slowest stage by
+/// overrun ratio breaks the remainder.
+fn attribute(input: &SloInput, stages: &[StageSlo; 3], verdict: Verdict) -> Attribution {
+    let candidate = |s: usize| stages[s].verdict == verdict;
+    for kind in [
+        IncidentKind::Crash,
+        IncidentKind::Straggler,
+        IncidentKind::DegradedLadder,
+        IncidentKind::IoFailover,
+    ] {
+        if let Some(inc) = input
+            .incidents
+            .iter()
+            .find(|i| i.kind == kind && candidate(i.stage))
+        {
+            return Attribution {
+                stage: inc.stage,
+                rank: Some(inc.rank),
+                cause: Cause::of(kind),
+            };
+        }
+    }
+    // No incident: worst overrun ratio among candidate stages.
+    let stage = (0..3)
+        .filter(|&s| candidate(s))
+        .max_by(|&a, &b| {
+            let ratio = |s: usize| stages[s].measured / stages[s].budget.max(1e-12);
+            ratio(a).total_cmp(&ratio(b))
+        })
+        .unwrap_or(0);
+    // The responsible rank is the slowest one at that stage, when
+    // per-rank measurements exist.
+    let rank = input
+        .per_rank
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a[stage].total_cmp(&b[stage]))
+        .map(|(r, _)| r);
+    Attribution {
+        stage,
+        rank,
+        cause: Cause::OverBudget,
+    }
+}
+
+/// Refine a report with the happens-before critical path of a message
+/// trace: records the dominant rank and uses it as the attributed rank
+/// when time/incident evidence could not name one.
+pub fn refine_with_critical_path(report: &mut SloReport, cp: &CriticalPath) {
+    let dominant = cp.dominant_rank().map(|(r, _)| r);
+    report.critical_rank = dominant;
+    if let Some(a) = &mut report.attribution {
+        if a.rank.is_none() {
+            a.rank = dominant;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_input<'a>(per_rank: &'a [[f64; 3]], incidents: &'a [Incident]) -> SloInput<'a> {
+        SloInput {
+            budgets: [1.0, 1.0, 1.0],
+            at_risk_frac: 0.8,
+            stage_secs: [0.1, 0.2, 0.1],
+            per_rank,
+            incidents,
+        }
+    }
+
+    #[test]
+    fn healthy_frame_is_ok() {
+        let r = evaluate(&base_input(&[], &[]));
+        assert_eq!(r.verdict, Verdict::Ok);
+        assert!(r.attribution.is_none());
+        let s = r.summary();
+        assert_eq!(s.verdict, Verdict::Ok);
+        assert_eq!(s.stage_name(), None);
+    }
+
+    #[test]
+    fn slow_rank_blows_its_stage_budget_and_is_named() {
+        // Rank 3's composite takes 1.5 s against a 1 s budget.
+        let per_rank: Vec<[f64; 3]> = (0..8)
+            .map(|r| [0.1, 0.2, if r == 3 { 1.5 } else { 0.1 }])
+            .collect();
+        let r = evaluate(&base_input(&per_rank, &[]));
+        assert_eq!(r.verdict, Verdict::Violated);
+        let a = r.attribution.unwrap();
+        assert_eq!((a.stage, a.rank, a.cause), (2, Some(3), Cause::OverBudget));
+        let s = r.summary();
+        assert_eq!(s.stage_name(), Some("composite"));
+        assert!((s.measured - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_risk_band_sits_between_ok_and_violated() {
+        let mut input = base_input(&[], &[]);
+        input.stage_secs = [0.1, 0.9, 0.1];
+        let r = evaluate(&input);
+        assert_eq!(r.verdict, Verdict::AtRisk);
+        let a = r.attribution.unwrap();
+        assert_eq!((a.stage, a.rank), (1, None));
+    }
+
+    #[test]
+    fn crash_incident_outranks_raw_time() {
+        // Rank 5 crashed at render; rank 2's composite is also slow.
+        let per_rank: Vec<[f64; 3]> = (0..8)
+            .map(|r| [0.1, 0.1, if r == 2 { 2.0 } else { 0.1 }])
+            .collect();
+        let incidents = [Incident {
+            rank: 5,
+            stage: 1,
+            kind: IncidentKind::Crash,
+        }];
+        let r = evaluate(&base_input(&per_rank, &incidents));
+        assert_eq!(r.verdict, Verdict::Violated);
+        let a = r.attribution.unwrap();
+        assert_eq!((a.stage, a.rank, a.cause), (1, Some(5), Cause::Crash));
+    }
+
+    #[test]
+    fn straggler_incident_names_the_injection_site() {
+        let incidents = [Incident {
+            rank: 3,
+            stage: 2,
+            kind: IncidentKind::Straggler,
+        }];
+        let r = evaluate(&base_input(&[], &incidents));
+        assert_eq!(r.verdict, Verdict::Violated);
+        let a = r.attribution.unwrap();
+        assert_eq!((a.stage, a.rank, a.cause), (2, Some(3), Cause::Straggler));
+    }
+
+    #[test]
+    fn io_failover_is_at_risk_not_violated() {
+        let incidents = [Incident {
+            rank: 0,
+            stage: 0,
+            kind: IncidentKind::IoFailover,
+        }];
+        let r = evaluate(&base_input(&[], &incidents));
+        assert_eq!(r.verdict, Verdict::AtRisk);
+        assert_eq!(r.attribution.unwrap().cause, Cause::IoFailover);
+    }
+
+    #[test]
+    fn verdict_order_and_names() {
+        assert!(Verdict::Ok < Verdict::AtRisk && Verdict::AtRisk < Verdict::Violated);
+        assert_eq!(Verdict::Violated.name(), "violated");
+        assert_eq!(IncidentKind::DegradedLadder.name(), "degraded-ladder");
+        assert_eq!(Cause::OverBudget.name(), "over-budget");
+        assert_eq!(STAGE_NAMES[0], "io");
+    }
+}

@@ -54,8 +54,9 @@ fn allocs() -> u64 {
 
 #[test]
 fn disabled_tracing_allocates_nothing_per_event() {
-    // Standalone no-op tracer.
+    // Standalone no-op tracer and flight recorder.
     let t = pvr_obs::Tracer::disabled();
+    let fr = pvr_obs::FlightRecorder::disabled();
     let before = allocs();
     for i in 0..1000u64 {
         t.begin(0, "stage");
@@ -64,10 +65,33 @@ fn disabled_tracing_allocates_nothing_per_event() {
             let _guard = t.span(1, "guarded");
         }
         t.end(0, "stage");
+        fr.begin_frame();
+        fr.instant(0, "frame.verdict", pvr_obs::Args::one("v", i));
+        fr.metric(0, "composite.bytes", i);
+        fr.fault(1, "rank.crash", pvr_obs::Args::two("rank", i, "stage", 1));
     }
     let after = allocs();
     assert_eq!(after - before, 0, "disabled Tracer must not touch the heap");
     assert_eq!(t.events_recorded(), 0);
+    assert_eq!(fr.events_recorded(), 0);
+
+    // The *enabled* flight recorder allocates only at construction:
+    // recording into the preallocated ring is an indexed store.
+    let fr = pvr_obs::FlightRecorder::manual(64);
+    let before = allocs();
+    for i in 0..1000u64 {
+        fr.instant(0, "frame.verdict", pvr_obs::Args::one("v", i));
+        fr.metric(0, "composite.bytes", i);
+        fr.fault(1, "rank.straggle", pvr_obs::Args::two("rank", i, "ms", 20));
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "enabled FlightRecorder must not allocate per event"
+    );
+    assert_eq!(fr.events_recorded(), 3000);
+    assert_eq!(fr.len(), 64);
 
     // Comm span marks in an untraced world (RunOptions::trace = false).
     // Single rank, no watchdog thread, so nothing else allocates while
