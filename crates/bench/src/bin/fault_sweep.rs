@@ -435,6 +435,68 @@ fn ci(cfg: &FrameConfig, path: &Path, policy: &RecoveryPolicy) -> bool {
         format!("{} bytes of JSON", plan.to_json().len()),
     );
 
+    // 6. The same healing guarantees at paper scale: the discrete-event
+    //    core makes an n = 1024 rank a task, not an OS thread (the old
+    //    executor topped out near 256), so the CI suite now proves the
+    //    recovery protocols at four times that — transient retries and
+    //    crash adoption, each bit-identical to a 1024-rank baseline.
+    let mut scale_cfg = *cfg;
+    scale_cfg.nprocs = 1024;
+    // The 24×24 CI image has 576 pixels, so the improved policy's
+    // m(1024) would out-count the tiles; a fixed 256 keeps the
+    // paper-shaped 4:1 renderer:compositor reduction instead.
+    scale_cfg.policy = CompositorPolicy::Fixed(256);
+    let scale_baseline = run_frame_mpi(&scale_cfg, path);
+    let plan = transient_plan(5, 2, 1);
+    match timed(&scale_cfg, path, &plan, policy, &flight) {
+        (Ok(ft), wall) => {
+            record(&reg, "transient-1024", &ft);
+            outcomes.push(outcome_of("transient-1024", true, &ft, wall));
+            let rec = ft.frame.timing.recovery;
+            all &= check(
+                "transient-heals-at-n1024",
+                scale_baseline.image.pixels() == ft.frame.image.pixels()
+                    && ft.completeness.frame_fraction() == 1.0
+                    && rec.retries > 0,
+                format!(
+                    "completeness {:.4}, {} retries",
+                    ft.completeness.frame_fraction(),
+                    rec.retries
+                ),
+            );
+        }
+        (Err(e), _) => all &= check("transient-heals-at-n1024", false, e.to_string()),
+    }
+    let plan = FaultPlan {
+        seed: 9,
+        ranks: vec![RankFault {
+            rank: 5,
+            stage: Stage::Composite,
+            action: RankAction::Crash,
+        }],
+        ..FaultPlan::default()
+    };
+    match timed(&scale_cfg, path, &plan, policy, &flight) {
+        (Ok(ft), wall) => {
+            record(&reg, "crash-1024", &ft);
+            outcomes.push(outcome_of("crash-heal-1024", true, &ft, wall));
+            let rec = ft.frame.timing.recovery;
+            all &= check(
+                "crash-heals-at-n1024",
+                scale_baseline.image.pixels() == ft.frame.image.pixels()
+                    && ft.completeness.fully_complete()
+                    && rec.crashed_ranks == 1
+                    && rec.adopted_blocks >= 1,
+                format!(
+                    "completeness {:.4}, {} adopted blocks",
+                    ft.completeness.frame_fraction(),
+                    rec.adopted_blocks
+                ),
+            );
+        }
+        (Err(e), _) => all &= check("crash-heals-at-n1024", false, e.to_string()),
+    }
+
     // Metrics snapshot of every scenario, teed to results/ for the CI
     // artifact upload.
     let snap = reg.snapshot();

@@ -46,6 +46,10 @@ use pvr_faults::link::{decode_frame, encode_frame, KIND_ACK, KIND_DATA};
 use pvr_faults::plan::{FaultPlan, RankAction, RankFault, Stage};
 use pvr_mc::{explore, McOptions, McReport};
 use pvr_mpisim::Comm;
+
+/// Boxed rank-program future: the model constructors hand `explore`
+/// heterogeneous async programs through one object-safe type.
+type BoxFut<T> = std::pin::Pin<Box<dyn std::future::Future<Output = T>>>;
 use pvr_obs::bench::Trajectory;
 use pvr_obs::Registry;
 
@@ -73,40 +77,42 @@ const RADIX_FULL_CAP: f64 = 4096.0;
 /// group in renderer order (the depth-order sort of real compositing,
 /// which is what makes the result schedule-independent) and gather at
 /// rank 0.
-fn direct_send(n: usize, m: usize) -> impl Fn(Comm) -> Vec<u8> + Send + Sync {
+fn direct_send(n: usize, m: usize) -> impl Fn(Comm) -> BoxFut<Vec<u8>> + Send + Sync {
     let tags = FrameTags::for_frame(0);
     move |mut comm: Comm| {
-        let r = comm.rank();
-        let fragment = vec![r as u8, 0xC0 | r as u8];
-        if r >= m {
-            // Pure renderer: ship the fragment and exit.
-            comm.send(r % m, tags.fragment, fragment);
-            return Vec::new();
-        }
-        // Compositor (every compositor also renders its own fragment).
-        let expected = (0..n).filter(|q| q % m == r && *q != r).count();
-        let mut frags: Vec<(usize, Vec<u8>)> = vec![(r, fragment)];
-        for _ in 0..expected {
-            let (src, data) = comm.recv_any(tags.fragment);
-            frags.push((src, data));
-        }
-        frags.sort();
-        let mut tile = vec![r as u8];
-        for (_, f) in &frags {
-            tile.extend_from_slice(f);
-        }
-        if r != 0 {
-            comm.send(0, tags.tile, tile);
-            return Vec::new();
-        }
-        // Rank 0 assembles the frame from its own tile + m-1 gathered.
-        let mut tiles: Vec<(usize, Vec<u8>)> = vec![(0, tile)];
-        for _ in 1..m {
-            let (src, data) = comm.recv_any(tags.tile);
-            tiles.push((src, data));
-        }
-        tiles.sort();
-        tiles.into_iter().flat_map(|(_, t)| t).collect()
+        Box::pin(async move {
+            let r = comm.rank();
+            let fragment = vec![r as u8, 0xC0 | r as u8];
+            if r >= m {
+                // Pure renderer: ship the fragment and exit.
+                comm.send(r % m, tags.fragment, fragment).await;
+                return Vec::new();
+            }
+            // Compositor (every compositor also renders its own fragment).
+            let expected = (0..n).filter(|q| q % m == r && *q != r).count();
+            let mut frags: Vec<(usize, Vec<u8>)> = vec![(r, fragment)];
+            for _ in 0..expected {
+                let (src, data) = comm.recv_any(tags.fragment).await;
+                frags.push((src, data));
+            }
+            frags.sort();
+            let mut tile = vec![r as u8];
+            for (_, f) in &frags {
+                tile.extend_from_slice(f);
+            }
+            if r != 0 {
+                comm.send(0, tags.tile, tile).await;
+                return Vec::new();
+            }
+            // Rank 0 assembles the frame from its own tile + m-1 gathered.
+            let mut tiles: Vec<(usize, Vec<u8>)> = vec![(0, tile)];
+            for _ in 1..m {
+                let (src, data) = comm.recv_any(tags.tile).await;
+                tiles.push((src, data));
+            }
+            tiles.sort();
+            tiles.into_iter().flat_map(|(_, t)| t).collect()
+        }) as BoxFut<Vec<u8>>
     }
 }
 
@@ -115,41 +121,47 @@ fn direct_send(n: usize, m: usize) -> impl Fn(Comm) -> Vec<u8> + Send + Sync {
 /// combines them in source order. With `projection`, only rank 0
 /// receives by wildcard; the rest receive partners in canonical order
 /// (the model restriction for explosive configurations).
-fn radix_k(radices: Vec<usize>, projection: bool) -> impl Fn(Comm) -> Vec<u8> + Send + Sync {
+fn radix_k(
+    radices: Vec<usize>,
+    projection: bool,
+) -> impl Fn(Comm) -> BoxFut<Vec<u8>> + Send + Sync {
     move |mut comm: Comm| {
-        let r = comm.rank();
-        let mut piece = vec![r as u8];
-        let mut stride = 1usize;
-        for (round, &k) in radices.iter().enumerate() {
-            let tag = 200 + round as u32;
-            let base = r - ((r / stride) % k) * stride;
-            let partners: Vec<usize> = (0..k)
-                .map(|j| base + j * stride)
-                .filter(|&p| p != r)
-                .collect();
-            for &p in &partners {
-                comm.send(p, tag, piece.clone());
-            }
-            let mut pieces: Vec<(usize, Vec<u8>)> = vec![(r, piece)];
-            if projection && r != 0 {
+        let radices = radices.clone();
+        Box::pin(async move {
+            let r = comm.rank();
+            let mut piece = vec![r as u8];
+            let mut stride = 1usize;
+            for (round, &k) in radices.iter().enumerate() {
+                let tag = 200 + round as u32;
+                let base = r - ((r / stride) % k) * stride;
+                let partners: Vec<usize> = (0..k)
+                    .map(|j| base + j * stride)
+                    .filter(|&p| p != r)
+                    .collect();
                 for &p in &partners {
-                    pieces.push((p, comm.recv_from(p, tag)));
+                    comm.send(p, tag, piece.clone()).await;
                 }
-            } else {
-                for _ in &partners {
-                    let (src, data) = comm.recv_any(tag);
-                    pieces.push((src, data));
+                let mut pieces: Vec<(usize, Vec<u8>)> = vec![(r, piece)];
+                if projection && r != 0 {
+                    for &p in &partners {
+                        pieces.push((p, comm.recv_from(p, tag).await));
+                    }
+                } else {
+                    for _ in &partners {
+                        let (src, data) = comm.recv_any(tag).await;
+                        pieces.push((src, data));
+                    }
                 }
+                pieces.sort();
+                piece = Vec::new();
+                for (src, body) in pieces {
+                    piece.push(src as u8);
+                    piece.extend_from_slice(&body);
+                }
+                stride *= k;
             }
-            pieces.sort();
-            piece = Vec::new();
-            for (src, body) in pieces {
-                piece.push(src as u8);
-                piece.extend_from_slice(&body);
-            }
-            stride *= k;
-        }
-        piece
+            piece
+        }) as BoxFut<Vec<u8>>
     }
 }
 
@@ -169,39 +181,45 @@ fn radix_classes(n: usize, radices: &[usize]) -> f64 {
 /// exits. Rank 0 dedups by (source, msg id), acks first copies only,
 /// and must never ack the crashed rank (it is gone; the send would be
 /// lost traffic).
-fn ft_ack(n: usize, plan: Arc<FaultPlan>) -> impl Fn(Comm) -> Vec<u8> + Send + Sync {
+fn ft_ack(n: usize, plan: Arc<FaultPlan>) -> impl Fn(Comm) -> BoxFut<Vec<u8>> + Send + Sync {
     move |mut comm: Comm| {
-        let r = comm.rank();
-        let crashed = plan.crashed_by(Stage::Composite, n);
-        if r != 0 {
-            let msg_id = r as u64;
-            let body = vec![r as u8];
-            comm.send(0, DATA_TAG, encode_frame(KIND_DATA, msg_id, 1, &body));
-            if crashed.contains(&r) {
-                return Vec::new(); // died before the retransmit
+        let plan = Arc::clone(&plan);
+        Box::pin(async move {
+            let r = comm.rank();
+            let crashed = plan.crashed_by(Stage::Composite, n);
+            if r != 0 {
+                let msg_id = r as u64;
+                let body = vec![r as u8];
+                comm.send(0, DATA_TAG, encode_frame(KIND_DATA, msg_id, 1, &body))
+                    .await;
+                if crashed.contains(&r) {
+                    return Vec::new(); // died before the retransmit
+                }
+                comm.send(0, DATA_TAG, encode_frame(KIND_DATA, msg_id, 2, &body))
+                    .await;
+                let ack = comm.recv_from(0, ACK_TAG).await;
+                let (kind, id, _, _) = decode_frame(&ack).expect("well-formed ack");
+                assert_eq!((kind, id), (KIND_ACK, msg_id), "ack for the wrong frame");
+                return Vec::new();
             }
-            comm.send(0, DATA_TAG, encode_frame(KIND_DATA, msg_id, 2, &body));
-            let ack = comm.recv_from(0, ACK_TAG);
-            let (kind, id, _, _) = decode_frame(&ack).expect("well-formed ack");
-            assert_eq!((kind, id), (KIND_ACK, msg_id), "ack for the wrong frame");
-            return Vec::new();
-        }
-        let expected = (n - 1 - crashed.len()) * 2 + crashed.len();
-        let mut seen = std::collections::HashSet::new();
-        let mut collected: Vec<(usize, Vec<u8>)> = Vec::new();
-        for _ in 0..expected {
-            let (src, frame) = comm.recv_any(DATA_TAG);
-            let (kind, id, _, body) = decode_frame(&frame).expect("well-formed frame");
-            assert_eq!(kind, KIND_DATA);
-            if seen.insert((src, id)) {
-                collected.push((src, body.to_vec()));
-                if !crashed.contains(&src) {
-                    comm.send(src, ACK_TAG, encode_frame(KIND_ACK, id, 0, &[]));
+            let expected = (n - 1 - crashed.len()) * 2 + crashed.len();
+            let mut seen = std::collections::HashSet::new();
+            let mut collected: Vec<(usize, Vec<u8>)> = Vec::new();
+            for _ in 0..expected {
+                let (src, frame) = comm.recv_any(DATA_TAG).await;
+                let (kind, id, _, body) = decode_frame(&frame).expect("well-formed frame");
+                assert_eq!(kind, KIND_DATA);
+                if seen.insert((src, id)) {
+                    collected.push((src, body.to_vec()));
+                    if !crashed.contains(&src) {
+                        comm.send(src, ACK_TAG, encode_frame(KIND_ACK, id, 0, &[]))
+                            .await;
+                    }
                 }
             }
-        }
-        collected.sort();
-        collected.into_iter().flat_map(|(_, b)| b).collect()
+            collected.sort();
+            collected.into_iter().flat_map(|(_, b)| b).collect()
+        }) as BoxFut<Vec<u8>>
     }
 }
 
@@ -217,61 +235,64 @@ fn ft_ack(n: usize, plan: Arc<FaultPlan>) -> impl Fn(Comm) -> Vec<u8> + Send + S
 /// (conservation) and every trace must assemble the same bytes
 /// (bit-identity), with no interleaving able to stall a receive
 /// (deadlock-freedom — the checker's own gates).
-fn adoption(n: usize, plan: Arc<FaultPlan>) -> impl Fn(Comm) -> Vec<u8> + Send + Sync {
+fn adoption(n: usize, plan: Arc<FaultPlan>) -> impl Fn(Comm) -> BoxFut<Vec<u8>> + Send + Sync {
     move |mut comm: Comm| {
-        let r = comm.rank();
-        let crashed = *plan
-            .crashed_by(Stage::Composite, n)
-            .first()
-            .expect("the adoption model needs a crash plan");
-        let adopter = (1..n).find(|q| *q != crashed).expect("a live renderer");
-        let frag = |id: usize, late: u8| vec![id as u8, 0xC0 | id as u8, late];
-        if r != 0 {
-            if r == crashed {
-                return Vec::new(); // died before shipping its fragment
+        let plan = Arc::clone(&plan);
+        Box::pin(async move {
+            let r = comm.rank();
+            let crashed = *plan
+                .crashed_by(Stage::Composite, n)
+                .first()
+                .expect("the adoption model needs a crash plan");
+            let adopter = (1..n).find(|q| *q != crashed).expect("a live renderer");
+            let frag = |id: usize, late: u8| vec![id as u8, 0xC0 | id as u8, late];
+            if r != 0 {
+                if r == crashed {
+                    return Vec::new(); // died before shipping its fragment
+                }
+                comm.send(0, FRAG_TAG, frag(r, 0)).await;
+                if r == adopter {
+                    let req = comm.recv_from(0, ADOPT_TAG).await;
+                    let orphan = req[0] as usize;
+                    assert_eq!(orphan, crashed, "adoption request names the orphan");
+                    // Deterministic re-render, shipped twice: the second
+                    // copy models the ack-timeout retransmit racing the
+                    // first through the late-arrival epoch.
+                    comm.send(0, FRAG_TAG, frag(orphan, 1)).await;
+                    comm.send(0, FRAG_TAG, frag(orphan, 1)).await;
+                }
+                return Vec::new();
             }
-            comm.send(0, FRAG_TAG, frag(r, 0));
-            if r == adopter {
-                let req = comm.recv_from(0, ADOPT_TAG);
-                let orphan = req[0] as usize;
-                assert_eq!(orphan, crashed, "adoption request names the orphan");
-                // Deterministic re-render, shipped twice: the second
-                // copy models the ack-timeout retransmit racing the
-                // first through the late-arrival epoch.
-                comm.send(0, FRAG_TAG, frag(orphan, 1));
-                comm.send(0, FRAG_TAG, frag(orphan, 1));
+            // Compositor: hedge immediately (suspicion fired before any
+            // arrival), then drain the one wildcard channel: n-2 fresh
+            // fragments + 2 late copies of the orphan.
+            comm.send(adopter, ADOPT_TAG, vec![crashed as u8]).await;
+            let mut got: Vec<Option<Vec<u8>>> = vec![None; n];
+            let mut dups = 0usize;
+            for _ in 0..n {
+                let (_, body) = comm.recv_any(FRAG_TAG).await;
+                let id = body[0] as usize;
+                if got[id].is_none() {
+                    got[id] = Some(body); // first wins: fresh or late alike
+                } else {
+                    dups += 1;
+                }
             }
-            return Vec::new();
-        }
-        // Compositor: hedge immediately (suspicion fired before any
-        // arrival), then drain the one wildcard channel: n-2 fresh
-        // fragments + 2 late copies of the orphan.
-        comm.send(adopter, ADOPT_TAG, vec![crashed as u8]);
-        let mut got: Vec<Option<Vec<u8>>> = vec![None; n];
-        let mut dups = 0usize;
-        for _ in 0..n {
-            let (_, body) = comm.recv_any(FRAG_TAG);
-            let id = body[0] as usize;
-            if got[id].is_none() {
-                got[id] = Some(body); // first wins: fresh or late alike
-            } else {
-                dups += 1;
+            assert_eq!(dups, 1, "exactly one late duplicate is discarded");
+            // Conservation + bit-identity: every renderer blended exactly
+            // once, in renderer order, and the adopted content is
+            // indistinguishable from what the crashed rank would have sent
+            // (the kind byte is not blended).
+            let mut out = Vec::new();
+            for (id, slot) in got.iter().enumerate().skip(1) {
+                let body = slot
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("renderer {id} never blended"));
+                out.push(id as u8);
+                out.extend_from_slice(&body[..2]);
             }
-        }
-        assert_eq!(dups, 1, "exactly one late duplicate is discarded");
-        // Conservation + bit-identity: every renderer blended exactly
-        // once, in renderer order, and the adopted content is
-        // indistinguishable from what the crashed rank would have sent
-        // (the kind byte is not blended).
-        let mut out = Vec::new();
-        for (id, slot) in got.iter().enumerate().skip(1) {
-            let body = slot
-                .as_ref()
-                .unwrap_or_else(|| panic!("renderer {id} never blended"));
-            out.push(id as u8);
-            out.extend_from_slice(&body[..2]);
-        }
-        out
+            out
+        }) as BoxFut<Vec<u8>>
     }
 }
 
@@ -305,7 +326,7 @@ fn main() {
     let mut failures = 0usize;
 
     let mut run_config =
-        |label: String, n: usize, program: Box<dyn Fn(Comm) -> Vec<u8> + Send + Sync>| {
+        |label: String, n: usize, program: Box<dyn Fn(Comm) -> BoxFut<Vec<u8>> + Send + Sync>| {
             let remaining = budget.saturating_sub(t0.elapsed());
             let opts = McOptions {
                 time_budget: Some(remaining),

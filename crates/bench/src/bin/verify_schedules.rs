@@ -29,7 +29,15 @@ use pvr_volume::BlockDecomposition;
 
 const IMAGE: (usize, usize) = (128, 128);
 const GRID: [usize; 3] = [64, 64, 64];
-const N_SWEEP: [usize; 14] = [2, 3, 4, 6, 8, 12, 16, 27, 32, 64, 101, 128, 192, 256];
+// Past-256 entries arrived with the discrete-event core: schedule
+// *construction* was never the bottleneck, but until frames could run
+// at those sizes there was nothing to hold the linter's answers
+// against. n = 512/1024 keep the static checks ahead of the dynamic
+// `sim_scale` sweep (the lint is O(n·m) in footprint-tile pairs, so
+// each doubling roughly quadruples its share of the run).
+const N_SWEEP: [usize; 16] = [
+    2, 3, 4, 6, 8, 12, 16, 27, 32, 64, 101, 128, 192, 256, 512, 1024,
+];
 
 /// Screen footprints of a near-cubic block decomposition under the
 /// pipeline's slightly-oblique default view — the real geometry the

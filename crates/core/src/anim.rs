@@ -259,7 +259,7 @@ fn run_rayon(cfg: &FrameConfig, paths: &[PathBuf], opts: &AnimOptions) -> AnimRe
     if !opts.pipelined {
         for p in paths {
             let exec = RayonExec::new(cfg, FrameInput::File(p), tracer, opts.throttle);
-            let result = execute(&plan, exec);
+            let result = pvr_mpisim::block_on_ready(execute(&plan, exec));
             record(&result);
             frames.push(AnimFrame {
                 result,
@@ -306,7 +306,7 @@ fn run_rayon(cfg: &FrameConfig, paths: &[PathBuf], opts: &AnimOptions) -> AnimRe
         }
         let input = FrameInput::Prefetched { bytes, io, io_secs };
         let exec = RayonExec::new(cfg, input, tracer, None);
-        let result = execute(&plan, exec);
+        let result = pvr_mpisim::block_on_ready(execute(&plan, exec));
         record(&result);
         frames.push(AnimFrame {
             result,
@@ -382,7 +382,15 @@ fn run_mpi(
     let throttle = opts.throttle;
     let t0 = Instant::now();
 
-    let out = pvr_mpisim::World::run_opts(cfg.nprocs, run_opts, move |mut comm| {
+    // Frame invariants (geometry, scatter plan, schedule) computed once
+    // and shared by every rank across every frame of the animation.
+    let shared = Arc::new(crate::scheduler::FrameShared::new(&cfg));
+    let cfg_ref = &cfg;
+    let paths_ref = &paths;
+    let links_ref = &links;
+    let plan_ref = &plan;
+    let shared_ref = &shared;
+    let out = pvr_mpisim::World::run_opts(cfg.nprocs, run_opts, move |mut comm| async move {
         let mut outs = Vec::with_capacity(nf);
         // This rank's one in-flight background read: the next frame's
         // window extents (the scatter geometry is frame-invariant).
@@ -394,19 +402,20 @@ fn run_mpi(
                 .map(|(bufs, io_secs)| PrefetchedWindows { bufs, io_secs });
             let exec = RankExec::new(
                 &mut comm,
-                &cfg,
-                &paths[t],
-                &links[t],
+                cfg_ref,
+                &paths_ref[t],
+                &links_ref[t],
                 FrameTags::for_frame(t),
                 !reliable,
                 throttle,
                 windows,
+                Arc::clone(shared_ref),
             );
-            let rank_out = execute_with(&plan, exec, |e, s| {
+            let rank_out = execute_with(plan_ref, exec, |e, s| {
                 if pipelined && s == StageId::Read && t + 1 < nf {
                     let extents = e.my_window_extents().to_vec();
                     if !extents.is_empty() {
-                        let path = paths[t + 1].clone();
+                        let path = paths_ref[t + 1].clone();
                         pending = Some(Prefetch::spawn(move || {
                             let started = Instant::now();
                             let bufs = read_extents(&path, &extents, throttle)?;
@@ -414,7 +423,8 @@ fn run_mpi(
                         }));
                     }
                 }
-            });
+            })
+            .await;
             // A crashed rank skips its remaining stages (and never
             // spawns a prefetch), then rejoins at the next epoch's
             // tags with a live read — only its own frame degrades.
@@ -426,7 +436,7 @@ fn run_mpi(
             // peers wait out frame `t`'s deadlines, and the skew eats
             // into frame `t+1`'s deadline budget.
             if reliable && t + 1 < nf {
-                comm.barrier();
+                comm.barrier().await;
             }
         }
         outs
@@ -442,8 +452,7 @@ fn run_mpi(
             .iter_mut()
             .map(|it| it.next().expect("every rank runs every frame"))
             .collect();
-        let (result, completeness, incidents) =
-            assemble_frame(&cfg, col, reliable, plan_incidents);
+        let (result, completeness, incidents) = assemble_frame(&cfg, col, reliable, plan_incidents);
         opts.flight.begin_frame();
         if let Some(slo) = &result.timing.slo {
             crate::slo::record_frame_flight(&opts.flight, slo, &incidents, &result.timing.recovery);

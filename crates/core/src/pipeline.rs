@@ -539,6 +539,33 @@ pub fn run_frame_mpi_opts(
     }
 }
 
+/// [`run_frame_mpi_opts`] that also surfaces the discrete-event
+/// scheduler's counters (polls, messages, timer fires, virtual time,
+/// peak resident tasks, wall time) — the scale sweeps and `bench_sim`
+/// read these to report events/sec at 32K ranks.
+pub fn run_frame_mpi_sim(
+    cfg: &FrameConfig,
+    path: &Path,
+    opts: pvr_mpisim::RunOptions,
+) -> Result<(FrameResult, Option<pvr_mpisim::SimStats>), pvr_mpisim::RunError> {
+    match drive_frame(
+        cfg,
+        Some(path),
+        Driver {
+            plan: FramePlan::standard(),
+            exec: ExecChoice::Mpi {
+                opts,
+                links: LinkMode::Direct,
+            },
+            flight: pvr_obs::FlightRecorder::disabled(),
+        },
+    ) {
+        Ok(out) => Ok((out.frame, out.sim)),
+        Err(crate::ft::FtError::Runtime(e)) => Err(e),
+        Err(crate::ft::FtError::Degraded(_)) => unreachable!("plain frames never degrade"),
+    }
+}
+
 /// One fully profiled message-passing frame: the rendered frame, the
 /// message trace it ran under, and the span/metric profile derived from
 /// that trace.

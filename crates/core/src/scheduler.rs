@@ -31,7 +31,8 @@ use std::fs::File;
 use std::io::{Read as _, Seek, SeekFrom};
 use std::ops::ControlFlow;
 use std::path::Path;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
@@ -205,29 +206,33 @@ pub trait StageExec: Sized {
     fn begin(&mut self) {}
 
     /// Run one stage. `Break` aborts the remaining stages (a crashed
-    /// rank); [`StageExec::finish`] still runs.
-    fn stage(&mut self, stage: StageId) -> ControlFlow<()>;
+    /// rank); [`StageExec::finish`] still runs. Async so the
+    /// message-passing executor can await virtual-time events mid-stage;
+    /// the rayon executor's stages complete without ever suspending.
+    fn stage(&mut self, stage: StageId) -> impl std::future::Future<Output = ControlFlow<()>>;
 
     /// Consume the executor and produce the frame's output.
     fn finish(self) -> Self::Out;
 }
 
-/// Drive an executor through a plan.
-pub fn execute<E: StageExec>(plan: &FramePlan, exec: E) -> E::Out {
-    execute_with(plan, exec, |_, _| {})
+/// Drive an executor through a plan. Futures from executors that never
+/// suspend (rayon) resolve in one poll — `pvr_mpisim::block_on_ready`
+/// runs them from sync contexts.
+pub async fn execute<E: StageExec>(plan: &FramePlan, exec: E) -> E::Out {
+    execute_with(plan, exec, |_, _| {}).await
 }
 
 /// [`execute`] with a hook after each completed stage — the animation
 /// driver uses it to launch the next frame's I/O prefetch as soon as
 /// the current frame's read hands off, without owning the stage loop.
-pub fn execute_with<E: StageExec>(
+pub async fn execute_with<E: StageExec>(
     plan: &FramePlan,
     mut exec: E,
     mut after: impl FnMut(&mut E, StageId),
 ) -> E::Out {
     exec.begin();
     for &s in plan.stages() {
-        match exec.stage(s) {
+        match exec.stage(s).await {
             ControlFlow::Continue(()) => after(&mut exec, s),
             ControlFlow::Break(()) => break,
         }
@@ -455,7 +460,7 @@ impl StageExec for RayonExec<'_> {
         self.sw = Stopwatch::start();
     }
 
-    fn stage(&mut self, stage: StageId) -> ControlFlow<()> {
+    async fn stage(&mut self, stage: StageId) -> ControlFlow<()> {
         let cfg = self.cfg;
         match stage {
             StageId::Read => {
@@ -599,6 +604,64 @@ fn decode_rank_bytes(
 }
 
 // ---------------------------------------------------------------------
+// Frame-invariant shared state
+// ---------------------------------------------------------------------
+
+/// Everything about a frame that is a pure function of the
+/// configuration, computed once by the driver and shared read-only by
+/// every rank. Each rank used to re-derive the full geometry, the
+/// per-rank request table, the two-phase scatter plan, and the
+/// direct-send schedule — O(n) work and memory per rank, O(n²) for the
+/// world — which is what kept the simulated executor from reaching the
+/// paper's 32K-rank scale.
+pub struct FrameShared {
+    pub(crate) stored: Vec<pvr_formats::Subvolume>,
+    pub(crate) owned: Vec<pvr_formats::Subvolume>,
+    pub(crate) camera: Camera,
+    /// Per-rank placed-run read requests (index = rank).
+    pub(crate) requests: Vec<pvr_pfs::RankRequest>,
+    /// Two-phase scatter plan (collective layouts only).
+    pub(crate) scatter: Option<ScatterPlan>,
+    /// The direct-send schedule every rank derives identically.
+    pub(crate) schedule: Schedule,
+    pub(crate) partition: ImagePartition,
+}
+
+impl FrameShared {
+    pub fn new(cfg: &FrameConfig) -> FrameShared {
+        let geo = geometry(cfg);
+        let camera = Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1);
+        let layout = cfg.io.layout(cfg.grid);
+        let requests = rank_requests(layout.as_ref(), cfg.file_variable(), &geo.stored);
+        let scatter = layout.collective().then(|| {
+            let naggr = laptop_aggregators(cfg.nprocs);
+            ScatterPlan::build(&requests, naggr, &cfg.io.hints(cfg.grid))
+        });
+        let partition = ImagePartition::new(cfg.image.0, cfg.image.1, cfg.compositors());
+        let footprints: Vec<pvr_render::image::PixelRect> = (0..cfg.nprocs)
+            .map(|r| {
+                pvr_render::raycast::footprint(
+                    &camera,
+                    geo.owned[r].offset,
+                    geo.owned[r].end(),
+                    cfg.image,
+                )
+            })
+            .collect();
+        let schedule = build_schedule(&footprints, partition);
+        FrameShared {
+            stored: geo.stored,
+            owned: geo.owned,
+            camera,
+            requests,
+            scatter,
+            schedule,
+            partition,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Message-passing executor (one rank's frame)
 // ---------------------------------------------------------------------
 
@@ -695,9 +758,8 @@ pub struct RankExec<'a> {
     timing: FrameTiming,
     counters: RecoveryCounters,
     crashed: bool,
-    stored: Vec<pvr_formats::Subvolume>,
-    owned: Vec<pvr_formats::Subvolume>,
-    camera: Camera,
+    /// Frame-invariant derived state shared by every rank.
+    shared: Arc<FrameShared>,
     window_extents: Vec<Extent>,
     volume: Option<pvr_volume::Volume>,
     io: Option<RankIo>,
@@ -707,8 +769,6 @@ pub struct RankExec<'a> {
     sent: u64,
     sent_dense: u64,
     sparse_msgs: usize,
-    schedule: Option<Schedule>,
-    partition: Option<ImagePartition>,
     frag_out: Option<OutBox>,
     frag_in: Option<InBox>,
     /// Direct mode: finished tiles awaiting the gather.
@@ -742,8 +802,8 @@ impl<'a> RankExec<'a> {
         barriers: bool,
         throttle: Option<IoThrottle>,
         windows: Option<PrefetchedWindows>,
+        shared: Arc<FrameShared>,
     ) -> RankExec<'a> {
-        let geo = geometry(cfg);
         let budget = match links {
             LinkMode::Reliable(rc) => RecoveryBudget::for_frame(cfg, &rc.policy),
             LinkMode::Direct => RecoveryBudget::new(None),
@@ -763,9 +823,7 @@ impl<'a> RankExec<'a> {
             timing: FrameTiming::default(),
             counters: RecoveryCounters::default(),
             crashed: false,
-            stored: geo.stored,
-            owned: geo.owned,
-            camera: Camera::orthographic(cfg.grid, default_view(), cfg.image.0, cfg.image.1),
+            shared,
             window_extents: Vec::new(),
             volume: None,
             io: None,
@@ -775,8 +833,6 @@ impl<'a> RankExec<'a> {
             sent: 0,
             sent_dense: 0,
             sparse_msgs: 0,
-            schedule: None,
-            partition: None,
             frag_out: None,
             frag_in: None,
             tiles_direct: Vec::new(),
@@ -807,7 +863,7 @@ impl<'a> RankExec<'a> {
     /// Fault-plan crash/straggle check at a stage boundary (reliable
     /// links only). Returns true when this rank crashes here; the span
     /// bookkeeping of the abandoned frame is already done.
-    fn crash_check(&mut self, stage: StageId, span: &'static str, mark: u64) -> bool {
+    async fn crash_check(&mut self, stage: StageId, span: &'static str, mark: u64) -> bool {
         let LinkMode::Reliable(rc) = self.links else {
             return false;
         };
@@ -827,7 +883,10 @@ impl<'a> RankExec<'a> {
                 true
             }
             Some(RankAction::StraggleMs(ms)) => {
-                std::thread::sleep(std::time::Duration::from_millis(ms));
+                // Straggles cost simulated seconds, not wall clock: the
+                // world's virtual timer parks this rank while everyone
+                // else runs on.
+                self.comm.sleep(Duration::from_millis(ms)).await;
                 false
             }
             None => false,
@@ -836,33 +895,30 @@ impl<'a> RankExec<'a> {
 
     // --- Read stage ------------------------------------------------
 
-    fn stage_read(&mut self) -> ControlFlow<()> {
+    async fn stage_read(&mut self) -> ControlFlow<()> {
         self.timing.starts[0] = self.t0.elapsed().as_secs_f64();
         self.comm.span_begin("io");
-        if self.crash_check(StageId::Read, "io", 0) {
+        if self.crash_check(StageId::Read, "io", 0).await {
             return ControlFlow::Break(());
         }
         let layout = self.cfg.io.layout(self.cfg.grid);
-        let var = self.cfg.file_variable();
-        let requests = rank_requests(layout.as_ref(), var, &self.stored);
-        let io = if layout.collective() {
-            let naggr = laptop_aggregators(self.comm.size());
-            let sp = ScatterPlan::build(&requests, naggr, &self.cfg.io.hints(self.cfg.grid));
+        let shared = Arc::clone(&self.shared);
+        let io = if let Some(sp) = &shared.scatter {
             self.window_extents = sp
                 .accesses_of(self.comm.rank(), self.comm.size())
                 .map(|a| a.extent)
                 .collect();
             match self.links {
-                LinkMode::Direct => self.scatter_direct(&sp, &requests),
-                LinkMode::Reliable(_) => self.scatter_reliable(&sp, &requests),
+                LinkMode::Direct => self.scatter_direct(sp, &shared.requests).await,
+                LinkMode::Reliable(_) => self.scatter_reliable(sp, &shared.requests).await,
             }
         } else {
-            self.read_independent(&requests)
+            self.read_independent(&shared.requests).await
         };
         let rank = self.comm.rank();
         self.volume = Some(decode_volume(
             &io.bytes,
-            &self.stored[rank],
+            &shared.stored[rank],
             layout.endian(),
         ));
         match self.links {
@@ -872,7 +928,7 @@ impl<'a> RankExec<'a> {
                 // accrues to the parent span.
                 self.comm.span_end("io");
                 if self.barriers {
-                    self.comm.barrier();
+                    self.comm.barrier().await;
                 }
                 self.timing.io = self.sw.lap() + io.prefetch_secs;
             }
@@ -911,7 +967,11 @@ impl<'a> RankExec<'a> {
     /// Plain two-phase scatter: blocking sends, counted receives. The
     /// per-rank operation order reproduces the original executor
     /// exactly — the byte-golden logical profile depends on it.
-    fn scatter_direct(&mut self, sp: &ScatterPlan, requests: &[pvr_pfs::RankRequest]) -> RankIo {
+    async fn scatter_direct(
+        &mut self,
+        sp: &ScatterPlan,
+        requests: &[pvr_pfs::RankRequest],
+    ) -> RankIo {
         let rank = self.comm.rank();
         let t_read = Instant::now();
         let mut live_bytes = 0u64;
@@ -925,17 +985,20 @@ impl<'a> RankExec<'a> {
                 msg.extend((p.out_byte as u64).to_le_bytes());
                 msg.extend((p.len() as u64).to_le_bytes());
                 msg.extend(&buf[p.src_lo..p.src_hi]);
-                self.comm.send(p.rank, self.tags.io_scatter, msg);
+                self.comm.send(p.rank, self.tags.io_scatter, msg).await;
             }
             self.comm.span_end("io.window");
         }
         if let Some(t) = self.throttle {
-            t.pad(live_bytes, t_read);
+            let rem = t.remaining(live_bytes, t_read.elapsed());
+            if rem > Duration::ZERO {
+                self.comm.sleep(rem).await;
+            }
         }
 
         let mut out = vec![0u8; requests[rank].out_elems * ELEM_SIZE as usize];
         for _ in 0..sp.piece_counts[rank] {
-            let (_, msg) = self.comm.recv_any(self.tags.io_scatter);
+            let (_, msg) = self.comm.recv_any(self.tags.io_scatter).await;
             let dst = u64::from_le_bytes(msg[0..8].try_into().unwrap()) as usize;
             let nb = u64::from_le_bytes(msg[8..16].try_into().unwrap()) as usize;
             out[dst..dst + nb].copy_from_slice(&msg[16..16 + nb]);
@@ -952,7 +1015,11 @@ impl<'a> RankExec<'a> {
     /// Fault-tolerant two-phase scatter: framed acked sends, deadline
     /// receives, storage faults audited per window, holes zero-filled
     /// and reported in each piece's header.
-    fn scatter_reliable(&mut self, sp: &ScatterPlan, requests: &[pvr_pfs::RankRequest]) -> RankIo {
+    async fn scatter_reliable(
+        &mut self,
+        sp: &ScatterPlan,
+        requests: &[pvr_pfs::RankRequest],
+    ) -> RankIo {
         let LinkMode::Reliable(rc) = self.links else {
             unreachable!("reliable scatter needs reliable links")
         };
@@ -992,11 +1059,16 @@ impl<'a> RankExec<'a> {
                 msg.extend((p.len() as u64).to_le_bytes());
                 msg.extend(hole.to_le_bytes());
                 msg.extend(&buf[p.src_lo..p.src_hi]);
-                io_out.send(self.comm, p.rank, self.tags.io_scatter, msg);
+                io_out
+                    .send(self.comm, p.rank, self.tags.io_scatter, msg)
+                    .await;
             }
         }
         if let Some(t) = self.throttle {
-            t.pad(live_bytes, t_read);
+            let rem = t.remaining(live_bytes, t_read.elapsed());
+            if rem > Duration::ZERO {
+                self.comm.sleep(rem).await;
+            }
         }
 
         // Receive my pieces until complete or the stage deadline.
@@ -1005,15 +1077,16 @@ impl<'a> RankExec<'a> {
         let mut arrived = 0u64;
         let mut holes = 0u64;
         let mut got = 0usize;
-        let deadline = Instant::now() + rc.policy.stage_deadline;
-        let suspect_at = Instant::now() + rc.policy.suspicion;
-        while got < sp.piece_counts[rank] && Instant::now() < deadline {
-            io_out.poll(self.comm);
+        let deadline = self.comm.now() + rc.policy.stage_deadline;
+        let suspect_at = self.comm.now() + rc.policy.suspicion;
+        while got < sp.piece_counts[rank] && self.comm.now() < deadline {
+            io_out.poll(self.comm).await;
             if let Some((src, frame)) = self
                 .comm
                 .recv_any_timeout(self.tags.io_scatter, rc.policy.poll)
+                .await
             {
-                if let Some(body) = io_in.accept(self.comm, src, self.tags.io_ack, &frame) {
+                if let Some(body) = io_in.accept(self.comm, src, self.tags.io_ack, &frame).await {
                     let dst = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
                     let nb = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
                     let hole = u64::from_le_bytes(body[16..24].try_into().unwrap());
@@ -1029,7 +1102,7 @@ impl<'a> RankExec<'a> {
             // rank needs straight from the file through the same
             // storage-failover audit the aggregators use — bit-identical
             // bytes, a full stage deadline earlier.
-            if got < sp.piece_counts[rank] && Instant::now() >= suspect_at {
+            if got < sp.piece_counts[rank] && self.comm.now() >= suspect_at {
                 let (bytes, useful, unrec, fo) = self.read_runs_audited(&requests[rank]);
                 out = bytes;
                 arrived = useful;
@@ -1041,7 +1114,8 @@ impl<'a> RankExec<'a> {
                 break;
             }
         }
-        io_out.drain(self.comm, Instant::now() + rc.policy.drain);
+        let drain_deadline = self.comm.now() + rc.policy.drain;
+        io_out.drain(self.comm, drain_deadline).await;
         self.counters.merge(&io_out.counters);
         self.counters.merge(&io_in.counters);
 
@@ -1109,12 +1183,15 @@ impl<'a> RankExec<'a> {
 
     /// Independent (HDF5-like) path: every rank reads its own runs
     /// directly.
-    fn read_independent(&mut self, requests: &[pvr_pfs::RankRequest]) -> RankIo {
+    async fn read_independent(&mut self, requests: &[pvr_pfs::RankRequest]) -> RankIo {
         let rank = self.comm.rank();
         let t_read = Instant::now();
         let (out, useful, unrecovered, failover_bytes) = self.read_runs_audited(&requests[rank]);
         if let Some(t) = self.throttle {
-            t.pad(useful, t_read);
+            let rem = t.remaining(useful, t_read.elapsed());
+            if rem > Duration::ZERO {
+                self.comm.sleep(rem).await;
+            }
         }
         let quality = if useful == 0 {
             1.0
@@ -1132,22 +1209,22 @@ impl<'a> RankExec<'a> {
 
     // --- Render stage ----------------------------------------------
 
-    fn stage_render(&mut self) -> ControlFlow<()> {
+    async fn stage_render(&mut self) -> ControlFlow<()> {
         self.timing.starts[1] = self.t0.elapsed().as_secs_f64();
         self.comm.span_begin("render");
-        if self.crash_check(StageId::Render, "render", 1) {
+        if self.crash_check(StageId::Render, "render", 1).await {
             return ControlFlow::Break(());
         }
         let rank = self.comm.rank();
         let dom = BlockDomain {
             grid: self.cfg.grid,
-            owned: self.owned[rank],
-            stored: self.stored[rank],
+            owned: self.shared.owned[rank],
+            stored: self.shared.stored[rank],
         };
         let tf = transfer_for(self.cfg);
         let ropts = render_opts(self.cfg);
         let volume = self.volume.take().expect("read stage ran");
-        let (sub, rstats) = render_block(&volume, &dom, &self.camera, &tf, &ropts);
+        let (sub, rstats) = render_block(&volume, &dom, &self.shared.camera, &tf, &ropts);
         self.comm.mark_instant("render.samples", rstats.samples);
         self.samples = rstats.samples;
         self.skipped = rstats.skipped_samples;
@@ -1156,7 +1233,7 @@ impl<'a> RankExec<'a> {
             LinkMode::Direct => {
                 self.comm.span_end("render");
                 if self.barriers {
-                    self.comm.barrier();
+                    self.comm.barrier().await;
                 }
                 self.timing.render = self.sw.lap();
             }
@@ -1183,8 +1260,9 @@ impl<'a> RankExec<'a> {
         };
         let policy = rc.policy;
         let cfg = self.cfg;
+        let shared = Arc::clone(&self.shared);
         let model = PerfModel::default();
-        let est = block_cost(cfg, &model, &self.owned[orphan]);
+        let est = block_cost(cfg, &model, &shared.owned[orphan]);
         let ab = match self.budget.charge(est, policy.coarse_step_factor) {
             HealDecision::Skip => AdoptedBlock {
                 sub: None,
@@ -1192,14 +1270,14 @@ impl<'a> RankExec<'a> {
             },
             rung => {
                 let layout = cfg.io.layout(cfg.grid);
-                let requests = rank_requests(layout.as_ref(), cfg.file_variable(), &self.stored);
-                let (bytes, useful, unrecovered, _) = self.read_runs_audited(&requests[orphan]);
+                let (bytes, useful, unrecovered, _) =
+                    self.read_runs_audited(&shared.requests[orphan]);
                 self.counters.recovery_bytes += useful;
-                let vol = decode_volume(&bytes, &self.stored[orphan], layout.endian());
+                let vol = decode_volume(&bytes, &shared.stored[orphan], layout.endian());
                 let dom = BlockDomain {
                     grid: cfg.grid,
-                    owned: self.owned[orphan],
-                    stored: self.stored[orphan],
+                    owned: shared.owned[orphan],
+                    stored: shared.stored[orphan],
                 };
                 let tf = transfer_for(cfg);
                 let mut ropts = render_opts(cfg);
@@ -1207,15 +1285,15 @@ impl<'a> RankExec<'a> {
                     ropts.step *= policy.coarse_step_factor;
                     self.counters.approx_blocks += 1;
                     let fp = pvr_render::raycast::footprint(
-                        &self.camera,
-                        self.owned[orphan].offset,
-                        self.owned[orphan].end(),
+                        &shared.camera,
+                        shared.owned[orphan].offset,
+                        shared.owned[orphan].end(),
                         cfg.image,
                     );
                     self.error_bound +=
                         fp.num_pixels() as f64 / (cfg.image.0 as f64 * cfg.image.1 as f64);
                 }
-                let (sub, _) = render_block(&vol, &dom, &self.camera, &tf, &ropts);
+                let (sub, _) = render_block(&vol, &dom, &shared.camera, &tf, &ropts);
                 self.counters.adopted_blocks += 1;
                 self.comm
                     .mark_instant("recover.adopted_block", orphan as u64);
@@ -1250,7 +1328,7 @@ impl<'a> RankExec<'a> {
     /// Serve one adoption request `[orphan, tile]`: reply with a late
     /// fragment of the adopted re-render cropped to the requested tile,
     /// or an explicit refusal when the ladder is out of budget.
-    fn serve_adopt(&mut self, src: usize, body: &[u8], partition: ImagePartition) {
+    async fn serve_adopt(&mut self, src: usize, body: &[u8], partition: ImagePartition) {
         let orphan = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
         let c = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
         let (sub, quality) = self.adopt_block(orphan);
@@ -1267,7 +1345,7 @@ impl<'a> RankExec<'a> {
             None => reply.extend(1u64.to_le_bytes()),
         }
         let rec_out = self.rec_out.as_mut().expect("recovery channel open");
-        rec_out.send(self.comm, src, self.tags.late, reply);
+        rec_out.send(self.comm, src, self.tags.late, reply).await;
     }
 
     /// Absorb one late-arrival reply into my open tile.
@@ -1294,16 +1372,26 @@ impl<'a> RankExec<'a> {
     /// me, absorb late replies into my open tile. Stray replies after
     /// the tile sealed are still acked (so the sender stops
     /// retransmitting) and dropped.
-    fn pump_recovery(&mut self, partition: ImagePartition, mut asm: Option<&mut TileAssembly>) {
+    async fn pump_recovery(
+        &mut self,
+        partition: ImagePartition,
+        mut asm: Option<&mut TileAssembly>,
+    ) {
         while let Some((src, frame)) = self.comm.try_recv_any(self.tags.adopt) {
             let rec_in = self.rec_in.as_mut().expect("recovery channel open");
-            if let Some(body) = rec_in.accept(self.comm, src, self.tags.rec_ack, &frame) {
-                self.serve_adopt(src, &body, partition);
+            if let Some(body) = rec_in
+                .accept(self.comm, src, self.tags.rec_ack, &frame)
+                .await
+            {
+                self.serve_adopt(src, &body, partition).await;
             }
         }
         while let Some((src, frame)) = self.comm.try_recv_any(self.tags.late) {
             let rec_in = self.rec_in.as_mut().expect("recovery channel open");
-            if let Some(body) = rec_in.accept(self.comm, src, self.tags.rec_ack, &frame) {
+            if let Some(body) = rec_in
+                .accept(self.comm, src, self.tags.rec_ack, &frame)
+                .await
+            {
                 if let Some(asm) = asm.as_deref_mut() {
                     self.accept_late(&body, asm);
                 }
@@ -1317,7 +1405,7 @@ impl<'a> RankExec<'a> {
     /// locally. A merely-straggling original that arrives later loses
     /// the race harmlessly: first-wins dedup keeps one copy and the
     /// re-render is deterministic, so either copy is the same pixels.
-    fn request_adoption(
+    async fn request_adoption(
         &mut self,
         orphan: usize,
         tile: usize,
@@ -1329,7 +1417,7 @@ impl<'a> RankExec<'a> {
         };
         let seed = rc.plan.seed;
         let model = PerfModel::default();
-        let loads = render_loads(self.cfg, &model, &self.owned);
+        let loads = render_loads(self.cfg, &model, &self.shared.owned);
         let suspects = asm.missing();
         let candidates = self.adopter_candidates();
         let Some(a) = adopter_of(orphan, &suspects, &candidates, seed, &loads) else {
@@ -1353,7 +1441,7 @@ impl<'a> RankExec<'a> {
             body.extend((orphan as u64).to_le_bytes());
             body.extend((tile as u64).to_le_bytes());
             let rec_out = self.rec_out.as_mut().expect("recovery channel open");
-            rec_out.send(self.comm, a, self.tags.adopt, body);
+            rec_out.send(self.comm, a, self.tags.adopt, body).await;
         }
     }
 
@@ -1374,28 +1462,18 @@ impl<'a> RankExec<'a> {
         }
     }
 
-    fn stage_composite(&mut self) -> ControlFlow<()> {
+    async fn stage_composite(&mut self) -> ControlFlow<()> {
         self.timing.starts[2] = self.t0.elapsed().as_secs_f64();
         self.comm.span_begin("composite");
-        if self.crash_check(StageId::Composite, "composite", 2) {
+        if self.crash_check(StageId::Composite, "composite", 2).await {
             return ControlFlow::Break(());
         }
         let rank = self.comm.rank();
-        let n = self.comm.size();
-        let cfg = self.cfg;
-        let partition = ImagePartition::new(cfg.image.0, cfg.image.1, self.m);
-        // Everyone derives the same schedule from the same footprints.
-        let footprints: Vec<pvr_render::image::PixelRect> = (0..n)
-            .map(|r| {
-                pvr_render::raycast::footprint(
-                    &self.camera,
-                    self.owned[r].offset,
-                    self.owned[r].end(),
-                    cfg.image,
-                )
-            })
-            .collect();
-        let schedule = build_schedule(&footprints, partition);
+        // The schedule and partition are frame invariants computed once
+        // by the driver — no per-rank rebuild.
+        let shared = Arc::clone(&self.shared);
+        let partition = shared.partition;
+        let schedule = &shared.schedule;
         let sub = self.sub.take().expect("render stage ran");
         let quality = self.io.as_ref().map_or(1.0, |io| io.quality);
 
@@ -1408,7 +1486,8 @@ impl<'a> RankExec<'a> {
                         let dst = self.compositor_rank(msg.compositor);
                         self.account_fragment(&frag);
                         self.comm
-                            .send(dst, self.tags.fragment, encode_fragment(rank, &frag));
+                            .send(dst, self.tags.fragment, encode_fragment(rank, &frag))
+                            .await;
                     }
                 }
                 // Composite the tile I own, if any. With m <= n the map
@@ -1423,7 +1502,7 @@ impl<'a> RankExec<'a> {
                     let tile = partition.tile(c);
                     let mut frags: Vec<(usize, SubImage)> = Vec::with_capacity(expected);
                     while frags.len() < expected {
-                        let (_, data) = self.comm.recv_any(self.tags.fragment);
+                        let (_, data) = self.comm.recv_any(self.tags.fragment).await;
                         let (renderer, frag) = decode_fragment(&data);
                         debug_assert_eq!(frag.rect.intersect(&tile), Some(frag.rect));
                         frags.push((renderer, frag));
@@ -1449,7 +1528,9 @@ impl<'a> RankExec<'a> {
                         let mut body = Vec::with_capacity(8 + 48 + frag.pixels.len() * 16);
                         body.extend(quality.to_le_bytes());
                         body.extend(encode_fragment(rank, &frag));
-                        frag_out.send(self.comm, dst, self.tags.fragment, body);
+                        frag_out
+                            .send(self.comm, dst, self.tags.fragment, body)
+                            .await;
                     }
                 }
                 let my_tile = (0..self.m).find(|&c| self.compositor_rank(c) == rank);
@@ -1462,35 +1543,38 @@ impl<'a> RankExec<'a> {
                         .collect();
                     let tile = partition.tile(c);
                     let mut asm = TileAssembly::new(c, tile, expected);
-                    let deadline = Instant::now() + policy.stage_deadline;
-                    let suspect_at = Instant::now() + policy.suspicion;
+                    let deadline = self.comm.now() + policy.stage_deadline;
+                    let suspect_at = self.comm.now() + policy.suspicion;
                     let mut requested: Vec<usize> = Vec::new();
-                    while !asm.settled() && Instant::now() < deadline {
-                        frag_out.poll(self.comm);
+                    while !asm.settled() && self.comm.now() < deadline {
+                        frag_out.poll(self.comm).await;
                         if let Some(ro) = self.rec_out.as_mut() {
-                            ro.poll(self.comm);
+                            ro.poll(self.comm).await;
                         }
-                        if let Some((src, frame)) =
-                            self.comm.recv_any_timeout(self.tags.fragment, policy.poll)
+                        if let Some((src, frame)) = self
+                            .comm
+                            .recv_any_timeout(self.tags.fragment, policy.poll)
+                            .await
                         {
-                            if let Some(body) =
-                                frag_in.accept(self.comm, src, self.tags.frag_ack, &frame)
+                            if let Some(body) = frag_in
+                                .accept(self.comm, src, self.tags.frag_ack, &frame)
+                                .await
                             {
                                 let q = f64::from_le_bytes(body[0..8].try_into().unwrap());
                                 let (renderer, frag) = decode_fragment(&body[8..]);
                                 asm.insert(renderer, q, frag);
                             }
                         }
-                        self.pump_recovery(partition, Some(&mut asm));
+                        self.pump_recovery(partition, Some(&mut asm)).await;
                         // Past the suspicion window every renderer still
                         // missing gets one adoption request — a hedge if
                         // it is merely straggling (first-wins dedup makes
                         // the race harmless), a heal if it is dead.
-                        if Instant::now() >= suspect_at {
+                        if self.comm.now() >= suspect_at {
                             for r in asm.missing() {
                                 if !requested.contains(&r) {
                                     requested.push(r);
-                                    self.request_adoption(r, c, partition, &mut asm);
+                                    self.request_adoption(r, c, partition, &mut asm).await;
                                 }
                             }
                         }
@@ -1507,27 +1591,28 @@ impl<'a> RankExec<'a> {
                 self.frag_in = Some(frag_in);
             }
         }
-        self.schedule = Some(schedule);
-        self.partition = Some(partition);
         ControlFlow::Continue(())
     }
 
     // --- Gather stage ----------------------------------------------
 
-    fn stage_gather(&mut self) -> ControlFlow<()> {
+    async fn stage_gather(&mut self) -> ControlFlow<()> {
         let rank = self.comm.rank();
         let cfg = self.cfg;
-        let partition = self.partition.expect("composite stage ran");
+        let shared = Arc::clone(&self.shared);
+        let partition = shared.partition;
         match self.links {
             LinkMode::Direct => {
                 // Ship finished tiles to rank 0.
                 for (c, buf) in &self.tiles_direct {
-                    self.comm.send(0, self.tags.tile, encode_fragment(*c, buf));
+                    self.comm
+                        .send(0, self.tags.tile, encode_fragment(*c, buf))
+                        .await;
                 }
                 if rank == 0 {
                     let mut img = Image::new(cfg.image.0, cfg.image.1);
                     for _ in 0..self.m {
-                        let (_, data) = self.comm.recv_any(self.tags.tile);
+                        let (_, data) = self.comm.recv_any(self.tags.tile).await;
                         let (_, tile_img) = decode_fragment(&data);
                         img.paste(&tile_img);
                     }
@@ -1535,7 +1620,7 @@ impl<'a> RankExec<'a> {
                 }
                 self.comm.span_end("composite");
                 if self.barriers {
-                    self.comm.barrier();
+                    self.comm.barrier().await;
                 }
             }
             LinkMode::Reliable(rc) => {
@@ -1550,7 +1635,7 @@ impl<'a> RankExec<'a> {
                     body.extend(expected_area.to_le_bytes());
                     body.extend(arrived_area.to_le_bytes());
                     body.extend(encode_fragment(*c, buf));
-                    tile_out.send(self.comm, 0, self.tags.tile, body);
+                    tile_out.send(self.comm, 0, self.tags.tile, body).await;
                 }
 
                 // Rank 0 gathers tiles until the deadline, serving
@@ -1559,7 +1644,7 @@ impl<'a> RankExec<'a> {
                 // written off.
                 if rank == 0 {
                     let tile_sources: Vec<Vec<(usize, f64)>> = {
-                        let schedule = self.schedule.as_ref().expect("composite stage ran");
+                        let schedule = &shared.schedule;
                         let mut v = vec![Vec::new(); self.m];
                         for msg in &schedule.messages {
                             v[msg.compositor].push((msg.renderer, msg.pixels as f64));
@@ -1574,24 +1659,27 @@ impl<'a> RankExec<'a> {
                     let mut img = Image::new(cfg.image.0, cfg.image.1);
                     let mut got: Vec<Option<(f64, f64)>> = vec![None; self.m];
                     let mut received = 0usize;
-                    let deadline = Instant::now() + policy.stage_deadline;
+                    let deadline = self.comm.now() + policy.stage_deadline;
                     // The local rebuild waits two suspicion windows: a
                     // missing tile's compositor may itself be mid-
                     // adoption, which needs one suspicion round plus a
                     // re-render to finish.
-                    let rebuild_at = Instant::now() + policy.suspicion * 2;
+                    let rebuild_at = self.comm.now() + policy.suspicion * 2;
                     let mut rebuilt = false;
-                    while received < self.m && Instant::now() < deadline {
-                        frag_out.poll(self.comm);
-                        tile_out.poll(self.comm);
+                    while received < self.m && self.comm.now() < deadline {
+                        frag_out.poll(self.comm).await;
+                        tile_out.poll(self.comm).await;
                         if let Some(ro) = self.rec_out.as_mut() {
-                            ro.poll(self.comm);
+                            ro.poll(self.comm).await;
                         }
-                        if let Some((src, frame)) =
-                            self.comm.recv_any_timeout(self.tags.tile, policy.poll)
+                        if let Some((src, frame)) = self
+                            .comm
+                            .recv_any_timeout(self.tags.tile, policy.poll)
+                            .await
                         {
-                            if let Some(body) =
-                                tile_in.accept(self.comm, src, self.tags.tile_ack, &frame)
+                            if let Some(body) = tile_in
+                                .accept(self.comm, src, self.tags.tile_ack, &frame)
+                                .await
                             {
                                 let c = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
                                 let expected = f64::from_le_bytes(body[8..16].try_into().unwrap());
@@ -1607,8 +1695,8 @@ impl<'a> RankExec<'a> {
                                 }
                             }
                         }
-                        self.pump_recovery(partition, None);
-                        if !rebuilt && Instant::now() >= rebuild_at && received < self.m {
+                        self.pump_recovery(partition, None).await;
+                        if !rebuilt && self.comm.now() >= rebuild_at && received < self.m {
                             rebuilt = true;
                             for c in 0..self.m {
                                 if got[c].is_some() || expected_areas[c] == 0.0 {
@@ -1665,7 +1753,7 @@ impl<'a> RankExec<'a> {
                         .collect();
                     for h in helpers {
                         let rec_out = self.rec_out.as_mut().expect("recovery channel open");
-                        rec_out.send(self.comm, h, self.tags.done, Vec::new());
+                        rec_out.send(self.comm, h, self.tags.done, Vec::new()).await;
                     }
                 } else if self.tile_reliable.is_some() {
                     // Lingering compositor: my tile is shipped, but
@@ -1673,41 +1761,44 @@ impl<'a> RankExec<'a> {
                     // orphan. Keep serving the recovery channel until
                     // rank 0 declares the frame complete (or the stage
                     // deadline passes — rank 0 may itself be dead).
-                    let deadline = Instant::now() + policy.stage_deadline;
+                    let deadline = self.comm.now() + policy.stage_deadline;
                     let mut done = false;
-                    while !done && Instant::now() < deadline {
-                        frag_out.poll(self.comm);
-                        tile_out.poll(self.comm);
+                    while !done && self.comm.now() < deadline {
+                        frag_out.poll(self.comm).await;
+                        tile_out.poll(self.comm).await;
                         if let Some(ro) = self.rec_out.as_mut() {
-                            ro.poll(self.comm);
+                            ro.poll(self.comm).await;
                         }
-                        if let Some((src, frame)) =
-                            self.comm.recv_any_timeout(self.tags.done, policy.poll)
+                        if let Some((src, frame)) = self
+                            .comm
+                            .recv_any_timeout(self.tags.done, policy.poll)
+                            .await
                         {
                             let rec_in = self.rec_in.as_mut().expect("recovery channel open");
                             if rec_in
                                 .accept(self.comm, src, self.tags.rec_ack, &frame)
+                                .await
                                 .is_some()
                             {
                                 done = true;
                             }
                         }
-                        self.pump_recovery(partition, None);
+                        self.pump_recovery(partition, None).await;
                     }
                 }
 
                 // Grace period: finish delivering whatever is still in
                 // flight, then account the casualties.
-                let drain_deadline = Instant::now() + policy.drain;
-                frag_out.drain(self.comm, drain_deadline);
-                tile_out.drain(self.comm, drain_deadline);
+                let drain_deadline = self.comm.now() + policy.drain;
+                frag_out.drain(self.comm, drain_deadline).await;
+                tile_out.drain(self.comm, drain_deadline).await;
                 self.counters.merge(&frag_out.counters);
                 if let Some(frag_in) = &self.frag_in {
                     self.counters.merge(&frag_in.counters);
                 }
                 self.counters.merge(&tile_out.counters);
                 if let Some(mut ro) = self.rec_out.take() {
-                    ro.drain(self.comm, drain_deadline);
+                    ro.drain(self.comm, drain_deadline).await;
                     self.counters.merge(&ro.counters);
                 }
                 if let Some(ri) = self.rec_in.take() {
@@ -1730,12 +1821,12 @@ impl StageExec for RankExec<'_> {
         self.comm.span_begin("frame");
     }
 
-    fn stage(&mut self, stage: StageId) -> ControlFlow<()> {
+    async fn stage(&mut self, stage: StageId) -> ControlFlow<()> {
         match stage {
-            StageId::Read => self.stage_read(),
-            StageId::Render => self.stage_render(),
-            StageId::Composite => self.stage_composite(),
-            StageId::Gather => self.stage_gather(),
+            StageId::Read => self.stage_read().await,
+            StageId::Render => self.stage_render().await,
+            StageId::Composite => self.stage_composite().await,
+            StageId::Gather => self.stage_gather().await,
         }
     }
 
@@ -1809,6 +1900,9 @@ pub struct DriveOutput {
     pub completeness: Option<CompletenessMap>,
     /// The message trace (message-passing executor with `opts.trace`).
     pub trace: Option<pvr_mpisim::trace::TraceLog>,
+    /// Event-core scheduler counters (message-passing executor on the
+    /// event backend; `None` on rayon and the thread oracle).
+    pub sim: Option<pvr_mpisim::SimStats>,
 }
 
 /// Expected blended area per tile, derivable by any rank (and the
@@ -1971,7 +2065,10 @@ pub fn drive_frame(
                 Some(p) => FrameInput::File(p),
                 None => FrameInput::Synthetic,
             };
-            let frame = execute(&driver.plan, RayonExec::new(cfg, input, tracer, None));
+            let frame = pvr_mpisim::block_on_ready(execute(
+                &driver.plan,
+                RayonExec::new(cfg, input, tracer, None),
+            ));
             if let Some(slo) = &frame.timing.slo {
                 crate::slo::record_frame_flight(&flight, slo, &[], &frame.timing.recovery);
             }
@@ -1979,6 +2076,7 @@ pub fn drive_frame(
                 frame,
                 completeness: None,
                 trace: None,
+                sim: None,
             })
         }
         ExecChoice::Mpi { opts, links } => {
@@ -2003,18 +2101,28 @@ pub fn drive_frame(
                 opts
             };
             let plan = driver.plan;
-            let out = pvr_mpisim::World::run_opts(n, opts, move |mut comm| {
+            // Frame invariants computed once, shared by all n ranks:
+            // without this each rank re-derives O(n) geometry/schedule
+            // state and the world is O(n²) — fatal at 32K ranks.
+            let shared = Arc::new(FrameShared::new(&cfg));
+            let cfg_ref = &cfg;
+            let path_ref = &path;
+            let links_ref = &links;
+            let plan_ref = &plan;
+            let shared_ref = &shared;
+            let out = pvr_mpisim::World::run_opts(n, opts, move |mut comm| async move {
                 let exec = RankExec::new(
                     &mut comm,
-                    &cfg,
-                    &path,
-                    &links,
+                    cfg_ref,
+                    path_ref,
+                    links_ref,
                     FrameTags::for_frame(0),
                     !reliable,
                     None,
                     None,
+                    Arc::clone(shared_ref),
                 );
-                execute(&plan, exec)
+                execute(plan_ref, exec).await
             })
             .map_err(FtError::Runtime)?;
             let (mut frame, completeness, incidents) =
@@ -2029,6 +2137,7 @@ pub fn drive_frame(
                 frame,
                 completeness,
                 trace: out.trace,
+                sim: out.sim,
             })
         }
     }

@@ -24,7 +24,7 @@
 //! differs on the wire.
 
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pvr_mpisim::Comm;
 
@@ -107,7 +107,9 @@ struct Pending {
     attempt: u32,
     body: Vec<u8>,
     wait: Duration,
-    next_retry: Instant,
+    /// Virtual-time deadline (against `Comm::now`) for the next
+    /// retransmission.
+    next_retry: Duration,
 }
 
 /// Sender half: frames payloads, retransmits unacked frames with
@@ -136,10 +138,11 @@ impl OutBox {
     }
 
     /// Frame and send `body` to `to` on `tag`; returns the message id.
-    pub fn send(&mut self, comm: &Comm, to: usize, tag: u32, body: Vec<u8>) -> u64 {
+    pub async fn send(&mut self, comm: &Comm, to: usize, tag: u32, body: Vec<u8>) -> u64 {
         let msg_id = self.next_id;
         self.next_id += 1;
-        comm.send(to, tag, encode_frame(KIND_DATA, msg_id, 0, &body));
+        comm.send(to, tag, encode_frame(KIND_DATA, msg_id, 0, &body))
+            .await;
         self.outstanding.push(Pending {
             to,
             tag,
@@ -147,7 +150,7 @@ impl OutBox {
             attempt: 0,
             body,
             wait: self.policy.ack_timeout,
-            next_retry: Instant::now() + self.policy.ack_timeout,
+            next_retry: comm.now() + self.policy.ack_timeout,
         });
         msg_id
     }
@@ -160,7 +163,7 @@ impl OutBox {
     /// Drain arrived acks and retransmit overdue frames. Call this
     /// inside every receive loop so sends make progress while the rank
     /// is busy receiving.
-    pub fn poll(&mut self, comm: &mut Comm) {
+    pub async fn poll(&mut self, comm: &mut Comm) {
         while let Some((src, frame)) = comm.try_recv_any(self.ack_tag) {
             let Some((kind, msg_id, _, _)) = decode_frame(&frame) else {
                 self.counters.corrupt_dropped += 1;
@@ -171,7 +174,7 @@ impl OutBox {
                     .retain(|p| !(p.msg_id == msg_id && p.to == src));
             }
         }
-        let now = Instant::now();
+        let now = comm.now();
         let mut i = 0;
         while i < self.outstanding.len() {
             if now < self.outstanding[i].next_retry {
@@ -190,11 +193,9 @@ impl OutBox {
             p.next_retry = now + p.wait;
             self.counters.retries += 1;
             comm.mark_instant("link.retransmit", p.msg_id);
-            comm.send(
-                p.to,
-                p.tag,
-                encode_frame(KIND_DATA, p.msg_id, p.attempt, &p.body),
-            );
+            let frame = encode_frame(KIND_DATA, p.msg_id, p.attempt, &p.body);
+            let (to, tag) = (p.to, p.tag);
+            comm.send(to, tag, frame).await;
             i += 1;
         }
     }
@@ -203,13 +204,13 @@ impl OutBox {
     /// deadline passes; anything still unacked then counts as a
     /// timeout. Returns the number of messages confirmed delivered is
     /// not knowable (acks can be lost), so callers read the counters.
-    pub fn drain(&mut self, comm: &mut Comm, deadline: Instant) {
+    pub async fn drain(&mut self, comm: &mut Comm, deadline: Duration) {
         loop {
-            self.poll(comm);
+            self.poll(comm).await;
             if self.outstanding.is_empty() {
                 return;
             }
-            let now = Instant::now();
+            let now = comm.now();
             if now >= deadline {
                 self.counters.timeouts += self.outstanding.len() as u64;
                 for p in &self.outstanding {
@@ -221,7 +222,7 @@ impl OutBox {
             // Sleep-free wait: block on the ack tag itself so a late ack
             // wakes us immediately.
             let step = self.policy.poll.min(deadline - now);
-            if let Some((src, frame)) = comm.recv_any_timeout(self.ack_tag, step) {
+            if let Some((src, frame)) = comm.recv_any_timeout(self.ack_tag, step).await {
                 if let Some((kind, msg_id, _, _)) = decode_frame(&frame) {
                     if kind == KIND_ACK {
                         self.outstanding
@@ -251,7 +252,7 @@ impl InBox {
     /// a fresh, intact data frame; `None` for corrupt frames (no ack —
     /// the sender must retransmit) and duplicates (acked again, since
     /// the previous ack may have been lost).
-    pub fn accept(
+    pub async fn accept(
         &mut self,
         comm: &Comm,
         src: usize,
@@ -266,7 +267,8 @@ impl InBox {
         if kind != KIND_DATA {
             return None;
         }
-        comm.send(src, ack_tag, encode_frame(KIND_ACK, msg_id, attempt, &[]));
+        comm.send(src, ack_tag, encode_frame(KIND_ACK, msg_id, attempt, &[]))
+            .await;
         if self.seen.insert((src, msg_id)) {
             Some(body.to_vec())
         } else {
@@ -349,25 +351,26 @@ mod tests {
             drops: AtomicU64::new(0),
         });
         let opts = RunOptions::default().with_injector(inj.clone());
-        let out = World::run_opts(2, opts, |mut comm| {
+        let out = World::run_opts(2, opts, |mut comm| async move {
             if comm.rank() == 0 {
                 let mut ob = OutBox::new(0, ACK, policy());
                 for i in 0..4u8 {
-                    ob.send(&comm, 1, DATA, vec![i, i, i]);
+                    ob.send(&comm, 1, DATA, vec![i, i, i]).await;
                 }
-                ob.drain(&mut comm, Instant::now() + Duration::from_secs(5));
+                let deadline = comm.now() + Duration::from_secs(5);
+                ob.drain(&mut comm, deadline).await;
                 assert_eq!(ob.counters.timeouts, 0, "all messages must get through");
                 assert!(ob.counters.retries >= 8, "each message needed 2 retries");
                 (ob.counters, Vec::new())
             } else {
                 let mut ib = InBox::new();
                 let mut got = Vec::new();
-                let deadline = Instant::now() + Duration::from_secs(5);
-                while got.len() < 4 && Instant::now() < deadline {
+                let deadline = comm.now() + Duration::from_secs(5);
+                while got.len() < 4 && comm.now() < deadline {
                     if let Some((src, frame)) =
-                        comm.recv_any_timeout(DATA, Duration::from_millis(2))
+                        comm.recv_any_timeout(DATA, Duration::from_millis(2)).await
                     {
-                        if let Some(body) = ib.accept(&comm, src, ACK, &frame) {
+                        if let Some(body) = ib.accept(&comm, src, ACK, &frame).await {
                             got.push(body);
                         }
                     }
@@ -375,7 +378,7 @@ mod tests {
                 // Absorb stray retransmissions so late frames don't
                 // linger (harmless either way — the world is ending).
                 while let Some((src, frame)) = comm.try_recv_any(DATA) {
-                    ib.accept(&comm, src, ACK, &frame);
+                    ib.accept(&comm, src, ACK, &frame).await;
                 }
                 (ib.counters, got)
             }
@@ -405,19 +408,20 @@ mod tests {
     #[test]
     fn permanent_loss_terminates_with_timeouts_not_hangs() {
         let opts = RunOptions::default().with_injector(Arc::new(DropAll));
-        let out = World::run_opts(2, opts, |mut comm| {
+        let out = World::run_opts(2, opts, |mut comm| async move {
             if comm.rank() == 0 {
                 let mut ob = OutBox::new(0, ACK, policy());
-                ob.send(&comm, 1, DATA, vec![42]);
-                ob.drain(&mut comm, Instant::now() + Duration::from_millis(400));
+                ob.send(&comm, 1, DATA, vec![42]).await;
+                let deadline = comm.now() + Duration::from_millis(400);
+                ob.drain(&mut comm, deadline).await;
                 ob.counters
             } else {
                 let mut ib = InBox::new();
                 let mut counters = RecoveryCounters::default();
                 while let Some((src, frame)) =
-                    comm.recv_any_timeout(DATA, Duration::from_millis(60))
+                    comm.recv_any_timeout(DATA, Duration::from_millis(60)).await
                 {
-                    ib.accept(&comm, src, ACK, &frame);
+                    ib.accept(&comm, src, ACK, &frame).await;
                 }
                 counters.merge(&ib.counters);
                 counters
@@ -458,26 +462,27 @@ mod tests {
             hits: AtomicU64::new(0),
         });
         let opts = RunOptions::default().with_injector(inj.clone());
-        let out = World::run_opts(2, opts, |mut comm| {
+        let out = World::run_opts(2, opts, |mut comm| async move {
             if comm.rank() == 0 {
                 let mut ob = OutBox::new(0, ACK, policy());
-                ob.send(&comm, 1, DATA, vec![7; 32]);
-                ob.drain(&mut comm, Instant::now() + Duration::from_secs(5));
+                ob.send(&comm, 1, DATA, vec![7; 32]).await;
+                let deadline = comm.now() + Duration::from_secs(5);
+                ob.drain(&mut comm, deadline).await;
                 assert_eq!(ob.counters.timeouts, 0);
                 (ob.counters, None)
             } else {
                 let mut ib = InBox::new();
-                let deadline = Instant::now() + Duration::from_secs(5);
+                let deadline = comm.now() + Duration::from_secs(5);
                 let mut body = None;
-                while body.is_none() && Instant::now() < deadline {
+                while body.is_none() && comm.now() < deadline {
                     if let Some((src, frame)) =
-                        comm.recv_any_timeout(DATA, Duration::from_millis(2))
+                        comm.recv_any_timeout(DATA, Duration::from_millis(2)).await
                     {
-                        body = ib.accept(&comm, src, ACK, &frame);
+                        body = ib.accept(&comm, src, ACK, &frame).await;
                     }
                 }
                 while let Some((src, frame)) = comm.try_recv_any(DATA) {
-                    ib.accept(&comm, src, ACK, &frame);
+                    ib.accept(&comm, src, ACK, &frame).await;
                 }
                 (ib.counters, body)
             }

@@ -205,7 +205,7 @@ impl ShutdownMode {
 /// Extracted from [`trace_parallel`] so the model checker can run the
 /// *real* protocol body — including its `#[cfg(test)]` mutant — under
 /// `pvr-mc`'s guided schedules.
-pub(crate) fn tracer_rank(
+pub(crate) async fn tracer_rank(
     mut comm: pvr_mpisim::Comm,
     grid: [usize; 3],
     seeds: &[[f32; 3]],
@@ -256,7 +256,7 @@ pub(crate) fn tracer_rank(
             if rank == 0 {
                 legs.push(decode_done(&msg));
             } else {
-                comm.send(0, TAG, msg);
+                comm.send(0, TAG, msg).await;
             }
             match leg.reason {
                 StopReason::LeftBlock => {
@@ -265,13 +265,13 @@ pub(crate) fn tracer_rank(
                     // always a different rank.
                     let to = owner_map.owner_of(leg.particle.pos);
                     assert_ne!(to, rank, "handoff to self at {:?}", leg.particle.pos);
-                    comm.send(to, TAG, encode_particle(&leg.particle));
+                    comm.send(to, TAG, encode_particle(&leg.particle)).await;
                 }
                 _ => {
                     if rank == 0 {
                         done_total += 1;
                     } else {
-                        comm.send(0, TAG, vec![MSG_FINISH, 0]);
+                        comm.send(0, TAG, vec![MSG_FINISH, 0]).await;
                     }
                 }
             }
@@ -286,12 +286,12 @@ pub(crate) fn tracer_rank(
         // acks means all legs have been collected.
         if rank == 0 && done_total == seeds.len() {
             for r in 1..n {
-                comm.send(r, TAG, vec![MSG_FINISH, 1]);
+                comm.send(r, TAG, vec![MSG_FINISH, 1]).await;
             }
             if mode.acked() {
                 let mut acks = 0usize;
                 while acks < n - 1 {
-                    let (_, m) = comm.recv_any(TAG);
+                    let (_, m) = comm.recv_any(TAG).await;
                     match m[0] {
                         MSG_DONE => legs.push(decode_done(&m)),
                         MSG_FINISH if m[1] == 2 => acks += 1,
@@ -308,7 +308,7 @@ pub(crate) fn tracer_rank(
         }
 
         // Wait for work or control traffic.
-        let (_, m) = comm.recv_any(TAG);
+        let (_, m) = comm.recv_any(TAG).await;
         match m[0] {
             MSG_PARTICLE => queue.push(decode_particle(&m)),
             MSG_DONE => legs.push(decode_done(&m)),
@@ -320,7 +320,7 @@ pub(crate) fn tracer_rank(
                     // Shutdown order: ack it so rank 0 knows all
                     // our leg reports have been delivered.
                     if mode.acked() {
-                        comm.send(0, TAG, vec![MSG_FINISH, 2]);
+                        comm.send(0, TAG, vec![MSG_FINISH, 2]).await;
                     }
                     finished = true;
                 }
@@ -344,9 +344,19 @@ pub fn trace_parallel(
 ) -> Vec<AssembledTrace> {
     let seeds = seeds.to_vec();
     let opts = *opts;
+    let seeds_ref = &seeds;
+    let opts_ref = &opts;
 
-    let mut results = pvr_mpisim::World::run(nprocs, move |comm| {
-        tracer_rank(comm, grid, &seeds, &opts, field_fn, ShutdownMode::Acked)
+    let mut results = pvr_mpisim::World::run(nprocs, move |comm| async move {
+        tracer_rank(
+            comm,
+            grid,
+            seeds_ref,
+            opts_ref,
+            field_fn,
+            ShutdownMode::Acked,
+        )
+        .await
     });
 
     // Assemble at "rank 0"'s result.
@@ -521,7 +531,11 @@ mod tests {
     /// The tracer's rank body as a model-checkable program: sorted
     /// encoded legs, so per-rank results are comparable bit-for-bit
     /// regardless of collection order.
-    fn mc_program(mode: ShutdownMode) -> impl Fn(pvr_mpisim::Comm) -> Vec<Vec<u8>> + Send + Sync {
+    type BoxFut<T> = std::pin::Pin<Box<dyn std::future::Future<Output = T>>>;
+
+    fn mc_program(
+        mode: ShutdownMode,
+    ) -> impl Fn(pvr_mpisim::Comm) -> BoxFut<Vec<Vec<u8>>> + Send + Sync {
         // One seed in the middle block of three, swept straight
         // through the last block and out of the domain: rank 1 ships
         // the particle to rank 2 and reports an intermediate leg whose
@@ -535,13 +549,16 @@ mod tests {
         };
         let field = |_: [f32; 3]| [2.0f32, 0.0, 0.0];
         move |comm| {
-            let legs = tracer_rank(comm, grid, &seeds, &opts, field, mode);
-            let mut enc: Vec<Vec<u8>> = legs
-                .iter()
-                .map(|l| encode_done(l.id, l.start_step, l.reason, l.steps, &l.path))
-                .collect();
-            enc.sort();
-            enc
+            let seeds = seeds.clone();
+            Box::pin(async move {
+                let legs = tracer_rank(comm, grid, &seeds, &opts, field, mode).await;
+                let mut enc: Vec<Vec<u8>> = legs
+                    .iter()
+                    .map(|l| encode_done(l.id, l.start_step, l.reason, l.steps, &l.path))
+                    .collect();
+                enc.sort();
+                enc
+            }) as BoxFut<Vec<Vec<u8>>>
         }
     }
 

@@ -397,10 +397,11 @@ fn check_conservation(trace: &TraceLog) -> Result<(), String> {
 /// Never returns `Err` for schedule-induced failures — those are
 /// [`Violation`]s in the report. (The `Result` is kept for future
 /// explorer-internal errors; exploration itself is total.)
-pub fn explore<T, F>(n: usize, program: F, opts: &McOptions) -> McReport<T>
+pub fn explore<T, F, Fut>(n: usize, program: F, opts: &McOptions) -> McReport<T>
 where
     T: Send + PartialEq + Clone,
-    F: Fn(Comm) -> T + Send + Sync,
+    F: Fn(Comm) -> Fut + Send + Sync,
+    Fut: std::future::Future<Output = T>,
 {
     let t0 = Instant::now();
     let mut stats = McStats {
@@ -565,26 +566,39 @@ where
 mod tests {
     use super::*;
 
+    /// Boxed rank-program future: helpers returning closures cannot
+    /// name the async block's type, so they box it.
+    type BoxFut<T> = std::pin::Pin<Box<dyn std::future::Future<Output = T>>>;
+
     /// `k` senders (ranks 1..=k) each send one message to rank 0; rank
     /// 0 matches them with wildcards and returns the match order.
-    fn fan_in(k: usize) -> impl Fn(Comm) -> Vec<usize> + Send + Sync {
-        move |mut comm: Comm| {
-            if comm.rank() == 0 {
-                (0..k).map(|_| comm.recv_any(1).0).collect()
-            } else {
-                comm.send(0, 1, vec![comm.rank() as u8]);
-                Vec::new()
-            }
+    fn fan_in(k: usize) -> impl Fn(Comm) -> BoxFut<Vec<usize>> + Send + Sync {
+        move |mut comm: Comm| -> BoxFut<Vec<usize>> {
+            Box::pin(async move {
+                if comm.rank() == 0 {
+                    let mut v = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        v.push(comm.recv_any(1).await.0);
+                    }
+                    v
+                } else {
+                    comm.send(0, 1, vec![comm.rank() as u8]).await;
+                    Vec::new()
+                }
+            })
         }
     }
 
     /// Order-*independent* fan-in: rank 0 sorts what it matched.
-    fn fan_in_sorted(k: usize) -> impl Fn(Comm) -> Vec<usize> + Send + Sync {
+    fn fan_in_sorted(k: usize) -> impl Fn(Comm) -> BoxFut<Vec<usize>> + Send + Sync {
         let inner = fan_in(k);
-        move |comm: Comm| {
-            let mut v = inner(comm);
-            v.sort_unstable();
-            v
+        move |comm: Comm| -> BoxFut<Vec<usize>> {
+            let fut = inner(comm);
+            Box::pin(async move {
+                let mut v = fut.await;
+                v.sort_unstable();
+                v
+            })
         }
     }
 
@@ -608,16 +622,19 @@ mod tests {
     fn independent_receivers_multiply() {
         // Ranks 1, 2 each send to ranks 0 and 3: two independent 2-way
         // fan-ins ⇒ 2! × 2! = 4 classes.
-        let program = |mut comm: Comm| -> Vec<usize> {
+        let program = |mut comm: Comm| async move {
             match comm.rank() {
                 0 | 3 => {
-                    let mut v: Vec<usize> = (0..2).map(|_| comm.recv_any(1).0).collect();
+                    let mut v = Vec::with_capacity(2);
+                    for _ in 0..2 {
+                        v.push(comm.recv_any(1).await.0);
+                    }
                     v.sort_unstable();
                     v
                 }
                 r => {
-                    comm.send(0, 1, vec![r as u8]);
-                    comm.send(3, 1, vec![r as u8]);
+                    comm.send(0, 1, vec![r as u8]).await;
+                    comm.send(3, 1, vec![r as u8]).await;
                     Vec::new()
                 }
             }
@@ -631,20 +648,23 @@ mod tests {
     fn fifo_streams_prune_candidates() {
         // Rank 1 sends two messages (FIFO-pinned), rank 2 one: the
         // distinct interleavings of [a, a, b] are 3, not 3!.
-        let program = |mut comm: Comm| -> Vec<usize> {
+        let program = |mut comm: Comm| async move {
             match comm.rank() {
                 0 => {
-                    let mut v: Vec<usize> = (0..3).map(|_| comm.recv_any(1).0).collect();
+                    let mut v = Vec::with_capacity(3);
+                    for _ in 0..3 {
+                        v.push(comm.recv_any(1).await.0);
+                    }
                     v.sort_unstable();
                     v
                 }
                 1 => {
-                    comm.send(0, 1, vec![1]);
-                    comm.send(0, 1, vec![2]);
+                    comm.send(0, 1, vec![1]).await;
+                    comm.send(0, 1, vec![2]).await;
                     Vec::new()
                 }
                 _ => {
-                    comm.send(0, 1, vec![3]);
+                    comm.send(0, 1, vec![3]).await;
                     Vec::new()
                 }
             }
@@ -662,21 +682,21 @@ mod tests {
     fn causal_chains_have_one_class() {
         // rank 1 -> 0; then 0 -> 2; then 2 -> 0. The second wildcard's
         // send happens-after the first receive: no reversal exists.
-        let program = |mut comm: Comm| -> Vec<usize> {
+        let program = |mut comm: Comm| async move {
             match comm.rank() {
                 0 => {
-                    let a = comm.recv_any(1).0;
-                    comm.send(2, 2, vec![0]);
-                    let b = comm.recv_any(1).0;
+                    let a = comm.recv_any(1).await.0;
+                    comm.send(2, 2, vec![0]).await;
+                    let b = comm.recv_any(1).await.0;
                     vec![a, b]
                 }
                 1 => {
-                    comm.send(0, 1, vec![1]);
+                    comm.send(0, 1, vec![1]).await;
                     Vec::new()
                 }
                 _ => {
-                    let _ = comm.recv_from(0, 2);
-                    comm.send(0, 1, vec![2]);
+                    let _ = comm.recv_from(0, 2).await;
+                    comm.send(0, 1, vec![2]).await;
                     Vec::new()
                 }
             }
@@ -721,16 +741,16 @@ mod tests {
         // Rank 0 deadlocks iff its first wildcard matches rank 2: it
         // then waits for a tag-9 message nobody sends. Only DPOR-style
         // enumeration finds this reliably.
-        let program = |mut comm: Comm| {
+        let program = |mut comm: Comm| async move {
             match comm.rank() {
                 0 => {
-                    let (src, _) = comm.recv_any(1);
+                    let (src, _) = comm.recv_any(1).await;
                     if src == 2 {
-                        let _ = comm.recv_from(2, 9);
+                        let _ = comm.recv_from(2, 9).await;
                     }
-                    let _ = comm.recv_any(1);
+                    let _ = comm.recv_any(1).await;
                 }
-                r => comm.send(0, 1, vec![r as u8]),
+                r => comm.send(0, 1, vec![r as u8]).await,
             };
             0usize
         };
@@ -749,14 +769,14 @@ mod tests {
     fn lost_message_violates_conservation() {
         // Rank 1 sends two messages but rank 0 consumes only one: the
         // second send is never delivered.
-        let program = |mut comm: Comm| {
+        let program = |mut comm: Comm| async move {
             match comm.rank() {
                 0 => {
-                    let _ = comm.recv_any(1);
+                    let _ = comm.recv_any(1).await;
                 }
                 _ => {
-                    comm.send(0, 1, vec![1]);
-                    comm.send(0, 1, vec![2]);
+                    comm.send(0, 1, vec![1]).await;
+                    comm.send(0, 1, vec![2]).await;
                 }
             };
             0usize

@@ -2,22 +2,28 @@
 //!
 //! The paper's renderer is an MPI program. Rust MPI bindings being
 //! immature (and no cluster being available), this crate provides the
-//! message-passing substrate the pipeline runs on: `n` ranks as OS
-//! threads, point-to-point send/recv with tag matching, barriers, and
-//! the handful of collectives the volume renderer needs. The semantics
+//! message-passing substrate the pipeline runs on: `n` simulated ranks,
+//! point-to-point send/recv with tag matching, barriers, and the
+//! handful of collectives the volume renderer needs. The semantics
 //! follow MPI where it matters (non-overtaking delivery per
 //! (source, tag) pair, blocking receives, collective completion).
 //!
+//! Ranks are **resumable tasks on a discrete-event core**: each rank's
+//! program is an async function polled by a single-threaded scheduler
+//! (`event` module), sends and timers are events on a virtual-time
+//! queue, and blocking waits park the task until a message arrives.
+//! No OS threads, no wall-clock sleeps — which is what lets one
+//! machine run worlds at the paper's 32K-rank scale. The original
+//! thread-per-rank executor survives behind the `thread-exec` feature
+//! ([`Backend::Thread`]) as the differential oracle the event core is
+//! property-tested against.
+//!
 //! Two layers:
 //!
-//! * [`World::run`] / [`World::run_opts`] — SPMD entry points: spawn
-//!   one thread per rank and hand each a [`Comm`].
-//! * [`Comm`] — the per-rank communicator.
-//!
-//! At paper scale (32K ranks) the pipeline does not thread-execute;
-//! it *simulates* communication through `pvr-bgp`'s flow simulator.
-//! This crate is the laptop-scale execution vehicle that validates the
-//! algorithms the simulator's schedules describe.
+//! * [`World::run`] / [`World::run_opts`] — SPMD entry points: create
+//!   one task per rank and hand each a [`Comm`].
+//! * [`Comm`] — the per-rank communicator. Communication methods are
+//!   `async`; rank programs are written as `|mut comm| async move { … }`.
 //!
 //! ## Verification hooks
 //!
@@ -29,20 +35,21 @@
 //!   [`RunOptions::trace`] the run yields a [`trace::TraceLog`] whose
 //!   clocks let a post-hoc checker find *message races*: wildcard
 //!   (`recv_any`) matches whose candidate sends were concurrent.
+//!   (Untraced runs skip clock maintenance entirely — an `O(n)` copy
+//!   per send that would dominate at 32K ranks.)
 //! * **Non-overtaking assertions.** Each message carries a per
 //!   (source, destination, tag) sequence number; delivery asserts the
 //!   numbers arrive in order, so an overtaking bug in the runtime (or
 //!   a future transport swap) fails loudly instead of silently
 //!   reordering fragments.
-//! * **Deadlock detection.** Ranks block on condvars inside one global
-//!   lock, so the runtime observes every blocked/done transition. When
-//!   all ranks are blocked or done and no queued message can wake
-//!   anyone, the run is declared deadlocked: the wait-for cycle is
-//!   named in the error report and every blocked rank unwinds, instead
-//!   of the process hanging forever. A watchdog timeout
-//!   ([`RunOptions::timeout`], default 120 s, env
+//! * **Deadlock detection.** The scheduler observes every blocked/done
+//!   transition. When all tasks are parked or done, no timer is
+//!   pending, and no queued message can wake anyone, the run is
+//!   declared deadlocked: the wait-for cycle is named in the error
+//!   report, instead of the process hanging forever. A wall-clock
+//!   guard ([`RunOptions::timeout`], default 120 s, env
 //!   `PVR_MPISIM_TIMEOUT_SECS`, `0` disables) additionally converts
-//!   stalls into [`RunError::Stalled`]. The watchdog can only free
+//!   runaway runs into [`RunError::Stalled`]. The guard can only free
 //!   ranks blocked in communication; a rank spinning in user compute
 //!   cannot be preempted (the report is still printed to stderr).
 //! * **Match policies.** The wildcard-match order of `recv_any` is
@@ -50,8 +57,22 @@
 //!   (default), arrival order, seeded perturbation (to explore
 //!   alternative interleavings), or replay of a recorded order (to
 //!   reproduce or deliberately reorder a previous run).
+//!
+//! ## Virtual time
+//!
+//! [`Comm::now`] reads the world's virtual clock and [`Comm::sleep`]
+//! parks the task until the clock reaches a deadline. Virtual time
+//! advances only when every runnable task has parked and the earliest
+//! timer fires, so a simulated 5-second fault delay costs zero wall
+//! time. Timed receives ([`Comm::recv_any_timeout`]) expire on the
+//! virtual clock; [`Comm::time`] folds a task's measured compute time
+//! into the virtual timeline for stage attribution.
 
 pub mod trace;
+
+mod event;
+#[cfg(feature = "thread-exec")]
+mod thread;
 
 #[cfg(feature = "ft")]
 pub mod fault {
@@ -74,7 +95,8 @@ pub mod fault {
         Deliver,
         /// Discard silently; the receiver never sees it.
         Drop,
-        /// Stall the sender this long, then deliver.
+        /// Stall the sender this long, then deliver. On the event core
+        /// the stall is virtual-time only (zero wall cost).
         Delay(std::time::Duration),
         /// The injector mutated the payload; deliver the mutated bytes.
         Corrupt,
@@ -100,30 +122,34 @@ pub mod fault {
 }
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
-use std::panic::resume_unwind;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+#[cfg(feature = "thread-exec")]
+use std::cell::{Ref, RefMut};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::future::Future;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
 
 use trace::{Clock, MarkKind, ReplayLog, TraceEvent, TraceLog};
 
 /// A tagged message envelope.
 #[derive(Debug)]
-struct Envelope {
+pub(crate) struct Envelope {
     src: usize,
     tag: u32,
     /// Per-(src, dst, tag) sequence number, asserted on delivery.
     seq: u64,
     /// Global arrival stamp (order the runtime accepted the send).
     arrival: u64,
-    /// Sender's vector clock at the send.
+    /// Sender's vector clock at the send (empty when untraced).
     clock: Clock,
     data: Vec<u8>,
 }
 
 /// What a rank is doing, as seen by the deadlock detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
+pub(crate) enum Status {
     Running,
     RecvFrom {
         src: usize,
@@ -149,7 +175,8 @@ pub enum RunError {
     /// All ranks were blocked or done with no message able to wake
     /// anyone; the report names the wait-for cycle.
     Deadlock { report: String },
-    /// The watchdog timeout expired before the world completed.
+    /// The watchdog timeout expired before the world completed, or the
+    /// world went quiescent with deadlock detection disabled.
     Stalled { report: String },
 }
 
@@ -250,7 +277,7 @@ pub struct ChoicePoint {
 }
 
 /// Callback invoked on every resolved wildcard receive (see
-/// [`ChoicePoint`]). Runs on the receiving rank's thread.
+/// [`ChoicePoint`]). Runs on the receiving rank's task.
 pub type ChoiceHook = Arc<dyn Fn(&ChoicePoint) + Send + Sync>;
 
 impl std::fmt::Debug for MatchPolicy {
@@ -269,9 +296,24 @@ impl std::fmt::Debug for MatchPolicy {
     }
 }
 
+/// Which executor runs the ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The single-threaded discrete-event core (virtual time, parked
+    /// tasks). The default.
+    #[default]
+    Event,
+    /// One OS thread per rank with blocking condvar waits — the
+    /// original executor, kept as a differential oracle (feature
+    /// `thread-exec`).
+    #[cfg(feature = "thread-exec")]
+    Thread,
+}
+
 /// Knobs for [`World::run_opts`]. [`World::run`] uses the default:
 /// `MinSource` matching, deadlock detection on, watchdog timeout from
-/// `PVR_MPISIM_TIMEOUT_SECS` (default 120 s, `0` disables), no trace.
+/// `PVR_MPISIM_TIMEOUT_SECS` (default 120 s, `0` disables), no trace,
+/// event backend.
 #[derive(Clone)]
 pub struct RunOptions {
     pub match_policy: MatchPolicy,
@@ -281,6 +323,8 @@ pub struct RunOptions {
     /// Invoked on every resolved wildcard receive (any policy); see
     /// [`ChoicePoint`].
     pub on_choice: Option<ChoiceHook>,
+    /// Which executor runs the ranks (see [`Backend`]).
+    pub backend: Backend,
     /// Fault injector consulted on every send (feature `ft`).
     #[cfg(feature = "ft")]
     pub injector: Option<Arc<dyn fault::FaultInjector>>,
@@ -294,6 +338,7 @@ impl Default for RunOptions {
             timeout: default_timeout(),
             trace: false,
             on_choice: None,
+            backend: Backend::Event,
             #[cfg(feature = "ft")]
             injector: None,
         }
@@ -333,6 +378,12 @@ impl RunOptions {
         self.timeout = t;
         self
     }
+
+    /// Select the executor (see [`Backend`]).
+    pub fn with_backend(mut self, b: Backend) -> Self {
+        self.backend = b;
+        self
+    }
 }
 
 /// The watchdog timeout: `PVR_MPISIM_TIMEOUT_SECS` if set (`0`
@@ -348,108 +399,208 @@ pub fn default_timeout() -> Option<Duration> {
     }
 }
 
-/// A successful world: per-rank results plus the trace, if recorded.
+/// Scheduler counters of an event-core run (None on the thread
+/// backend); `bench_sim` turns these into the trajectory point.
+#[derive(Debug, Clone, Copy)]
+pub struct SimStats {
+    /// Task polls performed.
+    pub polls: u64,
+    /// Messages accepted into destination queues.
+    pub messages: u64,
+    /// Virtual-time timers fired.
+    pub timer_fires: u64,
+    /// Final virtual clock value.
+    pub virtual_time: Duration,
+    /// Peak resident rank tasks (all tasks are created up front).
+    pub peak_resident: usize,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+}
+
+/// A successful world: per-rank results plus the trace, if recorded,
+/// plus the event-core scheduler counters.
 #[derive(Debug)]
 pub struct RunOutput<T> {
     pub results: Vec<T>,
     pub trace: Option<TraceLog>,
+    pub sim: Option<SimStats>,
 }
 
-/// Global state of a rank group, under one mutex so blocked/done
-/// transitions are observable atomically (the deadlock detector relies
-/// on this).
-struct State {
+/// Global state of a rank group: message queues, blocked/done status
+/// (the deadlock detector's input), barrier bookkeeping, and the trace
+/// sink. The event core owns it single-threaded behind a `RefCell`;
+/// the thread backend puts it under one mutex so blocked/done
+/// transitions stay atomic.
+pub(crate) struct State {
     /// Accepted-but-undelivered messages, per destination.
-    queues: Vec<VecDeque<Envelope>>,
-    status: Vec<Status>,
-    barrier_gen: u64,
-    barrier_count: usize,
+    pub(crate) queues: Vec<VecDeque<Envelope>>,
+    pub(crate) status: Vec<Status>,
+    pub(crate) barrier_gen: u64,
+    pub(crate) barrier_count: usize,
     /// Elementwise max of the clocks of ranks arrived at the current
     /// barrier generation.
-    barrier_clock: Clock,
+    pub(crate) barrier_clock: Clock,
     /// Merged clock of the last completed barrier generation.
-    release_clock: Clock,
-    poison: Option<RunError>,
-    arrival: u64,
-    done_count: usize,
-    trace_sink: Option<Vec<TraceEvent>>,
+    pub(crate) release_clock: Clock,
+    pub(crate) poison: Option<RunError>,
+    pub(crate) arrival: u64,
+    pub(crate) done_count: usize,
+    pub(crate) trace_sink: Option<Vec<TraceEvent>>,
 }
 
-struct Shared {
-    state: Mutex<State>,
-    /// One condvar per rank: notified on message arrival for that rank,
-    /// barrier release, and poison.
-    rank_cv: Vec<Condvar>,
-    /// Notified when the world completes or is poisoned (wakes the
-    /// watchdog).
-    monitor_cv: Condvar,
-}
-
-impl Shared {
-    fn lock_state(&self) -> MutexGuard<'_, State> {
-        // A rank panicking in user code poisons the mutex; the runtime
-        // state is still consistent (we never unwind while mutating it).
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn notify_everyone(&self) {
-        for cv in &self.rank_cv {
-            cv.notify_all();
+impl State {
+    pub(crate) fn new(n: usize, trace: bool) -> State {
+        State {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            status: vec![Status::Running; n],
+            barrier_gen: 0,
+            barrier_count: 0,
+            barrier_clock: vec![0; n],
+            release_clock: vec![0; n],
+            poison: None,
+            arrival: 0,
+            done_count: 0,
+            trace_sink: if trace { Some(Vec::new()) } else { None },
         }
-        self.monitor_cv.notify_all();
     }
 }
-
-/// Unwind payload used when a rank is torn down by poison (deadlock or
-/// watchdog). Not a real panic: the runner translates it into the
-/// poisoning `RunError` and `resume_unwind` skips the panic hook, so
-/// teardown is quiet.
-struct PoisonUnwind;
 
 /// Per-rank mutable bookkeeping, interior-mutable because `send` and
 /// `barrier` take `&self`.
-struct RankLocal {
-    clock: Clock,
+pub(crate) struct RankLocal {
+    /// Empty when the run is untraced (clock upkeep is `O(n)` per
+    /// event and only the trace observes it).
+    pub(crate) clock: Clock,
     /// Next sequence number per (destination, tag).
     send_seq: HashMap<(usize, u32), u64>,
     /// Next expected sequence number per (source, tag).
     expect_seq: HashMap<(usize, u32), u64>,
     /// Wildcard receives completed so far (the replay index).
     wildcards: u64,
-    trace: Vec<TraceEvent>,
+    pub(crate) trace: Vec<TraceEvent>,
 }
 
-enum Want {
+pub(crate) enum Want {
     From(usize),
     Any,
 }
 
 /// How long a receive may block.
 #[cfg_attr(not(feature = "ft"), allow(dead_code))]
-enum Until {
+pub(crate) enum Until {
     /// Forever: classic blocking receive, visible to the deadlock
     /// detector.
     Forever,
-    /// Until the deadline; the wait is invisible to the deadlock
-    /// detector (the rank wakes by itself).
-    At(Instant),
-    /// Non-blocking poll: take a pending match or return immediately.
-    Now,
+    /// Up to this long; the wait is invisible to the deadlock detector
+    /// (the rank wakes by itself — virtual timer on the event core,
+    /// condvar timeout on the thread backend).
+    Timeout(Duration),
+}
+
+/// Messages delivered but not yet matched, keyed by (src, tag) with
+/// FIFO per key (non-overtaking order), plus a sorted (tag, src) index
+/// so wildcard matching is `O(log n)` instead of a full-map scan —
+/// the difference between `O(n)` and `O(n²)` for a 32K-rank gather.
+#[derive(Default)]
+struct PendingSet {
+    map: HashMap<(usize, u32), VecDeque<Envelope>>,
+    index: BTreeSet<(u32, usize)>,
+}
+
+impl PendingSet {
+    fn push(&mut self, env: Envelope) {
+        let key = (env.src, env.tag);
+        let q = self.map.entry(key).or_default();
+        if q.is_empty() {
+            self.index.insert((env.tag, env.src));
+        }
+        q.push_back(env);
+    }
+
+    fn pop(&mut self, src: usize, tag: u32) -> Option<Envelope> {
+        let q = self.map.get_mut(&(src, tag))?;
+        let env = q.pop_front()?;
+        if q.is_empty() {
+            self.index.remove(&(tag, src));
+        }
+        Some(env)
+    }
+
+    /// Lowest source with a pending message of `tag`.
+    fn first_src(&self, tag: u32) -> Option<usize> {
+        self.index
+            .range((tag, 0)..=(tag, usize::MAX))
+            .next()
+            .map(|&(_, s)| s)
+    }
+
+    /// All sources with a pending message of `tag`, ascending.
+    fn sources(&self, tag: u32) -> impl Iterator<Item = usize> + '_ {
+        self.index
+            .range((tag, 0)..=(tag, usize::MAX))
+            .map(|&(_, s)| s)
+    }
+
+    fn front_arrival(&self, src: usize, tag: u32) -> u64 {
+        self.map[&(src, tag)]
+            .front()
+            .expect("indexed queue")
+            .arrival
+    }
+}
+
+/// Which world a `Comm` belongs to: the single-threaded event core
+/// (`Rc` — the handle never crosses threads) or the thread backend's
+/// shared state.
+#[derive(Clone)]
+pub(crate) enum WorldLink {
+    Event(Rc<RefCell<event::EventCore>>),
+    #[cfg(feature = "thread-exec")]
+    Thread(Arc<thread::Shared>),
 }
 
 /// The per-rank communicator handle.
 pub struct Comm {
     rank: usize,
     size: usize,
-    shared: Arc<Shared>,
+    world: WorldLink,
     opts: Arc<RunOptions>,
-    /// Messages delivered but not yet matched, keyed by (src, tag);
-    /// FIFO per key preserves non-overtaking order.
-    pending: HashMap<(usize, u32), VecDeque<Envelope>>,
+    pending: PendingSet,
     local: RefCell<RankLocal>,
 }
 
 impl Comm {
+    pub(crate) fn new(rank: usize, size: usize, world: WorldLink, opts: Arc<RunOptions>) -> Comm {
+        let clock = if opts.trace {
+            vec![0; size]
+        } else {
+            Clock::new()
+        };
+        Comm {
+            rank,
+            size,
+            world,
+            opts,
+            pending: PendingSet::default(),
+            local: RefCell::new(RankLocal {
+                clock,
+                send_seq: HashMap::new(),
+                expect_seq: HashMap::new(),
+                wildcards: 0,
+                trace: Vec::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn new_event(
+        rank: usize,
+        size: usize,
+        core: Rc<RefCell<event::EventCore>>,
+        opts: Arc<RunOptions>,
+    ) -> Comm {
+        Comm::new(rank, size, WorldLink::Event(core), opts)
+    }
+
     pub fn rank(&self) -> usize {
         self.rank
     }
@@ -458,13 +609,29 @@ impl Comm {
         self.size
     }
 
-    fn poison_unwind(&self) -> ! {
-        resume_unwind(Box::new(PoisonUnwind))
+    #[cfg(feature = "thread-exec")]
+    pub(crate) fn opts(&self) -> &RunOptions {
+        &self.opts
     }
 
-    /// Blocking-buffered send (always completes locally; queues are
-    /// unbounded).
-    pub fn send(&self, to: usize, tag: u32, data: Vec<u8>) {
+    #[cfg(feature = "thread-exec")]
+    pub(crate) fn local_ref(&self) -> Ref<'_, RankLocal> {
+        self.local.borrow()
+    }
+
+    #[cfg(feature = "thread-exec")]
+    pub(crate) fn local_mut(&self) -> RefMut<'_, RankLocal> {
+        self.local.borrow_mut()
+    }
+
+    #[cfg(feature = "thread-exec")]
+    pub(crate) fn pending_push(&mut self, env: Envelope) {
+        self.pending.push(env);
+    }
+
+    /// Buffered send (always completes without waiting for the
+    /// receiver; queues are unbounded).
+    pub async fn send(&self, to: usize, tag: u32, data: Vec<u8>) {
         assert!(to < self.size, "send to rank {to} of {}", self.size);
         #[cfg(feature = "ft")]
         let data = {
@@ -496,7 +663,10 @@ impl Comm {
                 }
                 match fate {
                     fault::SendFate::Drop => return,
-                    fault::SendFate::Delay(d) => std::thread::sleep(d),
+                    // The sender stalls before enqueueing — in virtual
+                    // time on the event core (zero wall cost), in wall
+                    // time on the thread backend.
+                    fault::SendFate::Delay(d) => self.sleep(d).await,
                     fault::SendFate::Deliver | fault::SendFate::Corrupt => {}
                 }
             }
@@ -505,12 +675,12 @@ impl Comm {
         let (seq, clock) = {
             let mut local = self.local.borrow_mut();
             let me = self.rank;
-            local.clock[me] += 1;
             let seq_ref = local.send_seq.entry((to, tag)).or_insert(0);
             let seq = *seq_ref;
             *seq_ref += 1;
-            let clock = local.clock.clone();
-            if self.opts.trace {
+            let clock = if self.opts.trace {
+                local.clock[me] += 1;
+                let clock = local.clock.clone();
                 local.trace.push(TraceEvent::Send {
                     from: me,
                     to,
@@ -519,32 +689,37 @@ impl Comm {
                     bytes: data.len() as u64,
                     clock: clock.clone(),
                 });
-            }
+                clock
+            } else {
+                Clock::new()
+            };
             (seq, clock)
         };
-        let mut st = self.shared.lock_state();
-        if st.poison.is_some() {
-            drop(st);
-            self.poison_unwind();
+        match self.world.clone() {
+            WorldLink::Event(core) => {
+                let mut c = core.borrow_mut();
+                c.count_message();
+                c.st.arrival += 1;
+                let arrival = c.st.arrival;
+                c.st.queues[to].push_back(Envelope {
+                    src: self.rank,
+                    tag,
+                    seq,
+                    arrival,
+                    clock,
+                    data,
+                });
+                c.wake(to);
+            }
+            #[cfg(feature = "thread-exec")]
+            WorldLink::Thread(sh) => self.thread_enqueue(&sh, to, (tag, seq, clock, data)),
         }
-        st.arrival += 1;
-        let arrival = st.arrival;
-        st.queues[to].push_back(Envelope {
-            src: self.rank,
-            tag,
-            seq,
-            arrival,
-            clock,
-            data,
-        });
-        drop(st);
-        self.shared.rank_cv[to].notify_all();
     }
 
     /// Blocking receive of a message with `tag` from `src`.
-    pub fn recv_from(&mut self, src: usize, tag: u32) -> Vec<u8> {
+    pub async fn recv_from(&mut self, src: usize, tag: u32) -> Vec<u8> {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
-        let env = self.wait_match(Want::From(src), tag, None);
+        let env = self.wait_match(Want::From(src), tag).await;
         self.deliver(env, None)
     }
 
@@ -558,7 +733,7 @@ impl Comm {
     /// validated against. Note this is *not* arrival order; use
     /// `MatchPolicy::Arrival` for that, `Perturb` to explore other
     /// interleavings, or `Replay` to pin the order of a recorded run.
-    pub fn recv_any(&mut self, tag: u32) -> (usize, Vec<u8>) {
+    pub async fn recv_any(&mut self, tag: u32) -> (usize, Vec<u8>) {
         let widx = self.local.borrow().wildcards;
         let (want, forced) = match &self.opts.match_policy {
             MatchPolicy::Replay(log) => {
@@ -581,7 +756,7 @@ impl Comm {
             },
             _ => (Want::Any, false),
         };
-        let env = self.wait_match(want, tag, Some(widx));
+        let env = self.wait_match(want, tag).await;
         // Contract: the wildcard index advances only once a match is
         // in hand (see `recv_any_timeout`), and exactly once per
         // wildcard receive, so replay logs and guided schedules index
@@ -600,12 +775,7 @@ impl Comm {
         let Some(hook) = &self.opts.on_choice else {
             return;
         };
-        let mut candidates: Vec<usize> = self
-            .pending
-            .iter()
-            .filter(|((_, t), q)| *t == tag && !q.is_empty())
-            .map(|((s, _), _)| *s)
-            .collect();
+        let mut candidates: Vec<usize> = self.pending.sources(tag).collect();
         candidates.push(env.src);
         candidates.sort_unstable();
         candidates.dedup();
@@ -621,12 +791,15 @@ impl Comm {
 
     /// Receive with `tag` from any source, giving up after `timeout`.
     /// Returns `None` on expiry. The wait is invisible to the deadlock
-    /// detector — the rank wakes itself — so a lost message becomes a
+    /// detector — the rank wakes by itself — so a lost message becomes a
     /// timeout at the caller instead of a detector report (feature
     /// `ft`). The wildcard replay index only advances on success.
     #[cfg(feature = "ft")]
-    pub fn recv_any_timeout(&mut self, tag: u32, timeout: Duration) -> Option<(usize, Vec<u8>)> {
-        let deadline = Instant::now() + timeout;
+    pub async fn recv_any_timeout(
+        &mut self,
+        tag: u32,
+        timeout: Duration,
+    ) -> Option<(usize, Vec<u8>)> {
         // Contract (audited against `Replay`): the wildcard index is
         // read and advanced only *after* `wait_match_until` has
         // produced an envelope — the `?` above it returns first on
@@ -636,7 +809,9 @@ impl Comm {
         // wildcard (timed or not) gets the ordinal the recording gave
         // it, rather than one shifted past the end of the log (the
         // "replay log exhausted at rank R wildcard #N" panic).
-        let env = self.wait_match_until(Want::Any, tag, Until::At(deadline))?;
+        let env = self
+            .wait_match_until(Want::Any, tag, Until::Timeout(timeout))
+            .await?;
         let widx = self.local.borrow().wildcards;
         self.local.borrow_mut().wildcards = widx + 1;
         self.report_choice(widx, tag, &env, false);
@@ -648,25 +823,26 @@ impl Comm {
     /// Receive with `tag` from `src`, giving up after `timeout` (see
     /// [`Comm::recv_any_timeout`]; feature `ft`).
     #[cfg(feature = "ft")]
-    pub fn recv_from_timeout(
+    pub async fn recv_from_timeout(
         &mut self,
         src: usize,
         tag: u32,
         timeout: Duration,
     ) -> Option<Vec<u8>> {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
-        let deadline = Instant::now() + timeout;
-        let env = self.wait_match_until(Want::From(src), tag, Until::At(deadline))?;
+        let env = self
+            .wait_match_until(Want::From(src), tag, Until::Timeout(timeout))
+            .await?;
         Some(self.deliver(env, None))
     }
 
     /// Non-blocking poll: take a pending message with `tag` from any
     /// source, or return `None` immediately (feature `ft`).
-    #[cfg(feature = "ft")]
     pub fn try_recv_any(&mut self, tag: u32) -> Option<(usize, Vec<u8>)> {
+        self.drain_incoming();
         // Same index contract as `recv_any_timeout`: an empty poll
         // consumes no wildcard ordinal.
-        let env = self.wait_match_until(Want::Any, tag, Until::Now)?;
+        let env = self.try_take(&Want::Any, tag)?;
         let widx = self.local.borrow().wildcards;
         self.local.borrow_mut().wildcards = widx + 1;
         self.report_choice(widx, tag, &env, false);
@@ -675,109 +851,97 @@ impl Comm {
         Some((src, data))
     }
 
-    /// Block until a message matching `want`/`tag` is available, then
+    /// Move everything from this rank's arrival queue into `pending`.
+    fn drain_incoming(&mut self) {
+        match self.world.clone() {
+            WorldLink::Event(core) => {
+                let mut c = core.borrow_mut();
+                let me = self.rank;
+                while let Some(env) = c.st.queues[me].pop_front() {
+                    self.pending.push(env);
+                }
+            }
+            #[cfg(feature = "thread-exec")]
+            WorldLink::Thread(sh) => self.thread_drain(&sh),
+        }
+    }
+
+    /// Park until a message matching `want`/`tag` is available, then
     /// take it. Registers the blocked status so the deadlock detector
-    /// can see it, and re-checks poison on every wakeup.
-    fn wait_match(&mut self, want: Want, tag: u32, _wildcard: Option<u64>) -> Envelope {
+    /// can see it.
+    async fn wait_match(&mut self, want: Want, tag: u32) -> Envelope {
         self.wait_match_until(want, tag, Until::Forever)
+            .await
             .expect("Until::Forever waits until a match")
     }
 
-    /// The general wait: forever, until a deadline, or a one-shot poll.
-    /// Returns `None` only for the timed/poll variants.
-    fn wait_match_until(&mut self, want: Want, tag: u32, until: Until) -> Option<Envelope> {
+    /// The general wait: forever or until a deadline. Returns `None`
+    /// only for the timed variant.
+    async fn wait_match_until(&mut self, want: Want, tag: u32, until: Until) -> Option<Envelope> {
+        match self.world.clone() {
+            WorldLink::Event(core) => self.event_wait_match(core, want, tag, until).await,
+            #[cfg(feature = "thread-exec")]
+            WorldLink::Thread(sh) => self.thread_wait_match(&sh, want, tag, until),
+        }
+    }
+
+    /// Event-core wait: a future that re-checks the pending set on
+    /// every wake (message arrival, barrier release, timer) and parks
+    /// with its blocked status registered for the quiescence check.
+    async fn event_wait_match(
+        &mut self,
+        core: Rc<RefCell<event::EventCore>>,
+        want: Want,
+        tag: u32,
+        until: Until,
+    ) -> Option<Envelope> {
         let me = self.rank;
-        let shared = Arc::clone(&self.shared);
-        let mut st = shared.lock_state();
-        loop {
-            if st.poison.is_some() {
-                drop(st);
-                self.poison_unwind();
+        let deadline = match until {
+            Until::Forever => None,
+            Until::Timeout(d) => Some(
+                core.borrow()
+                    .now_ns
+                    .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+            ),
+        };
+        let timed = deadline.is_some();
+        let mut timer_set = false;
+        let comm = self;
+        std::future::poll_fn(move |_cx| {
+            let mut c = core.borrow_mut();
+            while let Some(env) = c.st.queues[me].pop_front() {
+                comm.pending.push(env);
             }
-            while let Some(env) = st.queues[me].pop_front() {
-                self.pending
-                    .entry((env.src, env.tag))
-                    .or_default()
-                    .push_back(env);
+            if let Some(env) = comm.try_take(&want, tag) {
+                c.st.status[me] = Status::Running;
+                return Poll::Ready(Some(env));
             }
-            if let Some(env) = self.try_take(&want, tag) {
-                return Some(env);
-            }
-            let wait_for = match until {
-                Until::Forever => None,
-                Until::Now => return None,
-                Until::At(deadline) => {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        return None;
-                    }
-                    Some(deadline - now)
+            if let Some(d) = deadline {
+                if c.now_ns >= d {
+                    c.st.status[me] = Status::Running;
+                    return Poll::Ready(None);
                 }
-            };
-            let timed = wait_for.is_some();
-            st.status[me] = match want {
+                if !timer_set {
+                    c.add_timer(d, me);
+                    timer_set = true;
+                }
+            }
+            c.st.status[me] = match want {
                 Want::From(src) => Status::RecvFrom { src, tag, timed },
                 Want::Any => Status::RecvAny { tag, timed },
             };
-            // A timed wait wakes by itself, so it must neither trigger
-            // the detector here nor count as quiescent when another
-            // rank's check scans the status table (check_deadlock skips
-            // worlds with any timed waiter).
-            if !timed && self.opts.deadlock_detection {
-                if let Some(report) = check_deadlock(&st) {
-                    poison_with(&shared, &mut st, RunError::Deadlock { report });
-                    drop(st);
-                    self.poison_unwind();
-                }
-            }
-            st = match wait_for {
-                None => shared.rank_cv[me]
-                    .wait(st)
-                    .unwrap_or_else(PoisonError::into_inner),
-                Some(d) => {
-                    shared.rank_cv[me]
-                        .wait_timeout(st, d)
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .0
-                }
-            };
-            st.status[me] = Status::Running;
-        }
+            Poll::Pending
+        })
+        .await
     }
 
     /// Take a matching envelope from `pending`, honouring the match
     /// policy for wildcard receives.
-    fn try_take(&mut self, want: &Want, tag: u32) -> Option<Envelope> {
+    pub(crate) fn try_take(&mut self, want: &Want, tag: u32) -> Option<Envelope> {
         match want {
-            Want::From(src) => {
-                let q = self.pending.get_mut(&(*src, tag))?;
-                q.pop_front()
-            }
+            Want::From(src) => self.pending.pop(*src, tag),
             Want::Any => {
-                let mut candidates: Vec<usize> = self
-                    .pending
-                    .iter()
-                    .filter(|((_, t), q)| *t == tag && !q.is_empty())
-                    .map(|((s, _), _)| *s)
-                    .collect();
-                if candidates.is_empty() {
-                    return None;
-                }
-                candidates.sort_unstable();
                 let src = match &self.opts.match_policy {
-                    MatchPolicy::MinSource => candidates[0],
-                    MatchPolicy::Arrival => *candidates
-                        .iter()
-                        .min_by_key(|s| self.pending[&(**s, tag)].front().unwrap().arrival)
-                        .unwrap(),
-                    MatchPolicy::Perturb(seed) => {
-                        let widx = self.local.borrow().wildcards;
-                        let h = splitmix64(
-                            seed ^ (self.rank as u64).wrapping_mul(0x9e37_79b9)
-                                ^ widx.wrapping_mul(0x85eb_ca6b),
-                        );
-                        candidates[(h % candidates.len() as u64) as usize]
-                    }
                     // Blocking recv_any resolves Replay to Want::From
                     // before waiting (and Guided likewise, inside its
                     // forced prefix); the timed/poll receives do not
@@ -787,9 +951,27 @@ impl Comm {
                     // the deterministic min-source choice. A Guided
                     // wildcard past its forced prefix lands here too:
                     // min-source keeps the continuation deterministic.
-                    MatchPolicy::Replay(_) | MatchPolicy::Guided(_) => candidates[0],
+                    MatchPolicy::MinSource | MatchPolicy::Replay(_) | MatchPolicy::Guided(_) => {
+                        self.pending.first_src(tag)?
+                    }
+                    MatchPolicy::Arrival => self
+                        .pending
+                        .sources(tag)
+                        .min_by_key(|&s| self.pending.front_arrival(s, tag))?,
+                    MatchPolicy::Perturb(seed) => {
+                        let candidates: Vec<usize> = self.pending.sources(tag).collect();
+                        if candidates.is_empty() {
+                            return None;
+                        }
+                        let widx = self.local.borrow().wildcards;
+                        let h = splitmix64(
+                            seed ^ (self.rank as u64).wrapping_mul(0x9e37_79b9)
+                                ^ widx.wrapping_mul(0x85eb_ca6b),
+                        );
+                        candidates[(h % candidates.len() as u64) as usize]
+                    }
                 };
-                self.pending.get_mut(&(src, tag)).unwrap().pop_front()
+                self.pending.pop(src, tag)
             }
         }
     }
@@ -807,11 +989,11 @@ impl Comm {
             env.seq, env.src, env.tag
         );
         *expect += 1;
-        for (c, s) in local.clock.iter_mut().zip(&env.clock) {
-            *c = (*c).max(*s);
-        }
-        local.clock[me] += 1;
         if self.opts.trace {
+            for (c, s) in local.clock.iter_mut().zip(&env.clock) {
+                *c = (*c).max(*s);
+            }
+            local.clock[me] += 1;
             let recv_clock = local.clock.clone();
             local.trace.push(TraceEvent::Recv {
                 rank: me,
@@ -829,51 +1011,16 @@ impl Comm {
 
     /// Synchronize all ranks. Also a vector-clock join point: every
     /// participant leaves with the elementwise max of all clocks.
-    pub fn barrier(&self) {
+    pub async fn barrier(&self) {
         let me = self.rank;
-        self.local.borrow_mut().clock[me] += 1;
-        let mut st = self.shared.lock_state();
-        if st.poison.is_some() {
-            drop(st);
-            self.poison_unwind();
+        if self.opts.trace {
+            self.local.borrow_mut().clock[me] += 1;
         }
-        let gen = st.barrier_gen;
-        {
-            let local = self.local.borrow();
-            for (b, c) in st.barrier_clock.iter_mut().zip(&local.clock) {
-                *b = (*b).max(*c);
-            }
-        }
-        st.barrier_count += 1;
-        if st.barrier_count == self.size {
-            st.barrier_count = 0;
-            st.barrier_gen += 1;
-            st.release_clock = std::mem::replace(&mut st.barrier_clock, vec![0; self.size]);
-            for cv in &self.shared.rank_cv {
-                cv.notify_all();
-            }
-        } else {
-            st.status[me] = Status::Barrier { gen };
-            if self.opts.deadlock_detection {
-                if let Some(report) = check_deadlock(&st) {
-                    poison_with(&self.shared, &mut st, RunError::Deadlock { report });
-                    drop(st);
-                    self.poison_unwind();
-                }
-            }
-            while st.barrier_gen == gen && st.poison.is_none() {
-                st = self.shared.rank_cv[me]
-                    .wait(st)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-            st.status[me] = Status::Running;
-            if st.poison.is_some() {
-                drop(st);
-                self.poison_unwind();
-            }
-        }
-        let release = st.release_clock.clone();
-        drop(st);
+        let (gen, release) = match self.world.clone() {
+            WorldLink::Event(core) => self.event_barrier(core).await,
+            #[cfg(feature = "thread-exec")]
+            WorldLink::Thread(sh) => self.thread_barrier(&sh),
+        };
         let mut local = self.local.borrow_mut();
         for (c, r) in local.clock.iter_mut().zip(&release) {
             *c = (*c).max(*r);
@@ -886,40 +1033,87 @@ impl Comm {
         }
     }
 
+    /// Event-core barrier: the last arriver advances the generation and
+    /// wakes everyone; earlier arrivers park until the generation
+    /// moves.
+    async fn event_barrier(&self, core: Rc<RefCell<event::EventCore>>) -> (u64, Clock) {
+        let me = self.rank;
+        let size = self.size;
+        let gen = {
+            let mut c = core.borrow_mut();
+            let gen = c.st.barrier_gen;
+            {
+                let local = self.local.borrow();
+                for (b, cl) in c.st.barrier_clock.iter_mut().zip(&local.clock) {
+                    *b = (*b).max(*cl);
+                }
+            }
+            c.st.barrier_count += 1;
+            if c.st.barrier_count == size {
+                c.st.barrier_count = 0;
+                c.st.barrier_gen += 1;
+                c.st.release_clock = std::mem::replace(&mut c.st.barrier_clock, vec![0; size]);
+                for r in 0..size {
+                    if r != me {
+                        c.wake(r);
+                    }
+                }
+                let release = c.st.release_clock.clone();
+                return (gen, release);
+            }
+            c.st.status[me] = Status::Barrier { gen };
+            gen
+        };
+        let wait_core = Rc::clone(&core);
+        std::future::poll_fn(move |_cx| {
+            let mut c = wait_core.borrow_mut();
+            if c.st.barrier_gen > gen {
+                c.st.status[me] = Status::Running;
+                Poll::Ready(())
+            } else {
+                c.st.status[me] = Status::Barrier { gen };
+                Poll::Pending
+            }
+        })
+        .await;
+        let release = core.borrow().st.release_clock.clone();
+        (gen, release)
+    }
+
     /// Gather byte buffers from all ranks to `root`; returns `Some(all)`
     /// at the root (indexed by rank), `None` elsewhere.
-    pub fn gather(&mut self, root: usize, data: Vec<u8>, tag: u32) -> Option<Vec<Vec<u8>>> {
+    pub async fn gather(&mut self, root: usize, data: Vec<u8>, tag: u32) -> Option<Vec<Vec<u8>>> {
         if self.rank == root {
             let mut all: Vec<Vec<u8>> = vec![Vec::new(); self.size];
             all[root] = data;
             for _ in 0..self.size - 1 {
-                let (src, d) = self.recv_any(tag);
+                let (src, d) = self.recv_any(tag).await;
                 all[src] = d;
             }
             Some(all)
         } else {
-            self.send(root, tag, data);
+            self.send(root, tag, data).await;
             None
         }
     }
 
     /// Broadcast from `root` (tree-less reference implementation).
-    pub fn bcast(&mut self, root: usize, data: Vec<u8>, tag: u32) -> Vec<u8> {
+    pub async fn bcast(&mut self, root: usize, data: Vec<u8>, tag: u32) -> Vec<u8> {
         if self.rank == root {
             for r in 0..self.size {
                 if r != root {
-                    self.send(r, tag, data.clone());
+                    self.send(r, tag, data.clone()).await;
                 }
             }
             data
         } else {
-            self.recv_from(root, tag)
+            self.recv_from(root, tag).await
         }
     }
 
     /// All-reduce a double with a binary op (gather-to-0 + bcast).
-    pub fn allreduce_f64(&mut self, v: f64, op: impl Fn(f64, f64) -> f64, tag: u32) -> f64 {
-        let gathered = self.gather(0, v.to_le_bytes().to_vec(), tag);
+    pub async fn allreduce_f64(&mut self, v: f64, op: impl Fn(f64, f64) -> f64, tag: u32) -> f64 {
+        let gathered = self.gather(0, v.to_le_bytes().to_vec(), tag).await;
         if self.rank == 0 {
             let all = gathered.unwrap();
             let red = all
@@ -927,11 +1121,75 @@ impl Comm {
                 .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte f64")))
                 .reduce(&op)
                 .unwrap();
-            self.bcast(0, red.to_le_bytes().to_vec(), tag + 1);
+            self.bcast(0, red.to_le_bytes().to_vec(), tag + 1).await;
             red
         } else {
-            let b = self.bcast(0, Vec::new(), tag + 1);
+            let b = self.bcast(0, Vec::new(), tag + 1).await;
             f64::from_le_bytes(b.try_into().expect("8-byte f64"))
+        }
+    }
+
+    // ---- time (virtual on the event core, wall on threads) ----
+
+    /// Elapsed simulated time since the world started: the virtual
+    /// clock on the event core, wall time on the thread backend.
+    pub fn now(&self) -> Duration {
+        match &self.world {
+            WorldLink::Event(core) => Duration::from_nanos(core.borrow().now_ns),
+            #[cfg(feature = "thread-exec")]
+            WorldLink::Thread(sh) => sh.start.elapsed(),
+        }
+    }
+
+    /// Park this rank for `d` of simulated time. On the event core the
+    /// wait is a virtual-time timer (zero wall cost); on the thread
+    /// backend it is a real sleep.
+    pub async fn sleep(&self, d: Duration) {
+        match self.world.clone() {
+            WorldLink::Event(core) => {
+                let me = self.rank;
+                let deadline = core
+                    .borrow()
+                    .now_ns
+                    .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64);
+                let mut timer_set = false;
+                std::future::poll_fn(move |_cx| {
+                    let mut c = core.borrow_mut();
+                    if c.now_ns >= deadline {
+                        return Poll::Ready(());
+                    }
+                    if !timer_set {
+                        c.add_timer(deadline, me);
+                        timer_set = true;
+                    }
+                    Poll::Pending
+                })
+                .await
+            }
+            #[cfg(feature = "thread-exec")]
+            WorldLink::Thread(_) => std::thread::sleep(d),
+        }
+    }
+
+    /// A per-rank timestamp (seconds) for stage attribution: this
+    /// rank's accumulated compute (poll) time plus the virtual clock on
+    /// the event core; plain wall time on the thread backend.
+    /// Differences of `time()` bracket both real compute and simulated
+    /// waits.
+    pub fn time(&self) -> f64 {
+        match &self.world {
+            WorldLink::Event(core) => {
+                let c = core.borrow();
+                let mut busy = c.busy[self.rank];
+                if let Some((r, t0)) = c.poll_epoch {
+                    if r == self.rank {
+                        busy += t0.elapsed();
+                    }
+                }
+                (busy + Duration::from_nanos(c.now_ns)).as_secs_f64()
+            }
+            #[cfg(feature = "thread-exec")]
+            WorldLink::Thread(sh) => sh.start.elapsed().as_secs_f64(),
         }
     }
 
@@ -992,27 +1250,27 @@ impl Comm {
 }
 
 impl Drop for Comm {
-    /// Marks the rank done (also when unwinding from a panic), flushes
-    /// its trace, and re-runs the deadlock check: a rank exiting while
-    /// peers still wait on it is itself a deadlock.
+    /// Marks the rank done (also when unwinding from a panic) and
+    /// flushes its trace. On the thread backend this also re-runs the
+    /// deadlock check (a rank exiting while peers still wait on it is
+    /// itself a deadlock); the event core's quiescence check observes
+    /// the Done status instead.
     fn drop(&mut self) {
-        let me = self.rank;
-        let mut st = self.shared.lock_state();
-        st.status[me] = Status::Done;
-        st.done_count += 1;
-        if st.trace_sink.is_some() {
-            let mut local = self.local.borrow_mut();
-            if let Some(sink) = st.trace_sink.as_mut() {
-                sink.append(&mut local.trace);
+        match self.world.clone() {
+            WorldLink::Event(core) => {
+                let me = self.rank;
+                let mut c = core.borrow_mut();
+                c.st.status[me] = Status::Done;
+                c.st.done_count += 1;
+                if c.st.trace_sink.is_some() {
+                    let mut local = self.local.borrow_mut();
+                    if let Some(sink) = c.st.trace_sink.as_mut() {
+                        sink.append(&mut local.trace);
+                    }
+                }
             }
-        }
-        if st.done_count == self.size {
-            self.shared.monitor_cv.notify_all();
-        } else if self.opts.deadlock_detection && st.poison.is_none() {
-            if let Some(report) = check_deadlock(&st) {
-                // Never unwind out of drop; just poison and wake peers.
-                poison_with(&self.shared, &mut st, RunError::Deadlock { report });
-            }
+            #[cfg(feature = "thread-exec")]
+            WorldLink::Thread(sh) => self.thread_drop(&sh),
         }
     }
 }
@@ -1024,20 +1282,16 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn poison_with(shared: &Shared, st: &mut State, err: RunError) {
-    eprintln!("pvr-mpisim: {err}");
-    st.poison = Some(err);
-    shared.notify_everyone();
-}
-
-/// Quiescence check, run with the state lock held whenever a rank
-/// blocks or finishes. A deadlock holds iff every rank is blocked or
+/// Quiescence check: a deadlock holds iff every rank is blocked or
 /// done, at least one is blocked, no blocked receiver has an
-/// undelivered message, and no barrier waiter's generation has already
-/// been released. Returns the report naming the wait-for cycle (or,
-/// when the graph is acyclic — e.g. waiting on a rank that already
-/// exited — a per-rank wait listing).
-fn check_deadlock(st: &State) -> Option<String> {
+/// undelivered message, no waiter is timed (it wakes by itself), and
+/// no barrier waiter's generation has already been released. Returns
+/// the report naming the wait-for cycle (or, when the graph is acyclic
+/// — e.g. waiting on a rank that already exited — a per-rank wait
+/// listing). Run by the event core when the ready queue and timer
+/// heap drain, and by the thread backend whenever a rank blocks or
+/// finishes.
+pub(crate) fn check_deadlock(st: &State) -> Option<String> {
     let n = st.status.len();
     let mut blocked = 0usize;
     for r in 0..n {
@@ -1153,38 +1407,36 @@ fn check_deadlock(st: &State) -> Option<String> {
     Some(lines.join("\n"))
 }
 
-/// Watchdog: poisons the world with [`RunError::Stalled`] if it is
-/// still unfinished (and not already poisoned) at the deadline.
-fn watchdog(shared: &Shared, n: usize, timeout: Duration) {
-    let deadline = Instant::now() + timeout;
-    let mut st = shared.lock_state();
-    loop {
-        if st.done_count == n || st.poison.is_some() {
-            return;
+/// The watchdog-style stall report (shared by the event core's wall
+/// guard and the thread backend's watchdog).
+pub(crate) fn stall_report(st: &State, timeout: Duration, n: usize) -> String {
+    let blocked: Vec<String> = (0..n)
+        .filter(|&r| st.status[r] != Status::Running)
+        .map(|r| format!("rank {r}: {:?}", st.status[r]))
+        .collect();
+    format!(
+        "world not finished after {timeout:?}; {} of {n} ranks done; {}",
+        st.done_count,
+        if blocked.is_empty() {
+            "all ranks in user compute".to_string()
+        } else {
+            blocked.join("; ")
         }
-        let now = Instant::now();
-        if now >= deadline {
-            let blocked: Vec<String> = (0..n)
-                .filter(|&r| st.status[r] != Status::Running)
-                .map(|r| format!("rank {r}: {:?}", st.status[r]))
-                .collect();
-            let report = format!(
-                "world not finished after {timeout:?}; {} of {n} ranks done; {}",
-                st.done_count,
-                if blocked.is_empty() {
-                    "all ranks in user compute".to_string()
-                } else {
-                    blocked.join("; ")
-                }
-            );
-            poison_with(shared, &mut st, RunError::Stalled { report });
-            return;
-        }
-        let (g, _) = shared
-            .monitor_cv
-            .wait_timeout(st, deadline - now)
-            .unwrap_or_else(PoisonError::into_inner);
-        st = g;
+    )
+}
+
+/// Drive a future that must not park: used by non-simulated callers
+/// (the rayon executor, unit tests of async helpers) to run an async
+/// body to completion synchronously. Panics if the future actually
+/// parks — only event-core waits do, and those never run outside
+/// [`World::run_opts`].
+pub fn block_on_ready<T>(fut: impl Future<Output = T>) -> T {
+    let mut fut = std::pin::pin!(fut);
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(v) => v,
+        Poll::Pending => panic!("future parked outside an mpisim event loop"),
     }
 }
 
@@ -1192,14 +1444,16 @@ fn watchdog(shared: &Shared, n: usize, timeout: Duration) {
 pub struct World;
 
 impl World {
-    /// Run `f` on `n` ranks (threads); returns each rank's result in
-    /// rank order. Panics in any rank propagate; deadlocks and watchdog
+    /// Run `f` on `n` ranks; returns each rank's result in rank order.
+    /// Rank programs are async: `World::run(8, |mut comm| async move
+    /// { … })`. Panics in any rank propagate; deadlocks and watchdog
     /// stalls panic with the diagnostic report (use [`World::run_opts`]
     /// to get them as `Err` values instead).
-    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    pub fn run<T, F, Fut>(n: usize, f: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(Comm) -> T + Send + Sync,
+        F: Fn(Comm) -> Fut + Send + Sync,
+        Fut: Future<Output = T>,
     {
         match Self::run_opts(n, RunOptions::default(), f) {
             Ok(out) => out.results,
@@ -1210,851 +1464,20 @@ impl World {
     /// Run `f` on `n` ranks with explicit [`RunOptions`]; returns the
     /// per-rank results (and the trace, if recording) or the
     /// [`RunError`] that poisoned the world.
-    pub fn run_opts<T, F>(n: usize, opts: RunOptions, f: F) -> Result<RunOutput<T>, RunError>
+    pub fn run_opts<T, F, Fut>(n: usize, opts: RunOptions, f: F) -> Result<RunOutput<T>, RunError>
     where
         T: Send,
-        F: Fn(Comm) -> T + Send + Sync,
+        F: Fn(Comm) -> Fut + Send + Sync,
+        Fut: Future<Output = T>,
     {
         assert!(n >= 1);
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queues: (0..n).map(|_| VecDeque::new()).collect(),
-                status: vec![Status::Running; n],
-                barrier_gen: 0,
-                barrier_count: 0,
-                barrier_clock: vec![0; n],
-                release_clock: vec![0; n],
-                poison: None,
-                arrival: 0,
-                done_count: 0,
-                trace_sink: if opts.trace { Some(Vec::new()) } else { None },
-            }),
-            rank_cv: (0..n).map(|_| Condvar::new()).collect(),
-            monitor_cv: Condvar::new(),
-        });
-        let opts = Arc::new(opts);
-
-        let mut joins: Vec<std::thread::Result<T>> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n)
-                .map(|rank| {
-                    let shared = Arc::clone(&shared);
-                    let opts = Arc::clone(&opts);
-                    let f = &f;
-                    scope.spawn(move || {
-                        let comm = Comm {
-                            rank,
-                            size: n,
-                            shared,
-                            opts,
-                            pending: HashMap::new(),
-                            local: RefCell::new(RankLocal {
-                                clock: vec![0; n],
-                                send_seq: HashMap::new(),
-                                expect_seq: HashMap::new(),
-                                wildcards: 0,
-                                trace: Vec::new(),
-                            }),
-                        };
-                        f(comm)
-                    })
-                })
-                .collect();
-            if let Some(t) = opts.timeout {
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || watchdog(&shared, n, t));
-            }
-            for h in handles {
-                joins.push(h.join());
-            }
-        });
-
-        let mut results = Vec::with_capacity(n);
-        let mut real_panic = None;
-        for j in joins {
-            match j {
-                Ok(t) => results.push(Some(t)),
-                Err(payload) => {
-                    if payload.downcast_ref::<PoisonUnwind>().is_none() && real_panic.is_none() {
-                        real_panic = Some(payload);
-                    }
-                    results.push(None);
-                }
-            }
+        match opts.backend {
+            Backend::Event => event::run_world(n, opts, &f),
+            #[cfg(feature = "thread-exec")]
+            Backend::Thread => thread::run_world(n, opts, &f),
         }
-        if let Some(p) = real_panic {
-            resume_unwind(p);
-        }
-        let mut st = shared.lock_state();
-        if let Some(err) = st.poison.take() {
-            return Err(err);
-        }
-        let trace = st.trace_sink.take().map(|events| TraceLog::new(n, events));
-        Ok(RunOutput {
-            results: results
-                .into_iter()
-                .map(|o| o.expect("rank produced no result"))
-                .collect(),
-            trace,
-        })
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ring_pass() {
-        let results = World::run(8, |mut comm| {
-            let next = (comm.rank() + 1) % comm.size();
-            let prev = (comm.rank() + comm.size() - 1) % comm.size();
-            comm.send(next, 1, vec![comm.rank() as u8]);
-            let got = comm.recv_from(prev, 1);
-            got[0] as usize
-        });
-        assert_eq!(results, vec![7, 0, 1, 2, 3, 4, 5, 6]);
-    }
-
-    #[test]
-    fn tag_matching_out_of_order() {
-        let results = World::run(2, |mut comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 10, vec![1]);
-                comm.send(1, 20, vec![2]);
-                0
-            } else {
-                // Receive the later-tagged message first.
-                let b = comm.recv_from(0, 20);
-                let a = comm.recv_from(0, 10);
-                (a[0] * 10 + b[0]) as usize
-            }
-        });
-        assert_eq!(results[1], 12);
-    }
-
-    #[test]
-    fn non_overtaking_same_tag() {
-        let results = World::run(2, |mut comm| {
-            if comm.rank() == 0 {
-                for i in 0..100u8 {
-                    comm.send(1, 5, vec![i]);
-                }
-                Vec::new()
-            } else {
-                (0..100)
-                    .map(|_| comm.recv_from(0, 5)[0])
-                    .collect::<Vec<u8>>()
-            }
-        });
-        assert_eq!(results[1], (0..100).collect::<Vec<u8>>());
-    }
-
-    #[test]
-    fn gather_collects_in_rank_order() {
-        let results = World::run(5, |mut comm| {
-            let data = vec![comm.rank() as u8; comm.rank() + 1];
-            comm.gather(2, data, 7)
-        });
-        let at_root = results[2].as_ref().unwrap();
-        for (r, d) in at_root.iter().enumerate() {
-            assert_eq!(d.len(), r + 1);
-            assert!(d.iter().all(|&b| b == r as u8));
-        }
-        assert!(results[0].is_none());
-    }
-
-    #[test]
-    fn bcast_delivers_everywhere() {
-        let results = World::run(6, |mut comm| {
-            let payload = if comm.rank() == 3 {
-                b"hello".to_vec()
-            } else {
-                Vec::new()
-            };
-            comm.bcast(3, payload, 9)
-        });
-        for r in results {
-            assert_eq!(r, b"hello");
-        }
-    }
-
-    #[test]
-    fn allreduce_max() {
-        let results = World::run(7, |mut comm| {
-            comm.allreduce_f64(comm.rank() as f64 * 1.5, f64::max, 100)
-        });
-        for r in results {
-            assert_eq!(r, 9.0);
-        }
-    }
-
-    #[test]
-    fn barrier_orders_phases() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        static PHASE1: AtomicUsize = AtomicUsize::new(0);
-        let results = World::run(8, |comm| {
-            PHASE1.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
-            // After the barrier every rank must observe all 8 arrivals.
-            PHASE1.load(Ordering::SeqCst)
-        });
-        assert!(results.iter().all(|&v| v == 8));
-    }
-
-    #[test]
-    fn single_rank_world() {
-        let results = World::run(1, |mut comm| {
-            assert_eq!(comm.size(), 1);
-            comm.barrier();
-            let all = comm.gather(0, vec![42], 1).unwrap();
-            all[0][0] as usize
-        });
-        assert_eq!(results, vec![42]);
-    }
-
-    #[test]
-    fn recv_any_drains_lowest_source_first_from_pending() {
-        let results = World::run(3, |mut comm| {
-            if comm.rank() == 2 {
-                // Make sure both messages are pending before receiving.
-                let a = comm.recv_from(0, 1);
-                comm.send(0, 2, vec![]);
-                comm.send(1, 2, vec![]);
-                let (s1, _) = comm.recv_any(3);
-                let (s2, _) = comm.recv_any(3);
-                assert_ne!(s1, s2);
-                a[0] as usize
-            } else {
-                if comm.rank() == 0 {
-                    comm.send(2, 1, vec![9]);
-                }
-                let _ = comm.recv_from(2, 2);
-                comm.send(2, 3, vec![comm.rank() as u8]);
-                0
-            }
-        });
-        assert_eq!(results[2], 9);
-    }
-
-    // ---- verification-layer tests ----
-
-    #[test]
-    fn recv_cycle_is_reported_not_hung() {
-        let err = World::run_opts(2, RunOptions::default(), |mut comm| {
-            // Classic head-to-head: both ranks receive before sending.
-            let peer = 1 - comm.rank();
-            let _ = comm.recv_from(peer, 5);
-            comm.send(peer, 5, vec![1]);
-        })
-        .unwrap_err();
-        assert!(err.is_deadlock());
-        assert!(err.report().contains("cycle"), "report:\n{}", err.report());
-        assert!(err.report().contains("rank 0"));
-        assert!(err.report().contains("rank 1"));
-    }
-
-    #[test]
-    fn three_rank_cycle_named() {
-        let err = World::run_opts(3, RunOptions::default(), |mut comm| {
-            // 0 waits on 1, 1 waits on 2, 2 waits on 0.
-            let from = (comm.rank() + 1) % comm.size();
-            let _ = comm.recv_from(from, 9);
-        })
-        .unwrap_err();
-        assert!(err.is_deadlock());
-        assert!(err.report().contains("cycle"), "report:\n{}", err.report());
-    }
-
-    #[test]
-    fn waiting_on_finished_rank_is_deadlock() {
-        let err = World::run_opts(2, RunOptions::default(), |mut comm| {
-            if comm.rank() == 0 {
-                let _ = comm.recv_from(1, 3);
-            }
-            // Rank 1 exits immediately without sending.
-        })
-        .unwrap_err();
-        assert!(err.is_deadlock());
-        assert!(err.report().contains("done"), "report:\n{}", err.report());
-    }
-
-    #[test]
-    fn barrier_minus_one_rank_is_deadlock() {
-        let err = World::run_opts(4, RunOptions::default(), |comm| {
-            if comm.rank() != 3 {
-                comm.barrier();
-            }
-        })
-        .unwrap_err();
-        assert!(err.is_deadlock());
-        assert!(
-            err.report().contains("barrier"),
-            "report:\n{}",
-            err.report()
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "mpisim world failed")]
-    fn default_run_panics_with_report_on_deadlock() {
-        World::run(2, |mut comm| {
-            let peer = 1 - comm.rank();
-            let _ = comm.recv_from(peer, 5);
-        });
-    }
-
-    #[test]
-    fn watchdog_reports_stall_without_deadlock_detection() {
-        let opts = RunOptions::default()
-            .no_deadlock_detection()
-            .with_timeout(Some(Duration::from_millis(200)));
-        let err = World::run_opts(2, opts, |mut comm| {
-            let peer = 1 - comm.rank();
-            let _ = comm.recv_from(peer, 5);
-        })
-        .unwrap_err();
-        assert!(matches!(err, RunError::Stalled { .. }));
-        assert!(
-            err.report().contains("not finished"),
-            "report:\n{}",
-            err.report()
-        );
-    }
-
-    #[test]
-    fn user_panic_propagates_and_frees_peers() {
-        let caught = std::panic::catch_unwind(|| {
-            World::run(2, |mut comm| {
-                if comm.rank() == 0 {
-                    panic!("user bug");
-                }
-                let _ = comm.recv_from(0, 1);
-            })
-        });
-        let payload = caught.unwrap_err();
-        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
-        assert_eq!(msg, "user bug");
-    }
-
-    #[test]
-    fn trace_clocks_are_causally_ordered() {
-        let out = World::run_opts(3, RunOptions::default().traced(), |mut comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 1, vec![1]);
-            } else if comm.rank() == 1 {
-                let _ = comm.recv_from(0, 1);
-                comm.send(2, 1, vec![2]);
-            } else {
-                let _ = comm.recv_from(1, 1);
-            }
-        })
-        .unwrap();
-        let log = out.trace.unwrap();
-        for e in &log.events {
-            if let TraceEvent::Recv {
-                send_clock,
-                recv_clock,
-                ..
-            } = e
-            {
-                assert!(
-                    trace::clock_leq(send_clock, recv_clock),
-                    "send must happen-before its receive"
-                );
-            }
-        }
-        // Transitivity: rank 2's receive is causally after rank 0's send.
-        let send0 = log
-            .events
-            .iter()
-            .find_map(|e| match e {
-                TraceEvent::Send { from: 0, clock, .. } => Some(clock.clone()),
-                _ => None,
-            })
-            .unwrap();
-        let recv2 = log
-            .recvs_for(2)
-            .find_map(|e| match e {
-                TraceEvent::Recv { recv_clock, .. } => Some(recv_clock.clone()),
-                _ => None,
-            })
-            .unwrap();
-        assert!(trace::clock_leq(&send0, &recv2));
-    }
-
-    /// All-to-one fan-in where every sender confirms delivery before the
-    /// collector does its wildcard receives, so all candidates are
-    /// pending simultaneously and the match policy fully decides order.
-    fn fan_in_order(opts: RunOptions) -> (Vec<usize>, Option<TraceLog>) {
-        let n = 5;
-        let out = World::run_opts(n, opts, |mut comm| {
-            if comm.rank() == 0 {
-                for r in 1..comm.size() {
-                    let _ = comm.recv_from(r, 2); // "sent" confirmations
-                }
-                (0..comm.size() - 1)
-                    .map(|_| comm.recv_any(1).0)
-                    .collect::<Vec<usize>>()
-            } else {
-                comm.send(0, 1, vec![comm.rank() as u8]);
-                comm.send(0, 2, vec![]);
-                Vec::new()
-            }
-        })
-        .unwrap();
-        (out.results[0].clone(), out.trace)
-    }
-
-    #[test]
-    fn min_source_policy_orders_wildcards_by_rank() {
-        let (order, _) = fan_in_order(RunOptions::default());
-        assert_eq!(order, vec![1, 2, 3, 4]);
-    }
-
-    #[test]
-    fn perturb_policy_explores_other_orders() {
-        let (base, _) = fan_in_order(RunOptions::default());
-        let mut saw_different = false;
-        for seed in 0..16 {
-            let (order, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Perturb(seed)));
-            let mut sorted = order.clone();
-            sorted.sort_unstable();
-            assert_eq!(
-                sorted,
-                vec![1, 2, 3, 4],
-                "perturbation must not lose messages"
-            );
-            if order != base {
-                saw_different = true;
-            }
-        }
-        assert!(
-            saw_different,
-            "no perturbation seed changed the wildcard order"
-        );
-    }
-
-    #[test]
-    fn perturb_is_reproducible_per_seed() {
-        let (a, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Perturb(7)));
-        let (b, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Perturb(7)));
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn replay_reproduces_recorded_wildcard_order() {
-        let (base, trace) = fan_in_order(
-            RunOptions::default()
-                .policy(MatchPolicy::Perturb(3))
-                .traced(),
-        );
-        let replay = Arc::new(ReplayLog::from_trace(&trace.unwrap()));
-        let (replayed, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Replay(replay)));
-        assert_eq!(replayed, base);
-    }
-
-    #[test]
-    fn replay_swapped_forces_injected_order() {
-        let (base, trace) = fan_in_order(RunOptions::default().traced());
-        let log = ReplayLog::from_trace(&trace.unwrap());
-        let swapped = log
-            .swapped(0, 0)
-            .expect("distinct adjacent matches to swap");
-        let (reordered, _) =
-            fan_in_order(RunOptions::default().policy(MatchPolicy::Replay(Arc::new(swapped))));
-        assert_ne!(reordered, base);
-        assert_eq!(reordered[0], base[1]);
-        assert_eq!(reordered[1], base[0]);
-    }
-
-    #[test]
-    fn guided_prefix_forces_then_falls_back_to_min_source() {
-        let sched = Arc::new(GuidedSchedule::new(vec![vec![3, 1]]));
-        let (order, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Guided(sched)));
-        // First two wildcards forced to 3 then 1; the rest min-source.
-        assert_eq!(order, vec![3, 1, 2, 4]);
-    }
-
-    #[test]
-    fn guided_empty_schedule_is_min_source() {
-        let (base, _) = fan_in_order(RunOptions::default());
-        let sched = Arc::new(GuidedSchedule::default());
-        let (order, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Guided(sched)));
-        assert_eq!(order, base);
-    }
-
-    #[test]
-    fn guided_run_matches_replay_of_full_schedule() {
-        // A guided schedule covering every wildcard behaves exactly
-        // like Replay of the same choices — Guided generalizes Replay.
-        let choices = vec![vec![4, 2, 3, 1]];
-        let guided = Arc::new(GuidedSchedule::new(choices.clone()));
-        let (g, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Guided(guided)));
-        let replay = Arc::new(ReplayLog::from_choices(choices.clone()));
-        let (r, _) = fan_in_order(RunOptions::default().policy(MatchPolicy::Replay(replay)));
-        assert_eq!(g, r);
-        assert_eq!(g, choices[0]);
-    }
-
-    #[test]
-    fn choice_hook_sees_every_wildcard_with_candidates() {
-        use std::sync::Mutex;
-        let seen: Arc<Mutex<Vec<ChoicePoint>>> = Arc::new(Mutex::new(Vec::new()));
-        let sink = Arc::clone(&seen);
-        let sched = Arc::new(GuidedSchedule::new(vec![vec![4]]));
-        let opts = RunOptions::default()
-            .policy(MatchPolicy::Guided(sched))
-            .on_choice(Arc::new(move |cp: &ChoicePoint| {
-                sink.lock().unwrap().push(cp.clone());
-            }));
-        let (order, _) = fan_in_order(opts);
-        assert_eq!(order, vec![4, 1, 2, 3]);
-        let mut cps = seen.lock().unwrap().clone();
-        cps.sort_by_key(|cp| cp.index);
-        assert_eq!(cps.len(), 4, "one choice point per wildcard receive");
-        assert!(cps.iter().all(|cp| cp.rank == 0 && cp.tag == 1));
-        assert_eq!(cps[0].chosen, 4);
-        assert!(cps[0].forced, "scheduled prefix choices report forced");
-        // The confirmation handshake guarantees all four sends were
-        // pending when the first wildcard matched.
-        assert_eq!(cps[0].candidates, vec![1, 2, 3, 4]);
-        assert!(cps[1..].iter().all(|cp| !cp.forced));
-        assert_eq!(cps[3].candidates, vec![cps[3].chosen]);
-    }
-
-    #[test]
-    fn replay_exhaustion_names_rank_and_wildcard_ordinal() {
-        // Regression: structural divergence from a recording must be
-        // reported as "rank R wildcard #N", not as a hang or an
-        // unrelated panic.
-        let log = Arc::new(ReplayLog::from_choices(vec![vec![1]]));
-        let caught = std::panic::catch_unwind(|| {
-            World::run_opts(
-                2,
-                RunOptions::default().policy(MatchPolicy::Replay(log)),
-                |mut comm| {
-                    if comm.rank() == 0 {
-                        let _ = comm.recv_any(1);
-                        let _ = comm.recv_any(1); // one more than recorded
-                    } else {
-                        comm.send(0, 1, vec![0]);
-                        comm.send(0, 1, vec![1]);
-                    }
-                },
-            )
-        });
-        let payload = caught.unwrap_err();
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
-        assert!(
-            msg.contains("replay log exhausted at rank 0 wildcard #1"),
-            "panic message must name rank and wildcard ordinal, got: {msg}"
-        );
-    }
-
-    #[test]
-    fn nested_recv_from_cycle_names_full_cycle_at_n3() {
-        // Rank 0 waits on rank 1 but is *outside* the cycle; the
-        // report must name the actual 1 -> 2 -> 1 wait-for cycle in
-        // full, with each member's receive description — not merely
-        // say "cycle".
-        let err = World::run_opts(3, RunOptions::default(), |mut comm| match comm.rank() {
-            0 => {
-                let _ = comm.recv_from(1, 9);
-            }
-            1 => {
-                // A successful nested exchange first, so the cycle
-                // forms after real traffic.
-                comm.send(2, 8, vec![1]);
-                let _ = comm.recv_from(2, 9);
-            }
-            _ => {
-                let _ = comm.recv_from(1, 8);
-                let _ = comm.recv_from(1, 9);
-            }
-        })
-        .unwrap_err();
-        assert!(err.is_deadlock());
-        let report = err.report();
-        assert!(
-            report.contains(
-                "cycle: rank 1 (recv_from src=2 tag=9) -> rank 2 (recv_from src=1 tag=9) -> rank 1"
-            ),
-            "full wait-for cycle must be named, got:\n{report}"
-        );
-        // The non-cycle waiter is still listed with its edge.
-        assert!(report.contains("rank 0 (recv_from src=1 tag=9) waits on rank 1"));
-    }
-
-    // ---- fault-tolerance surface (feature `ft`) ----
-
-    #[cfg(feature = "ft")]
-    mod ft_tests {
-        use super::*;
-        use fault::{FaultInjector, SendFate};
-
-        use std::sync::atomic::{AtomicU64, Ordering};
-
-        /// Drops the first `k` sends on (src, dst, tag); corrupts when
-        /// `corrupt` is set instead of dropping.
-        struct DropFirst {
-            src: usize,
-            dst: usize,
-            tag: u32,
-            k: u64,
-            corrupt: bool,
-            hits: AtomicU64,
-        }
-
-        impl FaultInjector for DropFirst {
-            fn on_send(
-                &self,
-                src: usize,
-                dst: usize,
-                tag: u32,
-                _seq: u64,
-                data: &mut Vec<u8>,
-            ) -> SendFate {
-                if src == self.src && dst == self.dst && tag == self.tag {
-                    let hit = self.hits.fetch_add(1, Ordering::SeqCst);
-                    if hit < self.k {
-                        if self.corrupt {
-                            if let Some(b) = data.first_mut() {
-                                *b ^= 0xff;
-                            }
-                            return SendFate::Corrupt;
-                        }
-                        return SendFate::Drop;
-                    }
-                }
-                SendFate::Deliver
-            }
-        }
-
-        #[test]
-        fn recv_timeout_expires_on_silence() {
-            let results = World::run_opts(2, RunOptions::default(), |mut comm| {
-                if comm.rank() == 0 {
-                    // Never sends; rank 1's timed wait must expire on its
-                    // own without tripping the deadlock detector.
-                    comm.barrier();
-                    0
-                } else {
-                    let got = comm.recv_any_timeout(4, Duration::from_millis(50));
-                    comm.barrier();
-                    usize::from(got.is_some())
-                }
-            })
-            .unwrap();
-            assert_eq!(results.results[1], 0);
-        }
-
-        #[test]
-        fn expired_timed_receive_consumes_no_wildcard_ordinal() {
-            // Regression for the index-only-advances-on-success
-            // contract: an expired recv_any_timeout must not advance
-            // the wildcard index, or every later wildcard would be
-            // shifted one past its recorded ordinal and replay would
-            // die with "replay log exhausted".
-            let program = |mut comm: Comm| {
-                if comm.rank() == 0 {
-                    let miss = comm.recv_any_timeout(9, Duration::from_millis(30));
-                    assert!(miss.is_none(), "nobody sends tag 9");
-                    comm.recv_any(1).0
-                } else {
-                    comm.send(0, 1, vec![7]);
-                    0
-                }
-            };
-            let out = World::run_opts(2, RunOptions::default().traced(), program).unwrap();
-            let trace = out.trace.unwrap();
-            let log = ReplayLog::from_trace(&trace);
-            // The successful wildcard got ordinal 0, so the log has
-            // exactly one entry for rank 0...
-            assert_eq!(log.per_rank()[0], vec![1]);
-            // ...and replaying the recording through the same program
-            // (expiry and all) stays aligned instead of exhausting.
-            let replayed = World::run_opts(
-                2,
-                RunOptions::default().policy(MatchPolicy::Replay(Arc::new(log))),
-                program,
-            )
-            .unwrap();
-            assert_eq!(replayed.results[0], 1);
-        }
-
-        #[test]
-        fn timed_wait_is_not_a_deadlock() {
-            // Both ranks block simultaneously: rank 0 forever (on a
-            // message that arrives late), rank 1 timed. The timed wait
-            // must make the detector stand down rather than declare the
-            // world dead.
-            let out = World::run_opts(2, RunOptions::default(), |mut comm| {
-                if comm.rank() == 0 {
-                    let got = comm.recv_from(1, 7);
-                    got[0] as usize
-                } else {
-                    let _ = comm.recv_from_timeout(0, 9, Duration::from_millis(80));
-                    comm.send(0, 7, vec![42]);
-                    0
-                }
-            })
-            .unwrap();
-            assert_eq!(out.results[0], 42);
-        }
-
-        #[test]
-        fn dropped_send_leaves_fault_event_and_no_delivery() {
-            let inj = Arc::new(DropFirst {
-                src: 0,
-                dst: 1,
-                tag: 3,
-                k: 1,
-                corrupt: false,
-                hits: AtomicU64::new(0),
-            });
-            let out = World::run_opts(
-                2,
-                RunOptions::default().traced().with_injector(inj),
-                |mut comm| {
-                    if comm.rank() == 0 {
-                        comm.send(1, 3, vec![1]); // dropped
-                        comm.send(1, 3, vec![2]); // delivered, seq 0
-                        Vec::new()
-                    } else {
-                        vec![comm.recv_from_timeout(0, 3, Duration::from_millis(200))]
-                    }
-                },
-            )
-            .unwrap();
-            // The surviving send is delivered with an intact sequence
-            // stream (no gap from the dropped one).
-            assert_eq!(out.results[1][0].as_deref(), Some(&[2u8][..]));
-            let log = out.trace.unwrap();
-            assert_eq!(log.fault_count(), 1);
-            assert_eq!(log.faulted_links(), vec![(0, 1, 3)]);
-        }
-
-        #[test]
-        fn corrupted_send_delivers_mutated_bytes() {
-            let inj = Arc::new(DropFirst {
-                src: 0,
-                dst: 1,
-                tag: 6,
-                k: 1,
-                corrupt: true,
-                hits: AtomicU64::new(0),
-            });
-            let out = World::run_opts(2, RunOptions::default().with_injector(inj), |mut comm| {
-                if comm.rank() == 0 {
-                    comm.send(1, 6, vec![0x0f, 0x22]);
-                    Vec::new()
-                } else {
-                    comm.recv_from(0, 6)
-                }
-            })
-            .unwrap();
-            assert_eq!(out.results[1], vec![0xf0, 0x22]);
-        }
-
-        #[test]
-        fn try_recv_any_polls_without_blocking() {
-            let out = World::run_opts(2, RunOptions::default(), |mut comm| {
-                if comm.rank() == 0 {
-                    comm.send(1, 8, vec![5]);
-                    comm.barrier();
-                    0
-                } else {
-                    comm.barrier(); // message is in flight or queued now
-                    let mut got = None;
-                    for _ in 0..100 {
-                        got = comm.try_recv_any(8);
-                        if got.is_some() {
-                            break;
-                        }
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
-                    let (src, data) = got.expect("queued message polled");
-                    assert_eq!(src, 0);
-                    data[0] as usize
-                }
-            })
-            .unwrap();
-            assert_eq!(out.results[1], 5);
-        }
-    }
-
-    mod properties {
-        use super::*;
-        use proptest::prelude::*;
-
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(16))]
-
-            /// Per-(src, tag) streams are never reordered, for random
-            /// interleavings of tags and message counts.
-            #[test]
-            fn non_overtaking_per_src_tag(
-                sends in proptest::collection::vec((0u32..3, 0u64..250), 1..40),
-            ) {
-                let sends2 = sends.clone();
-                let received = World::run(2, move |mut comm| {
-                    if comm.rank() == 0 {
-                        for (tag, v) in &sends2 {
-                            comm.send(1, *tag, v.to_le_bytes().to_vec());
-                        }
-                        Vec::new()
-                    } else {
-                        // Receive per tag, in tag-major order.
-                        let mut got = Vec::new();
-                        for t in 0u32..3 {
-                            let k = sends2.iter().filter(|(tag, _)| *tag == t).count();
-                            for _ in 0..k {
-                                let b = comm.recv_from(0, t);
-                                got.push((t, u64::from_le_bytes(b.try_into().unwrap())));
-                            }
-                        }
-                        got
-                    }
-                });
-                for t in 0u32..3 {
-                    let sent: Vec<u64> =
-                        sends.iter().filter(|(tag, _)| *tag == t).map(|(_, v)| *v).collect();
-                    let recvd: Vec<u64> = received[1]
-                        .iter()
-                        .filter(|(tag, _)| *tag == t)
-                        .map(|(_, v)| *v)
-                        .collect();
-                    prop_assert_eq!(sent, recvd, "stream for tag {} reordered", t);
-                }
-            }
-
-            /// gather followed by bcast round-trips every rank's payload
-            /// at random world sizes and roots.
-            #[test]
-            fn gather_bcast_roundtrip(
-                spec in (1usize..9).prop_flat_map(|n| (proptest::prelude::Just(n), 0usize..n)),
-            ) {
-                let (n, root) = spec;
-                let results = World::run(n, move |mut comm| {
-                    let payload = vec![comm.rank() as u8; comm.rank() + 1];
-                    let gathered = comm.gather(root, payload, 4);
-                    // Root re-broadcasts the concatenation; everyone
-                    // must agree on it.
-                    let concat = gathered
-                        .map(|all| all.concat())
-                        .unwrap_or_default();
-                    comm.bcast(root, concat, 6)
-                });
-                let expected: Vec<u8> =
-                    (0..n).flat_map(|r| std::iter::repeat_n(r as u8, r + 1)).collect();
-                for r in &results {
-                    prop_assert_eq!(r, &expected);
-                }
-            }
-        }
-    }
-}
+mod tests;

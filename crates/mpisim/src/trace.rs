@@ -70,7 +70,7 @@ pub enum MarkKind {
 }
 
 /// One event in a rank's execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     Send {
         from: usize,

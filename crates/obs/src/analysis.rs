@@ -459,19 +459,19 @@ mod tests {
     fn traced_chain() -> TraceLog {
         // 0 --(work)--> sends to 1; 1 relays to 2. The critical path
         // must run 0 -> 1 -> 2.
-        World::run_opts(3, RunOptions::default().traced(), |mut comm| {
+        World::run_opts(3, RunOptions::default().traced(), |mut comm| async move {
             match comm.rank() {
                 0 => {
                     comm.span_begin("produce");
                     comm.span_end("produce");
-                    comm.send(1, 1, vec![0; 64]);
+                    comm.send(1, 1, vec![0; 64]).await;
                 }
                 1 => {
-                    let d = comm.recv_from(0, 1);
-                    comm.send(2, 1, d);
+                    let d = comm.recv_from(0, 1).await;
+                    comm.send(2, 1, d).await;
                 }
                 _ => {
-                    let _ = comm.recv_from(1, 1);
+                    let _ = comm.recv_from(1, 1).await;
                 }
             }
         })

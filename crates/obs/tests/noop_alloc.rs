@@ -100,7 +100,7 @@ fn disabled_tracing_allocates_nothing_per_event() {
     #[cfg(not(miri))]
     {
         let opts = pvr_mpisim::RunOptions::default().with_timeout(None);
-        let counts = pvr_mpisim::World::run_opts(1, opts, |comm| {
+        let counts = pvr_mpisim::World::run_opts(1, opts, |comm| async move {
             let before = allocs();
             for i in 0..1000u64 {
                 comm.span_begin("frame");

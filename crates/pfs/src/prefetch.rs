@@ -35,17 +35,25 @@ impl IoThrottle {
         IoThrottle { bytes_per_sec }
     }
 
-    /// Sleep until at least `bytes / bytes_per_sec` seconds have
-    /// elapsed since `started` — the read itself counts toward the
-    /// floor, so a genuinely slow store is never padded twice.
-    pub fn pad(&self, bytes: u64, started: Instant) {
+    /// How much pad a read of `bytes` that already took `elapsed`
+    /// still owes — the read itself counts toward the floor, so a
+    /// genuinely slow store is never padded twice. Simulated ranks
+    /// spend this as virtual time (`Comm::sleep`); real threads sleep
+    /// it off via [`IoThrottle::pad`].
+    pub fn remaining(&self, bytes: u64, elapsed: Duration) -> Duration {
         if self.bytes_per_sec <= 0.0 {
-            return;
+            return Duration::ZERO;
         }
         let floor = Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec);
-        let elapsed = started.elapsed();
-        if elapsed < floor {
-            std::thread::sleep(floor - elapsed);
+        floor.saturating_sub(elapsed)
+    }
+
+    /// Sleep until at least `bytes / bytes_per_sec` seconds have
+    /// elapsed since `started`.
+    pub fn pad(&self, bytes: u64, started: Instant) {
+        let rem = self.remaining(bytes, started.elapsed());
+        if rem > Duration::ZERO {
+            std::thread::sleep(rem);
         }
     }
 }

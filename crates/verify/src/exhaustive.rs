@@ -47,10 +47,11 @@ impl<T> ExhaustiveReport<T> {
 /// Exhaustively verify `program` on `n` ranks: explore all
 /// inequivalent wildcard-match interleavings (see [`pvr_mc::explore`])
 /// and collect the baseline trace's wildcard races for context.
-pub fn explore_exhaustive<T, F>(n: usize, program: F, opts: &McOptions) -> ExhaustiveReport<T>
+pub fn explore_exhaustive<T, F, Fut>(n: usize, program: F, opts: &McOptions) -> ExhaustiveReport<T>
 where
     T: Send + PartialEq + Clone,
-    F: Fn(Comm) -> T + Send + Sync,
+    F: Fn(Comm) -> Fut + Send + Sync,
+    Fut: std::future::Future<Output = T>,
 {
     // One plain traced run for the race census (cheap next to the
     // exploration itself).
@@ -81,13 +82,16 @@ mod tests {
         // Three concurrent senders into rank 0; order-independent
         // result. The sampled probes would call this "racy but looks
         // fine"; exhaustion proves it.
-        let program = |mut comm: Comm| -> Vec<usize> {
+        let program = |mut comm: Comm| async move {
             if comm.rank() == 0 {
-                let mut v: Vec<usize> = (0..3).map(|_| comm.recv_any(7).0).collect();
+                let mut v: Vec<usize> = Vec::with_capacity(3);
+                for _ in 0..3 {
+                    v.push(comm.recv_any(7).await.0);
+                }
                 v.sort_unstable();
                 v
             } else {
-                comm.send(0, 7, vec![comm.rank() as u8]);
+                comm.send(0, 7, vec![comm.rank() as u8]).await;
                 Vec::new()
             }
         };
@@ -102,12 +106,12 @@ mod tests {
 
     #[test]
     fn deterministic_programs_have_one_trace_and_no_races() {
-        let program = |mut comm: Comm| -> u8 {
+        let program = |mut comm: Comm| async move {
             match comm.rank() {
-                0 => comm.recv_from(1, 3)[0],
+                0 => comm.recv_from(1, 3).await[0],
                 _ => {
-                    comm.send(0, 3, vec![9]);
-                    0
+                    comm.send(0, 3, vec![9]).await;
+                    0u8
                 }
             }
         };

@@ -317,13 +317,13 @@ mod tests {
         fn concurrent_fan_in_is_reported_as_racy() {
             // 4 senders post to rank 0 with no ordering between them:
             // every wildcard pair from distinct sources races.
-            let out = World::run_opts(5, RunOptions::default().traced(), |mut comm| {
+            let out = World::run_opts(5, RunOptions::default().traced(), |mut comm| async move {
                 if comm.rank() == 0 {
                     for _ in 0..4 {
-                        let _ = comm.recv_any(7);
+                        let _ = comm.recv_any(7).await;
                     }
                 } else {
-                    comm.send(0, 7, vec![comm.rank() as u8]);
+                    comm.send(0, 7, vec![comm.rank() as u8]).await;
                 }
             })
             .unwrap();
@@ -336,20 +336,20 @@ mod tests {
         fn causally_ordered_sends_do_not_race() {
             // A token ring serializes the sends into rank 0's wildcard
             // stream: each send happens-after the previous receive.
-            let out = World::run_opts(4, RunOptions::default().traced(), |mut comm| {
+            let out = World::run_opts(4, RunOptions::default().traced(), |mut comm| async move {
                 let rank = comm.rank();
                 if rank == 0 {
-                    comm.send(1, 1, vec![]);
+                    comm.send(1, 1, vec![]).await;
                     for _ in 0..3 {
-                        let _ = comm.recv_any(2);
+                        let _ = comm.recv_any(2).await;
                     }
                 } else {
-                    let _ = comm.recv_from(rank - 1, 1);
-                    comm.send(0, 2, vec![rank as u8]);
+                    let _ = comm.recv_from(rank - 1, 1).await;
+                    comm.send(0, 2, vec![rank as u8]).await;
                     // Pass the token only after my send is posted, so
                     // sends into rank 0 are causally chained.
                     if rank + 1 < comm.size() {
-                        comm.send(rank + 1, 1, vec![]);
+                        comm.send(rank + 1, 1, vec![]).await;
                     }
                 }
             })
@@ -409,17 +409,17 @@ mod tests {
             let out = World::run_opts(
                 5,
                 RunOptions::default().traced().with_injector(inj),
-                |mut comm| {
+                |mut comm| async move {
                     if comm.rank() == 0 {
                         // 4 senders x 2 sends, minus the one dropped.
                         for _ in 0..7 {
-                            let _ = comm.recv_any(7);
+                            let _ = comm.recv_any(7).await;
                         }
                     } else {
                         // Send twice so the faulted link still delivers
                         // a message that races the healthy traffic.
-                        comm.send(0, 7, vec![comm.rank() as u8, 0]);
-                        comm.send(0, 7, vec![comm.rank() as u8, 1]);
+                        comm.send(0, 7, vec![comm.rank() as u8, 0]).await;
+                        comm.send(0, 7, vec![comm.rank() as u8, 1]).await;
                     }
                 },
             )
@@ -460,13 +460,13 @@ mod tests {
         /// With no injector, every race is genuine and none injected.
         #[test]
         fn clean_runs_classify_all_races_as_genuine() {
-            let out = World::run_opts(4, RunOptions::default().traced(), |mut comm| {
+            let out = World::run_opts(4, RunOptions::default().traced(), |mut comm| async move {
                 if comm.rank() == 0 {
                     for _ in 0..3 {
-                        let _ = comm.recv_any(9);
+                        let _ = comm.recv_any(9).await;
                     }
                 } else {
-                    comm.send(0, 9, vec![comm.rank() as u8]);
+                    comm.send(0, 9, vec![comm.rank() as u8]).await;
                 }
             })
             .unwrap();
@@ -479,13 +479,13 @@ mod tests {
 
         #[test]
         fn non_overtaking_audit_is_clean_on_heavy_traffic() {
-            let out = World::run_opts(4, RunOptions::default().traced(), |mut comm| {
+            let out = World::run_opts(4, RunOptions::default().traced(), |mut comm| async move {
                 let rank = comm.rank();
                 for i in 0..20u8 {
-                    comm.send((rank + 1) % 4, 3, vec![i]);
+                    comm.send((rank + 1) % 4, 3, vec![i]).await;
                 }
                 for _ in 0..20 {
-                    let _ = comm.recv_from((rank + 3) % 4, 3);
+                    let _ = comm.recv_from((rank + 3) % 4, 3).await;
                 }
             })
             .unwrap();
@@ -501,11 +501,15 @@ mod tests {
         fn commutative_protocol_passes_probe() {
             let report = probe_order_independence(
                 5,
-                |mut comm| {
+                |mut comm| async move {
                     if comm.rank() == 0 {
-                        (0..4).map(|_| comm.recv_any(1).1[0] as u64).sum::<u64>()
+                        let mut sum = 0u64;
+                        for _ in 0..4 {
+                            sum += comm.recv_any(1).await.1[0] as u64;
+                        }
+                        sum
                     } else {
-                        comm.send(0, 1, vec![comm.rank() as u8]);
+                        comm.send(0, 1, vec![comm.rank() as u8]).await;
                         0
                     }
                 },
@@ -530,15 +534,15 @@ mod tests {
         fn order_dependent_protocol_is_caught() {
             let report = probe_order_independence(
                 5,
-                |mut comm| {
+                |mut comm| async move {
                     if comm.rank() == 0 {
                         let mut acc: i64 = 100;
                         for _ in 0..4 {
-                            acc = acc * 2 - comm.recv_any(1).1[0] as i64;
+                            acc = acc * 2 - comm.recv_any(1).await.1[0] as i64;
                         }
                         acc
                     } else {
-                        comm.send(0, 1, vec![comm.rank() as u8]);
+                        comm.send(0, 1, vec![comm.rank() as u8]).await;
                         0
                     }
                 },

@@ -95,14 +95,15 @@ impl<T> OrderReport<T> {
 /// The baseline failing (deadlock/stall) is returned as `Err`; a
 /// *perturbed* variant failing is itself a finding and lands in
 /// [`OrderReport::divergences`].
-pub fn probe_order_independence<T, F>(
+pub fn probe_order_independence<T, F, Fut>(
     n: usize,
     program: F,
     probe: &OrderProbe,
 ) -> Result<OrderReport<T>, RunError>
 where
     T: Send + PartialEq + Clone,
-    F: Fn(Comm) -> T + Send + Sync,
+    F: Fn(Comm) -> Fut + Send + Sync,
+    Fut: std::future::Future<Output = T>,
 {
     let base = World::run_opts(n, RunOptions::default().traced(), &program)?;
     let trace = base.trace.expect("traced run returns a trace");

@@ -6,7 +6,7 @@ cd "$(dirname "$0")/.."
 BINS=(table1 fig1_render fig3_scaling fig4_bandwidth fig5_overall table2_large
       fig6_distribution fig7_io_modes fig8_layout fig9_access fig10_density
       ablation_compositing ablation_placement ablation_io_hints future_insitu calibrate
-      profile_smoke render_bench)
+      profile_smoke render_bench bench_sim)
 for b in "${BINS[@]}"; do
   echo "==================== $b ===================="
   cargo run --release -q -p pvr-bench --bin "$b"

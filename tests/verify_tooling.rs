@@ -35,9 +35,9 @@ fn frame_dataset(cfg: &FrameConfig) -> std::path::PathBuf {
 #[test]
 fn recv_cycle_is_reported_with_the_cycle_named() {
     // 0 waits on 1, 1 waits on 2, 2 waits on 0: a classic recv cycle.
-    let err = World::run_opts(3, RunOptions::default(), |mut comm| {
+    let err = World::run_opts(3, RunOptions::default(), |mut comm| async move {
         let next = (comm.rank() + 1) % 3;
-        let _ = comm.recv_from(next, 1);
+        let _ = comm.recv_from(next, 1).await;
     })
     .unwrap_err();
     assert!(err.is_deadlock(), "expected deadlock, got: {err}");
@@ -55,9 +55,9 @@ fn stall_without_detection_is_reported_not_hung() {
     let opts = RunOptions::default()
         .no_deadlock_detection()
         .with_timeout(Some(std::time::Duration::from_millis(200)));
-    let err = World::run_opts(2, opts, |mut comm| {
+    let err = World::run_opts(2, opts, |mut comm| async move {
         if comm.rank() == 0 {
-            let _ = comm.recv_from(1, 9); // never sent
+            let _ = comm.recv_from(1, 9).await; // never sent
         }
     })
     .unwrap_err();
@@ -146,15 +146,18 @@ fn injected_order_dependence_is_caught_by_the_probe() {
     // while the same fan-in that *sorts by sender* (what the
     // compositors do with fragments) must pass.
     let fan_in = |sorted: bool| {
-        move |mut comm: parallel_volume_rendering::mpisim::Comm| {
+        move |mut comm: parallel_volume_rendering::mpisim::Comm| async move {
             if comm.rank() == 0 {
-                let mut got: Vec<(usize, Vec<u8>)> = (0..3).map(|_| comm.recv_any(4)).collect();
+                let mut got: Vec<(usize, Vec<u8>)> = Vec::with_capacity(3);
+                for _ in 0..3 {
+                    got.push(comm.recv_any(4).await);
+                }
                 if sorted {
                     got.sort_by_key(|(src, _)| *src);
                 }
                 got.into_iter().flat_map(|(_, d)| d).collect::<Vec<u8>>()
             } else {
-                comm.send(0, 4, vec![comm.rank() as u8; comm.rank()]);
+                comm.send(0, 4, vec![comm.rank() as u8; comm.rank()]).await;
                 Vec::new()
             }
         }
