@@ -5,7 +5,7 @@
 //! (scaled to the 850 MHz PPC450).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pvr_render::raycast::{render_serial, RenderOpts};
+use pvr_render::raycast::{render_serial, RenderOpts, Termination};
 use pvr_render::{Camera, TransferFunction};
 use pvr_volume::{SupernovaField, Volume};
 
@@ -24,11 +24,19 @@ fn bench_raycast(c: &mut Criterion) {
             b.iter(|| render_serial(&vol, &cam, &tf, &opts))
         });
 
-        let et = RenderOpts {
-            early_termination: true,
+        let scalar = RenderOpts {
+            packet_width: 1,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::new("early-termination", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| render_serial(&vol, &cam, &tf, &scalar))
+        });
+
+        let et = RenderOpts {
+            termination: Termination::Bounded { alpha: 0.995 },
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("bounded-termination", n), &n, |b, _| {
             b.iter(|| render_serial(&vol, &cam, &tf, &et))
         });
     }

@@ -92,6 +92,15 @@ pub struct AnimOptions {
     /// and anomaly dumps are mirrored onto it (both executors). The
     /// default disabled recorder costs nothing.
     pub flight: pvr_obs::FlightRecorder,
+    /// Worker threads for the in-frame stages (decode, render,
+    /// composite) on the rayon executor; `0` means one per available
+    /// core. Separate from [`AnimOptions::prefetch_threads`] so the
+    /// background read can never steal render cores mid-frame (and
+    /// vice versa).
+    pub render_threads: usize,
+    /// Worker threads available to the background prefetch read on the
+    /// rayon executor; `0` means one per available core.
+    pub prefetch_threads: usize,
 }
 
 impl AnimOptions {
@@ -104,6 +113,8 @@ impl AnimOptions {
             faults: None,
             tracer: Tracer::disabled(),
             flight: pvr_obs::FlightRecorder::disabled(),
+            render_threads: 0,
+            prefetch_threads: 0,
         }
     }
 
@@ -142,6 +153,16 @@ impl AnimOptions {
     /// Mirror per-frame verdicts and anomaly dumps onto `flight`.
     pub fn with_flight(mut self, flight: &pvr_obs::FlightRecorder) -> AnimOptions {
         self.flight = flight.clone();
+        self
+    }
+
+    /// Give the frame stages and the background prefetch their own
+    /// worker-thread budgets (`0` = one per available core). Pool
+    /// placement changes wall clock only, never pixels — the pool-split
+    /// animation test pins bit-identity against the default pools.
+    pub fn pools(mut self, render: usize, prefetch: usize) -> AnimOptions {
+        self.render_threads = render;
+        self.prefetch_threads = prefetch;
         self
     }
 }
@@ -247,6 +268,24 @@ fn run_rayon(cfg: &FrameConfig, paths: &[PathBuf], opts: &AnimOptions) -> AnimRe
     let mut frames = Vec::with_capacity(paths.len());
     let t0 = Instant::now();
 
+    // Two pools: in-frame stages draw from `render_pool`, background
+    // reads from `prefetch_pool` (installed inside the prefetch thread,
+    // where the read actually runs). With both at 0 the split is a
+    // no-op; with explicit budgets the two subsystems stop competing
+    // for the same cores.
+    let render_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(opts.render_threads)
+        .thread_name(|i| format!("pvr-render-{i}"))
+        .build()
+        .expect("render pool");
+    let prefetch_pool = Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(opts.prefetch_threads)
+            .thread_name(|i| format!("pvr-prefetch-{i}"))
+            .build()
+            .expect("prefetch pool"),
+    );
+
     // RayonExec::finish annotates the SLO verdict; the animation loop
     // only mirrors it onto the flight recorder, one frame per tick.
     let record = |result: &FrameResult| {
@@ -259,7 +298,7 @@ fn run_rayon(cfg: &FrameConfig, paths: &[PathBuf], opts: &AnimOptions) -> AnimRe
     if !opts.pipelined {
         for p in paths {
             let exec = RayonExec::new(cfg, FrameInput::File(p), tracer, opts.throttle);
-            let result = pvr_mpisim::block_on_ready(execute(&plan, exec));
+            let result = render_pool.install(|| pvr_mpisim::block_on_ready(execute(&plan, exec)));
             record(&result);
             frames.push(AnimFrame {
                 result,
@@ -283,10 +322,11 @@ fn run_rayon(cfg: &FrameConfig, paths: &[PathBuf], opts: &AnimOptions) -> AnimRe
         let path = paths[t].clone();
         let throttle = opts.throttle;
         let tracer = tracer.clone();
+        let pool = Arc::clone(&prefetch_pool);
         Prefetch::spawn(move || {
             let started = Instant::now();
             tracer.begin_args(pf_track, "io.read", Args::one("frame", t as u64));
-            let out = read_frame_bytes(&cfg, &path, throttle);
+            let out = pool.install(|| read_frame_bytes(&cfg, &path, throttle));
             tracer.end(pf_track, "io.read");
             out.map(|(bytes, io)| (bytes, io, started.elapsed().as_secs_f64()))
         })
@@ -306,7 +346,7 @@ fn run_rayon(cfg: &FrameConfig, paths: &[PathBuf], opts: &AnimOptions) -> AnimRe
         }
         let input = FrameInput::Prefetched { bytes, io, io_secs };
         let exec = RayonExec::new(cfg, input, tracer, None);
-        let result = pvr_mpisim::block_on_ready(execute(&plan, exec));
+        let result = render_pool.install(|| pvr_mpisim::block_on_ready(execute(&plan, exec)));
         record(&result);
         frames.push(AnimFrame {
             result,
@@ -554,6 +594,22 @@ mod tests {
         assert!(rec.adopted_blocks >= 1, "frame 1 healed via adoption");
         assert_eq!(healed.frames[0].result.timing.recovery.crashed_ranks, 0);
         assert_eq!(healed.frames[2].result.timing.recovery.crashed_ranks, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn split_pools_are_bit_identical_to_shared_pools() {
+        let cfg = FrameConfig::small(12, 24, 4);
+        let dir = tmp_dir("pools");
+        let paths = write_animation(&dir, &cfg, 2).unwrap();
+        let shared = run_animation(&cfg, &paths, &AnimOptions::rayon()).unwrap();
+        // Tiny asymmetric budgets force both install paths (render
+        // inline on the caller, prefetch capped at 2).
+        let split = run_animation(&cfg, &paths, &AnimOptions::rayon().pools(1, 2)).unwrap();
+        for (s, p) in shared.frames.iter().zip(&split.frames) {
+            assert_eq!(s.result.image.pixels(), p.result.image.pixels());
+            assert_eq!(s.result.render_samples, p.result.render_samples);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,6 +5,7 @@ use pvr_formats::layout::{
     FileLayout, Hdf5LikeLayout, NetCdf64Layout, NetCdfClassicLayout, RawLayout,
 };
 use pvr_pfs::CollectiveHints;
+use pvr_render::raycast::Termination;
 
 /// The five I/O modes of the paper's Figure 10 (and Figures 7 and 9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,6 +134,16 @@ pub struct FrameConfig {
     /// property tests pin it), so it defaults on; turn off to measure
     /// the naive baseline.
     pub fast_path: bool,
+    /// Rays marched in lockstep per packet (see
+    /// [`pvr_render::raycast::RenderOpts::packet_width`]): `8` is the
+    /// packet kernel default, `1` the scalar kernel. Bit-identical
+    /// either way.
+    pub packet_width: usize,
+    /// Early-termination mode (see [`pvr_render::raycast::Termination`]).
+    /// The default `Bitwise` gate is invisible in pixels and sample
+    /// counts; `Bounded` trades a reported per-frame error bound for
+    /// speed.
+    pub termination: Termination,
     /// Override the fault-tolerant executor's per-stage receive
     /// deadline (milliseconds). `None` derives it from the calibrated
     /// perf model with the [`pvr_faults::RecoveryPolicy`] value as a
@@ -158,6 +169,8 @@ impl FrameConfig {
             seed: 1530,
             shading: false,
             fast_path: true,
+            packet_width: 8,
+            termination: Termination::Bitwise,
             stage_deadline_ms: None,
             frame_budget_ms: None,
         }
@@ -176,6 +189,8 @@ impl FrameConfig {
             seed: 1530,
             shading: false,
             fast_path: true,
+            packet_width: 8,
+            termination: Termination::Bitwise,
             stage_deadline_ms: None,
             frame_budget_ms: None,
         }

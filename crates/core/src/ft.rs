@@ -349,7 +349,7 @@ pub fn run_frame_rayon_ft_obs(
 
     // Render survivors and heals, each at the rung the ledger chose.
     let decision = &decision;
-    let rendered: Vec<(SubImage, u64, u64, Option<f64>)> = (0..n)
+    let rendered: Vec<(SubImage, pvr_render::raycast::RenderStats, Option<f64>)> = (0..n)
         .into_par_iter()
         .map(|r| {
             let dom = BlockDomain {
@@ -365,7 +365,7 @@ pub fn run_frame_rayon_ft_obs(
                         geo.owned[r].end(),
                         cfg.image,
                     );
-                    (SubImage::transparent(fp, 0.0), 0, 0, None)
+                    (SubImage::transparent(fp, 0.0), Default::default(), None)
                 }
                 d => {
                     let tf = transfer_for(cfg);
@@ -375,17 +375,19 @@ pub fn run_frame_rayon_ft_obs(
                     }
                     let vol = decode_volume(&bytes[r], &geo.stored[r], endian);
                     let (sub, st) = render_block(&vol, &dom, &camera, &tf, &ropts);
-                    (sub, st.samples, st.skipped_samples, Some(1.0))
+                    (sub, st, Some(1.0))
                 }
             }
         })
         .collect();
     timing.render = sw.lap();
 
-    let render_samples: u64 = rendered.iter().map(|(_, s, _, _)| *s).sum();
-    let render_skipped: u64 = rendered.iter().map(|(_, _, k, _)| *k).sum();
-    let present: Vec<Option<f64>> = rendered.iter().map(|(_, _, _, q)| *q).collect();
-    let subs: Vec<SubImage> = rendered.into_iter().map(|(s, _, _, _)| s).collect();
+    let mut render = pvr_render::raycast::RenderStats::default();
+    for (_, st, _) in &rendered {
+        render.merge(st);
+    }
+    let present: Vec<Option<f64>> = rendered.iter().map(|(_, _, q)| *q).collect();
+    let subs: Vec<SubImage> = rendered.into_iter().map(|(s, _, _)| s).collect();
 
     let partition = ImagePartition::new(cfg.image.0, cfg.image.1, cfg.compositors());
     let (image, stats, completeness) = composite_direct_send_degraded(&subs, partition, &present);
@@ -412,8 +414,13 @@ pub fn run_frame_rayon_ft_obs(
             image,
             timing,
             io,
-            render_samples,
-            render_skipped,
+            render_samples: render.samples,
+            render_skipped: render.skipped_samples,
+            render_packets: render.packets,
+            render_eval_lanes: render.packet_eval_lanes,
+            render_eval_slots: render.packet_eval_slots,
+            render_terminated: render.terminated_rays,
+            render_error_bound: render.error_bound as f64,
             composite: stats,
         },
         completeness,

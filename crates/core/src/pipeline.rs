@@ -95,7 +95,29 @@ pub struct FrameResult {
     /// skipped without evaluation (a subset of `render_samples`; 0 when
     /// `fast_path` is off).
     pub render_skipped: u64,
+    /// Ray packets launched across all ranks (0 on the scalar kernel).
+    pub render_packets: u64,
+    /// Lockstep lane-utilization counters summed over ranks: lanes that
+    /// evaluated a sample / lane slots in rounds with at least one
+    /// evaluating lane. See [`pvr_render::raycast::RenderStats`].
+    pub render_eval_lanes: u64,
+    pub render_eval_slots: u64,
+    /// Rays whose accumulation terminated early (saturation gates).
+    pub render_terminated: u64,
+    /// Max over ranks of the conservative per-pixel, per-channel error
+    /// bound introduced by [`pvr_render::raycast::Termination::Bounded`]
+    /// (exactly `0.0` under `Off` and `Bitwise`).
+    pub render_error_bound: f64,
     pub composite: DirectSendStats,
+}
+
+impl FrameResult {
+    /// Fraction of lockstep lane slots that evaluated a sample, over
+    /// the whole frame (`None` when the packet kernel never ran).
+    pub fn lane_utilization(&self) -> Option<f64> {
+        (self.render_eval_slots > 0)
+            .then(|| self.render_eval_lanes as f64 / self.render_eval_slots as f64)
+    }
 }
 
 /// Materialize the synthetic supernova dataset at `cfg.grid` resolution
@@ -209,7 +231,8 @@ pub fn render_opts(cfg: &FrameConfig) -> RenderOpts {
         step: cfg.step,
         shading: cfg.shading.then(Shading::default),
         fast_path: cfg.fast_path,
-        ..Default::default()
+        packet_width: cfg.packet_width,
+        termination: cfg.termination,
     }
 }
 

@@ -410,8 +410,7 @@ pub struct RayonExec<'a> {
     io: IoRunStats,
     volumes: Vec<pvr_volume::Volume>,
     subs: Vec<SubImage>,
-    render_samples: u64,
-    render_skipped: u64,
+    render_stats: pvr_render::raycast::RenderStats,
     image: Option<Image>,
     composite: Option<DirectSendStats>,
 }
@@ -436,8 +435,7 @@ impl<'a> RayonExec<'a> {
             io: IoRunStats::default(),
             volumes: Vec::new(),
             subs: Vec::new(),
-            render_samples: 0,
-            render_skipped: 0,
+            render_stats: pvr_render::raycast::RenderStats::default(),
             image: None,
             composite: None,
         }
@@ -509,7 +507,7 @@ impl StageExec for RayonExec<'_> {
                 let geo = &self.geo;
                 let camera = &self.camera;
                 let tracer = self.tracer;
-                let rendered: Vec<(SubImage, u64, u64)> = self
+                let rendered: Vec<(SubImage, pvr_render::raycast::RenderStats)> = self
                     .volumes
                     .par_iter()
                     .enumerate()
@@ -519,7 +517,7 @@ impl StageExec for RayonExec<'_> {
                             owned: geo.owned[rank],
                             stored: geo.stored[rank],
                         };
-                        let (sub, stats) = pvr_render::raycast::render_block_traced(
+                        pvr_render::raycast::render_block_traced(
                             vol,
                             &dom,
                             camera,
@@ -527,15 +525,27 @@ impl StageExec for RayonExec<'_> {
                             &opts,
                             tracer,
                             rank as u32,
-                        );
-                        (sub, stats.samples, stats.skipped_samples)
+                        )
                     })
                     .collect();
-                self.tracer.end(0, "render");
                 self.timing.render = self.sw.lap();
-                self.render_samples = rendered.iter().map(|(_, s, _)| *s).sum();
-                self.render_skipped = rendered.iter().map(|(_, _, k)| *k).sum();
-                self.subs = rendered.into_iter().map(|(s, _, _)| s).collect();
+                for (_, s) in &rendered {
+                    self.render_stats.merge(s);
+                }
+                let rs = &self.render_stats;
+                self.tracer.end_args(
+                    0,
+                    "render",
+                    pvr_obs::Args::three(
+                        "samples",
+                        rs.samples,
+                        "packets",
+                        rs.packets,
+                        "terminated_rays",
+                        rs.terminated_rays,
+                    ),
+                );
+                self.subs = rendered.into_iter().map(|(s, _)| s).collect();
                 self.volumes.clear();
             }
             StageId::Composite => {
@@ -578,12 +588,18 @@ impl StageExec for RayonExec<'_> {
                 incidents: &[],
             },
         ));
+        let rs = self.render_stats;
         FrameResult {
             image: self.image.expect("composite stage ran"),
             timing,
             io: self.io,
-            render_samples: self.render_samples,
-            render_skipped: self.render_skipped,
+            render_samples: rs.samples,
+            render_skipped: rs.skipped_samples,
+            render_packets: rs.packets,
+            render_eval_lanes: rs.packet_eval_lanes,
+            render_eval_slots: rs.packet_eval_slots,
+            render_terminated: rs.terminated_rays,
+            render_error_bound: rs.error_bound as f64,
             composite: self.composite.expect("composite stage ran"),
         }
     }
@@ -681,8 +697,9 @@ pub struct RankOut {
     pub image: Option<Image>,
     pub completeness: Option<CompletenessMap>,
     pub timing: FrameTiming,
-    pub samples: u64,
-    pub skipped: u64,
+    /// This rank's render-kernel statistics (samples, skips, packets,
+    /// lane utilization, early terminations, bounded-error bound).
+    pub render: pvr_render::raycast::RenderStats,
     /// Honest wire bytes this rank sent (per fragment, the cheaper of
     /// the dense and sparse encodings).
     pub sent_bytes: u64,
@@ -702,8 +719,7 @@ impl RankOut {
             image: None,
             completeness: None,
             timing,
-            samples: 0,
-            skipped: 0,
+            render: pvr_render::raycast::RenderStats::default(),
             sent_bytes: 0,
             sent_dense_bytes: 0,
             sparse_messages: 0,
@@ -764,8 +780,7 @@ pub struct RankExec<'a> {
     volume: Option<pvr_volume::Volume>,
     io: Option<RankIo>,
     sub: Option<SubImage>,
-    samples: u64,
-    skipped: u64,
+    rstats: pvr_render::raycast::RenderStats,
     sent: u64,
     sent_dense: u64,
     sparse_msgs: usize,
@@ -828,8 +843,7 @@ impl<'a> RankExec<'a> {
             volume: None,
             io: None,
             sub: None,
-            samples: 0,
-            skipped: 0,
+            rstats: pvr_render::raycast::RenderStats::default(),
             sent: 0,
             sent_dense: 0,
             sparse_msgs: 0,
@@ -1226,8 +1240,10 @@ impl<'a> RankExec<'a> {
         let volume = self.volume.take().expect("read stage ran");
         let (sub, rstats) = render_block(&volume, &dom, &self.shared.camera, &tf, &ropts);
         self.comm.mark_instant("render.samples", rstats.samples);
-        self.samples = rstats.samples;
-        self.skipped = rstats.skipped_samples;
+        if rstats.packets > 0 {
+            self.comm.mark_instant("render.packets", rstats.packets);
+        }
+        self.rstats = rstats;
         self.sub = Some(sub);
         match self.links {
             LinkMode::Direct => {
@@ -1834,8 +1850,7 @@ impl StageExec for RankExec<'_> {
         if self.crashed {
             let mut out = RankOut::crashed(self.timing);
             out.counters.merge(&self.counters);
-            out.samples = self.samples;
-            out.skipped = self.skipped;
+            out.render = self.rstats;
             if let Some(io) = &self.io {
                 out.io_failover_bytes = io.failover_bytes;
                 out.io_unrecovered_bytes = io.unrecovered_bytes;
@@ -1854,8 +1869,7 @@ impl StageExec for RankExec<'_> {
             image: self.image,
             completeness: self.completeness,
             timing: self.timing,
-            samples: self.samples,
-            skipped: self.skipped,
+            render: self.rstats,
             sent_bytes: self.sent,
             sent_dense_bytes: self.sent_dense,
             sparse_messages: self.sparse_msgs,
@@ -1961,8 +1975,10 @@ pub(crate) fn assemble_frame(
     for (rank, r) in results.iter().enumerate() {
         crate::slo::counter_incidents(rank, &r.counters, &mut incidents);
     }
-    let render_samples: u64 = results.iter().map(|r| r.samples).sum();
-    let render_skipped: u64 = results.iter().map(|r| r.skipped).sum();
+    let mut render = pvr_render::raycast::RenderStats::default();
+    for r in &results {
+        render.merge(&r.render);
+    }
     let sent_bytes: u64 = results.iter().map(|r| r.sent_bytes).sum();
     let sent_dense_bytes: u64 = results.iter().map(|r| r.sent_dense_bytes).sum();
     let sparse_messages: usize = results.iter().map(|r| r.sparse_messages).sum();
@@ -2034,8 +2050,13 @@ pub(crate) fn assemble_frame(
             image,
             timing,
             io,
-            render_samples,
-            render_skipped,
+            render_samples: render.samples,
+            render_skipped: render.skipped_samples,
+            render_packets: render.packets,
+            render_eval_lanes: render.packet_eval_lanes,
+            render_eval_slots: render.packet_eval_slots,
+            render_terminated: render.terminated_rays,
+            render_error_bound: render.error_bound as f64,
             composite: DirectSendStats {
                 messages: 0,
                 bytes: sent_bytes,

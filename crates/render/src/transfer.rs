@@ -120,14 +120,126 @@ impl TransferFunction {
         ([c[0], c[1], c[2]], alpha)
     }
 
+    /// [`TransferFunction::classify`] specialized to a unit ray step.
+    /// For correctly-rounded `powf` (IEEE 754 requires
+    /// `powf(y, 1.0) == y` bitwise), the opacity correction
+    /// `1 - (1-α)^1` collapses to the same two subtractions performed in
+    /// the same order — bit-identical output with no libm call. The
+    /// render kernels dispatch here whenever `dt == 1.0`; the
+    /// `unit_step_classify_matches_powf` test pins the identity on the
+    /// build platform.
+    #[inline]
+    pub fn classify_unit_step(&self, value: f32) -> ([f32; 3], f32) {
+        let c = self.lookup(value);
+        let alpha = 1.0 - (1.0 - c[3].clamp(0.0, 0.999_999));
+        ([c[0], c[1], c[2]], alpha)
+    }
+
+    /// Packet variant of [`TransferFunction::classify_unit_step`]:
+    /// classifies `W` samples at once, returning transposed
+    /// `(r, g, b, alpha)` lane arrays. Each lane is **bit-identical**
+    /// to the scalar call — the coordinate math, the two-entry table
+    /// interpolation, and the unit-step opacity collapse are the exact
+    /// same expressions in the same order; the packet form only batches
+    /// them into branch-free lane-parallel loops (the table fetches
+    /// remain per-lane gathers) so the compiler can vectorize the
+    /// arithmetic.
+    #[inline]
+    pub fn classify_unit_step_packet<const W: usize>(
+        &self,
+        vals: &[f32; W],
+    ) -> ([f32; W], [f32; W], [f32; W], [f32; W]) {
+        let (lo, hi) = self.domain;
+        let n1 = (self.table.len() - 1) as f32;
+        let cap = self.table.len() - 2;
+        let mut idx = [0usize; W];
+        let mut fr = [0.0f32; W];
+        for i in 0..W {
+            let t = ((vals[i] - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let x = t * n1;
+            let ii = (x as usize).min(cap);
+            idx[i] = ii;
+            fr[i] = x - ii as f32;
+        }
+        let mut a = [[0.0f32; W]; 4];
+        let mut b = [[0.0f32; W]; 4];
+        for i in 0..W {
+            let ea = self.table[idx[i]];
+            let eb = self.table[idx[i] + 1];
+            for c in 0..4 {
+                a[c][i] = ea[c];
+                b[c][i] = eb[c];
+            }
+        }
+        let mut r = [0.0f32; W];
+        let mut g = [0.0f32; W];
+        let mut bl = [0.0f32; W];
+        let mut al = [0.0f32; W];
+        for i in 0..W {
+            r[i] = a[0][i] + (b[0][i] - a[0][i]) * fr[i];
+            g[i] = a[1][i] + (b[1][i] - a[1][i]) * fr[i];
+            bl[i] = a[2][i] + (b[2][i] - a[2][i]) * fr[i];
+            let c3 = a[3][i] + (b[3][i] - a[3][i]) * fr[i];
+            al[i] = 1.0 - (1.0 - c3.clamp(0.0, 0.999_999));
+        }
+        (r, g, bl, al)
+    }
+
     pub fn domain(&self) -> (f32, f32) {
         self.domain
+    }
+
+    /// Largest per-unit-length alpha any [`TransferFunction::lookup`]
+    /// can return: interpolation stays between its two entries, so the
+    /// table maximum bounds every sample. With `classify`'s clamp and
+    /// step correction applied (both monotone under rounding), this
+    /// yields the per-sample alpha cap the bitwise termination gate
+    /// saturates against.
+    pub fn max_table_alpha(&self) -> f32 {
+        debug_assert!(
+            self.table.iter().all(|c| !c[3].is_nan()),
+            "NaN alpha entries would silently escape the max-fold bound"
+        );
+        self.table.iter().fold(0.0f32, |m, c| m.max(c[3]))
+    }
+
+    /// Largest color-channel magnitude any lookup can return (same
+    /// interpolation argument as [`TransferFunction::max_table_alpha`]).
+    pub fn max_table_rgb(&self) -> f32 {
+        debug_assert!(
+            self.table
+                .iter()
+                .all(|c| !c[0].is_nan() && !c[1].is_nan() && !c[2].is_nan()),
+            "NaN color entries would silently escape the max-fold bound"
+        );
+        self.table.iter().fold(0.0f32, |m, c| {
+            m.max(c[0].abs()).max(c[1].abs()).max(c[2].abs())
+        })
     }
 
     /// Build the opacity lookup table for conservative empty-space
     /// skipping: per-unit-length alpha of each table entry, queryable
     /// by value range.
+    ///
+    /// Exact-`0.0` bins are **load-bearing**: the bitwise skip proof
+    /// (and with it the fast path's pixel identity) rests on
+    /// `range_is_transparent` returning true only when every lookup in
+    /// the range yields alpha exactly `0.0`, which in turn requires the
+    /// transparent plateau's table entries to be exactly `0.0` — a value
+    /// of `1e-9` would still look transparent but would break
+    /// `x + (1-α)·a == x` and silently turn "bit-identical" into
+    /// "approximately equal". Transfer functions meant to benefit from
+    /// skipping (e.g. [`TransferFunction::supernova_velocity`]) must
+    /// build their plateaus from exactly-zero control points. The
+    /// debug_assert below catches the one construction bug this type can
+    /// detect itself: NaN entries, which the `max`-fold in
+    /// [`OpacityLut::max_alpha`] would silently drop, making the
+    /// "conservative" bound unsound.
     pub fn opacity_lut(&self) -> OpacityLut {
+        debug_assert!(
+            self.table.iter().all(|c| !c[3].is_nan()),
+            "NaN alpha entries make the opacity LUT's range bound unsound"
+        );
         OpacityLut {
             domain: self.domain,
             alphas: self.table.iter().map(|c| c[3]).collect(),
@@ -218,6 +330,39 @@ mod tests {
     }
 
     #[test]
+    fn packet_classify_matches_scalar_bitwise() {
+        let tfs = [
+            TransferFunction::supernova_velocity(),
+            TransferFunction::grayscale((-0.5, 2.0)),
+            TransferFunction::from_points(
+                (0.0, 1.0),
+                &[(0.0, [0.1, 0.2, 0.3, 0.0]), (1.0, [0.9, 0.8, 0.7, 0.95])],
+            ),
+        ];
+        for tf in &tfs {
+            for chunk in 0..500 {
+                let mut vals = [0.0f32; 8];
+                for (i, v) in vals.iter_mut().enumerate() {
+                    let s = (chunk * 8 + i) as f32;
+                    *v = s * 0.001 - 1.5;
+                }
+                if chunk == 0 {
+                    vals[3] = f32::NAN;
+                    vals[5] = f32::INFINITY;
+                }
+                let (r, g, b, a) = tf.classify_unit_step_packet::<8>(&vals);
+                for i in 0..8 {
+                    let (rgb, al) = tf.classify_unit_step(vals[i]);
+                    assert_eq!(r[i].to_bits(), rgb[0].to_bits(), "r lane {i}");
+                    assert_eq!(g[i].to_bits(), rgb[1].to_bits(), "g lane {i}");
+                    assert_eq!(b[i].to_bits(), rgb[2].to_bits(), "b lane {i}");
+                    assert_eq!(a[i].to_bits(), al.to_bits(), "a lane {i} val {}", vals[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn supernova_map_is_diverging() {
         let tf = TransferFunction::supernova_velocity();
         let neg = tf.lookup(-1.0);
@@ -233,6 +378,49 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn single_point_panics() {
         TransferFunction::from_points((0.0, 1.0), &[(0.5, [0.0; 4])]);
+    }
+
+    #[test]
+    fn unit_step_classify_matches_powf() {
+        // classify_unit_step elides powf; the two must agree bitwise for
+        // every value, or the dt == 1.0 kernel dispatch would not be.
+        for tf in [
+            TransferFunction::supernova_velocity(),
+            TransferFunction::hot_density(),
+            TransferFunction::grayscale((-2.0, 3.0)),
+        ] {
+            let (d0, d1) = tf.domain();
+            for i in 0..=4000 {
+                let v = d0 - 0.1 + (d1 - d0 + 0.2) * i as f32 / 4000.0;
+                let (rgb0, a0) = tf.classify(v, 1.0);
+                let (rgb1, a1) = tf.classify_unit_step(v);
+                assert_eq!(a0.to_bits(), a1.to_bits(), "alpha at {v}");
+                for c in 0..3 {
+                    assert_eq!(rgb0[c].to_bits(), rgb1[c].to_bits(), "rgb[{c}] at {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_maxima_bound_every_lookup() {
+        for tf in [
+            TransferFunction::supernova_velocity(),
+            TransferFunction::hot_density(),
+            TransferFunction::grayscale((-2.0, 3.0)),
+        ] {
+            let a_max = tf.max_table_alpha();
+            let rgb_max = tf.max_table_rgb();
+            let (d0, d1) = tf.domain();
+            for i in 0..=3000 {
+                let v = d0 - 0.2 + (d1 - d0 + 0.4) * i as f32 / 3000.0;
+                let c = tf.lookup(v);
+                assert!(c[3] <= a_max);
+                for ch in &c[..3] {
+                    assert!(ch.abs() <= rgb_max);
+                }
+            }
+        }
     }
 
     #[test]

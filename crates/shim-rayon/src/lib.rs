@@ -22,10 +22,110 @@
 //! * Worker panics are re-raised on the caller via `resume_unwind`, like
 //!   rayon.
 
+use std::cell::Cell;
 use std::panic::resume_unwind;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+std::thread_local! {
+    /// Parallelism cap installed by [`ThreadPool::install`]; `0` means
+    /// uncapped (use every available core).
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Builder-pattern stand-in for `rayon::ThreadPoolBuilder`. The shim
+/// has no persistent worker threads, so a "pool" reduces to the one
+/// property call sites rely on: how many workers a parallel terminal
+/// operation may use.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+    thread_name: Option<Box<dyn Fn(usize) -> String>>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means one worker per available core, like
+    /// rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn thread_name<F>(mut self, f: F) -> Self
+    where
+        F: Fn(usize) -> String + 'static,
+    {
+        self.thread_name = Some(Box::new(f));
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError`. The shim builder
+/// cannot actually fail; the type exists so call sites written against
+/// rayon's fallible `build()` compile unchanged.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped parallelism cap. `install(op)` runs `op` with the pool's
+/// thread budget: any shim parallel terminal operation reached from
+/// inside `op` (on this thread) splits its work across at most
+/// `num_threads` workers. Distinct pools installed on distinct threads
+/// do not share anything, so two subsystems given separate pools can no
+/// longer oversubscribe each other's budget on the same operation.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Worker budget of this pool: the builder's `num_threads`, or the
+    /// machine's available parallelism when unset.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            available_threads()
+        } else {
+            self.num_threads
+        }
+    }
+
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.current_num_threads()));
+        // Restore on unwind too, so a panicking op cannot leak the cap
+        // into unrelated work on this thread.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// A materialized "parallel iterator": an ordered list of items awaiting
@@ -48,9 +148,8 @@ where
     O: Send,
     F: Fn(I) -> O + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cap = POOL_THREADS.with(|c| c.get());
+    let threads = if cap == 0 { available_threads() } else { cap };
     let n = items.len();
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
@@ -241,5 +340,53 @@ mod tests {
                 .collect::<Vec<_>>()
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn pool_caps_worker_threads() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .thread_name(|i| format!("test-pool-{i}"))
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let ids: std::collections::HashSet<_> = pool
+            .install(|| {
+                (0..256)
+                    .into_par_iter()
+                    .map(|_| std::thread::current().id())
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .collect();
+        assert!(ids.len() <= 2, "cap 2, saw {} distinct workers", ids.len());
+
+        // A single-thread pool runs inline on the caller.
+        let one = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let here = std::thread::current().id();
+        let ids: Vec<_> = one.install(|| {
+            (0..32)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect::<Vec<_>>()
+        });
+        assert!(ids.iter().all(|&id| id == here));
+    }
+
+    #[test]
+    fn install_restores_cap_even_on_panic() {
+        let one = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let r = std::panic::catch_unwind(|| one.install(|| panic!("boom")));
+        assert!(r.is_err());
+        // Back to uncapped: a parallel op may use several workers again
+        // (cannot assert the count on a 1-core machine, but the cap
+        // cell itself must be cleared).
+        assert_eq!(crate::POOL_THREADS.with(|c| c.get()), 0);
     }
 }

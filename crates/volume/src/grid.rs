@@ -217,6 +217,127 @@ impl Volume {
         lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz)
     }
 
+    /// Packet variant of [`Volume::sample_trilinear`]: up to `W`
+    /// gathered fetches per call, one per enabled lane, positions in
+    /// structure-of-arrays form (`xs[i], ys[i], zs[i]`). Each enabled
+    /// lane's result is **bit-identical** to calling
+    /// [`Volume::sample_trilinear`] on that lane's position alone — the
+    /// packet only batches the address computation, the eight-corner
+    /// gathers, and the (lane-independent) lerp arithmetic into
+    /// branch-free lane-parallel passes the compiler can vectorize.
+    /// Disabled lanes return `0.0`; their position values may be
+    /// arbitrary (even NaN) — they are arithmetically processed with a
+    /// safe dummy base offset and the result discarded, never
+    /// dereferencing out of bounds.
+    ///
+    /// When every enabled lane is interior (`0 <= p[a] < dims[a]-1`),
+    /// the corners are gathered over the precomputed-stride unchecked
+    /// path; a single enabled boundary lane demotes the whole packet to
+    /// the general clamped path, which is rare — only rays grazing the
+    /// stored region's faces produce such packets.
+    pub fn sample_trilinear_packet<const W: usize>(
+        &self,
+        xs: &[f32; W],
+        ys: &[f32; W],
+        zs: &[f32; W],
+        mask: &[bool; W],
+    ) -> [f32; W] {
+        let [nx, ny, nz] = self.dims;
+        let (hx, hy, hz) = ((nx - 1) as f32, (ny - 1) as f32, (nz - 1) as f32);
+        let mut interior = true;
+        let mut any = false;
+        for i in 0..W {
+            let inb = xs[i] >= 0.0
+                && xs[i] < hx
+                && ys[i] >= 0.0
+                && ys[i] < hy
+                && zs[i] >= 0.0
+                && zs[i] < hz;
+            interior &= inb | !mask[i];
+            any |= mask[i];
+        }
+        let mut out = [0.0f32; W];
+        if !any {
+            return out;
+        }
+        if !interior {
+            for i in 0..W {
+                if mask[i] {
+                    out[i] = self.sample_trilinear([xs[i], ys[i], zs[i]]);
+                }
+            }
+            return out;
+        }
+        // Pass 1: per-lane base offsets and interpolation fractions,
+        // unconditionally — disabled lanes are forced to base 0 (their
+        // float coordinates may be garbage; the `as usize` saturating
+        // cast could otherwise build a wild offset).
+        let mut base = [0usize; W];
+        let mut fx = [0.0f32; W];
+        let mut fy = [0.0f32; W];
+        let mut fz = [0.0f32; W];
+        for i in 0..W {
+            let (x0, y0, z0) = (xs[i] as usize, ys[i] as usize, zs[i] as usize);
+            fx[i] = xs[i] - x0 as f32;
+            fy[i] = ys[i] - y0 as f32;
+            fz[i] = zs[i] - z0 as f32;
+            base[i] = if mask[i] {
+                z0 * self.slab_stride + y0 * self.row_stride + x0
+            } else {
+                0
+            };
+        }
+        // Pass 2: gather the eight corners, transposed (corner-major) so
+        // pass 3 is a straight W-wide lerp per corner pair.
+        let (sy, sz) = (self.row_stride, self.slab_stride);
+        let mut c0 = [0.0f32; W];
+        let mut c1 = [0.0f32; W];
+        let mut c2 = [0.0f32; W];
+        let mut c3 = [0.0f32; W];
+        let mut c4 = [0.0f32; W];
+        let mut c5 = [0.0f32; W];
+        let mut c6 = [0.0f32; W];
+        let mut c7 = [0.0f32; W];
+        for i in 0..W {
+            debug_assert!(base[i] + sz + sy + 1 < self.data.len());
+            // SAFETY: every enabled lane passed the interior test above,
+            // so the bounds argument of `sample_trilinear_interior`
+            // applies verbatim: the largest offset, base + slab + row +
+            // 1, addresses the (x0+1, y0+1, z0+1) corner, strictly
+            // inside `data`. Disabled lanes read from base 0; because at
+            // least one enabled interior lane exists (checked above),
+            // every axis has >= 2 voxels, so slab + row + 1 =
+            // nx*ny + nx + 1 < 2*nx*ny <= data.len().
+            let at = |off: usize| unsafe { *self.data.get_unchecked(base[i] + off) };
+            c0[i] = at(0);
+            c1[i] = at(1);
+            c2[i] = at(sy);
+            c3[i] = at(sy + 1);
+            c4[i] = at(sz);
+            c5[i] = at(sz + 1);
+            c6[i] = at(sz + sy);
+            c7[i] = at(sz + sy + 1);
+        }
+        // Pass 3: the same lerp tree as the scalar interior path, in the
+        // same order, W lanes wide and branch-free.
+        let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+        for i in 0..W {
+            let c00 = lerp(c0[i], c1[i], fx[i]);
+            let c10 = lerp(c2[i], c3[i], fx[i]);
+            let c01 = lerp(c4[i], c5[i], fx[i]);
+            let c11 = lerp(c6[i], c7[i], fx[i]);
+            out[i] = lerp(lerp(c00, c10, fy[i]), lerp(c01, c11, fy[i]), fz[i]);
+        }
+        // Disabled lanes computed garbage above; restore their
+        // documented 0.0.
+        for i in 0..W {
+            if !mask[i] {
+                out[i] = 0.0;
+            }
+        }
+        out
+    }
+
     /// Minimum and maximum voxel values.
     pub fn min_max(&self) -> (f32, f32) {
         self.data
@@ -331,6 +452,58 @@ mod tests {
     fn min_max() {
         let v = Volume::from_data([2, 1, 1], vec![-3.5, 9.0]);
         assert_eq!(v.min_max(), (-3.5, 9.0));
+    }
+
+    #[test]
+    fn packet_fetch_is_bit_identical_to_scalar() {
+        use crate::field::SupernovaField;
+        let f = SupernovaField::new(7).variable(2);
+        let v = Volume::from_field(&f, [13, 10, 9]);
+        // Probe packets spanning interior, boundary, and outside lanes,
+        // with assorted masks (including all-off).
+        for w8 in 0..40 {
+            let mut xs = [0.0f32; 8];
+            let mut ys = [0.0f32; 8];
+            let mut zs = [0.0f32; 8];
+            let mut mask = [false; 8];
+            for i in 0..8 {
+                let s = (w8 * 8 + i) as f32;
+                xs[i] = (s * 0.37).rem_euclid(15.0) - 1.0;
+                ys[i] = (s * 0.73).rem_euclid(12.0) - 1.0;
+                zs[i] = (s * 1.19).rem_euclid(11.0) - 1.0;
+                mask[i] = (w8 + i) % 5 != 0;
+            }
+            let got = v.sample_trilinear_packet::<8>(&xs, &ys, &zs, &mask);
+            for i in 0..8 {
+                let want = if mask[i] {
+                    v.sample_trilinear([xs[i], ys[i], zs[i]])
+                } else {
+                    0.0
+                };
+                assert_eq!(
+                    got[i].to_bits(),
+                    want.to_bits(),
+                    "lane {i} pos ({}, {}, {})",
+                    xs[i],
+                    ys[i],
+                    zs[i]
+                );
+            }
+        }
+        // A fully-interior width-4 packet exercises the gather path,
+        // including a disabled lane carrying NaN garbage.
+        let xs4 = [1.2, 5.5, 2.0, f32::NAN];
+        let ys4 = [2.3, 4.4, 2.0, f32::NAN];
+        let zs4 = [3.4, 3.3, 2.0, -1.0e30];
+        let mask4 = [true, true, true, false];
+        let got = v.sample_trilinear_packet::<4>(&xs4, &ys4, &zs4, &mask4);
+        for i in 0..3 {
+            assert_eq!(
+                got[i].to_bits(),
+                v.sample_trilinear([xs4[i], ys4[i], zs4[i]]).to_bits()
+            );
+        }
+        assert_eq!(got[3].to_bits(), 0.0f32.to_bits());
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub mod macrocell;
 pub use blocks::{Block, BlockDecomposition};
 pub use field::{FbmNoise, ScalarField, SupernovaField, VAR_NAMES};
 pub use grid::Volume;
-pub use macrocell::{MacrocellGrid, MACROCELL_SIZE};
+pub use macrocell::{MacrocellGrid, MACROCELL_SIZE, REFINED_SIZE};

@@ -1,18 +1,22 @@
 //! Min/max macrocells for conservative empty-space skipping.
 //!
-//! A [`MacrocellGrid`] summarizes a volume as one `(min, max)` pair per
-//! 8³-voxel cell. Built once per block (O(voxels), like `min_max`), it
-//! is reusable across frames and views: the renderer consults it per
-//! sample to prove that a trilinear fetch *must* land in a value range
-//! the transfer function maps to exactly zero opacity, and skips the
-//! fetch, classification, and shading for that sample.
+//! A [`MacrocellGrid`] summarizes a volume at two granularities: one
+//! `(min, max)` pair per 8³-voxel macrocell, and one per 2³-voxel
+//! *refined* cell. Built once per block (O(voxels), like `min_max`), it
+//! is reusable across frames and views: the renderer consults the
+//! macrocell ranges per sample (scalar kernel) to prove that a
+//! trilinear fetch *must* land in a value range the transfer function
+//! maps to exactly zero opacity, and skips the fetch, classification,
+//! and shading for that sample. The refined ranges serve the ray-packet
+//! kernel's shared skip field, whose dilation by the packet's lane
+//! spread would be drowned out by 8-voxel quantization.
 //!
 //! Conservativeness: trilinear interpolation is a convex combination of
 //! the eight corner voxels, so the result lies in `[min, max]` of the
 //! corners. Each cell's range is taken over the *inclusive* voxel range
-//! `[8c, min(8c + 8, n-1)]` per axis — one voxel of overlap with the
-//! next cell — so that for any sample position `p` with
-//! `floor(clamp(p)) = x0` inside the cell, both corners `x0` and
+//! `[s·c, min(s·c + s, n-1)]` per axis (`s` = cell size) — one voxel of
+//! overlap with the next cell — so that for any sample position `p`
+//! with `floor(clamp(p)) = x0` inside the cell, both corners `x0` and
 //! `x1 = min(x0+1, n-1)` are covered. Clamped out-of-volume positions
 //! resolve to boundary voxels, which boundary cells cover.
 
@@ -21,16 +25,29 @@ use crate::grid::Volume;
 /// Edge length of a macrocell in voxels.
 pub const MACROCELL_SIZE: usize = 8;
 
-/// Per-cell min/max summary of a [`Volume`].
+/// Edge length of a refined summary cell in voxels. Divides
+/// [`MACROCELL_SIZE`], so every macrocell is exactly a 4³ block of
+/// refined cells.
+pub const REFINED_SIZE: usize = 2;
+
+/// Two-level per-cell min/max summary of a [`Volume`].
 #[derive(Debug, Clone)]
 pub struct MacrocellGrid {
     cells: [usize; 3],
-    /// Row-major (x fastest) `(min, max)` per cell.
+    /// Row-major (x fastest) `(min, max)` per macrocell.
     minmax: Vec<(f32, f32)>,
+    refined_cells: [usize; 3],
+    /// Row-major (x fastest) `(min, max)` per refined cell.
+    refined: Vec<(f32, f32)>,
 }
 
 impl MacrocellGrid {
-    /// Build the summary by one pass over the volume.
+    /// Build both summaries in one pass over the volume: the refined
+    /// ranges directly, the macrocell ranges by folding the refined
+    /// cells they tile. The fold covers exactly the macrocell's
+    /// inclusive voxel range (the chained one-voxel overlaps line up),
+    /// and min/max is insensitive to the repeated boundary voxels, so
+    /// the macrocell ranges are bitwise identical to a direct pass.
     pub fn build(vol: &Volume) -> Self {
         let dims = vol.dims();
         let cells = [
@@ -38,13 +55,21 @@ impl MacrocellGrid {
             Self::cells_along(dims[1]),
             Self::cells_along(dims[2]),
         ];
-        let mut minmax = vec![(f32::INFINITY, f32::NEG_INFINITY); cells[0] * cells[1] * cells[2]];
-        for cz in 0..cells[2] {
-            let (z0, z1) = Self::voxel_range(cz, dims[2]);
-            for cy in 0..cells[1] {
-                let (y0, y1) = Self::voxel_range(cy, dims[1]);
-                for cx in 0..cells[0] {
-                    let (x0, x1) = Self::voxel_range(cx, dims[0]);
+        let refined_cells = [
+            Self::cells_along_size(dims[0], REFINED_SIZE),
+            Self::cells_along_size(dims[1], REFINED_SIZE),
+            Self::cells_along_size(dims[2], REFINED_SIZE),
+        ];
+        let mut refined = vec![
+            (f32::INFINITY, f32::NEG_INFINITY);
+            refined_cells[0] * refined_cells[1] * refined_cells[2]
+        ];
+        for cz in 0..refined_cells[2] {
+            let (z0, z1) = Self::voxel_range_size(cz, dims[2], REFINED_SIZE);
+            for cy in 0..refined_cells[1] {
+                let (y0, y1) = Self::voxel_range_size(cy, dims[1], REFINED_SIZE);
+                for cx in 0..refined_cells[0] {
+                    let (x0, x1) = Self::voxel_range_size(cx, dims[0], REFINED_SIZE);
                     let mut lo = f32::INFINITY;
                     let mut hi = f32::NEG_INFINITY;
                     for z in z0..=z1 {
@@ -56,23 +81,61 @@ impl MacrocellGrid {
                             }
                         }
                     }
+                    refined[(cz * refined_cells[1] + cy) * refined_cells[0] + cx] = (lo, hi);
+                }
+            }
+        }
+        let fold = MACROCELL_SIZE / REFINED_SIZE;
+        let mut minmax = vec![(f32::INFINITY, f32::NEG_INFINITY); cells[0] * cells[1] * cells[2]];
+        for cz in 0..cells[2] {
+            for cy in 0..cells[1] {
+                for cx in 0..cells[0] {
+                    let mut lo = f32::INFINITY;
+                    let mut hi = f32::NEG_INFINITY;
+                    for rz in (cz * fold)..((cz * fold + fold).min(refined_cells[2])) {
+                        for ry in (cy * fold)..((cy * fold + fold).min(refined_cells[1])) {
+                            let row = (rz * refined_cells[1] + ry) * refined_cells[0];
+                            let rx0 = cx * fold;
+                            let rx1 = (rx0 + fold).min(refined_cells[0]);
+                            for &(rlo, rhi) in &refined[row + rx0..row + rx1] {
+                                lo = lo.min(rlo);
+                                hi = hi.max(rhi);
+                            }
+                        }
+                    }
                     minmax[(cz * cells[1] + cy) * cells[0] + cx] = (lo, hi);
                 }
             }
         }
-        MacrocellGrid { cells, minmax }
+        MacrocellGrid {
+            cells,
+            minmax,
+            refined_cells,
+            refined,
+        }
     }
 
     fn cells_along(n: usize) -> usize {
+        Self::cells_along_size(n, MACROCELL_SIZE)
+    }
+
+    fn cells_along_size(n: usize, size: usize) -> usize {
         // Cells must cover voxel indices 0..=n-1.
-        (n.max(1) - 1) / MACROCELL_SIZE + 1
+        (n.max(1) - 1) / size + 1
     }
 
     /// Inclusive voxel range summarized by cell `c` along an axis of `n`
     /// voxels: `[8c, min(8c + 8, n-1)]` (one voxel of overlap).
+    #[cfg(test)]
     fn voxel_range(c: usize, n: usize) -> (usize, usize) {
-        let lo = c * MACROCELL_SIZE;
-        let hi = (lo + MACROCELL_SIZE).min(n - 1);
+        Self::voxel_range_size(c, n, MACROCELL_SIZE)
+    }
+
+    /// Inclusive voxel range summarized by a size-`size` cell `c`:
+    /// `[size·c, min(size·c + size, n-1)]` (one voxel of overlap).
+    fn voxel_range_size(c: usize, n: usize, size: usize) -> (usize, usize) {
+        let lo = c * size;
+        let hi = (lo + size).min(n - 1);
         (lo, hi.max(lo))
     }
 
@@ -120,6 +183,18 @@ impl MacrocellGrid {
     /// per-cell verdicts against a transfer function once per render.
     pub fn ranges(&self) -> &[(f32, f32)] {
         &self.minmax
+    }
+
+    /// Refined (2³-voxel) cell counts per axis.
+    pub fn refined_cells(&self) -> [usize; 3] {
+        self.refined_cells
+    }
+
+    /// All refined per-cell ranges (row-major, x fastest). Same
+    /// conservativeness contract as [`MacrocellGrid::ranges`], at
+    /// [`REFINED_SIZE`] granularity.
+    pub fn refined_ranges(&self) -> &[(f32, f32)] {
+        &self.refined
     }
 }
 
@@ -182,6 +257,66 @@ mod tests {
                     let vz = (p[2].clamp(0.0, (dims[2] - 1) as f32)) as usize;
                     let (lo, hi) = g.min_max(g.cell_index_of_voxel(vx, vy, vz));
                     assert!(s >= lo && s <= hi, "p={p:?} s={s} range=({lo},{hi})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refined_ranges_cover_trilinear_support() {
+        let v = ramp([13, 11, 10]);
+        let g = MacrocellGrid::build(&v);
+        let dims = v.dims();
+        let probe = |t: f32, n: usize| -> f32 { t * (n as f32 + 2.0) - 1.5 };
+        let rc = g.refined_cells();
+        for iz in 0..8 {
+            for iy in 0..8 {
+                for ix in 0..8 {
+                    let p = [
+                        probe(ix as f32 / 7.0, dims[0]),
+                        probe(iy as f32 / 7.0, dims[1]),
+                        probe(iz as f32 / 7.0, dims[2]),
+                    ];
+                    let s = v.sample_trilinear(p);
+                    let cell = |c: f32, n: usize, rc_n: usize| -> usize {
+                        ((c.clamp(0.0, (n - 1) as f32) as usize) / REFINED_SIZE).min(rc_n - 1)
+                    };
+                    let cx = cell(p[0], dims[0], rc[0]);
+                    let cy = cell(p[1], dims[1], rc[1]);
+                    let cz = cell(p[2], dims[2], rc[2]);
+                    let (lo, hi) = g.refined_ranges()[(cz * rc[1] + cy) * rc[0] + cx];
+                    assert!(s >= lo && s <= hi, "p={p:?} s={s} range=({lo},{hi})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn macrocell_ranges_match_direct_fold() {
+        // The macrocell ranges folded from refined cells must equal a
+        // direct min/max over the macrocell's inclusive voxel range.
+        let v = ramp([17, 9, 9]);
+        let g = MacrocellGrid::build(&v);
+        let dims = v.dims();
+        let cells = g.cells();
+        for cz in 0..cells[2] {
+            let (z0, z1) = MacrocellGrid::voxel_range(cz, dims[2]);
+            for cy in 0..cells[1] {
+                let (y0, y1) = MacrocellGrid::voxel_range(cy, dims[1]);
+                for cx in 0..cells[0] {
+                    let (x0, x1) = MacrocellGrid::voxel_range(cx, dims[0]);
+                    let mut lo = f32::INFINITY;
+                    let mut hi = f32::NEG_INFINITY;
+                    for z in z0..=z1 {
+                        for y in y0..=y1 {
+                            for x in x0..=x1 {
+                                lo = lo.min(v.get(x, y, z));
+                                hi = hi.max(v.get(x, y, z));
+                            }
+                        }
+                    }
+                    let got = g.min_max((cz * cells[1] + cy) * cells[0] + cx);
+                    assert_eq!(got, (lo, hi), "cell ({cx},{cy},{cz})");
                 }
             }
         }
